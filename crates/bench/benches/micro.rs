@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the hot paths of the simulation stack:
+//! the costs that bound how much simulated time the experiment harness can
+//! chew through per wall-clock second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nti_core::cluster::{Cluster, ClusterConfig};
+use nti_core::convergence::{marzullo, oa};
+use nti_core::interval::AccInterval;
+use nti_netsim::{Comco, ComcoTiming, Frame, Medium, MediumConfig};
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::{DriftModel, Oscillator, SimDuration, SimRng, SimTime};
+use nti_utcsu::{Utcsu, UtcsuConfig};
+
+fn bench_utcsu_advance(c: &mut Criterion) {
+    c.bench_function("utcsu_advance_1s_with_timer", |b| {
+        b.iter_batched(
+            || {
+                let mut u = Utcsu::new(UtcsuConfig::default());
+                u.sync_run();
+                u.itu.set_mask(u32::MAX);
+                u.arm_timer_regs(0, 0, 1 << 23);
+                u
+            },
+            |mut u| {
+                u.advance_to_tick(black_box(10_000_000));
+                u
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_oscillator(c: &mut Criterion) {
+    c.bench_function("oscillator_ticks_at_random_walk", |b| {
+        let mut o = Oscillator::new(
+            10_000_000,
+            DriftModel::RandomWalk {
+                rho_max_ppm: 10.0,
+                step_sigma_ppb: 50.0,
+                step_interval: SimDuration::from_millis(100),
+                initial_ppm: 0.0,
+            },
+            SimRng::new(1),
+            SimTime::ZERO,
+        );
+        // Pre-extend to 100 s so the bench measures lookup, not extension.
+        let _ = o.ticks_at(SimTime::from_secs(100));
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 7919) % 100_000;
+            black_box(o.ticks_at(SimTime::from_millis(t)))
+        })
+    });
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let base = NtpTime::from_secs(100);
+    let mk = |off: i128, half: u128| AccInterval::new(base.wrapping_add_units(off), half, half);
+    let intervals: Vec<AccInterval> =
+        (0..16).map(|i| mk((i as i128 - 8) << 30, 1u128 << 36)).collect();
+    c.bench_function("marzullo_16_inputs_f2", |b| {
+        b.iter(|| black_box(marzullo(black_box(&intervals), 2)))
+    });
+    c.bench_function("oa_16_inputs_f2", |b| {
+        b.iter(|| black_box(oa(black_box(&intervals), 2)))
+    });
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let f = Frame::csp(Frame::mac(3), bytes::Bytes::from(vec![0xA5u8; 48]));
+    let wire = f.encode();
+    c.bench_function("frame_encode_crc", |b| b.iter(|| black_box(f.encode())));
+    c.bench_function("frame_decode_crc", |b| {
+        b.iter(|| black_box(Frame::decode(black_box(&wire)).unwrap()))
+    });
+}
+
+fn bench_medium_and_comco(c: &mut Criterion) {
+    c.bench_function("medium_grant", |b| {
+        let mut m = Medium::new(MediumConfig::ethernet_10m(), SimRng::new(2));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(m.grant(SimTime::from_micros(t * 1500), 592))
+        })
+    });
+    c.bench_function("comco_plan_roundtrip", |b| {
+        let mut co = Comco::new(ComcoTiming::i82596(), 10_000_000, SimRng::new(3));
+        b.iter(|| {
+            let tx = co.plan_transmit(SimTime::from_secs(1), 64);
+            let rx = co.plan_receive(SimTime::from_secs(1), 64);
+            black_box((tx, rx))
+        })
+    });
+}
+
+fn bench_cluster_round(c: &mut Criterion) {
+    c.bench_function("cluster_4_nodes_5s", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::default_lan(4, 11);
+            cfg.duration = SimDuration::from_secs(5);
+            cfg.warmup = SimDuration::from_secs(1);
+            black_box(Cluster::new(cfg).run())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_utcsu_advance,
+    bench_oscillator,
+    bench_convergence,
+    bench_frame_codec,
+    bench_medium_and_comco,
+    bench_cluster_round
+);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! **E11 — round-trip delay measurement** (paper §2: the delay bounds are
+//! "preferably measured — even controlled — dynamically. In fact, our
+//! ambitious goal of a 1 µs-range precision/accuracy makes it inevitable
+//! to employ an accurate round-trip-based transmission delay
+//! measurement").
+//!
+//! Drives real four-stamp probe exchanges through two NTI-equipped nodes
+//! (hardware triggers at both ends, COMCO plans for the timing) and
+//! compares the *measured* per-direction delay window against the *static*
+//! a-priori window derived from datasheet envelopes — and against the true
+//! delays the simulation actually produced.
+
+use nti_bench::{eng, header};
+use nti_core::cluster::csp_frame_bits;
+use nti_core::params::delay_bounds_hardware;
+use nti_core::rtt::{delay_floor, RttEstimator};
+use nti_module::{CpldConfig, Nti, UTCSU_BASE};
+use nti_netsim::{Comco, ComcoTiming, Medium, MediumConfig};
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::{DriftModel, Oscillator, SimDuration, SimRng, SimTime};
+use nti_utcsu::regs as uregs;
+use nti_utcsu::UtcsuConfig;
+
+struct Probe {
+    stamp: NtpTime,
+    trigger_real: SimTime,
+    arrival_trigger_real: SimTime,
+    recv_stamp: NtpTime,
+}
+
+/// Send one fixed-size probe from `src` to `dst`, driving the full header
+/// DMA plans; returns the sender's transmit stamp and the receiver's
+/// receive stamp plus the true trigger instants.
+#[allow(clippy::too_many_arguments)]
+fn send_probe(
+    now: SimTime,
+    src: &mut (Nti, Oscillator, Comco),
+    dst: &mut (Nti, Oscillator, Comco),
+    medium: &mut Medium,
+    bits: u64,
+) -> (Probe, SimTime) {
+    let ready = src.2.tx_ready(now);
+    let grant = medium.grant(ready, bits);
+    let plan = src.2.plan_transmit(grant.wire_start, 64);
+    let hdr = src.0.tx_header_addr(0);
+    let mut trigger_real = now;
+    for acc in &plan.header_reads {
+        let tick = src.1.ticks_at(acc.at);
+        src.0.utcsu_mut().advance_to_tick(tick);
+        let _ = src.0.read32(hdr + acc.offset);
+        if acc.offset == 0x14 {
+            trigger_real = acc.at;
+        }
+    }
+    let stamp = src.0.utcsu_mut().ssu[0].transmit.take().expect("transmit stamp").time().unwrap();
+    // Reception.
+    let arrival = grant.wire_end + medium.propagation();
+    let rx_plan = dst.2.plan_receive(arrival, 64);
+    let rx_hdr = dst.0.rx_header_addr(0);
+    let mut arrival_trigger_real = arrival;
+    for acc in &rx_plan.header_writes {
+        let tick = dst.1.ticks_at(acc.at);
+        dst.0.utcsu_mut().advance_to_tick(tick);
+        dst.0.write32(rx_hdr + acc.offset, 0);
+        if acc.offset == 0x1C {
+            arrival_trigger_real = acc.at;
+        }
+    }
+    let recv_stamp = dst.0.utcsu_mut().ssu[0].receive.take().expect("receive stamp").time().unwrap();
+    (Probe { stamp, trigger_real, arrival_trigger_real, recv_stamp }, rx_plan.interrupt_at)
+}
+
+fn mk_node(seed: u64, rho_ppm: f64) -> (Nti, Oscillator, Comco) {
+    let mut nti = Nti::new(UtcsuConfig::default(), CpldConfig::default());
+    // Start with a deliberately large offset: RTT measurement must not care.
+    nti.utcsu_mut().stage_time_load(NtpTime::from_secs(seed as u32 * 100));
+    nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
+    let rng = SimRng::new(seed);
+    (
+        nti,
+        Oscillator::new(10_000_000, DriftModel::Constant { rho_ppm }, rng.split("osc"), SimTime::ZERO),
+        Comco::new(ComcoTiming::i82596(), 10_000_000, rng.split("comco")),
+    )
+}
+
+fn main() {
+    println!("E11: round-trip delay measurement vs static a-priori bounds");
+    println!("two NTI nodes, 10 Mb/s Ethernet, clocks offset by minutes, ±8 ppm\n");
+    let bits = csp_frame_bits();
+    let medium_cfg = MediumConfig::ethernet_10m();
+    let mut medium = Medium::new(medium_cfg, SimRng::new(0xE11));
+    let mut a = mk_node(1, 8.0);
+    let mut b = mk_node(2, -8.0);
+    let mut est = RttEstimator::new();
+    let mut true_delays: Vec<f64> = Vec::new();
+    let mut t = SimTime::from_millis(10);
+    let probes = 200;
+    for _ in 0..probes {
+        let (p_out, done_out) = send_probe(t, &mut a, &mut b, &mut medium, bits);
+        true_delays.push(
+            p_out.arrival_trigger_real.saturating_since(p_out.trigger_real).as_secs_f64(),
+        );
+        // Responder turns the probe around after its ISR.
+        let t_back = done_out + SimDuration::from_micros(300);
+        let (p_back, done_back) = send_probe(t_back, &mut b, &mut a, &mut medium, bits);
+        true_delays.push(
+            p_back.arrival_trigger_real.saturating_since(p_back.trigger_real).as_secs_f64(),
+        );
+        est.record(p_out.stamp, p_out.recv_stamp, p_back.stamp, p_back.recv_stamp);
+        t = done_back + SimDuration::from_millis(5);
+    }
+
+    let floor = delay_floor(bits, medium_cfg.bitrate_bps, medium_cfg.prop_delay);
+    let margin = SimDuration::from_micros(1);
+    let (mlo, mhi) = est.delay_window(floor, margin, 10).expect("enough probes");
+    let (slo, shi) = delay_bounds_hardware(&ComcoTiming::i82596(), &medium_cfg, bits, 6, 8);
+    // What a real datasheet would give: vendors specify loose worst cases
+    // (the 82596 manual bounds bus latencies in tens of microseconds, not
+    // the hundreds of nanoseconds a specific board actually exhibits).
+    let dlo = floor;
+    let dhi = shi + SimDuration::from_micros(60);
+    let tmin = true_delays.iter().copied().fold(f64::INFINITY, f64::min);
+    let tmax = true_delays.iter().copied().fold(0.0f64, f64::max);
+
+    let h = format!("{:<26} {:>14} {:>14} {:>14}", "window", "lower", "upper", "width");
+    header(&h);
+    println!(
+        "{:<26} {:>14} {:>14} {:>14}",
+        "true delays (oracle)",
+        eng(tmin),
+        eng(tmax),
+        eng(tmax - tmin)
+    );
+    println!(
+        "{:<26} {:>14} {:>14} {:>14}",
+        "measured (RTT probes)",
+        eng(mlo.as_secs_f64()),
+        eng(mhi.as_secs_f64()),
+        eng(mhi.as_secs_f64() - mlo.as_secs_f64())
+    );
+    println!(
+        "{:<26} {:>14} {:>14} {:>14}",
+        "static (oracle envelopes)",
+        eng(slo.as_secs_f64()),
+        eng(shi.as_secs_f64()),
+        eng(shi.as_secs_f64() - slo.as_secs_f64())
+    );
+    println!(
+        "{:<26} {:>14} {:>14} {:>14}",
+        "static (datasheet-grade)",
+        eng(dlo.as_secs_f64()),
+        eng(dhi.as_secs_f64()),
+        eng(dhi.as_secs_f64() - dlo.as_secs_f64())
+    );
+    println!();
+    println!("probes accepted: {}  rejected: {}", est.samples(), est.rejected());
+    let covers = mlo.as_secs_f64() <= tmin && mhi.as_secs_f64() >= tmax;
+    println!(
+        "measured window covers all true delays: {}",
+        if covers { "yes (containment-safe)" } else { "NO (!)" }
+    );
+    assert!(covers);
+    assert!(
+        mhi < dhi,
+        "measured bounds must beat datasheet-grade static bounds"
+    );
+    println!();
+    println!("reading: RTT measurement cannot decompose per-direction asymmetry, so");
+    println!("it is wider than oracle-tight envelopes — but several times tighter");
+    println!("than what loose datasheet figures would force, while staying safe.");
+    println!("That is the paper's 'preferably measured dynamically' in action.");
+}

@@ -1,0 +1,133 @@
+//! **E14 — why the Receive Header Base register exists** (paper §3.4 +
+//! footnote 4: an ISR "cannot reliably determine the address of the
+//! receive header associated with the sampled timestamp … this might be
+//! too late for avoiding a timestamp loss in case of back-to-back CSPs.
+//! Also inappropriate are schemes that try to exploit a sequential order
+//! of received packets, since there might be CSPs that trigger a timestamp
+//! but are eventually discarded, e.g., due to an incorrect CRC").
+//!
+//! Ablation: a receiver is hit by back-to-back CSP pairs whose first frame
+//! is sometimes CRC-corrupted; the ISR runs only after both frames landed.
+//! Attribution strategies:
+//!
+//! * **header-base latch** (the NTI design): the ISR reads the latched
+//!   base address and attributes the surviving stamp to that packet;
+//! * **sequential order** (the rejected alternative): the ISR attributes
+//!   the stamp to the oldest unprocessed packet.
+//!
+//! Misattributions put a wrong timestamp on a packet — a silent µs-to-ms
+//! error injected straight into the synchronization algorithm.
+
+use nti_bench::{eng, header};
+use nti_module::{CpldConfig, Nti, IO_RX_HDR_BASE, UTCSU_BASE};
+use nti_netsim::{Comco, ComcoTiming};
+use nti_simcore::{DriftModel, Oscillator, SimDuration, SimRng, SimTime};
+use nti_utcsu::regs as uregs;
+use nti_utcsu::UtcsuConfig;
+
+struct Outcome {
+    misattributions: u64,
+    lost_stamps: u64,
+    worst_error_s: f64,
+    pairs: u64,
+}
+
+fn run(use_latch: bool, corrupt_first_every: u64) -> Outcome {
+    let mut nti = Nti::new(UtcsuConfig::default(), CpldConfig::default());
+    nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
+    let mut osc =
+        Oscillator::new(10_000_000, DriftModel::perfect(), SimRng::new(1), SimTime::ZERO);
+    let mut comco = Comco::new(ComcoTiming::i82596(), 10_000_000, SimRng::new(2));
+
+    let mut out = Outcome { misattributions: 0, lost_stamps: 0, worst_error_s: 0.0, pairs: 0 };
+    let mut slot = 0u32;
+    for k in 0..500u64 {
+        out.pairs += 1;
+        let t0 = SimTime::from_millis(10 + k * 2);
+        // Two frames 80 us apart — closer than the ISR ever runs.
+        let mut trigger_real = [SimTime::ZERO; 2];
+        let mut hdr_addr = [0u32; 2];
+        let first_corrupted = corrupt_first_every > 0 && k % corrupt_first_every == 0;
+        for (i, gap) in [SimDuration::ZERO, SimDuration::from_micros(80)].iter().enumerate() {
+            let arrival = t0 + *gap;
+            let plan = comco.plan_receive(arrival, 64);
+            let s = slot % nti.rx_header_count();
+            slot = slot.wrapping_add(1);
+            hdr_addr[i] = nti.rx_header_addr(s);
+            for acc in &plan.header_writes {
+                let tick = osc.ticks_at(acc.at);
+                nti.utcsu_mut().advance_to_tick(tick);
+                nti.write32(hdr_addr[i] + acc.offset, 0);
+                if acc.offset == 0x1C {
+                    trigger_real[i] = acc.at;
+                }
+            }
+        }
+        // The ISR runs after both frames. The latch holds the *newest*
+        // stamp (the older one was overwritten: overrun).
+        let overrun = nti.utcsu().ssu[0].receive.overrun();
+        if overrun {
+            out.lost_stamps += 1;
+        }
+        let latched_base = (nti.io_read16(IO_RX_HDR_BASE) as u32) << 6;
+        let stamp = match nti.utcsu_mut().ssu[0].receive.take().and_then(|s| s.time()) {
+            Some(t) => t,
+            None => continue,
+        };
+        // Which packet does the ISR attribute the stamp to?
+        let attributed = if use_latch {
+            // The base register names the stamped packet's header.
+            if latched_base == hdr_addr[1] { 1 } else { 0 }
+        } else {
+            // Sequential assumption: the oldest packet that survived CRC.
+            if first_corrupted {
+                1
+            } else {
+                0
+            }
+        };
+        // Frame 0 may be discarded by CRC *after* the trigger fired; in
+        // that case only frame 1's stamp should ever be used. The stamp in
+        // the latch is frame 1's (newest). Attribution is wrong whenever
+        // the chosen packet is not frame 1.
+        if attributed != 1 {
+            out.misattributions += 1;
+            let err = stamp
+                .diff_secs_f64(nti_simcore::ntp::NtpTime::from_sim_time(trigger_real[attributed]))
+                .abs();
+            out.worst_error_s = out.worst_error_s.max(err);
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("E14: Receive Header Base ablation — back-to-back CSPs, 1-in-5 CRC drops");
+    println!();
+    let h = format!(
+        "{:<26} {:>8} {:>16} {:>14} {:>14}",
+        "attribution scheme", "pairs", "misattributions", "lost stamps", "worst error"
+    );
+    header(&h);
+    for (name, latch) in [("header-base latch (NTI)", true), ("sequential order", false)] {
+        let o = run(latch, 5);
+        println!(
+            "{:<26} {:>8} {:>16} {:>14} {:>14}",
+            name,
+            o.pairs,
+            o.misattributions,
+            o.lost_stamps,
+            eng(o.worst_error_s)
+        );
+        if latch {
+            assert_eq!(o.misattributions, 0, "the latch must never misattribute");
+        } else {
+            assert!(o.misattributions > 300, "sequential must fail on back-to-back");
+        }
+    }
+    println!();
+    println!("the latch always names the stamped packet (the overrun flag reports the");
+    println!("lost older stamp so software can simply wait for the next round); the");
+    println!("sequential scheme silently pins ~80 us errors on the wrong packets —");
+    println!("footnote 4's justification, quantified.");
+}

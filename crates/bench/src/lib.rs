@@ -1,0 +1,138 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the NTI reproduction experiments.
+//!
+//! Each experiment from DESIGN.md §5 is a binary in `src/bin/` printing the
+//! table/series the corresponding paper claim describes:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `e1_epsilon` | §4: "transmission/reception time uncertainty ε well below 1 µs" |
+//! | `e2_granularity` | §5: worst-case precision impairment `4G + 10u` |
+//! | `e3_fosc_crossover` | §5: `G = u < 70 ns (f_osc > 14 MHz)` for < 1 µs |
+//! | `e4_rate_sync` | §2: rate synchronization reduces the maximum drift |
+//! | `e5_gps_validation` | §2/§5: clock validation vs the HS97 fault catalogue |
+//! | `e6_class_table` | §1/§5: synchronization tightness by approach class |
+//! | `e7_adder_clock` | §3.3/§5: adder-based vs counter-based clock |
+//! | `e8_lower_bound` | §3.1: the \[LL84\] bound ε(1 − 1/n) |
+//! | `e9_sixteen_nodes` | §4: the 16-node prototype system |
+//! | `e10_wan_of_lans` | §1 fn.2: WANs-of-LANs with NTI gateways |
+//!
+//! Set `NTI_EXP_FAST=1` to shrink the simulated durations (CI smoke runs).
+
+use nti_core::cluster::ClusterConfig;
+use nti_simcore::SimDuration;
+use parking_lot::Mutex;
+use std::path::PathBuf;
+
+/// Serializes result-record appends across sweep threads.
+static RECORD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Whether fast (CI) mode is requested.
+pub fn fast_mode() -> bool {
+    std::env::var("NTI_EXP_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Pick a duration: `normal` seconds, or `fast` seconds under fast mode.
+pub fn secs(normal: u64, fast: u64) -> SimDuration {
+    SimDuration::from_secs(if fast_mode() { fast } else { normal })
+}
+
+/// Apply the standard experiment duration/warmup split to a config.
+pub fn with_duration(mut cfg: ClusterConfig, duration: SimDuration) -> ClusterConfig {
+    cfg.duration = duration;
+    cfg.warmup = SimDuration::from_fs(duration.as_fs() / 3);
+    cfg
+}
+
+/// Format seconds as an adaptive engineering string.
+pub fn eng(seconds: f64) -> String {
+    let a = seconds.abs();
+    if a == 0.0 {
+        "0".into()
+    } else if a >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if a >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Print a table header + rule.
+pub fn header(h: &str) {
+    println!("{h}");
+    rule(h);
+}
+
+/// Append a JSON result record under `target/experiments/<experiment>.jsonl`
+/// so runs are machine-readable alongside the printed tables. `label`
+/// distinguishes rows within one experiment (e.g. the sweep point).
+pub fn record(experiment: &str, label: &str, value: &impl serde::Serialize) {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("experiments");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // recording is best-effort; the printed table is canonical
+    }
+    let path = dir.join(format!("{experiment}.jsonl"));
+    let line = serde_json::json!({
+        "experiment": experiment,
+        "label": label,
+        "fast_mode": fast_mode(),
+        "result": value,
+    });
+    use std::io::Write;
+    let _guard = RECORD_LOCK.lock();
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Run a parameter sweep in parallel (one thread per point — experiment
+/// sweeps are coarse-grained, a handful of independent cluster runs) and
+/// return the results in input order. Each cluster is constructed inside
+/// its own thread, so nothing non-`Send` crosses a thread boundary.
+pub fn parallel_sweep<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> =
+            items.into_iter().map(|it| scope.spawn(move |_| f(it))).collect();
+        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+    })
+    .expect("sweep scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_formats_ranges() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(2.5), "2.500 s");
+        assert_eq!(eng(0.0025), "2.500 ms");
+        assert_eq!(eng(2.5e-6), "2.500 us");
+        assert_eq!(eng(2.5e-8), "25.0 ns");
+    }
+
+    #[test]
+    fn with_duration_sets_warmup_third() {
+        let cfg = with_duration(ClusterConfig::default_lan(2, 1), SimDuration::from_secs(30));
+        assert_eq!(cfg.duration, SimDuration::from_secs(30));
+        assert_eq!(cfg.warmup, SimDuration::from_secs(10));
+    }
+}

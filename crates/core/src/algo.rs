@@ -1,0 +1,414 @@
+//! The generic interval-based clock synchronization algorithm of \[SS97\]
+//! (Section 2 of the paper), as a DES-agnostic per-node state machine.
+//!
+//! Each round `k`:
+//!
+//! 1. at `C_p(t) = kP` node `p` broadcasts a CSP carrying its accuracy
+//!    interval (the transmit timestamp is inserted by the NTI hardware);
+//! 2. each received CSP is **preprocessed**: *delay compensation* maps the
+//!    sender's interval across the network (enlarging by the transmission
+//!    delay uncertainty), *drift compensation* ships it forward in time on
+//!    the local clock (enlarging by ρ·elapsed plus granularity/rate terms);
+//! 3. at `C_p(t) = kP + Δ` the convergence function (OA) is applied to the
+//!    compatible intervals and the result is **enforced**: the value by
+//!    continuous amortization, the accuracies by an atomic ACU load.
+//!
+//! The same machinery also runs the non-interval FTM baseline (CSU/FTA
+//! style): offsets instead of intervals, instantaneous state steps, no
+//! accuracy maintenance.
+
+use crate::convergence::{ftm, marzullo, oa};
+use crate::interval::{units_ceil, AccInterval};
+use crate::params::{AlgoKind, SyncParams};
+use crate::payload::CspPayload;
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::Accuracy;
+
+/// A CSP after stamp reconstruction, as handed to the algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct ReceivedCsp {
+    /// The software-visible payload.
+    pub payload: CspPayload,
+    /// Sender's clock at its stamping event (reconstructed from timestamp +
+    /// macrostamp, possibly quantized to the mode's granularity).
+    pub xmit_stamp: NtpTime,
+    /// Sender's accuracies at the stamping event.
+    pub xmit_alpha: (Accuracy, Accuracy),
+    /// Own clock at the local stamping event.
+    pub recv_local: NtpTime,
+}
+
+/// A preprocessed (delay-compensated) peer interval, pinned to the local
+/// clock value at the receive-stamp event.
+#[derive(Clone, Copy, Debug)]
+pub struct Preprocessed {
+    /// Sender node id.
+    pub from: u32,
+    /// The interval, expressed in local-clock coordinates at `recv_local`:
+    /// its `value` is the clock reading a perfectly synchronized local
+    /// clock would have shown at the receive event.
+    pub interval: AccInterval,
+    /// Own clock at the receive event (drift compensation origin).
+    pub recv_local: NtpTime,
+    /// Raw offset estimate (peer − self) in 2⁻⁵⁹ s units, for the FTM
+    /// baseline and rate statistics.
+    pub offset_units: i128,
+}
+
+/// The enforcement decision computed at CF time.
+#[derive(Clone, Copy, Debug)]
+pub struct Enforcement {
+    /// Clock-value correction in 2⁻⁵⁹ s units (positive = advance clock).
+    pub delta_units: i128,
+    /// Accuracies to load atomically (already covering the slew).
+    pub new_alpha: (Accuracy, Accuracy),
+    /// Number of inputs that fed the convergence function.
+    pub inputs: usize,
+}
+
+/// Per-node synchronization state.
+#[derive(Clone, Debug)]
+pub struct SyncCore {
+    /// Static parameters.
+    pub params: SyncParams,
+    /// Algorithm flavour.
+    pub algo: AlgoKind,
+    /// Current round number.
+    pub round: u32,
+    inbox: Vec<Preprocessed>,
+    ext: Vec<Preprocessed>,
+    /// Trust external intervals without validation (negative control for
+    /// E5; Section 5 calls always-trusting a GPS receiver "questionable").
+    pub blind_external: bool,
+    /// CSPs discarded because convergence failed (diagnostics).
+    pub cf_failures: u64,
+    /// CSPs accepted over the run.
+    pub csps_accepted: u64,
+}
+
+impl SyncCore {
+    /// Fresh state.
+    pub fn new(params: SyncParams, algo: AlgoKind) -> Self {
+        SyncCore {
+            params,
+            algo,
+            round: 0,
+            inbox: Vec::new(),
+            ext: Vec::new(),
+            blind_external: false,
+            cf_failures: 0,
+            csps_accepted: 0,
+        }
+    }
+
+    /// Mid-point and half-uncertainty of the delay window, in units.
+    fn delay_mid_unc(&self) -> (i128, u128) {
+        let min = units_ceil(self.params.delay_min);
+        let max = units_ceil(self.params.delay_max);
+        let mid = ((min + max) / 2) as i128;
+        let unc = (max - min).div_ceil(2);
+        (mid, unc)
+    }
+
+    /// Granularity + rate-uncertainty widening applied once per
+    /// compensation step, in units.
+    fn gu_units(&self) -> u128 {
+        units_ceil(self.params.granularity) * 2 + units_ceil(self.params.rate_adj_uncertainty)
+    }
+
+    /// Step 2 — delay compensation: map the received CSP into a local-frame
+    /// accuracy interval at the receive event.
+    pub fn preprocess(&self, csp: &ReceivedCsp) -> Preprocessed {
+        let (mid, unc) = self.delay_mid_unc();
+        // Sender's interval at its stamp, shipped across the network:
+        // value := X + δ_mid, widened by the delay uncertainty.
+        let shift = nti_simcore::ntp::FRAC_BITS - nti_simcore::ntp::NTP_FRAC_BITS;
+        let s_minus = (csp.xmit_alpha.0 .0 as u128) << shift;
+        let s_plus = (csp.xmit_alpha.1 .0 as u128) << shift;
+        let value = csp.xmit_stamp.wrapping_add_units(mid);
+        let interval = AccInterval::new(value, s_minus + unc + self.gu_units(), s_plus + unc + self.gu_units());
+        let offset_units = value.wrapping_diff_units(csp.recv_local);
+        Preprocessed { from: csp.payload.node, interval, recv_local: csp.recv_local, offset_units }
+    }
+
+    /// Accept a preprocessed CSP into the current round's inbox.
+    pub fn accept(&mut self, p: Preprocessed) {
+        self.inbox.push(p);
+        self.csps_accepted += 1;
+    }
+
+    /// Accept a validated external (GPS) interval, already expressed in
+    /// local-frame coordinates at its stamp event.
+    pub fn accept_external(&mut self, p: Preprocessed) {
+        self.ext.push(p);
+    }
+
+    /// Number of CSPs waiting in the current round's inbox.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Step 2 (continued) — drift compensation: ship an interval from its
+    /// receive event forward to the CF application point (local clock
+    /// `now`), enlarging by ρ·elapsed plus granularity/rate terms.
+    pub fn drift_compensate(&self, p: &Preprocessed, now: NtpTime) -> AccInterval {
+        let elapsed = now.wrapping_diff_units(p.recv_local).max(0) as u128;
+        let widen = Self::drift_widen(elapsed, self.params.rho_ppm) + self.gu_units();
+        p.interval.shift(elapsed as i128).widen(widen, widen)
+    }
+
+    /// ρ·elapsed widening in units, rounded up.
+    fn drift_widen(elapsed_units: u128, rho_ppm: f64) -> u128 {
+        // ceil(elapsed * rho). rho in ppm: elapsed * rho_ppm / 1e6.
+        let num = (elapsed_units as f64) * rho_ppm / 1e6;
+        num.ceil() as u128
+    }
+
+    /// Step 3 — apply the convergence function at CF time. `now` and
+    /// `own_alpha` are the node's clock and ACU state read atomically at
+    /// this instant. Returns the enforcement decision, or `None` when
+    /// convergence failed (inputs too disjoint for the fault assumption) —
+    /// the node then keeps deteriorating (its interval stays valid).
+    ///
+    /// The inbox is drained; the round counter advances.
+    pub fn converge(&mut self, now: NtpTime, own_alpha: (Accuracy, Accuracy)) -> Option<Enforcement> {
+        self.round += 1;
+        let inbox = std::mem::take(&mut self.inbox);
+        let ext = std::mem::take(&mut self.ext);
+        let own = AccInterval::from_alpha(now, own_alpha.0, own_alpha.1);
+        match self.algo {
+            AlgoKind::IntervalOa | AlgoKind::IntervalMarzullo => {
+                let mut inputs = vec![own];
+                inputs.extend(inbox.iter().map(|p| self.drift_compensate(p, now)));
+                inputs.extend(ext.iter().map(|p| self.drift_compensate(p, now)));
+                let cf = match self.algo {
+                    AlgoKind::IntervalOa => oa(&inputs, self.params.f),
+                    _ => marzullo(&inputs, self.params.f),
+                };
+                let mut new = match cf {
+                    Some(iv) => iv,
+                    None => {
+                        self.cf_failures += 1;
+                        return None;
+                    }
+                };
+                // Clock validation ([Sch94]): the internal CF result is the
+                // *validation interval*; a validated external (GPS)
+                // interval that still intersects it is adopted — the node's
+                // interval becomes the intersection, valued at the external
+                // estimate. This is what lets one trustworthy receiver
+                // anchor the whole cluster to UTC.
+                for p in &ext {
+                    let e = self.drift_compensate(p, now);
+                    if self.blind_external {
+                        // Negative control: adopt the external interval
+                        // wholesale, consistent or not.
+                        new = e;
+                    } else if let Some(ix) = new.intersect(&e) {
+                        let d = e
+                            .value
+                            .wrapping_diff_units(ix.value)
+                            .clamp(-(ix.minus as i128), ix.plus as i128);
+                        new = ix.rebase(ix.value.wrapping_add_units(d));
+                    }
+                }
+                let delta = new.value.wrapping_diff_units(now);
+                // The loaded accuracies must cover the pre-amortization
+                // state: widen by |delta| (shrunk back during the slew via
+                // negative deterioration, see the cluster's AmortEnd
+                // handling) plus the enforcement margin.
+                let margin = self.gu_units();
+                let cover = delta.unsigned_abs() + margin;
+                let widened = new.widen(cover, cover);
+                Some(Enforcement {
+                    delta_units: delta,
+                    new_alpha: widened.to_alpha(),
+                    inputs: inputs.len(),
+                })
+            }
+            AlgoKind::Ftm => {
+                if 2 * self.params.f > inbox.len() {
+                    self.cf_failures += 1;
+                    return None;
+                }
+                let mut offsets: Vec<i128> = vec![0]; // own clock
+                for p in &inbox {
+                    // Ship the offset estimate forward: offsets are
+                    // rate-stable over Δ, no compensation in the baseline.
+                    offsets.push(p.offset_units);
+                }
+                let delta = ftm(&offsets, self.params.f);
+                Some(Enforcement {
+                    delta_units: delta,
+                    new_alpha: (Accuracy::MAX, Accuracy::MAX), // baseline keeps no intervals
+                    inputs: offsets.len(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nti_simcore::time::SimDuration;
+    use crate::params::TimestampMode;
+
+    fn params() -> SyncParams {
+        SyncParams {
+            round_period: SimDuration::from_secs(1),
+            cf_delta: SimDuration::from_millis(100),
+            f: 0,
+            delay_min: SimDuration::from_micros(100),
+            delay_max: SimDuration::from_micros(110),
+            rho_ppm: 10.0,
+            rate_adj_uncertainty: SimDuration::from_nanos(100),
+            granularity: SimDuration::from_nanos(60),
+            amortization: SimDuration::from_millis(50),
+        }
+    }
+
+    fn csp(from: u32, xmit_secs: u32, xoff_us: i64, recv_local: NtpTime) -> ReceivedCsp {
+        let x = NtpTime::from_secs(xmit_secs)
+            .wrapping_add_units(units_ceil(SimDuration::from_micros(xoff_us.unsigned_abs())) as i128 * xoff_us.signum() as i128);
+        ReceivedCsp {
+            payload: CspPayload {
+                node: from,
+                round: 1,
+                alpha_minus: 10,
+                alpha_plus: 10,
+                macrostamp: 0,
+                hw_timestamp: 0,
+                hw_acc: 0,
+                sw_timestamp: 0,
+                hops: 0,
+            },
+            xmit_stamp: x,
+            xmit_alpha: (Accuracy(10), Accuracy(10)),
+            recv_local,
+        }
+    }
+
+    #[test]
+    fn preprocess_shifts_by_mid_delay_and_widens() {
+        let core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        let recv = NtpTime::from_secs(100);
+        let c = csp(1, 100, 0, recv);
+        let p = core.preprocess(&c);
+        // Value = xmit + 105 us.
+        let d = p.interval.value.wrapping_diff_units(c.xmit_stamp);
+        let mid = units_ceil(SimDuration::from_micros(105));
+        assert!((d - mid as i128).abs() <= 2, "mid-delay shift");
+        // Widening at least the 5 us half-uncertainty beyond sender alpha.
+        let sender_alpha = (10u128) << 35;
+        assert!(p.interval.minus >= sender_alpha + units_ceil(SimDuration::from_micros(5)));
+    }
+
+    #[test]
+    fn drift_compensation_grows_with_elapsed() {
+        let core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        let recv = NtpTime::from_secs(100);
+        let p = core.preprocess(&csp(1, 100, 0, recv));
+        let soon = core.drift_compensate(&p, recv.wrapping_add_units(units_ceil(SimDuration::from_millis(1)) as i128));
+        let late = core.drift_compensate(&p, recv.wrapping_add_units(units_ceil(SimDuration::from_millis(100)) as i128));
+        assert!(late.width() > soon.width());
+        // 100 ms at 10 ppm: ~1 us extra per side.
+        let extra = (late.width() - soon.width()) as f64 / (1u128 << 59) as f64;
+        assert!((extra - 2.0 * 0.99e-6 * 1.0).abs() < 0.5e-6, "extra={extra}");
+    }
+
+    #[test]
+    fn converge_oa_two_nodes_meets_in_middle() {
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        let now = NtpTime::from_secs(100);
+        // Peer claims to be 40 us ahead of us (after delay compensation),
+        // with an interval width comparable to ours so the FTM midpoint
+        // stays inside Marzullo's region.
+        let mut c = csp(1, 100, -65, now); // offset = -65+105 = +40us
+        c.xmit_alpha = (Accuracy(1000), Accuracy(1000));
+        let p = core.preprocess(&c);
+        core.accept(p);
+        let e = core.converge(now, (Accuracy(1000), Accuracy(1000))).expect("converges");
+        let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
+        assert!((10.0..30.0).contains(&delta_us), "should move ~half of 40us, got {delta_us}");
+        assert_eq!(e.inputs, 2);
+        assert_eq!(core.inbox_len(), 0, "inbox drained");
+        assert_eq!(core.round, 1);
+    }
+
+    #[test]
+    fn converge_oa_tight_peer_dominates() {
+        // When the peer's interval is much tighter than ours, Marzullo
+        // clamps the new value toward the peer — accuracy-weighted
+        // convergence, a property plain FTM lacks.
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        let now = NtpTime::from_secs(100);
+        let c = csp(1, 100, -65, now); // +40us ahead, alpha = 10 units (tight)
+        core.accept(core.preprocess(&c));
+        let e = core.converge(now, (Accuracy(1000), Accuracy(1000))).expect("converges");
+        let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
+        assert!(delta_us > 30.0, "tight peer must pull harder, got {delta_us}");
+    }
+
+    #[test]
+    fn converge_oa_alpha_covers_slew() {
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        let now = NtpTime::from_secs(100);
+        let c = csp(1, 100, -165, now); // peer ~100us behind => we'll step back
+        core.accept(core.preprocess(&c));
+        let e = core.converge(now, (Accuracy(2000), Accuracy(2000))).expect("converges");
+        assert!(e.delta_units < 0);
+        let cover = e.delta_units.unsigned_abs() as f64 / (1u128 << 59) as f64;
+        // Loaded alpha must be at least the slew magnitude.
+        assert!(e.new_alpha.0.as_secs_f64() >= cover * 0.99);
+    }
+
+    #[test]
+    fn converge_fails_gracefully_when_disjoint() {
+        let mut p = params();
+        p.f = 1;
+        let mut core = SyncCore::new(p, AlgoKind::IntervalOa);
+        let now = NtpTime::from_secs(100);
+        // Two peers wildly disagreeing with us and each other; f=1 with 3
+        // inputs needs a 2-quorum that does not exist.
+        let a = csp(1, 200, 0, now);
+        let b = csp(2, 300, 0, now);
+        core.accept(core.preprocess(&a));
+        core.accept(core.preprocess(&b));
+        let own_alpha = (Accuracy(1), Accuracy(1));
+        assert!(core.converge(now, own_alpha).is_none());
+        assert_eq!(core.cf_failures, 1);
+    }
+
+    #[test]
+    fn ftm_baseline_steps_toward_median() {
+        let mut core = SyncCore::new(params(), AlgoKind::Ftm);
+        let now = NtpTime::from_secs(100);
+        for (id, off) in [(1u32, -35i64), (2, -25), (3, -45)] {
+            // Peers whose offset estimates land around +70..+80us
+            core.accept(core.preprocess(&csp(id, 100, off - 105, now)));
+        }
+        let e = core.converge(now, (Accuracy::MAX, Accuracy::MAX)).expect("quorum");
+        let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
+        // Offsets: 0 (self), -35, -25, -45 us; f=0 midpoint = (-45+0)/2 = -22.5.
+        assert!((-30.0..-15.0).contains(&delta_us), "delta={delta_us}");
+        let _ = TimestampMode::Hardware; // param smoke-use
+    }
+
+    #[test]
+    fn external_interval_pulls_value() {
+        let mut p = params();
+        p.f = 0;
+        let mut core = SyncCore::new(p, AlgoKind::IntervalOa);
+        let now = NtpTime::from_secs(100);
+        // A validated external interval 30 us ahead with tiny alpha.
+        let ext_iv = AccInterval::from_halfwidth(
+            now.wrapping_add_units(units_ceil(SimDuration::from_micros(30)) as i128),
+            SimDuration::from_micros(1),
+        );
+        core.accept_external(Preprocessed { from: 99, interval: ext_iv, recv_local: now, offset_units: 0 });
+        let e = core.converge(now, (Accuracy(2000), Accuracy(2000))).expect("converges");
+        let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
+        assert!(delta_us > 10.0, "external source must pull the value, delta={delta_us}");
+    }
+}

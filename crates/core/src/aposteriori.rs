@@ -1,0 +1,199 @@
+//! The a-posteriori agreement baseline (CesiumSpray, \[VRC97\]).
+//!
+//! Paper §5: "A notable exception is the synchronization scheme of
+//! \[VRC97\], which 'sprays' external time obtained via GPS into
+//! broadcast-type LANs with a precision/accuracy in the 10 µs-range.
+//! However, their software-based a posteriori agreement technique rests on
+//! the (quite optimistic) assumption that at least one broadcast among
+//! f + 1 attempted ones is fault-free."
+//!
+//! The trick: one physical broadcast arrives at *all* receivers of a bus
+//! within the propagation spread — receivers stamp the same event, so the
+//! sender-side and medium-access uncertainties cancel *a posteriori*. What
+//! remains is the spread of the **reception stamping path** across
+//! receivers: per-tap propagation differences plus (software scheme)
+//! interrupt latency jitter. That residual is what this module measures;
+//! with interrupt-level stamping it lands in the 10 µs decade, an order of
+//! magnitude short of the NTI's trigger-level stamping.
+
+use nti_kernel::{Kernel, KernelConfig};
+use nti_netsim::{Comco, ComcoTiming, Medium, MediumConfig};
+use nti_simcore::rng::SimRng;
+use nti_simcore::time::{SimDuration, SimTime};
+use nti_simcore::Summary;
+
+/// Configuration of an a-posteriori spray experiment.
+#[derive(Clone, Debug)]
+pub struct SprayConfig {
+    /// Number of receivers on the bus.
+    pub receivers: usize,
+    /// Number of spray rounds.
+    pub rounds: usize,
+    /// Interval between sprays.
+    pub period: SimDuration,
+    /// Kernel latency model of the receivers (stamping runs at interrupt
+    /// level).
+    pub kernel: KernelConfig,
+    /// COMCO timing (reception interrupt latency).
+    pub comco: ComcoTiming,
+    /// The shared bus.
+    pub medium: MediumConfig,
+    /// Frame size of a spray message in bits.
+    pub frame_bits: u64,
+    /// Probability that a given broadcast is faulty (not received by some
+    /// receivers) — the scheme retries `f + 1` times and assumes one is
+    /// fault-free.
+    pub broadcast_fault_prob: f64,
+    /// Number of retries per round (f + 1 attempts).
+    pub attempts: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl SprayConfig {
+    /// A CesiumSpray-shaped setup: interrupt-level stamping with a
+    /// dedicated protocol processor, 10 Mb/s bus.
+    pub fn cesium_spray(receivers: usize) -> Self {
+        SprayConfig {
+            receivers,
+            rounds: 200,
+            period: SimDuration::from_millis(250),
+            kernel: KernelConfig::dedicated_i6040(),
+            comco: ComcoTiming::i82596(),
+            medium: MediumConfig::ethernet_10m(),
+            frame_bits: 592,
+            broadcast_fault_prob: 0.05,
+            attempts: 2,
+            seed: 0xA905,
+        }
+    }
+}
+
+/// Results of a spray experiment.
+#[derive(Debug)]
+pub struct SprayReport {
+    /// Per-round pairwise spread of the receivers' stamped reception times
+    /// (seconds) — the achievable precision of the scheme.
+    pub precision: Summary,
+    /// Worst observed per-round spread.
+    pub worst_precision_s: f64,
+    /// Rounds in which *all* attempts were faulty (the scheme's optimistic
+    /// assumption violated — no agreement possible that round).
+    pub failed_rounds: u64,
+    /// Total rounds.
+    pub rounds: u64,
+}
+
+/// Run the spray protocol and measure the a-posteriori precision.
+pub fn simulate_spray(cfg: &SprayConfig) -> SprayReport {
+    let root = SimRng::new(cfg.seed);
+    let mut medium = Medium::new(cfg.medium, root.split("medium"));
+    let mut fault_rng = root.split("faults");
+    // Per-receiver tap position: propagation in [0, prop_delay].
+    let mut tap_rng = root.split("taps");
+    let taps: Vec<SimDuration> = (0..cfg.receivers)
+        .map(|_| SimDuration::from_fs(tap_rng.below(cfg.medium.prop_delay.as_fs().max(1) as u64) as u128))
+        .collect();
+    let mut kernels: Vec<Kernel> =
+        (0..cfg.receivers).map(|i| Kernel::new(cfg.kernel, root.split_idx("kern", i as u64))).collect();
+    let mut comcos: Vec<Comco> = (0..cfg.receivers)
+        .map(|i| Comco::new(cfg.comco, cfg.medium.bitrate_bps, root.split_idx("comco", i as u64)))
+        .collect();
+
+    let mut precision = Summary::new();
+    let mut worst: f64 = 0.0;
+    let mut failed_rounds = 0u64;
+    for round in 0..cfg.rounds {
+        let t0 = SimTime::ZERO + cfg.period * round as u128;
+        // f + 1 attempts; use the first fault-free one.
+        let mut agreed: Option<Vec<SimTime>> = None;
+        for attempt in 0..cfg.attempts {
+            let faulty = fault_rng.chance(cfg.broadcast_fault_prob);
+            let ready = t0 + SimDuration::from_micros(50) * attempt as u128;
+            let grant = medium.grant(ready, cfg.frame_bits);
+            if faulty {
+                continue;
+            }
+            // All receivers see the same wire end, shifted by their tap.
+            let stamps: Vec<SimTime> = (0..cfg.receivers)
+                .map(|i| {
+                    let arrival = grant.wire_end + taps[i];
+                    let plan = comcos[i].plan_receive(arrival, 64);
+                    // Interrupt-level stamping: the clock is read at the
+                    // reception interrupt plus the (tight) ISR entry.
+                    plan.interrupt_at + kernels[i].isr_entry()
+                })
+                .collect();
+            agreed = Some(stamps);
+            break;
+        }
+        match agreed {
+            Some(stamps) => {
+                let min = stamps.iter().min().expect("receivers > 0");
+                let max = stamps.iter().max().expect("receivers > 0");
+                let spread = max.saturating_since(*min).as_secs_f64();
+                precision.add(spread);
+                worst = worst.max(spread);
+            }
+            None => failed_rounds += 1,
+        }
+    }
+    SprayReport { precision, worst_precision_s: worst, failed_rounds, rounds: cfg.rounds as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spray_precision_is_tens_of_us() {
+        let cfg = SprayConfig::cesium_spray(8);
+        let rep = simulate_spray(&cfg);
+        assert!(rep.precision.count() > 150);
+        // The 10 us-range claim of [VRC97]: worst spread within ~3..60 us.
+        assert!(
+            rep.worst_precision_s > 3e-6 && rep.worst_precision_s < 60e-6,
+            "spread {}",
+            rep.worst_precision_s
+        );
+    }
+
+    #[test]
+    fn spray_beats_plain_software_but_not_nti() {
+        let rep = simulate_spray(&SprayConfig::cesium_spray(8));
+        // Far better than ms (no medium access term), far worse than the
+        // NTI's sub-us trigger stamping.
+        assert!(rep.worst_precision_s < 1e-3);
+        assert!(rep.worst_precision_s > 1e-6);
+    }
+
+    #[test]
+    fn faulty_broadcasts_sometimes_defeat_all_attempts() {
+        let mut cfg = SprayConfig::cesium_spray(4);
+        cfg.broadcast_fault_prob = 0.5;
+        cfg.attempts = 2;
+        cfg.rounds = 400;
+        let rep = simulate_spray(&cfg);
+        // P(all faulty) = 0.25: the optimistic assumption visibly fails.
+        let rate = rep.failed_rounds as f64 / rep.rounds as f64;
+        assert!((rate - 0.25).abs() < 0.07, "failure rate {rate}");
+    }
+
+    #[test]
+    fn more_attempts_mask_faults() {
+        let mut cfg = SprayConfig::cesium_spray(4);
+        cfg.broadcast_fault_prob = 0.3;
+        cfg.attempts = 4;
+        cfg.rounds = 300;
+        let rep = simulate_spray(&cfg);
+        assert!(rep.failed_rounds < 10, "failed {}", rep.failed_rounds);
+    }
+
+    #[test]
+    fn single_receiver_has_zero_spread() {
+        let mut cfg = SprayConfig::cesium_spray(1);
+        cfg.rounds = 50;
+        let rep = simulate_spray(&cfg);
+        assert_eq!(rep.worst_precision_s, 0.0);
+    }
+}

@@ -1,0 +1,1606 @@
+//! Full-cluster assembly: wires nodes, mediums and the event engine into a
+//! runnable synchronization experiment.
+//!
+//! A [`Cluster`] owns a discrete-event [`Engine`] over a [`World`] holding
+//! all nodes, LAN segments and in-flight frames, and reproduces the whole
+//! CSP life cycle of Section 3.1:
+//!
+//! ```text
+//! duty timer kP ──► CSP assembly (step 1, software stamp here in SW mode)
+//!   ──► COMCO command (2) ──► medium access (3) ──► DMA header reads (4)
+//!       [read of 0x14 ⇒ TRANSMIT trigger; 0x18/0x20 mapped into packet]
+//!   ──► wire ──► per-receiver DMA header writes (5)
+//!       [write of 0x1C ⇒ RECEIVE trigger + header-base latch]
+//!   ──► packet interrupt (6) ──► ISR + task dispatch (7, SW stamp here)
+//!   ──► preprocessing; at kP+Δ the convergence function + enforcement
+//! ```
+//!
+//! The timestamping mode selects which pair of events provides the stamps,
+//! which is exactly the paper's software / interrupt-driven / NTI ablation.
+//! Everything else (GPS validation, rate synchronization, background load,
+//! HWSNAP-based precision snapshots) hangs off the same engine.
+
+use crate::algo::{ReceivedCsp, SyncCore};
+use crate::interval::AccInterval;
+use crate::node::{quant_units_for, Node, UTCSU_QUANT_UNITS};
+use crate::params::{
+    delay_bounds_hardware, delay_bounds_interrupt_rx, delay_bounds_software, AlgoKind, SyncParams,
+    TimestampMode,
+};
+use crate::payload::{CspPayload, CSP_PAYLOAD_LEN};
+use crate::rate::RateSync;
+use crate::validate::{gps_observation, validate, ValidationStats};
+use nti_gps::{GpsConfig, GpsFault, GpsReceiver};
+use nti_kernel::{ComcoDriver, Interface, Kernel, KernelConfig};
+use nti_module::{CpldConfig, Nti, UTCSU_BASE};
+use nti_netsim::{Comco, ComcoTiming, Frame, Medium, MediumConfig, Topology};
+use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
+use nti_simcore::time::{SimDuration, SimTime};
+use nti_simcore::{Accuracy, Engine, Oscillator, SimRng, Summary};
+use nti_utcsu::regs as uregs;
+use nti_utcsu::{IntSource, UtcsuConfig};
+use std::collections::HashMap;
+
+/// Oscillator population model.
+#[derive(Clone, Copy, Debug)]
+pub enum DriftSpec {
+    /// All oscillators perfect (unit tests, lower bounds).
+    Perfect,
+    /// Each node draws a constant drift uniformly from ±`rho_max_ppm`.
+    ConstantSpread {
+        /// Drift bound in ppm.
+        rho_max_ppm: f64,
+    },
+    /// Bounded random walk per node.
+    RandomWalk {
+        /// Drift bound in ppm.
+        rho_max_ppm: f64,
+        /// Walk step sigma in ppb.
+        sigma_ppb: f64,
+        /// Walk step interval.
+        interval: SimDuration,
+    },
+    /// Temperature-cycled TCXOs: sinusoidal drift with per-node random
+    /// phase (a rack warming and cooling).
+    Temperature {
+        /// Mean drift in ppm (population-wide spread applied per node).
+        mean_ppm: f64,
+        /// Sinusoidal amplitude in ppm.
+        amp_ppm: f64,
+        /// Temperature-cycle period.
+        period: SimDuration,
+    },
+}
+
+impl DriftSpec {
+    fn build(&self, rng: &mut SimRng, fosc: u64, osc_rng: SimRng) -> Oscillator {
+        // Small random start phase: the oscillators are unsynchronized.
+        let phase = SimTime::from_fs(rng.below(1_000_000_000) as u128); // < 1 us
+        let model = match *self {
+            DriftSpec::Perfect => nti_simcore::DriftModel::perfect(),
+            DriftSpec::ConstantSpread { rho_max_ppm } => nti_simcore::DriftModel::Constant {
+                rho_ppm: rng.uniform(-rho_max_ppm, rho_max_ppm),
+            },
+            DriftSpec::RandomWalk { rho_max_ppm, sigma_ppb, interval } => {
+                nti_simcore::DriftModel::RandomWalk {
+                    rho_max_ppm,
+                    step_sigma_ppb: sigma_ppb,
+                    step_interval: interval,
+                    initial_ppm: rng.uniform(-rho_max_ppm, rho_max_ppm),
+                }
+            }
+            DriftSpec::Temperature { mean_ppm, amp_ppm, period } => {
+                nti_simcore::DriftModel::Temperature {
+                    mean_ppm: rng.uniform(-mean_ppm, mean_ppm),
+                    amp_ppm,
+                    period,
+                    phase: rng.uniform(0.0, std::f64::consts::TAU),
+                    step_interval: SimDuration::from_fs(period.as_fs() / 64),
+                }
+            }
+        };
+        Oscillator::new(fosc, model, osc_rng, phase)
+    }
+
+    /// The worst-case drift bound of the population.
+    pub fn rho_bound_ppm(&self) -> f64 {
+        match *self {
+            DriftSpec::Perfect => 0.0,
+            DriftSpec::ConstantSpread { rho_max_ppm } => rho_max_ppm,
+            DriftSpec::RandomWalk { rho_max_ppm, .. } => rho_max_ppm,
+            DriftSpec::Temperature { mean_ppm, amp_ppm, .. } => mean_ppm.abs() + amp_ppm.abs(),
+        }
+    }
+}
+
+/// GPS attachment of one node.
+#[derive(Clone, Debug)]
+pub struct GpsNodeCfg {
+    /// The node carrying the receiver.
+    pub node: usize,
+    /// Receiver characteristics.
+    pub cfg: GpsConfig,
+    /// Injected fault episodes.
+    pub faults: Vec<GpsFault>,
+}
+
+/// Background (NI) traffic occupying the medium and the kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct BgLoad {
+    /// Mean frames per second per node (Poisson).
+    pub frames_per_sec: f64,
+    /// Frame payload size.
+    pub frame_bytes: usize,
+}
+
+/// Everything needed to run a cluster experiment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Segment membership.
+    pub topology: Topology,
+    /// Root seed; every stochastic element derives from it.
+    pub seed: u64,
+    /// Oscillator frequency (1…20 MHz).
+    pub fosc_hz: u64,
+    /// Oscillator population.
+    pub drift: DriftSpec,
+    /// Where stamps are taken.
+    pub mode: TimestampMode,
+    /// Which algorithm runs on them.
+    pub algo: AlgoKind,
+    /// Round period `P`.
+    pub round_period: SimDuration,
+    /// CF application offset Δ.
+    pub cf_delta: SimDuration,
+    /// Continuous-amortization duration (0 = instantaneous steps).
+    pub amortization: SimDuration,
+    /// Fault-tolerance degree `f`.
+    pub f: usize,
+    /// Per-node broadcast stagger within the round (collision avoidance).
+    pub stagger: SimDuration,
+    /// Shared-medium parameters.
+    pub medium: MediumConfig,
+    /// COMCO timing.
+    pub comco: ComcoTiming,
+    /// CPLD programming (trigger/mapping offsets, header geometry) — the
+    /// paper's portability knob: "a transition to a different hardware
+    /// only requires redevelopment of the network controller's part of the
+    /// COMCO driver and perhaps some reprogramming of the CPLD" (§4).
+    pub cpld: CpldConfig,
+    /// Kernel timing.
+    pub kernel: KernelConfig,
+    /// Stamp granularity (UTCSU: 60 ns; CSU baseline: 1 µs).
+    pub granularity: SimDuration,
+    /// Whether rate synchronization trims STEP each round.
+    pub rate_sync: bool,
+    /// Drift budget (ppm) for deterioration + compensation. Must bound the
+    /// population drift (asserted).
+    pub rho_budget_ppm: f64,
+    /// Initial clock scatter: offsets uniform in `[0, 2·init_offset]`.
+    pub init_offset: SimDuration,
+    /// GPS receivers.
+    pub gps: Vec<GpsNodeCfg>,
+    /// Background traffic, if any.
+    pub bg_load: Option<BgLoad>,
+    /// Byzantine nodes: broadcast wildly wrong intervals every round (the
+    /// convergence function must mask up to `f` of them).
+    pub byzantine: Vec<usize>,
+    /// Probability that a CSP frame is corrupted on the wire (CRC dropped
+    /// at the receiver *after* the RECEIVE trigger fired — footnote 4).
+    pub crc_error_rate: f64,
+    /// Disable clock validation and trust every GPS interval blindly — the
+    /// "questionable undertaking" of Section 5, as a negative control.
+    pub gps_blind_trust: bool,
+    /// Period of a global application event (a physical stimulus hitting
+    /// every node's APU 0 input simultaneously — the paper's "relating
+    /// sensor data gathered at different nodes" use case). `None` = off.
+    pub app_event_period: Option<SimDuration>,
+    /// Synchronized distributed actuation: every node arms duty timer 2
+    /// for this clock second; the spread of the real instants at which the
+    /// timers fire is the achievable actuation simultaneity (the paper's
+    /// duty timers "generate application-related events"). Repeats every
+    /// round period.
+    pub actuation_start_sec: Option<u32>,
+    /// Coordinated leap-second *insertion* at this UTC second: every node
+    /// arms its UTCSU leap hardware for the same boundary; the metric
+    /// reference axis follows the leap (UTC itself repeats a second).
+    /// Checks are suspended in a ±1.5 s window around the boundary, where
+    /// nodes cross it at slightly different real instants.
+    pub leap_insert_at_sec: Option<u32>,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Snapshot (HWSNAP) period.
+    pub snapshot_every: SimDuration,
+    /// Metrics warm-up exclusion window.
+    pub warmup: SimDuration,
+}
+
+impl ClusterConfig {
+    /// A sensible default experiment: `n` nodes, one LAN, NTI hardware
+    /// stamps, OA intervals, P = 1 s, Δ = 250 ms, 10 ppm TCXOs.
+    pub fn default_lan(n: usize, seed: u64) -> Self {
+        ClusterConfig {
+            topology: Topology::single_lan(n),
+            seed,
+            fosc_hz: 10_000_000,
+            drift: DriftSpec::ConstantSpread { rho_max_ppm: 10.0 },
+            mode: TimestampMode::Hardware,
+            algo: AlgoKind::IntervalOa,
+            round_period: SimDuration::from_secs(1),
+            cf_delta: SimDuration::from_millis(250),
+            amortization: SimDuration::from_millis(100),
+            f: if n >= 4 { 1 } else { 0 },
+            stagger: SimDuration::from_millis(2),
+            medium: MediumConfig::ethernet_10m(),
+            comco: ComcoTiming::i82596(),
+            cpld: CpldConfig::default(),
+            kernel: KernelConfig::psos_mvme162(),
+            granularity: SimDuration::from_nanos(60),
+            rate_sync: false,
+            rho_budget_ppm: 12.0,
+            init_offset: SimDuration::from_micros(500),
+            gps: Vec::new(),
+            bg_load: None,
+            byzantine: Vec::new(),
+            crc_error_rate: 0.0,
+            gps_blind_trust: false,
+            app_event_period: None,
+            actuation_start_sec: None,
+            leap_insert_at_sec: None,
+            duration: SimDuration::from_secs(30),
+            snapshot_every: SimDuration::from_millis(500),
+            warmup: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// A frame in flight on some segment.
+#[derive(Clone, Debug)]
+struct Flight {
+    src: usize,
+    lan: usize,
+    attachment: usize,
+    payload: CspPayload,
+    /// The payload bytes as serialized into the sender's NTI data buffer —
+    /// what actually rides the wire and lands in the receiver's memory.
+    payload_bytes: Vec<u8>,
+    wire_end: SimTime,
+    sw_stamp_real: SimTime,
+    hw_ts: Option<u32>,
+    hw_acc: Option<u32>,
+    xmit_trigger_real: Option<SimTime>,
+    corrupted: bool,
+    byzantine: bool,
+    receivers_pending: usize,
+}
+
+/// Run-wide measurement accumulators.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Per-snapshot maximum pairwise clock difference (s).
+    pub precision: Summary,
+    /// Per-snapshot per-node |C − t| (s).
+    pub true_error: Summary,
+    /// Per-snapshot per-node max(α⁻, α⁺) (s).
+    pub alpha: Summary,
+    /// Stamp-pair delays (s) — ε is this distribution's spread.
+    pub eps_delay: Summary,
+    /// Containment checks that failed (`t ∉ A(t)`).
+    pub containment_violations: u64,
+    /// Containment checks performed.
+    pub containment_checks: u64,
+    /// CSPs broadcast.
+    pub csps_sent: u64,
+    /// CSP receptions processed.
+    pub csps_delivered: u64,
+    /// CSP receptions dropped (CRC).
+    pub csps_dropped: u64,
+    /// Background frames generated.
+    pub bg_frames: u64,
+    /// Effective rate spread (max−min, ppm) at the last snapshot.
+    pub rate_spread_ppm_last: f64,
+    /// Cross-node spread of APU stamps of the same physical event (s).
+    pub app_event_spread: Summary,
+    /// Cross-node spread of synchronized duty-timer actuations (s).
+    pub actuation_spread: Summary,
+    /// Real fire instants of the current actuation, collected per node.
+    actuation_pending: Vec<SimTime>,
+    /// Sum of GPS validation stats over nodes (filled at teardown).
+    pub gps_accepted: u64,
+    /// Rejected external intervals.
+    pub gps_rejected: u64,
+}
+
+/// The simulated world (the engine's state type).
+pub struct World {
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// One medium per LAN segment.
+    pub mediums: Vec<Medium>,
+    /// Segment membership.
+    pub topology: Topology,
+    /// Frames in flight.
+    flights: HashMap<u64, Flight>,
+    /// Receive-trigger instants per (flight, receiver) for ε measurement.
+    rx_triggers: HashMap<(u64, usize), SimTime>,
+    next_flight: u64,
+    /// RNG stream for injected wire faults (CRC corruption).
+    fault_rng: SimRng,
+    /// Per-application-event collected APU stamps (event id -> stamps).
+    app_pending: HashMap<u64, Vec<NtpTime>>,
+    /// Measurements.
+    pub metrics: Metrics,
+    cfg: ClusterConfig,
+    params: SyncParams,
+}
+
+impl World {
+    /// The derived synchronization parameters of this run (delay bounds,
+    /// granularity, drift budget).
+    pub fn params(&self) -> SyncParams {
+        self.params
+    }
+
+    /// The configuration this run was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+}
+
+type Eng = Engine<World>;
+
+/// Final report of a run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Report {
+    /// Worst observed pairwise clock difference (s).
+    pub worst_precision_s: f64,
+    /// Mean of per-snapshot precision (s).
+    pub mean_precision_s: f64,
+    /// Worst observed |C − t| (s).
+    pub worst_accuracy_s: f64,
+    /// Mean claimed accuracy bound (s).
+    pub mean_alpha_s: f64,
+    /// Worst claimed accuracy bound (s).
+    pub worst_alpha_s: f64,
+    /// ε: spread (max − min) of the stamp-pair delay (s).
+    pub eps_spread_s: f64,
+    /// Standard deviation of the stamp-pair delay (s).
+    pub eps_std_s: f64,
+    /// Stamp-pair delay sample count.
+    pub eps_samples: usize,
+    /// Containment violations / checks.
+    pub containment: (u64, u64),
+    /// CSPs sent / delivered / dropped.
+    pub csps: (u64, u64, u64),
+    /// GPS intervals accepted / rejected by validation.
+    pub gps: (u64, u64),
+    /// Effective rate spread at the end (ppm).
+    pub rate_spread_ppm: f64,
+    /// Convergence-function failures summed over nodes.
+    pub cf_failures: u64,
+    /// Worst cross-node spread of APU stamps of one physical event (s),
+    /// and the number of events measured.
+    pub app_events: (f64, usize),
+    /// Worst cross-node spread of synchronized duty-timer actuations (s),
+    /// and the number of actuations measured.
+    pub actuations: (f64, usize),
+}
+
+/// A cluster experiment: engine + world.
+pub struct Cluster {
+    eng: Eng,
+    world: World,
+}
+
+/// CSP frame wire size in bits (fixed-size payload ⇒ constant).
+pub fn csp_frame_bits() -> u64 {
+    Frame::csp(Frame::mac(0), CspPayload::default_bytes()).wire_bits()
+}
+
+impl CspPayload {
+    /// A zeroed payload of the fixed wire size (for size computations).
+    pub fn default_bytes() -> bytes::Bytes {
+        bytes::Bytes::from(vec![0u8; CSP_PAYLOAD_LEN])
+    }
+}
+
+/// Derive the SyncParams (including the statically computed delay bounds)
+/// from a cluster configuration.
+pub fn derive_params(cfg: &ClusterConfig) -> SyncParams {
+    let bits = csp_frame_bits();
+    // The trigger offsets decide how many header accesses precede each
+    // trigger (the k_x/k_r terms of the delay bounds).
+    let reads_before = cfg.cpld.xmt_trigger_off / 4 + 1;
+    let writes_before = cfg.cpld.rcv_trigger_off / 4 + 1;
+    let header_words = cfg.cpld.header_len / 4;
+    let (dmin, dmax) = match cfg.mode {
+        TimestampMode::Hardware => {
+            delay_bounds_hardware(&cfg.comco, &cfg.medium, bits, reads_before, writes_before)
+        }
+        TimestampMode::InterruptRx => {
+            delay_bounds_interrupt_rx(&cfg.comco, &cfg.medium, bits, reads_before, header_words)
+        }
+        TimestampMode::Software => {
+            delay_bounds_software(&cfg.comco, &cfg.medium, &cfg.kernel, bits, 64)
+        }
+    };
+    SyncParams {
+        round_period: cfg.round_period,
+        cf_delta: cfg.cf_delta,
+        f: cfg.f,
+        delay_min: dmin,
+        delay_max: dmax,
+        rho_ppm: cfg.rho_budget_ppm,
+        rate_adj_uncertainty: SimDuration::from_fs(
+            1_000_000_000_000_000 / cfg.fosc_hz as u128,
+        ),
+        granularity: cfg.granularity,
+        amortization: cfg.amortization,
+    }
+}
+
+impl Cluster {
+    /// Build a cluster and schedule its initial events.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(
+            cfg.rho_budget_ppm >= cfg.drift.rho_bound_ppm(),
+            "drift budget must bound the oscillator population"
+        );
+        assert!(cfg.cf_delta < cfg.round_period, "Δ must fit inside the round");
+        let params = derive_params(&cfg);
+        let root = SimRng::new(cfg.seed);
+        let n = cfg.topology.node_count();
+        let quant = if cfg.granularity <= SimDuration::from_nanos(60) {
+            UTCSU_QUANT_UNITS
+        } else {
+            quant_units_for(cfg.granularity)
+        };
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut cfg_rng = root.split("cfg");
+        for id in 0..n {
+            let node_rng = root.split_idx("node", id as u64);
+            let osc = cfg.drift.build(&mut cfg_rng, cfg.fosc_hz, node_rng.split("osc"));
+            let mut nti = Nti::new(
+                UtcsuConfig { fosc_hz: cfg.fosc_hz, reliable_pin: true },
+                cfg.cpld,
+            );
+            // Initial clock: UTC + uniform [0, 2·init_offset); accuracy
+            // loaded to cover the scatter (containment from the start).
+            let off = SimDuration::from_fs(
+                cfg_rng.below((2 * cfg.init_offset.as_fs()).max(1) as u64) as u128,
+            );
+            let g_margin = SimDuration::from_nanos(120);
+            nti.utcsu_mut().stage_time_load(NtpTime::from_sim_time(SimTime::ZERO + off));
+            nti.utcsu_mut().stage_acc_load(
+                Accuracy::from_duration_ceil(cfg.init_offset * 2 + g_margin),
+                Accuracy::from_duration_ceil(g_margin),
+            );
+            nti.utcsu_mut().sync_run();
+            nti.write32(UTCSU_BASE + uregs::R_INT_MASK, u32::MAX);
+            let attachments = cfg.topology.attachments(id).len();
+            let comcos = (0..attachments)
+                .map(|a| {
+                    Comco::new(
+                        cfg.comco,
+                        cfg.medium.bitrate_bps,
+                        node_rng.split_idx("comco", a as u64),
+                    )
+                })
+                .collect();
+            let mut node = Node {
+                id,
+                osc,
+                nti,
+                comcos,
+                kernel: Kernel::new(cfg.kernel, node_rng.split("kernel")),
+                driver: ComcoDriver::new(),
+                scb: nti_module::ScbDriver::default(),
+                core: SyncCore::new(params, cfg.algo),
+                rate: RateSync::new(),
+                gps: Vec::new(),
+                vstats: ValidationStats::default(),
+                rx_slot: 0,
+                tx_slot: 0,
+                utcsu_event: None,
+                amort_dstep_saved: None,
+                cum_adj_units: 0,
+                quant_units: quant,
+            };
+            node.core.blind_external = cfg.gps_blind_trust;
+            node.scb.init(&mut node.nti);
+            node.program_dsteps(cfg.rho_budget_ppm);
+            nodes.push(node);
+        }
+        for (k, g) in cfg.gps.iter().enumerate() {
+            let mut rx = GpsReceiver::new(g.cfg, root.split_idx("gps", k as u64));
+            for f in &g.faults {
+                rx.inject(*f);
+            }
+            let gpu_idx = nodes[g.node].gps.len();
+            assert!(gpu_idx < nti_utcsu::NUM_GPU, "at most 3 receivers per node");
+            nodes[g.node].nti.utcsu_mut().gpu[gpu_idx].enabled = true;
+            nodes[g.node].gps.push(rx);
+        }
+
+        if let Some(sec) = cfg.actuation_start_sec {
+            for node in &mut nodes {
+                arm_timer(node, 2, NtpTime::from_secs(sec));
+            }
+        }
+        if let Some(sec) = cfg.leap_insert_at_sec {
+            for node in &mut nodes {
+                node.nti.write32(UTCSU_BASE + uregs::R_LEAP_SECS, sec);
+                node.nti
+                    .write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_RUN | uregs::CTRL_LEAP_INSERT);
+            }
+        }
+
+        let mediums = (0..cfg.topology.lan_count())
+            .map(|l| Medium::new(cfg.medium, root.split_idx("medium", l as u64)))
+            .collect();
+
+        let mut world = World {
+            nodes,
+            mediums,
+            topology: cfg.topology.clone(),
+            flights: HashMap::new(),
+            rx_triggers: HashMap::new(),
+            next_flight: 0,
+            fault_rng: root.split("faults"),
+            app_pending: HashMap::new(),
+            metrics: Metrics::default(),
+            cfg,
+            params,
+        };
+        let mut eng = Eng::new();
+        // Arm the first round's timers and start services.
+        for id in 0..n {
+            arm_round_timers(&mut world, id, 1);
+            schedule_utcsu_service(&mut world, &mut eng, id);
+        }
+        // Snapshots.
+        let every = world.cfg.snapshot_every;
+        eng.schedule_at(SimTime::ZERO + every, snapshot);
+        // GPS generators: one per (node, receiver).
+        for id in 0..n {
+            for g in 0..world.nodes[id].gps.len() {
+                eng.schedule_at(SimTime::from_millis(500), move |w, e| gps_second(w, e, id, g, 1));
+            }
+        }
+        // Application events: one physical stimulus hits every node's APU 0.
+        if let Some(period) = world.cfg.app_event_period {
+            for id in 0..n {
+                world.nodes[id].nti.utcsu_mut().apu[0].enabled = true;
+            }
+            eng.schedule_at(SimTime::ZERO + period, move |w, e| app_event(w, e, 0));
+        }
+        // Background load.
+        if world.cfg.bg_load.is_some() {
+            for id in 0..n {
+                eng.schedule_at(SimTime::from_millis(1 + id as u64), move |w, e| {
+                    bg_load(w, e, id)
+                });
+            }
+        }
+        Cluster { eng, world }
+    }
+
+    /// Run to the configured duration and produce the report plus the full
+    /// measurement accumulators (raw distributions for histograms).
+    pub fn run_with_metrics(self) -> (Report, Metrics) {
+        let mut me = self;
+        let until = SimTime::ZERO + me.world.cfg.duration;
+        me.eng.run_until(&mut me.world, until);
+        let report = finalize(&mut me.world);
+        (report, me.world.metrics)
+    }
+
+    /// Run to the configured duration and produce the report.
+    pub fn run(mut self) -> Report {
+        let until = SimTime::ZERO + self.world.cfg.duration;
+        self.eng.run_until(&mut self.world, until);
+        finalize(&mut self.world)
+    }
+
+    /// Access the world (post-construction inspection in tests).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event handlers. All take (world, engine) plus Copy context.
+// ---------------------------------------------------------------------
+
+/// Sum the per-node counters into the metrics and build the report.
+fn finalize(w: &mut World) -> Report {
+    for n in &w.nodes {
+        w.metrics.gps_accepted += n.vstats.accepted;
+        w.metrics.gps_rejected += n.vstats.rejected;
+    }
+    let cf_failures = w.nodes.iter().map(|n| n.core.cf_failures).sum();
+    let m = &mut w.metrics;
+    Report {
+        worst_precision_s: m.precision.max(),
+        mean_precision_s: m.precision.mean(),
+        worst_accuracy_s: m.true_error.max(),
+        mean_alpha_s: m.alpha.mean(),
+        worst_alpha_s: m.alpha.max(),
+        eps_spread_s: if m.eps_delay.count() > 1 { m.eps_delay.max() - m.eps_delay.min() } else { 0.0 },
+        eps_std_s: m.eps_delay.std_dev(),
+        eps_samples: m.eps_delay.count(),
+        containment: (m.containment_violations, m.containment_checks),
+        csps: (m.csps_sent, m.csps_delivered, m.csps_dropped),
+        gps: (m.gps_accepted, m.gps_rejected),
+        rate_spread_ppm: m.rate_spread_ppm_last,
+        cf_failures,
+        app_events: (m.app_event_spread.max(), m.app_event_spread.count()),
+        actuations: (m.actuation_spread.max(), m.actuation_spread.count()),
+    }
+}
+
+/// Units of 2⁻⁵⁹ s for a duration (ceil).
+fn units(d: SimDuration) -> u128 {
+    crate::interval::units_ceil(d)
+}
+
+/// Receive-side data buffer for a given header slot (the upper half of the
+/// Data Buffers section; the lower half serves transmission).
+fn rx_data_buf(slot: u32) -> u32 {
+    nti_module::DATA_BUF_BASE + 0x2000 + (slot % 32) * 256
+}
+
+fn round_target(world: &World, id: usize, k: u32) -> NtpTime {
+    let p = units(world.cfg.round_period);
+    let stagger = units(world.cfg.stagger) * id as u128;
+    NtpTime::from_raw(k as u128 * p + stagger)
+}
+
+fn arm_timer(node: &mut Node, idx: usize, target: NtpTime) {
+    let secs = target.secs();
+    let frac24 = ((target.raw() >> (FRAC_BITS - NTP_FRAC_BITS)) & 0x00FF_FFFF) as u32;
+    node.nti.utcsu_mut().arm_timer_regs(idx, secs, frac24);
+}
+
+fn arm_round_timers(world: &mut World, id: usize, k: u32) {
+    let t0 = round_target(world, id, k);
+    let t1 = t0.wrapping_add_units(units(world.cfg.cf_delta) as i128);
+    let node = &mut world.nodes[id];
+    arm_timer(node, 0, t0);
+    arm_timer(node, 1, t1);
+}
+
+/// (Re)schedule the DES event that services the node's next UTCSU event.
+fn schedule_utcsu_service(world: &mut World, eng: &mut Eng, id: usize) {
+    if let Some(ev) = world.nodes[id].utcsu_event.take() {
+        eng.cancel(ev);
+    }
+    let node = &mut world.nodes[id];
+    if let Some(tick) = node.nti.utcsu().next_event_tick() {
+        let t = node.osc.time_of_tick(tick);
+        let at = t.max(eng.now());
+        world.nodes[id].utcsu_event =
+            Some(eng.schedule_at(at, move |w, e| utcsu_service(w, e, id)));
+    }
+}
+
+/// The node's interrupt dispatcher: fires when the UTCSU reaches its next
+/// internal event (duty timer, amortization end, leap).
+fn utcsu_service(world: &mut World, eng: &mut Eng, id: usize) {
+    world.nodes[id].utcsu_event = None;
+    let now = eng.now();
+    world.nodes[id].advance(now);
+    let pending = world.nodes[id].nti.utcsu().itu.pending();
+    // Acknowledge everything we will handle below.
+    world.nodes[id]
+        .nti
+        .write32(UTCSU_BASE + uregs::R_INT_ACK, pending);
+    if pending & IntSource::Timer(0).mask() != 0 {
+        round_start(world, eng, id);
+    }
+    if pending & IntSource::Timer(1).mask() != 0 {
+        cf_time(world, eng, id);
+    }
+    if pending & IntSource::Timer(2).mask() != 0 {
+        actuation_fired(world, eng, id);
+    }
+    if pending & IntSource::AmortEnd.mask() != 0 {
+        if let Some((dm, dp)) = world.nodes[id].amort_dstep_saved.take() {
+            let u = world.nodes[id].nti.utcsu_mut();
+            u.acu.set_dstep_minus(dm);
+            u.acu.set_dstep_plus(dp);
+        }
+    }
+    schedule_utcsu_service(world, eng, id);
+}
+
+/// Step 1: the round duty timer fired — assemble and send the CSP.
+fn round_start(world: &mut World, eng: &mut Eng, id: usize) {
+    let now = eng.now();
+    // Re-arm for the next round.
+    let k = world.nodes[id].core.round + 2; // timers armed one round ahead
+    let t0 = round_target(world, id, k);
+    arm_timer(&mut world.nodes[id], 0, t0);
+
+    // Software transmit stamp is taken during assembly (step 1).
+    let sw_stamp = world.nodes[id].read_clock_regs(now);
+    let assembly = world.nodes[id].kernel.csp_assembly();
+    eng.schedule_at(now + assembly, move |w, e| csp_send(w, e, id, sw_stamp, now));
+}
+
+/// Step 2-4: hand the CSP to the COMCO(s) and plan the transmissions.
+fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_real: SimTime) {
+    let now = eng.now();
+    world.nodes[id].advance(now);
+    let (alpha_m, alpha_p) = world.nodes[id].read_alpha_regs(now);
+    let ms = world.nodes[id].clock(now).macrostamp().0;
+    let round = world.nodes[id].core.round + 1;
+    let byzantine = world.cfg.byzantine.contains(&id);
+    let payload = CspPayload {
+        node: id as u32,
+        round,
+        // A Byzantine node lies about its accuracy (claims near-perfect
+        // knowledge while its value is corrupted in exec_tx_read).
+        alpha_minus: if byzantine { 1 } else { alpha_m.0 },
+        alpha_plus: if byzantine { 1 } else { alpha_p.0 },
+        macrostamp: ms,
+        hw_timestamp: 0,
+        hw_acc: 0,
+        sw_timestamp: sw_stamp.timestamp().0,
+        hops: 0,
+    };
+    // Write the payload into the sender's NTI data buffer (CPU view), then
+    // read it back through the COMCO view: the bytes that ride the wire
+    // are whatever the DMA engine fetches from the shared memory, exactly
+    // as in Figure 2's data path.
+    let payload_bytes: Vec<u8> = {
+        let node = &mut world.nodes[id];
+        let buf = nti_module::DATA_BUF_BASE + (node.tx_slot % 8) * 256;
+        let bytes = payload.encode();
+        for (i, chunk) in bytes.chunks(4).enumerate() {
+            let mut w = [0u8; 4];
+            w[..chunk.len()].copy_from_slice(chunk);
+            node.nti
+                .write32(nti_module::CPU_BASE + buf + i as u32 * 4, u32::from_le_bytes(w));
+        }
+        node.driver.record_tx(Interface::Ci);
+        (0..bytes.len().div_ceil(4))
+            .flat_map(|i| node.nti.read32(buf + i as u32 * 4).to_le_bytes())
+            .take(bytes.len())
+            .collect()
+    };
+    // Control path: the CPU queues a TRANSMIT command block in the System
+    // Structures section and strobes channel attention; the COMCO walks the
+    // CBL (through its own view) and picks up the order. The real-time cost
+    // of this rendezvous is the cmd_latency the tx_ready() draw charges.
+    {
+        let node = &mut world.nodes[id];
+        let slot_hint = node.tx_slot % node.nti.tx_header_count();
+        let cb = node.scb.queue_transmit(&mut node.nti, slot_hint, CSP_PAYLOAD_LEN as u32);
+        let orders = nti_module::comco_service(&mut node.nti);
+        debug_assert!(
+            orders.iter().any(|o| o.cb_addr == cb && o.header_slot == slot_hint),
+            "COMCO must pick up the queued transmit order"
+        );
+        let _ = node.scb.ack_interrupt(&mut node.nti);
+    }
+    let attachments: Vec<usize> = world.topology.attachments(id).to_vec();
+    let bits = csp_frame_bits();
+    for (a, &lan) in attachments.iter().enumerate() {
+        let ready = world.nodes[id].comcos[a].tx_ready(now);
+        let grant = world.mediums[lan].grant(ready, bits);
+        let header_len = world.cfg.cpld.header_len;
+        let plan = world.nodes[id].comcos[a].plan_transmit(grant.wire_start, header_len);
+        let receivers =
+            world.topology.members(lan).iter().filter(|&&m| m != id).count();
+        let fid = world.next_flight;
+        world.next_flight += 1;
+        let corrupted = world.cfg.crc_error_rate > 0.0
+            && world.fault_rng.chance(world.cfg.crc_error_rate);
+        world.flights.insert(
+            fid,
+            Flight {
+                src: id,
+                lan,
+                attachment: a,
+                payload,
+                payload_bytes: payload_bytes.clone(),
+                wire_end: grant.wire_end,
+                sw_stamp_real: sw_real,
+                hw_ts: None,
+                hw_acc: None,
+                xmit_trigger_real: None,
+                corrupted,
+                byzantine,
+                receivers_pending: receivers.max(1),
+            },
+        );
+        world.metrics.csps_sent += 1;
+        let slot = world.nodes[id].tx_slot % world.nodes[id].nti.tx_header_count();
+        world.nodes[id].tx_slot = world.nodes[id].tx_slot.wrapping_add(1);
+        for acc in &plan.header_reads {
+            let (at, off) = (acc.at, acc.offset);
+            let at = at.max(now);
+            eng.schedule_at(at, move |w, e| exec_tx_read(w, e, id, fid, slot, off));
+        }
+        let we = grant.wire_end;
+        eng.schedule_at(we, move |w, e| wire_done(w, e, fid));
+        let _ = a;
+    }
+}
+
+/// One COMCO header read during transmission (step 4). The read of the
+/// trigger offset fires TRANSMIT; the mapped offsets return the stamp,
+/// which we capture into the in-flight frame (that is the "transparent
+/// insertion into the outgoing packet").
+fn exec_tx_read(world: &mut World, eng: &mut Eng, id: usize, fid: u64, slot: u32, off: u32) {
+    let now = eng.now();
+    world.nodes[id].advance(now);
+    let Some(flight) = world.flights.get_mut(&fid) else { return };
+    let cpld = world.nodes[id].nti.cpld();
+    let a = flight.attachment;
+    let value = if a == 0 {
+        // Full-fidelity path through the NTI memory map.
+        let addr = world.nodes[id].nti.tx_header_addr(slot) + off;
+        world.nodes[id].nti.read32(addr)
+    } else {
+        // Additional attachments (gateways): the decode for SSU `a` is the
+        // same CPLD rule on a different header bank; shortcut to the
+        // triggers directly.
+        if off == cpld.xmt_trigger_off {
+            world.nodes[id].nti.utcsu_mut().trigger_ssu_transmit(a);
+        }
+        let latch = world.nodes[id].nti.utcsu().ssu[a].transmit.peek();
+        if off == cpld.xmt_map_ts_off {
+            latch.map_or(0, |s| s.ts.0)
+        } else if off == cpld.xmt_map_acc_off {
+            latch.map_or(0, |s| s.acc_packed())
+        } else {
+            0
+        }
+    };
+    if off == cpld.xmt_trigger_off {
+        flight.xmit_trigger_real = Some(now);
+    } else if off == cpld.xmt_map_ts_off {
+        // A Byzantine node cannot forge the hardware insertion itself, but
+        // it can have programmed its UTCSU clock arbitrarily; model the
+        // effect as a deterministic per-flight corruption of the stamp
+        // (0.125 s .. 0.875 s of lie).
+        let v = if flight.byzantine {
+            value.wrapping_add((((fid % 7) as u32) + 1) << 21)
+        } else {
+            value
+        };
+        flight.hw_ts = Some(v);
+        flight.payload.hw_timestamp = v;
+    } else if off == cpld.xmt_map_acc_off {
+        flight.hw_acc = Some(value);
+        flight.payload.hw_acc = value;
+    }
+}
+
+/// Last bit left the wire: fan out receptions on the segment.
+fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
+    let Some(flight) = world.flights.get(&fid) else { return };
+    let (src, lan, wire_end) = (flight.src, flight.lan, flight.wire_end);
+    let prop = world.mediums[lan].propagation();
+    let members: Vec<usize> =
+        world.topology.members(lan).iter().copied().filter(|&m| m != src).collect();
+    if members.is_empty() {
+        world.flights.remove(&fid);
+        return;
+    }
+    for q in members {
+        let arrival = wire_end + prop;
+        let a_q = world.topology.attachment_index(q, lan).expect("member attachment");
+        let plan = world.nodes[q].comcos[a_q].plan_receive(arrival, world.cfg.cpld.header_len);
+        let slot = world.nodes[q].rx_slot % world.nodes[q].nti.rx_header_count();
+        world.nodes[q].rx_slot = world.nodes[q].rx_slot.wrapping_add(1);
+        for acc in &plan.header_writes {
+            let (at, off) = (acc.at, acc.offset);
+            eng.schedule_at(at, move |w, e| exec_rx_write(w, e, q, fid, a_q, slot, off));
+        }
+        // The COMCO also stores the frame data into the receiver's data
+        // buffer (a plain region: no triggers) before the interrupt.
+        let first_write = plan.header_writes.first().map(|a| a.at).unwrap_or(arrival);
+        eng.schedule_at(first_write, move |w, _| {
+            let Some(flight) = w.flights.get(&fid) else { return };
+            let bytes = flight.payload_bytes.clone();
+            let buf = rx_data_buf(slot);
+            for (i, chunk) in bytes.chunks(4).enumerate() {
+                let mut word = [0u8; 4];
+                word[..chunk.len()].copy_from_slice(chunk);
+                w.nodes[q].nti.write32(buf + i as u32 * 4, u32::from_le_bytes(word));
+            }
+        });
+        let int_at = plan.interrupt_at;
+        eng.schedule_at(int_at, move |w, e| rx_complete(w, e, q, fid, a_q, slot));
+    }
+}
+
+/// One COMCO header write during reception (step 5). The write of the
+/// receive-trigger offset fires RECEIVE and latches the header base.
+fn exec_rx_write(
+    world: &mut World,
+    eng: &mut Eng,
+    q: usize,
+    fid: u64,
+    a: usize,
+    slot: u32,
+    off: u32,
+) {
+    let now = eng.now();
+    world.nodes[q].advance(now);
+    let cpld = world.nodes[q].nti.cpld();
+    if a == 0 {
+        let addr = world.nodes[q].nti.rx_header_addr(slot) + off;
+        world.nodes[q].nti.write32(addr, 0);
+    } else if off == cpld.rcv_trigger_off {
+        world.nodes[q].nti.utcsu_mut().trigger_ssu_receive(a);
+    }
+    if off == cpld.rcv_trigger_off {
+        world.rx_triggers.insert((fid, q), now);
+        // The ISR-level driver sees the frame as CI traffic (Figure 9).
+        world.nodes[q].driver.deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
+    }
+}
+
+/// Step 6→7: the packet interrupt; ISR + dispatch; stamps resolved per the
+/// timestamping mode; the CSP enters the algorithm.
+fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, slot: u32) {
+    let now = eng.now();
+    world.nodes[q].advance(now);
+    // The protocol software reads the CSP payload out of the receiver's
+    // own NTI memory (CPU view) — the bytes the COMCO deposited.
+    let stored: Vec<u8> = {
+        let buf = rx_data_buf(slot);
+        let n = CSP_PAYLOAD_LEN.div_ceil(4);
+        (0..n)
+            .flat_map(|i| {
+                world.nodes[q]
+                    .nti
+                    .read32(nti_module::CPU_BASE + buf + i as u32 * 4)
+                    .to_le_bytes()
+            })
+            .take(CSP_PAYLOAD_LEN)
+            .collect()
+    };
+    // Pull the receive-trigger instant recorded by exec_rx_write, and let
+    // the driver consume the CI queue entry (KI/NI traffic is untouched).
+    let trigger_real = world.rx_triggers.remove(&(fid, q));
+    let _ = world.nodes[q].driver.pop(Interface::Ci);
+    let Some(flight) = world.flights.get_mut(&fid) else { return };
+    flight.receivers_pending -= 1;
+    let done = flight.receivers_pending == 0;
+    let mut flight = flight.clone();
+    if done {
+        world.flights.remove(&fid);
+    }
+    // Decode what actually landed in memory; the hardware-inserted fields
+    // (transmit stamp + accuracies) came in the *header*, so they are
+    // merged from the mapped values the COMCO fetched.
+    match CspPayload::decode(&stored) {
+        Some(mut p) => {
+            p.hw_timestamp = flight.payload.hw_timestamp;
+            p.hw_acc = flight.payload.hw_acc;
+            debug_assert_eq!(p, flight.payload, "memory path corrupted the payload");
+            flight.payload = p;
+        }
+        None => {
+            // Payload missing from memory: treat as a drop.
+            world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
+            world.metrics.csps_dropped += 1;
+            return;
+        }
+    }
+    if flight.corrupted {
+        // Footnote 4: the trigger fired but the frame is discarded; the
+        // ISR clears the latch so the stamp is not misattributed.
+        world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
+        world.metrics.csps_dropped += 1;
+        return;
+    }
+    let mode = world.cfg.mode;
+    let isr = world.nodes[q].kernel.isr_entry() + world.nodes[q].kernel.isr_body();
+    let dispatch = world.nodes[q].kernel.task_dispatch();
+    match mode {
+        TimestampMode::Hardware => {
+            // The ISR (after its entry latency) reads the latched stamp; the
+            // value was sampled at the trigger regardless of ISR timing.
+            let recv_local = match world.nodes[q].take_rx_stamp(a) {
+                Some(t) => t,
+                None => return, // latch lost to overrun: drop
+            };
+            if let (Some(tr), Some(tx)) = (trigger_real, flight.xmit_trigger_real) {
+                record_eps(world, eng.now(), tr, tx);
+            }
+            let at = now + isr + dispatch;
+            eng.schedule_at(at, move |w, e| process_csp(w, e, q, flight.payload, flight_hw_stamp(&flight), recv_local));
+        }
+        TimestampMode::InterruptRx => {
+            // CSU-style: the stamp is taken when the reception interrupt
+            // asserts (now), before any ISR latency.
+            world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
+            let recv_local = world.nodes[q].read_clock_regs(now);
+            if let Some(tx) = flight.xmit_trigger_real {
+                record_eps(world, eng.now(), now, tx);
+            }
+            let at = now + isr + dispatch;
+            eng.schedule_at(at, move |w, e| process_csp(w, e, q, flight.payload, flight_hw_stamp(&flight), recv_local));
+        }
+        TimestampMode::Software => {
+            // Step 7: the stamp is taken when the protocol task processes
+            // the packet.
+            world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
+            let at = now + isr + dispatch;
+            eng.schedule_at(at, move |w, e| {
+                let t = e.now();
+                w.nodes[q].advance(t);
+                let recv_local = w.nodes[q].read_clock_regs(t);
+                record_eps(w, t, t, flight.sw_stamp_real);
+                let xmit = sw_xmit_stamp(&flight, recv_local);
+                process_csp(w, e, q, flight.payload, xmit, recv_local);
+            });
+        }
+    }
+}
+
+/// The sender stamp as `(value, α)` for the hardware-stamped modes,
+/// reconstructed from the mapped timestamp + the assembly macrostamp.
+fn flight_hw_stamp(flight: &Flight) -> (NtpTime, Accuracy, Accuracy) {
+    let ts = nti_simcore::Timestamp(flight.payload.hw_timestamp);
+    let ms = nti_simcore::Macrostamp(flight.payload.macrostamp);
+    // The macrostamp was pre-computed at assembly; if the 256 s epoch
+    // rolled between assembly and the trigger the checksum fails and we
+    // fall back to epoch-free reconstruction via the timestamp alone
+    // anchored at the macrostamp's epoch (sender re-sends next round).
+    let t = NtpTime::from_stamp_pair(ts, ms).unwrap_or_else(|| {
+        let secs = ((ms.high_secs() as u128) << 8) | ts.secs8() as u128;
+        NtpTime::from_raw(
+            (secs << FRAC_BITS) | ((ts.frac24() as u128) << (FRAC_BITS - NTP_FRAC_BITS)),
+        )
+    });
+    let acc = flight.payload.hw_acc;
+    (t, Accuracy((acc & 0xFFFF) as u16), Accuracy((acc >> 16) as u16))
+}
+
+/// The sender stamp for software mode: the 8.24 software timestamp
+/// re-anchored near the receiver's clock (valid because offsets are far
+/// below the 256 s wrap).
+fn sw_xmit_stamp(flight: &Flight, recv_local: NtpTime) -> (NtpTime, Accuracy, Accuracy) {
+    let ts = nti_simcore::Timestamp(flight.payload.sw_timestamp);
+    let d = ts.wrapping_diff(recv_local.timestamp()) as i128;
+    let t = recv_local.wrapping_add_units(d << (FRAC_BITS - NTP_FRAC_BITS));
+    (t, Accuracy(flight.payload.alpha_minus), Accuracy(flight.payload.alpha_plus))
+}
+
+fn record_eps(world: &mut World, now: SimTime, recv_real: SimTime, xmit_real: SimTime) {
+    if now.as_fs() >= world.cfg.warmup.as_fs() {
+        let d = recv_real.saturating_since(xmit_real).as_secs_f64();
+        world.metrics.eps_delay.add(d);
+    }
+}
+
+/// Step 2: preprocessing (delay compensation) and inbox insertion; also
+/// feeds the rate estimator.
+fn process_csp(
+    world: &mut World,
+    _eng: &mut Eng,
+    q: usize,
+    payload: CspPayload,
+    xmit: (NtpTime, Accuracy, Accuracy),
+    recv_local: NtpTime,
+) {
+    let node = &mut world.nodes[q];
+    let csp = ReceivedCsp {
+        payload,
+        xmit_stamp: node.quantize(xmit.0),
+        xmit_alpha: (xmit.1, xmit.2),
+        recv_local,
+    };
+    let p = node.core.preprocess(&csp);
+    // Rate estimation uses the slew-compensated local clock: subtracting
+    // the cumulative state adjustment keeps enforcement slews out of the
+    // rate estimates (they would otherwise register as rate error).
+    let rate_local = recv_local.wrapping_add_units(-node.cum_adj_units);
+    node.rate.observe(payload.node, csp.xmit_stamp, rate_local);
+    node.core.accept(p);
+    world.metrics.csps_delivered += 1;
+}
+
+/// Step 3: the CF duty timer fired — rate correction, convergence and
+/// enforcement.
+fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
+    let now = eng.now();
+    // Re-arm CF timer for the next round.
+    let k = world.nodes[id].core.round + 2;
+    let t1 = round_target(world, id, k)
+        .wrapping_add_units(units(world.cfg.cf_delta) as i128);
+    arm_timer(&mut world.nodes[id], 1, t1);
+
+    // Rate synchronization first (the state algorithm assumes the trimmed
+    // rate for the coming round). Corrections start after a warm-up (the
+    // first rounds' estimates span the initial large state corrections) and
+    // are clamped per round so one noisy estimate cannot fling the rate.
+    if world.cfg.rate_sync {
+        let f = world.cfg.f;
+        let corr = world.nodes[id].rate.round_correction(f);
+        if world.nodes[id].core.round >= 3 {
+            if let Some(corr) = corr {
+                // Per-round clamp proportional to the drift budget: poor
+                // oscillators need faster trimming; the budget still bounds
+                // the reachable rates.
+                let clamp = (world.cfg.rho_budget_ppm * 1e-6 / 4.0).max(3e-6);
+                let corr = corr.clamp(-clamp, clamp);
+                let node = &mut world.nodes[id];
+                let step = node.nti.utcsu().ltu.step_units();
+                let new = RateSync::corrected_step(step, corr);
+                node.nti.utcsu_mut().ltu.set_step_units(new);
+            }
+        }
+    }
+
+    let clock = world.nodes[id].read_clock_regs(now);
+    let alpha = world.nodes[id].read_alpha_regs(now);
+    let Some(enf) = world.nodes[id].core.converge(clock, alpha) else {
+        return;
+    };
+    let amort_ticks = world.nodes[id].ticks_for(world.cfg.amortization);
+    let node = &mut world.nodes[id];
+    match world.cfg.algo {
+        AlgoKind::IntervalOa | AlgoKind::IntervalMarzullo if amort_ticks > 0 => {
+            // Load the slew-covering accuracies atomically.
+            node.nti.utcsu_mut().stage_acc_load(enf.new_alpha.0, enf.new_alpha.1);
+            node.nti
+                .write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_RUN | uregs::CTRL_APPLY_ALOAD);
+            // Continuous amortization: ASTEP = STEP + δ/ticks.
+            if enf.delta_units != 0 {
+                let step = node.nti.utcsu().ltu.step_units() as i128;
+                let per_tick59 = enf.delta_units / amort_ticks as i128;
+                let astep = (step + (per_tick59 >> nti_simcore::ntp::STEP_UNIT_SHIFT)).max(1) as u64;
+                let u = node.nti.utcsu_mut();
+                u.ltu.set_astep_units(astep);
+                u.ltu.start_amortization(amort_ticks);
+                // Shrink α back by the applied delta over the slew via a
+                // temporary negative deterioration (zero-masked by the ACU).
+                let applied =
+                    ((astep as i128 - step) << nti_simcore::ntp::STEP_UNIT_SHIFT) * amort_ticks as i128;
+                node.cum_adj_units += applied;
+                let removal = (applied.unsigned_abs() / amort_ticks) as i64;
+                let (dm, dp) = u.acu.dsteps();
+                node.amort_dstep_saved = Some((dm, dp));
+                if enf.delta_units >= 0 {
+                    // Clock slews forward: the α⁻ cover shrinks.
+                    u.acu.set_dstep_minus(dm - removal);
+                } else {
+                    u.acu.set_dstep_plus(dp - removal);
+                }
+            }
+        }
+        _ => {
+            // Instantaneous state step (FTM baseline, or amortization=0).
+            let cur = node.nti.utcsu().time();
+            node.cum_adj_units += enf.delta_units;
+            node.nti.utcsu_mut().stage_time_load(cur.wrapping_add_units(enf.delta_units));
+            if world.cfg.algo != AlgoKind::Ftm {
+                node.nti.utcsu_mut().stage_acc_load(enf.new_alpha.0, enf.new_alpha.1);
+            } else {
+                node.nti.utcsu_mut().stage_acc_load(Accuracy::MAX, Accuracy::MAX);
+            }
+            node.nti.utcsu_mut().apply_load();
+        }
+    }
+    schedule_utcsu_service(world, eng, id);
+}
+
+/// The metric reference instant: simulation time adjusted for a
+/// coordinated leap (after an insertion, UTC — and every UTC-following
+/// clock — reads one second less).
+fn ref_time(world: &World, now: SimTime) -> SimTime {
+    match world.cfg.leap_insert_at_sec {
+        Some(sec) if now >= SimTime::from_secs(sec as u64) => {
+            now - SimDuration::from_secs(1)
+        }
+        _ => now,
+    }
+}
+
+/// Whether metric collection is suspended (nodes straddle the leap
+/// boundary at slightly different real instants).
+fn in_leap_blackout(world: &World, now: SimTime) -> bool {
+    match world.cfg.leap_insert_at_sec {
+        Some(sec) => {
+            let t = SimTime::from_secs(sec as u64);
+            now.abs_diff(t) < SimDuration::from_millis(1500)
+        }
+        None => false,
+    }
+}
+
+/// A synchronized actuation duty timer fired: record the real instant;
+/// once every node fired, the spread is one simultaneity sample. Re-arms
+/// one round period later.
+fn actuation_fired(world: &mut World, eng: &mut Eng, id: usize) {
+    let now = eng.now();
+    world.metrics.actuation_pending.push(now);
+    if world.metrics.actuation_pending.len() == world.nodes.len() {
+        let v = std::mem::take(&mut world.metrics.actuation_pending);
+        if now.as_fs() >= world.cfg.warmup.as_fs() {
+            let min = v.iter().min().expect("nonempty");
+            let max = v.iter().max().expect("nonempty");
+            world.metrics.actuation_spread.add(max.saturating_since(*min).as_secs_f64());
+        }
+    }
+    // Re-arm at the previous absolute target plus one round period (the
+    // disarmed timer still holds its old target registers).
+    let node = &mut world.nodes[id];
+    let next = node.nti.utcsu().timers[2]
+        .target()
+        .wrapping_add_units(units(world.cfg.round_period) as i128);
+    arm_timer(node, 2, next);
+}
+
+/// Periodic HWSNAP sweep: precision, accuracy, containment.
+fn snapshot(world: &mut World, eng: &mut Eng) {
+    let now = eng.now();
+    let mut times: Vec<NtpTime> = Vec::with_capacity(world.nodes.len());
+    let mut rates: Vec<f64> = Vec::with_capacity(world.nodes.len());
+    let in_window =
+        now.as_fs() >= world.cfg.warmup.as_fs() && !in_leap_blackout(world, now);
+    for id in 0..world.nodes.len() {
+        world.nodes[id].advance(now);
+        let stamp = world.nodes[id].nti.utcsu_mut().trigger_hwsnap();
+        let _ = world.nodes[id].nti.utcsu_mut().snu.take();
+        times.push(world.nodes[id].nti.utcsu().time());
+        rates.push(world.nodes[id].effective_rate_ppm(now));
+        if in_window {
+            let reference = ref_time(world, now);
+            let (am, ap) = world.nodes[id].nti.utcsu().alpha();
+            let iv = AccInterval::from_alpha(times[id], am, ap);
+            world.metrics.containment_checks += 1;
+            if !iv.contains_time(reference) {
+                world.metrics.containment_violations += 1;
+            }
+            world.metrics.true_error.add(iv.value_error_secs(reference).abs());
+            world
+                .metrics
+                .alpha
+                .add(am.as_secs_f64().max(ap.as_secs_f64()));
+            let _ = stamp;
+        }
+    }
+    if in_window {
+        let mut worst = 0.0f64;
+        for i in 0..times.len() {
+            for j in i + 1..times.len() {
+                worst = worst.max(times[i].diff_secs_f64(times[j]).abs());
+            }
+        }
+        world.metrics.precision.add(worst);
+        let rmax = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let rmin = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        world.metrics.rate_spread_ppm_last = rmax - rmin;
+    }
+    let every = world.cfg.snapshot_every;
+    eng.schedule_at(now + every, snapshot);
+}
+
+/// GPS per-second generator: emit the pulse for `sec`, schedule the stamp
+/// and TOD handling, then re-arm for the next second.
+fn gps_second(world: &mut World, eng: &mut Eng, id: usize, g: usize, sec: u64) {
+    if let Some(pulse) = world.nodes[id].gps[g].pulse_for_second(sec) {
+        // The GPU samples at the first tick after the edge plus the
+        // synchronizer stages.
+        let stages = world.nodes[id].nti.utcsu().stamp_delay_ticks();
+        let idx = world.nodes[id].osc.ticks_at(pulse.at) + (stages - 1);
+        let sample_at = world.nodes[id].osc.time_of_tick(idx).max(pulse.at);
+        eng.schedule_at(sample_at, move |w, e| {
+            w.nodes[id].advance(e.now());
+            w.nodes[id].nti.utcsu_mut().trigger_gpu(g);
+        });
+        eng.schedule_at(pulse.tod_at, move |w, e| gps_tod(w, e, id, g, pulse));
+    }
+    // Next second's generator, half a second early.
+    let next = SimTime::from_millis(sec * 1000 + 500);
+    eng.schedule_at(next, move |w, e| gps_second(w, e, id, g, sec + 1));
+}
+
+/// TOD message arrived: validate the external interval and feed it to the
+/// CF on acceptance.
+fn gps_tod(world: &mut World, eng: &mut Eng, id: usize, g: usize, pulse: nti_gps::PpsEvent) {
+    let now = eng.now();
+    world.nodes[id].advance(now);
+    let Some(stamp) = world.nodes[id].nti.utcsu_mut().gpu[g].pps.take() else {
+        return;
+    };
+    let Some(stamp_local) = stamp.time() else { return };
+    let fosc = world.nodes[id].osc.nominal_hz();
+    let extra = SimDuration::from_fs(3 * 1_000_000_000_000_000 / fosc as u128);
+    let ext = gps_observation(pulse.tod_second, pulse.claimed_accuracy, stamp_local, extra);
+    // Validation interval: the node's own current interval, with the
+    // external observation drift-compensated to now.
+    let clock = world.nodes[id].read_clock_regs(now);
+    let alpha = world.nodes[id].read_alpha_regs(now);
+    let own = AccInterval::from_alpha(clock, alpha.0, alpha.1);
+    let ext_now = world.nodes[id].core.drift_compensate(&ext, clock);
+    if world.cfg.gps_blind_trust || validate(&ext_now, &own).is_some() {
+        world.nodes[id].vstats.accepted += 1;
+        world.nodes[id].core.accept_external(ext);
+    } else {
+        world.nodes[id].vstats.rejected += 1;
+    }
+}
+
+/// Poisson background NI traffic: occupies the medium.
+fn bg_load(world: &mut World, eng: &mut Eng, id: usize) {
+    let Some(load) = world.cfg.bg_load else { return };
+    let now = eng.now();
+    let lan = world.topology.attachments(id)[0];
+    let bits = ((nti_netsim::frame::PREAMBLE_LEN
+        + nti_netsim::frame::HEADER_LEN
+        + load.frame_bytes.max(nti_netsim::frame::MIN_PAYLOAD)
+        + nti_netsim::frame::FCS_LEN)
+        * 8) as u64;
+    let _ = world.mediums[lan].grant(now, bits);
+    world.metrics.bg_frames += 1;
+    // Draw the next arrival from the node's kernel RNG stream (exponential).
+    let mean = 1.0 / load.frames_per_sec.max(1e-9);
+    let mut rng = SimRng::new(world.cfg.seed ^ (id as u64) ^ world.metrics.bg_frames);
+    let dt = SimDuration::from_secs_f64(rng.exponential(mean).max(1e-6));
+    eng.schedule_at(now + dt, move |w, e| bg_load(w, e, id));
+}
+
+/// A global application event: the same physical edge reaches every
+/// node's APU 0; each UTCSU samples it at its own next-tick-plus-
+/// synchronizer instant. The cross-node spread of the resulting stamps is
+/// the end-to-end "relating sensor data" error: clock skew plus sampling
+/// quantization.
+fn app_event(world: &mut World, eng: &mut Eng, ev: u64) {
+    let now = eng.now();
+    let n = world.nodes.len();
+    world.app_pending.insert(ev, Vec::with_capacity(n));
+    for id in 0..n {
+        let stages = world.nodes[id].nti.utcsu().stamp_delay_ticks();
+        let idx = world.nodes[id].osc.ticks_at(now) + (stages - 1);
+        let sample_at = world.nodes[id].osc.time_of_tick(idx).max(now);
+        eng.schedule_at(sample_at, move |w, e| {
+            w.nodes[id].advance(e.now());
+            if let Some(stamp) = w.nodes[id].nti.utcsu_mut().trigger_apu(0) {
+                if let Some(t) = w.nodes[id].nti.utcsu_mut().apu[0].event.take().and_then(|_| stamp.time()) {
+                    if let Some(v) = w.app_pending.get_mut(&ev) {
+                        v.push(t);
+                        if v.len() == w.nodes.len() {
+                            let v = w.app_pending.remove(&ev).expect("just present");
+                            if e.now().as_fs() >= w.cfg.warmup.as_fs() {
+                                let mut worst = 0.0f64;
+                                for i in 0..v.len() {
+                                    for j in i + 1..v.len() {
+                                        worst = worst.max(v[i].diff_secs_f64(v[j]).abs());
+                                    }
+                                }
+                                w.metrics.app_event_spread.add(worst);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    if let Some(period) = world.cfg.app_event_period {
+        eng.schedule_at(now + period, move |w, e| app_event(w, e, ev + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(n: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::default_lan(n, 42);
+        c.duration = SimDuration::from_secs(12);
+        c.warmup = SimDuration::from_secs(4);
+        c.snapshot_every = SimDuration::from_millis(500);
+        c
+    }
+
+    #[test]
+    fn two_nodes_converge_to_microsecond_precision() {
+        let mut cfg = quick_cfg(2);
+        cfg.f = 0;
+        let rep = Cluster::new(cfg).run();
+        assert!(rep.csps.0 > 10, "CSPs sent: {:?}", rep.csps);
+        assert!(rep.csps.1 > 10, "CSPs delivered: {:?}", rep.csps);
+        assert!(
+            rep.worst_precision_s < 5e-6,
+            "precision {} s (report {:?})",
+            rep.worst_precision_s,
+            rep
+        );
+        assert_eq!(rep.containment.0, 0, "containment violated: {rep:?}");
+    }
+
+    #[test]
+    fn four_nodes_with_fault_tolerance() {
+        let cfg = quick_cfg(4);
+        let rep = Cluster::new(cfg).run();
+        // Without rate synchronization, precision is dominated by drift
+        // accumulation between rounds: ~2ρP = 20 us at ±10 ppm, P = 1 s —
+        // exactly why Section 2 calls rate synchronization inevitable for
+        // the 1 us target.
+        assert!(rep.worst_precision_s < 40e-6, "precision {}", rep.worst_precision_s);
+        assert_eq!(rep.containment.0, 0);
+        assert_eq!(rep.cf_failures, 0);
+    }
+
+    #[test]
+    fn rate_sync_brings_precision_to_microseconds() {
+        let mut cfg = quick_cfg(4);
+        cfg.rate_sync = true;
+        cfg.duration = SimDuration::from_secs(30);
+        cfg.warmup = SimDuration::from_secs(15);
+        let rep = Cluster::new(cfg).run();
+        assert!(
+            rep.worst_precision_s < 5e-6,
+            "rate-synchronized precision {}",
+            rep.worst_precision_s
+        );
+        assert_eq!(rep.containment.0, 0);
+    }
+
+    #[test]
+    fn hardware_mode_eps_is_sub_50us() {
+        let cfg = quick_cfg(2);
+        let rep = Cluster::new(cfg).run();
+        assert!(rep.eps_samples > 5);
+        assert!(rep.eps_spread_s < 50e-6, "eps spread {}", rep.eps_spread_s);
+    }
+
+    #[test]
+    fn software_mode_is_much_worse() {
+        let mut hw = quick_cfg(2);
+        hw.f = 0;
+        let mut sw = quick_cfg(2);
+        sw.f = 0;
+        sw.mode = TimestampMode::Software;
+        let r_hw = Cluster::new(hw).run();
+        let r_sw = Cluster::new(sw).run();
+        assert!(
+            r_sw.eps_spread_s > r_hw.eps_spread_s * 5.0,
+            "sw {} vs hw {}",
+            r_sw.eps_spread_s,
+            r_hw.eps_spread_s
+        );
+        assert!(r_sw.worst_precision_s > r_hw.worst_precision_s);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Cluster::new(quick_cfg(3)).run();
+        let b = Cluster::new(quick_cfg(3)).run();
+        assert_eq!(a.worst_precision_s.to_bits(), b.worst_precision_s.to_bits());
+        assert_eq!(a.csps, b.csps);
+    }
+
+    #[test]
+    fn gps_validation_accepts_healthy_rejects_faulty() {
+        let mut cfg = quick_cfg(3);
+        cfg.duration = SimDuration::from_secs(15);
+        cfg.gps = vec![
+            GpsNodeCfg { node: 0, cfg: GpsConfig::default(), faults: vec![] },
+            GpsNodeCfg {
+                node: 1,
+                cfg: GpsConfig::default(),
+                faults: vec![GpsFault::Offset {
+                    from: 0,
+                    until: 100,
+                    offset: SimDuration::from_millis(2),
+                }],
+            },
+        ];
+        let rep = Cluster::new(cfg).run();
+        assert!(rep.gps.0 > 5, "healthy receiver accepted: {:?}", rep.gps);
+        assert!(rep.gps.1 > 5, "faulty receiver rejected: {:?}", rep.gps);
+        assert_eq!(rep.containment.0, 0);
+    }
+
+    #[test]
+    fn rate_sync_reduces_rate_spread() {
+        let mut with = quick_cfg(4);
+        with.rate_sync = true;
+        with.duration = SimDuration::from_secs(20);
+        let mut without = quick_cfg(4);
+        without.duration = SimDuration::from_secs(20);
+        let r_with = Cluster::new(with).run();
+        let r_without = Cluster::new(without).run();
+        assert!(
+            r_with.rate_spread_ppm < r_without.rate_spread_ppm / 2.0,
+            "with {} vs without {}",
+            r_with.rate_spread_ppm,
+            r_without.rate_spread_ppm
+        );
+    }
+
+    #[test]
+    fn ftm_baseline_runs_and_synchronizes_coarsely() {
+        let mut cfg = quick_cfg(4);
+        cfg.algo = AlgoKind::Ftm;
+        cfg.granularity = SimDuration::from_micros(1);
+        let rep = Cluster::new(cfg).run();
+        assert!(rep.worst_precision_s < 100e-6, "precision {}", rep.worst_precision_s);
+        assert!(rep.csps.1 > 20);
+    }
+
+    #[test]
+    fn gateway_topology_bridges_time() {
+        let mut cfg = quick_cfg(0);
+        cfg.topology = Topology::chain_of_lans(2, 2); // 4 ordinary + 1 gateway
+        cfg.f = 0;
+        cfg.duration = SimDuration::from_secs(16);
+        let rep = Cluster::new(cfg).run();
+        assert!(rep.worst_precision_s < 60e-6, "cross-LAN precision {}", rep.worst_precision_s);
+        assert_eq!(rep.containment.0, 0);
+    }
+
+    #[test]
+    fn redundant_gateways_enable_fault_tolerant_bridging() {
+        // With f = 1 a single gateway is trimmed as an extreme (see E10);
+        // two gateways per adjacency survive the trim and keep the
+        // segments coupled.
+        let run = |redundancy: usize| {
+            let mut cfg = quick_cfg(0);
+            cfg.topology = Topology::chain_of_lans_redundant(2, 3, redundancy);
+            cfg.f = 1;
+            cfg.rate_sync = true;
+            cfg.duration = SimDuration::from_secs(24);
+            cfg.warmup = SimDuration::from_secs(10);
+            Cluster::new(cfg).run()
+        };
+        let single = run(1);
+        let redundant = run(2);
+        assert_eq!(redundant.containment.0, 0);
+        assert!(
+            redundant.worst_precision_s < single.worst_precision_s / 3.0,
+            "redundant {} vs single {}",
+            redundant.worst_precision_s,
+            single.worst_precision_s
+        );
+        assert!(redundant.worst_precision_s < 20e-6, "{redundant:?}");
+    }
+
+    #[test]
+    fn coordinated_leap_second_during_synchronized_operation() {
+        let mut cfg = quick_cfg(3);
+        cfg.f = 0;
+        cfg.leap_insert_at_sec = Some(8);
+        cfg.duration = SimDuration::from_secs(16);
+        cfg.warmup = SimDuration::from_secs(4);
+        let rep = Cluster::new(cfg).run();
+        assert_eq!(rep.containment.0, 0, "{rep:?}");
+        assert!(rep.worst_precision_s < 40e-6, "precision through the leap: {rep:?}");
+        assert!(rep.containment.1 > 10, "checks must resume after the leap");
+    }
+
+    #[test]
+    fn temperature_oscillators_stay_contained() {
+        let mut cfg = quick_cfg(3);
+        cfg.f = 0;
+        cfg.drift = DriftSpec::Temperature {
+            mean_ppm: 5.0,
+            amp_ppm: 2.0,
+            period: SimDuration::from_secs(60),
+        };
+        cfg.rho_budget_ppm = 8.0;
+        let rep = Cluster::new(cfg).run();
+        assert_eq!(rep.containment.0, 0, "{rep:?}");
+        assert!(rep.worst_precision_s < 40e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift budget")]
+    fn rejects_underspecified_drift_budget() {
+        let mut cfg = quick_cfg(2);
+        cfg.rho_budget_ppm = 1.0; // population is ±10 ppm
+        let _ = Cluster::new(cfg);
+    }
+}

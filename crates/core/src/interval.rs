@@ -1,0 +1,327 @@
+//! Accuracy intervals and interval arithmetic.
+//!
+//! The interval-based paradigm (Section 2, after \[Mar84\]/\[Lam87\]): real time
+//! `t` is not represented by a single clock value `C(t)` but by an
+//! **accuracy interval** `A(t) = [C(t) − α⁻(t), C(t) + α⁺(t)]` that must
+//! satisfy the containment invariant `t ∈ A(t)`.
+//!
+//! Arithmetic is exact: the reference value is the UTCSU's 91-bit clock
+//! representation ([`NtpTime`]) and the accuracies are non-negative counts
+//! of 2⁻⁵⁹ s units, so no floating-point rounding can silently break
+//! containment. Conversions from physical durations round **up** (interval
+//! operations may only ever over-cover).
+
+use nti_simcore::ntp::{NtpTime, FRAC_BITS};
+use nti_simcore::time::{SimDuration, SimTime, FS_PER_SEC};
+use nti_simcore::Accuracy;
+
+/// Convert a physical duration to 2⁻⁵⁹ s units, rounding up.
+pub fn units_ceil(d: SimDuration) -> u128 {
+    (d.as_fs() << FRAC_BITS).div_ceil(FS_PER_SEC)
+}
+
+/// Convert a physical duration to 2⁻⁵⁹ s units, rounding down.
+pub fn units_floor(d: SimDuration) -> u128 {
+    (d.as_fs() << FRAC_BITS) / FS_PER_SEC
+}
+
+/// Convert 2⁻⁵⁹ s units back to a duration (rounding up to whole fs).
+pub fn units_to_duration(u: u128) -> SimDuration {
+    SimDuration::from_fs((u * FS_PER_SEC).div_ceil(1u128 << FRAC_BITS))
+}
+
+/// Units as seconds (lossy; reporting only).
+pub fn units_as_secs_f64(u: u128) -> f64 {
+    u as f64 / (1u128 << FRAC_BITS) as f64
+}
+
+/// An accuracy interval `[value − α⁻, value + α⁺]`.
+///
+/// ```
+/// use nti_core::interval::{units_ceil, AccInterval};
+/// use nti_simcore::{NtpTime, SimDuration, SimTime};
+///
+/// // A clock reading 10 s with ±5 µs of claimed accuracy...
+/// let iv = AccInterval::from_halfwidth(
+///     NtpTime::from_secs(10),
+///     SimDuration::from_micros(5),
+/// );
+/// // ...contains real times within that bound and excludes others:
+/// assert!(iv.contains_time(SimTime::from_micros(10_000_003)));
+/// assert!(!iv.contains_time(SimTime::from_micros(10_000_009)));
+/// // Widening (drift compensation) only ever adds coverage:
+/// let wider = iv.widen(units_ceil(SimDuration::from_micros(10)), 0);
+/// assert!(wider.contains_time(SimTime::from_micros(9_999_992)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccInterval {
+    /// The reference clock value `C`.
+    pub value: NtpTime,
+    /// α⁻ in 2⁻⁵⁹ s units.
+    pub minus: u128,
+    /// α⁺ in 2⁻⁵⁹ s units.
+    pub plus: u128,
+}
+
+impl AccInterval {
+    /// Construct from a value and unit accuracies.
+    pub fn new(value: NtpTime, minus: u128, plus: u128) -> Self {
+        AccInterval { value, minus, plus }
+    }
+
+    /// A zero-width interval (perfect knowledge).
+    pub fn exact(value: NtpTime) -> Self {
+        AccInterval { value, minus: 0, plus: 0 }
+    }
+
+    /// Construct from hardware accuracy registers (2⁻²⁴ s units).
+    pub fn from_alpha(value: NtpTime, minus: Accuracy, plus: Accuracy) -> Self {
+        let shift = FRAC_BITS - nti_simcore::ntp::NTP_FRAC_BITS;
+        AccInterval { value, minus: (minus.0 as u128) << shift, plus: (plus.0 as u128) << shift }
+    }
+
+    /// Construct from a value and symmetric physical half-width
+    /// (rounded up).
+    pub fn from_halfwidth(value: NtpTime, hw: SimDuration) -> Self {
+        let u = units_ceil(hw);
+        AccInterval { value, minus: u, plus: u }
+    }
+
+    /// The lower edge.
+    pub fn lower(&self) -> NtpTime {
+        self.value.wrapping_add_units(-(self.minus as i128))
+    }
+
+    /// The upper edge.
+    pub fn upper(&self) -> NtpTime {
+        self.value.wrapping_add_units(self.plus as i128)
+    }
+
+    /// Total width in units.
+    pub fn width(&self) -> u128 {
+        self.minus + self.plus
+    }
+
+    /// Whether a clock-valued point lies inside (shortest-wrap semantics).
+    pub fn contains(&self, t: NtpTime) -> bool {
+        let d = t.wrapping_diff_units(self.value);
+        -(self.minus as i128) <= d && d <= self.plus as i128
+    }
+
+    /// Whether the real-time instant `t` lies inside — the paper's
+    /// containment invariant `t ∈ A(t)`.
+    pub fn contains_time(&self, t: SimTime) -> bool {
+        self.contains(NtpTime::from_sim_time(t))
+    }
+
+    /// Enlarge both sides (delay/drift compensation "deterioration").
+    pub fn widen(&self, minus_add: u128, plus_add: u128) -> AccInterval {
+        AccInterval { value: self.value, minus: self.minus + minus_add, plus: self.plus + plus_add }
+    }
+
+    /// Shift the reference value keeping the edges attached (translate the
+    /// whole interval by `delta` units).
+    pub fn shift(&self, delta: i128) -> AccInterval {
+        AccInterval { value: self.value.wrapping_add_units(delta), ..*self }
+    }
+
+    /// Move the reference value *within* the interval without moving the
+    /// edges. Panics (debug) if the new value is outside.
+    pub fn rebase(&self, new_value: NtpTime) -> AccInterval {
+        let d = new_value.wrapping_diff_units(self.value);
+        debug_assert!(
+            -(self.minus as i128) <= d && d <= self.plus as i128,
+            "rebase target outside interval"
+        );
+        AccInterval {
+            value: new_value,
+            minus: (self.minus as i128 + d) as u128,
+            plus: (self.plus as i128 - d) as u128,
+        }
+    }
+
+    /// Intersection, or `None` if disjoint. The result's reference value is
+    /// `self`'s value clamped into the intersection.
+    pub fn intersect(&self, other: &AccInterval) -> Option<AccInterval> {
+        // Work in offsets from self.value.
+        let lo_a = -(self.minus as i128);
+        let hi_a = self.plus as i128;
+        let ob = other.value.wrapping_diff_units(self.value);
+        let lo_b = ob - other.minus as i128;
+        let hi_b = ob + other.plus as i128;
+        let lo = lo_a.max(lo_b);
+        let hi = hi_a.min(hi_b);
+        if lo > hi {
+            return None;
+        }
+        let v = 0i128.clamp(lo, hi);
+        Some(AccInterval {
+            value: self.value.wrapping_add_units(v),
+            minus: (v - lo) as u128,
+            plus: (hi - v) as u128,
+        })
+    }
+
+    /// Smallest interval containing both (the hull). Reference value is
+    /// `self`'s value clamped into the hull (it always is inside).
+    pub fn hull(&self, other: &AccInterval) -> AccInterval {
+        let lo_a = -(self.minus as i128);
+        let hi_a = self.plus as i128;
+        let ob = other.value.wrapping_diff_units(self.value);
+        let lo_b = ob - other.minus as i128;
+        let hi_b = ob + other.plus as i128;
+        let lo = lo_a.min(lo_b);
+        let hi = hi_a.max(hi_b);
+        AccInterval { value: self.value, minus: (-lo) as u128, plus: hi as u128 }
+    }
+
+    /// The hardware accuracy register pair, rounding up and saturating
+    /// (exact for values that are whole 2⁻²⁴ s granules).
+    pub fn to_alpha(&self) -> (Accuracy, Accuracy) {
+        let shift = FRAC_BITS - nti_simcore::ntp::NTP_FRAC_BITS;
+        let conv = |u: u128| Accuracy(u.div_ceil(1u128 << shift).min(u16::MAX as u128) as u16);
+        (conv(self.minus), conv(self.plus))
+    }
+
+    /// Half-widths as seconds (lossy; reporting only).
+    pub fn alpha_secs_f64(&self) -> (f64, f64) {
+        (units_as_secs_f64(self.minus), units_as_secs_f64(self.plus))
+    }
+
+    /// Signed distance from the interval's reference value to real time
+    /// (positive = clock ahead of UTC), seconds; reporting only.
+    pub fn value_error_secs(&self, t: SimTime) -> f64 {
+        self.value.diff_secs_f64(NtpTime::from_sim_time(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(secs: u32, minus_us: u64, plus_us: u64) -> AccInterval {
+        AccInterval::new(
+            NtpTime::from_secs(secs),
+            units_ceil(SimDuration::from_micros(minus_us)),
+            units_ceil(SimDuration::from_micros(plus_us)),
+        )
+    }
+
+    #[test]
+    fn units_roundtrip_over_covers() {
+        for us in [0u64, 1, 17, 999, 123_456] {
+            let d = SimDuration::from_micros(us);
+            let u = units_ceil(d);
+            assert!(units_to_duration(u) >= d);
+            assert!(units_floor(d) <= u);
+        }
+    }
+
+    #[test]
+    fn containment_basics() {
+        let a = iv(100, 10, 20);
+        assert!(a.contains(NtpTime::from_secs(100)));
+        assert!(a.contains_time(SimTime::from_micros(100_000_000 - 9)));
+        assert!(a.contains_time(SimTime::from_micros(100_000_000 + 19)));
+        assert!(!a.contains_time(SimTime::from_micros(100_000_000 - 11)));
+        assert!(!a.contains_time(SimTime::from_micros(100_000_000 + 21)));
+    }
+
+    #[test]
+    fn edges_and_width() {
+        let a = iv(100, 10, 20);
+        assert!(a.lower() < a.value && a.value < a.upper());
+        assert_eq!(a.width(), a.minus + a.plus);
+    }
+
+    #[test]
+    fn widen_preserves_containment() {
+        let a = iv(100, 1, 1);
+        let b = a.widen(units_ceil(SimDuration::from_micros(5)), 0);
+        let t = SimTime::from_micros(100_000_000 - 4);
+        assert!(!a.contains_time(t));
+        assert!(b.contains_time(t));
+    }
+
+    #[test]
+    fn shift_translates() {
+        let a = iv(100, 10, 10);
+        let d = units_ceil(SimDuration::from_micros(3)) as i128;
+        let b = a.shift(d);
+        assert_eq!(b.minus, a.minus);
+        assert_eq!(b.value.wrapping_diff_units(a.value), d);
+    }
+
+    #[test]
+    fn rebase_keeps_edges() {
+        let a = iv(100, 10, 10);
+        let nv = a.value.wrapping_add_units(units_ceil(SimDuration::from_micros(5)) as i128);
+        let b = a.rebase(nv);
+        assert_eq!(b.lower(), a.lower());
+        assert_eq!(b.upper(), a.upper());
+        assert_eq!(b.value, nv);
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = iv(100, 10, 10);
+        let mut bval = NtpTime::from_secs(100);
+        bval = bval.wrapping_add_units(units_ceil(SimDuration::from_micros(5)) as i128);
+        let b = AccInterval::new(bval, units_ceil(SimDuration::from_micros(10)), units_ceil(SimDuration::from_micros(10)));
+        let i = a.intersect(&b).expect("overlap");
+        // Intersection is [100s-5us, 100s+10us].
+        assert_eq!(i.lower(), b.lower());
+        assert_eq!(i.upper(), a.upper());
+        // Value (a's) is inside.
+        assert!(i.contains(a.value));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = iv(100, 1, 1);
+        let b = iv(101, 1, 1);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn intersect_is_commutative_in_extent() {
+        let a = iv(100, 10, 3);
+        let b = iv(100, 2, 9);
+        let ab = a.intersect(&b).unwrap();
+        let ba = b.intersect(&a).unwrap();
+        assert_eq!(ab.lower(), ba.lower());
+        assert_eq!(ab.upper(), ba.upper());
+    }
+
+    #[test]
+    fn hull_contains_both() {
+        let a = iv(100, 1, 1);
+        let b = iv(101, 1, 1);
+        let h = a.hull(&b);
+        assert!(h.contains(a.lower()) && h.contains(b.upper()));
+    }
+
+    #[test]
+    fn to_alpha_over_covers() {
+        let a = AccInterval::from_halfwidth(NtpTime::from_secs(1), SimDuration::from_nanos(100));
+        let (m, p) = a.to_alpha();
+        assert!(m.to_duration() >= SimDuration::from_nanos(100));
+        assert_eq!(m, p);
+    }
+
+    #[test]
+    fn from_alpha_roundtrip() {
+        let a = AccInterval::from_alpha(NtpTime::from_secs(5), Accuracy(100), Accuracy(200));
+        let (m, p) = a.to_alpha();
+        assert_eq!(m, Accuracy(100));
+        assert_eq!(p, Accuracy(200));
+    }
+
+    #[test]
+    fn value_error_sign() {
+        let fast = AccInterval::exact(NtpTime::from_secs(101));
+        assert!(fast.value_error_secs(SimTime::from_secs(100)) > 0.0);
+        let slow = AccInterval::exact(NtpTime::from_secs(99));
+        assert!(slow.value_error_secs(SimTime::from_secs(100)) < 0.0);
+    }
+}

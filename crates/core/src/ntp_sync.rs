@@ -1,0 +1,186 @@
+//! An NTP-style synchronization client — the paper's class-(III) baseline.
+//!
+//! Section 1: "The most prominent external clock synchronization scheme
+//! for such settings is undoubtly the Network Time Protocol (NTP) …
+//! Although deterministic guarantees cannot be given here, there are
+//! reports like \[Tro94\] that state maximum UTC deviations in the
+//! 10 ms-range under 'reasonable' conditions."
+//!
+//! Implemented: the classic four-timestamp poll
+//!
+//! ```text
+//! offset θ = ((T2 − T1) + (T3 − T4)) / 2      delay δ = (T4 − T1) − (T3 − T2)
+//! ```
+//!
+//! with NTP's *clock filter* (pick the sample with minimum δ from the last
+//! eight polls — the min-filter suppresses queueing spikes but cannot
+//! remove path *asymmetry*, which biases θ by half the asymmetric part)
+//! and a damped discipline that slews a fraction of the filtered offset
+//! per poll.
+
+use nti_simcore::ntp::NtpTime;
+use std::collections::VecDeque;
+
+/// Size of NTP's clock filter shift register.
+pub const FILTER_DEPTH: usize = 8;
+
+/// One measured poll: offset and delay in 2⁻⁵⁹ s units.
+#[derive(Clone, Copy, Debug)]
+pub struct PollSample {
+    /// Offset estimate θ (server − client), signed units.
+    pub offset: i128,
+    /// Round-trip delay δ, units.
+    pub delay: u128,
+}
+
+/// The client state machine.
+#[derive(Clone, Debug)]
+pub struct NtpClient {
+    filter: VecDeque<PollSample>,
+    /// Damping factor: fraction of the filtered offset applied per poll.
+    pub gain: f64,
+    /// Polls processed.
+    pub polls: u64,
+    /// Polls rejected as inconsistent.
+    pub rejected: u64,
+}
+
+impl Default for NtpClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NtpClient {
+    /// A client with NTP-ish damping (gain ½).
+    pub fn new() -> Self {
+        NtpClient { filter: VecDeque::with_capacity(FILTER_DEPTH), gain: 0.5, polls: 0, rejected: 0 }
+    }
+
+    /// Compute a poll sample from the four timestamps. Returns `None` for
+    /// inconsistent stamps (negative δ).
+    pub fn sample(t1: NtpTime, t2: NtpTime, t3: NtpTime, t4: NtpTime) -> Option<PollSample> {
+        let total = t4.wrapping_diff_units(t1);
+        let residence = t3.wrapping_diff_units(t2);
+        if total <= 0 || residence < 0 || residence > total {
+            return None;
+        }
+        let delay = (total - residence) as u128;
+        let offset = (t2.wrapping_diff_units(t1) + t3.wrapping_diff_units(t4)) / 2;
+        Some(PollSample { offset, delay })
+    }
+
+    /// Feed one poll; returns the clock correction (units) to apply now —
+    /// the damped, min-δ-filtered offset — or `None` if the poll was
+    /// rejected.
+    ///
+    /// The returned correction assumes it *is applied*: the stored filter
+    /// samples are rebased so older offsets stay comparable.
+    pub fn on_poll(&mut self, t1: NtpTime, t2: NtpTime, t3: NtpTime, t4: NtpTime) -> Option<i128> {
+        let s = match Self::sample(t1, t2, t3, t4) {
+            Some(s) => s,
+            None => {
+                self.rejected += 1;
+                return None;
+            }
+        };
+        self.polls += 1;
+        if self.filter.len() == FILTER_DEPTH {
+            self.filter.pop_front();
+        }
+        self.filter.push_back(s);
+        let best = self.filter.iter().min_by_key(|s| s.delay).expect("non-empty filter");
+        let correction = (best.offset as f64 * self.gain) as i128;
+        for s in &mut self.filter {
+            s.offset -= correction;
+        }
+        Some(correction)
+    }
+
+    /// The current filtered delay estimate (minimum over the filter).
+    pub fn best_delay(&self) -> Option<u128> {
+        self.filter.iter().map(|s| s.delay).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nti_simcore::time::SimDuration;
+
+    fn t(ms: i64) -> NtpTime {
+        NtpTime::from_secs(1000).wrapping_add_units(
+            crate::interval::units_ceil(SimDuration::from_millis(ms.unsigned_abs())) as i128
+                * ms.signum() as i128,
+        )
+    }
+
+    fn units_ms(u: i128) -> f64 {
+        u as f64 / (1u128 << 59) as f64 * 1e3
+    }
+
+    #[test]
+    fn symmetric_path_recovers_offset() {
+        // Client 30 ms behind server; both directions take 50 ms.
+        // Client clock: T1 = 0, T4 = 110 ms; server: T2 = 80, T3 = 90 (in
+        // server time = client + 30).
+        let s = NtpClient::sample(t(0), t(80), t(90), t(110)).unwrap();
+        assert!((units_ms(s.offset) - 30.0).abs() < 0.01, "offset {}", units_ms(s.offset));
+        assert!((units_ms(s.delay as i128) - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn asymmetric_path_biases_by_half() {
+        // 40 ms out, 60 ms back, zero true offset.
+        let s = NtpClient::sample(t(0), t(40), t(50), t(110)).unwrap();
+        assert!((units_ms(s.offset) - (-10.0)).abs() < 0.01, "bias {}", units_ms(s.offset));
+    }
+
+    #[test]
+    fn min_delay_filter_suppresses_spikes() {
+        let mut c = NtpClient::new();
+        // One clean poll (100 ms RTT, 20 ms offset), then a spiked poll
+        // (500 ms RTT with a wild apparent offset). The filter must keep
+        // using the clean sample.
+        let corr1 = c.on_poll(t(0), t(70), t(80), t(110)).unwrap();
+        assert!(units_ms(corr1) > 5.0, "first correction applies damped offset");
+        let corr2 = c.on_poll(t(0), t(470), t(480), t(510)).unwrap();
+        // The spiked sample has bigger delay; min-δ still selects the clean
+        // (rebased) sample, whose offset is near zero now.
+        assert!(units_ms(corr2).abs() < units_ms(corr1).abs());
+    }
+
+    #[test]
+    fn filter_depth_is_bounded() {
+        let mut c = NtpClient::new();
+        for _ in 0..20 {
+            let _ = c.on_poll(t(0), t(70), t(80), t(110));
+        }
+        assert_eq!(c.polls, 20);
+        assert!(c.filter.len() <= FILTER_DEPTH);
+    }
+
+    #[test]
+    fn inconsistent_poll_rejected() {
+        let mut c = NtpClient::new();
+        assert!(c.on_poll(t(100), t(70), t(80), t(0)).is_none());
+        assert_eq!(c.rejected, 1);
+        assert!(c.best_delay().is_none());
+    }
+
+    #[test]
+    fn repeated_polls_converge() {
+        // Closed loop: true offset 30 ms, symmetric 100 ms RTT; apply the
+        // corrections and verify geometric convergence.
+        let mut c = NtpClient::new();
+        let mut true_offset_ms = 30.0f64;
+        for _ in 0..12 {
+            let off = true_offset_ms as i64;
+            let corr = c
+                .on_poll(t(0), t(50 + off), t(60 + off), t(110))
+                .unwrap();
+            true_offset_ms -= units_ms(corr);
+        }
+        assert!(true_offset_ms.abs() < 1.0, "residual {true_offset_ms} ms");
+    }
+}

@@ -1,0 +1,229 @@
+//! Synchronization parameters and statically derived bounds.
+//!
+//! Interval-based synchronization "pays" for its on-line accuracy bounds by
+//! needing **explicit bounds on system parameters** (Section 2): the
+//! transmission-delay window `[δ_min, δ_max]` between the two stamping
+//! events, the maximum clock drift ρ_max, and the rate-adjustment
+//! uncertainty `u = 1/f_osc` of the adder-based clock. This module derives
+//! those bounds from the hardware models' configured jitter envelopes —
+//! exactly what the paper means by "compiled statically into the algorithm
+//! from a priori information".
+
+use nti_kernel::KernelConfig;
+use nti_netsim::{ComcoTiming, MediumConfig};
+use nti_simcore::time::SimDuration;
+
+/// Where the two CSP stamps are taken — the central ablation of the paper
+/// (steps of Section 3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimestampMode {
+    /// Steps 1/7: software stamps at CSP assembly and at task-level
+    /// processing (pure software synchronization).
+    Software,
+    /// Step 4 / step 6: hardware transmit trigger, receive stamped at the
+    /// *packet reception interrupt* — the original CSU coupling of \[KO87\].
+    InterruptRx,
+    /// Steps 4/5: both stamps from the NTI's DMA triggers.
+    Hardware,
+}
+
+/// Which convergence machinery runs on top of the stamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    /// Interval-based synchronization with the OA convergence function and
+    /// continuous amortization (the paper's system).
+    IntervalOa,
+    /// Interval-based synchronization taking Marzullo's intersection for
+    /// *both* value and edges (\[Mar84\]-style): maximal containment
+    /// tightness but value selection by the interval geometry alone, which
+    /// gives poorer worst-case precision than OA's fault-tolerant midpoint
+    /// — the comparison the OA design is built on (E15).
+    IntervalMarzullo,
+    /// Fault-tolerant-midpoint on offset estimates with instantaneous state
+    /// steps, no interval maintenance — the CSU/FTA style of \[KO87\].
+    Ftm,
+}
+
+/// All parameters of a synchronization run.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncParams {
+    /// Round period `P`.
+    pub round_period: SimDuration,
+    /// CF application offset Δ (CSPs exchanged in `[kP, kP+Δ)`).
+    pub cf_delta: SimDuration,
+    /// Fault-tolerance degree `f`.
+    pub f: usize,
+    /// Minimum delay between the transmit and receive stamping events.
+    pub delay_min: SimDuration,
+    /// Maximum delay between the stamping events.
+    pub delay_max: SimDuration,
+    /// Drift bound ρ_max (ppm) used for deterioration and compensation.
+    pub rho_ppm: f64,
+    /// Rate-adjustment uncertainty `u` (seconds) — `1/f_osc` for the
+    /// adder-based clock (Section 5 / \[SS97\]).
+    pub rate_adj_uncertainty: SimDuration,
+    /// Clock reading granularity `G` (seconds) — 2⁻²⁴ s for the UTCSU, 1 µs
+    /// for the CSU baseline.
+    pub granularity: SimDuration,
+    /// Duration of the continuous amortization phase after each CF
+    /// application (0 = instantaneous state step).
+    pub amortization: SimDuration,
+}
+
+impl SyncParams {
+    /// The worst-case precision impairment from granularity and discrete
+    /// rate adjustment for the OA convergence function: `4G + 10u`
+    /// (Section 5, citing \[Sch97b\]).
+    pub fn granularity_impairment(&self) -> SimDuration {
+        self.granularity * 4 + self.rate_adj_uncertainty * 10
+    }
+}
+
+/// Exact stamp-to-stamp delay bounds for [`TimestampMode::Hardware`]:
+/// transmit trigger (read of the trigger offset during FIFO prefetch) to
+/// receive trigger (write of the receive offset after frame completion).
+///
+/// With `t_x = wire_start − fifo_lead + k_x·(cycle + arb)` and
+/// `t_r = wire_end + prop + store + k_r·(cycle + arb)`, the delay is
+/// `serialization + prop + store + fifo_lead + (k_r − k_x)·cycle ± jitter`.
+/// All jitters are bounded (uniform), so min/max are exact.
+pub fn delay_bounds_hardware(
+    comco: &ComcoTiming,
+    medium: &MediumConfig,
+    frame_bits: u64,
+    trigger_reads_before: u32,
+    trigger_writes_before: u32,
+) -> (SimDuration, SimDuration) {
+    let bit = SimDuration::from_fs(1_000_000_000_000_000 / medium.bitrate_bps as u128);
+    let ser = bit * frame_bits as u128;
+    let fifo_lead = bit * (8 * comco.tx_fifo_bytes) as u128;
+    let kx = trigger_reads_before as u128;
+    let kr = trigger_writes_before as u128;
+    // Fixed part common to min and max.
+    let base = ser + medium.prop_delay + fifo_lead;
+    let min = (base + comco.rx_store_latency.base + comco.bus_cycle * kr
+        + comco.arb_jitter.base * kr)
+        // subtract the *maximum* the transmit side can add:
+        .saturating_sub(comco.bus_cycle * kx + comco.arb_jitter.max() * kx);
+    let max = (base + comco.rx_store_latency.max()
+        + (comco.bus_cycle + comco.arb_jitter.max()) * kr)
+        // subtract the *minimum* the transmit side adds:
+        .saturating_sub((comco.bus_cycle + comco.arb_jitter.base) * kx);
+    (min, max)
+}
+
+/// Delay bounds for [`TimestampMode::InterruptRx`]: as hardware on the
+/// transmit side, but the receive stamp waits for all header writes plus
+/// the interrupt assertion latency.
+pub fn delay_bounds_interrupt_rx(
+    comco: &ComcoTiming,
+    medium: &MediumConfig,
+    frame_bits: u64,
+    trigger_reads_before: u32,
+    header_writes: u32,
+) -> (SimDuration, SimDuration) {
+    let (hmin, hmax) =
+        delay_bounds_hardware(comco, medium, frame_bits, trigger_reads_before, header_writes);
+    (hmin + comco.rx_int_latency.base, hmax + comco.rx_int_latency.max())
+}
+
+/// Delay bounds for [`TimestampMode::Software`]: assembly-to-processing
+/// spans CSP assembly remainder, command latency, **medium access**,
+/// serialization, reception, ISR entry and task dispatch. The medium access
+/// term is bounded only by the backoff truncation, so the practical bound
+/// uses `backoff_slots` slots — containment under software stamping is
+/// soft, which is precisely the paper's argument against it.
+pub fn delay_bounds_software(
+    comco: &ComcoTiming,
+    medium: &MediumConfig,
+    kernel: &KernelConfig,
+    frame_bits: u64,
+    backoff_slots: u32,
+) -> (SimDuration, SimDuration) {
+    let bit = SimDuration::from_fs(1_000_000_000_000_000 / medium.bitrate_bps as u128);
+    let ser = bit * frame_bits as u128;
+    let writes = 16u128;
+    let min = comco.cmd_latency.base + medium.ifg + ser + medium.prop_delay
+        + comco.rx_store_latency.base
+        + comco.bus_cycle * writes
+        + comco.rx_int_latency.base
+        + kernel.isr_entry.base
+        + kernel.task_dispatch.base;
+    let max = comco.cmd_latency.max()
+        + medium.ifg
+        + medium.slot_time * backoff_slots as u128
+        + ser
+        + medium.prop_delay
+        + comco.rx_store_latency.max()
+        + (comco.bus_cycle + comco.arb_jitter.max()) * writes
+        + comco.rx_int_latency.max()
+        + kernel.isr_entry.max()
+        + kernel.task_dispatch.max();
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (ComcoTiming, MediumConfig, KernelConfig) {
+        (ComcoTiming::i82596(), MediumConfig::ethernet_10m(), KernelConfig::psos_mvme162())
+    }
+
+    #[test]
+    fn hardware_bounds_are_sub_100us_and_ordered() {
+        let (c, m, _) = fixture();
+        let (min, max) = delay_bounds_hardware(&c, &m, 1000, 6, 8);
+        assert!(min < max);
+        assert!(max.as_micros_f64() < 200.0, "hardware δmax = {max}");
+        // Uncertainty window (what bounds ε) must be well below 100 us.
+        let unc = max - min;
+        assert!(unc.as_micros_f64() < 30.0, "hardware uncertainty {unc}");
+    }
+
+    #[test]
+    fn interrupt_rx_widens_the_window() {
+        let (c, m, _) = fixture();
+        let (hmin, hmax) = delay_bounds_hardware(&c, &m, 1000, 6, 8);
+        let (imin, imax) = delay_bounds_interrupt_rx(&c, &m, 1000, 6, 16);
+        assert!(imax - imin > hmax - hmin, "interrupt mode must be looser");
+    }
+
+    #[test]
+    fn software_bounds_dominated_by_access_and_kernel() {
+        let (c, m, k) = fixture();
+        let (smin, smax) = delay_bounds_software(&c, &m, &k, 1000, 16);
+        let (_, hmax) = delay_bounds_hardware(&c, &m, 1000, 6, 8);
+        assert!(smax > hmax * 5, "software window must dwarf hardware");
+        assert!(smin < smax);
+        // ms-scale worst case, as the paper states for software approaches.
+        assert!(smax.as_secs_f64() > 1e-3);
+    }
+
+    #[test]
+    fn impairment_formula() {
+        let p = SyncParams {
+            round_period: SimDuration::from_secs(1),
+            cf_delta: SimDuration::from_millis(100),
+            f: 1,
+            delay_min: SimDuration::ZERO,
+            delay_max: SimDuration::from_micros(100),
+            rho_ppm: 10.0,
+            rate_adj_uncertainty: SimDuration::from_nanos(100), // 1/10MHz
+            granularity: SimDuration::from_nanos(60),
+            amortization: SimDuration::from_millis(50),
+        };
+        // 4G + 10u = 4*60ns + 10*100ns = 1240 ns.
+        assert_eq!(p.granularity_impairment(), SimDuration::from_nanos(1240));
+    }
+
+    #[test]
+    fn fosc_14mhz_crossover_condition() {
+        // The paper: G = u < 70 ns (fosc > 14 MHz) required for < 1 us
+        // worst-case precision with OA. Check the arithmetic: 14G at the
+        // 70 ns point is 980 ns < 1 us; at 72 ns it exceeds 1 us.
+        let at = |ns: u64| SimDuration::from_nanos(ns) * 4 + SimDuration::from_nanos(ns) * 10;
+        assert!(at(70) < SimDuration::from_micros(1));
+        assert!(at(72) > SimDuration::from_micros(1));
+    }
+}

@@ -1,0 +1,125 @@
+//! CSP payload: what the synchronization algorithm puts in the packet.
+//!
+//! The hardware inserts the *transmit timestamp* (and accuracy) on the fly
+//! (Figure 3); everything else — node id, round number, the macrostamp the
+//! sender pre-computed at assembly time (it only changes every 256 s), and
+//! the software timestamp used by the software-mode baseline — is assembled
+//! by the CPU in step 1. The payload has a fixed wire size so CSP frames
+//! always serialize in constant time (which tightens the delay bounds).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Fixed encoded size of a CSP payload in bytes.
+pub const CSP_PAYLOAD_LEN: usize = 48;
+
+/// The software-visible content of a clock synchronization packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CspPayload {
+    /// Sender node id.
+    pub node: u32,
+    /// Round number `k` (the CSP was sent at `C = kP`).
+    pub round: u32,
+    /// Sender's α⁻ at assembly, 2⁻²⁴ s units.
+    pub alpha_minus: u16,
+    /// Sender's α⁺ at assembly, 2⁻²⁴ s units.
+    pub alpha_plus: u16,
+    /// Macrostamp pre-computed at assembly (names the 256 s epoch of the
+    /// hardware transmit timestamp).
+    pub macrostamp: u32,
+    /// Hardware transmit timestamp — filled in *by the NTI's transparent
+    /// mapping* while the COMCO reads the transmit header; the CPU writes a
+    /// placeholder.
+    pub hw_timestamp: u32,
+    /// Hardware transmit accuracies (packed α⁻ | α⁺ ≪ 16), also mapped.
+    pub hw_acc: u32,
+    /// Software transmit timestamp taken at assembly (step 1) — used only
+    /// by the software-timestamping baseline.
+    pub sw_timestamp: u32,
+    /// Number of LAN hops this CSP has travelled (0 = original broadcast;
+    /// gateways increment when re-broadcasting into another segment).
+    pub hops: u8,
+}
+
+impl CspPayload {
+    /// Encode to the fixed-size wire representation.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(CSP_PAYLOAD_LEN);
+        b.put_u32(self.node);
+        b.put_u32(self.round);
+        b.put_u16(self.alpha_minus);
+        b.put_u16(self.alpha_plus);
+        b.put_u32(self.macrostamp);
+        b.put_u32(self.hw_timestamp);
+        b.put_u32(self.hw_acc);
+        b.put_u32(self.sw_timestamp);
+        b.put_u8(self.hops);
+        b.put_bytes(0, CSP_PAYLOAD_LEN - b.len());
+        b.freeze()
+    }
+
+    /// Decode from the wire representation.
+    pub fn decode(mut buf: &[u8]) -> Option<CspPayload> {
+        if buf.len() < CSP_PAYLOAD_LEN {
+            return None;
+        }
+        let node = buf.get_u32();
+        let round = buf.get_u32();
+        let alpha_minus = buf.get_u16();
+        let alpha_plus = buf.get_u16();
+        let macrostamp = buf.get_u32();
+        let hw_timestamp = buf.get_u32();
+        let hw_acc = buf.get_u32();
+        let sw_timestamp = buf.get_u32();
+        let hops = buf.get_u8();
+        Some(CspPayload {
+            node,
+            round,
+            alpha_minus,
+            alpha_plus,
+            macrostamp,
+            hw_timestamp,
+            hw_acc,
+            sw_timestamp,
+            hops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CspPayload {
+        CspPayload {
+            node: 7,
+            round: 42,
+            alpha_minus: 100,
+            alpha_plus: 200,
+            macrostamp: 0xDEAD_BEEF,
+            hw_timestamp: 0x1234_5678,
+            hw_acc: 0x00C8_0064,
+            sw_timestamp: 0x1234_0000,
+            hops: 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let wire = p.encode();
+        assert_eq!(wire.len(), CSP_PAYLOAD_LEN);
+        assert_eq!(CspPayload::decode(&wire), Some(p));
+    }
+
+    #[test]
+    fn decode_short_buffer_fails() {
+        assert_eq!(CspPayload::decode(&[0u8; CSP_PAYLOAD_LEN - 1]), None);
+    }
+
+    #[test]
+    fn encoded_size_is_fixed() {
+        let a = sample().encode();
+        let b = CspPayload { hops: 0, ..sample() }.encode();
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! Round-trip-based transmission-delay measurement.
+//!
+//! Interval-based synchronization needs explicit bounds on the
+//! transmission delay between the stamping events. Section 2 of the paper:
+//! these bounds "can either be compiled statically into the algorithm from
+//! a priori information or, preferably, measured — even controlled —
+//! dynamically. In fact, our ambitious goal of a 1 µs-range
+//! precision/accuracy makes it inevitable to employ an accurate
+//! round-trip-based transmission delay measurement."
+//!
+//! The classic four-stamp exchange: node p sends a probe hardware-stamped
+//! `T1` on transmission; q's hardware stamps reception at `T2`; q responds
+//! with a probe stamped `T3`; p stamps the response's reception `T4`. Then
+//!
+//! ```text
+//! RTT = (T4 − T1) − (T3 − T2) = d_pq + d_qp
+//! ```
+//!
+//! independent of the clock offset between p and q; the clocks' rate error
+//! over one RTT (ρ · RTT, sub-picosecond here) is folded into the margin.
+//! With a physically known per-direction floor `d_floor` (serialization +
+//! propagation — both deterministic for fixed-size CSPs), each direction
+//! is bounded by `d ∈ [d_floor, RTT_max − d_floor]`, and the window
+//! tightens as more probes are observed.
+
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::time::SimDuration;
+
+use crate::interval::units_to_duration;
+
+/// Online estimator of the transmission-delay window from round-trip
+/// probes.
+///
+/// ```
+/// use nti_core::rtt::RttEstimator;
+/// use nti_simcore::{NtpTime, SimDuration, SimTime};
+///
+/// let at = |us: u64| NtpTime::from_sim_time(SimTime::from_micros(1_000_000 + us));
+/// let mut est = RttEstimator::new();
+/// // T1 = send, T2 = receive, T3 = respond, T4 = response received;
+/// // the responder's clock offset cancels out of the RTT.
+/// est.record(at(0), at(100), at(150), at(250));
+/// let (lo, hi) = est
+///     .delay_window(SimDuration::from_micros(60), SimDuration::from_micros(1), 1)
+///     .expect("one probe accepted");
+/// assert!(lo <= SimDuration::from_micros(100));
+/// assert!(hi >= SimDuration::from_micros(100));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RttEstimator {
+    min_rtt: Option<u128>,
+    max_rtt: Option<u128>,
+    samples: u64,
+    rejected: u64,
+}
+
+impl RttEstimator {
+    /// Fresh estimator.
+    pub fn new() -> Self {
+        RttEstimator::default()
+    }
+
+    /// Record one four-stamp exchange. Returns the measured RTT (in 2⁻⁵⁹ s
+    /// units), or `None` when the stamps are inconsistent (negative
+    /// residence or round-trip — a corrupted probe is rejected, not
+    /// folded into the bounds).
+    pub fn record(&mut self, t1: NtpTime, t2: NtpTime, t3: NtpTime, t4: NtpTime) -> Option<u128> {
+        let total = t4.wrapping_diff_units(t1);
+        let residence = t3.wrapping_diff_units(t2);
+        if total <= 0 || residence < 0 || residence >= total {
+            self.rejected += 1;
+            return None;
+        }
+        let rtt = (total - residence) as u128;
+        self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+        self.max_rtt = Some(self.max_rtt.map_or(rtt, |m| m.max(rtt)));
+        self.samples += 1;
+        Some(rtt)
+    }
+
+    /// Number of accepted probes.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of rejected (inconsistent) probes.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The observed RTT extremes as durations, if any probe was accepted.
+    pub fn rtt_window(&self) -> Option<(SimDuration, SimDuration)> {
+        Some((units_to_duration(self.min_rtt?), units_to_duration(self.max_rtt?)))
+    }
+
+    /// The per-direction delay window `[d_floor, RTT_max − d_floor]`,
+    /// widened by `margin` on the upper side (covers clock-rate error over
+    /// the RTT plus stamp granularity). Returns `None` until at least
+    /// `min_samples` probes were accepted — a window built from too few
+    /// probes may not have seen the jitter extremes.
+    pub fn delay_window(
+        &self,
+        d_floor: SimDuration,
+        margin: SimDuration,
+        min_samples: u64,
+    ) -> Option<(SimDuration, SimDuration)> {
+        if self.samples < min_samples {
+            return None;
+        }
+        let max_rtt = units_to_duration(self.max_rtt?) + margin;
+        let floor = d_floor;
+        if max_rtt <= floor {
+            return None;
+        }
+        Some((floor, max_rtt - floor))
+    }
+
+    /// Whether a window derived from this estimator covers a given true
+    /// delay (test helper).
+    pub fn covers(
+        &self,
+        true_delay: SimDuration,
+        d_floor: SimDuration,
+        margin: SimDuration,
+    ) -> bool {
+        match self.delay_window(d_floor, margin, 1) {
+            Some((lo, hi)) => true_delay >= lo && true_delay <= hi,
+            None => false,
+        }
+    }
+}
+
+/// Convenience: the deterministic per-direction floor for a fixed-size
+/// frame — serialization plus propagation (the COMCO's store latency floor
+/// is added by the caller if its datasheet guarantees one).
+pub fn delay_floor(frame_bits: u64, bitrate_bps: u64, propagation: SimDuration) -> SimDuration {
+    SimDuration::from_fs(frame_bits as u128 * 1_000_000_000_000_000 / bitrate_bps as u128)
+        + propagation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(us: u64) -> NtpTime {
+        NtpTime::from_sim_time(nti_simcore::SimTime::from_micros(1_000_000 + us))
+    }
+
+    #[test]
+    fn rtt_removes_offset_and_residence() {
+        let mut e = RttEstimator::new();
+        // True delays: 100 us out, 140 us back; residence 500 us; the
+        // responder's clock is wildly offset (+3 s) — RTT must not care.
+        let t1 = at(0);
+        let t2 = at(100).wrapping_add_units(3 << 59);
+        let t3 = at(600).wrapping_add_units(3 << 59);
+        let t4 = at(740);
+        let rtt = e.record(t1, t2, t3, t4).expect("consistent probe");
+        let rtt_us = rtt as f64 / (1u128 << 59) as f64 * 1e6;
+        assert!((rtt_us - 240.0).abs() < 0.1, "rtt = {rtt_us} us");
+    }
+
+    #[test]
+    fn window_tightens_with_more_probes() {
+        let mut e = RttEstimator::new();
+        for d in [110u64, 130, 150, 120, 140] {
+            let t1 = at(0);
+            let t2 = at(d);
+            let t3 = at(d + 50);
+            let t4 = at(2 * d + 50);
+            e.record(t1, t2, t3, t4);
+        }
+        assert_eq!(e.samples(), 5);
+        let (lo, hi) = e.rtt_window().unwrap();
+        assert!((lo.as_micros_f64() - 220.0).abs() < 0.1);
+        assert!((hi.as_micros_f64() - 300.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn inconsistent_probes_rejected() {
+        let mut e = RttEstimator::new();
+        // Residence longer than the total round trip: impossible.
+        assert!(e.record(at(0), at(10), at(500), at(100)).is_none());
+        // Negative total.
+        assert!(e.record(at(100), at(10), at(20), at(0)).is_none());
+        assert_eq!(e.rejected(), 2);
+        assert_eq!(e.samples(), 0);
+        assert!(e.rtt_window().is_none());
+    }
+
+    #[test]
+    fn delay_window_brackets_true_delay() {
+        let mut e = RttEstimator::new();
+        // Symmetric 100 us links with ±10 us jitter.
+        for (out, back) in [(95u64, 105u64), (105, 95), (92, 108), (110, 90)] {
+            e.record(at(0), at(out), at(out + 30), at(out + 30 + back));
+        }
+        let floor = SimDuration::from_micros(80);
+        let margin = SimDuration::from_micros(1);
+        for true_d in [90u64, 100, 110] {
+            assert!(
+                e.covers(SimDuration::from_micros(true_d), floor, margin),
+                "window must cover {true_d} us"
+            );
+        }
+        // But the window is not vacuous: it excludes absurd delays.
+        assert!(!e.covers(SimDuration::from_micros(10), floor, margin));
+        assert!(!e.covers(SimDuration::from_millis(10), floor, margin));
+    }
+
+    #[test]
+    fn min_samples_gate() {
+        let mut e = RttEstimator::new();
+        e.record(at(0), at(100), at(150), at(250));
+        assert!(e.delay_window(SimDuration::from_micros(50), SimDuration::ZERO, 5).is_none());
+        assert!(e.delay_window(SimDuration::from_micros(50), SimDuration::ZERO, 1).is_some());
+    }
+
+    #[test]
+    fn floor_formula() {
+        // 592 bits at 10 Mb/s = 59.2 us, plus 800 ns propagation.
+        let f = delay_floor(592, 10_000_000, SimDuration::from_nanos(800));
+        assert_eq!(f, SimDuration::from_nanos(59_200 + 800));
+    }
+
+    #[test]
+    fn degenerate_floor_exceeds_rtt() {
+        let mut e = RttEstimator::new();
+        e.record(at(0), at(10), at(20), at(30));
+        // Floor bigger than the whole RTT: no usable window.
+        assert!(e.delay_window(SimDuration::from_millis(1), SimDuration::ZERO, 1).is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Interval-based clock validation (\[Sch94\], Section 2 of the paper).
+//!
+//! A GPS receiver's output is "highly accurate but possibly faulty"; the
+//! internally synchronized interval is "less accurate but reliable". Clock
+//! validation accepts the external interval **only if it is consistent
+//! with the validation interval** — the \[HS97\] fault catalogue (offsets,
+//! wrong TOD seconds, noise bursts) manifests as external intervals that
+//! fail to intersect the validation interval and are discarded.
+//!
+//! On acceptance we use the *intersection*: it is at least as tight as the
+//! external interval and cannot claim any point the (reliable) validation
+//! interval excludes.
+
+use crate::algo::Preprocessed;
+use crate::interval::{units_ceil, AccInterval};
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::time::SimDuration;
+
+/// Outcome counters of a validation site (per node).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValidationStats {
+    /// External intervals accepted.
+    pub accepted: u64,
+    /// External intervals rejected as inconsistent.
+    pub rejected: u64,
+}
+
+/// Validate an external interval against the validation interval. Both are
+/// in the same (local) coordinate frame at the same instant. Returns the
+/// interval to use on acceptance.
+pub fn validate(external: &AccInterval, validation: &AccInterval) -> Option<AccInterval> {
+    external.intersect(validation)
+}
+
+/// Build the external interval for a GPS 1pps observation, in local-frame
+/// coordinates at the pulse's stamp event.
+///
+/// * `tod_second` — the UTC second the receiver's TOD message names;
+/// * `claimed` — the receiver's claimed pulse accuracy;
+/// * `stamp_local` — the local clock value the GPU latched at the pulse;
+/// * `extra` — additional uncertainty of the stamping path (synchronizer
+///   quantization: 1–2 oscillator periods).
+pub fn gps_observation(
+    tod_second: u64,
+    claimed: SimDuration,
+    stamp_local: NtpTime,
+    extra: SimDuration,
+) -> Preprocessed {
+    let half = units_ceil(claimed) + units_ceil(extra);
+    let value = NtpTime::from_secs(tod_second as u32);
+    let interval = AccInterval::new(value, half, half);
+    let offset_units = value.wrapping_diff_units(stamp_local);
+    Preprocessed { from: u32::MAX, interval, recv_local: stamp_local, offset_units }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(off_us: i64, half_us: u64) -> AccInterval {
+        let base = NtpTime::from_secs(500);
+        AccInterval::new(
+            base.wrapping_add_units(
+                units_ceil(SimDuration::from_micros(off_us.unsigned_abs())) as i128
+                    * off_us.signum() as i128,
+            ),
+            units_ceil(SimDuration::from_micros(half_us)),
+            units_ceil(SimDuration::from_micros(half_us)),
+        )
+    }
+
+    #[test]
+    fn consistent_external_accepted_and_tightens() {
+        let validation = iv(0, 100); // ±100 us internal interval
+        let external = iv(5, 1); // ±1 us GPS
+        let got = validate(&external, &validation).expect("consistent");
+        assert!(got.width() <= external.width());
+        // Result is essentially the GPS interval.
+        assert!(got.contains(external.value));
+    }
+
+    #[test]
+    fn faulty_external_rejected() {
+        let validation = iv(0, 100);
+        let external = iv(5000, 1); // 5 ms off: an HS97-style offset fault
+        assert!(validate(&external, &validation).is_none());
+    }
+
+    #[test]
+    fn second_jump_fault_rejected() {
+        // TOD off by one second: external interval lands a whole second away.
+        let validation = iv(0, 200);
+        let external = AccInterval::from_halfwidth(NtpTime::from_secs(501), SimDuration::from_micros(1));
+        assert!(validate(&external, &validation).is_none());
+    }
+
+    #[test]
+    fn overlapping_but_offset_external_clipped() {
+        let validation = iv(0, 10);
+        let external = iv(9, 5); // overlaps [4..14] clipped to [4..10]
+        let got = validate(&external, &validation).expect("overlap");
+        assert!(got.upper() <= validation.upper());
+        assert!(got.lower() >= external.lower());
+    }
+
+    #[test]
+    fn gps_observation_builds_local_frame_interval() {
+        let stamp = NtpTime::from_secs(499).wrapping_add_units(12345);
+        let p = gps_observation(500, SimDuration::from_nanos(500), stamp, SimDuration::from_nanos(200));
+        assert_eq!(p.interval.value.secs(), 500);
+        assert_eq!(p.recv_local, stamp);
+        assert!(p.interval.minus >= units_ceil(SimDuration::from_nanos(700)));
+        assert!(p.offset_units > 0, "pulse names a second ahead of the slow local stamp");
+    }
+
+    #[test]
+    fn validation_stats_default() {
+        let s = ValidationStats::default();
+        assert_eq!(s.accepted + s.rejected, 0);
+    }
+}

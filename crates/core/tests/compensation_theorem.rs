@@ -1,0 +1,127 @@
+//! The load-bearing theorem of Section 2, tested directly: **delay
+//! compensation followed by drift compensation preserves containment**.
+//!
+//! Setup (all quantities chosen adversarially by proptest):
+//!
+//! * real time of the sender's stamping event `t_x`; the sender's interval
+//!   contains it (its clock is off by at most its α);
+//! * a true transmission delay `d ∈ [δ_min, δ_max]`;
+//! * the receiver's clock drifts at some |ρ| ≤ ρ_max and elapses an
+//!   arbitrary local span between the receive stamp and CF time.
+//!
+//! Claim: the preprocessed, drift-compensated interval — expressed in the
+//! receiver's clock coordinates — contains the clock value a *perfect*
+//! receiver clock would show at CF time. Equivalently: if the receiver's
+//! own interval also contains real time, Marzullo/OA inputs are all
+//! correct and the new interval keeps `t ∈ A(t)`.
+
+use nti_core::algo::{ReceivedCsp, SyncCore};
+use nti_core::params::{AlgoKind, SyncParams};
+use nti_core::payload::CspPayload;
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::time::SimDuration;
+use nti_simcore::Accuracy;
+use proptest::prelude::*;
+
+fn params(dmin_us: u64, dmax_us: u64, rho_ppm: f64) -> SyncParams {
+    SyncParams {
+        round_period: SimDuration::from_secs(1),
+        cf_delta: SimDuration::from_millis(250),
+        f: 0,
+        delay_min: SimDuration::from_micros(dmin_us),
+        delay_max: SimDuration::from_micros(dmax_us),
+        rho_ppm,
+        rate_adj_uncertainty: SimDuration::from_nanos(100),
+        granularity: SimDuration::from_nanos(60),
+        amortization: SimDuration::from_millis(100),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn compensation_preserves_containment(
+        // Sender clock error within its claimed alpha (units of 2^-24 s).
+        sender_alpha in 1u16..2000,
+        sender_err_frac in -1.0f64..1.0,
+        // True delay inside the configured window.
+        dmin_us in 1u64..200,
+        dwidth_us in 0u64..100,
+        d_frac in 0.0f64..1.0,
+        // Receiver drift within the budget, arbitrary elapsed span to CF.
+        rho_budget in 1.0f64..50.0,
+        rho_frac in -1.0f64..1.0,
+        elapsed_ms in 0u64..400,
+        // Receiver clock offset (arbitrary; containment must not care).
+        rx_offset_us in -500_000i64..500_000,
+    ) {
+        let dmax_us = dmin_us + dwidth_us;
+        let p = params(dmin_us, dmax_us, rho_budget);
+        let core = SyncCore::new(p, AlgoKind::IntervalOa);
+
+        // Real time of the sender's stamp event.
+        let t_x = 1000.0f64; // seconds
+        // Sender's clock at the stamp: within alpha of real time.
+        let alpha_s = sender_alpha as f64 / (1u32 << 24) as f64;
+        let sender_clock = t_x + sender_err_frac * alpha_s;
+        // True delay.
+        let d = (dmin_us as f64 + d_frac * dwidth_us as f64) * 1e-6;
+        let t_r = t_x + d; // real time of the receive stamp
+        // Receiver's clock: arbitrary offset, drift rho.
+        let rho = rho_frac * rho_budget * 1e-6;
+        let rx_off = rx_offset_us as f64 * 1e-6;
+        let rx_clock_at = |t: f64| (t - t_r) * (1.0 + rho) + t_r + rx_off;
+
+        let to_ntp = |secs: f64| NtpTime::from_raw((secs * (1u128 << 59) as f64) as u128);
+
+        let csp = ReceivedCsp {
+            payload: CspPayload {
+                node: 1,
+                round: 1,
+                alpha_minus: sender_alpha,
+                alpha_plus: sender_alpha,
+                macrostamp: 0,
+                hw_timestamp: 0,
+                hw_acc: 0,
+                sw_timestamp: 0,
+                hops: 0,
+            },
+            xmit_stamp: to_ntp(sender_clock),
+            xmit_alpha: (Accuracy(sender_alpha), Accuracy(sender_alpha)),
+            recv_local: to_ntp(rx_clock_at(t_r)),
+        };
+        let pre = core.preprocess(&csp);
+
+        // Ship to CF time: the receiver's clock has elapsed `elapsed`.
+        let elapsed_real = elapsed_ms as f64 * 1e-3;
+        let t_cf = t_r + elapsed_real;
+        let now_local = to_ntp(rx_clock_at(t_cf));
+        let iv = core.drift_compensate(&pre, now_local);
+
+        // The interval is expressed in perfect-clock (UTC) coordinates:
+        // its value estimates what a perfectly synchronized clock reads at
+        // the corresponding real instant. The receiver's own frame offset
+        // cancels in the elapsed-time measurement (elapsed_local =
+        // elapsed_real·(1+ρ), independent of the offset), so the
+        // containment probe is simply real time at CF:
+        let probe = to_ntp(t_cf);
+        let utc_claim_err = iv.value.wrapping_diff_units(probe);
+        let ok = -(iv.minus as i128) <= utc_claim_err && utc_claim_err <= iv.plus as i128;
+        prop_assert!(
+            ok,
+            "containment broken: err={} units, -alpha={} +alpha={} (d={d}, rho={rho}, elapsed={elapsed_real})",
+            utc_claim_err,
+            iv.minus,
+            iv.plus
+        );
+        // And the compensation is not vacuous: the interval width is
+        // bounded by sender alpha + delay window + drift + granularity
+        // terms with constant-factor slack.
+        let bound = 2.0 * alpha_s
+            + (dmax_us - dmin_us) as f64 * 1e-6
+            + 2.0 * rho_budget * 1e-6 * elapsed_real
+            + 1e-6;
+        let width_s = (iv.minus + iv.plus) as f64 / (1u128 << 59) as f64;
+        prop_assert!(width_s <= bound * 1.5 + 2e-6, "width {width_s} vs bound {bound}");
+    }
+}

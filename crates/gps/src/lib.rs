@@ -1,0 +1,317 @@
+#![warn(missing_docs)]
+
+//! GPS receiver simulation with fault injection.
+//!
+//! External clock synchronization needs an external time source; the NTI
+//! interfaces up to three GPS receivers through the UTCSU's GPU units: the
+//! receiver's **1pps pulse** (marking the exact beginning of a UTC second)
+//! is time/accuracy-stamped in hardware, while the less time-critical
+//! **time-of-day message** naming the pulse's second arrives later over a
+//! serial line (Section 3.3).
+//!
+//! Crucially, the paper warns against "always trusting the output of a GPS
+//! receiver": the authors ran a **two-month continuous evaluation of six
+//! receivers** and observed "a wide variety of failures" \[HS97\]. The fault
+//! injector reproduces that catalogue:
+//!
+//! * [`GpsFault::Dropout`] — no pulses (antenna shaded, no fix);
+//! * [`GpsFault::Offset`] — a constant phase error exceeding the claimed
+//!   accuracy (bad position hold, cable delay misconfiguration);
+//! * [`GpsFault::SecondJump`] — the TOD message names the wrong second
+//!   (±1 s off-by-one and week-rollover style errors);
+//! * [`GpsFault::StuckTod`] — pulses continue but the TOD message freezes;
+//! * [`GpsFault::Noisy`] — a period of strongly elevated pulse jitter.
+//!
+//! Interval-based *clock validation* (Section 2) exists exactly to mask
+//! these: a faulty receiver's interval fails to intersect the internal
+//! validation interval and is discarded.
+
+use nti_simcore::rng::SimRng;
+use nti_simcore::time::{SimDuration, SimTime, FS_PER_SEC};
+
+/// Static receiver characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct GpsConfig {
+    /// Half-width of the sawtooth/quantization pulse error (uniform).
+    pub sawtooth: SimDuration,
+    /// Constant pulse bias (antenna cable, receiver processing).
+    pub bias: SimDuration,
+    /// The accuracy bound the receiver *claims* for its pulses (what an
+    /// algorithm would use to build the external interval).
+    pub claimed_accuracy: SimDuration,
+    /// Delay from the pulse to the serial TOD message naming it.
+    pub tod_delay: SimDuration,
+}
+
+impl Default for GpsConfig {
+    /// A mid-1990s timing receiver: ±200 ns sawtooth, 60 ns bias, ±500 ns
+    /// claimed accuracy, TOD messages ~80 ms after the pulse.
+    fn default() -> Self {
+        GpsConfig {
+            sawtooth: SimDuration::from_nanos(200),
+            bias: SimDuration::from_nanos(60),
+            claimed_accuracy: SimDuration::from_nanos(500),
+            tod_delay: SimDuration::from_millis(80),
+        }
+    }
+}
+
+/// One injected fault episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GpsFault {
+    /// No pulses in `[from, until)` (seconds).
+    Dropout {
+        /// First affected UTC second.
+        from: u64,
+        /// First unaffected UTC second.
+        until: u64,
+    },
+    /// Pulses in `[from, until)` carry an extra phase offset.
+    Offset {
+        /// First affected UTC second.
+        from: u64,
+        /// First unaffected UTC second.
+        until: u64,
+        /// The injected offset (positive = late pulses).
+        offset: SimDuration,
+    },
+    /// From second `from` on, TOD messages are off by `delta` seconds.
+    SecondJump {
+        /// First affected UTC second.
+        from: u64,
+        /// Signed TOD error in whole seconds.
+        delta: i64,
+    },
+    /// TOD messages in `[from, until)` repeat the value from `from`.
+    StuckTod {
+        /// First affected UTC second.
+        from: u64,
+        /// First unaffected UTC second.
+        until: u64,
+    },
+    /// Pulses in `[from, until)` suffer Gaussian jitter of the given sigma.
+    Noisy {
+        /// First affected UTC second.
+        from: u64,
+        /// First unaffected UTC second.
+        until: u64,
+        /// Jitter standard deviation.
+        sigma: SimDuration,
+    },
+}
+
+/// One emitted 1pps event plus its TOD message.
+#[derive(Clone, Copy, Debug)]
+pub struct PpsEvent {
+    /// Real time at which the pulse edge occurs.
+    pub at: SimTime,
+    /// The UTC second this pulse *actually* marks.
+    pub true_second: u64,
+    /// The UTC second the TOD message *claims* (may differ under faults).
+    pub tod_second: u64,
+    /// When the TOD message arrives on the serial line.
+    pub tod_at: SimTime,
+    /// The accuracy bound the receiver claims.
+    pub claimed_accuracy: SimDuration,
+}
+
+impl PpsEvent {
+    /// The pulse's true phase error: `at - true_second` (signed, seconds).
+    pub fn phase_error_secs(&self) -> f64 {
+        self.at.as_secs_f64() - self.true_second as f64
+    }
+
+    /// Whether the pulse's true error exceeds the claimed accuracy — i.e.
+    /// whether trusting this receiver would violate containment.
+    pub fn violates_claim(&self) -> bool {
+        self.phase_error_secs().abs() > self.claimed_accuracy.as_secs_f64()
+            || self.tod_second != self.true_second
+    }
+}
+
+/// A simulated GPS timing receiver.
+#[derive(Clone, Debug)]
+pub struct GpsReceiver {
+    cfg: GpsConfig,
+    faults: Vec<GpsFault>,
+    rng: SimRng,
+}
+
+impl GpsReceiver {
+    /// A healthy receiver.
+    pub fn new(cfg: GpsConfig, rng: SimRng) -> Self {
+        GpsReceiver { cfg, faults: Vec::new(), rng }
+    }
+
+    /// Inject a fault episode.
+    pub fn inject(&mut self, fault: GpsFault) {
+        self.faults.push(fault);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> GpsConfig {
+        self.cfg
+    }
+
+    /// The injected faults.
+    pub fn faults(&self) -> &[GpsFault] {
+        &self.faults
+    }
+
+    /// Generate the pulse (or `None` during a dropout) for UTC second `s`.
+    pub fn pulse_for_second(&mut self, s: u64) -> Option<PpsEvent> {
+        let mut offset_fs: i128 = self.cfg.bias.as_fs() as i128;
+        // Sawtooth: uniform in [-sawtooth, +sawtooth].
+        let st = self.cfg.sawtooth.as_fs() as i128;
+        if st > 0 {
+            offset_fs += self.rng.below((2 * st + 1) as u64) as i128 - st;
+        }
+        let mut tod = s as i64;
+        for f in &self.faults {
+            match *f {
+                GpsFault::Dropout { from, until } if (from..until).contains(&s) => return None,
+                GpsFault::Offset { from, until, offset } if (from..until).contains(&s) => {
+                    offset_fs += offset.as_fs() as i128;
+                }
+                GpsFault::SecondJump { from, delta } if s >= from => {
+                    tod += delta;
+                }
+                GpsFault::StuckTod { from, until } if (from..until).contains(&s) => {
+                    tod = from as i64;
+                }
+                GpsFault::Noisy { from, until, sigma } if (from..until).contains(&s) => {
+                    offset_fs += (self.rng.gauss() * sigma.as_fs() as f64) as i128;
+                }
+                _ => {}
+            }
+        }
+        let base_fs = s as i128 * FS_PER_SEC as i128;
+        let at_fs = (base_fs + offset_fs).max(0) as u128;
+        let at = SimTime::from_fs(at_fs);
+        Some(PpsEvent {
+            at,
+            true_second: s,
+            tod_second: tod.max(0) as u64,
+            tod_at: at + self.cfg.tod_delay,
+            claimed_accuracy: self.cfg.claimed_accuracy,
+        })
+    }
+
+    /// Generate all pulses for seconds in `[from, to)`.
+    pub fn pulses_in(&mut self, from: u64, to: u64) -> Vec<PpsEvent> {
+        (from..to).filter_map(|s| self.pulse_for_second(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx(seed: u64) -> GpsReceiver {
+        GpsReceiver::new(GpsConfig::default(), SimRng::new(seed))
+    }
+
+    #[test]
+    fn healthy_pulses_within_claim() {
+        let mut r = rx(1);
+        for p in r.pulses_in(10, 100) {
+            assert_eq!(p.tod_second, p.true_second);
+            assert!(!p.violates_claim(), "error {} s", p.phase_error_secs());
+            assert!(p.tod_at > p.at);
+        }
+    }
+
+    #[test]
+    fn pulses_are_one_per_second() {
+        let mut r = rx(2);
+        let ps = r.pulses_in(0, 50);
+        assert_eq!(ps.len(), 50);
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(p.true_second, i as u64);
+        }
+    }
+
+    #[test]
+    fn sawtooth_spread_matches_config() {
+        let mut r = rx(3);
+        let errs: Vec<f64> = r.pulses_in(0, 2000).iter().map(|p| p.phase_error_secs()).collect();
+        let bias = 60e-9;
+        let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = errs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min >= bias - 201e-9 && max <= bias + 201e-9, "{min}..{max}");
+        assert!(max - min > 300e-9, "spread too small: {}", max - min);
+    }
+
+    #[test]
+    fn dropout_suppresses_pulses() {
+        let mut r = rx(4);
+        r.inject(GpsFault::Dropout { from: 10, until: 20 });
+        let ps = r.pulses_in(0, 30);
+        assert_eq!(ps.len(), 20);
+        assert!(ps.iter().all(|p| !(10..20).contains(&p.true_second)));
+    }
+
+    #[test]
+    fn offset_fault_violates_claim() {
+        let mut r = rx(5);
+        r.inject(GpsFault::Offset {
+            from: 5,
+            until: 10,
+            offset: SimDuration::from_micros(10),
+        });
+        for p in r.pulses_in(0, 15) {
+            let in_fault = (5..10).contains(&p.true_second);
+            assert_eq!(p.violates_claim(), in_fault, "second {}", p.true_second);
+        }
+    }
+
+    #[test]
+    fn second_jump_corrupts_tod_persistently() {
+        let mut r = rx(6);
+        r.inject(GpsFault::SecondJump { from: 100, delta: -1 });
+        let ps = r.pulses_in(98, 103);
+        assert_eq!(ps[0].tod_second, 98);
+        assert_eq!(ps[2].tod_second, 99, "second 100 reports 99");
+        assert_eq!(ps[4].tod_second, 101);
+        assert!(ps[2].violates_claim());
+    }
+
+    #[test]
+    fn stuck_tod_freezes_value() {
+        let mut r = rx(7);
+        r.inject(GpsFault::StuckTod { from: 50, until: 53 });
+        let ps = r.pulses_in(49, 54);
+        assert_eq!(ps.iter().map(|p| p.tod_second).collect::<Vec<_>>(), vec![49, 50, 50, 50, 53]);
+    }
+
+    #[test]
+    fn noisy_period_raises_variance() {
+        let mut r = rx(8);
+        r.inject(GpsFault::Noisy {
+            from: 0,
+            until: 1000,
+            sigma: SimDuration::from_micros(5),
+        });
+        let errs: Vec<f64> = r.pulses_in(0, 1000).iter().map(|p| p.phase_error_secs()).collect();
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64;
+        assert!(var.sqrt() > 3e-6, "sigma={}", var.sqrt());
+    }
+
+    #[test]
+    fn faults_compose() {
+        let mut r = rx(9);
+        r.inject(GpsFault::Offset { from: 0, until: 100, offset: SimDuration::from_micros(2) });
+        r.inject(GpsFault::SecondJump { from: 50, delta: 1 });
+        let ps = r.pulses_in(49, 51);
+        assert!(ps[0].phase_error_secs() > 1.5e-6);
+        assert_eq!(ps[1].tod_second, 51, "both faults active");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<_> = rx(42).pulses_in(0, 100).iter().map(|p| p.at).collect();
+        let b: Vec<_> = rx(42).pulses_in(0, 100).iter().map(|p| p.at).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the GPS receiver model.
+
+use nti_gps::{GpsConfig, GpsFault, GpsReceiver};
+use nti_simcore::{SimDuration, SimRng};
+use proptest::prelude::*;
+
+fn rx(seed: u64, sawtooth_ns: u64, bias_ns: u64) -> GpsReceiver {
+    GpsReceiver::new(
+        GpsConfig {
+            sawtooth: SimDuration::from_nanos(sawtooth_ns),
+            bias: SimDuration::from_nanos(bias_ns),
+            claimed_accuracy: SimDuration::from_nanos(sawtooth_ns + bias_ns + 100),
+            tod_delay: SimDuration::from_millis(80),
+        },
+        SimRng::new(seed),
+    )
+}
+
+proptest! {
+    /// A healthy receiver's pulse error never exceeds bias + sawtooth, and
+    /// never violates a claim that covers both.
+    #[test]
+    fn healthy_error_bounded(seed in any::<u64>(), st in 0u64..1000, bias in 0u64..500) {
+        let mut r = rx(seed, st, bias);
+        for p in r.pulses_in(0, 200) {
+            let bound = (st + bias) as f64 * 1e-9 + 1e-12;
+            prop_assert!(p.phase_error_secs().abs() <= bound);
+            prop_assert!(!p.violates_claim());
+        }
+    }
+
+    /// Pulses are strictly ordered in time and one per second.
+    #[test]
+    fn pulses_ordered(seed in any::<u64>()) {
+        let mut r = rx(seed, 200, 60);
+        let ps = r.pulses_in(5, 105);
+        prop_assert_eq!(ps.len(), 100);
+        for w in ps.windows(2) {
+            prop_assert!(w[1].at > w[0].at);
+            prop_assert_eq!(w[1].true_second, w[0].true_second + 1);
+        }
+    }
+
+    /// An offset fault larger than the claimed accuracy always violates
+    /// the claim during (and only during) its episode.
+    #[test]
+    fn offset_fault_window_exact(seed in any::<u64>(), from in 5u64..50, len in 1u64..30, extra_us in 1u64..1000) {
+        let mut r = rx(seed, 200, 60);
+        let claimed = r.config().claimed_accuracy;
+        r.inject(GpsFault::Offset {
+            from,
+            until: from + len,
+            offset: claimed + SimDuration::from_micros(extra_us),
+        });
+        for p in r.pulses_in(0, from + len + 10) {
+            let in_window = (from..from + len).contains(&p.true_second);
+            prop_assert_eq!(p.violates_claim(), in_window, "second {}", p.true_second);
+        }
+    }
+
+    /// Dropouts remove exactly the affected seconds.
+    #[test]
+    fn dropout_window_exact(seed in any::<u64>(), from in 0u64..40, len in 0u64..40) {
+        let mut r = rx(seed, 200, 60);
+        r.inject(GpsFault::Dropout { from, until: from + len });
+        let ps = r.pulses_in(0, 100);
+        let dropped = (from + len).min(100).saturating_sub(from.min(100));
+        prop_assert_eq!(ps.len() as u64, 100 - dropped);
+        for p in ps {
+            prop_assert!(!(from..from + len).contains(&p.true_second));
+        }
+    }
+
+    /// TOD messages always trail their pulse by the configured delay.
+    #[test]
+    fn tod_trails_pulse(seed in any::<u64>()) {
+        let mut r = rx(seed, 200, 60);
+        for p in r.pulses_in(0, 50) {
+            prop_assert_eq!(p.tod_at, p.at + SimDuration::from_millis(80));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the executive and latency models.
+
+use nti_kernel::exec::{Executive, Step, TaskBody};
+use nti_kernel::{KernelConfig, Latency};
+use nti_simcore::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A task that computes random bursts then exits.
+struct Burst {
+    bursts: Vec<u64>,
+    idx: usize,
+    total: Rc<RefCell<SimDuration>>,
+}
+
+impl TaskBody for Burst {
+    fn step(&mut self, _now: SimTime) -> Step {
+        if self.idx >= self.bursts.len() {
+            return Step::Exit;
+        }
+        let d = SimDuration::from_micros(self.bursts[self.idx]);
+        *self.total.borrow_mut() += d;
+        self.idx += 1;
+        Step::Compute(d)
+    }
+}
+
+proptest! {
+    /// CPU accounting is exact: each task's cpu_used equals the sum of its
+    /// compute bursts, regardless of priorities and preemption.
+    #[test]
+    fn cpu_accounting_exact(
+        tasks in proptest::collection::vec(
+            (1u8..255, proptest::collection::vec(1u64..500, 0..6)),
+            1..6,
+        ),
+    ) {
+        let mut ex = Executive::new();
+        ex.context_switch = SimDuration::from_micros(3);
+        let mut expected = Vec::new();
+        for (prio, bursts) in tasks {
+            let total = Rc::new(RefCell::new(SimDuration::ZERO));
+            let id = ex.spawn(prio, Box::new(Burst { bursts, idx: 0, total: total.clone() }));
+            expected.push((id, total));
+        }
+        ex.run_until(SimTime::from_secs(60));
+        for (id, total) in expected {
+            prop_assert!(ex.is_done(id), "task {id} must finish");
+            prop_assert_eq!(ex.cpu_used(id), *total.borrow(), "task {}", id);
+        }
+    }
+
+    /// Virtual time never runs backwards and always reaches `until` when
+    /// the system quiesces.
+    #[test]
+    fn time_monotone_and_reaches_until(
+        tasks in proptest::collection::vec(
+            proptest::collection::vec(1u64..200, 0..4),
+            0..4,
+        ),
+        until_ms in 1u64..1000,
+    ) {
+        let mut ex = Executive::new();
+        for bursts in tasks {
+            let total = Rc::new(RefCell::new(SimDuration::ZERO));
+            ex.spawn(50, Box::new(Burst { bursts, idx: 0, total }));
+        }
+        let until = SimTime::from_millis(until_ms);
+        ex.run_until(until);
+        prop_assert!(ex.now() >= until || ex.now() == until);
+    }
+
+    /// Latency draws always land in [base, base + spread + tail].
+    #[test]
+    fn latency_draw_bounded(
+        seed in any::<u64>(),
+        base_us in 0u64..1000,
+        spread_us in 0u64..1000,
+        tail_us in 0u64..5000,
+        p in 0.0f64..1.0,
+    ) {
+        let l = Latency {
+            base: SimDuration::from_micros(base_us),
+            spread: SimDuration::from_micros(spread_us),
+            tail_prob: p,
+            tail: SimDuration::from_micros(tail_us),
+        };
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let d = l.draw(&mut rng);
+            prop_assert!(d >= l.base && d <= l.max());
+        }
+    }
+
+    /// The three stock kernel configs are internally ordered: ideal ≤
+    /// dedicated ≤ shared for every latency's worst case.
+    #[test]
+    fn config_ordering_holds(_x in 0u8..1) {
+        let ideal = KernelConfig::ideal();
+        let ded = KernelConfig::dedicated_i6040();
+        let shared = KernelConfig::psos_mvme162();
+        for f in [
+            |k: &KernelConfig| k.isr_entry.max(),
+            |k: &KernelConfig| k.isr_body.max(),
+            |k: &KernelConfig| k.task_dispatch.max(),
+            |k: &KernelConfig| k.csp_assembly.max(),
+        ] {
+            prop_assert!(f(&ideal) <= f(&ded));
+            prop_assert!(f(&ded) <= f(&shared));
+        }
+    }
+}

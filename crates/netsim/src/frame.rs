@@ -1,0 +1,191 @@
+//! Ethernet-style frame codec with CRC-32.
+//!
+//! The NTI setting targets "ordinary packet-oriented data networks"; the
+//! evaluation prototype used Intel's 82596CA Ethernet coprocessor, so the
+//! wire format modelled here is IEEE 802.3-shaped: 8 bytes of preamble+SFD
+//! (on the wire only), destination/source addresses, an ethertype, payload
+//! and a trailing CRC-32 (FCS). The CRC matters to the reproduction: the
+//! paper's footnote 4 points out that a CSP can *trigger a timestamp yet be
+//! discarded* (bad FCS) — which is exactly why the Receive Header Base
+//! register exists — so the receive path must be able to corrupt and then
+//! reject frames.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Preamble + SFD length in bytes (on the wire, not stored in buffers).
+pub const PREAMBLE_LEN: usize = 8;
+/// Header length: dst(6) + src(6) + ethertype(2).
+pub const HEADER_LEN: usize = 14;
+/// FCS length.
+pub const FCS_LEN: usize = 4;
+/// Minimum payload (802.3 minimum frame 64 B = 14 header + 46 payload + 4 FCS).
+pub const MIN_PAYLOAD: usize = 46;
+/// Maximum payload.
+pub const MAX_PAYLOAD: usize = 1500;
+/// The ethertype used for clock synchronization packets.
+pub const ETHERTYPE_CSP: u16 = 0x88F7; // PTP's ethertype: fitting for a time protocol
+/// The broadcast MAC address.
+pub const BROADCAST: [u8; 6] = [0xFF; 6];
+
+/// A MAC frame (before preamble/FCS are added for the wire).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Destination MAC.
+    pub dst: [u8; 6],
+    /// Source MAC.
+    pub src: [u8; 6],
+    /// Ethertype.
+    pub ethertype: u16,
+    /// Payload (padded to `MIN_PAYLOAD` on encode).
+    pub payload: Bytes,
+}
+
+/// Decoding failure modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer shorter than header + FCS.
+    Truncated,
+    /// FCS mismatch (frame corrupted on the wire).
+    BadCrc,
+    /// Payload longer than `MAX_PAYLOAD`.
+    TooLong,
+}
+
+impl Frame {
+    /// Build a CSP broadcast frame from node `src`.
+    pub fn csp(src: [u8; 6], payload: Bytes) -> Frame {
+        Frame { dst: BROADCAST, src, ethertype: ETHERTYPE_CSP, payload }
+    }
+
+    /// A simple MAC address for node index `i`.
+    pub fn mac(i: u32) -> [u8; 6] {
+        let b = i.to_be_bytes();
+        [0x02, 0x00, b[0], b[1], b[2], b[3]]
+    }
+
+    /// Encode into the stored representation (header + padded payload +
+    /// FCS; no preamble). Panics if the payload exceeds `MAX_PAYLOAD`.
+    pub fn encode(&self) -> Bytes {
+        assert!(self.payload.len() <= MAX_PAYLOAD, "payload too long");
+        let padded = self.payload.len().max(MIN_PAYLOAD);
+        let mut b = BytesMut::with_capacity(HEADER_LEN + padded + FCS_LEN);
+        b.put_slice(&self.dst);
+        b.put_slice(&self.src);
+        b.put_u16(self.ethertype);
+        b.put_slice(&self.payload);
+        b.put_bytes(0, padded - self.payload.len());
+        let crc = crc32(&b);
+        b.put_u32(crc);
+        b.freeze()
+    }
+
+    /// Decode and CRC-check a stored frame.
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() < HEADER_LEN + FCS_LEN {
+            return Err(FrameError::Truncated);
+        }
+        if buf.len() > HEADER_LEN + MAX_PAYLOAD + FCS_LEN {
+            return Err(FrameError::TooLong);
+        }
+        let (body, fcs) = buf.split_at(buf.len() - FCS_LEN);
+        let want = u32::from_be_bytes(fcs.try_into().expect("4 bytes"));
+        if crc32(body) != want {
+            return Err(FrameError::BadCrc);
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&body[0..6]);
+        src.copy_from_slice(&body[6..12]);
+        let ethertype = u16::from_be_bytes([body[12], body[13]]);
+        Ok(Frame { dst, src, ethertype, payload: Bytes::copy_from_slice(&body[HEADER_LEN..]) })
+    }
+
+    /// Total bits on the wire including preamble and FCS.
+    pub fn wire_bits(&self) -> u64 {
+        let padded = self.payload.len().max(MIN_PAYLOAD);
+        ((PREAMBLE_LEN + HEADER_LEN + padded + FCS_LEN) * 8) as u64
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (standard check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = Frame::csp(Frame::mac(7), Bytes::from_static(b"interval data here padded.....................!"));
+        let wire = f.encode();
+        let back = Frame::decode(&wire).expect("valid frame");
+        assert_eq!(back.dst, BROADCAST);
+        assert_eq!(back.src, Frame::mac(7));
+        assert_eq!(back.ethertype, ETHERTYPE_CSP);
+        assert_eq!(&back.payload[..f.payload.len()], &f.payload[..]);
+    }
+
+    #[test]
+    fn short_payload_is_padded() {
+        let f = Frame::csp(Frame::mac(1), Bytes::from_static(b"x"));
+        let wire = f.encode();
+        assert_eq!(wire.len(), HEADER_LEN + MIN_PAYLOAD + FCS_LEN);
+        let back = Frame::decode(&wire).unwrap();
+        assert_eq!(back.payload.len(), MIN_PAYLOAD);
+        assert_eq!(back.payload[0], b'x');
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let f = Frame::csp(Frame::mac(1), Bytes::from_static(b"hello"));
+        let mut wire = f.encode().to_vec();
+        wire[20] ^= 0x01;
+        assert_eq!(Frame::decode(&wire), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn truncated_detected() {
+        assert_eq!(Frame::decode(&[0u8; 10]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn oversized_detected() {
+        let buf = vec![0u8; HEADER_LEN + MAX_PAYLOAD + FCS_LEN + 1];
+        assert_eq!(Frame::decode(&buf), Err(FrameError::TooLong));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too long")]
+    fn encode_rejects_oversized_payload() {
+        let f = Frame::csp(Frame::mac(1), Bytes::from(vec![0u8; MAX_PAYLOAD + 1]));
+        let _ = f.encode();
+    }
+
+    #[test]
+    fn wire_bits_includes_preamble() {
+        let f = Frame::csp(Frame::mac(1), Bytes::from_static(b"x"));
+        assert_eq!(f.wire_bits(), ((8 + 14 + 46 + 4) * 8) as u64);
+    }
+
+    #[test]
+    fn mac_addresses_distinct() {
+        assert_ne!(Frame::mac(0), Frame::mac(1));
+        assert_eq!(Frame::mac(5)[0], 0x02, "locally administered");
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Packet-oriented LAN simulation for the NTI reproduction.
+//!
+//! The paper's type-(II) setting: nodes within a few hundred metres on a
+//! shared broadcast channel (concretely 10 Mb/s Ethernet driven by Intel's
+//! 82596CA coprocessor). Three models live here:
+//!
+//! * [`frame`] — the wire format (addresses, ethertype, CRC-32 FCS);
+//! * [`medium`] — the shared CSMA/CD bus: carrier sense, deferral, backoff,
+//!   serialization, propagation; this produces the *medium access
+//!   uncertainty* that dominates software timestamping;
+//! * [`comco`] — the DMA coprocessor's bus-access timing: FIFO lead,
+//!   bus-arbitration jitter, store/interrupt latencies; this produces the
+//!   *residual* uncertainty that bounds the NTI's hardware timestamps;
+//! * [`topology`] — LAN membership, gateways, WANs-of-LANs;
+//! * [`wan`] — long-haul (class-III) paths with queueing + congestion,
+//!   the substrate of the NTP baseline.
+//!
+//! The crate contains no event queue of its own: planners return explicit
+//! timed access schedules which the cluster assembly (`nti-core`) replays
+//! through the discrete-event engine against the NTI's memory map.
+
+pub mod comco;
+pub mod frame;
+pub mod medium;
+pub mod topology;
+pub mod wan;
+
+pub use comco::{BusAccess, Comco, ComcoTiming, Jitter, RxPlan, TxPlan};
+pub use frame::{crc32, Frame, FrameError, ETHERTYPE_CSP};
+pub use medium::{AccessModel, Grant, Medium, MediumConfig};
+pub use topology::{LanId, NodeId, Topology};
+pub use wan::{Direction, WanConfig, WanPath};

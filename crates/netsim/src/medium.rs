@@ -1,0 +1,235 @@
+//! The shared broadcast medium (CSMA/CD bus).
+//!
+//! Type-(II) systems in the paper's classification are LANs on shared
+//! broadcast channels: "almost deterministic propagation delays but a
+//! considerable **medium access uncertainty**" (Section 1). That access
+//! uncertainty is the dominant ε term for software-timestamped clock
+//! synchronization and the very thing the NTI's DMA-level timestamping
+//! removes — so the medium model must produce it faithfully.
+//!
+//! The model is an event-level abstraction of CSMA/CD: a transmitter
+//! becomes *ready*, defers while the channel is busy (carrier sense), and —
+//! when it was forced to defer or collides with simultaneous contenders —
+//! backs off by a random number of slot times with truncated binary
+//! exponential backoff. Serialization occupies the channel for
+//! `wire_bits / bitrate`; propagation adds a fixed per-segment delay
+//! (a 10BASE bus of ≤ a few 100 m: tens to hundreds of ns).
+
+use nti_simcore::rng::SimRng;
+use nti_simcore::time::{SimDuration, SimTime};
+
+/// Medium access behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessModel {
+    /// Perfectly arbitrated FIFO access (no jitter) — the idealised bound.
+    Ideal,
+    /// CSMA/CD with truncated binary exponential backoff.
+    CsmaCd,
+}
+
+/// Static medium parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MediumConfig {
+    /// Channel bit rate (10 Mb/s Ethernet by default).
+    pub bitrate_bps: u64,
+    /// One-way propagation delay between any two taps.
+    pub prop_delay: SimDuration,
+    /// Inter-frame gap (96 bit times on Ethernet).
+    pub ifg: SimDuration,
+    /// Backoff slot time (512 bit times on Ethernet).
+    pub slot_time: SimDuration,
+    /// Access behaviour.
+    pub access: AccessModel,
+}
+
+impl MediumConfig {
+    /// Classic 10 Mb/s Ethernet on a ≤ 200 m segment.
+    pub fn ethernet_10m() -> Self {
+        MediumConfig {
+            bitrate_bps: 10_000_000,
+            prop_delay: SimDuration::from_nanos(800), // ~160 m of coax
+            ifg: SimDuration::from_micros(10),        // 96 bit times briefly above 9.6us
+            slot_time: SimDuration::from_micros(51),  // 512 bit times
+            access: AccessModel::CsmaCd,
+        }
+    }
+
+    /// The same segment with an ideal (jitter-free) arbiter, for ablations.
+    pub fn ideal_10m() -> Self {
+        MediumConfig { access: AccessModel::Ideal, ..Self::ethernet_10m() }
+    }
+}
+
+/// A transmission grant: when the first preamble bit hits the wire and when
+/// the last bit leaves it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// First bit on the wire.
+    pub wire_start: SimTime,
+    /// Last bit off the wire.
+    pub wire_end: SimTime,
+    /// How long the transmitter had to defer past its ready time.
+    pub access_delay: SimDuration,
+}
+
+/// One shared-bus segment.
+#[derive(Clone, Debug)]
+pub struct Medium {
+    cfg: MediumConfig,
+    busy_until: SimTime,
+    /// Current backoff exponent (contention estimator).
+    backoff_k: u32,
+    rng: SimRng,
+    grants: u64,
+    deferrals: u64,
+}
+
+impl Medium {
+    /// A fresh idle segment.
+    pub fn new(cfg: MediumConfig, rng: SimRng) -> Self {
+        Medium { cfg, busy_until: SimTime::ZERO, backoff_k: 0, rng, grants: 0, deferrals: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MediumConfig {
+        self.cfg
+    }
+
+    /// One-way propagation delay of this segment.
+    pub fn propagation(&self) -> SimDuration {
+        self.cfg.prop_delay
+    }
+
+    /// Serialization time for `bits` at the channel rate.
+    pub fn serialize(&self, bits: u64) -> SimDuration {
+        SimDuration::from_fs(bits as u128 * 1_000_000_000_000_000 / self.cfg.bitrate_bps as u128)
+    }
+
+    /// Request the channel: the transmitter is ready at `ready` with a
+    /// frame of `bits`. Returns the grant, advancing the channel state.
+    pub fn grant(&mut self, ready: SimTime, bits: u64) -> Grant {
+        let contended = ready < self.busy_until;
+        let mut start = if contended { self.busy_until } else { ready } + self.cfg.ifg;
+        match self.cfg.access {
+            AccessModel::Ideal => {
+                self.backoff_k = 0;
+            }
+            AccessModel::CsmaCd => {
+                if contended {
+                    // A deferral is carrier-sense waiting; only with some
+                    // probability does it turn into a collision that backs
+                    // off (two stations starting within the collision
+                    // window). The exponent is truncated at 2⁵ slots: the
+                    // serialized-arbiter abstraction already queues losers,
+                    // so the full 2¹⁰ Ethernet truncation would double-count
+                    // contention and saturate the channel.
+                    self.deferrals += 1;
+                    if self.rng.chance(0.5) {
+                        self.backoff_k = (self.backoff_k + 1).min(5);
+                        let slots = self.rng.below(1 << self.backoff_k);
+                        start += self.cfg.slot_time * slots as u128;
+                    }
+                } else if self.backoff_k > 0 {
+                    self.backoff_k -= 1;
+                }
+            }
+        }
+        let end = start + self.serialize(bits);
+        self.busy_until = end;
+        self.grants += 1;
+        Grant { wire_start: start, wire_end: end, access_delay: start.saturating_since(ready) }
+    }
+
+    /// Counters for instrumentation: `(grants, deferrals)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.grants, self.deferrals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medium(access: AccessModel) -> Medium {
+        let cfg = MediumConfig { access, ..MediumConfig::ethernet_10m() };
+        Medium::new(cfg, SimRng::new(42))
+    }
+
+    #[test]
+    fn idle_channel_grants_after_ifg() {
+        let mut m = medium(AccessModel::Ideal);
+        let g = m.grant(SimTime::from_secs(1), 1000);
+        assert_eq!(g.wire_start, SimTime::from_secs(1) + m.config().ifg);
+        assert_eq!(g.wire_end, g.wire_start + m.serialize(1000));
+        assert_eq!(g.access_delay, m.config().ifg);
+    }
+
+    #[test]
+    fn serialization_matches_bitrate() {
+        let m = medium(AccessModel::Ideal);
+        // 10_000 bits at 10 Mb/s = 1 ms.
+        assert_eq!(m.serialize(10_000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn busy_channel_defers() {
+        let mut m = medium(AccessModel::Ideal);
+        let g1 = m.grant(SimTime::from_secs(1), 10_000); // occupies 1 ms
+        let g2 = m.grant(SimTime::from_secs(1), 10_000); // must wait
+        assert!(g2.wire_start >= g1.wire_end + m.config().ifg);
+        assert!(g2.access_delay > g1.access_delay);
+    }
+
+    #[test]
+    fn csma_backoff_adds_jitter() {
+        // Two contending transmitters on CSMA: access delays should show
+        // slot-time-scale variation across repetitions.
+        let mut delays = Vec::new();
+        for seed in 0..50 {
+            let cfg = MediumConfig::ethernet_10m();
+            let mut m = Medium::new(cfg, SimRng::new(seed));
+            let _ = m.grant(SimTime::from_secs(1), 10_000);
+            let g = m.grant(SimTime::from_secs(1), 10_000);
+            delays.push(g.access_delay.as_micros_f64());
+        }
+        let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = delays.iter().copied().fold(0.0f64, f64::max);
+        assert!(max - min >= 40.0, "expected ≥ 1 slot of spread, got {min}..{max}");
+    }
+
+    #[test]
+    fn ideal_access_is_deterministic() {
+        for _ in 0..3 {
+            let mut m = medium(AccessModel::Ideal);
+            let _ = m.grant(SimTime::from_secs(1), 10_000);
+            let g = m.grant(SimTime::from_secs(1), 10_000);
+            // Deterministic: exactly busy_until + ifg.
+            let expect = SimTime::from_secs(1) + m.config().ifg + m.serialize(10_000) + m.config().ifg;
+            assert_eq!(g.wire_start, expect);
+        }
+    }
+
+    #[test]
+    fn backoff_exponent_decays_when_uncontended() {
+        let mut m = medium(AccessModel::CsmaCd);
+        // Build contention.
+        let _ = m.grant(SimTime::from_secs(1), 10_000);
+        let _ = m.grant(SimTime::from_secs(1), 10_000);
+        let (_, d1) = m.stats();
+        assert_eq!(d1, 1);
+        // Long quiet period: next uncontended grant decays the exponent.
+        let g = m.grant(SimTime::from_secs(10), 10_000);
+        assert_eq!(g.access_delay, m.config().ifg);
+    }
+
+    #[test]
+    fn grants_are_serialized_never_overlapping() {
+        let mut m = medium(AccessModel::CsmaCd);
+        let mut last_end = SimTime::ZERO;
+        for i in 0..100 {
+            let g = m.grant(SimTime::from_millis(i), 8_000);
+            assert!(g.wire_start >= last_end, "overlap at grant {i}");
+            last_end = g.wire_end;
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Network topologies: single LANs and WANs-of-LANs.
+//!
+//! The NTI primarily targets a single type-(II) LAN, but footnote 2 of the
+//! paper extends the approach to "more general topologies commonly known as
+//! WANs-of-LANs, provided that all gateway nodes are also equipped with the
+//! NTI". A gateway node sits on several segments (using one UTCSU **SSU per
+//! attached network** — this is why the chip has six) and re-broadcasts its
+//! own accuracy interval into each segment, bridging time across the
+//! internetwork.
+//!
+//! The topology structure tracks segment membership; the actual mediums and
+//! per-attachment COMCOs live with the cluster assembly in `nti-core`.
+
+/// A node's index within a cluster.
+pub type NodeId = usize;
+/// A LAN segment index.
+pub type LanId = usize;
+
+/// Segment membership of a cluster.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// For each LAN, the member node ids.
+    members: Vec<Vec<NodeId>>,
+    /// For each node, the LANs it attaches to (in SSU order).
+    attachments: Vec<Vec<LanId>>,
+}
+
+impl Topology {
+    /// All `n` nodes on one shared segment.
+    pub fn single_lan(n: usize) -> Topology {
+        Topology {
+            members: vec![(0..n).collect()],
+            attachments: (0..n).map(|_| vec![0]).collect(),
+        }
+    }
+
+    /// A chain of `lans` segments with `per_lan` ordinary nodes each, plus
+    /// one gateway between each pair of adjacent segments. Node ids:
+    /// ordinary nodes first (LAN-major), then gateways.
+    pub fn chain_of_lans(lans: usize, per_lan: usize) -> Topology {
+        assert!(lans >= 1);
+        let n_ordinary = lans * per_lan;
+        let n_gateways = lans.saturating_sub(1);
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); lans];
+        let mut attachments: Vec<Vec<LanId>> = vec![Vec::new(); n_ordinary + n_gateways];
+        for (lan, lan_members) in members.iter_mut().enumerate().take(lans) {
+            for k in 0..per_lan {
+                let id = lan * per_lan + k;
+                lan_members.push(id);
+                attachments[id].push(lan);
+            }
+        }
+        for g in 0..n_gateways {
+            let id = n_ordinary + g;
+            for lan in [g, g + 1] {
+                members[lan].push(id);
+                attachments[id].push(lan);
+            }
+        }
+        Topology { members, attachments }
+    }
+
+    /// A chain of `lans` segments with `per_lan` ordinary nodes each and
+    /// `redundancy` gateways between each pair of adjacent segments —
+    /// fault-tolerant cross-segment operation needs `f + 1` gateways per
+    /// adjacency so the convergence function cannot trim away all bridges
+    /// (the counting argument of experiments E5/E10). Node ids: ordinary
+    /// nodes first (LAN-major), then gateways (adjacency-major).
+    pub fn chain_of_lans_redundant(lans: usize, per_lan: usize, redundancy: usize) -> Topology {
+        assert!(lans >= 1 && redundancy >= 1);
+        let n_ordinary = lans * per_lan;
+        let n_gateways = lans.saturating_sub(1) * redundancy;
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); lans];
+        let mut attachments: Vec<Vec<LanId>> = vec![Vec::new(); n_ordinary + n_gateways];
+        for (lan, lan_members) in members.iter_mut().enumerate().take(lans) {
+            for k in 0..per_lan {
+                let id = lan * per_lan + k;
+                lan_members.push(id);
+                attachments[id].push(lan);
+            }
+        }
+        for adj in 0..lans.saturating_sub(1) {
+            for r in 0..redundancy {
+                let id = n_ordinary + adj * redundancy + r;
+                for lan in [adj, adj + 1] {
+                    members[lan].push(id);
+                    attachments[id].push(lan);
+                }
+            }
+        }
+        Topology { members, attachments }
+    }
+
+    /// Number of LAN segments.
+    pub fn lan_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// Member node ids of a segment.
+    pub fn members(&self, lan: LanId) -> &[NodeId] {
+        &self.members[lan]
+    }
+
+    /// LANs a node attaches to, in SSU order (attachment index = SSU index).
+    pub fn attachments(&self, node: NodeId) -> &[LanId] {
+        &self.attachments[node]
+    }
+
+    /// Whether a node is a gateway (≥ 2 attachments).
+    pub fn is_gateway(&self, node: NodeId) -> bool {
+        self.attachments[node].len() >= 2
+    }
+
+    /// The attachment (SSU) index of `node` on `lan`, if attached.
+    pub fn attachment_index(&self, node: NodeId, lan: LanId) -> Option<usize> {
+        self.attachments[node].iter().position(|&l| l == lan)
+    }
+
+    /// Minimum number of LAN hops between two nodes (BFS over shared
+    /// segments); `None` if disconnected.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.node_count()];
+        dist[a] = 0;
+        let mut queue = std::collections::VecDeque::from([a]);
+        while let Some(n) = queue.pop_front() {
+            for &lan in self.attachments(n) {
+                for &m in self.members(lan) {
+                    if dist[m] == usize::MAX {
+                        dist[m] = dist[n] + 1;
+                        if m == b {
+                            return Some(dist[m]);
+                        }
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lan_membership() {
+        let t = Topology::single_lan(4);
+        assert_eq!(t.lan_count(), 1);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.members(0), &[0, 1, 2, 3]);
+        assert!(!t.is_gateway(0));
+        assert_eq!(t.attachment_index(2, 0), Some(0));
+    }
+
+    #[test]
+    fn chain_topology_gateways() {
+        let t = Topology::chain_of_lans(3, 2);
+        // 6 ordinary + 2 gateways.
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.lan_count(), 3);
+        assert!(t.is_gateway(6));
+        assert!(t.is_gateway(7));
+        assert_eq!(t.attachments(6), &[0, 1]);
+        assert_eq!(t.attachments(7), &[1, 2]);
+        // Gateway 6 uses SSU 0 on LAN 0 and SSU 1 on LAN 1.
+        assert_eq!(t.attachment_index(6, 1), Some(1));
+        assert_eq!(t.attachment_index(0, 1), None);
+    }
+
+    #[test]
+    fn hop_distance_across_chain() {
+        let t = Topology::chain_of_lans(3, 2);
+        // Node 0 (LAN 0) to node 4 (LAN 2): 0 -> gw6 -> gw7 -> 4.
+        assert_eq!(t.hop_distance(0, 1), Some(1));
+        assert_eq!(t.hop_distance(0, 6), Some(1));
+        assert_eq!(t.hop_distance(0, 2), Some(2), "via gateway 6");
+        assert_eq!(t.hop_distance(0, 4), Some(3));
+        assert_eq!(t.hop_distance(0, 0), Some(0));
+    }
+
+    #[test]
+    fn redundant_chain_has_multiple_bridges() {
+        let t = Topology::chain_of_lans_redundant(2, 3, 2);
+        assert_eq!(t.node_count(), 8); // 6 ordinary + 2 gateways
+        let gws: Vec<usize> = (0..8).filter(|&n| t.is_gateway(n)).collect();
+        assert_eq!(gws, vec![6, 7]);
+        for g in gws {
+            assert_eq!(t.attachments(g), &[0, 1]);
+        }
+        // Redundancy 1 degenerates to the plain chain.
+        let t1 = Topology::chain_of_lans_redundant(3, 2, 1);
+        assert_eq!(t1.node_count(), Topology::chain_of_lans(3, 2).node_count());
+    }
+
+    #[test]
+    fn single_lan_is_fully_connected() {
+        let t = Topology::single_lan(16);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(t.hop_distance(i, j), Some(usize::from(i != j)));
+            }
+        }
+    }
+}

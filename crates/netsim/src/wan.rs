@@ -1,0 +1,189 @@
+//! Long-haul (type-III) network paths.
+//!
+//! The paper's Section 1 classifies systems by communication substrate;
+//! class (III) is "world-wide distributed systems connected via long haul
+//! networks" whose end-to-end delays are "potentially unbounded and highly
+//! variable due to the inevitable queuing delays at intermediate gateway
+//! nodes (e.g. in case of congestion and/or failures)". NTP lives here and
+//! achieves "maximum UTC deviations in the 10 ms-range under reasonable
+//! conditions" \[Tro94\] — the comparison point for experiment E12.
+//!
+//! The model: a path of `hops` store-and-forward gateways; each hop adds
+//! its propagation share plus an exponential queueing delay whose mean
+//! follows the utilization, plus — with some probability — a congestion
+//! episode adding a heavy burst. Forward and return paths may be
+//! asymmetric (routing), which is what ultimately biases NTP's offset
+//! estimator.
+
+use nti_simcore::rng::SimRng;
+use nti_simcore::time::SimDuration;
+
+/// Direction of travel on an asymmetric path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Client → server.
+    Forward,
+    /// Server → client.
+    Return,
+}
+
+/// Static path parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WanConfig {
+    /// Number of store-and-forward gateways.
+    pub hops: u32,
+    /// Deterministic one-way floor (propagation + serialization).
+    pub base_delay: SimDuration,
+    /// Mean queueing delay per hop (exponential).
+    pub queue_mean: SimDuration,
+    /// Probability per traversal of hitting a congestion episode.
+    pub congestion_prob: f64,
+    /// Mean extra delay during a congestion episode (exponential).
+    pub congestion_mean: SimDuration,
+    /// Extra deterministic delay on the *return* path (routing asymmetry).
+    pub return_extra: SimDuration,
+}
+
+impl WanConfig {
+    /// A "reasonable conditions" Internet path of the mid-90s: 5 hops,
+    /// 25 ms floor, light queueing, occasional congestion.
+    pub fn internet_reasonable() -> Self {
+        WanConfig {
+            hops: 5,
+            base_delay: SimDuration::from_millis(25),
+            queue_mean: SimDuration::from_millis(2),
+            congestion_prob: 0.02,
+            congestion_mean: SimDuration::from_millis(40),
+            return_extra: SimDuration::from_millis(3),
+        }
+    }
+
+    /// A congested path: long queues, frequent episodes.
+    pub fn internet_congested() -> Self {
+        WanConfig {
+            hops: 8,
+            base_delay: SimDuration::from_millis(35),
+            queue_mean: SimDuration::from_millis(15),
+            congestion_prob: 0.15,
+            congestion_mean: SimDuration::from_millis(250),
+            return_extra: SimDuration::from_millis(10),
+        }
+    }
+
+    /// A quiet research-network path.
+    pub fn internet_light() -> Self {
+        WanConfig {
+            hops: 3,
+            base_delay: SimDuration::from_millis(12),
+            queue_mean: SimDuration::from_micros(300),
+            congestion_prob: 0.002,
+            congestion_mean: SimDuration::from_millis(10),
+            return_extra: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// A stateful path: draws one-way delays.
+#[derive(Clone, Debug)]
+pub struct WanPath {
+    cfg: WanConfig,
+    rng: SimRng,
+    traversals: u64,
+    congestions: u64,
+}
+
+impl WanPath {
+    /// Create a path.
+    pub fn new(cfg: WanConfig, rng: SimRng) -> Self {
+        WanPath { cfg, rng, traversals: 0, congestions: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> WanConfig {
+        self.cfg
+    }
+
+    /// Draw one one-way delay.
+    pub fn delay(&mut self, dir: Direction) -> SimDuration {
+        self.traversals += 1;
+        let mut d = self.cfg.base_delay;
+        if dir == Direction::Return {
+            d += self.cfg.return_extra;
+        }
+        for _ in 0..self.cfg.hops {
+            let q = self.rng.exponential(self.cfg.queue_mean.as_secs_f64());
+            d += SimDuration::from_secs_f64(q);
+        }
+        if self.rng.chance(self.cfg.congestion_prob) {
+            self.congestions += 1;
+            let c = self.rng.exponential(self.cfg.congestion_mean.as_secs_f64());
+            d += SimDuration::from_secs_f64(c);
+        }
+        d
+    }
+
+    /// `(traversals, congestion episodes)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.traversals, self.congestions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(cfg: WanConfig) -> WanPath {
+        WanPath::new(cfg, SimRng::new(3))
+    }
+
+    #[test]
+    fn delay_at_least_base() {
+        let mut p = path(WanConfig::internet_reasonable());
+        for _ in 0..1000 {
+            assert!(p.delay(Direction::Forward) >= SimDuration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn return_path_is_longer_on_average() {
+        let mut p = path(WanConfig::internet_reasonable());
+        let n = 4000;
+        let fwd: f64 = (0..n).map(|_| p.delay(Direction::Forward).as_secs_f64()).sum::<f64>() / n as f64;
+        let ret: f64 = (0..n).map(|_| p.delay(Direction::Return).as_secs_f64()).sum::<f64>() / n as f64;
+        assert!(ret > fwd + 0.002, "fwd {fwd} ret {ret}");
+    }
+
+    #[test]
+    fn queueing_scales_with_hops_and_mean() {
+        let light = {
+            let mut p = path(WanConfig::internet_light());
+            (0..2000).map(|_| p.delay(Direction::Forward).as_secs_f64()).sum::<f64>() / 2000.0
+        };
+        let congested = {
+            let mut p = path(WanConfig::internet_congested());
+            (0..2000).map(|_| p.delay(Direction::Forward).as_secs_f64()).sum::<f64>() / 2000.0
+        };
+        assert!(congested > light * 5.0, "light {light} vs congested {congested}");
+    }
+
+    #[test]
+    fn congestion_counter_tracks_probability() {
+        let mut p = path(WanConfig::internet_congested());
+        for _ in 0..10_000 {
+            let _ = p.delay(Direction::Forward);
+        }
+        let (t, c) = p.stats();
+        assert_eq!(t, 10_000);
+        let rate = c as f64 / t as f64;
+        assert!((rate - 0.15).abs() < 0.02, "congestion rate {rate}");
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let mut p = path(WanConfig::internet_congested());
+        let max = (0..5000)
+            .map(|_| p.delay(Direction::Forward).as_secs_f64())
+            .fold(0.0f64, f64::max);
+        assert!(max > 0.4, "expected a >400 ms tail event, max {max}");
+    }
+}

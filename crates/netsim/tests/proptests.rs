@@ -1,0 +1,100 @@
+//! Property-based tests for the network simulation.
+
+use bytes::Bytes;
+use nti_netsim::{crc32, Comco, ComcoTiming, Frame, Medium, MediumConfig};
+use nti_simcore::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Frame encode/decode round-trips for any payload up to the MTU.
+    #[test]
+    fn frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..1500), src in any::<u32>()) {
+        let f = Frame::csp(Frame::mac(src), Bytes::from(payload.clone()));
+        let wire = f.encode();
+        let back = Frame::decode(&wire).expect("self-encoded frame decodes");
+        prop_assert_eq!(&back.payload[..payload.len()], &payload[..]);
+        prop_assert_eq!(back.src, Frame::mac(src));
+    }
+
+    /// Any single-bit corruption of the stored frame is caught by the FCS.
+    #[test]
+    fn single_bit_flip_detected(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        bit in any::<u32>(),
+    ) {
+        let f = Frame::csp(Frame::mac(1), Bytes::from(payload));
+        let mut wire = f.encode().to_vec();
+        let nbits = wire.len() as u32 * 8;
+        let b = bit % nbits;
+        wire[(b / 8) as usize] ^= 1 << (b % 8);
+        prop_assert!(Frame::decode(&wire).is_err(), "corruption must not decode");
+    }
+
+    /// CRC32 is linear over XOR with respect to the zero message
+    /// (crc(x) == crc(y) implies x == y is false in general, but equal
+    /// inputs must give equal CRCs and differing length-1 prefixes differ).
+    #[test]
+    fn crc_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 1..256)) {
+        prop_assert_eq!(crc32(&data), crc32(&data));
+        let mut tweak = data.clone();
+        tweak[0] ^= 0xFF;
+        prop_assert_ne!(crc32(&data), crc32(&tweak));
+    }
+
+    /// Medium grants never overlap and never precede the request, under
+    /// both access models and arbitrary request patterns.
+    #[test]
+    fn grants_serialized(
+        seed in any::<u64>(),
+        csma in any::<bool>(),
+        reqs in proptest::collection::vec((0u64..10_000, 100u64..20_000), 1..60),
+    ) {
+        let cfg = if csma { MediumConfig::ethernet_10m() } else { MediumConfig::ideal_10m() };
+        let mut m = Medium::new(cfg, SimRng::new(seed));
+        let mut last_end = SimTime::ZERO;
+        let mut ready_floor = 0u64;
+        for (gap_us, bits) in reqs {
+            ready_floor += gap_us;
+            let ready = SimTime::from_micros(ready_floor);
+            let g = m.grant(ready, bits);
+            prop_assert!(g.wire_start >= ready, "grant before request");
+            prop_assert!(g.wire_start >= last_end, "overlapping grants");
+            prop_assert_eq!(g.wire_end, g.wire_start + m.serialize(bits));
+            last_end = g.wire_end;
+        }
+    }
+
+    /// COMCO plans are monotone and cover exactly the header length for
+    /// any (reasonable) timing parameters.
+    #[test]
+    fn comco_plans_well_formed(
+        seed in any::<u64>(),
+        arb_ns in 0u64..2_000,
+        store_us in 0u64..50,
+        fifo in 1u32..64,
+    ) {
+        let timing = ComcoTiming {
+            arb_jitter: nti_netsim::Jitter {
+                base: SimDuration::ZERO,
+                spread: SimDuration::from_nanos(arb_ns.max(1)),
+            },
+            rx_store_latency: nti_netsim::Jitter {
+                base: SimDuration::from_micros(store_us),
+                spread: SimDuration::from_micros(1),
+            },
+            tx_fifo_bytes: fifo,
+            ..ComcoTiming::ideal()
+        };
+        let mut c = Comco::new(timing, 10_000_000, SimRng::new(seed));
+        let tx = c.plan_transmit(SimTime::from_secs(1), 64);
+        prop_assert_eq!(tx.header_reads.len(), 16);
+        for w in tx.header_reads.windows(2) {
+            prop_assert!(w[1].at > w[0].at);
+            prop_assert_eq!(w[1].offset, w[0].offset + 4);
+        }
+        let rx = c.plan_receive(SimTime::from_secs(2), 64);
+        prop_assert_eq!(rx.header_writes.len(), 16);
+        prop_assert!(rx.header_writes[0].at > SimTime::from_secs(2));
+        prop_assert!(rx.interrupt_at >= rx.header_writes[15].at);
+    }
+}

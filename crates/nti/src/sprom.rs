@@ -1,0 +1,87 @@
+//! The M-Module serial PROM.
+//!
+//! Per the M-Module specification \[MM96\] every module carries a serial PROM
+//! with identification and revision information, accessed through a single
+//! byte in I/O space (offset 0xFE on the NTI, Figure 8). The model exposes
+//! the usual auto-incrementing access protocol: a *write* to the access
+//! byte sets the read pointer, each *read* returns the addressed byte and
+//! advances the pointer.
+
+/// Size of the serial PROM contents.
+pub const SPROM_SIZE: usize = 32;
+
+/// The identification PROM.
+#[derive(Clone, Debug)]
+pub struct SProm {
+    data: [u8; SPROM_SIZE],
+    ptr: u8,
+}
+
+impl SProm {
+    /// The NTI's identification record: sync word, module id, revision,
+    /// vendor string.
+    pub fn nti() -> Self {
+        let mut data = [0u8; SPROM_SIZE];
+        // Sync word per MUMM convention.
+        data[0] = 0x53; // 'S'
+        data[1] = 0x4D; // 'M'
+        // Module id: fabricated id for the NTI MA-Module.
+        data[2] = 0x00;
+        data[3] = 0x4E; // 'N'
+        // Revision 1.0
+        data[4] = 0x01;
+        data[5] = 0x00;
+        // Vendor/product string.
+        let s = b"TU-WIEN NTI/UTCSU";
+        data[6..6 + s.len()].copy_from_slice(s);
+        SProm { data, ptr: 0 }
+    }
+
+    /// Write to the access byte: set the read pointer.
+    pub fn write(&mut self, v: u8) {
+        self.ptr = v % SPROM_SIZE as u8;
+    }
+
+    /// Read from the access byte: return the addressed byte, advance the
+    /// pointer (wrapping).
+    pub fn read(&mut self) -> u8 {
+        let v = self.data[self.ptr as usize];
+        self.ptr = (self.ptr + 1) % SPROM_SIZE as u8;
+        v
+    }
+
+    /// Direct (non-destructive) view for tests.
+    pub fn contents(&self) -> &[u8; SPROM_SIZE] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_read_auto_increments() {
+        let mut p = SProm::nti();
+        p.write(0);
+        assert_eq!(p.read(), 0x53);
+        assert_eq!(p.read(), 0x4D);
+    }
+
+    #[test]
+    fn pointer_set_and_wrap() {
+        let mut p = SProm::nti();
+        p.write(6);
+        assert_eq!(p.read(), b'T');
+        p.write(SPROM_SIZE as u8 - 1);
+        let _ = p.read();
+        assert_eq!(p.read(), 0x53, "wraps to start");
+    }
+
+    #[test]
+    fn id_contains_vendor_string() {
+        let p = SProm::nti();
+        let s: Vec<u8> = p.contents()[6..23].to_vec();
+        assert_eq!(&s, b"TU-WIEN NTI/UTCSU");
+    }
+}

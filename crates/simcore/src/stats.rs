@@ -1,0 +1,267 @@
+//! Summary statistics and histograms for the experiment harness.
+//!
+//! Every experiment in `nti-bench` reports distributions (of ε, of pairwise
+//! clock differences, of accuracy interval widths) as a [`Summary`] — count,
+//! mean, standard deviation, min/max and selected percentiles — plus an
+//! optional logarithmic [`Histogram`] for shape inspection.
+
+use std::fmt;
+
+/// Accumulates samples and produces summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Add many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        self.samples.extend(xs);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The raw samples (unsorted order not guaranteed after percentile
+    /// queries).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Arithmetic mean (0 for an empty set).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample (0 for an empty set).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample (0 for an empty set).
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank; 0 for empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// One-line report with the given unit label and scale divisor
+    /// (e.g. `unit="us", scale=1e-6` for samples held in seconds).
+    pub fn report(&mut self, unit: &str, scale: f64) -> String {
+        if self.samples.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={:.3}{u} p50={:.3}{u} p99={:.3}{u} max={:.3}{u}",
+            self.count(),
+            self.mean() / scale,
+            self.percentile(50.0) / scale,
+            self.percentile(99.0) / scale,
+            self.max() / scale,
+            u = unit,
+        )
+    }
+}
+
+/// A histogram with logarithmically spaced buckets, suited to latency/jitter
+/// distributions spanning several orders of magnitude.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Lower edge of the first bucket.
+    lo: f64,
+    /// Multiplicative bucket width (each bucket is `ratio`× the previous).
+    ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Logarithmic histogram covering `[lo, hi)` with `buckets` buckets.
+    pub fn log(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && buckets > 0);
+        let ratio = (hi / lo).powf(1.0 / buckets as f64);
+        Histogram { lo, ratio, counts: vec![0; buckets], underflow: 0, overflow: 0 }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total recorded samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Samples below the first bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the last bucket edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterate `(bucket_lower_edge, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts.iter().enumerate().map(move |(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
+    }
+
+    /// ASCII rendering for experiment logs: one line per non-empty bucket.
+    pub fn render(&self, unit: &str, scale: f64) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("  <{:>10.3}{unit} {:>8}\n", self.lo / scale, self.underflow));
+        }
+        for (edge, c) in self.buckets() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((c * 50 / max) as usize);
+            out.push_str(&format!("  {:>11.3}{unit} {:>8} {bar}\n", edge / scale, c));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!(" >={:>10.3}{unit} {:>8}\n", self.lo * self.ratio.powi(self.counts.len() as i32) / scale, self.overflow));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render("", 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.std_dev() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let mut s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.report("us", 1e-6), "n=0");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        s.extend((1..=100).map(|i| i as f64));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        let p50 = s.median();
+        assert!((49.0..=51.0).contains(&p50));
+    }
+
+    #[test]
+    fn percentile_after_add_resorts() {
+        let mut s = Summary::new();
+        s.extend([5.0, 1.0]);
+        assert_eq!(s.percentile(100.0), 5.0);
+        s.add(10.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_flows() {
+        let mut h = Histogram::log(1.0, 1000.0, 3); // buckets [1,10),[10,100),[100,1000)
+        for x in [0.5, 1.0, 5.0, 10.0, 99.0, 100.0, 999.0, 1000.0, 5000.0] {
+            h.add(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 9);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn histogram_render_mentions_counts() {
+        let mut h = Histogram::log(1e-9, 1e-3, 12);
+        for _ in 0..5 {
+            h.add(1e-6);
+        }
+        let r = h.render("s", 1.0);
+        assert!(r.contains('5'), "{r}");
+    }
+}

@@ -1,0 +1,217 @@
+//! ACU — Accuracy Unit: the self-deteriorating accuracy interval cells.
+//!
+//! To support interval-based clock synchronization the UTCSU holds the local
+//! accuracies α⁻ and α⁺ in two more adder-based "clocks" driven by the same
+//! oscillator (Section 3.3). Between synchronization rounds the cells
+//! **deteriorate automatically** at the programmed maximum drift rate so the
+//! displayed interval `[C(t) − α⁻(t), C(t) + α⁺(t)]` keeps containing real
+//! time without software involvement.
+//!
+//! Register format: 16-bit unsigned, unit 2⁻²⁴ s (≈ 59.6 ns). Internally a
+//! cell carries 35 additional fractional bits (total 2⁻⁵⁹ s granularity, the
+//! same as the LTU), so even sub-ppm deterioration rates accumulate exactly.
+//! Two hardware quirks from the paper are modelled:
+//!
+//! * **wrap-around suppression** — a cell saturates at 0xFFFF instead of
+//!   wrapping (an interval that big means resynchronization failed anyway);
+//! * **zero-masking** — during continuous amortization a cell programmed
+//!   with a negative deterioration (shrinking as the clock slews toward the
+//!   corrected value) clamps at zero instead of going negative.
+
+use nti_simcore::Accuracy;
+
+/// Extra fractional bits carried internally below the 16-bit register.
+pub const ACC_FRAC_BITS: u32 = 35;
+/// Saturation value of the internal accumulator (0xFFFF in register units).
+const ACC_SAT: u64 = ((u16::MAX as u64) << ACC_FRAC_BITS) | ((1 << ACC_FRAC_BITS) - 1);
+
+/// One deteriorating accuracy cell.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    /// Internal value: 16.35 fixed point in units of 2⁻²⁴ s.
+    acc: u64,
+    /// Per-tick deterioration in 2⁻⁵⁹ s units (signed: negative shrinks
+    /// during amortization, zero-masked at the bottom).
+    dstep: i64,
+}
+
+impl Cell {
+    fn advance(&mut self, n: u128) {
+        if self.dstep == 0 || n == 0 {
+            return;
+        }
+        let delta = (self.dstep as i128) * (n as i128);
+        let v = self.acc as i128 + delta;
+        self.acc = v.clamp(0, ACC_SAT as i128) as u64;
+    }
+
+    fn register(&self) -> u16 {
+        // Round UP: the register must never claim a tighter bound than the
+        // internally accumulated deterioration (containment safety).
+        let ceil = (self.acc + ((1 << ACC_FRAC_BITS) - 1)) >> ACC_FRAC_BITS;
+        ceil.min(u16::MAX as u64) as u16
+    }
+
+    fn load(&mut self, reg: u16) {
+        self.acc = (reg as u64) << ACC_FRAC_BITS;
+    }
+}
+
+/// The accuracy unit: the α⁻ and α⁺ cells.
+#[derive(Clone, Debug)]
+pub struct Acu {
+    minus: Cell,
+    plus: Cell,
+}
+
+impl Default for Acu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Acu {
+    /// Both cells zero, no deterioration programmed.
+    pub fn new() -> Self {
+        Acu { minus: Cell { acc: 0, dstep: 0 }, plus: Cell { acc: 0, dstep: 0 } }
+    }
+
+    /// Apply `n` oscillator ticks of deterioration.
+    pub fn advance(&mut self, n: u128) {
+        self.minus.advance(n);
+        self.plus.advance(n);
+    }
+
+    /// Current (α⁻, α⁺) register values.
+    pub fn alpha(&self) -> (Accuracy, Accuracy) {
+        (Accuracy(self.minus.register()), Accuracy(self.plus.register()))
+    }
+
+    /// The packed 32-bit ALPHA register: α⁻ in the low half, α⁺ in the high.
+    pub fn alpha_packed(&self) -> u32 {
+        (self.minus.register() as u32) | ((self.plus.register() as u32) << 16)
+    }
+
+    /// Load both cells atomically (performed together with the LTU time
+    /// load so interval and clock stay consistent).
+    pub fn load(&mut self, minus: Accuracy, plus: Accuracy) {
+        self.minus.load(minus.0);
+        self.plus.load(plus.0);
+    }
+
+    /// Load from the packed 32-bit staging register.
+    pub fn load_packed(&mut self, packed: u32) {
+        self.minus.load((packed & 0xFFFF) as u16);
+        self.plus.load((packed >> 16) as u16);
+    }
+
+    /// Program the per-tick deterioration of the α⁻ cell, in 2⁻⁵⁹ s units.
+    pub fn set_dstep_minus(&mut self, units: i64) {
+        self.minus.dstep = units;
+    }
+
+    /// Program the per-tick deterioration of the α⁺ cell, in 2⁻⁵⁹ s units.
+    pub fn set_dstep_plus(&mut self, units: i64) {
+        self.plus.dstep = units;
+    }
+
+    /// Current per-tick deteriorations.
+    pub fn dsteps(&self) -> (i64, i64) {
+        (self.minus.dstep, self.plus.dstep)
+    }
+
+    /// The per-tick deterioration (in 2⁻⁵⁹ s units) that covers a drift
+    /// bound of `rho_max_ppm` on an oscillator of `fosc_hz`, rounded **up**
+    /// so the cell always over-covers true drift.
+    pub fn dstep_for_drift(fosc_hz: u64, rho_max_ppm: f64) -> i64 {
+        // per-tick deterioration = rho_max seconds per second / fosc ticks
+        // per second, expressed in 2^-59 s units.
+        let per_tick = rho_max_ppm * 1e-6 / fosc_hz as f64;
+        (per_tick * (1u128 << 59) as f64).ceil() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_start_at_zero() {
+        let a = Acu::new();
+        assert_eq!(a.alpha(), (Accuracy::ZERO, Accuracy::ZERO));
+        assert_eq!(a.alpha_packed(), 0);
+    }
+
+    #[test]
+    fn deterioration_accumulates_sub_register_amounts() {
+        let fosc = 10_000_000u64;
+        let mut a = Acu::new();
+        // 10 ppm drift bound: deteriorate 10 us/s.
+        let d = Acu::dstep_for_drift(fosc, 10.0);
+        a.set_dstep_minus(d);
+        a.set_dstep_plus(d);
+        // After one second of ticks: ~10 us = ~168 register units.
+        a.advance(fosc as u128);
+        let (m, p) = a.alpha();
+        let secs = m.as_secs_f64();
+        assert!((secs - 10e-6).abs() < 0.2e-6, "alpha- = {secs}");
+        assert_eq!(m, p);
+    }
+
+    #[test]
+    fn dstep_rounds_up_to_over_cover() {
+        // Even an extremely small drift bound must produce a nonzero dstep.
+        let d = Acu::dstep_for_drift(20_000_000, 0.000_001);
+        assert!(d >= 1);
+    }
+
+    #[test]
+    fn saturation_instead_of_wraparound() {
+        let mut a = Acu::new();
+        a.load(Accuracy(u16::MAX - 1), Accuracy::ZERO);
+        a.set_dstep_minus(i64::MAX / 2);
+        a.advance(1_000);
+        assert_eq!(a.alpha().0, Accuracy::MAX, "must saturate, not wrap");
+    }
+
+    #[test]
+    fn zero_masking_of_negative_accuracy() {
+        let mut a = Acu::new();
+        a.load(Accuracy(10), Accuracy(10));
+        // Shrinking during amortization: negative dstep; must clamp at 0.
+        a.set_dstep_plus(-(1i64 << 40));
+        a.advance(1_000_000);
+        assert_eq!(a.alpha().1, Accuracy::ZERO);
+        assert_eq!(a.alpha().0, Accuracy(10), "other cell untouched");
+    }
+
+    #[test]
+    fn packed_load_and_read_roundtrip() {
+        let mut a = Acu::new();
+        a.load_packed(0xBEEF_1234);
+        assert_eq!(a.alpha(), (Accuracy(0x1234), Accuracy(0xBEEF)));
+        assert_eq!(a.alpha_packed(), 0xBEEF_1234);
+    }
+
+    #[test]
+    fn advance_zero_ticks_is_noop() {
+        let mut a = Acu::new();
+        a.load(Accuracy(5), Accuracy(7));
+        a.set_dstep_minus(1 << 30);
+        a.advance(0);
+        assert_eq!(a.alpha(), (Accuracy(5), Accuracy(7)));
+    }
+
+    #[test]
+    fn deterioration_matches_drift_bound_rate() {
+        // dstep_for_drift at 1 ppm on 16 MHz: after 16M ticks (1 s) the cell
+        // must have grown by at least 1 us and no more than ~1.2 us.
+        let fosc = 16_000_000u64;
+        let mut a = Acu::new();
+        a.set_dstep_plus(Acu::dstep_for_drift(fosc, 1.0));
+        a.advance(fosc as u128);
+        let grown = a.alpha().1.as_secs_f64();
+        assert!(grown >= 1.0e-6, "grown={grown}");
+        assert!(grown <= 1.3e-6, "grown={grown}");
+    }
+}

@@ -1,0 +1,136 @@
+//! BTU — Built-In Test Unit.
+//!
+//! The UTCSU is equipped with features for test purposes: calculation of
+//! checksums, blocksums and signatures for local time (Section 3.3). Such
+//! provisions are mandatory for self-checking fault-tolerant nodes: a node
+//! can periodically verify that its clock datapath has not been corrupted.
+//!
+//! The model implements:
+//!
+//! * an 8-bit additive **checksum** of the current 56-bit NTP time (the
+//!   same function protecting the macrostamp);
+//! * a 32-bit **blocksum** accumulating successive time samples;
+//! * a 32-bit MISR-style **signature** (CRC-like LFSR compaction) over
+//!   sampled times — two UTCSUs fed the same samples must produce the same
+//!   signature, so diverging signatures flag a faulty unit.
+
+use nti_simcore::ntp::{checksum8, NtpTime};
+
+/// The built-in test unit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Btu {
+    blocksum: u32,
+    signature: u32,
+    samples: u32,
+}
+
+/// The MISR feedback polynomial (CRC-32 IEEE, bit-reversed form).
+const MISR_POLY: u32 = 0xEDB8_8320;
+
+impl Btu {
+    /// Fresh unit with cleared accumulators.
+    pub fn new() -> Self {
+        Btu::default()
+    }
+
+    /// 8-bit checksum of the given clock value (combinational; matches the
+    /// macrostamp checksum).
+    pub fn checksum(&self, t: NtpTime) -> u8 {
+        checksum8(t.ntp56())
+    }
+
+    /// Feed one time sample into the blocksum and signature accumulators.
+    pub fn accumulate(&mut self, t: NtpTime) {
+        let v = t.ntp56();
+        self.blocksum = self.blocksum.wrapping_add((v & 0xFFFF_FFFF) as u32).wrapping_add((v >> 32) as u32);
+        // MISR step: shift in each byte.
+        let mut sig = self.signature;
+        for i in 0..7 {
+            let byte = ((v >> (8 * i)) & 0xFF) as u32;
+            sig ^= byte;
+            for _ in 0..8 {
+                sig = if sig & 1 != 0 { (sig >> 1) ^ MISR_POLY } else { sig >> 1 };
+            }
+        }
+        self.signature = sig;
+        self.samples = self.samples.wrapping_add(1);
+    }
+
+    /// The running blocksum.
+    pub fn blocksum(&self) -> u32 {
+        self.blocksum
+    }
+
+    /// The running signature.
+    pub fn signature(&self) -> u32 {
+        self.signature
+    }
+
+    /// Number of accumulated samples.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// Clear the accumulators (test restart).
+    pub fn reset(&mut self) {
+        *self = Btu::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sample_streams_produce_identical_signatures() {
+        let mut a = Btu::new();
+        let mut b = Btu::new();
+        for s in 0..100u32 {
+            a.accumulate(NtpTime::from_secs(s));
+            b.accumulate(NtpTime::from_secs(s));
+        }
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.blocksum(), b.blocksum());
+        assert_eq!(a.samples(), 100);
+    }
+
+    #[test]
+    fn diverging_streams_diverge() {
+        let mut a = Btu::new();
+        let mut b = Btu::new();
+        for s in 0..100u32 {
+            a.accumulate(NtpTime::from_secs(s));
+            b.accumulate(NtpTime::from_secs(if s == 50 { 51 } else { s }));
+        }
+        assert_ne!(a.signature(), b.signature(), "single-sample fault must be caught");
+    }
+
+    #[test]
+    fn order_sensitivity_of_signature() {
+        let mut a = Btu::new();
+        let mut b = Btu::new();
+        a.accumulate(NtpTime::from_secs(1));
+        a.accumulate(NtpTime::from_secs(2));
+        b.accumulate(NtpTime::from_secs(2));
+        b.accumulate(NtpTime::from_secs(1));
+        assert_ne!(a.signature(), b.signature(), "MISR must be order-sensitive");
+        // ...whereas the plain blocksum is not:
+        assert_eq!(a.blocksum(), b.blocksum());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut a = Btu::new();
+        a.accumulate(NtpTime::from_secs(7));
+        a.reset();
+        assert_eq!(a.signature(), 0);
+        assert_eq!(a.blocksum(), 0);
+        assert_eq!(a.samples(), 0);
+    }
+
+    #[test]
+    fn checksum_matches_macrostamp_checksum() {
+        let t = NtpTime::from_secs(123_456_789);
+        assert_eq!(Btu::new().checksum(t), t.macrostamp().checksum());
+    }
+}

@@ -1,0 +1,219 @@
+//! ITU — Interrupt Unit.
+//!
+//! The many interrupt sources inside the UTCSU are individually maskable
+//! and statically mapped onto three interrupt outputs (Section 3.3):
+//!
+//! * **INTT** — timer-related: duty timers, amortization end, leap applied;
+//! * **INTN** — network-related: SSU transmit/receive stamps;
+//! * **INTA** — application-related: GPU 1pps and APU event stamps.
+//!
+//! The NTI's CPLD further folds these three lines into the single vectorized
+//! M-Module interrupt (see `nti-module`); the final vector encodes the line
+//! states.
+
+/// Interrupt source bit positions in the 32-bit pending/mask registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IntSource {
+    /// Duty timer `i` (0..3) expired.
+    Timer(usize),
+    /// Continuous amortization completed.
+    AmortEnd,
+    /// Armed leap second was applied.
+    Leap,
+    /// SSU `i` (0..6) latched a receive stamp.
+    SsuReceive(usize),
+    /// SSU `i` (0..6) latched a transmit stamp.
+    SsuTransmit(usize),
+    /// GPU `i` (0..3) latched a 1pps stamp.
+    Gpu(usize),
+    /// APU `i` (0..9) latched an event stamp.
+    Apu(usize),
+}
+
+impl IntSource {
+    /// The bit index of this source.
+    pub fn bit(self) -> u32 {
+        match self {
+            IntSource::Timer(i) => {
+                assert!(i < 3);
+                i as u32
+            }
+            IntSource::AmortEnd => 3,
+            IntSource::Leap => 4,
+            IntSource::SsuReceive(i) => {
+                assert!(i < 6);
+                8 + i as u32
+            }
+            IntSource::SsuTransmit(i) => {
+                assert!(i < 6);
+                14 + i as u32
+            }
+            IntSource::Gpu(i) => {
+                assert!(i < 3);
+                20 + i as u32
+            }
+            IntSource::Apu(i) => {
+                assert!(i < 9);
+                23 + i as u32
+            }
+        }
+    }
+
+    /// The mask bit of this source.
+    pub fn mask(self) -> u32 {
+        1u32 << self.bit()
+    }
+}
+
+/// Sources mapped to INTT (timer-related).
+pub const INTT_GROUP: u32 = 0x0000_001F;
+/// Sources mapped to INTN (network-related).
+pub const INTN_GROUP: u32 = 0x000F_FF00;
+/// Sources mapped to INTA (application-related).
+pub const INTA_GROUP: u32 = 0xFFF0_0000;
+
+/// Snapshot of the three interrupt output lines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IntLines {
+    /// Timer-related line.
+    pub intt: bool,
+    /// Network-related line.
+    pub intn: bool,
+    /// Application-related line.
+    pub inta: bool,
+}
+
+impl IntLines {
+    /// Whether any line is asserted.
+    pub fn any(self) -> bool {
+        self.intt || self.intn || self.inta
+    }
+    /// The 3-bit encoding used in the NTI's interrupt vector
+    /// (bit0 = INTT, bit1 = INTN, bit2 = INTA).
+    pub fn bits(self) -> u8 {
+        self.intt as u8 | (self.intn as u8) << 1 | (self.inta as u8) << 2
+    }
+}
+
+/// The interrupt unit: pending sources + mask.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Itu {
+    pending: u32,
+    mask: u32,
+}
+
+impl Itu {
+    /// All sources masked (disabled), nothing pending.
+    pub fn new() -> Self {
+        Itu::default()
+    }
+
+    /// Raise a source (level until acknowledged).
+    pub fn raise(&mut self, src: IntSource) {
+        self.pending |= src.mask();
+    }
+
+    /// Pending register value.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Mask register (1 = enabled).
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Program the mask register.
+    pub fn set_mask(&mut self, mask: u32) {
+        self.mask = mask;
+    }
+
+    /// Write-one-to-clear acknowledge.
+    pub fn ack(&mut self, bits: u32) {
+        self.pending &= !bits;
+    }
+
+    /// Current states of the three output lines (pending AND enabled).
+    pub fn lines(&self) -> IntLines {
+        let live = self.pending & self.mask;
+        IntLines {
+            intt: live & INTT_GROUP != 0,
+            intn: live & INTN_GROUP != 0,
+            inta: live & INTA_GROUP != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_positions_are_disjoint() {
+        let mut seen = 0u32;
+        let mut push = |s: IntSource| {
+            let m = s.mask();
+            assert_eq!(seen & m, 0, "overlap at {s:?}");
+            seen |= m;
+        };
+        for i in 0..3 {
+            push(IntSource::Timer(i));
+        }
+        push(IntSource::AmortEnd);
+        push(IntSource::Leap);
+        for i in 0..6 {
+            push(IntSource::SsuReceive(i));
+            push(IntSource::SsuTransmit(i));
+        }
+        for i in 0..3 {
+            push(IntSource::Gpu(i));
+        }
+        for i in 0..9 {
+            push(IntSource::Apu(i));
+        }
+        // Every defined source falls into exactly one group.
+        assert_eq!(seen & INTT_GROUP & INTN_GROUP, 0);
+        assert_eq!(seen & (INTT_GROUP | INTN_GROUP | INTA_GROUP), seen);
+    }
+
+    #[test]
+    fn masked_sources_do_not_assert_lines() {
+        let mut itu = Itu::new();
+        itu.raise(IntSource::Timer(0));
+        assert!(!itu.lines().any(), "masked by default");
+        itu.set_mask(IntSource::Timer(0).mask());
+        assert!(itu.lines().intt);
+        assert!(!itu.lines().intn);
+    }
+
+    #[test]
+    fn groups_map_to_correct_lines() {
+        let mut itu = Itu::new();
+        itu.set_mask(u32::MAX);
+        itu.raise(IntSource::SsuReceive(2));
+        assert_eq!(itu.lines(), IntLines { intt: false, intn: true, inta: false });
+        itu.raise(IntSource::Gpu(1));
+        assert!(itu.lines().inta && itu.lines().intn);
+        itu.raise(IntSource::Leap);
+        assert_eq!(itu.lines().bits(), 0b111);
+    }
+
+    #[test]
+    fn ack_clears_selected_bits() {
+        let mut itu = Itu::new();
+        itu.set_mask(u32::MAX);
+        itu.raise(IntSource::Timer(1));
+        itu.raise(IntSource::Apu(4));
+        itu.ack(IntSource::Timer(1).mask());
+        assert!(!itu.lines().intt);
+        assert!(itu.lines().inta);
+        itu.ack(u32::MAX);
+        assert_eq!(itu.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_source_panics() {
+        let _ = IntSource::SsuReceive(6).bit();
+    }
+}

@@ -1,0 +1,662 @@
+//! BIU — Bus Interface Unit: the UTCSU register file.
+//!
+//! All chip functionality is exposed through a 512-byte register window
+//! (mapped by the NTI right after its 256 KB memory region, Figure 6). The
+//! exact offsets of the real chip are in the unavailable technical report
+//! \[SS95\]; the layout below is a documented reconstruction that preserves
+//! every architectural property the paper states: atomic timestamp/
+//! macrostamp reads, staged atomic time+accuracy loads, STEP/ASTEP augends
+//! in 2⁻⁵¹ s units, packed 16-bit accuracy pairs, per-unit stamp registers
+//! and the three-line interrupt unit.
+//!
+//! Dynamic bus sizing: the BIU supports byte, word and longword accesses;
+//! sub-longword reads extract from the aligned 32-bit register, sub-longword
+//! writes perform read-modify-write (this matches how the M-Module's 16-bit
+//! data path would present the chip to an 8/16-bit CPU).
+//!
+//! Consumption semantics for stamp units: reads of the TS/MS halves *peek*;
+//! reading the ACC register of a stamp trio **consumes** the stamp
+//! (clearing valid + overrun), so the natural read order TS → MS → ACC pops
+//! exactly one stamp.
+
+use crate::ltu::LeapDir;
+use crate::{Utcsu, NUM_APU, NUM_GPU, NUM_SSU};
+use crate::timer::NUM_TIMERS;
+
+/// Size of the UTCSU register window in bytes.
+pub const REG_WINDOW: u32 = 0x200;
+
+// --- LTU ---------------------------------------------------------------
+/// RO: 8.24 timestamp; reading latches the matching macrostamp.
+pub const R_TIMESTAMP: u32 = 0x000;
+/// RO: macrostamp latched by the last TIMESTAMP read.
+pub const R_MACROSTAMP: u32 = 0x004;
+/// RW: staged time load, integer seconds.
+pub const R_TLOAD_SECS: u32 = 0x008;
+/// RW: staged time load, 24-bit fraction (low-aligned).
+pub const R_TLOAD_FRAC: u32 = 0x00C;
+/// RW: STEP augend, low 32 bits (2⁻⁵¹ s units).
+pub const R_STEP_LO: u32 = 0x010;
+/// RW: STEP augend, high 8 bits.
+pub const R_STEP_HI: u32 = 0x014;
+/// RW: ASTEP (amortization augend), low 32 bits.
+pub const R_ASTEP_LO: u32 = 0x018;
+/// RW: ASTEP, high 8 bits.
+pub const R_ASTEP_HI: u32 = 0x01C;
+/// RW: staged amortization duration in ticks, low 32 bits.
+pub const R_AMORT_LO: u32 = 0x020;
+/// RW: staged amortization duration, high 16 bits.
+pub const R_AMORT_HI: u32 = 0x024;
+/// Control/status register; see the `CTRL_*` bits.
+pub const R_CTRL: u32 = 0x028;
+/// RW: leap-second target (integer second boundary).
+pub const R_LEAP_SECS: u32 = 0x02C;
+
+// CTRL write bits (command bits self-clear).
+/// RW: clock running.
+pub const CTRL_RUN: u32 = 1 << 0;
+/// W1: apply the staged time + accuracy load atomically.
+pub const CTRL_APPLY_LOAD: u32 = 1 << 1;
+/// W1: start amortization with the staged tick count.
+pub const CTRL_START_AMORT: u32 = 1 << 2;
+/// W1: abort a running amortization.
+pub const CTRL_ABORT_AMORT: u32 = 1 << 3;
+/// W1: arm leap-second *insertion* at `R_LEAP_SECS`.
+pub const CTRL_LEAP_INSERT: u32 = 1 << 4;
+/// W1: arm leap-second *deletion* at `R_LEAP_SECS`.
+pub const CTRL_LEAP_DELETE: u32 = 1 << 5;
+/// W1: disarm any pending leap second.
+pub const CTRL_LEAP_DISARM: u32 = 1 << 6;
+/// W1: BTU — accumulate the current time into blocksum/signature.
+pub const CTRL_BTU_ACCUM: u32 = 1 << 7;
+/// W1: BTU — reset accumulators.
+pub const CTRL_BTU_RESET: u32 = 1 << 8;
+/// W1: software SYNCRUN (apply staged load + start).
+pub const CTRL_SYNCRUN: u32 = 1 << 9;
+/// W1: apply only the staged *accuracy* load (the clock value keeps
+/// running — used at CF time when the value is enforced by continuous
+/// amortization rather than a state step).
+pub const CTRL_APPLY_ALOAD: u32 = 1 << 10;
+/// RO status bit: amortization in progress.
+pub const CTRL_ST_AMORT: u32 = 1 << 16;
+/// RO status bit: a leap second is armed.
+pub const CTRL_ST_LEAP: u32 = 1 << 17;
+
+// --- ACU ---------------------------------------------------------------
+/// RO: packed accuracies (α⁻ low half, α⁺ high half).
+pub const R_ALPHA: u32 = 0x030;
+/// RW: staged accuracy load (packed like `R_ALPHA`).
+pub const R_ALOAD: u32 = 0x034;
+/// RW: per-tick deterioration of α⁻ (signed, 2⁻⁵⁹ s units).
+pub const R_DSTEP_MINUS: u32 = 0x038;
+/// RW: per-tick deterioration of α⁺ (signed, 2⁻⁵⁹ s units).
+pub const R_DSTEP_PLUS: u32 = 0x03C;
+
+// --- BTU ---------------------------------------------------------------
+/// RO: running blocksum.
+pub const R_BTU_BLOCKSUM: u32 = 0x040;
+/// RO: running signature.
+pub const R_BTU_SIGNATURE: u32 = 0x044;
+/// RO: number of accumulated samples.
+pub const R_BTU_SAMPLES: u32 = 0x048;
+
+// --- ITU ---------------------------------------------------------------
+/// RO: pending interrupt sources.
+pub const R_INT_PENDING: u32 = 0x050;
+/// RW: interrupt enable mask.
+pub const R_INT_MASK: u32 = 0x054;
+/// WO: write-1-to-clear acknowledge.
+pub const R_INT_ACK: u32 = 0x058;
+/// RO: line states (bit0 INTT, bit1 INTN, bit2 INTA).
+pub const R_INT_STATUS: u32 = 0x05C;
+
+// --- Duty timers ---------------------------------------------------------
+/// Base of the duty-timer blocks (0x10 bytes each).
+pub const R_TIMER_BASE: u32 = 0x060;
+/// Stride between timer blocks.
+pub const TIMER_STRIDE: u32 = 0x10;
+/// Offset within a block: target integer seconds.
+pub const TIMER_SECS: u32 = 0x0;
+/// Offset within a block: target 24-bit fraction.
+pub const TIMER_FRAC: u32 = 0x4;
+/// Offset within a block: control (bit0 = armed).
+pub const TIMER_CTRL: u32 = 0x8;
+
+// --- SNU ---------------------------------------------------------------
+/// RO: snapshot timestamp (peek).
+pub const R_SNAP_TS: u32 = 0x090;
+/// RO: snapshot macrostamp (peek).
+pub const R_SNAP_MS: u32 = 0x094;
+/// RO: snapshot accuracies (read consumes the snapshot).
+pub const R_SNAP_ACC: u32 = 0x098;
+/// Control/status: read bit0 = valid, bit1 = overrun, bits 16.. = count;
+/// write bit0 = clear.
+pub const R_SNU_CTRL: u32 = 0x09C;
+
+// --- SSU ---------------------------------------------------------------
+/// Base of the SSU blocks (0x20 bytes each).
+pub const R_SSU_BASE: u32 = 0x0A0;
+/// Stride between SSU blocks.
+pub const SSU_STRIDE: u32 = 0x20;
+/// Offset: receive timestamp (peek).
+pub const SSU_RCV_TS: u32 = 0x00;
+/// Offset: receive macrostamp (peek).
+pub const SSU_RCV_MS: u32 = 0x04;
+/// Offset: receive accuracies (read consumes).
+pub const SSU_RCV_ACC: u32 = 0x08;
+/// Offset: transmit timestamp (peek).
+pub const SSU_XMT_TS: u32 = 0x0C;
+/// Offset: transmit macrostamp (peek).
+pub const SSU_XMT_MS: u32 = 0x10;
+/// Offset: transmit accuracies (read consumes).
+pub const SSU_XMT_ACC: u32 = 0x14;
+/// Offset: status (bit0 rcv valid, bit1 rcv overrun, bit2 xmt valid,
+/// bit3 xmt overrun); write bit0/bit2 to clear the respective latch.
+pub const SSU_STATUS: u32 = 0x18;
+
+// --- GPU ---------------------------------------------------------------
+/// Base of the GPU blocks (0x10 bytes each).
+pub const R_GPU_BASE: u32 = 0x160;
+/// Stride between GPU blocks.
+pub const GPU_STRIDE: u32 = 0x10;
+/// Offset: 1pps timestamp (peek).
+pub const GPU_TS: u32 = 0x0;
+/// Offset: 1pps macrostamp (peek).
+pub const GPU_MS: u32 = 0x4;
+/// Offset: 1pps accuracies (read consumes).
+pub const GPU_ACC: u32 = 0x8;
+/// Offset: control (bit0 enable, bit1 rising edge; read bit2 = valid,
+/// bit3 = overrun; write bit4 = clear).
+pub const GPU_CTRL: u32 = 0xC;
+
+// --- APU ---------------------------------------------------------------
+/// Base of the APU blocks (0x0C bytes each).
+pub const R_APU_BASE: u32 = 0x190;
+/// Stride between APU blocks.
+pub const APU_STRIDE: u32 = 0x0C;
+/// Offset: event timestamp (peek).
+pub const APU_TS: u32 = 0x0;
+/// Offset: event macrostamp (peek).
+pub const APU_MS: u32 = 0x4;
+/// Offset: event accuracies (read consumes).
+pub const APU_ACC: u32 = 0x8;
+/// Shared APU control: bits 0-8 enable, bits 16-24 rising-edge polarity.
+pub const R_APU_CTRL: u32 = 0x1FC;
+
+impl Utcsu {
+    /// Aligned 32-bit register read. Reserved offsets read as zero.
+    pub fn read32(&mut self, offset: u32) -> u32 {
+        assert!(offset < REG_WINDOW && offset.is_multiple_of(4), "bad register read at {offset:#x}");
+        match offset {
+            R_TIMESTAMP => self.ltu.read_timestamp(),
+            R_MACROSTAMP => self.ltu.read_macrostamp(),
+            R_TLOAD_SECS => self.tload_secs,
+            R_TLOAD_FRAC => self.tload_frac24,
+            R_STEP_LO => self.ltu.step_units() as u32,
+            R_STEP_HI => (self.ltu.step_units() >> 32) as u32,
+            R_ASTEP_LO => self.ltu.astep_units() as u32,
+            R_ASTEP_HI => (self.ltu.astep_units() >> 32) as u32,
+            R_AMORT_LO => self.amort_lo,
+            R_AMORT_HI => self.amort_hi,
+            R_CTRL => {
+                let mut v = 0;
+                if self.ltu.running() {
+                    v |= CTRL_RUN;
+                }
+                if self.ltu.amortizing() {
+                    v |= CTRL_ST_AMORT;
+                }
+                if self.ltu.leap().is_some() {
+                    v |= CTRL_ST_LEAP;
+                }
+                v
+            }
+            R_LEAP_SECS => self.leap_secs,
+            R_ALPHA => self.acu.alpha_packed(),
+            R_ALOAD => self.aload_packed,
+            R_DSTEP_MINUS => self.acu.dsteps().0 as i32 as u32,
+            R_DSTEP_PLUS => self.acu.dsteps().1 as i32 as u32,
+            R_BTU_BLOCKSUM => self.btu.blocksum(),
+            R_BTU_SIGNATURE => self.btu.signature(),
+            R_BTU_SAMPLES => self.btu.samples(),
+            R_INT_PENDING => self.itu.pending(),
+            R_INT_MASK => self.itu.mask(),
+            R_INT_STATUS => self.itu.lines().bits() as u32,
+            R_SNAP_TS => self.snu.peek().map_or(0, |s| s.ts.0),
+            R_SNAP_MS => self.snu.peek().map_or(0, |s| s.ms.0),
+            R_SNAP_ACC => {
+                let v = self.snu.peek().map_or(0, |s| s.acc_packed());
+                self.snu.take();
+                v
+            }
+            R_SNU_CTRL => {
+                (self.snu.valid() as u32)
+                    | (self.snu.overrun() as u32) << 1
+                    | (self.snu.count() << 16)
+            }
+            R_APU_CTRL => {
+                let mut v = 0;
+                for (i, a) in self.apu.iter().enumerate() {
+                    if a.enabled {
+                        v |= 1 << i;
+                    }
+                    if a.rising {
+                        v |= 1 << (16 + i);
+                    }
+                }
+                v
+            }
+            o if (R_TIMER_BASE..R_TIMER_BASE + NUM_TIMERS as u32 * TIMER_STRIDE).contains(&o) => {
+                let i = ((o - R_TIMER_BASE) / TIMER_STRIDE) as usize;
+                match (o - R_TIMER_BASE) % TIMER_STRIDE {
+                    TIMER_SECS => self.timers[i].target_secs,
+                    TIMER_FRAC => self.timers[i].target_frac24,
+                    TIMER_CTRL => self.timers[i].armed as u32,
+                    _ => 0,
+                }
+            }
+            o if (R_SSU_BASE..R_SSU_BASE + NUM_SSU as u32 * SSU_STRIDE).contains(&o) => {
+                let i = ((o - R_SSU_BASE) / SSU_STRIDE) as usize;
+                let ssu = &mut self.ssu[i];
+                match (o - R_SSU_BASE) % SSU_STRIDE {
+                    SSU_RCV_TS => ssu.receive.peek().map_or(0, |s| s.ts.0),
+                    SSU_RCV_MS => ssu.receive.peek().map_or(0, |s| s.ms.0),
+                    SSU_RCV_ACC => {
+                        let v = ssu.receive.peek().map_or(0, |s| s.acc_packed());
+                        ssu.receive.take();
+                        v
+                    }
+                    SSU_XMT_TS => ssu.transmit.peek().map_or(0, |s| s.ts.0),
+                    SSU_XMT_MS => ssu.transmit.peek().map_or(0, |s| s.ms.0),
+                    SSU_XMT_ACC => {
+                        let v = ssu.transmit.peek().map_or(0, |s| s.acc_packed());
+                        ssu.transmit.take();
+                        v
+                    }
+                    SSU_STATUS => {
+                        (ssu.receive.valid() as u32)
+                            | (ssu.receive.overrun() as u32) << 1
+                            | (ssu.transmit.valid() as u32) << 2
+                            | (ssu.transmit.overrun() as u32) << 3
+                    }
+                    _ => 0,
+                }
+            }
+            o if (R_GPU_BASE..R_GPU_BASE + NUM_GPU as u32 * GPU_STRIDE).contains(&o) => {
+                let i = ((o - R_GPU_BASE) / GPU_STRIDE) as usize;
+                let gpu = &mut self.gpu[i];
+                match (o - R_GPU_BASE) % GPU_STRIDE {
+                    GPU_TS => gpu.pps.peek().map_or(0, |s| s.ts.0),
+                    GPU_MS => gpu.pps.peek().map_or(0, |s| s.ms.0),
+                    GPU_ACC => {
+                        let v = gpu.pps.peek().map_or(0, |s| s.acc_packed());
+                        gpu.pps.take();
+                        v
+                    }
+                    GPU_CTRL => {
+                        (gpu.enabled as u32)
+                            | (gpu.rising as u32) << 1
+                            | (gpu.pps.valid() as u32) << 2
+                            | (gpu.pps.overrun() as u32) << 3
+                    }
+                    _ => 0,
+                }
+            }
+            o if (R_APU_BASE..R_APU_BASE + NUM_APU as u32 * APU_STRIDE).contains(&o) => {
+                let rel = o - R_APU_BASE;
+                let i = (rel / APU_STRIDE) as usize;
+                let apu = &mut self.apu[i];
+                match rel % APU_STRIDE {
+                    APU_TS => apu.event.peek().map_or(0, |s| s.ts.0),
+                    APU_MS => apu.event.peek().map_or(0, |s| s.ms.0),
+                    APU_ACC => {
+                        let v = apu.event.peek().map_or(0, |s| s.acc_packed());
+                        apu.event.take();
+                        v
+                    }
+                    _ => 0,
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Aligned 32-bit register write. Writes to reserved/RO offsets are
+    /// ignored.
+    pub fn write32(&mut self, offset: u32, value: u32) {
+        assert!(offset < REG_WINDOW && offset.is_multiple_of(4), "bad register write at {offset:#x}");
+        match offset {
+            R_TLOAD_SECS => self.tload_secs = value,
+            R_TLOAD_FRAC => self.tload_frac24 = value & 0x00FF_FFFF,
+            R_STEP_LO => {
+                let hi = self.ltu.step_units() & !0xFFFF_FFFF;
+                self.ltu.set_step_units(hi | value as u64);
+            }
+            R_STEP_HI => {
+                let lo = self.ltu.step_units() & 0xFFFF_FFFF;
+                self.ltu.set_step_units(((value as u64 & 0xFF) << 32) | lo);
+            }
+            R_ASTEP_LO => {
+                let hi = self.ltu.astep_units() & !0xFFFF_FFFF;
+                self.ltu.set_astep_units(hi | value as u64);
+            }
+            R_ASTEP_HI => {
+                let lo = self.ltu.astep_units() & 0xFFFF_FFFF;
+                self.ltu.set_astep_units(((value as u64 & 0xFF) << 32) | lo);
+            }
+            R_AMORT_LO => self.amort_lo = value,
+            R_AMORT_HI => self.amort_hi = value & 0xFFFF,
+            R_CTRL => {
+                self.ltu.set_running(value & CTRL_RUN != 0);
+                if value & CTRL_APPLY_LOAD != 0 {
+                    self.apply_load();
+                }
+                if value & CTRL_START_AMORT != 0 {
+                    self.start_amortization_staged();
+                }
+                if value & CTRL_ABORT_AMORT != 0 {
+                    self.ltu.abort_amortization();
+                }
+                if value & CTRL_LEAP_INSERT != 0 {
+                    self.ltu.arm_leap(self.leap_secs, LeapDir::Insert);
+                }
+                if value & CTRL_LEAP_DELETE != 0 {
+                    self.ltu.arm_leap(self.leap_secs, LeapDir::Delete);
+                }
+                if value & CTRL_LEAP_DISARM != 0 {
+                    self.ltu.disarm_leap();
+                }
+                if value & CTRL_BTU_ACCUM != 0 {
+                    let t = self.ltu.time();
+                    self.btu.accumulate(t);
+                }
+                if value & CTRL_BTU_RESET != 0 {
+                    self.btu.reset();
+                }
+                if value & CTRL_SYNCRUN != 0 {
+                    self.sync_run();
+                }
+                if value & CTRL_APPLY_ALOAD != 0 {
+                    self.acu.load_packed(self.aload_packed);
+                }
+            }
+            R_LEAP_SECS => self.leap_secs = value,
+            R_ALOAD => self.aload_packed = value,
+            R_DSTEP_MINUS => self.acu.set_dstep_minus(value as i32 as i64),
+            R_DSTEP_PLUS => self.acu.set_dstep_plus(value as i32 as i64),
+            R_INT_MASK => self.itu.set_mask(value),
+            R_INT_ACK => self.itu.ack(value),
+            R_SNU_CTRL
+                if value & 1 != 0 => {
+                    self.snu.take();
+                }
+            R_APU_CTRL => {
+                for (i, a) in self.apu.iter_mut().enumerate() {
+                    a.enabled = value & (1 << i) != 0;
+                    a.rising = value & (1 << (16 + i)) != 0;
+                }
+            }
+            o if (R_TIMER_BASE..R_TIMER_BASE + NUM_TIMERS as u32 * TIMER_STRIDE).contains(&o) => {
+                let i = ((o - R_TIMER_BASE) / TIMER_STRIDE) as usize;
+                match (o - R_TIMER_BASE) % TIMER_STRIDE {
+                    TIMER_SECS => self.timers[i].target_secs = value,
+                    TIMER_FRAC => self.timers[i].target_frac24 = value & 0x00FF_FFFF,
+                    TIMER_CTRL => self.timers[i].armed = value & 1 != 0,
+                    _ => {}
+                }
+            }
+            o if (R_SSU_BASE..R_SSU_BASE + NUM_SSU as u32 * SSU_STRIDE).contains(&o) => {
+                let i = ((o - R_SSU_BASE) / SSU_STRIDE) as usize;
+                if (o - R_SSU_BASE) % SSU_STRIDE == SSU_STATUS {
+                    if value & 0b01 != 0 {
+                        self.ssu[i].receive.clear();
+                    }
+                    if value & 0b100 != 0 {
+                        self.ssu[i].transmit.clear();
+                    }
+                }
+            }
+            o if (R_GPU_BASE..R_GPU_BASE + NUM_GPU as u32 * GPU_STRIDE).contains(&o) => {
+                let i = ((o - R_GPU_BASE) / GPU_STRIDE) as usize;
+                if (o - R_GPU_BASE) % GPU_STRIDE == GPU_CTRL {
+                    self.gpu[i].enabled = value & 1 != 0;
+                    self.gpu[i].rising = value & 2 != 0;
+                    if value & 0x10 != 0 {
+                        self.gpu[i].pps.clear();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// 16-bit read (dynamic bus sizing): extracts from the aligned 32-bit
+    /// register.
+    pub fn read16(&mut self, offset: u32) -> u16 {
+        assert!(offset.is_multiple_of(2), "unaligned 16-bit read");
+        let v = self.read32(offset & !3);
+        if offset & 2 != 0 {
+            (v >> 16) as u16
+        } else {
+            v as u16
+        }
+    }
+
+    /// 8-bit read.
+    pub fn read8(&mut self, offset: u32) -> u8 {
+        let v = self.read32(offset & !3);
+        (v >> (8 * (offset & 3))) as u8
+    }
+
+    /// 16-bit write (read-modify-write on the aligned register).
+    pub fn write16(&mut self, offset: u32, value: u16) {
+        assert!(offset.is_multiple_of(2), "unaligned 16-bit write");
+        let cur = self.read32(offset & !3);
+        let v = if offset & 2 != 0 {
+            (cur & 0x0000_FFFF) | ((value as u32) << 16)
+        } else {
+            (cur & 0xFFFF_0000) | value as u32
+        };
+        self.write32(offset & !3, v);
+    }
+
+    /// 8-bit write (read-modify-write).
+    pub fn write8(&mut self, offset: u32, value: u8) {
+        let cur = self.read32(offset & !3);
+        let shift = 8 * (offset & 3);
+        let v = (cur & !(0xFFu32 << shift)) | ((value as u32) << shift);
+        self.write32(offset & !3, v);
+    }
+
+    /// Arm duty timer `i` at the given second + 24-bit fraction via the
+    /// register interface (what the driver does).
+    pub fn arm_timer_regs(&mut self, i: usize, secs: u32, frac24: u32) {
+        let base = R_TIMER_BASE + i as u32 * TIMER_STRIDE;
+        self.write32(base + TIMER_SECS, secs);
+        self.write32(base + TIMER_FRAC, frac24);
+        self.write32(base + TIMER_CTRL, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itu::IntSource;
+    use crate::{Utcsu, UtcsuConfig};
+    use nti_simcore::{Accuracy, Macrostamp, NtpTime, Timestamp};
+
+    fn chip() -> Utcsu {
+        let mut u = Utcsu::new(UtcsuConfig::default());
+        u.write32(R_CTRL, CTRL_SYNCRUN | CTRL_RUN);
+        u
+    }
+
+    #[test]
+    fn timestamp_then_macrostamp_is_atomic_pair() {
+        let mut u = chip();
+        u.advance_to_tick(12_345_678);
+        let ts = u.read32(R_TIMESTAMP);
+        u.advance_to_tick(99_999_999);
+        let ms = u.read32(R_MACROSTAMP);
+        assert!(NtpTime::from_stamp_pair(Timestamp(ts), Macrostamp(ms)).is_some());
+    }
+
+    #[test]
+    fn step_registers_roundtrip_40_bits() {
+        let mut u = chip();
+        u.write32(R_STEP_LO, 0xDEAD_BEEF);
+        u.write32(R_STEP_HI, 0xAB);
+        assert_eq!(u.ltu.step_units(), 0xAB_DEAD_BEEF);
+        assert_eq!(u.read32(R_STEP_LO), 0xDEAD_BEEF);
+        assert_eq!(u.read32(R_STEP_HI), 0xAB);
+    }
+
+    #[test]
+    fn ctrl_apply_load_is_atomic() {
+        let mut u = chip();
+        u.write32(R_TLOAD_SECS, 77);
+        u.write32(R_TLOAD_FRAC, 0x123456);
+        u.write32(R_ALOAD, 0x00200010);
+        u.write32(R_CTRL, CTRL_RUN | CTRL_APPLY_LOAD);
+        assert_eq!(u.time().secs(), 77);
+        assert_eq!(u.alpha(), (Accuracy(0x10), Accuracy(0x20)));
+    }
+
+    #[test]
+    fn ctrl_status_bits() {
+        let mut u = chip();
+        assert_eq!(u.read32(R_CTRL) & CTRL_RUN, CTRL_RUN);
+        u.write32(R_AMORT_LO, 500);
+        u.write32(R_CTRL, CTRL_RUN | CTRL_START_AMORT);
+        assert!(u.read32(R_CTRL) & CTRL_ST_AMORT != 0);
+        u.write32(R_CTRL, CTRL_RUN | CTRL_ABORT_AMORT);
+        assert!(u.read32(R_CTRL) & CTRL_ST_AMORT == 0);
+        u.write32(R_LEAP_SECS, 100);
+        u.write32(R_CTRL, CTRL_RUN | CTRL_LEAP_INSERT);
+        assert!(u.read32(R_CTRL) & CTRL_ST_LEAP != 0);
+        u.write32(R_CTRL, CTRL_RUN | CTRL_LEAP_DISARM);
+        assert!(u.read32(R_CTRL) & CTRL_ST_LEAP == 0);
+    }
+
+    #[test]
+    fn ssu_read_order_consumes_exactly_one_stamp() {
+        let mut u = chip();
+        u.advance_to_tick(1000);
+        u.trigger_ssu_receive(0);
+        let base = R_SSU_BASE;
+        assert_eq!(u.read32(base + SSU_STATUS) & 1, 1);
+        let _ts = u.read32(base + SSU_RCV_TS);
+        let _ms = u.read32(base + SSU_RCV_MS);
+        assert_eq!(u.read32(base + SSU_STATUS) & 1, 1, "TS/MS reads peek");
+        let _acc = u.read32(base + SSU_RCV_ACC);
+        assert_eq!(u.read32(base + SSU_STATUS) & 1, 0, "ACC read consumes");
+    }
+
+    #[test]
+    fn ssu_status_write_clears() {
+        let mut u = chip();
+        u.trigger_ssu_receive(3);
+        u.trigger_ssu_transmit(3);
+        let base = R_SSU_BASE + 3 * SSU_STRIDE;
+        assert_eq!(u.read32(base + SSU_STATUS) & 0b101, 0b101);
+        u.write32(base + SSU_STATUS, 0b101);
+        assert_eq!(u.read32(base + SSU_STATUS), 0);
+    }
+
+    #[test]
+    fn gpu_ctrl_enable_and_status() {
+        let mut u = chip();
+        let base = R_GPU_BASE + GPU_STRIDE; // unit 1
+        u.write32(base + GPU_CTRL, 0b11); // enable, rising
+        assert!(u.gpu[1].enabled);
+        u.trigger_gpu(1);
+        assert_eq!(u.read32(base + GPU_CTRL) & 0b100, 0b100, "valid bit");
+        let _ = u.read32(base + GPU_ACC);
+        assert_eq!(u.read32(base + GPU_CTRL) & 0b100, 0);
+    }
+
+    #[test]
+    fn apu_shared_ctrl() {
+        let mut u = chip();
+        u.write32(R_APU_CTRL, 0x01FF_0155); // odd-numbered polarity, some enables
+        assert!(u.apu[0].enabled);
+        assert!(!u.apu[1].enabled);
+        assert!(u.apu[2].enabled);
+        assert!(u.apu[0].rising);
+        u.trigger_apu(0);
+        let v = u.read32(R_APU_BASE + APU_TS);
+        let _ = v;
+        let _ = u.read32(R_APU_BASE + APU_ACC);
+        assert!(!u.apu[0].event.valid());
+    }
+
+    #[test]
+    fn timer_armed_via_registers_fires() {
+        let mut u = chip();
+        u.write32(R_INT_MASK, u32::MAX);
+        u.arm_timer_regs(2, 0, 1 << 23); // 0.5 s
+        assert!(u.timers[2].armed);
+        u.advance_to_tick(10_000_000);
+        assert!(u.read32(R_INT_PENDING) & IntSource::Timer(2).mask() != 0);
+        assert_eq!(u.read32(R_INT_STATUS) & 1, 1, "INTT line");
+        u.write32(R_INT_ACK, u32::MAX);
+        assert_eq!(u.read32(R_INT_STATUS), 0);
+    }
+
+    #[test]
+    fn snapshot_registers() {
+        let mut u = chip();
+        u.advance_to_tick(5000);
+        u.trigger_hwsnap();
+        assert_eq!(u.read32(R_SNU_CTRL) & 1, 1);
+        let _ts = u.read32(R_SNAP_TS);
+        let _acc = u.read32(R_SNAP_ACC); // consumes
+        assert_eq!(u.read32(R_SNU_CTRL) & 1, 0);
+        assert_eq!(u.read32(R_SNU_CTRL) >> 16, 1, "count survives");
+    }
+
+    #[test]
+    fn btu_via_ctrl() {
+        let mut u = chip();
+        u.advance_to_tick(42);
+        u.write32(R_CTRL, CTRL_RUN | CTRL_BTU_ACCUM);
+        assert_eq!(u.read32(R_BTU_SAMPLES), 1);
+        assert_ne!(u.read32(R_BTU_SIGNATURE), 0);
+        u.write32(R_CTRL, CTRL_RUN | CTRL_BTU_RESET);
+        assert_eq!(u.read32(R_BTU_SAMPLES), 0);
+    }
+
+    #[test]
+    fn sub_word_access() {
+        let mut u = chip();
+        u.write32(R_TLOAD_SECS, 0);
+        u.write16(R_TLOAD_SECS, 0xBEEF);
+        u.write16(R_TLOAD_SECS + 2, 0xDEAD);
+        assert_eq!(u.read32(R_TLOAD_SECS), 0xDEAD_BEEF);
+        assert_eq!(u.read8(R_TLOAD_SECS + 3), 0xDE);
+        u.write8(R_TLOAD_SECS, 0x42);
+        assert_eq!(u.read16(R_TLOAD_SECS), 0xBE42);
+    }
+
+    #[test]
+    fn dstep_registers_sign_extend() {
+        let mut u = chip();
+        u.write32(R_DSTEP_MINUS, (-5i32) as u32);
+        assert_eq!(u.acu.dsteps().0, -5);
+        assert_eq!(u.read32(R_DSTEP_MINUS), (-5i32) as u32);
+    }
+
+    #[test]
+    fn reserved_offsets_are_inert() {
+        let mut u = chip();
+        u.write32(0x04C, 0xFFFF_FFFF);
+        assert_eq!(u.read32(0x04C), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad register read")]
+    fn out_of_window_read_panics() {
+        let mut u = chip();
+        let _ = u.read32(REG_WINDOW);
+    }
+}

@@ -1,0 +1,89 @@
+//! SNU — Snapshot Unit.
+//!
+//! Debug support (Section 3.3): snapshots of certain registers to
+//! facilitate an experimental evaluation of precision/accuracy, plus
+//! (re)start operations. Two external pins are modelled:
+//!
+//! * **HWSNAP** — a common snapshot line distributed to every UTCSU in the
+//!   testbed; asserting it samples local time + accuracy into dedicated
+//!   snapshot registers on *all* nodes at the same real-time instant, which
+//!   is how pairwise clock differences (the precision) are measured without
+//!   disturbing the clocks;
+//! * **SYNCRUN** — a common start line: loads the staged time and starts the
+//!   clock, so an experiment begins with all clocks released simultaneously.
+
+use crate::stamp::{Stamp, StampLatch};
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::Accuracy;
+
+/// The snapshot unit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Snu {
+    latch: StampLatch,
+    snaps: u32,
+}
+
+impl Snu {
+    /// Fresh unit.
+    pub fn new() -> Self {
+        Snu::default()
+    }
+
+    /// HWSNAP assertion: sample the given clock state.
+    pub fn snapshot(&mut self, time: NtpTime, alpha: (Accuracy, Accuracy)) {
+        self.latch.latch(Stamp::sample(time, alpha));
+        self.snaps = self.snaps.wrapping_add(1);
+    }
+
+    /// Read and consume the snapshot.
+    pub fn take(&mut self) -> Option<Stamp> {
+        self.latch.take()
+    }
+
+    /// Peek without consuming.
+    pub fn peek(&self) -> Option<Stamp> {
+        self.latch.peek()
+    }
+
+    /// Whether a snapshot is pending.
+    pub fn valid(&self) -> bool {
+        self.latch.valid()
+    }
+
+    /// Whether a snapshot was overwritten before being read.
+    pub fn overrun(&self) -> bool {
+        self.latch.overrun()
+    }
+
+    /// Number of snapshots taken since reset.
+    pub fn count(&self) -> u32 {
+        self.snaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_take() {
+        let mut s = Snu::new();
+        assert!(!s.valid());
+        s.snapshot(NtpTime::from_secs(9), (Accuracy(1), Accuracy(2)));
+        assert!(s.valid());
+        assert_eq!(s.count(), 1);
+        let st = s.take().unwrap();
+        assert_eq!(st.time().unwrap().secs(), 9);
+        assert_eq!(st.alpha_minus, Accuracy(1));
+        assert!(!s.valid());
+    }
+
+    #[test]
+    fn overrun_on_double_snapshot() {
+        let mut s = Snu::new();
+        s.snapshot(NtpTime::from_secs(1), (Accuracy::ZERO, Accuracy::ZERO));
+        s.snapshot(NtpTime::from_secs(2), (Accuracy::ZERO, Accuracy::ZERO));
+        assert!(s.overrun());
+        assert_eq!(s.take().unwrap().time().unwrap().secs(), 2);
+    }
+}

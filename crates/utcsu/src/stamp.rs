@@ -1,0 +1,213 @@
+//! Time/accuracy-stamp latches: the common mechanism behind SSU, GPU and APU.
+//!
+//! A number of external events can be time/accuracy-stamped: local time and
+//! the α⁻/α⁺ accuracies are *atomically* sampled into dedicated registers
+//! upon the appropriate input transition (Section 3.3). Three functional
+//! blocks use this mechanism:
+//!
+//! * [`Ssu`] — Synchronization Subnet Unit (×6): TRANSMIT and RECEIVE
+//!   triggers from the NTI's decoding logic sample CSP timestamps; six
+//!   independent units support redundant networks and gateway nodes;
+//! * [`Gpu`] — GPS Unit (×3): timestamps the 1pps pulse of a GPS receiver;
+//! * [`Apu`] — Application Unit (×9): general-purpose event timestamping.
+//!
+//! Because the inputs are asynchronous, a one- or two-stage synchronizer is
+//! interposed (selected by the `reliable` pin), introducing a quantization
+//! uncertainty of 1/f_osc (plus one more period of latency in reliable
+//! mode). The latches track an *overrun* flag: a second trigger before the
+//! previous stamp was consumed is the back-to-back CSP case of footnote 4.
+
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::{Accuracy, Macrostamp, Timestamp};
+
+/// One sampled time/accuracy stamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stamp {
+    /// The 8.24 timestamp.
+    pub ts: Timestamp,
+    /// The matching macrostamp.
+    pub ms: Macrostamp,
+    /// α⁻ at sampling time.
+    pub alpha_minus: Accuracy,
+    /// α⁺ at sampling time.
+    pub alpha_plus: Accuracy,
+}
+
+impl Stamp {
+    /// Sample from the given clock state.
+    pub fn sample(time: NtpTime, alpha: (Accuracy, Accuracy)) -> Stamp {
+        Stamp { ts: time.timestamp(), ms: time.macrostamp(), alpha_minus: alpha.0, alpha_plus: alpha.1 }
+    }
+
+    /// The packed 32-bit accuracy register (α⁻ low, α⁺ high).
+    pub fn acc_packed(&self) -> u32 {
+        (self.alpha_minus.0 as u32) | ((self.alpha_plus.0 as u32) << 16)
+    }
+
+    /// Reconstruct the full sampled clock value (checksum-verified).
+    pub fn time(&self) -> Option<NtpTime> {
+        NtpTime::from_stamp_pair(self.ts, self.ms)
+    }
+}
+
+/// A stamp latch with valid/overrun status.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StampLatch {
+    stamp: Option<Stamp>,
+    overrun: bool,
+}
+
+impl StampLatch {
+    /// Latch a new stamp; sets the overrun flag if the previous stamp was
+    /// never consumed (it is overwritten, matching hardware behaviour).
+    pub fn latch(&mut self, s: Stamp) {
+        if self.stamp.is_some() {
+            self.overrun = true;
+        }
+        self.stamp = Some(s);
+    }
+
+    /// Read and consume the stamp, clearing valid + overrun.
+    pub fn take(&mut self) -> Option<Stamp> {
+        self.overrun = false;
+        self.stamp.take()
+    }
+
+    /// Peek without consuming (register reads of TS/MS/ACC peek; the status
+    /// write clears).
+    pub fn peek(&self) -> Option<Stamp> {
+        self.stamp
+    }
+
+    /// Whether a stamp is pending.
+    pub fn valid(&self) -> bool {
+        self.stamp.is_some()
+    }
+
+    /// Whether a stamp was lost to a back-to-back trigger.
+    pub fn overrun(&self) -> bool {
+        self.overrun
+    }
+
+    /// Clear valid + overrun without reading (status register write).
+    pub fn clear(&mut self) {
+        self.stamp = None;
+        self.overrun = false;
+    }
+}
+
+/// Synchronization Subnet Unit: transmit + receive stamp latches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ssu {
+    /// Latch filled by the TRANSMIT trigger.
+    pub transmit: StampLatch,
+    /// Latch filled by the RECEIVE trigger.
+    pub receive: StampLatch,
+}
+
+/// GPS Unit: 1pps stamp latch plus an enable/polarity control.
+#[derive(Clone, Copy, Debug)]
+pub struct Gpu {
+    /// Latch filled on the (enabled) 1pps edge.
+    pub pps: StampLatch,
+    /// Whether the input is enabled.
+    pub enabled: bool,
+    /// `true` = stamp on rising edge, `false` = falling.
+    pub rising: bool,
+}
+
+impl Default for Gpu {
+    fn default() -> Self {
+        Gpu { pps: StampLatch::default(), enabled: false, rising: true }
+    }
+}
+
+/// Application Unit: general-purpose event stamp latch.
+#[derive(Clone, Copy, Debug)]
+pub struct Apu {
+    /// Latch filled on the (enabled) input edge.
+    pub event: StampLatch,
+    /// Whether the input is enabled.
+    pub enabled: bool,
+    /// `true` = stamp on rising edge, `false` = falling.
+    pub rising: bool,
+}
+
+impl Default for Apu {
+    fn default() -> Self {
+        Apu { event: StampLatch::default(), enabled: false, rising: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_stamp(secs: u32) -> Stamp {
+        Stamp::sample(NtpTime::from_secs(secs), (Accuracy(3), Accuracy(7)))
+    }
+
+    #[test]
+    fn stamp_packs_accuracies() {
+        let s = mk_stamp(1);
+        assert_eq!(s.acc_packed(), (7 << 16) | 3);
+    }
+
+    #[test]
+    fn stamp_time_roundtrip() {
+        let t = NtpTime::from_secs(123_456);
+        let s = Stamp::sample(t, (Accuracy::ZERO, Accuracy::ZERO));
+        assert_eq!(s.time().expect("checksum ok").secs(), 123_456);
+    }
+
+    #[test]
+    fn latch_take_clears() {
+        let mut l = StampLatch::default();
+        assert!(!l.valid());
+        l.latch(mk_stamp(1));
+        assert!(l.valid());
+        assert!(!l.overrun());
+        let s = l.take().unwrap();
+        assert_eq!(s.time().unwrap().secs(), 1);
+        assert!(!l.valid());
+        assert!(l.take().is_none());
+    }
+
+    #[test]
+    fn back_to_back_sets_overrun_and_keeps_newest() {
+        let mut l = StampLatch::default();
+        l.latch(mk_stamp(1));
+        l.latch(mk_stamp(2));
+        assert!(l.overrun());
+        let s = l.take().unwrap();
+        assert_eq!(s.time().unwrap().secs(), 2, "newest stamp wins");
+        assert!(!l.overrun(), "take clears overrun");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut l = StampLatch::default();
+        l.latch(mk_stamp(1));
+        l.latch(mk_stamp(2));
+        l.clear();
+        assert!(!l.valid());
+        assert!(!l.overrun());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut l = StampLatch::default();
+        l.latch(mk_stamp(5));
+        assert!(l.peek().is_some());
+        assert!(l.valid());
+        assert!(l.take().is_some());
+    }
+
+    #[test]
+    fn gpu_apu_defaults() {
+        let g = Gpu::default();
+        assert!(!g.enabled && g.rising);
+        let a = Apu::default();
+        assert!(!a.enabled && a.rising);
+    }
+}

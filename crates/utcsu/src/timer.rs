@@ -1,0 +1,88 @@
+//! Programmable duty timers.
+//!
+//! Whenever an armed duty timer goes off (local time reaches the programmed
+//! value) an interrupt is raised (Section 3.3). Duty timers drive the whole
+//! round structure of the synchronization algorithm: CSP broadcast at
+//! `C(t) = kP`, convergence-function application at `kP + Δ`, amortization
+//! control, leap-second scheduling, and application events.
+//!
+//! A timer compares the programmed 56-bit NTP target (staged as seconds +
+//! 24-bit fraction) against local time; one-shot by design — software
+//! re-arms it for the next round, as the pSOS⁺ᵐ add-on does.
+
+use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
+
+/// Number of general-purpose duty timers in the model.
+pub const NUM_TIMERS: usize = 3;
+
+/// One duty timer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DutyTimer {
+    /// Staged target: integer seconds.
+    pub target_secs: u32,
+    /// Staged target: 24-bit fraction (in 2⁻²⁴ s units, low-aligned).
+    pub target_frac24: u32,
+    /// Whether the timer is armed.
+    pub armed: bool,
+}
+
+impl DutyTimer {
+    /// The staged target as an internal clock value.
+    pub fn target(&self) -> NtpTime {
+        let secs = self.target_secs as u128;
+        let frac = (self.target_frac24 as u128 & 0x00FF_FFFF) << (FRAC_BITS - NTP_FRAC_BITS);
+        NtpTime::from_raw((secs << FRAC_BITS) | frac)
+    }
+
+    /// Arm for the given target time.
+    pub fn arm_at(&mut self, t: NtpTime) {
+        self.target_secs = t.secs();
+        self.target_frac24 = ((t.raw() >> (FRAC_BITS - NTP_FRAC_BITS)) & 0x00FF_FFFF) as u32;
+        self.armed = true;
+    }
+
+    /// Disarm.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Whether the timer fires when the clock stands at `now` (target
+    /// reached or passed). Expiry is detected by the advance loop, which
+    /// segments ticks so it lands exactly on (or just past) the target.
+    pub fn expired(&self, now: NtpTime) -> bool {
+        self.armed && self.target().wrapping_diff_units(now) <= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_roundtrips_target() {
+        let mut t = DutyTimer::default();
+        let when = NtpTime::from_raw((42u128 << FRAC_BITS) | (0x00AB_CDEF_u128 << (FRAC_BITS - NTP_FRAC_BITS)));
+        t.arm_at(when);
+        assert!(t.armed);
+        assert_eq!(t.target().secs(), 42);
+        assert_eq!(t.target().ntp56(), when.ntp56());
+    }
+
+    #[test]
+    fn expiry_semantics() {
+        let mut t = DutyTimer::default();
+        t.arm_at(NtpTime::from_secs(10));
+        assert!(!t.expired(NtpTime::from_secs(9)));
+        assert!(t.expired(NtpTime::from_secs(10)));
+        assert!(t.expired(NtpTime::from_secs(11)));
+        t.disarm();
+        assert!(!t.expired(NtpTime::from_secs(11)));
+    }
+
+    #[test]
+    fn disarmed_by_default() {
+        let t = DutyTimer::default();
+        assert!(!t.armed);
+        assert!(!t.expired(NtpTime::from_secs(1_000_000)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Relating sensor data across nodes — the paper's motivating use case.
+//!
+//! Section 1: "Temporally ordered events are in fact beneficial for a wide
+//! variety of tasks, ranging from relating sensor data gathered at
+//! different nodes up to fully-fledged distributed algorithms." The UTCSU
+//! exposes nine APU inputs precisely so applications can hardware-stamp
+//! external events against the synchronized clock.
+//!
+//! This example fires a physical stimulus into every node's APU 0 once per
+//! 100 ms while the cluster synchronizes, and measures how far apart the
+//! nodes' stamps of the *same* event land — i.e. how fine-grained a global
+//! event ordering the system supports. With the full NTI recipe the answer
+//! is "well under a microsecond": any two events more than ~1 µs apart are
+//! globally ordered consistently by every node.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example event_ordering
+//! ```
+
+use nti::core::cluster::{Cluster, ClusterConfig};
+use nti::prelude::*;
+
+fn main() {
+    let mut cfg = ClusterConfig::default_lan(6, 0xEE);
+    cfg.fosc_hz = 16_000_000;
+    cfg.rate_sync = true;
+    cfg.duration = SimDuration::from_secs(60);
+    cfg.warmup = SimDuration::from_secs(20);
+    cfg.app_event_period = Some(SimDuration::from_millis(100));
+
+    println!("== global event ordering via APU timestamping (6 nodes, 16 MHz) ==");
+    let report = Cluster::new(cfg).run();
+
+    let (worst_spread, events) = report.app_events;
+    println!();
+    println!("application events stamped       : {events}");
+    println!(
+        "worst cross-node stamp spread    : {:.3} us",
+        worst_spread * 1e6
+    );
+    println!(
+        "clock precision (for comparison) : {:.3} us",
+        report.worst_precision_s * 1e6
+    );
+    println!(
+        "containment                      : {} violations in {} checks",
+        report.containment.0, report.containment.1
+    );
+    println!();
+    let orderable = worst_spread * 2.0;
+    println!(
+        "any two physical events more than {:.2} us apart are ordered identically",
+        orderable * 1e6
+    );
+    println!("by every node — sensor fusion at microsecond granularity, which is the");
+    println!("paper's motivating application.");
+
+    assert!(events > 100, "events measured: {events}");
+    assert!(worst_spread < 2e-6, "spread {worst_spread}");
+    assert_eq!(report.containment.0, 0);
+}

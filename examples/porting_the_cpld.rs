@@ -1,0 +1,72 @@
+//! Porting the NTI to a different network controller.
+//!
+//! Paper §4: "a transition to a different hardware only requires
+//! redevelopment of the network controller's part of the COMCO driver
+//! (written in C) and perhaps some reprogramming of the CPLD on-board the
+//! NTI." §3.1 adds that the NTI "provides two independently configurable
+//! addresses for timestamp triggering and transparent mapping" to absorb
+//! COMCO architectural peculiarities.
+//!
+//! This example "ports" the module to a fictitious QUICC-style controller
+//! (the M68EN360 the authors planned for the i6040) with 128-byte headers,
+//! different trigger offsets, a slower bus and a deeper FIFO — by changing
+//! only the CPLD programming and the COMCO timing descriptor — and shows
+//! the synchronization quality carries over.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example porting_the_cpld
+//! ```
+
+use nti::core::cluster::{Cluster, ClusterConfig};
+use nti::module::CpldConfig;
+use nti::netsim::{ComcoTiming, Jitter};
+use nti::prelude::*;
+
+fn run(name: &str, cpld: CpldConfig, comco: ComcoTiming) {
+    let mut cfg = ClusterConfig::default_lan(4, 0x360);
+    cfg.cpld = cpld;
+    cfg.comco = comco;
+    cfg.rate_sync = true;
+    cfg.duration = SimDuration::from_secs(45);
+    cfg.warmup = SimDuration::from_secs(15);
+    let r = Cluster::new(cfg).run();
+    println!(
+        "{:<28} precision {:>9.3} us   eps spread {:>9.3} us   containment {}/{}",
+        name,
+        r.worst_precision_s * 1e6,
+        r.eps_spread_s * 1e6,
+        r.containment.0,
+        r.containment.1
+    );
+    assert_eq!(r.containment.0, 0);
+    assert!(r.worst_precision_s < 2e-6, "{name}: {}", r.worst_precision_s);
+}
+
+fn main() {
+    println!("== porting the NTI: 82596CA vs a QUICC-style controller ==");
+    println!();
+    // The shipped configuration (Figure 7).
+    run("82596CA (stock CPLD)", CpldConfig::default(), ComcoTiming::i82596());
+    // The "port": bigger headers, different offsets, slower bus cycles,
+    // deeper FIFO. Only descriptors change; no code.
+    let quicc_cpld = CpldConfig {
+        header_len: 128,
+        rcv_trigger_off: 0x34,
+        xmt_trigger_off: 0x28,
+        xmt_map_ts_off: 0x2C,
+        xmt_map_acc_off: 0x38,
+        ssu_idx: 0,
+    };
+    let quicc_timing = ComcoTiming {
+        bus_cycle: SimDuration::from_nanos(240),
+        arb_jitter: Jitter { base: SimDuration::ZERO, spread: SimDuration::from_nanos(60) },
+        tx_fifo_bytes: 16,
+        ..ComcoTiming::i82596()
+    };
+    run("QUICC-style (reprogrammed)", quicc_cpld, quicc_timing);
+    println!();
+    println!("both configurations hold sub-2 us precision with zero containment");
+    println!("violations: the delay bounds re-derive from the new descriptors");
+    println!("automatically — the portability the paper promises.");
+}

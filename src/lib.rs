@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the NTI reproduction.
+//!
+//! Re-exports the full stack so examples, integration tests and downstream
+//! users can depend on a single crate:
+//!
+//! * [`simcore`] — simulation substrate (time, events, RNG, oscillators);
+//! * [`utcsu`] — the UTCSU ASIC functional model;
+//! * [`module`] — the NTI MA-Module (CPLD decode, memory map, triggers);
+//! * [`netsim`] — LAN + COMCO simulation;
+//! * [`gps`] — GPS receivers and fault injection;
+//! * [`kernel`] — the pSOS-like executive and COMCO driver;
+//! * [`core`] — interval-based clock synchronization and cluster assembly.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use nti_core as core;
+pub use nti_gps as gps;
+pub use nti_kernel as kernel;
+pub use nti_module as module;
+pub use nti_netsim as netsim;
+pub use nti_simcore as simcore;
+pub use nti_utcsu as utcsu;
+
+/// Convenient prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use nti_simcore::{
+        Accuracy, DriftModel, Engine, Macrostamp, NtpTime, Oscillator, SimDuration, SimRng,
+        SimTime, Timestamp,
+    };
+}

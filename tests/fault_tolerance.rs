@@ -1,0 +1,100 @@
+//! Fault-tolerance scenarios across the full stack: Byzantine nodes,
+//! CRC-corrupted CSPs (footnote 4), and the WAN-of-LANs extension
+//! (footnote 2).
+
+use nti::core::cluster::{Cluster, ClusterConfig};
+use nti::netsim::Topology;
+use nti::prelude::*;
+
+fn base(n: usize, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default_lan(n, seed);
+    cfg.duration = SimDuration::from_secs(20);
+    cfg.warmup = SimDuration::from_secs(8);
+    cfg
+}
+
+#[test]
+fn byzantine_node_is_masked_with_f1() {
+    let mut cfg = base(5, 13);
+    cfg.f = 1;
+    cfg.byzantine = vec![4];
+    let rep = Cluster::new(cfg).run();
+    // The four honest nodes keep tight precision: the Byzantine stamps
+    // (off by 0.1..0.9 s!) must not drag the ensemble.
+    assert!(
+        rep.worst_precision_s < 1e-3,
+        "Byzantine node leaked into the ensemble: {}",
+        rep.worst_precision_s
+    );
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+}
+
+#[test]
+fn byzantine_beyond_f_breaks_precision() {
+    // Negative control: two Byzantine nodes with f = 1 must visibly hurt.
+    let run = |byz: Vec<usize>| {
+        let mut cfg = base(5, 14);
+        cfg.f = 1;
+        cfg.byzantine = byz;
+        Cluster::new(cfg).run().worst_precision_s
+    };
+    let ok = run(vec![4]);
+    let broken = run(vec![3, 4]);
+    assert!(
+        broken > ok * 10.0,
+        "2 liars with f=1 should break things: {ok} vs {broken}"
+    );
+}
+
+#[test]
+fn crc_corrupted_csps_are_dropped_without_misattribution() {
+    let mut cfg = base(4, 15);
+    cfg.crc_error_rate = 0.2;
+    let rep = Cluster::new(cfg).run();
+    assert!(rep.csps.2 > 5, "corrupted frames must be dropped: {:?}", rep.csps);
+    // Losing 20% of CSPs must not break synchronization or attribution of
+    // the surviving stamps.
+    assert!(rep.worst_precision_s < 50e-6, "precision {}", rep.worst_precision_s);
+    assert_eq!(rep.containment.0, 0);
+}
+
+#[test]
+fn wan_of_lans_three_segments() {
+    // Footnote 2: WANs-of-LANs work when gateways carry NTIs too. Three
+    // segments, two gateways (each using a second SSU for its second LAN).
+    let mut cfg = base(0, 16);
+    cfg.topology = Topology::chain_of_lans(3, 2);
+    cfg.f = 0;
+    cfg.rate_sync = true;
+    cfg.duration = SimDuration::from_secs(30);
+    cfg.warmup = SimDuration::from_secs(12);
+    let rep = Cluster::new(cfg).run();
+    assert!(rep.csps.1 > 50, "CSPs must flow on all segments: {:?}", rep.csps);
+    assert!(
+        rep.worst_precision_s < 30e-6,
+        "three-segment precision {}",
+        rep.worst_precision_s
+    );
+    assert_eq!(rep.containment.0, 0);
+}
+
+#[test]
+fn dedicated_cpu_beats_shared_cpu_in_software_mode() {
+    // The i6040 deployment (Section 4): running the sync software on a
+    // dedicated communications CPU shrinks the software-stamp latencies.
+    use nti::core::params::TimestampMode;
+    use nti::kernel::KernelConfig;
+    let run = |k: KernelConfig| {
+        let mut cfg = base(3, 17);
+        cfg.mode = TimestampMode::Software;
+        cfg.f = 0;
+        cfg.kernel = k;
+        Cluster::new(cfg).run().eps_spread_s
+    };
+    let shared = run(KernelConfig::psos_mvme162());
+    let dedicated = run(KernelConfig::dedicated_i6040());
+    assert!(
+        dedicated < shared / 3.0,
+        "dedicated CPU should cut software ε: {dedicated} vs {shared}"
+    );
+}
