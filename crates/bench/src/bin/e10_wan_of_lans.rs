@@ -23,7 +23,10 @@ fn main() {
         let topo = Topology::chain_of_lans(lans, 3);
         let nodes = topo.node_count();
         let gateways = nodes - lans * 3;
-        let mut cfg = with_duration(ClusterConfig::default_lan(0, 0xE10 + lans as u64), secs(60, 12));
+        let mut cfg = with_duration(
+            ClusterConfig::default_lan(0, 0xE10 + lans as u64),
+            secs(60, 12),
+        );
         cfg.topology = topo;
         cfg.rate_sync = true;
         // f = 0 here: with a single gateway per adjacency, the bridge node
@@ -33,7 +36,11 @@ fn main() {
         // (the same argument as for GPS anchors in E5).
         cfg.f = 0;
         let rep = Cluster::new(cfg).run();
-        record("e10_wan_of_lans", &format!("{lans}_segments"), &rep);
+        record(
+            "e10_wan_of_lans",
+            &format!("{lans}_segments"),
+            &rep.to_json(),
+        );
         per_hop.push(rep.worst_precision_s);
         println!(
             "{:<10} {:>7} {:>10} {:>14} {:>14} {:>9}/{}",

@@ -52,7 +52,12 @@ fn send_probe(
             trigger_real = acc.at;
         }
     }
-    let stamp = src.0.utcsu_mut().ssu[0].transmit.take().expect("transmit stamp").time().unwrap();
+    let stamp = src.0.utcsu_mut().ssu[0]
+        .transmit
+        .take()
+        .expect("transmit stamp")
+        .time()
+        .unwrap();
     // Reception.
     let arrival = grant.wire_end + medium.propagation();
     let rx_plan = dst.2.plan_receive(arrival, 64);
@@ -66,19 +71,41 @@ fn send_probe(
             arrival_trigger_real = acc.at;
         }
     }
-    let recv_stamp = dst.0.utcsu_mut().ssu[0].receive.take().expect("receive stamp").time().unwrap();
-    (Probe { stamp, trigger_real, arrival_trigger_real, recv_stamp }, rx_plan.interrupt_at)
+    let recv_stamp = dst.0.utcsu_mut().ssu[0]
+        .receive
+        .take()
+        .expect("receive stamp")
+        .time()
+        .unwrap();
+    (
+        Probe {
+            stamp,
+            trigger_real,
+            arrival_trigger_real,
+            recv_stamp,
+        },
+        rx_plan.interrupt_at,
+    )
 }
 
 fn mk_node(seed: u64, rho_ppm: f64) -> (Nti, Oscillator, Comco) {
     let mut nti = Nti::new(UtcsuConfig::default(), CpldConfig::default());
     // Start with a deliberately large offset: RTT measurement must not care.
-    nti.utcsu_mut().stage_time_load(NtpTime::from_secs(seed as u32 * 100));
-    nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
+    nti.utcsu_mut()
+        .stage_time_load(NtpTime::from_secs(seed as u32 * 100));
+    nti.write32(
+        UTCSU_BASE + uregs::R_CTRL,
+        uregs::CTRL_SYNCRUN | uregs::CTRL_RUN,
+    );
     let rng = SimRng::new(seed);
     (
         nti,
-        Oscillator::new(10_000_000, DriftModel::Constant { rho_ppm }, rng.split("osc"), SimTime::ZERO),
+        Oscillator::new(
+            10_000_000,
+            DriftModel::Constant { rho_ppm },
+            rng.split("osc"),
+            SimTime::ZERO,
+        ),
         Comco::new(ComcoTiming::i82596(), 10_000_000, rng.split("comco")),
     )
 }
@@ -98,15 +125,26 @@ fn main() {
     for _ in 0..probes {
         let (p_out, done_out) = send_probe(t, &mut a, &mut b, &mut medium, bits);
         true_delays.push(
-            p_out.arrival_trigger_real.saturating_since(p_out.trigger_real).as_secs_f64(),
+            p_out
+                .arrival_trigger_real
+                .saturating_since(p_out.trigger_real)
+                .as_secs_f64(),
         );
         // Responder turns the probe around after its ISR.
         let t_back = done_out + SimDuration::from_micros(300);
         let (p_back, done_back) = send_probe(t_back, &mut b, &mut a, &mut medium, bits);
         true_delays.push(
-            p_back.arrival_trigger_real.saturating_since(p_back.trigger_real).as_secs_f64(),
+            p_back
+                .arrival_trigger_real
+                .saturating_since(p_back.trigger_real)
+                .as_secs_f64(),
         );
-        est.record(p_out.stamp, p_out.recv_stamp, p_back.stamp, p_back.recv_stamp);
+        est.record(
+            p_out.stamp,
+            p_out.recv_stamp,
+            p_back.stamp,
+            p_back.recv_stamp,
+        );
         t = done_back + SimDuration::from_millis(5);
     }
 
@@ -122,7 +160,10 @@ fn main() {
     let tmin = true_delays.iter().copied().fold(f64::INFINITY, f64::min);
     let tmax = true_delays.iter().copied().fold(0.0f64, f64::max);
 
-    let h = format!("{:<26} {:>14} {:>14} {:>14}", "window", "lower", "upper", "width");
+    let h = format!(
+        "{:<26} {:>14} {:>14} {:>14}",
+        "window", "lower", "upper", "width"
+    );
     header(&h);
     println!(
         "{:<26} {:>14} {:>14} {:>14}",
@@ -153,11 +194,19 @@ fn main() {
         eng(dhi.as_secs_f64() - dlo.as_secs_f64())
     );
     println!();
-    println!("probes accepted: {}  rejected: {}", est.samples(), est.rejected());
+    println!(
+        "probes accepted: {}  rejected: {}",
+        est.samples(),
+        est.rejected()
+    );
     let covers = mlo.as_secs_f64() <= tmin && mhi.as_secs_f64() >= tmax;
     println!(
         "measured window covers all true delays: {}",
-        if covers { "yes (containment-safe)" } else { "NO (!)" }
+        if covers {
+            "yes (containment-safe)"
+        } else {
+            "NO (!)"
+        }
     );
     assert!(covers);
     assert!(

@@ -16,7 +16,10 @@ fn main() {
     println!("E13: a-posteriori agreement (CesiumSpray-style) on a broadcast LAN");
     println!();
     println!("part 1: precision by receiver stamping path (8 receivers, 200 rounds)");
-    let h = format!("{:<34} {:>14} {:>14}", "stamping path", "mean spread", "worst spread");
+    let h = format!(
+        "{:<34} {:>14} {:>14}",
+        "stamping path", "mean spread", "worst spread"
+    );
     header(&h);
     let mut spray = SprayConfig::cesium_spray(8);
     let rep_dedicated = simulate_spray(&spray);
@@ -35,11 +38,16 @@ fn main() {
         eng(rep_shared.worst_precision_s)
     );
     println!();
-    let in_decade = rep_dedicated.worst_precision_s > 3e-6 && rep_dedicated.worst_precision_s < 60e-6;
+    let in_decade =
+        rep_dedicated.worst_precision_s > 3e-6 && rep_dedicated.worst_precision_s < 60e-6;
     println!(
         "dedicated-CPU spray precision {} -> {}",
         eng(rep_dedicated.worst_precision_s),
-        if in_decade { "the paper's 10 us-range for [VRC97]" } else { "outside the expected decade (!)" }
+        if in_decade {
+            "the paper's 10 us-range for [VRC97]"
+        } else {
+            "outside the expected decade (!)"
+        }
     );
 
     println!();

@@ -34,12 +34,24 @@ struct Outcome {
 
 fn run(use_latch: bool, corrupt_first_every: u64) -> Outcome {
     let mut nti = Nti::new(UtcsuConfig::default(), CpldConfig::default());
-    nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
-    let mut osc =
-        Oscillator::new(10_000_000, DriftModel::perfect(), SimRng::new(1), SimTime::ZERO);
+    nti.write32(
+        UTCSU_BASE + uregs::R_CTRL,
+        uregs::CTRL_SYNCRUN | uregs::CTRL_RUN,
+    );
+    let mut osc = Oscillator::new(
+        10_000_000,
+        DriftModel::perfect(),
+        SimRng::new(1),
+        SimTime::ZERO,
+    );
     let mut comco = Comco::new(ComcoTiming::i82596(), 10_000_000, SimRng::new(2));
 
-    let mut out = Outcome { misattributions: 0, lost_stamps: 0, worst_error_s: 0.0, pairs: 0 };
+    let mut out = Outcome {
+        misattributions: 0,
+        lost_stamps: 0,
+        worst_error_s: 0.0,
+        pairs: 0,
+    };
     let mut slot = 0u32;
     for k in 0..500u64 {
         out.pairs += 1;
@@ -48,7 +60,10 @@ fn run(use_latch: bool, corrupt_first_every: u64) -> Outcome {
         let mut trigger_real = [SimTime::ZERO; 2];
         let mut hdr_addr = [0u32; 2];
         let first_corrupted = corrupt_first_every > 0 && k % corrupt_first_every == 0;
-        for (i, gap) in [SimDuration::ZERO, SimDuration::from_micros(80)].iter().enumerate() {
+        for (i, gap) in [SimDuration::ZERO, SimDuration::from_micros(80)]
+            .iter()
+            .enumerate()
+        {
             let arrival = t0 + *gap;
             let plan = comco.plan_receive(arrival, 64);
             let s = slot % nti.rx_header_count();
@@ -77,7 +92,11 @@ fn run(use_latch: bool, corrupt_first_every: u64) -> Outcome {
         // Which packet does the ISR attribute the stamp to?
         let attributed = if use_latch {
             // The base register names the stamped packet's header.
-            if latched_base == hdr_addr[1] { 1 } else { 0 }
+            if latched_base == hdr_addr[1] {
+                1
+            } else {
+                0
+            }
         } else {
             // Sequential assumption: the oldest packet that survived CRC.
             if first_corrupted {
@@ -93,7 +112,9 @@ fn run(use_latch: bool, corrupt_first_every: u64) -> Outcome {
         if attributed != 1 {
             out.misattributions += 1;
             let err = stamp
-                .diff_secs_f64(nti_simcore::ntp::NtpTime::from_sim_time(trigger_real[attributed]))
+                .diff_secs_f64(nti_simcore::ntp::NtpTime::from_sim_time(
+                    trigger_real[attributed],
+                ))
                 .abs();
             out.worst_error_s = out.worst_error_s.max(err);
         }
@@ -109,7 +130,10 @@ fn main() {
         "attribution scheme", "pairs", "misattributions", "lost stamps", "worst error"
     );
     header(&h);
-    for (name, latch) in [("header-base latch (NTI)", true), ("sequential order", false)] {
+    for (name, latch) in [
+        ("header-base latch (NTI)", true),
+        ("sequential order", false),
+    ] {
         let o = run(latch, 5);
         println!(
             "{:<26} {:>8} {:>16} {:>14} {:>14}",
@@ -122,7 +146,10 @@ fn main() {
         if latch {
             assert_eq!(o.misattributions, 0, "the latch must never misattribute");
         } else {
-            assert!(o.misattributions > 300, "sequential must fail on back-to-back");
+            assert!(
+                o.misattributions > 300,
+                "sequential must fail on back-to-back"
+            );
         }
     }
     println!();

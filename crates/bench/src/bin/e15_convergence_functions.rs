@@ -38,7 +38,11 @@ fn main() {
     for byz in [false, true] {
         println!(
             "{}",
-            if byz { "with one Byzantine node:" } else { "all nodes honest:" }
+            if byz {
+                "with one Byzantine node:"
+            } else {
+                "all nodes honest:"
+            }
         );
         let h = format!(
             "{:<22} {:>14} {:>14} {:>14} {:>12}",
@@ -52,7 +56,11 @@ fn main() {
             ("FTM (no intervals)", AlgoKind::Ftm),
         ] {
             let rep = run(algo, byz);
-            record("e15_convergence", &format!("{name}/byz{byz}"), &rep);
+            record(
+                "e15_convergence",
+                &format!("{name}/byz{byz}"),
+                &rep.to_json(),
+            );
             println!(
                 "{:<22} {:>14} {:>14} {:>14} {:>9}/{}",
                 name,

@@ -7,28 +7,37 @@
 //! MVME-162-like setup. Also includes the CAN-style on-chip-storage COMCO
 //! the paper calls "definitely inappropriate".
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header, record, secs, with_duration};
 use nti_core::cluster::{BgLoad, Cluster, ClusterConfig};
 use nti_core::params::TimestampMode;
 use nti_netsim::ComcoTiming;
+use nti_obs::SimObserver;
 
 fn run(
     mode: TimestampMode,
     loaded: bool,
     comco: ComcoTiming,
+    obs: &SimObserver,
 ) -> (nti_core::cluster::Report, nti_core::cluster::Metrics) {
     let mut cfg = with_duration(ClusterConfig::default_lan(2, 0xE1), secs(60, 10));
     cfg.mode = mode;
     cfg.f = 0;
     cfg.comco = comco;
     cfg.rate_sync = true;
+    cfg.obs = obs.clone();
     if loaded {
-        cfg.bg_load = Some(BgLoad { frames_per_sec: 100.0, frame_bytes: 600 });
+        cfg.bg_load = Some(BgLoad {
+            frames_per_sec: 100.0,
+            frame_bytes: 600,
+        });
     }
     Cluster::new(cfg).run_with_metrics()
 }
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E1: stamp-to-stamp uncertainty ε by timestamping placement (2 nodes)");
     println!("paper claim: NTI triggers give ε well below 1 us; software is ms-range\n");
     let h = format!(
@@ -37,19 +46,58 @@ fn main() {
     );
     header(&h);
     let cases: Vec<(&str, TimestampMode, bool, ComcoTiming)> = vec![
-        ("software (steps 1/7)", TimestampMode::Software, false, ComcoTiming::i82596()),
-        ("software (steps 1/7)", TimestampMode::Software, true, ComcoTiming::i82596()),
-        ("interrupt rx (CSU/KO87)", TimestampMode::InterruptRx, false, ComcoTiming::i82596()),
-        ("interrupt rx (CSU/KO87)", TimestampMode::InterruptRx, true, ComcoTiming::i82596()),
-        ("NTI triggers (steps 4/5)", TimestampMode::Hardware, false, ComcoTiming::i82596()),
-        ("NTI triggers (steps 4/5)", TimestampMode::Hardware, true, ComcoTiming::i82596()),
-        ("NTI + on-chip-storage", TimestampMode::Hardware, false, ComcoTiming::onchip_storage()),
+        (
+            "software (steps 1/7)",
+            TimestampMode::Software,
+            false,
+            ComcoTiming::i82596(),
+        ),
+        (
+            "software (steps 1/7)",
+            TimestampMode::Software,
+            true,
+            ComcoTiming::i82596(),
+        ),
+        (
+            "interrupt rx (CSU/KO87)",
+            TimestampMode::InterruptRx,
+            false,
+            ComcoTiming::i82596(),
+        ),
+        (
+            "interrupt rx (CSU/KO87)",
+            TimestampMode::InterruptRx,
+            true,
+            ComcoTiming::i82596(),
+        ),
+        (
+            "NTI triggers (steps 4/5)",
+            TimestampMode::Hardware,
+            false,
+            ComcoTiming::i82596(),
+        ),
+        (
+            "NTI triggers (steps 4/5)",
+            TimestampMode::Hardware,
+            true,
+            ComcoTiming::i82596(),
+        ),
+        (
+            "NTI + on-chip-storage",
+            TimestampMode::Hardware,
+            false,
+            ComcoTiming::onchip_storage(),
+        ),
     ];
     let mut hw_idle = f64::NAN;
     let mut hw_hist: Option<nti_simcore::Histogram> = None;
     for (name, mode, loaded, comco) in cases {
-        let (r, metrics) = run(mode, loaded, comco);
-        record("e1_epsilon", &format!("{name}/{}", if loaded { "busy" } else { "idle" }), &r);
+        let (r, metrics) = run(mode, loaded, comco, &obs);
+        record(
+            "e1_epsilon",
+            &format!("{name}/{}", if loaded { "busy" } else { "idle" }),
+            &r.to_json(),
+        );
         if name.starts_with("NTI triggers") && !loaded {
             hw_idle = r.eps_spread_s;
             // Figure: the ε distribution around its minimum (the variable
@@ -79,6 +127,11 @@ fn main() {
     println!(
         "NTI idle ε spread = {} -> {}",
         eng(hw_idle),
-        if hw_idle < 1e-6 { "WELL BELOW 1 us (paper claim reproduced)" } else { "above 1 us (!)" }
+        if hw_idle < 1e-6 {
+            "WELL BELOW 1 us (paper claim reproduced)"
+        } else {
+            "above 1 us (!)"
+        }
     );
+    opts.finish(&obs);
 }

@@ -54,11 +54,17 @@ fn main() {
         }
         prev = measured;
     }
-    println!("-> precision must grow with G: {}", if monotone { "ok" } else { "NOT monotone (!)" });
+    println!(
+        "-> precision must grow with G: {}",
+        if monotone { "ok" } else { "NOT monotone (!)" }
+    );
 
     println!();
     println!("sweep 2: u = 1/f_osc at fixed G = 1 us (CSU-class stamps)");
-    let h = format!("{:<12} {:>12} {:>16} {:>18}", "f_osc", "u", "measured prec", "4G + 10u envelope");
+    let h = format!(
+        "{:<12} {:>12} {:>16} {:>18}",
+        "f_osc", "u", "measured prec", "4G + 10u envelope"
+    );
     header(&h);
     for fosc_mhz in [1u64, 2, 5, 10, 20] {
         let fosc = fosc_mhz * 1_000_000;

@@ -26,8 +26,7 @@ fn main() {
     let results = parallel_sweep(points.clone(), |fosc_mhz| {
         let fosc = fosc_mhz * 1_000_000;
         let gu = 1.0 / fosc as f64;
-        let mut cfg =
-            with_duration(ClusterConfig::default_lan(4, 0xE3 + fosc_mhz), secs(60, 9));
+        let mut cfg = with_duration(ClusterConfig::default_lan(4, 0xE3 + fosc_mhz), secs(60, 9));
         cfg.fosc_hz = fosc;
         cfg.granularity = SimDuration::from_secs_f64(gu);
         cfg.rate_sync = true;
@@ -57,7 +56,11 @@ fn main() {
     match crossover_mhz {
         Some(m) => println!(
             "analytic crossover at {m} MHz (paper: > 14 MHz) -> {}",
-            if m == 15 { "reproduced" } else { "check rounding" }
+            if m == 15 {
+                "reproduced"
+            } else {
+                "check rounding"
+            }
         ),
         None => println!("no crossover found (!)"),
     }

@@ -36,7 +36,7 @@ fn main() {
         let mut improvement = (0.0, 0.0);
         for rs in [false, true] {
             let rep = run(rho, rs, 0xE4 + rho as u64 + rs as u64);
-            record("e4_rate_sync", &format!("rho{rho}/rs{rs}"), &rep);
+            record("e4_rate_sync", &format!("rho{rho}/rs{rs}"), &rep.to_json());
             println!(
                 "{:<12} {:<10} {:>18.4} {:>16} {:>14}",
                 format!("±{rho} ppm"),

@@ -20,9 +20,21 @@ fn run(fault: Option<GpsFault>, blind: bool, seed: u64) -> nti_core::cluster::Re
     cfg.gps_blind_trust = blind;
     let faults = fault.map(|f| vec![f]).unwrap_or_default();
     cfg.gps = vec![
-        GpsNodeCfg { node: 0, cfg: GpsConfig::default(), faults: vec![] },
-        GpsNodeCfg { node: 1, cfg: GpsConfig::default(), faults: vec![] },
-        GpsNodeCfg { node: 2, cfg: GpsConfig::default(), faults },
+        GpsNodeCfg {
+            node: 0,
+            cfg: GpsConfig::default(),
+            faults: vec![],
+        },
+        GpsNodeCfg {
+            node: 1,
+            cfg: GpsConfig::default(),
+            faults: vec![],
+        },
+        GpsNodeCfg {
+            node: 2,
+            cfg: GpsConfig::default(),
+            faults,
+        },
     ];
     Cluster::new(cfg).run()
 }
@@ -45,8 +57,17 @@ fn main() {
                 offset: SimDuration::from_millis(2),
             }),
         ),
-        ("second jump +1", Some(GpsFault::SecondJump { from: 5, delta: 1 })),
-        ("stuck TOD", Some(GpsFault::StuckTod { from: 5, until: 10_000 })),
+        (
+            "second jump +1",
+            Some(GpsFault::SecondJump { from: 5, delta: 1 }),
+        ),
+        (
+            "stuck TOD",
+            Some(GpsFault::StuckTod {
+                from: 5,
+                until: 10_000,
+            }),
+        ),
         (
             "noisy 20 us",
             Some(GpsFault::Noisy {
@@ -55,7 +76,13 @@ fn main() {
                 sigma: SimDuration::from_micros(20),
             }),
         ),
-        ("dropout", Some(GpsFault::Dropout { from: 5, until: 10_000 })),
+        (
+            "dropout",
+            Some(GpsFault::Dropout {
+                from: 5,
+                until: 10_000,
+            }),
+        ),
     ];
     for (name, fault) in classes {
         for blind in [false, true] {

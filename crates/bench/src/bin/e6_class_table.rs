@@ -91,12 +91,15 @@ fn main() {
         cfg.granularity = c.granularity;
         cfg.kernel = c.kernel;
         cfg.rate_sync = c.rate_sync;
-        cfg.bg_load = Some(BgLoad { frames_per_sec: 60.0, frame_bytes: 400 });
+        cfg.bg_load = Some(BgLoad {
+            frames_per_sec: 60.0,
+            frame_bytes: 400,
+        });
         let rep = Cluster::new(cfg).run();
-        record("e6_class_table", c.name, &rep);
+        record("e6_class_table", c.name, &rep.to_json());
         results.push(rep.worst_precision_s);
-        let order_ok = results.len() < 2
-            || rep.worst_precision_s <= results[results.len() - 2] * 1.5;
+        let order_ok =
+            results.len() < 2 || rep.worst_precision_s <= results[results.len() - 2] * 1.5;
         println!(
             "{:<28} {:>12} {:>14} {:>14} {:>12}",
             c.name,

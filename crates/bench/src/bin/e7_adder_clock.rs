@@ -34,7 +34,14 @@ struct CounterClock {
 
 impl CounterClock {
     fn new(fosc: u64) -> Self {
-        CounterClock { micros: 0, div: fosc / 1_000_000, phase: 0, adj_period_us: 0, adj_sign: 0, since_adj: 0 }
+        CounterClock {
+            micros: 0,
+            div: fosc / 1_000_000,
+            phase: 0,
+            adj_period_us: 0,
+            adj_sign: 0,
+            since_adj: 0,
+        }
     }
 
     /// Smallest nonzero rate adjustment: ±1 µs per adjustment period; the
@@ -72,7 +79,10 @@ fn main() {
     // --- rate granularity -------------------------------------------------
     let adder_gran = fosc as f64 * (0.5f64.powi(51)); // one STEP unit
     let counter_gran = CounterClock::rate_granularity_per_s(1.0);
-    let h = format!("{:<22} {:>22} {:>22}", "metric", "adder (UTCSU)", "counter (CSU)");
+    let h = format!(
+        "{:<22} {:>22} {:>22}",
+        "metric", "adder (UTCSU)", "counter (CSU)"
+    );
     header(&h);
     println!(
         "{:<22} {:>19} /s {:>19} /s",

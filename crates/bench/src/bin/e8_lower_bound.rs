@@ -26,7 +26,10 @@ fn main() {
         },
         ..ComcoTiming::ideal()
     };
-    println!("engineered ε = {} (uniform receive-side window)\n", eng(eps));
+    println!(
+        "engineered ε = {} (uniform receive-side window)\n",
+        eng(eps)
+    );
     let h = format!(
         "{:<6} {:>16} {:>16} {:>16} {:>10}",
         "n", "bound ε(1-1/n)", "measured prec", "measured ε", "≥ bound?"
@@ -47,7 +50,11 @@ fn main() {
             eng(bound),
             eng(rep.worst_precision_s),
             eng(rep.eps_spread_s),
-            if rep.worst_precision_s >= bound * 0.5 { "~yes" } else { "below(!)" }
+            if rep.worst_precision_s >= bound * 0.5 {
+                "~yes"
+            } else {
+                "below(!)"
+            }
         );
     }
     println!();

@@ -8,12 +8,15 @@
 //! full recipe (hardware stamps + OA intervals + rate sync + 16 MHz)
 //! landing in the 1 µs range.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header, record, secs, with_duration};
 use nti_core::cluster::{Cluster, ClusterConfig, DriftSpec, GpsNodeCfg};
 use nti_gps::GpsConfig;
 use nti_simcore::SimDuration;
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E9: the 16-node prototype (4 x MVME-162 with 4 NTIs each)");
     println!();
     let h = format!(
@@ -39,11 +42,16 @@ fn main() {
         };
         if gps {
             cfg.gps = (0..3)
-                .map(|n| GpsNodeCfg { node: n, cfg: GpsConfig::default(), faults: vec![] })
+                .map(|n| GpsNodeCfg {
+                    node: n,
+                    cfg: GpsConfig::default(),
+                    faults: vec![],
+                })
                 .collect();
         }
+        cfg.obs = obs.clone();
         let rep = Cluster::new(cfg).run();
-        record("e9_sixteen_nodes", name, &rep);
+        record("e9_sixteen_nodes", name, &rep.to_json());
         println!(
             "{:<34} {:>13} {:>13} {:>13} {:>9}/{}",
             name,
@@ -65,4 +73,5 @@ fn main() {
     println!();
     println!("paper target: worst-case precision/accuracy in the 1 us range with the");
     println!("full recipe — the bottom rows must be sub-/low-microsecond.");
+    opts.finish(&obs);
 }

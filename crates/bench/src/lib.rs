@@ -21,9 +21,12 @@
 //! Set `NTI_EXP_FAST=1` to shrink the simulated durations (CI smoke runs).
 
 use nti_core::cluster::ClusterConfig;
+use nti_obs::Json;
 use nti_simcore::SimDuration;
-use parking_lot::Mutex;
 use std::path::PathBuf;
+use std::sync::Mutex;
+
+pub mod obs_cli;
 
 /// Serializes result-record appends across sweep threads.
 static RECORD_LOCK: Mutex<()> = Mutex::new(());
@@ -75,24 +78,26 @@ pub fn header(h: &str) {
 /// Append a JSON result record under `target/experiments/<experiment>.jsonl`
 /// so runs are machine-readable alongside the printed tables. `label`
 /// distinguishes rows within one experiment (e.g. the sweep point).
-pub fn record(experiment: &str, label: &str, value: &impl serde::Serialize) {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    )
-    .join("experiments");
+pub fn record(experiment: &str, label: &str, value: &Json) {
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("experiments");
     if std::fs::create_dir_all(&dir).is_err() {
         return; // recording is best-effort; the printed table is canonical
     }
     let path = dir.join(format!("{experiment}.jsonl"));
-    let line = serde_json::json!({
-        "experiment": experiment,
-        "label": label,
-        "fast_mode": fast_mode(),
-        "result": value,
-    });
+    let line = Json::obj([
+        ("experiment", Json::str(experiment)),
+        ("label", Json::str(label)),
+        ("fast_mode", Json::Bool(fast_mode())),
+        ("result", value.clone()),
+    ]);
     use std::io::Write;
-    let _guard = RECORD_LOCK.lock();
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+    let _guard = RECORD_LOCK.lock().expect("record lock poisoned");
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
         let _ = writeln!(f, "{line}");
     }
 }
@@ -107,13 +112,17 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let f = &f;
-        let handles: Vec<_> =
-            items.into_iter().map(|it| scope.spawn(move |_| f(it))).collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|it| scope.spawn(move || f(it)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
     })
-    .expect("sweep scope panicked")
 }
 
 #[cfg(test)]

@@ -126,9 +126,18 @@ impl SyncCore {
         let s_minus = (csp.xmit_alpha.0 .0 as u128) << shift;
         let s_plus = (csp.xmit_alpha.1 .0 as u128) << shift;
         let value = csp.xmit_stamp.wrapping_add_units(mid);
-        let interval = AccInterval::new(value, s_minus + unc + self.gu_units(), s_plus + unc + self.gu_units());
+        let interval = AccInterval::new(
+            value,
+            s_minus + unc + self.gu_units(),
+            s_plus + unc + self.gu_units(),
+        );
         let offset_units = value.wrapping_diff_units(csp.recv_local);
-        Preprocessed { from: csp.payload.node, interval, recv_local: csp.recv_local, offset_units }
+        Preprocessed {
+            from: csp.payload.node,
+            interval,
+            recv_local: csp.recv_local,
+            offset_units,
+        }
     }
 
     /// Accept a preprocessed CSP into the current round's inbox.
@@ -146,6 +155,15 @@ impl SyncCore {
     /// Number of CSPs waiting in the current round's inbox.
     pub fn inbox_len(&self) -> usize {
         self.inbox.len()
+    }
+
+    /// Spread (max − min) of the inbox's preprocessed offsets in 2⁻⁵⁹ s
+    /// units — the disagreement the convergence function is about to see.
+    /// `None` when the inbox is empty.
+    pub fn inbox_offset_spread_units(&self) -> Option<i128> {
+        let min = self.inbox.iter().map(|p| p.offset_units).min()?;
+        let max = self.inbox.iter().map(|p| p.offset_units).max()?;
+        Some(max - min)
     }
 
     /// Step 2 (continued) — drift compensation: ship an interval from its
@@ -171,7 +189,11 @@ impl SyncCore {
     /// the node then keeps deteriorating (its interval stays valid).
     ///
     /// The inbox is drained; the round counter advances.
-    pub fn converge(&mut self, now: NtpTime, own_alpha: (Accuracy, Accuracy)) -> Option<Enforcement> {
+    pub fn converge(
+        &mut self,
+        now: NtpTime,
+        own_alpha: (Accuracy, Accuracy),
+    ) -> Option<Enforcement> {
         self.round += 1;
         let inbox = std::mem::take(&mut self.inbox);
         let ext = std::mem::take(&mut self.ext);
@@ -251,8 +273,8 @@ impl SyncCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nti_simcore::time::SimDuration;
     use crate::params::TimestampMode;
+    use nti_simcore::time::SimDuration;
 
     fn params() -> SyncParams {
         SyncParams {
@@ -269,8 +291,10 @@ mod tests {
     }
 
     fn csp(from: u32, xmit_secs: u32, xoff_us: i64, recv_local: NtpTime) -> ReceivedCsp {
-        let x = NtpTime::from_secs(xmit_secs)
-            .wrapping_add_units(units_ceil(SimDuration::from_micros(xoff_us.unsigned_abs())) as i128 * xoff_us.signum() as i128);
+        let x = NtpTime::from_secs(xmit_secs).wrapping_add_units(
+            units_ceil(SimDuration::from_micros(xoff_us.unsigned_abs())) as i128
+                * xoff_us.signum() as i128,
+        );
         ReceivedCsp {
             payload: CspPayload {
                 node: from,
@@ -309,12 +333,21 @@ mod tests {
         let core = SyncCore::new(params(), AlgoKind::IntervalOa);
         let recv = NtpTime::from_secs(100);
         let p = core.preprocess(&csp(1, 100, 0, recv));
-        let soon = core.drift_compensate(&p, recv.wrapping_add_units(units_ceil(SimDuration::from_millis(1)) as i128));
-        let late = core.drift_compensate(&p, recv.wrapping_add_units(units_ceil(SimDuration::from_millis(100)) as i128));
+        let soon = core.drift_compensate(
+            &p,
+            recv.wrapping_add_units(units_ceil(SimDuration::from_millis(1)) as i128),
+        );
+        let late = core.drift_compensate(
+            &p,
+            recv.wrapping_add_units(units_ceil(SimDuration::from_millis(100)) as i128),
+        );
         assert!(late.width() > soon.width());
         // 100 ms at 10 ppm: ~1 us extra per side.
         let extra = (late.width() - soon.width()) as f64 / (1u128 << 59) as f64;
-        assert!((extra - 2.0 * 0.99e-6 * 1.0).abs() < 0.5e-6, "extra={extra}");
+        assert!(
+            (extra - 2.0 * 0.99e-6 * 1.0).abs() < 0.5e-6,
+            "extra={extra}"
+        );
     }
 
     #[test]
@@ -328,9 +361,14 @@ mod tests {
         c.xmit_alpha = (Accuracy(1000), Accuracy(1000));
         let p = core.preprocess(&c);
         core.accept(p);
-        let e = core.converge(now, (Accuracy(1000), Accuracy(1000))).expect("converges");
+        let e = core
+            .converge(now, (Accuracy(1000), Accuracy(1000)))
+            .expect("converges");
         let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
-        assert!((10.0..30.0).contains(&delta_us), "should move ~half of 40us, got {delta_us}");
+        assert!(
+            (10.0..30.0).contains(&delta_us),
+            "should move ~half of 40us, got {delta_us}"
+        );
         assert_eq!(e.inputs, 2);
         assert_eq!(core.inbox_len(), 0, "inbox drained");
         assert_eq!(core.round, 1);
@@ -345,9 +383,14 @@ mod tests {
         let now = NtpTime::from_secs(100);
         let c = csp(1, 100, -65, now); // +40us ahead, alpha = 10 units (tight)
         core.accept(core.preprocess(&c));
-        let e = core.converge(now, (Accuracy(1000), Accuracy(1000))).expect("converges");
+        let e = core
+            .converge(now, (Accuracy(1000), Accuracy(1000)))
+            .expect("converges");
         let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
-        assert!(delta_us > 30.0, "tight peer must pull harder, got {delta_us}");
+        assert!(
+            delta_us > 30.0,
+            "tight peer must pull harder, got {delta_us}"
+        );
     }
 
     #[test]
@@ -356,7 +399,9 @@ mod tests {
         let now = NtpTime::from_secs(100);
         let c = csp(1, 100, -165, now); // peer ~100us behind => we'll step back
         core.accept(core.preprocess(&c));
-        let e = core.converge(now, (Accuracy(2000), Accuracy(2000))).expect("converges");
+        let e = core
+            .converge(now, (Accuracy(2000), Accuracy(2000)))
+            .expect("converges");
         assert!(e.delta_units < 0);
         let cover = e.delta_units.unsigned_abs() as f64 / (1u128 << 59) as f64;
         // Loaded alpha must be at least the slew magnitude.
@@ -388,7 +433,9 @@ mod tests {
             // Peers whose offset estimates land around +70..+80us
             core.accept(core.preprocess(&csp(id, 100, off - 105, now)));
         }
-        let e = core.converge(now, (Accuracy::MAX, Accuracy::MAX)).expect("quorum");
+        let e = core
+            .converge(now, (Accuracy::MAX, Accuracy::MAX))
+            .expect("quorum");
         let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
         // Offsets: 0 (self), -35, -25, -45 us; f=0 midpoint = (-45+0)/2 = -22.5.
         assert!((-30.0..-15.0).contains(&delta_us), "delta={delta_us}");
@@ -406,9 +453,19 @@ mod tests {
             now.wrapping_add_units(units_ceil(SimDuration::from_micros(30)) as i128),
             SimDuration::from_micros(1),
         );
-        core.accept_external(Preprocessed { from: 99, interval: ext_iv, recv_local: now, offset_units: 0 });
-        let e = core.converge(now, (Accuracy(2000), Accuracy(2000))).expect("converges");
+        core.accept_external(Preprocessed {
+            from: 99,
+            interval: ext_iv,
+            recv_local: now,
+            offset_units: 0,
+        });
+        let e = core
+            .converge(now, (Accuracy(2000), Accuracy(2000)))
+            .expect("converges");
         let delta_us = e.delta_units as f64 / (1u128 << 59) as f64 * 1e6;
-        assert!(delta_us > 10.0, "external source must pull the value, delta={delta_us}");
+        assert!(
+            delta_us > 10.0,
+            "external source must pull the value, delta={delta_us}"
+        );
     }
 }

@@ -92,12 +92,21 @@ pub fn simulate_spray(cfg: &SprayConfig) -> SprayReport {
     // Per-receiver tap position: propagation in [0, prop_delay].
     let mut tap_rng = root.split("taps");
     let taps: Vec<SimDuration> = (0..cfg.receivers)
-        .map(|_| SimDuration::from_fs(tap_rng.below(cfg.medium.prop_delay.as_fs().max(1) as u64) as u128))
+        .map(|_| {
+            SimDuration::from_fs(tap_rng.below(cfg.medium.prop_delay.as_fs().max(1) as u64) as u128)
+        })
         .collect();
-    let mut kernels: Vec<Kernel> =
-        (0..cfg.receivers).map(|i| Kernel::new(cfg.kernel, root.split_idx("kern", i as u64))).collect();
+    let mut kernels: Vec<Kernel> = (0..cfg.receivers)
+        .map(|i| Kernel::new(cfg.kernel, root.split_idx("kern", i as u64)))
+        .collect();
     let mut comcos: Vec<Comco> = (0..cfg.receivers)
-        .map(|i| Comco::new(cfg.comco, cfg.medium.bitrate_bps, root.split_idx("comco", i as u64)))
+        .map(|i| {
+            Comco::new(
+                cfg.comco,
+                cfg.medium.bitrate_bps,
+                root.split_idx("comco", i as u64),
+            )
+        })
         .collect();
 
     let mut precision = Summary::new();
@@ -138,7 +147,12 @@ pub fn simulate_spray(cfg: &SprayConfig) -> SprayReport {
             None => failed_rounds += 1,
         }
     }
-    SprayReport { precision, worst_precision_s: worst, failed_rounds, rounds: cfg.rounds as u64 }
+    SprayReport {
+        precision,
+        worst_precision_s: worst,
+        failed_rounds,
+        rounds: cfg.rounds as u64,
+    }
 }
 
 #[cfg(test)]

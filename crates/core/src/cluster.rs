@@ -34,12 +34,14 @@ use nti_gps::{GpsConfig, GpsFault, GpsReceiver};
 use nti_kernel::{ComcoDriver, Interface, Kernel, KernelConfig};
 use nti_module::{CpldConfig, Nti, UTCSU_BASE};
 use nti_netsim::{Comco, ComcoTiming, Frame, Medium, MediumConfig, Topology};
+use nti_obs::{Counter, Histogram, MetricKey, SimObserver, Subsystem, GLOBAL_NODE};
 use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
 use nti_simcore::time::{SimDuration, SimTime};
 use nti_simcore::{Accuracy, Engine, Oscillator, SimRng, Summary};
 use nti_utcsu::regs as uregs;
 use nti_utcsu::{IntSource, UtcsuConfig};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Oscillator population model.
 #[derive(Clone, Copy, Debug)]
@@ -81,23 +83,27 @@ impl DriftSpec {
             DriftSpec::ConstantSpread { rho_max_ppm } => nti_simcore::DriftModel::Constant {
                 rho_ppm: rng.uniform(-rho_max_ppm, rho_max_ppm),
             },
-            DriftSpec::RandomWalk { rho_max_ppm, sigma_ppb, interval } => {
-                nti_simcore::DriftModel::RandomWalk {
-                    rho_max_ppm,
-                    step_sigma_ppb: sigma_ppb,
-                    step_interval: interval,
-                    initial_ppm: rng.uniform(-rho_max_ppm, rho_max_ppm),
-                }
-            }
-            DriftSpec::Temperature { mean_ppm, amp_ppm, period } => {
-                nti_simcore::DriftModel::Temperature {
-                    mean_ppm: rng.uniform(-mean_ppm, mean_ppm),
-                    amp_ppm,
-                    period,
-                    phase: rng.uniform(0.0, std::f64::consts::TAU),
-                    step_interval: SimDuration::from_fs(period.as_fs() / 64),
-                }
-            }
+            DriftSpec::RandomWalk {
+                rho_max_ppm,
+                sigma_ppb,
+                interval,
+            } => nti_simcore::DriftModel::RandomWalk {
+                rho_max_ppm,
+                step_sigma_ppb: sigma_ppb,
+                step_interval: interval,
+                initial_ppm: rng.uniform(-rho_max_ppm, rho_max_ppm),
+            },
+            DriftSpec::Temperature {
+                mean_ppm,
+                amp_ppm,
+                period,
+            } => nti_simcore::DriftModel::Temperature {
+                mean_ppm: rng.uniform(-mean_ppm, mean_ppm),
+                amp_ppm,
+                period,
+                phase: rng.uniform(0.0, std::f64::consts::TAU),
+                step_interval: SimDuration::from_fs(period.as_fs() / 64),
+            },
         };
         Oscillator::new(fosc, model, osc_rng, phase)
     }
@@ -108,7 +114,9 @@ impl DriftSpec {
             DriftSpec::Perfect => 0.0,
             DriftSpec::ConstantSpread { rho_max_ppm } => rho_max_ppm,
             DriftSpec::RandomWalk { rho_max_ppm, .. } => rho_max_ppm,
-            DriftSpec::Temperature { mean_ppm, amp_ppm, .. } => mean_ppm.abs() + amp_ppm.abs(),
+            DriftSpec::Temperature {
+                mean_ppm, amp_ppm, ..
+            } => mean_ppm.abs() + amp_ppm.abs(),
         }
     }
 }
@@ -213,6 +221,10 @@ pub struct ClusterConfig {
     pub snapshot_every: SimDuration,
     /// Metrics warm-up exclusion window.
     pub warmup: SimDuration,
+    /// Observability sink: threaded into the engine, every medium, every
+    /// node's kernel and UTCSU, and the cluster-level round metrics.
+    /// Disabled by default (one branch per instrumentation site).
+    pub obs: SimObserver,
 }
 
 impl ClusterConfig {
@@ -250,6 +262,7 @@ impl ClusterConfig {
             duration: SimDuration::from_secs(30),
             snapshot_every: SimDuration::from_millis(500),
             warmup: SimDuration::from_secs(5),
+            obs: SimObserver::disabled(),
         }
     }
 }
@@ -311,6 +324,25 @@ pub struct Metrics {
     pub gps_rejected: u64,
 }
 
+/// Pre-resolved cluster-level observability handles (metrics under the
+/// `cluster` subsystem, global scope unless noted).
+struct ClusterObs {
+    obs: SimObserver,
+    /// Per-snapshot worst pairwise clock difference (ns).
+    precision_ns: Arc<Histogram>,
+    /// Per-snapshot per-node |C − t| (ns).
+    true_error_ns: Arc<Histogram>,
+    /// Per-snapshot per-node max(α⁻, α⁺) (ns).
+    alpha_ns: Arc<Histogram>,
+    /// Stamp-pair delays (ns).
+    eps_delay_ns: Arc<Histogram>,
+    /// Per-round convergence-input offset spread (ns).
+    cf_input_spread_ns: Arc<Histogram>,
+    csps_sent: Arc<Counter>,
+    csps_delivered: Arc<Counter>,
+    csps_dropped: Arc<Counter>,
+}
+
 /// The simulated world (the engine's state type).
 pub struct World {
     /// All nodes.
@@ -330,6 +362,7 @@ pub struct World {
     app_pending: HashMap<u64, Vec<NtpTime>>,
     /// Measurements.
     pub metrics: Metrics,
+    obs: Option<ClusterObs>,
     cfg: ClusterConfig,
     params: SyncParams,
 }
@@ -350,7 +383,7 @@ impl World {
 type Eng = Engine<World>;
 
 /// Final report of a run.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Worst observed pairwise clock difference (s).
     pub worst_precision_s: f64,
@@ -384,6 +417,61 @@ pub struct Report {
     /// Worst cross-node spread of synchronized duty-timer actuations (s),
     /// and the number of actuations measured.
     pub actuations: (f64, usize),
+}
+
+impl Report {
+    /// Machine-readable form of the report (field names match the struct).
+    pub fn to_json(&self) -> nti_obs::Json {
+        use nti_obs::Json;
+        Json::obj([
+            ("worst_precision_s", Json::num(self.worst_precision_s)),
+            ("mean_precision_s", Json::num(self.mean_precision_s)),
+            ("worst_accuracy_s", Json::num(self.worst_accuracy_s)),
+            ("mean_alpha_s", Json::num(self.mean_alpha_s)),
+            ("worst_alpha_s", Json::num(self.worst_alpha_s)),
+            ("eps_spread_s", Json::num(self.eps_spread_s)),
+            ("eps_std_s", Json::num(self.eps_std_s)),
+            ("eps_samples", Json::num(self.eps_samples as f64)),
+            (
+                "containment",
+                Json::Arr(vec![
+                    Json::num(self.containment.0 as f64),
+                    Json::num(self.containment.1 as f64),
+                ]),
+            ),
+            (
+                "csps",
+                Json::Arr(vec![
+                    Json::num(self.csps.0 as f64),
+                    Json::num(self.csps.1 as f64),
+                    Json::num(self.csps.2 as f64),
+                ]),
+            ),
+            (
+                "gps",
+                Json::Arr(vec![
+                    Json::num(self.gps.0 as f64),
+                    Json::num(self.gps.1 as f64),
+                ]),
+            ),
+            ("rate_spread_ppm", Json::num(self.rate_spread_ppm)),
+            ("cf_failures", Json::num(self.cf_failures as f64)),
+            (
+                "app_events",
+                Json::Arr(vec![
+                    Json::num(self.app_events.0),
+                    Json::num(self.app_events.1 as f64),
+                ]),
+            ),
+            (
+                "actuations",
+                Json::Arr(vec![
+                    Json::num(self.actuations.0),
+                    Json::num(self.actuations.1 as f64),
+                ]),
+            ),
+        ])
+    }
 }
 
 /// A cluster experiment: engine + world.
@@ -431,9 +519,7 @@ pub fn derive_params(cfg: &ClusterConfig) -> SyncParams {
         delay_min: dmin,
         delay_max: dmax,
         rho_ppm: cfg.rho_budget_ppm,
-        rate_adj_uncertainty: SimDuration::from_fs(
-            1_000_000_000_000_000 / cfg.fosc_hz as u128,
-        ),
+        rate_adj_uncertainty: SimDuration::from_fs(1_000_000_000_000_000 / cfg.fosc_hz as u128),
         granularity: cfg.granularity,
         amortization: cfg.amortization,
     }
@@ -446,7 +532,10 @@ impl Cluster {
             cfg.rho_budget_ppm >= cfg.drift.rho_bound_ppm(),
             "drift budget must bound the oscillator population"
         );
-        assert!(cfg.cf_delta < cfg.round_period, "Δ must fit inside the round");
+        assert!(
+            cfg.cf_delta < cfg.round_period,
+            "Δ must fit inside the round"
+        );
         let params = derive_params(&cfg);
         let root = SimRng::new(cfg.seed);
         let n = cfg.topology.node_count();
@@ -460,9 +549,14 @@ impl Cluster {
         let mut cfg_rng = root.split("cfg");
         for id in 0..n {
             let node_rng = root.split_idx("node", id as u64);
-            let osc = cfg.drift.build(&mut cfg_rng, cfg.fosc_hz, node_rng.split("osc"));
+            let osc = cfg
+                .drift
+                .build(&mut cfg_rng, cfg.fosc_hz, node_rng.split("osc"));
             let mut nti = Nti::new(
-                UtcsuConfig { fosc_hz: cfg.fosc_hz, reliable_pin: true },
+                UtcsuConfig {
+                    fosc_hz: cfg.fosc_hz,
+                    reliable_pin: true,
+                },
                 cfg.cpld,
             );
             // Initial clock: UTC + uniform [0, 2·init_offset); accuracy
@@ -471,7 +565,8 @@ impl Cluster {
                 cfg_rng.below((2 * cfg.init_offset.as_fs()).max(1) as u64) as u128,
             );
             let g_margin = SimDuration::from_nanos(120);
-            nti.utcsu_mut().stage_time_load(NtpTime::from_sim_time(SimTime::ZERO + off));
+            nti.utcsu_mut()
+                .stage_time_load(NtpTime::from_sim_time(SimTime::ZERO + off));
             nti.utcsu_mut().stage_acc_load(
                 Accuracy::from_duration_ceil(cfg.init_offset * 2 + g_margin),
                 Accuracy::from_duration_ceil(g_margin),
@@ -531,8 +626,10 @@ impl Cluster {
         if let Some(sec) = cfg.leap_insert_at_sec {
             for node in &mut nodes {
                 node.nti.write32(UTCSU_BASE + uregs::R_LEAP_SECS, sec);
-                node.nti
-                    .write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_RUN | uregs::CTRL_LEAP_INSERT);
+                node.nti.write32(
+                    UTCSU_BASE + uregs::R_CTRL,
+                    uregs::CTRL_RUN | uregs::CTRL_LEAP_INSERT,
+                );
             }
         }
 
@@ -550,10 +647,39 @@ impl Cluster {
             fault_rng: root.split("faults"),
             app_pending: HashMap::new(),
             metrics: Metrics::default(),
+            obs: None,
             cfg,
             params,
         };
+        // Thread the observer through every layer: engine, one medium per
+        // LAN, one kernel + UTCSU per node, plus the cluster-level metrics.
+        let obs = world.cfg.obs.clone();
+        if obs.is_enabled() {
+            for (l, m) in world.mediums.iter_mut().enumerate() {
+                m.attach_observer(&obs, l as u32);
+            }
+            for id in 0..n {
+                world.nodes[id].kernel.attach_observer(&obs, id as u32);
+                world.nodes[id]
+                    .nti
+                    .utcsu_mut()
+                    .attach_observer(&obs, id as u32);
+            }
+            let key = |name| MetricKey::global("cluster", name);
+            world.obs = Some(ClusterObs {
+                obs: obs.clone(),
+                precision_ns: obs.hist(key("precision_ns")).expect("enabled"),
+                true_error_ns: obs.hist(key("true_error_ns")).expect("enabled"),
+                alpha_ns: obs.hist(key("alpha_ns")).expect("enabled"),
+                eps_delay_ns: obs.hist(key("eps_delay_ns")).expect("enabled"),
+                cf_input_spread_ns: obs.hist(key("cf_input_spread_ns")).expect("enabled"),
+                csps_sent: obs.counter(key("csps_sent")).expect("enabled"),
+                csps_delivered: obs.counter(key("csps_delivered")).expect("enabled"),
+                csps_dropped: obs.counter(key("csps_dropped")).expect("enabled"),
+            });
+        }
         let mut eng = Eng::new();
+        eng.attach_observer(&obs);
         // Arm the first round's timers and start services.
         for id in 0..n {
             arm_round_timers(&mut world, id, 1);
@@ -565,7 +691,9 @@ impl Cluster {
         // GPS generators: one per (node, receiver).
         for id in 0..n {
             for g in 0..world.nodes[id].gps.len() {
-                eng.schedule_at(SimTime::from_millis(500), move |w, e| gps_second(w, e, id, g, 1));
+                eng.schedule_at(SimTime::from_millis(500), move |w, e| {
+                    gps_second(w, e, id, g, 1)
+                });
             }
         }
         // Application events: one physical stimulus hits every node's APU 0.
@@ -627,7 +755,11 @@ fn finalize(w: &mut World) -> Report {
         worst_accuracy_s: m.true_error.max(),
         mean_alpha_s: m.alpha.mean(),
         worst_alpha_s: m.alpha.max(),
-        eps_spread_s: if m.eps_delay.count() > 1 { m.eps_delay.max() - m.eps_delay.min() } else { 0.0 },
+        eps_spread_s: if m.eps_delay.count() > 1 {
+            m.eps_delay.max() - m.eps_delay.min()
+        } else {
+            0.0
+        },
         eps_std_s: m.eps_delay.std_dev(),
         eps_samples: m.eps_delay.count(),
         containment: (m.containment_violations, m.containment_checks),
@@ -718,6 +850,10 @@ fn utcsu_service(world: &mut World, eng: &mut Eng, id: usize) {
 /// Step 1: the round duty timer fired — assemble and send the CSP.
 fn round_start(world: &mut World, eng: &mut Eng, id: usize) {
     let now = eng.now();
+    if let Some(o) = &world.obs {
+        o.obs
+            .instant(now.as_fs(), id as u32, Subsystem::Cluster, "round_start");
+    }
     // Re-arm for the next round.
     let k = world.nodes[id].core.round + 2; // timers armed one round ahead
     let t0 = round_target(world, id, k);
@@ -726,7 +862,9 @@ fn round_start(world: &mut World, eng: &mut Eng, id: usize) {
     // Software transmit stamp is taken during assembly (step 1).
     let sw_stamp = world.nodes[id].read_clock_regs(now);
     let assembly = world.nodes[id].kernel.csp_assembly();
-    eng.schedule_at(now + assembly, move |w, e| csp_send(w, e, id, sw_stamp, now));
+    eng.schedule_at(now + assembly, move |w, e| {
+        csp_send(w, e, id, sw_stamp, now)
+    });
 }
 
 /// Step 2-4: hand the CSP to the COMCO(s) and plan the transmissions.
@@ -761,8 +899,10 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
         for (i, chunk) in bytes.chunks(4).enumerate() {
             let mut w = [0u8; 4];
             w[..chunk.len()].copy_from_slice(chunk);
-            node.nti
-                .write32(nti_module::CPU_BASE + buf + i as u32 * 4, u32::from_le_bytes(w));
+            node.nti.write32(
+                nti_module::CPU_BASE + buf + i as u32 * 4,
+                u32::from_le_bytes(w),
+            );
         }
         node.driver.record_tx(Interface::Ci);
         (0..bytes.len().div_ceil(4))
@@ -777,10 +917,14 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
     {
         let node = &mut world.nodes[id];
         let slot_hint = node.tx_slot % node.nti.tx_header_count();
-        let cb = node.scb.queue_transmit(&mut node.nti, slot_hint, CSP_PAYLOAD_LEN as u32);
+        let cb = node
+            .scb
+            .queue_transmit(&mut node.nti, slot_hint, CSP_PAYLOAD_LEN as u32);
         let orders = nti_module::comco_service(&mut node.nti);
         debug_assert!(
-            orders.iter().any(|o| o.cb_addr == cb && o.header_slot == slot_hint),
+            orders
+                .iter()
+                .any(|o| o.cb_addr == cb && o.header_slot == slot_hint),
             "COMCO must pick up the queued transmit order"
         );
         let _ = node.scb.ack_interrupt(&mut node.nti);
@@ -792,12 +936,16 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
         let grant = world.mediums[lan].grant(ready, bits);
         let header_len = world.cfg.cpld.header_len;
         let plan = world.nodes[id].comcos[a].plan_transmit(grant.wire_start, header_len);
-        let receivers =
-            world.topology.members(lan).iter().filter(|&&m| m != id).count();
+        let receivers = world
+            .topology
+            .members(lan)
+            .iter()
+            .filter(|&&m| m != id)
+            .count();
         let fid = world.next_flight;
         world.next_flight += 1;
-        let corrupted = world.cfg.crc_error_rate > 0.0
-            && world.fault_rng.chance(world.cfg.crc_error_rate);
+        let corrupted =
+            world.cfg.crc_error_rate > 0.0 && world.fault_rng.chance(world.cfg.crc_error_rate);
         world.flights.insert(
             fid,
             Flight {
@@ -817,6 +965,9 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
             },
         );
         world.metrics.csps_sent += 1;
+        if let Some(o) = &world.obs {
+            o.csps_sent.inc();
+        }
         let slot = world.nodes[id].tx_slot % world.nodes[id].nti.tx_header_count();
         world.nodes[id].tx_slot = world.nodes[id].tx_slot.wrapping_add(1);
         for acc in &plan.header_reads {
@@ -837,7 +988,9 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
 fn exec_tx_read(world: &mut World, eng: &mut Eng, id: usize, fid: u64, slot: u32, off: u32) {
     let now = eng.now();
     world.nodes[id].advance(now);
-    let Some(flight) = world.flights.get_mut(&fid) else { return };
+    let Some(flight) = world.flights.get_mut(&fid) else {
+        return;
+    };
     let cpld = world.nodes[id].nti.cpld();
     let a = flight.attachment;
     let value = if a == 0 {
@@ -882,18 +1035,28 @@ fn exec_tx_read(world: &mut World, eng: &mut Eng, id: usize, fid: u64, slot: u32
 
 /// Last bit left the wire: fan out receptions on the segment.
 fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
-    let Some(flight) = world.flights.get(&fid) else { return };
+    let Some(flight) = world.flights.get(&fid) else {
+        return;
+    };
     let (src, lan, wire_end) = (flight.src, flight.lan, flight.wire_end);
     let prop = world.mediums[lan].propagation();
-    let members: Vec<usize> =
-        world.topology.members(lan).iter().copied().filter(|&m| m != src).collect();
+    let members: Vec<usize> = world
+        .topology
+        .members(lan)
+        .iter()
+        .copied()
+        .filter(|&m| m != src)
+        .collect();
     if members.is_empty() {
         world.flights.remove(&fid);
         return;
     }
     for q in members {
         let arrival = wire_end + prop;
-        let a_q = world.topology.attachment_index(q, lan).expect("member attachment");
+        let a_q = world
+            .topology
+            .attachment_index(q, lan)
+            .expect("member attachment");
         let plan = world.nodes[q].comcos[a_q].plan_receive(arrival, world.cfg.cpld.header_len);
         let slot = world.nodes[q].rx_slot % world.nodes[q].nti.rx_header_count();
         world.nodes[q].rx_slot = world.nodes[q].rx_slot.wrapping_add(1);
@@ -905,13 +1068,17 @@ fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
         // buffer (a plain region: no triggers) before the interrupt.
         let first_write = plan.header_writes.first().map(|a| a.at).unwrap_or(arrival);
         eng.schedule_at(first_write, move |w, _| {
-            let Some(flight) = w.flights.get(&fid) else { return };
+            let Some(flight) = w.flights.get(&fid) else {
+                return;
+            };
             let bytes = flight.payload_bytes.clone();
             let buf = rx_data_buf(slot);
             for (i, chunk) in bytes.chunks(4).enumerate() {
                 let mut word = [0u8; 4];
                 word[..chunk.len()].copy_from_slice(chunk);
-                w.nodes[q].nti.write32(buf + i as u32 * 4, u32::from_le_bytes(word));
+                w.nodes[q]
+                    .nti
+                    .write32(buf + i as u32 * 4, u32::from_le_bytes(word));
             }
         });
         let int_at = plan.interrupt_at;
@@ -942,7 +1109,9 @@ fn exec_rx_write(
     if off == cpld.rcv_trigger_off {
         world.rx_triggers.insert((fid, q), now);
         // The ISR-level driver sees the frame as CI traffic (Figure 9).
-        world.nodes[q].driver.deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
+        world.nodes[q]
+            .driver
+            .deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
     }
 }
 
@@ -970,7 +1139,9 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
     // the driver consume the CI queue entry (KI/NI traffic is untouched).
     let trigger_real = world.rx_triggers.remove(&(fid, q));
     let _ = world.nodes[q].driver.pop(Interface::Ci);
-    let Some(flight) = world.flights.get_mut(&fid) else { return };
+    let Some(flight) = world.flights.get_mut(&fid) else {
+        return;
+    };
     flight.receivers_pending -= 1;
     let done = flight.receivers_pending == 0;
     let mut flight = flight.clone();
@@ -991,6 +1162,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
             // Payload missing from memory: treat as a drop.
             world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
             world.metrics.csps_dropped += 1;
+            obs_csp_dropped(world, now, q);
             return;
         }
     }
@@ -999,6 +1171,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
         // ISR clears the latch so the stamp is not misattributed.
         world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
         world.metrics.csps_dropped += 1;
+        obs_csp_dropped(world, now, q);
         return;
     }
     let mode = world.cfg.mode;
@@ -1016,7 +1189,16 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                 record_eps(world, eng.now(), tr, tx);
             }
             let at = now + isr + dispatch;
-            eng.schedule_at(at, move |w, e| process_csp(w, e, q, flight.payload, flight_hw_stamp(&flight), recv_local));
+            eng.schedule_at(at, move |w, e| {
+                process_csp(
+                    w,
+                    e,
+                    q,
+                    flight.payload,
+                    flight_hw_stamp(&flight),
+                    recv_local,
+                )
+            });
         }
         TimestampMode::InterruptRx => {
             // CSU-style: the stamp is taken when the reception interrupt
@@ -1027,7 +1209,16 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                 record_eps(world, eng.now(), now, tx);
             }
             let at = now + isr + dispatch;
-            eng.schedule_at(at, move |w, e| process_csp(w, e, q, flight.payload, flight_hw_stamp(&flight), recv_local));
+            eng.schedule_at(at, move |w, e| {
+                process_csp(
+                    w,
+                    e,
+                    q,
+                    flight.payload,
+                    flight_hw_stamp(&flight),
+                    recv_local,
+                )
+            });
         }
         TimestampMode::Software => {
             // Step 7: the stamp is taken when the protocol task processes
@@ -1062,7 +1253,11 @@ fn flight_hw_stamp(flight: &Flight) -> (NtpTime, Accuracy, Accuracy) {
         )
     });
     let acc = flight.payload.hw_acc;
-    (t, Accuracy((acc & 0xFFFF) as u16), Accuracy((acc >> 16) as u16))
+    (
+        t,
+        Accuracy((acc & 0xFFFF) as u16),
+        Accuracy((acc >> 16) as u16),
+    )
 }
 
 /// The sender stamp for software mode: the 8.24 software timestamp
@@ -1072,13 +1267,29 @@ fn sw_xmit_stamp(flight: &Flight, recv_local: NtpTime) -> (NtpTime, Accuracy, Ac
     let ts = nti_simcore::Timestamp(flight.payload.sw_timestamp);
     let d = ts.wrapping_diff(recv_local.timestamp()) as i128;
     let t = recv_local.wrapping_add_units(d << (FRAC_BITS - NTP_FRAC_BITS));
-    (t, Accuracy(flight.payload.alpha_minus), Accuracy(flight.payload.alpha_plus))
+    (
+        t,
+        Accuracy(flight.payload.alpha_minus),
+        Accuracy(flight.payload.alpha_plus),
+    )
+}
+
+/// A CSP reception was discarded (CRC or memory-path failure).
+fn obs_csp_dropped(world: &World, now: SimTime, q: usize) {
+    if let Some(o) = &world.obs {
+        o.csps_dropped.inc();
+        o.obs
+            .instant(now.as_fs(), q as u32, Subsystem::Cluster, "csp_dropped");
+    }
 }
 
 fn record_eps(world: &mut World, now: SimTime, recv_real: SimTime, xmit_real: SimTime) {
     if now.as_fs() >= world.cfg.warmup.as_fs() {
         let d = recv_real.saturating_since(xmit_real).as_secs_f64();
         world.metrics.eps_delay.add(d);
+        if let Some(o) = &world.obs {
+            o.eps_delay_ns.record((d * 1e9) as u64);
+        }
     }
 }
 
@@ -1107,6 +1318,9 @@ fn process_csp(
     node.rate.observe(payload.node, csp.xmit_stamp, rate_local);
     node.core.accept(p);
     world.metrics.csps_delivered += 1;
+    if let Some(o) = &world.obs {
+        o.csps_delivered.inc();
+    }
 }
 
 /// Step 3: the CF duty timer fired — rate correction, convergence and
@@ -1115,8 +1329,7 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
     let now = eng.now();
     // Re-arm CF timer for the next round.
     let k = world.nodes[id].core.round + 2;
-    let t1 = round_target(world, id, k)
-        .wrapping_add_units(units(world.cfg.cf_delta) as i128);
+    let t1 = round_target(world, id, k).wrapping_add_units(units(world.cfg.cf_delta) as i128);
     arm_timer(&mut world.nodes[id], 1, t1);
 
     // Rate synchronization first (the state algorithm assumes the trimmed
@@ -1141,6 +1354,21 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
         }
     }
 
+    // Convergence-input disagreement, measured before converge() drains
+    // the inbox.
+    if let Some(o) = &world.obs {
+        if let Some(spread) = world.nodes[id].core.inbox_offset_spread_units() {
+            let ns = ((spread.unsigned_abs() * 1_000_000_000) >> FRAC_BITS) as u64;
+            o.cf_input_spread_ns.record(ns);
+            o.obs.value(
+                now.as_fs(),
+                id as u32,
+                Subsystem::Cluster,
+                "cf_input_spread_ns",
+                ns.min(i64::MAX as u64) as i64,
+            );
+        }
+    }
     let clock = world.nodes[id].read_clock_regs(now);
     let alpha = world.nodes[id].read_alpha_regs(now);
     let Some(enf) = world.nodes[id].core.converge(clock, alpha) else {
@@ -1151,21 +1379,26 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
     match world.cfg.algo {
         AlgoKind::IntervalOa | AlgoKind::IntervalMarzullo if amort_ticks > 0 => {
             // Load the slew-covering accuracies atomically.
-            node.nti.utcsu_mut().stage_acc_load(enf.new_alpha.0, enf.new_alpha.1);
             node.nti
-                .write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_RUN | uregs::CTRL_APPLY_ALOAD);
+                .utcsu_mut()
+                .stage_acc_load(enf.new_alpha.0, enf.new_alpha.1);
+            node.nti.write32(
+                UTCSU_BASE + uregs::R_CTRL,
+                uregs::CTRL_RUN | uregs::CTRL_APPLY_ALOAD,
+            );
             // Continuous amortization: ASTEP = STEP + δ/ticks.
             if enf.delta_units != 0 {
                 let step = node.nti.utcsu().ltu.step_units() as i128;
                 let per_tick59 = enf.delta_units / amort_ticks as i128;
-                let astep = (step + (per_tick59 >> nti_simcore::ntp::STEP_UNIT_SHIFT)).max(1) as u64;
+                let astep =
+                    (step + (per_tick59 >> nti_simcore::ntp::STEP_UNIT_SHIFT)).max(1) as u64;
                 let u = node.nti.utcsu_mut();
                 u.ltu.set_astep_units(astep);
-                u.ltu.start_amortization(amort_ticks);
+                u.start_amortization(amort_ticks);
                 // Shrink α back by the applied delta over the slew via a
                 // temporary negative deterioration (zero-masked by the ACU).
-                let applied =
-                    ((astep as i128 - step) << nti_simcore::ntp::STEP_UNIT_SHIFT) * amort_ticks as i128;
+                let applied = ((astep as i128 - step) << nti_simcore::ntp::STEP_UNIT_SHIFT)
+                    * amort_ticks as i128;
                 node.cum_adj_units += applied;
                 let removal = (applied.unsigned_abs() / amort_ticks) as i64;
                 let (dm, dp) = u.acu.dsteps();
@@ -1182,11 +1415,17 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
             // Instantaneous state step (FTM baseline, or amortization=0).
             let cur = node.nti.utcsu().time();
             node.cum_adj_units += enf.delta_units;
-            node.nti.utcsu_mut().stage_time_load(cur.wrapping_add_units(enf.delta_units));
+            node.nti
+                .utcsu_mut()
+                .stage_time_load(cur.wrapping_add_units(enf.delta_units));
             if world.cfg.algo != AlgoKind::Ftm {
-                node.nti.utcsu_mut().stage_acc_load(enf.new_alpha.0, enf.new_alpha.1);
+                node.nti
+                    .utcsu_mut()
+                    .stage_acc_load(enf.new_alpha.0, enf.new_alpha.1);
             } else {
-                node.nti.utcsu_mut().stage_acc_load(Accuracy::MAX, Accuracy::MAX);
+                node.nti
+                    .utcsu_mut()
+                    .stage_acc_load(Accuracy::MAX, Accuracy::MAX);
             }
             node.nti.utcsu_mut().apply_load();
         }
@@ -1199,9 +1438,7 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
 /// clock — reads one second less).
 fn ref_time(world: &World, now: SimTime) -> SimTime {
     match world.cfg.leap_insert_at_sec {
-        Some(sec) if now >= SimTime::from_secs(sec as u64) => {
-            now - SimDuration::from_secs(1)
-        }
+        Some(sec) if now >= SimTime::from_secs(sec as u64) => now - SimDuration::from_secs(1),
         _ => now,
     }
 }
@@ -1229,7 +1466,10 @@ fn actuation_fired(world: &mut World, eng: &mut Eng, id: usize) {
         if now.as_fs() >= world.cfg.warmup.as_fs() {
             let min = v.iter().min().expect("nonempty");
             let max = v.iter().max().expect("nonempty");
-            world.metrics.actuation_spread.add(max.saturating_since(*min).as_secs_f64());
+            world
+                .metrics
+                .actuation_spread
+                .add(max.saturating_since(*min).as_secs_f64());
         }
     }
     // Re-arm at the previous absolute target plus one round period (the
@@ -1246,8 +1486,7 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
     let now = eng.now();
     let mut times: Vec<NtpTime> = Vec::with_capacity(world.nodes.len());
     let mut rates: Vec<f64> = Vec::with_capacity(world.nodes.len());
-    let in_window =
-        now.as_fs() >= world.cfg.warmup.as_fs() && !in_leap_blackout(world, now);
+    let in_window = now.as_fs() >= world.cfg.warmup.as_fs() && !in_leap_blackout(world, now);
     for id in 0..world.nodes.len() {
         world.nodes[id].advance(now);
         let stamp = world.nodes[id].nti.utcsu_mut().trigger_hwsnap();
@@ -1262,11 +1501,14 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
             if !iv.contains_time(reference) {
                 world.metrics.containment_violations += 1;
             }
-            world.metrics.true_error.add(iv.value_error_secs(reference).abs());
-            world
-                .metrics
-                .alpha
-                .add(am.as_secs_f64().max(ap.as_secs_f64()));
+            let err = iv.value_error_secs(reference).abs();
+            let a_max = am.as_secs_f64().max(ap.as_secs_f64());
+            world.metrics.true_error.add(err);
+            world.metrics.alpha.add(a_max);
+            if let Some(o) = &world.obs {
+                o.true_error_ns.record((err * 1e9) as u64);
+                o.alpha_ns.record((a_max * 1e9) as u64);
+            }
             let _ = stamp;
         }
     }
@@ -1278,6 +1520,17 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
             }
         }
         world.metrics.precision.add(worst);
+        if let Some(o) = &world.obs {
+            let ns = (worst * 1e9) as u64;
+            o.precision_ns.record(ns);
+            o.obs.value(
+                now.as_fs(),
+                GLOBAL_NODE,
+                Subsystem::Cluster,
+                "precision_ns",
+                ns.min(i64::MAX as u64) as i64,
+            );
+        }
         let rmax = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let rmin = rates.iter().copied().fold(f64::INFINITY, f64::min);
         world.metrics.rate_spread_ppm_last = rmax - rmin;
@@ -1314,7 +1567,9 @@ fn gps_tod(world: &mut World, eng: &mut Eng, id: usize, g: usize, pulse: nti_gps
     let Some(stamp) = world.nodes[id].nti.utcsu_mut().gpu[g].pps.take() else {
         return;
     };
-    let Some(stamp_local) = stamp.time() else { return };
+    let Some(stamp_local) = stamp.time() else {
+        return;
+    };
     let fosc = world.nodes[id].osc.nominal_hz();
     let extra = SimDuration::from_fs(3 * 1_000_000_000_000_000 / fosc as u128);
     let ext = gps_observation(pulse.tod_second, pulse.claimed_accuracy, stamp_local, extra);
@@ -1334,7 +1589,9 @@ fn gps_tod(world: &mut World, eng: &mut Eng, id: usize, g: usize, pulse: nti_gps
 
 /// Poisson background NI traffic: occupies the medium.
 fn bg_load(world: &mut World, eng: &mut Eng, id: usize) {
-    let Some(load) = world.cfg.bg_load else { return };
+    let Some(load) = world.cfg.bg_load else {
+        return;
+    };
     let now = eng.now();
     let lan = world.topology.attachments(id)[0];
     let bits = ((nti_netsim::frame::PREAMBLE_LEN
@@ -1367,7 +1624,11 @@ fn app_event(world: &mut World, eng: &mut Eng, ev: u64) {
         eng.schedule_at(sample_at, move |w, e| {
             w.nodes[id].advance(e.now());
             if let Some(stamp) = w.nodes[id].nti.utcsu_mut().trigger_apu(0) {
-                if let Some(t) = w.nodes[id].nti.utcsu_mut().apu[0].event.take().and_then(|_| stamp.time()) {
+                if let Some(t) = w.nodes[id].nti.utcsu_mut().apu[0]
+                    .event
+                    .take()
+                    .and_then(|_| stamp.time())
+                {
                     if let Some(v) = w.app_pending.get_mut(&ev) {
                         v.push(t);
                         if v.len() == w.nodes.len() {
@@ -1428,7 +1689,11 @@ mod tests {
         // accumulation between rounds: ~2ρP = 20 us at ±10 ppm, P = 1 s —
         // exactly why Section 2 calls rate synchronization inevitable for
         // the 1 us target.
-        assert!(rep.worst_precision_s < 40e-6, "precision {}", rep.worst_precision_s);
+        assert!(
+            rep.worst_precision_s < 40e-6,
+            "precision {}",
+            rep.worst_precision_s
+        );
         assert_eq!(rep.containment.0, 0);
         assert_eq!(rep.cf_failures, 0);
     }
@@ -1487,7 +1752,11 @@ mod tests {
         let mut cfg = quick_cfg(3);
         cfg.duration = SimDuration::from_secs(15);
         cfg.gps = vec![
-            GpsNodeCfg { node: 0, cfg: GpsConfig::default(), faults: vec![] },
+            GpsNodeCfg {
+                node: 0,
+                cfg: GpsConfig::default(),
+                faults: vec![],
+            },
             GpsNodeCfg {
                 node: 1,
                 cfg: GpsConfig::default(),
@@ -1527,7 +1796,11 @@ mod tests {
         cfg.algo = AlgoKind::Ftm;
         cfg.granularity = SimDuration::from_micros(1);
         let rep = Cluster::new(cfg).run();
-        assert!(rep.worst_precision_s < 100e-6, "precision {}", rep.worst_precision_s);
+        assert!(
+            rep.worst_precision_s < 100e-6,
+            "precision {}",
+            rep.worst_precision_s
+        );
         assert!(rep.csps.1 > 20);
     }
 
@@ -1538,7 +1811,11 @@ mod tests {
         cfg.f = 0;
         cfg.duration = SimDuration::from_secs(16);
         let rep = Cluster::new(cfg).run();
-        assert!(rep.worst_precision_s < 60e-6, "cross-LAN precision {}", rep.worst_precision_s);
+        assert!(
+            rep.worst_precision_s < 60e-6,
+            "cross-LAN precision {}",
+            rep.worst_precision_s
+        );
         assert_eq!(rep.containment.0, 0);
     }
 
@@ -1577,7 +1854,10 @@ mod tests {
         cfg.warmup = SimDuration::from_secs(4);
         let rep = Cluster::new(cfg).run();
         assert_eq!(rep.containment.0, 0, "{rep:?}");
-        assert!(rep.worst_precision_s < 40e-6, "precision through the leap: {rep:?}");
+        assert!(
+            rep.worst_precision_s < 40e-6,
+            "precision through the leap: {rep:?}"
+        );
         assert!(rep.containment.1 > 10, "checks must resume after the leap");
     }
 

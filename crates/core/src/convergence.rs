@@ -93,7 +93,10 @@ pub fn marzullo(intervals: &[AccInterval], f: usize) -> Option<AccInterval> {
 /// `f` highest, midpoint of the surviving extremes. Panics if `2f ≥ n`.
 pub fn ftm(offsets: &[i128], f: usize) -> i128 {
     let n = offsets.len();
-    assert!(2 * f < n, "fault-tolerant midpoint needs n > 2f (n={n}, f={f})");
+    assert!(
+        2 * f < n,
+        "fault-tolerant midpoint needs n > 2f (n={n}, f={f})"
+    );
     let mut v: Vec<i128> = offsets.to_vec();
     v.sort_unstable();
     let lo = v[f];
@@ -113,8 +116,10 @@ pub fn oa(intervals: &[AccInterval], f: usize) -> Option<AccInterval> {
     }
     let m = marzullo(intervals, f)?;
     let base = intervals[0].value;
-    let offsets: Vec<i128> =
-        intervals.iter().map(|iv| iv.value.wrapping_diff_units(base)).collect();
+    let offsets: Vec<i128> = intervals
+        .iter()
+        .map(|iv| iv.value.wrapping_diff_units(base))
+        .collect();
     let v = ftm(&offsets, f);
     // Clamp the midpoint-selected value into Marzullo's interval so the new
     // interval keeps containment, then attach M's edges.

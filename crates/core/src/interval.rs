@@ -71,20 +71,32 @@ impl AccInterval {
 
     /// A zero-width interval (perfect knowledge).
     pub fn exact(value: NtpTime) -> Self {
-        AccInterval { value, minus: 0, plus: 0 }
+        AccInterval {
+            value,
+            minus: 0,
+            plus: 0,
+        }
     }
 
     /// Construct from hardware accuracy registers (2⁻²⁴ s units).
     pub fn from_alpha(value: NtpTime, minus: Accuracy, plus: Accuracy) -> Self {
         let shift = FRAC_BITS - nti_simcore::ntp::NTP_FRAC_BITS;
-        AccInterval { value, minus: (minus.0 as u128) << shift, plus: (plus.0 as u128) << shift }
+        AccInterval {
+            value,
+            minus: (minus.0 as u128) << shift,
+            plus: (plus.0 as u128) << shift,
+        }
     }
 
     /// Construct from a value and symmetric physical half-width
     /// (rounded up).
     pub fn from_halfwidth(value: NtpTime, hw: SimDuration) -> Self {
         let u = units_ceil(hw);
-        AccInterval { value, minus: u, plus: u }
+        AccInterval {
+            value,
+            minus: u,
+            plus: u,
+        }
     }
 
     /// The lower edge.
@@ -116,13 +128,20 @@ impl AccInterval {
 
     /// Enlarge both sides (delay/drift compensation "deterioration").
     pub fn widen(&self, minus_add: u128, plus_add: u128) -> AccInterval {
-        AccInterval { value: self.value, minus: self.minus + minus_add, plus: self.plus + plus_add }
+        AccInterval {
+            value: self.value,
+            minus: self.minus + minus_add,
+            plus: self.plus + plus_add,
+        }
     }
 
     /// Shift the reference value keeping the edges attached (translate the
     /// whole interval by `delta` units).
     pub fn shift(&self, delta: i128) -> AccInterval {
-        AccInterval { value: self.value.wrapping_add_units(delta), ..*self }
+        AccInterval {
+            value: self.value.wrapping_add_units(delta),
+            ..*self
+        }
     }
 
     /// Move the reference value *within* the interval without moving the
@@ -172,7 +191,11 @@ impl AccInterval {
         let hi_b = ob + other.plus as i128;
         let lo = lo_a.min(lo_b);
         let hi = hi_a.max(hi_b);
-        AccInterval { value: self.value, minus: (-lo) as u128, plus: hi as u128 }
+        AccInterval {
+            value: self.value,
+            minus: (-lo) as u128,
+            plus: hi as u128,
+        }
     }
 
     /// The hardware accuracy register pair, rounding up and saturating
@@ -255,7 +278,9 @@ mod tests {
     #[test]
     fn rebase_keeps_edges() {
         let a = iv(100, 10, 10);
-        let nv = a.value.wrapping_add_units(units_ceil(SimDuration::from_micros(5)) as i128);
+        let nv = a
+            .value
+            .wrapping_add_units(units_ceil(SimDuration::from_micros(5)) as i128);
         let b = a.rebase(nv);
         assert_eq!(b.lower(), a.lower());
         assert_eq!(b.upper(), a.upper());
@@ -267,7 +292,11 @@ mod tests {
         let a = iv(100, 10, 10);
         let mut bval = NtpTime::from_secs(100);
         bval = bval.wrapping_add_units(units_ceil(SimDuration::from_micros(5)) as i128);
-        let b = AccInterval::new(bval, units_ceil(SimDuration::from_micros(10)), units_ceil(SimDuration::from_micros(10)));
+        let b = AccInterval::new(
+            bval,
+            units_ceil(SimDuration::from_micros(10)),
+            units_ceil(SimDuration::from_micros(10)),
+        );
         let i = a.intersect(&b).expect("overlap");
         // Intersection is [100s-5us, 100s+10us].
         assert_eq!(i.lower(), b.lower());

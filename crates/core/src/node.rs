@@ -173,12 +173,24 @@ mod tests {
     fn node() -> Node {
         let rng = SimRng::new(1);
         let mut nti = Nti::new(UtcsuConfig::default(), CpldConfig::default());
-        nti.write32(nti_module::UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
+        nti.write32(
+            nti_module::UTCSU_BASE + uregs::R_CTRL,
+            uregs::CTRL_SYNCRUN | uregs::CTRL_RUN,
+        );
         Node {
             id: 0,
-            osc: Oscillator::new(10_000_000, DriftModel::perfect(), rng.split("osc"), SimTime::ZERO),
+            osc: Oscillator::new(
+                10_000_000,
+                DriftModel::perfect(),
+                rng.split("osc"),
+                SimTime::ZERO,
+            ),
             nti,
-            comcos: vec![Comco::new(ComcoTiming::i82596(), 10_000_000, rng.split("comco"))],
+            comcos: vec![Comco::new(
+                ComcoTiming::i82596(),
+                10_000_000,
+                rng.split("comco"),
+            )],
             kernel: Kernel::new(KernelConfig::ideal(), rng.split("kern")),
             driver: ComcoDriver::new(),
             scb: ScbDriver::default(),
@@ -247,7 +259,10 @@ mod tests {
         n.nti.utcsu_mut().ltu.set_step_units(base + 100);
         let ppm = n.effective_rate_ppm(SimTime::ZERO);
         let expect = 100.0 * 10e6 * (0.5f64.powi(51)) * 1e6;
-        assert!((ppm - expect).abs() < expect * 0.01, "ppm={ppm} expect={expect}");
+        assert!(
+            (ppm - expect).abs() < expect * 0.01,
+            "ppm={ppm} expect={expect}"
+        );
     }
 
     #[test]

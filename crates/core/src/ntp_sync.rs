@@ -54,7 +54,12 @@ impl Default for NtpClient {
 impl NtpClient {
     /// A client with NTP-ish damping (gain ½).
     pub fn new() -> Self {
-        NtpClient { filter: VecDeque::with_capacity(FILTER_DEPTH), gain: 0.5, polls: 0, rejected: 0 }
+        NtpClient {
+            filter: VecDeque::with_capacity(FILTER_DEPTH),
+            gain: 0.5,
+            polls: 0,
+            rejected: 0,
+        }
     }
 
     /// Compute a poll sample from the four timestamps. Returns `None` for
@@ -89,7 +94,11 @@ impl NtpClient {
             self.filter.pop_front();
         }
         self.filter.push_back(s);
-        let best = self.filter.iter().min_by_key(|s| s.delay).expect("non-empty filter");
+        let best = self
+            .filter
+            .iter()
+            .min_by_key(|s| s.delay)
+            .expect("non-empty filter");
         let correction = (best.offset as f64 * self.gain) as i128;
         for s in &mut self.filter {
             s.offset -= correction;
@@ -125,7 +134,11 @@ mod tests {
         // Client clock: T1 = 0, T4 = 110 ms; server: T2 = 80, T3 = 90 (in
         // server time = client + 30).
         let s = NtpClient::sample(t(0), t(80), t(90), t(110)).unwrap();
-        assert!((units_ms(s.offset) - 30.0).abs() < 0.01, "offset {}", units_ms(s.offset));
+        assert!(
+            (units_ms(s.offset) - 30.0).abs() < 0.01,
+            "offset {}",
+            units_ms(s.offset)
+        );
         assert!((units_ms(s.delay as i128) - 100.0).abs() < 0.01);
     }
 
@@ -133,7 +146,11 @@ mod tests {
     fn asymmetric_path_biases_by_half() {
         // 40 ms out, 60 ms back, zero true offset.
         let s = NtpClient::sample(t(0), t(40), t(50), t(110)).unwrap();
-        assert!((units_ms(s.offset) - (-10.0)).abs() < 0.01, "bias {}", units_ms(s.offset));
+        assert!(
+            (units_ms(s.offset) - (-10.0)).abs() < 0.01,
+            "bias {}",
+            units_ms(s.offset)
+        );
     }
 
     #[test]
@@ -143,7 +160,10 @@ mod tests {
         // (500 ms RTT with a wild apparent offset). The filter must keep
         // using the clean sample.
         let corr1 = c.on_poll(t(0), t(70), t(80), t(110)).unwrap();
-        assert!(units_ms(corr1) > 5.0, "first correction applies damped offset");
+        assert!(
+            units_ms(corr1) > 5.0,
+            "first correction applies damped offset"
+        );
         let corr2 = c.on_poll(t(0), t(470), t(480), t(510)).unwrap();
         // The spiked sample has bigger delay; min-δ still selects the clean
         // (rebased) sample, whose offset is near zero now.
@@ -176,9 +196,7 @@ mod tests {
         let mut true_offset_ms = 30.0f64;
         for _ in 0..12 {
             let off = true_offset_ms as i64;
-            let corr = c
-                .on_poll(t(0), t(50 + off), t(60 + off), t(110))
-                .unwrap();
+            let corr = c.on_poll(t(0), t(50 + off), t(60 + off), t(110)).unwrap();
             true_offset_ms -= units_ms(corr);
         }
         assert!(true_offset_ms.abs() < 1.0, "residual {true_offset_ms} ms");

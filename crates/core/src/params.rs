@@ -101,14 +101,14 @@ pub fn delay_bounds_hardware(
     let kr = trigger_writes_before as u128;
     // Fixed part common to min and max.
     let base = ser + medium.prop_delay + fifo_lead;
-    let min = (base + comco.rx_store_latency.base + comco.bus_cycle * kr
-        + comco.arb_jitter.base * kr)
-        // subtract the *maximum* the transmit side can add:
-        .saturating_sub(comco.bus_cycle * kx + comco.arb_jitter.max() * kx);
-    let max = (base + comco.rx_store_latency.max()
-        + (comco.bus_cycle + comco.arb_jitter.max()) * kr)
-        // subtract the *minimum* the transmit side adds:
-        .saturating_sub((comco.bus_cycle + comco.arb_jitter.base) * kx);
+    let min =
+        (base + comco.rx_store_latency.base + comco.bus_cycle * kr + comco.arb_jitter.base * kr)
+            // subtract the *maximum* the transmit side can add:
+            .saturating_sub(comco.bus_cycle * kx + comco.arb_jitter.max() * kx);
+    let max =
+        (base + comco.rx_store_latency.max() + (comco.bus_cycle + comco.arb_jitter.max()) * kr)
+            // subtract the *minimum* the transmit side adds:
+            .saturating_sub((comco.bus_cycle + comco.arb_jitter.base) * kx);
     (min, max)
 }
 
@@ -122,9 +122,17 @@ pub fn delay_bounds_interrupt_rx(
     trigger_reads_before: u32,
     header_writes: u32,
 ) -> (SimDuration, SimDuration) {
-    let (hmin, hmax) =
-        delay_bounds_hardware(comco, medium, frame_bits, trigger_reads_before, header_writes);
-    (hmin + comco.rx_int_latency.base, hmax + comco.rx_int_latency.max())
+    let (hmin, hmax) = delay_bounds_hardware(
+        comco,
+        medium,
+        frame_bits,
+        trigger_reads_before,
+        header_writes,
+    );
+    (
+        hmin + comco.rx_int_latency.base,
+        hmax + comco.rx_int_latency.max(),
+    )
 }
 
 /// Delay bounds for [`TimestampMode::Software`]: assembly-to-processing
@@ -143,7 +151,10 @@ pub fn delay_bounds_software(
     let bit = SimDuration::from_fs(1_000_000_000_000_000 / medium.bitrate_bps as u128);
     let ser = bit * frame_bits as u128;
     let writes = 16u128;
-    let min = comco.cmd_latency.base + medium.ifg + ser + medium.prop_delay
+    let min = comco.cmd_latency.base
+        + medium.ifg
+        + ser
+        + medium.prop_delay
         + comco.rx_store_latency.base
         + comco.bus_cycle * writes
         + comco.rx_int_latency.base
@@ -167,7 +178,11 @@ mod tests {
     use super::*;
 
     fn fixture() -> (ComcoTiming, MediumConfig, KernelConfig) {
-        (ComcoTiming::i82596(), MediumConfig::ethernet_10m(), KernelConfig::psos_mvme162())
+        (
+            ComcoTiming::i82596(),
+            MediumConfig::ethernet_10m(),
+            KernelConfig::psos_mvme162(),
+        )
     }
 
     #[test]

@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn encoded_size_is_fixed() {
         let a = sample().encode();
-        let b = CspPayload { hops: 0, ..sample() }.encode();
+        let b = CspPayload {
+            hops: 0,
+            ..sample()
+        }
+        .encode();
         assert_eq!(a.len(), b.len());
     }
 }

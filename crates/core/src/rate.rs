@@ -157,6 +157,10 @@ mod tests {
             rate_a += (1.0 + rate_a) * rel_ab / 2.0;
             rate_b += (1.0 + rate_b) * rel_ba / 2.0;
         }
-        assert!((rate_a - rate_b).abs() < 1e-9, "residual {}", (rate_a - rate_b).abs());
+        assert!(
+            (rate_a - rate_b).abs() < 1e-9,
+            "residual {}",
+            (rate_a - rate_b).abs()
+        );
     }
 }

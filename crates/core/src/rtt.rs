@@ -90,7 +90,10 @@ impl RttEstimator {
 
     /// The observed RTT extremes as durations, if any probe was accepted.
     pub fn rtt_window(&self) -> Option<(SimDuration, SimDuration)> {
-        Some((units_to_duration(self.min_rtt?), units_to_duration(self.max_rtt?)))
+        Some((
+            units_to_duration(self.min_rtt?),
+            units_to_duration(self.max_rtt?),
+        ))
     }
 
     /// The per-direction delay window `[d_floor, RTT_max − d_floor]`,
@@ -212,8 +215,12 @@ mod tests {
     fn min_samples_gate() {
         let mut e = RttEstimator::new();
         e.record(at(0), at(100), at(150), at(250));
-        assert!(e.delay_window(SimDuration::from_micros(50), SimDuration::ZERO, 5).is_none());
-        assert!(e.delay_window(SimDuration::from_micros(50), SimDuration::ZERO, 1).is_some());
+        assert!(e
+            .delay_window(SimDuration::from_micros(50), SimDuration::ZERO, 5)
+            .is_none());
+        assert!(e
+            .delay_window(SimDuration::from_micros(50), SimDuration::ZERO, 1)
+            .is_some());
     }
 
     #[test]
@@ -228,6 +235,8 @@ mod tests {
         let mut e = RttEstimator::new();
         e.record(at(0), at(10), at(20), at(30));
         // Floor bigger than the whole RTT: no usable window.
-        assert!(e.delay_window(SimDuration::from_millis(1), SimDuration::ZERO, 1).is_none());
+        assert!(e
+            .delay_window(SimDuration::from_millis(1), SimDuration::ZERO, 1)
+            .is_none());
     }
 }

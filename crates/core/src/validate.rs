@@ -50,7 +50,12 @@ pub fn gps_observation(
     let value = NtpTime::from_secs(tod_second as u32);
     let interval = AccInterval::new(value, half, half);
     let offset_units = value.wrapping_diff_units(stamp_local);
-    Preprocessed { from: u32::MAX, interval, recv_local: stamp_local, offset_units }
+    Preprocessed {
+        from: u32::MAX,
+        interval,
+        recv_local: stamp_local,
+        offset_units,
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +95,8 @@ mod tests {
     fn second_jump_fault_rejected() {
         // TOD off by one second: external interval lands a whole second away.
         let validation = iv(0, 200);
-        let external = AccInterval::from_halfwidth(NtpTime::from_secs(501), SimDuration::from_micros(1));
+        let external =
+            AccInterval::from_halfwidth(NtpTime::from_secs(501), SimDuration::from_micros(1));
         assert!(validate(&external, &validation).is_none());
     }
 
@@ -106,11 +112,19 @@ mod tests {
     #[test]
     fn gps_observation_builds_local_frame_interval() {
         let stamp = NtpTime::from_secs(499).wrapping_add_units(12345);
-        let p = gps_observation(500, SimDuration::from_nanos(500), stamp, SimDuration::from_nanos(200));
+        let p = gps_observation(
+            500,
+            SimDuration::from_nanos(500),
+            stamp,
+            SimDuration::from_nanos(200),
+        );
         assert_eq!(p.interval.value.secs(), 500);
         assert_eq!(p.recv_local, stamp);
         assert!(p.interval.minus >= units_ceil(SimDuration::from_nanos(700)));
-        assert!(p.offset_units > 0, "pulse names a second ahead of the slow local stamp");
+        assert!(
+            p.offset_units > 0,
+            "pulse names a second ahead of the slow local stamp"
+        );
     }
 
     #[test]

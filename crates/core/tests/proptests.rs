@@ -20,7 +20,11 @@ fn iv(off: i64, minus: u64, plus: u64) -> AccInterval {
 }
 
 fn arb_interval() -> impl Strategy<Value = AccInterval> {
-    (-(1i64 << 40)..(1i64 << 40), 0u64..(1 << 42), 0u64..(1 << 42))
+    (
+        -(1i64 << 40)..(1i64 << 40),
+        0u64..(1 << 42),
+        0u64..(1 << 42),
+    )
         .prop_map(|(off, m, p)| iv(off, m, p))
 }
 

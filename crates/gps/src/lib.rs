@@ -140,7 +140,11 @@ pub struct GpsReceiver {
 impl GpsReceiver {
     /// A healthy receiver.
     pub fn new(cfg: GpsConfig, rng: SimRng) -> Self {
-        GpsReceiver { cfg, faults: Vec::new(), rng }
+        GpsReceiver {
+            cfg,
+            faults: Vec::new(),
+            rng,
+        }
     }
 
     /// Inject a fault episode.
@@ -170,7 +174,11 @@ impl GpsReceiver {
         for f in &self.faults {
             match *f {
                 GpsFault::Dropout { from, until } if (from..until).contains(&s) => return None,
-                GpsFault::Offset { from, until, offset } if (from..until).contains(&s) => {
+                GpsFault::Offset {
+                    from,
+                    until,
+                    offset,
+                } if (from..until).contains(&s) => {
                     offset_fs += offset.as_fs() as i128;
                 }
                 GpsFault::SecondJump { from, delta } if s >= from => {
@@ -199,7 +207,9 @@ impl GpsReceiver {
 
     /// Generate all pulses for seconds in `[from, to)`.
     pub fn pulses_in(&mut self, from: u64, to: u64) -> Vec<PpsEvent> {
-        (from..to).filter_map(|s| self.pulse_for_second(s)).collect()
+        (from..to)
+            .filter_map(|s| self.pulse_for_second(s))
+            .collect()
     }
 }
 
@@ -234,7 +244,11 @@ mod tests {
     #[test]
     fn sawtooth_spread_matches_config() {
         let mut r = rx(3);
-        let errs: Vec<f64> = r.pulses_in(0, 2000).iter().map(|p| p.phase_error_secs()).collect();
+        let errs: Vec<f64> = r
+            .pulses_in(0, 2000)
+            .iter()
+            .map(|p| p.phase_error_secs())
+            .collect();
         let bias = 60e-9;
         let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = errs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -245,7 +259,10 @@ mod tests {
     #[test]
     fn dropout_suppresses_pulses() {
         let mut r = rx(4);
-        r.inject(GpsFault::Dropout { from: 10, until: 20 });
+        r.inject(GpsFault::Dropout {
+            from: 10,
+            until: 20,
+        });
         let ps = r.pulses_in(0, 30);
         assert_eq!(ps.len(), 20);
         assert!(ps.iter().all(|p| !(10..20).contains(&p.true_second)));
@@ -268,7 +285,10 @@ mod tests {
     #[test]
     fn second_jump_corrupts_tod_persistently() {
         let mut r = rx(6);
-        r.inject(GpsFault::SecondJump { from: 100, delta: -1 });
+        r.inject(GpsFault::SecondJump {
+            from: 100,
+            delta: -1,
+        });
         let ps = r.pulses_in(98, 103);
         assert_eq!(ps[0].tod_second, 98);
         assert_eq!(ps[2].tod_second, 99, "second 100 reports 99");
@@ -279,9 +299,15 @@ mod tests {
     #[test]
     fn stuck_tod_freezes_value() {
         let mut r = rx(7);
-        r.inject(GpsFault::StuckTod { from: 50, until: 53 });
+        r.inject(GpsFault::StuckTod {
+            from: 50,
+            until: 53,
+        });
         let ps = r.pulses_in(49, 54);
-        assert_eq!(ps.iter().map(|p| p.tod_second).collect::<Vec<_>>(), vec![49, 50, 50, 50, 53]);
+        assert_eq!(
+            ps.iter().map(|p| p.tod_second).collect::<Vec<_>>(),
+            vec![49, 50, 50, 50, 53]
+        );
     }
 
     #[test]
@@ -292,7 +318,11 @@ mod tests {
             until: 1000,
             sigma: SimDuration::from_micros(5),
         });
-        let errs: Vec<f64> = r.pulses_in(0, 1000).iter().map(|p| p.phase_error_secs()).collect();
+        let errs: Vec<f64> = r
+            .pulses_in(0, 1000)
+            .iter()
+            .map(|p| p.phase_error_secs())
+            .collect();
         let mean = errs.iter().sum::<f64>() / errs.len() as f64;
         let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64;
         assert!(var.sqrt() > 3e-6, "sigma={}", var.sqrt());
@@ -301,7 +331,11 @@ mod tests {
     #[test]
     fn faults_compose() {
         let mut r = rx(9);
-        r.inject(GpsFault::Offset { from: 0, until: 100, offset: SimDuration::from_micros(2) });
+        r.inject(GpsFault::Offset {
+            from: 0,
+            until: 100,
+            offset: SimDuration::from_micros(2),
+        });
         r.inject(GpsFault::SecondJump { from: 50, delta: 1 });
         let ps = r.pulses_in(49, 51);
         assert!(ps[0].phase_error_secs() > 1.5e-6);

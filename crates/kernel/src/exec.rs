@@ -23,8 +23,10 @@
 //! is the reference model those distributions summarize, and is exercised
 //! by its own tests plus the KI/NI/CI structure test.
 
+use nti_obs::{fs_to_ns, Counter, Histogram, MetricKey, Payload, SimObserver, Subsystem};
 use nti_simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Task identifier.
 pub type TaskId = usize;
@@ -103,6 +105,8 @@ struct Tcb {
     pending_events: u32,
     /// FIFO tiebreaker within a priority.
     enqueued_seq: u64,
+    /// When the task last became Ready (for ready-queue wait accounting).
+    ready_since: SimTime,
 }
 
 #[derive(Default)]
@@ -127,6 +131,17 @@ pub enum TraceEvent {
     Exited(TaskId),
 }
 
+/// Pre-resolved observability handles for the executive (see
+/// [`Executive::attach_observer`]).
+struct ExecObs {
+    obs: SimObserver,
+    node: u32,
+    dispatches: Arc<Counter>,
+    preemptions: Arc<Counter>,
+    /// Time spent Ready before getting the CPU.
+    queue_wait_ns: Arc<Histogram>,
+}
+
 /// The executive.
 pub struct Executive {
     now: SimTime,
@@ -140,6 +155,7 @@ pub struct Executive {
     trace: Vec<(SimTime, TraceEvent)>,
     seq: u64,
     running: Option<TaskId>,
+    obs: Option<ExecObs>,
 }
 
 impl Executive {
@@ -155,7 +171,29 @@ impl Executive {
             trace: Vec::new(),
             seq: 0,
             running: None,
+            obs: None,
         }
+    }
+
+    /// Attach an observer; `node` labels this executive's metrics.
+    pub fn attach_observer(&mut self, obs: &SimObserver, node: u32) {
+        self.obs = if obs.is_enabled() {
+            Some(ExecObs {
+                obs: obs.clone(),
+                node,
+                dispatches: obs
+                    .counter(MetricKey::node(node, "kernel", "dispatches"))
+                    .expect("enabled"),
+                preemptions: obs
+                    .counter(MetricKey::node(node, "kernel", "preemptions"))
+                    .expect("enabled"),
+                queue_wait_ns: obs
+                    .hist(MetricKey::node(node, "kernel", "queue_wait_ns"))
+                    .expect("enabled"),
+            })
+        } else {
+            None
+        };
     }
 
     /// Create a task with the given priority (higher number = higher
@@ -171,6 +209,7 @@ impl Executive {
             cpu_used: SimDuration::ZERO,
             pending_events: 0,
             enqueued_seq: self.seq,
+            ready_since: self.now,
         });
         id
     }
@@ -183,7 +222,10 @@ impl Executive {
 
     /// Create a counting semaphore with an initial count.
     pub fn sm_create(&mut self, count: u32) -> SemId {
-        self.sems.push(Sem { count, waiters: VecDeque::new() });
+        self.sems.push(Sem {
+            count,
+            waiters: VecDeque::new(),
+        });
         self.sems.len() - 1
     }
 
@@ -210,7 +252,13 @@ impl Executive {
     /// Inject a message from "outside" (an ISR) into a queue, waking a
     /// waiter — how the COMCO driver posts into the CI queue.
     pub fn isr_send(&mut self, q: QueueId, data: Vec<u8>) {
-        self.post(q, Msg { from: usize::MAX, data });
+        self.post(
+            q,
+            Msg {
+                from: usize::MAX,
+                data,
+            },
+        );
     }
 
     /// Signal event flags from "outside" (an ISR) to a task.
@@ -242,6 +290,7 @@ impl Executive {
         self.seq += 1;
         self.tasks[t].state = State::Ready;
         self.tasks[t].enqueued_seq = self.seq;
+        self.tasks[t].ready_since = self.now;
     }
 
     /// The highest-priority ready task (FIFO within a priority).
@@ -251,7 +300,9 @@ impl Executive {
             .enumerate()
             .filter(|(_, t)| t.state == State::Ready || t.state == State::Computing)
             .max_by(|(_, a), (_, b)| {
-                a.prio.cmp(&b.prio).then(b.enqueued_seq.cmp(&a.enqueued_seq))
+                a.prio
+                    .cmp(&b.prio)
+                    .then(b.enqueued_seq.cmp(&a.enqueued_seq))
             })
             .map(|(i, _)| i)
     }
@@ -307,9 +358,35 @@ impl Executive {
                         && self.tasks[prev].state == State::Computing
                     {
                         self.trace.push((self.now, TraceEvent::Preempted(prev, t)));
+                        if let Some(o) = &self.obs {
+                            o.preemptions.inc();
+                            if o.obs.tracing(Subsystem::Kernel) {
+                                o.obs.event(
+                                    self.now.as_fs(),
+                                    o.node,
+                                    Subsystem::Kernel,
+                                    "preempted",
+                                    Payload::Value { value: prev as i64 },
+                                );
+                            }
+                        }
                     }
                 }
                 self.trace.push((self.now, TraceEvent::Dispatched(t)));
+                if let Some(o) = &self.obs {
+                    o.dispatches.inc();
+                    let wait = self.now.saturating_since(self.tasks[t].ready_since);
+                    o.queue_wait_ns.record(fs_to_ns(wait.as_fs()));
+                    if o.obs.tracing(Subsystem::Kernel) {
+                        o.obs.span(
+                            self.now.as_fs(),
+                            wait.as_fs(),
+                            o.node,
+                            Subsystem::Kernel,
+                            "queue_wait",
+                        );
+                    }
+                }
                 self.now += self.context_switch;
                 self.running = Some(t);
             }
@@ -430,7 +507,13 @@ mod tests {
         ) -> (Box<dyn TaskBody>, Rc<RefCell<Vec<Msg>>>) {
             let delivered = Rc::new(RefCell::new(Vec::new()));
             (
-                Box::new(Script { steps, idx: 0, log, me, delivered: delivered.clone() }),
+                Box::new(Script {
+                    steps,
+                    idx: 0,
+                    log,
+                    me,
+                    delivered: delivered.clone(),
+                }),
                 delivered,
             )
         }
@@ -474,8 +557,11 @@ mod tests {
         let mut ex = Executive::new();
         let log = Rc::new(RefCell::new(Vec::new()));
         let q = 0;
-        let (rx, delivered) =
-            Script::new(0, vec![Step::Receive(q), Step::Compute(us(10))], log.clone());
+        let (rx, delivered) = Script::new(
+            0,
+            vec![Step::Receive(q), Step::Compute(us(10))],
+            log.clone(),
+        );
         let (tx, _) = Script::new(
             1,
             vec![Step::Compute(us(500)), Step::Send(q, vec![42])],
@@ -499,12 +585,20 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let q = 0;
         let (tx, _) = Script::new(0, vec![Step::Send(q, vec![7])], log.clone());
-        let (rx, delivered) = Script::new(1, vec![Step::Compute(us(300)), Step::Receive(q)], log.clone());
+        let (rx, delivered) = Script::new(
+            1,
+            vec![Step::Compute(us(300)), Step::Receive(q)],
+            log.clone(),
+        );
         ex.q_create();
         ex.spawn(50, tx);
         ex.spawn(60, rx);
         ex.run_until(SimTime::from_millis(5));
-        assert_eq!(delivered.borrow().len(), 1, "queued message consumed without blocking");
+        assert_eq!(
+            delivered.borrow().len(),
+            1,
+            "queued message consumed without blocking"
+        );
     }
 
     #[test]
@@ -539,17 +633,26 @@ mod tests {
         // computes 10 ms. The wakeup must preempt mid-compute.
         let (hi, _) = Script::new(
             0,
-            vec![Step::Delay(SimDuration::from_millis(1)), Step::Compute(us(50))],
+            vec![
+                Step::Delay(SimDuration::from_millis(1)),
+                Step::Compute(us(50)),
+            ],
             log.clone(),
         );
-        let (lo, _) = Script::new(1, vec![Step::Compute(SimDuration::from_millis(10))], log.clone());
+        let (lo, _) = Script::new(
+            1,
+            vec![Step::Compute(SimDuration::from_millis(10))],
+            log.clone(),
+        );
         let hi_id = ex.spawn(200, hi);
         let lo_id = ex.spawn(10, lo);
         ex.run_until(SimTime::from_millis(20));
         assert!(ex.is_done(hi_id) && ex.is_done(lo_id));
         // The preemption must appear in the trace.
         assert!(
-            ex.trace().iter().any(|(_, e)| matches!(e, TraceEvent::Preempted(l, h) if *l == lo_id && *h == hi_id)),
+            ex.trace().iter().any(
+                |(_, e)| matches!(e, TraceEvent::Preempted(l, h) if *l == lo_id && *h == hi_id)
+            ),
             "trace: {:?}",
             ex.trace()
         );
@@ -564,8 +667,11 @@ mod tests {
         let mut ex = Executive::new();
         let log = Rc::new(RefCell::new(Vec::new()));
         let q = 0;
-        let (proto, delivered) =
-            Script::new(0, vec![Step::Receive(q), Step::Compute(us(30))], log.clone());
+        let (proto, delivered) = Script::new(
+            0,
+            vec![Step::Receive(q), Step::Compute(us(30))],
+            log.clone(),
+        );
         ex.q_create();
         let id = ex.spawn(150, proto);
         ex.run_until(SimTime::from_millis(1)); // blocks
@@ -590,8 +696,7 @@ mod tests {
             ex.spawn(50, b);
         }
         ex.run_until(SimTime::from_millis(1));
-        let order: Vec<usize> =
-            log.borrow().iter().map(|&(_, w)| w).collect::<Vec<_>>();
+        let order: Vec<usize> = log.borrow().iter().map(|&(_, w)| w).collect::<Vec<_>>();
         assert_eq!(order, vec![0, 0, 1, 1, 2, 2], "{order:?}");
     }
 
@@ -600,7 +705,11 @@ mod tests {
         let mut ex = Executive::new();
         ex.context_switch = us(5);
         let log = Rc::new(RefCell::new(Vec::new()));
-        let (a, _) = Script::new(0, vec![Step::Compute(us(100)), Step::Compute(us(50))], log.clone());
+        let (a, _) = Script::new(
+            0,
+            vec![Step::Compute(us(100)), Step::Compute(us(50))],
+            log.clone(),
+        );
         let id = ex.spawn(10, a);
         ex.run_until(SimTime::from_secs(1));
         assert_eq!(ex.cpu_used(id), us(150));
@@ -633,7 +742,11 @@ mod tests {
         let got = Rc::new(RefCell::new(Vec::new()));
         let waiter = ex.spawn(
             100,
-            Box::new(EvScript { steps: vec![Step::EvReceive(0b11), Step::Compute(us(5))], idx: 0, got: got.clone() }),
+            Box::new(EvScript {
+                steps: vec![Step::EvReceive(0b11), Step::Compute(us(5))],
+                idx: 0,
+                got: got.clone(),
+            }),
         );
         ex.run_until(SimTime::from_millis(1));
         assert!(!ex.is_done(waiter), "blocked on both flags");
@@ -652,7 +765,11 @@ mod tests {
         let got = Rc::new(RefCell::new(Vec::new()));
         let waiter = ex.spawn(
             50,
-            Box::new(EvScript { steps: vec![Step::Compute(us(50)), Step::EvReceive(0b100)], idx: 0, got: got.clone() }),
+            Box::new(EvScript {
+                steps: vec![Step::Compute(us(50)), Step::EvReceive(0b100)],
+                idx: 0,
+                got: got.clone(),
+            }),
         );
         ex.isr_ev_send(waiter, 0b100);
         ex.run_until(SimTime::from_millis(1));
@@ -666,7 +783,11 @@ mod tests {
         let got = Rc::new(RefCell::new(Vec::new()));
         let waiter = ex.spawn(
             100,
-            Box::new(EvScript { steps: vec![Step::EvReceive(1)], idx: 0, got: got.clone() }),
+            Box::new(EvScript {
+                steps: vec![Step::EvReceive(1)],
+                idx: 0,
+                got: got.clone(),
+            }),
         );
         let _signaller = ex.spawn(
             10,

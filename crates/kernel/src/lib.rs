@@ -32,9 +32,11 @@ pub mod exec;
 
 pub use exec::{Executive, Msg, Step, TaskBody, TaskId, TraceEvent};
 
+use nti_obs::{fs_to_ns, Histogram, MetricKey, SimObserver};
 use nti_simcore::rng::SimRng;
 use nti_simcore::time::SimDuration;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A latency distribution: `base + U[0, spread)`, plus — with probability
 /// `tail_prob` — an additional `U[0, tail)` term modelling long
@@ -54,7 +56,12 @@ pub struct Latency {
 impl Latency {
     /// A deterministic latency.
     pub fn fixed(d: SimDuration) -> Latency {
-        Latency { base: d, spread: SimDuration::ZERO, tail_prob: 0.0, tail: SimDuration::ZERO }
+        Latency {
+            base: d,
+            spread: SimDuration::ZERO,
+            tail_prob: 0.0,
+            tail: SimDuration::ZERO,
+        }
     }
 
     /// Draw one delay.
@@ -155,8 +162,25 @@ impl KernelConfig {
     /// Zero-latency kernel for unit tests and lower-bound experiments.
     pub fn ideal() -> Self {
         let z = Latency::fixed(SimDuration::ZERO);
-        KernelConfig { isr_entry: z, isr_body: z, task_dispatch: z, csp_assembly: z }
+        KernelConfig {
+            isr_entry: z,
+            isr_body: z,
+            task_dispatch: z,
+            csp_assembly: z,
+        }
     }
+}
+
+/// Pre-resolved per-node latency histograms (see
+/// [`Kernel::attach_observer`]): every drawn latency is recorded in
+/// nanoseconds, so the summary table shows the realized ISR/dispatch
+/// distributions, not just the configured envelopes.
+#[derive(Clone, Debug)]
+struct KernelObs {
+    isr_entry_ns: Arc<Histogram>,
+    isr_body_ns: Arc<Histogram>,
+    dispatch_ns: Arc<Histogram>,
+    csp_assembly_ns: Arc<Histogram>,
 }
 
 /// The executive: draws latencies from its configured distributions.
@@ -164,12 +188,40 @@ impl KernelConfig {
 pub struct Kernel {
     cfg: KernelConfig,
     rng: SimRng,
+    obs: Option<KernelObs>,
 }
 
 impl Kernel {
     /// Create an executive.
     pub fn new(cfg: KernelConfig, rng: SimRng) -> Self {
-        Kernel { cfg, rng }
+        Kernel {
+            cfg,
+            rng,
+            obs: None,
+        }
+    }
+
+    /// Attach an observer; `node` labels this kernel's metrics. Disabled
+    /// observers detach instrumentation entirely.
+    pub fn attach_observer(&mut self, obs: &SimObserver, node: u32) {
+        self.obs = if obs.is_enabled() {
+            Some(KernelObs {
+                isr_entry_ns: obs
+                    .hist(MetricKey::node(node, "kernel", "isr_entry_ns"))
+                    .expect("enabled"),
+                isr_body_ns: obs
+                    .hist(MetricKey::node(node, "kernel", "isr_body_ns"))
+                    .expect("enabled"),
+                dispatch_ns: obs
+                    .hist(MetricKey::node(node, "kernel", "dispatch_ns"))
+                    .expect("enabled"),
+                csp_assembly_ns: obs
+                    .hist(MetricKey::node(node, "kernel", "csp_assembly_ns"))
+                    .expect("enabled"),
+            })
+        } else {
+            None
+        };
     }
 
     /// The configuration.
@@ -179,22 +231,38 @@ impl Kernel {
 
     /// Draw an ISR entry latency (step 6 → 7).
     pub fn isr_entry(&mut self) -> SimDuration {
-        self.cfg.isr_entry.draw(&mut self.rng)
+        let d = self.cfg.isr_entry.draw(&mut self.rng);
+        if let Some(o) = &self.obs {
+            o.isr_entry_ns.record(fs_to_ns(d.as_fs()));
+        }
+        d
     }
 
     /// Draw an ISR body duration.
     pub fn isr_body(&mut self) -> SimDuration {
-        self.cfg.isr_body.draw(&mut self.rng)
+        let d = self.cfg.isr_body.draw(&mut self.rng);
+        if let Some(o) = &self.obs {
+            o.isr_body_ns.record(fs_to_ns(d.as_fs()));
+        }
+        d
     }
 
     /// Draw a task dispatch latency.
     pub fn task_dispatch(&mut self) -> SimDuration {
-        self.cfg.task_dispatch.draw(&mut self.rng)
+        let d = self.cfg.task_dispatch.draw(&mut self.rng);
+        if let Some(o) = &self.obs {
+            o.dispatch_ns.record(fs_to_ns(d.as_fs()));
+        }
+        d
     }
 
     /// Draw a CSP assembly duration (step 1).
     pub fn csp_assembly(&mut self) -> SimDuration {
-        self.cfg.csp_assembly.draw(&mut self.rng)
+        let d = self.cfg.csp_assembly.draw(&mut self.rng);
+        if let Some(o) = &self.obs {
+            o.csp_assembly_ns.record(fs_to_ns(d.as_fs()));
+        }
+        d
     }
 }
 
@@ -260,7 +328,11 @@ impl ComcoDriver {
     pub fn deliver(&mut self, ethertype: u16, from: usize, payload: Vec<u8>) -> Option<Interface> {
         match Self::classify(ethertype) {
             Some(i) => {
-                self.queue_mut(i).push_back(Message { interface: i, from, payload });
+                self.queue_mut(i).push_back(Message {
+                    interface: i,
+                    from,
+                    payload,
+                });
                 self.rx_counts[Self::idx(i)] += 1;
                 Some(i)
             }
@@ -345,7 +417,9 @@ mod tests {
             tail: SimDuration::from_micros(1000),
         };
         let mut rng = SimRng::new(2);
-        let n_tail = (0..10_000).filter(|_| l.draw(&mut rng) > SimDuration::from_micros(10)).count();
+        let n_tail = (0..10_000)
+            .filter(|_| l.draw(&mut rng) > SimDuration::from_micros(10))
+            .count();
         assert!((300..700).contains(&n_tail), "tail hits = {n_tail}");
     }
 

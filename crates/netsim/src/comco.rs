@@ -38,7 +38,10 @@ pub struct Jitter {
 impl Jitter {
     /// A deterministic (jitter-free) delay.
     pub fn fixed(d: SimDuration) -> Jitter {
-        Jitter { base: d, spread: SimDuration::ZERO }
+        Jitter {
+            base: d,
+            spread: SimDuration::ZERO,
+        }
     }
 
     /// Draw one delay.
@@ -91,12 +94,24 @@ impl ComcoTiming {
     /// below 1 µs", the figure Section 4 reports for the two-node setup.
     pub fn i82596() -> Self {
         ComcoTiming {
-            cmd_latency: Jitter { base: SimDuration::from_micros(4), spread: SimDuration::from_micros(6) },
+            cmd_latency: Jitter {
+                base: SimDuration::from_micros(4),
+                spread: SimDuration::from_micros(6),
+            },
             bus_cycle: SimDuration::from_nanos(160),
-            arb_jitter: Jitter { base: SimDuration::from_nanos(0), spread: SimDuration::from_nanos(40) },
+            arb_jitter: Jitter {
+                base: SimDuration::from_nanos(0),
+                spread: SimDuration::from_nanos(40),
+            },
             tx_fifo_bytes: 8,
-            rx_store_latency: Jitter { base: SimDuration::from_micros(1), spread: SimDuration::from_nanos(250) },
-            rx_int_latency: Jitter { base: SimDuration::from_micros(2), spread: SimDuration::from_micros(8) },
+            rx_store_latency: Jitter {
+                base: SimDuration::from_micros(1),
+                spread: SimDuration::from_nanos(250),
+            },
+            rx_int_latency: Jitter {
+                base: SimDuration::from_micros(2),
+                spread: SimDuration::from_micros(8),
+            },
         }
     }
 
@@ -118,12 +133,24 @@ impl ComcoTiming {
     /// reproduce that negative result.
     pub fn onchip_storage() -> Self {
         ComcoTiming {
-            cmd_latency: Jitter { base: SimDuration::from_micros(5), spread: SimDuration::from_micros(10) },
+            cmd_latency: Jitter {
+                base: SimDuration::from_micros(5),
+                spread: SimDuration::from_micros(10),
+            },
             bus_cycle: SimDuration::from_nanos(160),
-            arb_jitter: Jitter { base: SimDuration::from_micros(50), spread: SimDuration::from_micros(900) },
+            arb_jitter: Jitter {
+                base: SimDuration::from_micros(50),
+                spread: SimDuration::from_micros(900),
+            },
             tx_fifo_bytes: 2048, // whole packet buffered on chip
-            rx_store_latency: Jitter { base: SimDuration::from_micros(100), spread: SimDuration::from_micros(800) },
-            rx_int_latency: Jitter { base: SimDuration::from_micros(2), spread: SimDuration::from_micros(8) },
+            rx_store_latency: Jitter {
+                base: SimDuration::from_micros(100),
+                spread: SimDuration::from_micros(800),
+            },
+            rx_int_latency: Jitter {
+                base: SimDuration::from_micros(2),
+                spread: SimDuration::from_micros(8),
+            },
         }
     }
 }
@@ -165,7 +192,11 @@ impl Comco {
     /// Create a COMCO with the given timing, attached to a channel of the
     /// given bit rate.
     pub fn new(timing: ComcoTiming, bitrate_bps: u64, rng: SimRng) -> Self {
-        Comco { timing, bitrate_bps, rng }
+        Comco {
+            timing,
+            bitrate_bps,
+            rng,
+        }
     }
 
     /// The timing parameters.
@@ -192,7 +223,9 @@ impl Comco {
             t += self.timing.bus_cycle + self.timing.arb_jitter.draw(&mut self.rng);
             reads.push(BusAccess { at: t, offset: off });
         }
-        TxPlan { header_reads: reads }
+        TxPlan {
+            header_reads: reads,
+        }
     }
 
     /// Plan the header writes + interrupt of a reception whose last wire
@@ -205,7 +238,10 @@ impl Comco {
             writes.push(BusAccess { at: t, offset: off });
         }
         let interrupt_at = t + self.timing.rx_int_latency.draw(&mut self.rng);
-        RxPlan { header_writes: writes, interrupt_at }
+        RxPlan {
+            header_writes: writes,
+            interrupt_at,
+        }
     }
 }
 
@@ -219,7 +255,10 @@ mod tests {
 
     #[test]
     fn jitter_draw_within_bounds() {
-        let j = Jitter { base: SimDuration::from_nanos(100), spread: SimDuration::from_nanos(50) };
+        let j = Jitter {
+            base: SimDuration::from_nanos(100),
+            spread: SimDuration::from_nanos(50),
+        };
         let mut rng = SimRng::new(1);
         for _ in 0..1000 {
             let d = j.draw(&mut rng);
@@ -271,7 +310,10 @@ mod tests {
         let mut b = Comco::new(ComcoTiming::ideal(), 10_000_000, SimRng::new(999));
         let pa = a.plan_transmit(SimTime::from_secs(1), 64);
         let pb = b.plan_transmit(SimTime::from_secs(1), 64);
-        assert_eq!(pa.header_reads, pb.header_reads, "no RNG dependence when ideal");
+        assert_eq!(
+            pa.header_reads, pb.header_reads,
+            "no RNG dependence when ideal"
+        );
     }
 
     #[test]
@@ -281,11 +323,19 @@ mod tests {
         for k in 0..200u64 {
             let p = c.plan_receive(SimTime::from_secs(k), 64);
             let trig = p.header_writes.iter().find(|a| a.offset == 0x1C).unwrap();
-            spread.push(trig.at.saturating_since(SimTime::from_secs(k)).as_micros_f64());
+            spread.push(
+                trig.at
+                    .saturating_since(SimTime::from_secs(k))
+                    .as_micros_f64(),
+            );
         }
         let min = spread.iter().copied().fold(f64::INFINITY, f64::min);
         let max = spread.iter().copied().fold(0.0f64, f64::max);
-        assert!(max - min > 100.0, "CAN-style COMCO must show >100us jitter, got {}", max - min);
+        assert!(
+            max - min > 100.0,
+            "CAN-style COMCO must show >100us jitter, got {}",
+            max - min
+        );
     }
 
     #[test]

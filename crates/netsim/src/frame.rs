@@ -54,7 +54,12 @@ pub enum FrameError {
 impl Frame {
     /// Build a CSP broadcast frame from node `src`.
     pub fn csp(src: [u8; 6], payload: Bytes) -> Frame {
-        Frame { dst: BROADCAST, src, ethertype: ETHERTYPE_CSP, payload }
+        Frame {
+            dst: BROADCAST,
+            src,
+            ethertype: ETHERTYPE_CSP,
+            payload,
+        }
     }
 
     /// A simple MAC address for node index `i`.
@@ -97,7 +102,12 @@ impl Frame {
         dst.copy_from_slice(&body[0..6]);
         src.copy_from_slice(&body[6..12]);
         let ethertype = u16::from_be_bytes([body[12], body[13]]);
-        Ok(Frame { dst, src, ethertype, payload: Bytes::copy_from_slice(&body[HEADER_LEN..]) })
+        Ok(Frame {
+            dst,
+            src,
+            ethertype,
+            payload: Bytes::copy_from_slice(&body[HEADER_LEN..]),
+        })
     }
 
     /// Total bits on the wire including preamble and FCS.
@@ -113,7 +123,11 @@ pub fn crc32(data: &[u8]) -> u32 {
     for &byte in data {
         crc ^= byte as u32;
         for _ in 0..8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
         }
     }
     !crc
@@ -132,7 +146,10 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let f = Frame::csp(Frame::mac(7), Bytes::from_static(b"interval data here padded.....................!"));
+        let f = Frame::csp(
+            Frame::mac(7),
+            Bytes::from_static(b"interval data here padded.....................!"),
+        );
         let wire = f.encode();
         let back = Frame::decode(&wire).expect("valid frame");
         assert_eq!(back.dst, BROADCAST);

@@ -15,8 +15,10 @@
 //! `wire_bits / bitrate`; propagation adds a fixed per-segment delay
 //! (a 10BASE bus of ≤ a few 100 m: tens to hundreds of ns).
 
+use nti_obs::{fs_to_ns, Counter, Gauge, Histogram, MetricKey, Payload, SimObserver, Subsystem};
 use nti_simcore::rng::SimRng;
 use nti_simcore::time::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Medium access behaviour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,7 +58,10 @@ impl MediumConfig {
 
     /// The same segment with an ideal (jitter-free) arbiter, for ablations.
     pub fn ideal_10m() -> Self {
-        MediumConfig { access: AccessModel::Ideal, ..Self::ethernet_10m() }
+        MediumConfig {
+            access: AccessModel::Ideal,
+            ..Self::ethernet_10m()
+        }
     }
 }
 
@@ -72,6 +77,20 @@ pub struct Grant {
     pub access_delay: SimDuration,
 }
 
+/// Pre-resolved observability handles for one segment (see
+/// [`Medium::attach_observer`]). Keyed by the LAN index so multi-segment
+/// topologies report per-LAN utilization separately.
+#[derive(Clone, Debug)]
+struct MediumObs {
+    obs: SimObserver,
+    lan: u32,
+    grants: Arc<Counter>,
+    deferrals: Arc<Counter>,
+    backoffs: Arc<Counter>,
+    access_delay_ns: Arc<Histogram>,
+    util_permille: Arc<Gauge>,
+}
+
 /// One shared-bus segment.
 #[derive(Clone, Debug)]
 pub struct Medium {
@@ -82,12 +101,53 @@ pub struct Medium {
     rng: SimRng,
     grants: u64,
     deferrals: u64,
+    /// Total channel-occupied time (serialization), for utilization.
+    busy_total: SimDuration,
+    obs: Option<MediumObs>,
 }
 
 impl Medium {
     /// A fresh idle segment.
     pub fn new(cfg: MediumConfig, rng: SimRng) -> Self {
-        Medium { cfg, busy_until: SimTime::ZERO, backoff_k: 0, rng, grants: 0, deferrals: 0 }
+        Medium {
+            cfg,
+            busy_until: SimTime::ZERO,
+            backoff_k: 0,
+            rng,
+            grants: 0,
+            deferrals: 0,
+            busy_total: SimDuration::ZERO,
+            obs: None,
+        }
+    }
+
+    /// Attach an observer; `lan` labels this segment's metrics. A disabled
+    /// observer detaches instrumentation (grants return to counter bumps
+    /// plus one branch).
+    pub fn attach_observer(&mut self, obs: &SimObserver, lan: u32) {
+        self.obs = if obs.is_enabled() {
+            Some(MediumObs {
+                obs: obs.clone(),
+                lan,
+                grants: obs
+                    .counter(MetricKey::node(lan, "net", "grants"))
+                    .expect("enabled"),
+                deferrals: obs
+                    .counter(MetricKey::node(lan, "net", "deferrals"))
+                    .expect("enabled"),
+                backoffs: obs
+                    .counter(MetricKey::node(lan, "net", "backoff_rounds"))
+                    .expect("enabled"),
+                access_delay_ns: obs
+                    .hist(MetricKey::node(lan, "net", "access_delay_ns"))
+                    .expect("enabled"),
+                util_permille: obs
+                    .gauge(MetricKey::node(lan, "net", "util_permille"))
+                    .expect("enabled"),
+            })
+        } else {
+            None
+        };
     }
 
     /// The configuration.
@@ -110,6 +170,7 @@ impl Medium {
     pub fn grant(&mut self, ready: SimTime, bits: u64) -> Grant {
         let contended = ready < self.busy_until;
         let mut start = if contended { self.busy_until } else { ready } + self.cfg.ifg;
+        let mut backoff_slots: Option<u64> = None;
         match self.cfg.access {
             AccessModel::Ideal => {
                 self.backoff_k = 0;
@@ -128,16 +189,81 @@ impl Medium {
                         self.backoff_k = (self.backoff_k + 1).min(5);
                         let slots = self.rng.below(1 << self.backoff_k);
                         start += self.cfg.slot_time * slots as u128;
+                        backoff_slots = Some(slots);
                     }
                 } else if self.backoff_k > 0 {
                     self.backoff_k -= 1;
                 }
             }
         }
-        let end = start + self.serialize(bits);
+        let serialize = self.serialize(bits);
+        let end = start + serialize;
         self.busy_until = end;
+        self.busy_total += serialize;
         self.grants += 1;
-        Grant { wire_start: start, wire_end: end, access_delay: start.saturating_since(ready) }
+        let access_delay = start.saturating_since(ready);
+        if let Some(o) = &self.obs {
+            o.grants.inc();
+            if contended {
+                o.deferrals.inc();
+            }
+            if backoff_slots.is_some() {
+                o.backoffs.inc();
+            }
+            o.access_delay_ns.record(fs_to_ns(access_delay.as_fs()));
+            if end.as_fs() > 0 {
+                o.util_permille
+                    .set((self.busy_total.as_fs() * 1000 / end.as_fs()) as i64);
+            }
+            if o.obs.tracing(Subsystem::Net) {
+                o.obs.span(
+                    start.as_fs(),
+                    access_delay.as_fs(),
+                    o.lan,
+                    Subsystem::Net,
+                    "medium_acquire",
+                );
+                o.obs.span(
+                    end.as_fs(),
+                    serialize.as_fs(),
+                    o.lan,
+                    Subsystem::Net,
+                    "serialize",
+                );
+                o.obs.span(
+                    (end + self.cfg.prop_delay).as_fs(),
+                    self.cfg.prop_delay.as_fs(),
+                    o.lan,
+                    Subsystem::Net,
+                    "propagate",
+                );
+                if let Some(slots) = backoff_slots {
+                    o.obs.event(
+                        start.as_fs(),
+                        o.lan,
+                        Subsystem::Net,
+                        "backoff",
+                        Payload::Value {
+                            value: slots as i64,
+                        },
+                    );
+                }
+            }
+        }
+        Grant {
+            wire_start: start,
+            wire_end: end,
+            access_delay,
+        }
+    }
+
+    /// Fraction of elapsed time the channel spent serializing frames, in
+    /// permille of `now` (0 before any traffic).
+    pub fn utilization_permille(&self, now: SimTime) -> u64 {
+        if now.as_fs() == 0 {
+            return 0;
+        }
+        (self.busy_total.as_fs() * 1000 / now.as_fs()) as u64
     }
 
     /// Counters for instrumentation: `(grants, deferrals)`.
@@ -151,7 +277,10 @@ mod tests {
     use super::*;
 
     fn medium(access: AccessModel) -> Medium {
-        let cfg = MediumConfig { access, ..MediumConfig::ethernet_10m() };
+        let cfg = MediumConfig {
+            access,
+            ..MediumConfig::ethernet_10m()
+        };
         Medium::new(cfg, SimRng::new(42))
     }
 
@@ -194,7 +323,10 @@ mod tests {
         }
         let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
         let max = delays.iter().copied().fold(0.0f64, f64::max);
-        assert!(max - min >= 40.0, "expected ≥ 1 slot of spread, got {min}..{max}");
+        assert!(
+            max - min >= 40.0,
+            "expected ≥ 1 slot of spread, got {min}..{max}"
+        );
     }
 
     #[test]
@@ -204,7 +336,8 @@ mod tests {
             let _ = m.grant(SimTime::from_secs(1), 10_000);
             let g = m.grant(SimTime::from_secs(1), 10_000);
             // Deterministic: exactly busy_until + ifg.
-            let expect = SimTime::from_secs(1) + m.config().ifg + m.serialize(10_000) + m.config().ifg;
+            let expect =
+                SimTime::from_secs(1) + m.config().ifg + m.serialize(10_000) + m.config().ifg;
             assert_eq!(g.wire_start, expect);
         }
     }

@@ -57,7 +57,10 @@ impl Topology {
                 attachments[id].push(lan);
             }
         }
-        Topology { members, attachments }
+        Topology {
+            members,
+            attachments,
+        }
     }
 
     /// A chain of `lans` segments with `per_lan` ordinary nodes each and
@@ -88,7 +91,10 @@ impl Topology {
                 }
             }
         }
-        Topology { members, attachments }
+        Topology {
+            members,
+            attachments,
+        }
     }
 
     /// Number of LAN segments.

@@ -95,7 +95,12 @@ pub struct WanPath {
 impl WanPath {
     /// Create a path.
     pub fn new(cfg: WanConfig, rng: SimRng) -> Self {
-        WanPath { cfg, rng, traversals: 0, congestions: 0 }
+        WanPath {
+            cfg,
+            rng,
+            traversals: 0,
+            congestions: 0,
+        }
     }
 
     /// The configuration.
@@ -148,8 +153,14 @@ mod tests {
     fn return_path_is_longer_on_average() {
         let mut p = path(WanConfig::internet_reasonable());
         let n = 4000;
-        let fwd: f64 = (0..n).map(|_| p.delay(Direction::Forward).as_secs_f64()).sum::<f64>() / n as f64;
-        let ret: f64 = (0..n).map(|_| p.delay(Direction::Return).as_secs_f64()).sum::<f64>() / n as f64;
+        let fwd: f64 = (0..n)
+            .map(|_| p.delay(Direction::Forward).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let ret: f64 = (0..n)
+            .map(|_| p.delay(Direction::Return).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!(ret > fwd + 0.002, "fwd {fwd} ret {ret}");
     }
 
@@ -157,13 +168,22 @@ mod tests {
     fn queueing_scales_with_hops_and_mean() {
         let light = {
             let mut p = path(WanConfig::internet_light());
-            (0..2000).map(|_| p.delay(Direction::Forward).as_secs_f64()).sum::<f64>() / 2000.0
+            (0..2000)
+                .map(|_| p.delay(Direction::Forward).as_secs_f64())
+                .sum::<f64>()
+                / 2000.0
         };
         let congested = {
             let mut p = path(WanConfig::internet_congested());
-            (0..2000).map(|_| p.delay(Direction::Forward).as_secs_f64()).sum::<f64>() / 2000.0
+            (0..2000)
+                .map(|_| p.delay(Direction::Forward).as_secs_f64())
+                .sum::<f64>()
+                / 2000.0
         };
-        assert!(congested > light * 5.0, "light {light} vs congested {congested}");
+        assert!(
+            congested > light * 5.0,
+            "light {light} vs congested {congested}"
+        );
     }
 
     #[test]

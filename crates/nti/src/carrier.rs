@@ -25,7 +25,9 @@ pub struct Carrier {
 impl Carrier {
     /// A carrier with the given number of (empty) slots.
     pub fn new(slots: usize) -> Self {
-        Carrier { slots: (0..slots).map(|_| None).collect() }
+        Carrier {
+            slots: (0..slots).map(|_| None).collect(),
+        }
     }
 
     /// Plug a module into a slot. Panics if occupied.
@@ -106,7 +108,10 @@ mod tests {
 
     fn module(vector: u16) -> Nti {
         let mut n = Nti::new(UtcsuConfig::default(), CpldConfig::default());
-        n.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
+        n.write32(
+            UTCSU_BASE + uregs::R_CTRL,
+            uregs::CTRL_SYNCRUN | uregs::CTRL_RUN,
+        );
         n.write32(UTCSU_BASE + uregs::R_INT_MASK, u32::MAX);
         n.io_write16(IO_VECTOR, vector);
         n.io_write16(IO_INT_ENABLE, 1);

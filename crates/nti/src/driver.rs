@@ -87,7 +87,10 @@ impl ScbDriver {
         nti.write32(CPU_BASE + cb, 0); // status
         nti.write32(CPU_BASE + cb + 0x4, CB_CMD_TRANSMIT);
         nti.write32(CPU_BASE + cb + 0x8, 0); // end of list
-        nti.write32(CPU_BASE + cb + 0xC, (header_slot << 16) | (payload_len & 0xFFFF));
+        nti.write32(
+            CPU_BASE + cb + 0xC,
+            (header_slot << 16) | (payload_len & 0xFFFF),
+        );
         // Link: if the CBL head is empty, install; otherwise append to the
         // last pending block.
         let head = nti.read32(CPU_BASE + SYS_STRUCT_BASE + SCB_CBL);
@@ -123,8 +126,7 @@ impl ScbDriver {
 
     /// Whether a command block completed successfully.
     pub fn is_complete(&self, nti: &mut Nti, cb_addr: u32) -> bool {
-        nti.read32(CPU_BASE + cb_addr) & (CB_ST_COMPLETE | CB_ST_OK)
-            == (CB_ST_COMPLETE | CB_ST_OK)
+        nti.read32(CPU_BASE + cb_addr) & (CB_ST_COMPLETE | CB_ST_OK) == (CB_ST_COMPLETE | CB_ST_OK)
     }
 }
 
@@ -182,7 +184,14 @@ mod tests {
         let cb = drv.queue_transmit(&mut n, 3, 48);
         assert!(!drv.is_complete(&mut n, cb));
         let orders = comco_service(&mut n);
-        assert_eq!(orders, vec![TxOrder { header_slot: 3, payload_len: 48, cb_addr: cb }]);
+        assert_eq!(
+            orders,
+            vec![TxOrder {
+                header_slot: 3,
+                payload_len: 48,
+                cb_addr: cb
+            }]
+        );
         assert!(drv.is_complete(&mut n, cb));
         assert!(drv.ack_interrupt(&mut n), "completion interrupt pending");
         assert!(!drv.ack_interrupt(&mut n), "acknowledged");
@@ -217,7 +226,10 @@ mod tests {
         // stale CU start already consumed:
         let _ = drv.queue_transmit(&mut n, 0, 48);
         let _ = comco_service(&mut n);
-        assert!(comco_service(&mut n).is_empty(), "CBL cleared after service");
+        assert!(
+            comco_service(&mut n).is_empty(),
+            "CBL cleared after service"
+        );
     }
 
     #[test]
@@ -240,7 +252,10 @@ mod tests {
         let mut drv = ScbDriver::default();
         drv.init(&mut n);
         let cb = drv.queue_transmit(&mut n, 0, 48);
-        assert!(cb < crate::DATA_BUF_BASE, "command blocks stay below the data buffers");
+        assert!(
+            cb < crate::DATA_BUF_BASE,
+            "command blocks stay below the data buffers"
+        );
         // COMCO-region accesses to System Structures must not fire triggers.
         assert!(!n.utcsu().ssu[0].receive.valid());
         assert!(!n.utcsu().ssu[0].transmit.valid());

@@ -142,7 +142,10 @@ pub struct Nti {
 impl Nti {
     /// Build an NTI around a UTCSU with the given configurations.
     pub fn new(utcsu_cfg: UtcsuConfig, cpld: CpldConfig) -> Self {
-        assert!(cpld.header_len.is_power_of_two(), "header length must be a power of two");
+        assert!(
+            cpld.header_len.is_power_of_two(),
+            "header length must be a power of two"
+        );
         Nti {
             mem: vec![0u8; MEM_SIZE].into_boxed_slice(),
             utcsu: Utcsu::new(utcsu_cfg),
@@ -179,7 +182,10 @@ impl Nti {
     /// 32-bit memory-space read at `addr` (any bus master; the region
     /// distinguishes CPU from COMCO accesses, exactly as the CPLD does).
     pub fn read32(&mut self, addr: u32) -> u32 {
-        assert!(addr.is_multiple_of(4), "unaligned longword read at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(4),
+            "unaligned longword read at {addr:#x}"
+        );
         match addr {
             a if a < CPU_BASE => self.comco_read32(a),
             a if a < CPU_BASE + MEM_SIZE as u32 => self.ram_read32(a - CPU_BASE),
@@ -190,7 +196,10 @@ impl Nti {
 
     /// 32-bit memory-space write.
     pub fn write32(&mut self, addr: u32, v: u32) {
-        assert!(addr.is_multiple_of(4), "unaligned longword write at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(4),
+            "unaligned longword write at {addr:#x}"
+        );
         match addr {
             a if a < CPU_BASE => self.comco_write32(a, v),
             a if a < CPU_BASE + MEM_SIZE as u32 => self.ram_write32(a - CPU_BASE, v),
@@ -320,14 +329,20 @@ impl Nti {
     /// the COMCO view.
     pub fn rx_header_addr(&self, i: u32) -> u32 {
         let a = RX_HDR_BASE + i * self.cpld.header_len;
-        assert!(a < RX_HDR_BASE + RX_HDR_SIZE, "receive header index out of range");
+        assert!(
+            a < RX_HDR_BASE + RX_HDR_SIZE,
+            "receive header index out of range"
+        );
         a
     }
 
     /// Convenience for drivers: the `i`-th transmit header's base address.
     pub fn tx_header_addr(&self, i: u32) -> u32 {
         let a = TX_HDR_BASE + i * self.cpld.header_len;
-        assert!(a < TX_HDR_BASE + TX_HDR_SIZE, "transmit header index out of range");
+        assert!(
+            a < TX_HDR_BASE + TX_HDR_SIZE,
+            "transmit header index out of range"
+        );
         a
     }
 
@@ -372,7 +387,11 @@ mod tests {
         n.write32(CPU_BASE + 0x1000, 0xCAFE_BABE);
         assert_eq!(n.read32(0x1000), 0xCAFE_BABE, "COMCO view sees CPU write");
         n.write32(0x2000, 0x1234_5678);
-        assert_eq!(n.read32(CPU_BASE + 0x2000), 0x1234_5678, "CPU view sees COMCO write");
+        assert_eq!(
+            n.read32(CPU_BASE + 0x2000),
+            0x1234_5678,
+            "CPU view sees COMCO write"
+        );
     }
 
     #[test]
@@ -382,10 +401,16 @@ mod tests {
         // no triggers fire.
         let rx = n.rx_header_addr(0);
         n.write32(CPU_BASE + rx + 0x1C, 0xDEAD);
-        assert!(!n.utcsu().ssu[0].receive.valid(), "CPU write must not trigger");
+        assert!(
+            !n.utcsu().ssu[0].receive.valid(),
+            "CPU write must not trigger"
+        );
         let tx = n.tx_header_addr(0);
         let _ = n.read32(CPU_BASE + tx + 0x14);
-        assert!(!n.utcsu().ssu[0].transmit.valid(), "CPU read must not trigger");
+        assert!(
+            !n.utcsu().ssu[0].transmit.valid(),
+            "CPU read must not trigger"
+        );
     }
 
     #[test]
@@ -513,7 +538,11 @@ mod tests {
 
     #[test]
     fn custom_cpld_offsets_respected() {
-        let cpld = CpldConfig { rcv_trigger_off: 0x08, xmt_trigger_off: 0x0C, ..CpldConfig::default() };
+        let cpld = CpldConfig {
+            rcv_trigger_off: 0x08,
+            xmt_trigger_off: 0x0C,
+            ..CpldConfig::default()
+        };
         let mut n = Nti::new(UtcsuConfig::default(), cpld);
         n.write32(UTCSU_BASE + R_CTRL, CTRL_SYNCRUN | CTRL_RUN);
         n.write32(n.rx_header_addr(0) + 0x1C, 0);

@@ -25,10 +25,10 @@ impl SProm {
         // Sync word per MUMM convention.
         data[0] = 0x53; // 'S'
         data[1] = 0x4D; // 'M'
-        // Module id: fabricated id for the NTI MA-Module.
+                        // Module id: fabricated id for the NTI MA-Module.
         data[2] = 0x00;
         data[3] = 0x4E; // 'N'
-        // Revision 1.0
+                        // Revision 1.0
         data[4] = 0x01;
         data[5] = 0x00;
         // Vendor/product string.

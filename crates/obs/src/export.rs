@@ -1,0 +1,164 @@
+//! Trace exporters: JSONL (one event object per line) and Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` / Perfetto).
+
+use crate::json::Json;
+use crate::trace::{Payload, TraceEvent, GLOBAL_NODE};
+use std::io::{self, Write};
+
+fn fs_to_us(fs: u128) -> f64 {
+    fs as f64 / 1e9
+}
+
+fn event_obj(ev: &TraceEvent) -> Json {
+    let mut pairs: Vec<(&str, Json)> = vec![
+        // u128 femtoseconds exceed the exact range of a JSON number, so the
+        // timestamp is exported as a decimal string.
+        ("t_fs", Json::str(ev.sim_time_fs.to_string())),
+        (
+            "node",
+            if ev.node == GLOBAL_NODE {
+                Json::Null
+            } else {
+                Json::num(ev.node)
+            },
+        ),
+        ("sub", Json::str(ev.subsystem.name())),
+        ("kind", Json::str(ev.kind)),
+    ];
+    match ev.payload {
+        Payload::Instant => {}
+        Payload::Span { dur_fs } => pairs.push(("dur_fs", Json::str(dur_fs.to_string()))),
+        Payload::Value { value } => pairs.push(("value", Json::num(value as f64))),
+    }
+    Json::obj(pairs)
+}
+
+/// Write events as JSON Lines: one self-contained object per line, oldest
+/// first. Timestamps are decimal femtosecond strings (exact).
+pub fn write_jsonl<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
+    for ev in events {
+        writeln!(w, "{}", event_obj(ev))?;
+    }
+    Ok(())
+}
+
+/// Write events in Chrome `trace_event` format (the JSON-array form).
+///
+/// Mapping: spans become complete events (`ph:"X"`, `ts` = span start),
+/// instants become `ph:"i"`, values become counter samples (`ph:"C"`).
+/// `pid` is the node (`0` for global events, which Chrome requires to be a
+/// number) and `tid` is the subsystem, so the viewer groups tracks by
+/// node → subsystem. Timestamps are microseconds as Chrome expects.
+pub fn write_chrome<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
+    write!(w, "[")?;
+    let mut first = true;
+    for ev in events {
+        let pid = if ev.node == GLOBAL_NODE {
+            0
+        } else {
+            ev.node + 1
+        };
+        let mut pairs: Vec<(&str, Json)> = vec![
+            ("name", Json::str(ev.kind)),
+            ("cat", Json::str(ev.subsystem.name())),
+            ("pid", Json::num(pid)),
+            ("tid", Json::str(ev.subsystem.name())),
+        ];
+        match ev.payload {
+            Payload::Instant => {
+                pairs.push(("ph", Json::str("i")));
+                pairs.push(("ts", Json::num(fs_to_us(ev.sim_time_fs))));
+                pairs.push(("s", Json::str("t")));
+            }
+            Payload::Span { dur_fs } => {
+                let start = ev.sim_time_fs.saturating_sub(dur_fs);
+                pairs.push(("ph", Json::str("X")));
+                pairs.push(("ts", Json::num(fs_to_us(start))));
+                pairs.push(("dur", Json::num(fs_to_us(dur_fs))));
+            }
+            Payload::Value { value } => {
+                pairs.push(("ph", Json::str("C")));
+                pairs.push(("ts", Json::num(fs_to_us(ev.sim_time_fs))));
+                pairs.push(("args", Json::obj([("value", Json::num(value as f64))])));
+            }
+        }
+        if !first {
+            write!(w, ",")?;
+        }
+        first = false;
+        write!(w, "{}", Json::obj(pairs))?;
+    }
+    writeln!(w, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Subsystem;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                sim_time_fs: 1_000_000_000, // 1 µs
+                node: 0,
+                subsystem: Subsystem::Engine,
+                kind: "event_fired",
+                payload: Payload::Instant,
+            },
+            TraceEvent {
+                sim_time_fs: 5_000_000_000,
+                node: 1,
+                subsystem: Subsystem::Net,
+                kind: "serialize",
+                payload: Payload::Span {
+                    dur_fs: 2_000_000_000,
+                },
+            },
+            TraceEvent {
+                sim_time_fs: 6_000_000_000,
+                node: GLOBAL_NODE,
+                subsystem: Subsystem::Cluster,
+                kind: "round",
+                payload: Payload::Value { value: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_events(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let j = Json::parse(line).expect("each line is a JSON object");
+            assert!(j.get("kind").is_some());
+            assert!(j.get("t_fs").and_then(Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_one_json_array() {
+        let mut buf = Vec::new();
+        write_chrome(&sample_events(), &mut buf).unwrap();
+        let j = Json::parse(std::str::from_utf8(&buf).unwrap()).expect("valid JSON");
+        let arr = j.as_arr().expect("array");
+        assert_eq!(arr.len(), 3);
+        // Span event: ts = start (3 µs), dur = 2 µs.
+        let span = &arr[1];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(2.0));
+        // Counter event carries args.value.
+        let ctr = &arr[2];
+        assert_eq!(ctr.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            ctr.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+    }
+}

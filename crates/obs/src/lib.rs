@@ -1,0 +1,41 @@
+//! # nti-obs — sim-wide observability
+//!
+//! The observability subsystem shared by every crate in the NTI
+//! reproduction:
+//!
+//! * [`metrics`] — a typed metric registry: [`Counter`]s, [`Gauge`]s and
+//!   log-linear HDR [`Histogram`]s keyed by `(node, subsystem, name)`,
+//!   interned to compact [`MetricId`]s. Recording is lock-free
+//!   (`AtomicU64` relaxed) and histograms merge exactly across nodes and
+//!   shards.
+//! * [`trace`] — structured event tracing: a bounded pre-allocated ring of
+//!   `Copy` [`TraceEvent`]s with per-[`Subsystem`] enable masks; the
+//!   fully-disabled path costs one branch.
+//! * [`export`] — trace exporters for JSONL and Chrome `trace_event`
+//!   format (`chrome://tracing` / Perfetto).
+//! * [`quantile`] — the workspace's **single** quantile implementation
+//!   (nearest-rank); `nti_simcore::stats` and the experiment harness both
+//!   delegate here.
+//! * [`observer`] — [`SimObserver`], the cheap clonable handle threaded
+//!   through the engine, network, kernel, UTCSU and cluster layers.
+//! * [`json`] — a dependency-free JSON value used by the exporters and
+//!   the experiment harness.
+//!
+//! This crate sits at the bottom of the workspace dependency graph and
+//! depends on nothing outside `std`.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod quantile;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use json::Json;
+pub use metrics::{Counter, Gauge, MetricId, MetricKey, Registry};
+pub use observer::{fs_to_ns, ObsCore, SimObserver};
+pub use trace::{Payload, Subsystem, TraceEvent, Tracer, GLOBAL_NODE};

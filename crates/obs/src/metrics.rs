@@ -1,0 +1,402 @@
+//! The typed metric registry.
+//!
+//! Metrics are identified by a [`MetricKey`] — `(node, subsystem, name)`
+//! with `&'static str` labels — and interned on first registration: asking
+//! for the same key twice returns a handle to the same underlying metric.
+//! Handles are `Arc`s around atomics ([`Counter`], [`Gauge`]) or a
+//! [`Histogram`], so the hot path touches no locks; the registry lock is
+//! taken only at registration and reporting time.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one metric. Ordering (node, then subsystem, then name)
+/// drives the summary-table sort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Owning node, or `None` for cluster-global metrics.
+    pub node: Option<u32>,
+    /// Subsystem label, e.g. `"engine"` or `"net"`.
+    pub subsystem: &'static str,
+    /// Metric name, e.g. `"events_fired"` or `"isr_latency_ns"`.
+    pub name: &'static str,
+}
+
+impl MetricKey {
+    /// A cluster-global key.
+    pub fn global(subsystem: &'static str, name: &'static str) -> MetricKey {
+        MetricKey {
+            node: None,
+            subsystem,
+            name,
+        }
+    }
+
+    /// A per-node key.
+    pub fn node(node: u32, subsystem: &'static str, name: &'static str) -> MetricKey {
+        MetricKey {
+            node: Some(node),
+            subsystem,
+            name,
+        }
+    }
+
+    fn render(&self) -> String {
+        match self.node {
+            Some(n) => format!("n{n}/{}/{}", self.subsystem, self.name),
+            None => format!("*/{}/{}", self.subsystem, self.name),
+        }
+    }
+}
+
+/// Compact interned id for a registered metric (index into the registry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MetricId(pub u32);
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-value gauge (signed, so it can hold offsets and drifts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Hist(Arc<Histogram>),
+}
+
+/// The metric registry: interns [`MetricKey`]s and owns the metric
+/// storage. Cheap to share (`Arc` it, or keep it inside an
+/// [`crate::observer::SimObserver`]).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_key: BTreeMap<MetricKey, MetricId>,
+    entries: Vec<(MetricKey, Metric)>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn intern<F: FnOnce() -> Metric>(&self, key: MetricKey, make: F) -> (MetricId, Metric) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(&id) = inner.by_key.get(&key) {
+            return (id, inner.entries[id.0 as usize].1.clone());
+        }
+        let id = MetricId(inner.entries.len() as u32);
+        let metric = make();
+        inner.by_key.insert(key, id);
+        inner.entries.push((key, metric.clone()));
+        (id, metric)
+    }
+
+    /// Get-or-create the counter for `key`.
+    pub fn counter(&self, key: MetricKey) -> Arc<Counter> {
+        match self
+            .intern(key, || Metric::Counter(Arc::new(Counter::default())))
+            .1
+        {
+            Metric::Counter(c) => c,
+            other => panic!("metric {} already registered as {other:?}", key.render()),
+        }
+    }
+
+    /// Get-or-create the gauge for `key`.
+    pub fn gauge(&self, key: MetricKey) -> Arc<Gauge> {
+        match self
+            .intern(key, || Metric::Gauge(Arc::new(Gauge::default())))
+            .1
+        {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {} already registered as {other:?}", key.render()),
+        }
+    }
+
+    /// Get-or-create the histogram for `key`. Histograms conventionally
+    /// record **nanoseconds** for latency metrics (name them `*_ns`).
+    pub fn hist(&self, key: MetricKey) -> Arc<Histogram> {
+        match self
+            .intern(key, || Metric::Hist(Arc::new(Histogram::new())))
+            .1
+        {
+            Metric::Hist(h) => h,
+            other => panic!("metric {} already registered as {other:?}", key.render()),
+        }
+    }
+
+    /// The interned id for `key`, if it has been registered.
+    pub fn id_of(&self, key: MetricKey) -> Option<MetricId> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .by_key
+            .get(&key)
+            .copied()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").entries.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up an already-registered histogram.
+    pub fn find_hist(&self, key: MetricKey) -> Option<Arc<Histogram>> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let id = *inner.by_key.get(&key)?;
+        match &inner.entries[id.0 as usize].1 {
+            Metric::Hist(h) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Look up an already-registered counter.
+    pub fn find_counter(&self, key: MetricKey) -> Option<Arc<Counter>> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let id = *inner.by_key.get(&key)?;
+        match &inner.entries[id.0 as usize].1 {
+            Metric::Counter(c) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// Merge every per-node histogram named `(subsystem, name)` — plus the
+    /// global one, if any — into a single cluster-wide histogram.
+    pub fn merged_hist(&self, subsystem: &str, name: &str) -> Histogram {
+        let out = Histogram::new();
+        let inner = self.inner.lock().expect("registry poisoned");
+        for (key, metric) in &inner.entries {
+            if key.subsystem == subsystem && key.name == name {
+                if let Metric::Hist(h) = metric {
+                    out.merge(h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the human-readable summary table: counters and gauges first,
+    /// then one `p50/p90/p99/p999/max` quantile line per histogram.
+    /// Histogram values are printed as recorded (by convention,
+    /// nanoseconds for `*_ns` metrics).
+    pub fn summary_table(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut scalars: Vec<(MetricKey, String)> = Vec::new();
+        let mut hists: Vec<(MetricKey, &Histogram)> = Vec::new();
+        for (key, metric) in &inner.entries {
+            match metric {
+                Metric::Counter(c) => scalars.push((*key, c.get().to_string())),
+                Metric::Gauge(g) => scalars.push((*key, g.get().to_string())),
+                Metric::Hist(h) => hists.push((*key, h)),
+            }
+        }
+        scalars.sort_by_key(|(k, _)| *k);
+        hists.sort_by_key(|(k, _)| *k);
+
+        let mut out = String::new();
+        if !scalars.is_empty() {
+            let w = scalars
+                .iter()
+                .map(|(k, _)| k.render().len())
+                .max()
+                .unwrap_or(0);
+            let _ = writeln!(out, "{:w$}  value", "metric", w = w);
+            for (k, v) in &scalars {
+                let _ = writeln!(out, "{:w$}  {v}", k.render(), w = w);
+            }
+        }
+        if !hists.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let w = hists
+                .iter()
+                .map(|(k, _)| k.render().len())
+                .max()
+                .unwrap_or(0)
+                .max(9);
+            let _ = writeln!(
+                out,
+                "{:w$}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram",
+                "count",
+                "p50",
+                "p90",
+                "p99",
+                "p999",
+                "max",
+                w = w
+            );
+            for (k, h) in &hists {
+                let (p50, p90, p99, p999, max) = h.quantile_line();
+                let _ = writeln!(
+                    out,
+                    "{:w$}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    k.render(),
+                    h.count(),
+                    p50,
+                    p90,
+                    p99,
+                    p999,
+                    max,
+                    w = w
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics registered)\n");
+        }
+        out
+    }
+
+    /// Machine-readable dump of every metric.
+    pub fn to_json(&self) -> Json {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut arr = Vec::with_capacity(inner.entries.len());
+        for (key, metric) in &inner.entries {
+            let mut obj: Vec<(&str, Json)> = vec![
+                (
+                    "node",
+                    match key.node {
+                        Some(n) => Json::num(n),
+                        None => Json::Null,
+                    },
+                ),
+                ("subsystem", Json::str(key.subsystem)),
+                ("name", Json::str(key.name)),
+            ];
+            match metric {
+                Metric::Counter(c) => {
+                    obj.push(("type", Json::str("counter")));
+                    obj.push(("value", Json::num(c.get() as f64)));
+                }
+                Metric::Gauge(g) => {
+                    obj.push(("type", Json::str("gauge")));
+                    obj.push(("value", Json::num(g.get() as f64)));
+                }
+                Metric::Hist(h) => {
+                    let (p50, p90, p99, p999, max) = h.quantile_line();
+                    obj.push(("type", Json::str("hist")));
+                    obj.push(("count", Json::num(h.count() as f64)));
+                    obj.push(("mean", Json::num(h.mean())));
+                    obj.push(("p50", Json::num(p50 as f64)));
+                    obj.push(("p90", Json::num(p90 as f64)));
+                    obj.push(("p99", Json::num(p99 as f64)));
+                    obj.push(("p999", Json::num(p999 as f64)));
+                    obj.push(("max", Json::num(max as f64)));
+                }
+            }
+            arr.push(Json::obj(obj));
+        }
+        Json::Arr(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter(MetricKey::global("engine", "events"));
+        let b = r.counter(MetricKey::global("engine", "events"));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.id_of(MetricKey::global("engine", "events")),
+            Some(MetricId(0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter(MetricKey::global("net", "x"));
+        let _ = r.gauge(MetricKey::global("net", "x"));
+    }
+
+    #[test]
+    fn merged_hist_combines_nodes() {
+        let r = Registry::new();
+        r.hist(MetricKey::node(0, "kernel", "isr_ns")).record(100);
+        r.hist(MetricKey::node(1, "kernel", "isr_ns")).record(300);
+        let m = r.merged_hist("kernel", "isr_ns");
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.max(), 300);
+    }
+
+    #[test]
+    fn summary_table_mentions_everything() {
+        let r = Registry::new();
+        r.counter(MetricKey::global("engine", "events_fired"))
+            .add(7);
+        r.gauge(MetricKey::node(2, "net", "util_permille")).set(412);
+        r.hist(MetricKey::node(0, "kernel", "isr_ns")).record(50);
+        let t = r.summary_table();
+        assert!(t.contains("events_fired"));
+        assert!(t.contains("util_permille"));
+        assert!(t.contains("isr_ns"));
+        assert!(t.contains("p999"));
+    }
+}

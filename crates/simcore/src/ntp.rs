@@ -51,7 +51,9 @@ impl NtpTime {
 
     /// Construct from a raw 91-bit value (masked).
     pub const fn from_raw(raw: u128) -> Self {
-        NtpTime { raw: raw & RAW_MASK }
+        NtpTime {
+            raw: raw & RAW_MASK,
+        }
     }
     /// The raw 91-bit value.
     pub const fn raw(self) -> u128 {
@@ -60,7 +62,9 @@ impl NtpTime {
 
     /// Construct from whole seconds.
     pub const fn from_secs(s: u32) -> Self {
-        NtpTime { raw: (s as u128) << FRAC_BITS }
+        NtpTime {
+            raw: (s as u128) << FRAC_BITS,
+        }
     }
 
     /// Convert a point on the real-time axis into the corresponding clock
@@ -224,7 +228,12 @@ impl Macrostamp {
 
 impl fmt::Debug for Macrostamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MS(high={:#08x}, ck={:#04x})", self.high_secs(), self.checksum())
+        write!(
+            f,
+            "MS(high={:#08x}, ck={:#04x})",
+            self.high_secs(),
+            self.checksum()
+        )
     }
 }
 
@@ -376,7 +385,10 @@ mod tests {
     fn accuracy_saturates() {
         let a = Accuracy::from_duration_ceil(SimDuration::from_secs(1));
         assert_eq!(a, Accuracy::MAX);
-        assert_eq!(Accuracy(60000).saturating_add(Accuracy(60000)), Accuracy::MAX);
+        assert_eq!(
+            Accuracy(60000).saturating_add(Accuracy(60000)),
+            Accuracy::MAX
+        );
         assert_eq!(Accuracy(5).saturating_sub(Accuracy(9)), Accuracy::ZERO);
     }
 

@@ -79,7 +79,9 @@ impl DriftModel {
         match *self {
             DriftModel::Constant { rho_ppm } => rho_ppm.abs(),
             DriftModel::RandomWalk { rho_max_ppm, .. } => rho_max_ppm,
-            DriftModel::Temperature { mean_ppm, amp_ppm, .. } => mean_ppm.abs() + amp_ppm.abs(),
+            DriftModel::Temperature {
+                mean_ppm, amp_ppm, ..
+            } => mean_ppm.abs() + amp_ppm.abs(),
         }
     }
 
@@ -128,9 +130,11 @@ impl Oscillator {
             "oscillator frequency must be positive"
         );
         let walk_rho_ppm = match model {
-            DriftModel::RandomWalk { initial_ppm, rho_max_ppm, .. } => {
-                initial_ppm.clamp(-rho_max_ppm, rho_max_ppm)
-            }
+            DriftModel::RandomWalk {
+                initial_ppm,
+                rho_max_ppm,
+                ..
+            } => initial_ppm.clamp(-rho_max_ppm, rho_max_ppm),
             _ => 0.0,
         };
         let seg_ticks = model.segment_ticks(nominal_hz);
@@ -170,12 +174,22 @@ impl Oscillator {
     fn draw_rho(&mut self, t_as: u128) -> f64 {
         match self.model {
             DriftModel::Constant { rho_ppm } => rho_ppm,
-            DriftModel::RandomWalk { rho_max_ppm, step_sigma_ppb, .. } => {
+            DriftModel::RandomWalk {
+                rho_max_ppm,
+                step_sigma_ppb,
+                ..
+            } => {
                 let step = self.rng.gauss() * step_sigma_ppb / 1000.0;
                 self.walk_rho_ppm = (self.walk_rho_ppm + step).clamp(-rho_max_ppm, rho_max_ppm);
                 self.walk_rho_ppm
             }
-            DriftModel::Temperature { mean_ppm, amp_ppm, period, phase, .. } => {
+            DriftModel::Temperature {
+                mean_ppm,
+                amp_ppm,
+                period,
+                phase,
+                ..
+            } => {
                 let t_s = t_as as f64 / AS_PER_SEC as f64;
                 let omega = 2.0 * std::f64::consts::PI / period.as_secs_f64().max(1e-9);
                 mean_ppm + amp_ppm * (omega * t_s + phase).sin()
@@ -289,7 +303,12 @@ mod tests {
     use super::*;
 
     fn perfect_10mhz() -> Oscillator {
-        Oscillator::new(10_000_000, DriftModel::perfect(), SimRng::new(1), SimTime::ZERO)
+        Oscillator::new(
+            10_000_000,
+            DriftModel::perfect(),
+            SimRng::new(1),
+            SimTime::ZERO,
+        )
     }
 
     #[test]

@@ -10,11 +10,7 @@
 //!   existing consumers (no accidental coupling through a shared stream).
 //!
 //! The generator is SplitMix64 — tiny, fast, and statistically adequate for
-//! simulation jitter (this is not a cryptographic context). The `rand`
-//! crate's `RngCore` is implemented so the harness can plug into generic
-//! `rand` utilities where convenient.
-
-use rand::RngCore;
+//! simulation jitter (this is not a cryptographic context).
 
 /// A splittable SplitMix64 PRNG.
 #[derive(Clone, Debug)]
@@ -35,7 +31,10 @@ fn mix64(mut z: u64) -> u64 {
 impl SimRng {
     /// Seed a new root generator.
     pub fn new(seed: u64) -> Self {
-        SimRng { state: mix64(seed ^ GOLDEN_GAMMA), gauss_spare: None }
+        SimRng {
+            state: mix64(seed ^ GOLDEN_GAMMA),
+            gauss_spare: None,
+        }
     }
 
     /// Derive an independent child stream from a textual label. Idempotent:
@@ -47,13 +46,19 @@ impl SimRng {
             h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
             h = h.rotate_left(23);
         }
-        SimRng { state: mix64(h), gauss_spare: None }
+        SimRng {
+            state: mix64(h),
+            gauss_spare: None,
+        }
     }
 
     /// Derive an independent child stream from an index (e.g. per-node).
     pub fn split_idx(&self, label: &str, idx: u64) -> SimRng {
         let base = self.split(label);
-        SimRng { state: mix64(base.state ^ idx.wrapping_mul(GOLDEN_GAMMA)), gauss_spare: None }
+        SimRng {
+            state: mix64(base.state ^ idx.wrapping_mul(GOLDEN_GAMMA)),
+            gauss_spare: None,
+        }
     }
 
     /// Next raw 64-bit draw.
@@ -138,22 +143,18 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
+impl SimRng {
+    /// Next 32-bit draw (high half of the 64-bit state, which mixes best).
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_u64_raw() >> 32) as u32
     }
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_raw()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+
+    /// Fill a byte slice with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let v = self.next_u64_raw().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -174,7 +175,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..32).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..32)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 

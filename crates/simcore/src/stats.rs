@@ -75,20 +75,21 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// The `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank; 0 for empty.
+    /// The `p`-th percentile (0 ≤ p ≤ 100); 0 for empty. The rank rule is
+    /// the workspace-wide one defined in `nti_obs::quantile`.
     pub fn percentile(&mut self, p: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
-        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
-        self.samples[rank.min(self.samples.len() - 1)]
+        nti_obs::quantile::percentile_sorted(&self.samples, p)
     }
 
     /// Median (50th percentile).
@@ -132,7 +133,13 @@ impl Histogram {
     pub fn log(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(lo > 0.0 && hi > lo && buckets > 0);
         let ratio = (hi / lo).powf(1.0 / buckets as f64);
-        Histogram { lo, ratio, counts: vec![0; buckets], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            ratio,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Record one sample.
@@ -166,7 +173,10 @@ impl Histogram {
 
     /// Iterate `(bucket_lower_edge, count)` pairs.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.counts.iter().enumerate().map(move |(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
     }
 
     /// ASCII rendering for experiment logs: one line per non-empty bucket.
@@ -174,7 +184,11 @@ impl Histogram {
         let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         if self.underflow > 0 {
-            out.push_str(&format!("  <{:>10.3}{unit} {:>8}\n", self.lo / scale, self.underflow));
+            out.push_str(&format!(
+                "  <{:>10.3}{unit} {:>8}\n",
+                self.lo / scale,
+                self.underflow
+            ));
         }
         for (edge, c) in self.buckets() {
             if c == 0 {
@@ -184,7 +198,11 @@ impl Histogram {
             out.push_str(&format!("  {:>11.3}{unit} {:>8} {bar}\n", edge / scale, c));
         }
         if self.overflow > 0 {
-            out.push_str(&format!(" >={:>10.3}{unit} {:>8}\n", self.lo * self.ratio.powi(self.counts.len() as i32) / scale, self.overflow));
+            out.push_str(&format!(
+                " >={:>10.3}{unit} {:>8}\n",
+                self.lo * self.ratio.powi(self.counts.len() as i32) / scale,
+                self.overflow
+            ));
         }
         out
     }

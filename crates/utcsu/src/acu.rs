@@ -73,7 +73,10 @@ impl Default for Acu {
 impl Acu {
     /// Both cells zero, no deterioration programmed.
     pub fn new() -> Self {
-        Acu { minus: Cell { acc: 0, dstep: 0 }, plus: Cell { acc: 0, dstep: 0 } }
+        Acu {
+            minus: Cell { acc: 0, dstep: 0 },
+            plus: Cell { acc: 0, dstep: 0 },
+        }
     }
 
     /// Apply `n` oscillator ticks of deterioration.
@@ -84,7 +87,10 @@ impl Acu {
 
     /// Current (α⁻, α⁺) register values.
     pub fn alpha(&self) -> (Accuracy, Accuracy) {
-        (Accuracy(self.minus.register()), Accuracy(self.plus.register()))
+        (
+            Accuracy(self.minus.register()),
+            Accuracy(self.plus.register()),
+        )
     }
 
     /// The packed 32-bit ALPHA register: α⁻ in the low half, α⁺ in the high.

@@ -42,14 +42,21 @@ impl Btu {
     /// Feed one time sample into the blocksum and signature accumulators.
     pub fn accumulate(&mut self, t: NtpTime) {
         let v = t.ntp56();
-        self.blocksum = self.blocksum.wrapping_add((v & 0xFFFF_FFFF) as u32).wrapping_add((v >> 32) as u32);
+        self.blocksum = self
+            .blocksum
+            .wrapping_add((v & 0xFFFF_FFFF) as u32)
+            .wrapping_add((v >> 32) as u32);
         // MISR step: shift in each byte.
         let mut sig = self.signature;
         for i in 0..7 {
             let byte = ((v >> (8 * i)) & 0xFF) as u32;
             sig ^= byte;
             for _ in 0..8 {
-                sig = if sig & 1 != 0 { (sig >> 1) ^ MISR_POLY } else { sig >> 1 };
+                sig = if sig & 1 != 0 {
+                    (sig >> 1) ^ MISR_POLY
+                } else {
+                    sig >> 1
+                };
             }
         }
         self.signature = sig;
@@ -102,7 +109,11 @@ mod tests {
             a.accumulate(NtpTime::from_secs(s));
             b.accumulate(NtpTime::from_secs(if s == 50 { 51 } else { s }));
         }
-        assert_ne!(a.signature(), b.signature(), "single-sample fault must be caught");
+        assert_ne!(
+            a.signature(),
+            b.signature(),
+            "single-sample fault must be caught"
+        );
     }
 
     #[test]

@@ -191,7 +191,14 @@ mod tests {
         let mut itu = Itu::new();
         itu.set_mask(u32::MAX);
         itu.raise(IntSource::SsuReceive(2));
-        assert_eq!(itu.lines(), IntLines { intt: false, intn: true, inta: false });
+        assert_eq!(
+            itu.lines(),
+            IntLines {
+                intt: false,
+                intn: true,
+                inta: false
+            }
+        );
         itu.raise(IntSource::Gpu(1));
         assert!(itu.lines().inta && itu.lines().intn);
         itu.raise(IntSource::Leap);

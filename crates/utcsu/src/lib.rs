@@ -46,8 +46,10 @@ pub use snu::Snu;
 pub use stamp::{Apu, Gpu, Ssu, Stamp, StampLatch};
 pub use timer::{DutyTimer, NUM_TIMERS};
 
+use nti_obs::{Counter, Histogram, MetricKey, Payload, SimObserver, Subsystem};
 use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
 use nti_simcore::Accuracy;
+use std::sync::Arc;
 
 /// Number of Synchronization Subnet Units (redundant networks/gateways).
 pub const NUM_SSU: usize = 6;
@@ -70,8 +72,29 @@ pub struct UtcsuConfig {
 
 impl Default for UtcsuConfig {
     fn default() -> Self {
-        UtcsuConfig { fosc_hz: 10_000_000, reliable_pin: false }
+        UtcsuConfig {
+            fosc_hz: 10_000_000,
+            reliable_pin: false,
+        }
     }
+}
+
+/// Pre-resolved observability handles, populated by
+/// [`Utcsu::attach_observer`]. The chip runs in the tick domain, so trace
+/// timestamps use *nominal* local time (tick / f_osc) rather than simulated
+/// real time.
+#[derive(Clone, Debug)]
+struct UtcsuObs {
+    obs: SimObserver,
+    node: u32,
+    /// All external triggers (SSU/GPU/APU/HWSNAP) that latched a stamp.
+    triggers: Arc<Counter>,
+    /// Synchronizer latency of each trigger sample (nanoseconds).
+    trigger_latency_ns: Arc<Histogram>,
+    /// Continuous amortization phases started.
+    amort_starts: Arc<Counter>,
+    /// Length of each amortization phase (ticks).
+    amort_ticks: Arc<Histogram>,
 }
 
 /// The simulated UTCSU ASIC.
@@ -105,6 +128,7 @@ pub struct Utcsu {
     amort_lo: u32,
     amort_hi: u32,
     leap_secs: u32,
+    obs: Option<UtcsuObs>,
 }
 
 impl Utcsu {
@@ -134,6 +158,44 @@ impl Utcsu {
             amort_lo: 0,
             amort_hi: 0,
             leap_secs: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach an observer; metrics are registered under node `node`,
+    /// subsystem `utcsu`. With a disabled observer this detaches (every
+    /// instrumentation site reduces to one `Option` branch).
+    pub fn attach_observer(&mut self, obs: &SimObserver, node: u32) {
+        self.obs = if obs.is_enabled() {
+            let key = |name| MetricKey::node(node, "utcsu", name);
+            Some(UtcsuObs {
+                obs: obs.clone(),
+                node,
+                triggers: obs.counter(key("triggers")).expect("enabled"),
+                trigger_latency_ns: obs.hist(key("trigger_latency_ns")).expect("enabled"),
+                amort_starts: obs.counter(key("amort_starts")).expect("enabled"),
+                amort_ticks: obs.hist(key("amort_ticks")).expect("enabled"),
+            })
+        } else {
+            None
+        };
+    }
+
+    /// Nominal local time in femtoseconds (tick / f_osc) — the timestamp
+    /// base for this chip's trace events.
+    fn nominal_fs(&self) -> u128 {
+        self.tick * 1_000_000_000_000_000u128 / self.cfg.fosc_hz as u128
+    }
+
+    /// Record one trigger sample: count it, record the synchronizer latency
+    /// and emit a trace instant when the `utcsu` subsystem is traced.
+    fn obs_trigger(&mut self, kind: &'static str) {
+        if let Some(o) = &self.obs {
+            o.triggers.inc();
+            let latency_ns = self.stamp_delay_ticks() as u64 * 1_000_000_000 / self.cfg.fosc_hz;
+            o.trigger_latency_ns.record(latency_ns);
+            o.obs
+                .instant(self.nominal_fs(), o.node, Subsystem::Utcsu, kind);
         }
     }
 
@@ -206,7 +268,27 @@ impl Utcsu {
     /// Start continuous amortization using the staged tick count.
     pub fn start_amortization_staged(&mut self) {
         let ticks = ((self.amort_hi as u128) << 32) | self.amort_lo as u128;
+        self.start_amortization(ticks);
+    }
+
+    /// Start continuous amortization for `ticks` ticks. Equivalent to
+    /// `ltu.start_amortization`, but also records the phase with the
+    /// attached observer.
+    pub fn start_amortization(&mut self, ticks: u128) {
         self.ltu.start_amortization(ticks);
+        if let Some(o) = &self.obs {
+            o.amort_starts.inc();
+            o.amort_ticks.record(ticks.min(u64::MAX as u128) as u64);
+            o.obs.event(
+                self.nominal_fs(),
+                o.node,
+                Subsystem::Utcsu,
+                "amort_start",
+                Payload::Value {
+                    value: ticks.min(i64::MAX as u128) as i64,
+                },
+            );
+        }
     }
 
     /// Current interrupt line states.
@@ -246,7 +328,13 @@ impl Utcsu {
             self.tick += seg;
             for e in events {
                 match e {
-                    LtuEvent::AmortizationEnd => self.itu.raise(IntSource::AmortEnd),
+                    LtuEvent::AmortizationEnd => {
+                        self.itu.raise(IntSource::AmortEnd);
+                        if let Some(o) = &self.obs {
+                            o.obs
+                                .instant(self.nominal_fs(), o.node, Subsystem::Utcsu, "amort_end");
+                        }
+                    }
                     LtuEvent::LeapApplied(_) => self.itu.raise(IntSource::Leap),
                 }
             }
@@ -295,6 +383,7 @@ impl Utcsu {
         let s = Stamp::sample(self.ltu.time(), self.acu.alpha());
         self.ssu[idx].transmit.latch(s);
         self.itu.raise(IntSource::SsuTransmit(idx));
+        self.obs_trigger("ssu_transmit");
         s
     }
 
@@ -303,6 +392,7 @@ impl Utcsu {
         let s = Stamp::sample(self.ltu.time(), self.acu.alpha());
         self.ssu[idx].receive.latch(s);
         self.itu.raise(IntSource::SsuReceive(idx));
+        self.obs_trigger("ssu_receive");
         s
     }
 
@@ -316,6 +406,7 @@ impl Utcsu {
         let s = Stamp::sample(self.ltu.time(), self.acu.alpha());
         self.gpu[idx].pps.latch(s);
         self.itu.raise(IntSource::Gpu(idx));
+        self.obs_trigger("gpu_pps");
         Some(s)
     }
 
@@ -335,6 +426,7 @@ impl Utcsu {
         let s = Stamp::sample(self.ltu.time(), self.acu.alpha());
         self.apu[idx].event.latch(s);
         self.itu.raise(IntSource::Apu(idx));
+        self.obs_trigger("apu_event");
         Some(s)
     }
 
@@ -347,6 +439,7 @@ impl Utcsu {
     /// HWSNAP pin: snapshot time + accuracy for precision evaluation.
     pub fn trigger_hwsnap(&mut self) -> Stamp {
         self.snu.snapshot(self.ltu.time(), self.acu.alpha());
+        self.obs_trigger("hwsnap");
         self.snu.peek().expect("just latched")
     }
 
@@ -375,7 +468,11 @@ pub fn ntpa_decode(a: u64, b: u64) -> Option<(NtpTime, Accuracy, Accuracy)> {
     let ts = nti_simcore::Timestamp((a >> 16) as u32);
     let ms = nti_simcore::Macrostamp((b >> 16) as u32);
     let t = NtpTime::from_stamp_pair(ts, ms)?;
-    Some((t, Accuracy((a & 0xFFFF) as u16), Accuracy((b & 0xFFFF) as u16)))
+    Some((
+        t,
+        Accuracy((a & 0xFFFF) as u16),
+        Accuracy((b & 0xFFFF) as u16),
+    ))
 }
 
 #[cfg(test)]
@@ -421,7 +518,10 @@ mod tests {
     }
 
     fn chip(fosc: u64) -> Utcsu {
-        let mut u = Utcsu::new(UtcsuConfig { fosc_hz: fosc, reliable_pin: false });
+        let mut u = Utcsu::new(UtcsuConfig {
+            fosc_hz: fosc,
+            reliable_pin: false,
+        });
         u.sync_run();
         u
     }
@@ -485,7 +585,10 @@ mod tests {
         u.advance_to_tick(1000);
         assert!(!u.ltu.amortizing());
         assert!(u.int_lines().intt);
-        assert_eq!(u.itu.pending() & IntSource::AmortEnd.mask(), IntSource::AmortEnd.mask());
+        assert_eq!(
+            u.itu.pending() & IntSource::AmortEnd.mask(),
+            IntSource::AmortEnd.mask()
+        );
     }
 
     #[test]
@@ -494,7 +597,7 @@ mod tests {
         u.itu.set_mask(u32::MAX);
         u.ltu.arm_leap(1, LeapDir::Insert);
         u.advance_to_tick(15_000_000); // past 1 s nominal
-        // Inserted second: clock now reads ~0.5 s instead of ~1.5 s.
+                                       // Inserted second: clock now reads ~0.5 s instead of ~1.5 s.
         assert_eq!(u.time().secs(), 0);
         assert!(u.itu.pending() & IntSource::Leap.mask() != 0);
     }
@@ -549,8 +652,14 @@ mod tests {
 
     #[test]
     fn stamp_delay_depends_on_reliable_pin() {
-        let a = Utcsu::new(UtcsuConfig { fosc_hz: 10_000_000, reliable_pin: false });
-        let b = Utcsu::new(UtcsuConfig { fosc_hz: 10_000_000, reliable_pin: true });
+        let a = Utcsu::new(UtcsuConfig {
+            fosc_hz: 10_000_000,
+            reliable_pin: false,
+        });
+        let b = Utcsu::new(UtcsuConfig {
+            fosc_hz: 10_000_000,
+            reliable_pin: true,
+        });
         assert_eq!(a.stamp_delay_ticks(), 1);
         assert_eq!(b.stamp_delay_ticks(), 2);
     }
@@ -558,7 +667,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "oscillator range")]
     fn rejects_out_of_range_fosc() {
-        let _ = Utcsu::new(UtcsuConfig { fosc_hz: 25_000_000, reliable_pin: false });
+        let _ = Utcsu::new(UtcsuConfig {
+            fosc_hz: 25_000_000,
+            reliable_pin: false,
+        });
     }
 
     #[test]
@@ -569,7 +681,10 @@ mod tests {
         u.timers[1].arm_at(NtpTime::from_secs(1));
         let first = u.next_event_tick().unwrap();
         u.advance_to_tick(first);
-        assert!(u.itu.pending() & IntSource::Timer(1).mask() != 0, "timer 1 first");
+        assert!(
+            u.itu.pending() & IntSource::Timer(1).mask() != 0,
+            "timer 1 first"
+        );
         assert!(u.itu.pending() & IntSource::Timer(0).mask() == 0);
         u.advance_to_tick(30_000_000);
         assert!(u.itu.pending() & IntSource::Timer(0).mask() != 0);

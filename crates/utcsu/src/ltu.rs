@@ -164,7 +164,11 @@ impl Ltu {
 
     /// The augend currently in effect, in internal 2⁻⁵⁹ units.
     fn augend_units59(&self) -> u128 {
-        let u = if self.amort_ticks_left > 0 { self.astep_units } else { self.step_units };
+        let u = if self.amort_ticks_left > 0 {
+            self.astep_units
+        } else {
+            self.step_units
+        };
         (u as u128) << STEP_UNIT_SHIFT
     }
 
@@ -403,10 +407,8 @@ mod tests {
         // Clock advances past the boundary before the macrostamp read.
         l.advance(100);
         let ms = l.read_macrostamp();
-        let pair = NtpTime::from_stamp_pair(
-            nti_simcore::Timestamp(ts),
-            nti_simcore::Macrostamp(ms),
-        );
+        let pair =
+            NtpTime::from_stamp_pair(nti_simcore::Timestamp(ts), nti_simcore::Macrostamp(ms));
         assert!(pair.is_some(), "latched pair must verify");
         assert_eq!(pair.unwrap().secs(), 255);
     }

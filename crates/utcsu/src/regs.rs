@@ -20,8 +20,8 @@
 //! exactly one stamp.
 
 use crate::ltu::LeapDir;
-use crate::{Utcsu, NUM_APU, NUM_GPU, NUM_SSU};
 use crate::timer::NUM_TIMERS;
+use crate::{Utcsu, NUM_APU, NUM_GPU, NUM_SSU};
 
 /// Size of the UTCSU register window in bytes.
 pub const REG_WINDOW: u32 = 0x200;
@@ -186,7 +186,10 @@ pub const R_APU_CTRL: u32 = 0x1FC;
 impl Utcsu {
     /// Aligned 32-bit register read. Reserved offsets read as zero.
     pub fn read32(&mut self, offset: u32) -> u32 {
-        assert!(offset < REG_WINDOW && offset.is_multiple_of(4), "bad register read at {offset:#x}");
+        assert!(
+            offset < REG_WINDOW && offset.is_multiple_of(4),
+            "bad register read at {offset:#x}"
+        );
         match offset {
             R_TIMESTAMP => self.ltu.read_timestamp(),
             R_MACROSTAMP => self.ltu.read_macrostamp(),
@@ -324,7 +327,10 @@ impl Utcsu {
     /// Aligned 32-bit register write. Writes to reserved/RO offsets are
     /// ignored.
     pub fn write32(&mut self, offset: u32, value: u32) {
-        assert!(offset < REG_WINDOW && offset.is_multiple_of(4), "bad register write at {offset:#x}");
+        assert!(
+            offset < REG_WINDOW && offset.is_multiple_of(4),
+            "bad register write at {offset:#x}"
+        );
         match offset {
             R_TLOAD_SECS => self.tload_secs = value,
             R_TLOAD_FRAC => self.tload_frac24 = value & 0x00FF_FFFF,
@@ -386,10 +392,9 @@ impl Utcsu {
             R_DSTEP_PLUS => self.acu.set_dstep_plus(value as i32 as i64),
             R_INT_MASK => self.itu.set_mask(value),
             R_INT_ACK => self.itu.ack(value),
-            R_SNU_CTRL
-                if value & 1 != 0 => {
-                    self.snu.take();
-                }
+            R_SNU_CTRL if value & 1 != 0 => {
+                self.snu.take();
+            }
             R_APU_CTRL => {
                 for (i, a) in self.apu.iter_mut().enumerate() {
                     a.enabled = value & (1 << i) != 0;

@@ -36,7 +36,12 @@ pub struct Stamp {
 impl Stamp {
     /// Sample from the given clock state.
     pub fn sample(time: NtpTime, alpha: (Accuracy, Accuracy)) -> Stamp {
-        Stamp { ts: time.timestamp(), ms: time.macrostamp(), alpha_minus: alpha.0, alpha_plus: alpha.1 }
+        Stamp {
+            ts: time.timestamp(),
+            ms: time.macrostamp(),
+            alpha_minus: alpha.0,
+            alpha_plus: alpha.1,
+        }
     }
 
     /// The packed 32-bit accuracy register (α⁻ low, α⁺ high).
@@ -118,7 +123,11 @@ pub struct Gpu {
 
 impl Default for Gpu {
     fn default() -> Self {
-        Gpu { pps: StampLatch::default(), enabled: false, rising: true }
+        Gpu {
+            pps: StampLatch::default(),
+            enabled: false,
+            rising: true,
+        }
     }
 }
 
@@ -135,7 +144,11 @@ pub struct Apu {
 
 impl Default for Apu {
     fn default() -> Self {
-        Apu { event: StampLatch::default(), enabled: false, rising: true }
+        Apu {
+            event: StampLatch::default(),
+            enabled: false,
+            rising: true,
+        }
     }
 }
 

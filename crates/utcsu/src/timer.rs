@@ -61,7 +61,9 @@ mod tests {
     #[test]
     fn arm_roundtrips_target() {
         let mut t = DutyTimer::default();
-        let when = NtpTime::from_raw((42u128 << FRAC_BITS) | (0x00AB_CDEF_u128 << (FRAC_BITS - NTP_FRAC_BITS)));
+        let when = NtpTime::from_raw(
+            (42u128 << FRAC_BITS) | (0x00AB_CDEF_u128 << (FRAC_BITS - NTP_FRAC_BITS)),
+        );
         t.arm_at(when);
         assert!(t.armed);
         assert_eq!(t.target().secs(), 42);

@@ -7,7 +7,10 @@ use nti_utcsu::{Acu, Utcsu, UtcsuConfig};
 use proptest::prelude::*;
 
 fn running_chip(fosc: u64) -> Utcsu {
-    let mut u = Utcsu::new(UtcsuConfig { fosc_hz: fosc, reliable_pin: false });
+    let mut u = Utcsu::new(UtcsuConfig {
+        fosc_hz: fosc,
+        reliable_pin: false,
+    });
     u.sync_run();
     u
 }

@@ -30,8 +30,16 @@ fn main() {
     cfg.warmup = SimDuration::from_secs(20);
     cfg.gps = vec![
         // Healthy receivers on nodes 0 and 1 (f + 1 = 2 anchors).
-        GpsNodeCfg { node: 0, cfg: GpsConfig::default(), faults: vec![] },
-        GpsNodeCfg { node: 1, cfg: GpsConfig::default(), faults: vec![] },
+        GpsNodeCfg {
+            node: 0,
+            cfg: GpsConfig::default(),
+            faults: vec![],
+        },
+        GpsNodeCfg {
+            node: 1,
+            cfg: GpsConfig::default(),
+            faults: vec![],
+        },
         // Node 2's receiver develops a 2 ms offset from second 10 on.
         GpsNodeCfg {
             node: 2,
@@ -66,7 +74,10 @@ fn main() {
         report.containment.0, report.containment.1
     );
 
-    assert_eq!(report.containment.0, 0, "validation must protect containment");
+    assert_eq!(
+        report.containment.0, 0,
+        "validation must protect containment"
+    );
     assert!(report.gps.1 > 0, "the faulty receivers must get rejections");
     println!();
     println!("ok: faulty receivers masked, cluster stays anchored to UTC.");

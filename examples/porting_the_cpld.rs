@@ -40,14 +40,22 @@ fn run(name: &str, cpld: CpldConfig, comco: ComcoTiming) {
         r.containment.1
     );
     assert_eq!(r.containment.0, 0);
-    assert!(r.worst_precision_s < 2e-6, "{name}: {}", r.worst_precision_s);
+    assert!(
+        r.worst_precision_s < 2e-6,
+        "{name}: {}",
+        r.worst_precision_s
+    );
 }
 
 fn main() {
     println!("== porting the NTI: 82596CA vs a QUICC-style controller ==");
     println!();
     // The shipped configuration (Figure 7).
-    run("82596CA (stock CPLD)", CpldConfig::default(), ComcoTiming::i82596());
+    run(
+        "82596CA (stock CPLD)",
+        CpldConfig::default(),
+        ComcoTiming::i82596(),
+    );
     // The "port": bigger headers, different offsets, slower bus cycles,
     // deeper FIFO. Only descriptors change; no code.
     let quicc_cpld = CpldConfig {
@@ -60,7 +68,10 @@ fn main() {
     };
     let quicc_timing = ComcoTiming {
         bus_cycle: SimDuration::from_nanos(240),
-        arb_jitter: Jitter { base: SimDuration::ZERO, spread: SimDuration::from_nanos(60) },
+        arb_jitter: Jitter {
+            base: SimDuration::ZERO,
+            spread: SimDuration::from_nanos(60),
+        },
         tx_fifo_bytes: 16,
         ..ComcoTiming::i82596()
     };

@@ -31,7 +31,10 @@ fn main() {
     let report = Cluster::new(cfg).run();
 
     println!();
-    println!("CSPs sent/delivered : {} / {}", report.csps.0, report.csps.1);
+    println!(
+        "CSPs sent/delivered : {} / {}",
+        report.csps.0, report.csps.1
+    );
     println!(
         "precision  worst : {:8.3} us   mean : {:8.3} us",
         report.worst_precision_s * 1e6,
@@ -53,7 +56,10 @@ fn main() {
     );
 
     assert_eq!(report.containment.0, 0);
-    assert!(report.eps_spread_s < 2e-6, "ε must stay in the sub-µs/µs range");
+    assert!(
+        report.eps_spread_s < 2e-6,
+        "ε must stay in the sub-µs/µs range"
+    );
     println!();
     println!("ok: the 16-node system holds microsecond-range synchronization.");
 }

@@ -28,7 +28,10 @@ fn run_mode(mode: TimestampMode) -> nti::core::cluster::Report {
     cfg.rate_sync = true;
     cfg.duration = SimDuration::from_secs(60);
     cfg.warmup = SimDuration::from_secs(20);
-    cfg.bg_load = Some(BgLoad { frames_per_sec: 120.0, frame_bytes: 600 });
+    cfg.bg_load = Some(BgLoad {
+        frames_per_sec: 120.0,
+        frame_bytes: 600,
+    });
     Cluster::new(cfg).run()
 }
 
@@ -64,7 +67,10 @@ fn main() {
         spreads.push(r.eps_spread_s);
     }
     println!();
-    assert!(spreads[0] > spreads[2] * 10.0, "software must be ≥ 10x worse than hardware");
+    assert!(
+        spreads[0] > spreads[2] * 10.0,
+        "software must be ≥ 10x worse than hardware"
+    );
     println!(
         "ok: hardware timestamping wins by {:.0}x over software, {:.1}x over interrupt-driven.",
         spreads[0] / spreads[2],

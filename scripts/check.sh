@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo-wide gate: format, lints, tests, and an observability smoke run.
+# Usage: scripts/check.sh  (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== observability smoke run (e1_epsilon --obs-summary) =="
+out=$(NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e1_epsilon -- --obs-summary)
+echo "$out" | tail -25
+echo "$out" | grep -q "== observability summary ==" \
+  || { echo "check.sh: missing observability summary" >&2; exit 1; }
+echo "$out" | grep -q "cluster/precision_ns" \
+  || { echo "check.sh: missing cluster precision metric" >&2; exit 1; }
+
+echo
+echo "check.sh: all gates passed"

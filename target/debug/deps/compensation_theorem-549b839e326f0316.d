@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compensation_theorem-549b839e326f0316.d: crates/core/tests/compensation_theorem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompensation_theorem-549b839e326f0316.rmeta: crates/core/tests/compensation_theorem.rs Cargo.toml
+
+crates/core/tests/compensation_theorem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compensation_theorem-65c2fad1815902cd.d: crates/core/tests/compensation_theorem.rs
+
+/root/repo/target/debug/deps/compensation_theorem-65c2fad1815902cd: crates/core/tests/compensation_theorem.rs
+
+crates/core/tests/compensation_theorem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compensation_theorem-6ff555147d45abe1.d: crates/core/tests/compensation_theorem.rs
+
+/root/repo/target/debug/deps/compensation_theorem-6ff555147d45abe1: crates/core/tests/compensation_theorem.rs
+
+crates/core/tests/compensation_theorem.rs:

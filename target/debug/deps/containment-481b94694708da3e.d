@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-481b94694708da3e.d: tests/containment.rs
+
+/root/repo/target/debug/deps/containment-481b94694708da3e: tests/containment.rs
+
+tests/containment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-a2cda59d874263f9.d: tests/containment.rs
+
+/root/repo/target/debug/deps/containment-a2cda59d874263f9: tests/containment.rs
+
+tests/containment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/containment-d3ddb16866d82d35.d: tests/containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainment-d3ddb16866d82d35.rmeta: tests/containment.rs Cargo.toml
+
+tests/containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

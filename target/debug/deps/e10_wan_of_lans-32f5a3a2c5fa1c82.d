@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_wan_of_lans-32f5a3a2c5fa1c82.d: crates/bench/src/bin/e10_wan_of_lans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_wan_of_lans-32f5a3a2c5fa1c82.rmeta: crates/bench/src/bin/e10_wan_of_lans.rs Cargo.toml
+
+crates/bench/src/bin/e10_wan_of_lans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_wan_of_lans-473ccccbf84971c6.d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+/root/repo/target/debug/deps/e10_wan_of_lans-473ccccbf84971c6: crates/bench/src/bin/e10_wan_of_lans.rs
+
+crates/bench/src/bin/e10_wan_of_lans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_wan_of_lans-757165085b8a1105.d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+/root/repo/target/debug/deps/e10_wan_of_lans-757165085b8a1105: crates/bench/src/bin/e10_wan_of_lans.rs
+
+crates/bench/src/bin/e10_wan_of_lans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_wan_of_lans-9cabcf3035a0d66a.d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+/root/repo/target/debug/deps/e10_wan_of_lans-9cabcf3035a0d66a: crates/bench/src/bin/e10_wan_of_lans.rs
+
+crates/bench/src/bin/e10_wan_of_lans.rs:

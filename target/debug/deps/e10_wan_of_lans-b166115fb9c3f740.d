@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_wan_of_lans-b166115fb9c3f740.d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+/root/repo/target/debug/deps/e10_wan_of_lans-b166115fb9c3f740: crates/bench/src/bin/e10_wan_of_lans.rs
+
+crates/bench/src/bin/e10_wan_of_lans.rs:

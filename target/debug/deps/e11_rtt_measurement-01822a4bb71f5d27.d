@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_rtt_measurement-01822a4bb71f5d27.d: crates/bench/src/bin/e11_rtt_measurement.rs
+
+/root/repo/target/debug/deps/e11_rtt_measurement-01822a4bb71f5d27: crates/bench/src/bin/e11_rtt_measurement.rs
+
+crates/bench/src/bin/e11_rtt_measurement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_rtt_measurement-0b22bfab5e3adcab.d: crates/bench/src/bin/e11_rtt_measurement.rs
+
+/root/repo/target/debug/deps/e11_rtt_measurement-0b22bfab5e3adcab: crates/bench/src/bin/e11_rtt_measurement.rs
+
+crates/bench/src/bin/e11_rtt_measurement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_rtt_measurement-25dc9218aaa172de.d: crates/bench/src/bin/e11_rtt_measurement.rs
+
+/root/repo/target/debug/deps/e11_rtt_measurement-25dc9218aaa172de: crates/bench/src/bin/e11_rtt_measurement.rs
+
+crates/bench/src/bin/e11_rtt_measurement.rs:

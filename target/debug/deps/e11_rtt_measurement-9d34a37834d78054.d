@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_rtt_measurement-9d34a37834d78054.d: crates/bench/src/bin/e11_rtt_measurement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_rtt_measurement-9d34a37834d78054.rmeta: crates/bench/src/bin/e11_rtt_measurement.rs Cargo.toml
+
+crates/bench/src/bin/e11_rtt_measurement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

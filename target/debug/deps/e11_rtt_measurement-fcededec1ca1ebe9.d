@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_rtt_measurement-fcededec1ca1ebe9.d: crates/bench/src/bin/e11_rtt_measurement.rs
+
+/root/repo/target/debug/deps/e11_rtt_measurement-fcededec1ca1ebe9: crates/bench/src/bin/e11_rtt_measurement.rs
+
+crates/bench/src/bin/e11_rtt_measurement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ntp_wan-1bedafb7a6deb208.d: crates/bench/src/bin/e12_ntp_wan.rs
+
+/root/repo/target/debug/deps/e12_ntp_wan-1bedafb7a6deb208: crates/bench/src/bin/e12_ntp_wan.rs
+
+crates/bench/src/bin/e12_ntp_wan.rs:

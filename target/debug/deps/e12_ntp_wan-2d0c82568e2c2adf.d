@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_ntp_wan-2d0c82568e2c2adf.d: crates/bench/src/bin/e12_ntp_wan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_ntp_wan-2d0c82568e2c2adf.rmeta: crates/bench/src/bin/e12_ntp_wan.rs Cargo.toml
+
+crates/bench/src/bin/e12_ntp_wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

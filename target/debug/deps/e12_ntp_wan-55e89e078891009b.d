@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ntp_wan-55e89e078891009b.d: crates/bench/src/bin/e12_ntp_wan.rs
+
+/root/repo/target/debug/deps/e12_ntp_wan-55e89e078891009b: crates/bench/src/bin/e12_ntp_wan.rs
+
+crates/bench/src/bin/e12_ntp_wan.rs:

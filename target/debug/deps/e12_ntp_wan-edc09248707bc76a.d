@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ntp_wan-edc09248707bc76a.d: crates/bench/src/bin/e12_ntp_wan.rs
+
+/root/repo/target/debug/deps/e12_ntp_wan-edc09248707bc76a: crates/bench/src/bin/e12_ntp_wan.rs
+
+crates/bench/src/bin/e12_ntp_wan.rs:

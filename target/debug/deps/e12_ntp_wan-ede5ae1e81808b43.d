@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ntp_wan-ede5ae1e81808b43.d: crates/bench/src/bin/e12_ntp_wan.rs
+
+/root/repo/target/debug/deps/e12_ntp_wan-ede5ae1e81808b43: crates/bench/src/bin/e12_ntp_wan.rs
+
+crates/bench/src/bin/e12_ntp_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_aposteriori-35e8eff6271426a2.d: crates/bench/src/bin/e13_aposteriori.rs
+
+/root/repo/target/debug/deps/e13_aposteriori-35e8eff6271426a2: crates/bench/src/bin/e13_aposteriori.rs
+
+crates/bench/src/bin/e13_aposteriori.rs:

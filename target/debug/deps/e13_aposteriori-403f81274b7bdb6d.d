@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_aposteriori-403f81274b7bdb6d.d: crates/bench/src/bin/e13_aposteriori.rs
+
+/root/repo/target/debug/deps/e13_aposteriori-403f81274b7bdb6d: crates/bench/src/bin/e13_aposteriori.rs
+
+crates/bench/src/bin/e13_aposteriori.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_aposteriori-4270d1614ed7305d.d: crates/bench/src/bin/e13_aposteriori.rs
+
+/root/repo/target/debug/deps/e13_aposteriori-4270d1614ed7305d: crates/bench/src/bin/e13_aposteriori.rs
+
+crates/bench/src/bin/e13_aposteriori.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_aposteriori-5f7ea1ac394a4127.d: crates/bench/src/bin/e13_aposteriori.rs
+
+/root/repo/target/debug/deps/e13_aposteriori-5f7ea1ac394a4127: crates/bench/src/bin/e13_aposteriori.rs
+
+crates/bench/src/bin/e13_aposteriori.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_aposteriori-ae675c3f9643b546.d: crates/bench/src/bin/e13_aposteriori.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_aposteriori-ae675c3f9643b546.rmeta: crates/bench/src/bin/e13_aposteriori.rs Cargo.toml
+
+crates/bench/src/bin/e13_aposteriori.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_aposteriori-ed23995ae249b5cc.d: crates/bench/src/bin/e13_aposteriori.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_aposteriori-ed23995ae249b5cc.rmeta: crates/bench/src/bin/e13_aposteriori.rs Cargo.toml
+
+crates/bench/src/bin/e13_aposteriori.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

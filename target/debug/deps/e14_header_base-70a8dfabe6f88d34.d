@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_header_base-70a8dfabe6f88d34.d: crates/bench/src/bin/e14_header_base.rs
+
+/root/repo/target/debug/deps/e14_header_base-70a8dfabe6f88d34: crates/bench/src/bin/e14_header_base.rs
+
+crates/bench/src/bin/e14_header_base.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_header_base-db1db86aaddf0ddd.d: crates/bench/src/bin/e14_header_base.rs
+
+/root/repo/target/debug/deps/e14_header_base-db1db86aaddf0ddd: crates/bench/src/bin/e14_header_base.rs
+
+crates/bench/src/bin/e14_header_base.rs:

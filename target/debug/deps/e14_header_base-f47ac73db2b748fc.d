@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_header_base-f47ac73db2b748fc.d: crates/bench/src/bin/e14_header_base.rs
+
+/root/repo/target/debug/deps/e14_header_base-f47ac73db2b748fc: crates/bench/src/bin/e14_header_base.rs
+
+crates/bench/src/bin/e14_header_base.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e14_header_base-fcef1d6bf85a194d.d: crates/bench/src/bin/e14_header_base.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe14_header_base-fcef1d6bf85a194d.rmeta: crates/bench/src/bin/e14_header_base.rs Cargo.toml
+
+crates/bench/src/bin/e14_header_base.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_header_base-ffc488ac7b5e0588.d: crates/bench/src/bin/e14_header_base.rs
+
+/root/repo/target/debug/deps/e14_header_base-ffc488ac7b5e0588: crates/bench/src/bin/e14_header_base.rs
+
+crates/bench/src/bin/e14_header_base.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_convergence_functions-2c160f634b4a718c.d: crates/bench/src/bin/e15_convergence_functions.rs
+
+/root/repo/target/debug/deps/e15_convergence_functions-2c160f634b4a718c: crates/bench/src/bin/e15_convergence_functions.rs
+
+crates/bench/src/bin/e15_convergence_functions.rs:

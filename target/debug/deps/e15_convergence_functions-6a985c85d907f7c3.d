@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e15_convergence_functions-6a985c85d907f7c3.d: crates/bench/src/bin/e15_convergence_functions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe15_convergence_functions-6a985c85d907f7c3.rmeta: crates/bench/src/bin/e15_convergence_functions.rs Cargo.toml
+
+crates/bench/src/bin/e15_convergence_functions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

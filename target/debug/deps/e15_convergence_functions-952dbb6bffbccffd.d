@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_convergence_functions-952dbb6bffbccffd.d: crates/bench/src/bin/e15_convergence_functions.rs
+
+/root/repo/target/debug/deps/e15_convergence_functions-952dbb6bffbccffd: crates/bench/src/bin/e15_convergence_functions.rs
+
+crates/bench/src/bin/e15_convergence_functions.rs:

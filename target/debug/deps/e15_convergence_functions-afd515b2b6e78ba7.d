@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_convergence_functions-afd515b2b6e78ba7.d: crates/bench/src/bin/e15_convergence_functions.rs
+
+/root/repo/target/debug/deps/e15_convergence_functions-afd515b2b6e78ba7: crates/bench/src/bin/e15_convergence_functions.rs
+
+crates/bench/src/bin/e15_convergence_functions.rs:

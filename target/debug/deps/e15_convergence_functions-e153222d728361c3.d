@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_convergence_functions-e153222d728361c3.d: crates/bench/src/bin/e15_convergence_functions.rs
+
+/root/repo/target/debug/deps/e15_convergence_functions-e153222d728361c3: crates/bench/src/bin/e15_convergence_functions.rs
+
+crates/bench/src/bin/e15_convergence_functions.rs:

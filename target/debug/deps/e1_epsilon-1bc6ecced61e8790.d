@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_epsilon-1bc6ecced61e8790.d: crates/bench/src/bin/e1_epsilon.rs
+
+/root/repo/target/debug/deps/e1_epsilon-1bc6ecced61e8790: crates/bench/src/bin/e1_epsilon.rs
+
+crates/bench/src/bin/e1_epsilon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_epsilon-9286e2ccf8eab079.d: crates/bench/src/bin/e1_epsilon.rs
+
+/root/repo/target/debug/deps/e1_epsilon-9286e2ccf8eab079: crates/bench/src/bin/e1_epsilon.rs
+
+crates/bench/src/bin/e1_epsilon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_epsilon-9351e6a79601610e.d: crates/bench/src/bin/e1_epsilon.rs
+
+/root/repo/target/debug/deps/e1_epsilon-9351e6a79601610e: crates/bench/src/bin/e1_epsilon.rs
+
+crates/bench/src/bin/e1_epsilon.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_epsilon-cb8e50653ff15cbc.d: crates/bench/src/bin/e1_epsilon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_epsilon-cb8e50653ff15cbc.rmeta: crates/bench/src/bin/e1_epsilon.rs Cargo.toml
+
+crates/bench/src/bin/e1_epsilon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_epsilon-ffe62d85e4ad1277.d: crates/bench/src/bin/e1_epsilon.rs
+
+/root/repo/target/debug/deps/e1_epsilon-ffe62d85e4ad1277: crates/bench/src/bin/e1_epsilon.rs
+
+crates/bench/src/bin/e1_epsilon.rs:

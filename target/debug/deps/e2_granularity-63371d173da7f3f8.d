@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_granularity-63371d173da7f3f8.d: crates/bench/src/bin/e2_granularity.rs
+
+/root/repo/target/debug/deps/e2_granularity-63371d173da7f3f8: crates/bench/src/bin/e2_granularity.rs
+
+crates/bench/src/bin/e2_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_granularity-83f5ed03ea5bc176.d: crates/bench/src/bin/e2_granularity.rs
+
+/root/repo/target/debug/deps/e2_granularity-83f5ed03ea5bc176: crates/bench/src/bin/e2_granularity.rs
+
+crates/bench/src/bin/e2_granularity.rs:

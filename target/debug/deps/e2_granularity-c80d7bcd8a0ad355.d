@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_granularity-c80d7bcd8a0ad355.d: crates/bench/src/bin/e2_granularity.rs
+
+/root/repo/target/debug/deps/e2_granularity-c80d7bcd8a0ad355: crates/bench/src/bin/e2_granularity.rs
+
+crates/bench/src/bin/e2_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_granularity-cc6a9e21f5e41670.d: crates/bench/src/bin/e2_granularity.rs
+
+/root/repo/target/debug/deps/e2_granularity-cc6a9e21f5e41670: crates/bench/src/bin/e2_granularity.rs
+
+crates/bench/src/bin/e2_granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_granularity-fcfff64a76ef658c.d: crates/bench/src/bin/e2_granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_granularity-fcfff64a76ef658c.rmeta: crates/bench/src/bin/e2_granularity.rs Cargo.toml
+
+crates/bench/src/bin/e2_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

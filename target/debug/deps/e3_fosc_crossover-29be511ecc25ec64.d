@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_fosc_crossover-29be511ecc25ec64.d: crates/bench/src/bin/e3_fosc_crossover.rs
+
+/root/repo/target/debug/deps/e3_fosc_crossover-29be511ecc25ec64: crates/bench/src/bin/e3_fosc_crossover.rs
+
+crates/bench/src/bin/e3_fosc_crossover.rs:

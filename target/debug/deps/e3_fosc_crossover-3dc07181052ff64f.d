@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_fosc_crossover-3dc07181052ff64f.d: crates/bench/src/bin/e3_fosc_crossover.rs
+
+/root/repo/target/debug/deps/e3_fosc_crossover-3dc07181052ff64f: crates/bench/src/bin/e3_fosc_crossover.rs
+
+crates/bench/src/bin/e3_fosc_crossover.rs:

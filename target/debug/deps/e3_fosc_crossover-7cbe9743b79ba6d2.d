@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_fosc_crossover-7cbe9743b79ba6d2.d: crates/bench/src/bin/e3_fosc_crossover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_fosc_crossover-7cbe9743b79ba6d2.rmeta: crates/bench/src/bin/e3_fosc_crossover.rs Cargo.toml
+
+crates/bench/src/bin/e3_fosc_crossover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_fosc_crossover-e339e69537e77ce8.d: crates/bench/src/bin/e3_fosc_crossover.rs
+
+/root/repo/target/debug/deps/e3_fosc_crossover-e339e69537e77ce8: crates/bench/src/bin/e3_fosc_crossover.rs
+
+crates/bench/src/bin/e3_fosc_crossover.rs:

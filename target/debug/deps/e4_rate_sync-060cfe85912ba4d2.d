@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_rate_sync-060cfe85912ba4d2.d: crates/bench/src/bin/e4_rate_sync.rs
+
+/root/repo/target/debug/deps/e4_rate_sync-060cfe85912ba4d2: crates/bench/src/bin/e4_rate_sync.rs
+
+crates/bench/src/bin/e4_rate_sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_rate_sync-1bdaf819f8f6c2b6.d: crates/bench/src/bin/e4_rate_sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_rate_sync-1bdaf819f8f6c2b6.rmeta: crates/bench/src/bin/e4_rate_sync.rs Cargo.toml
+
+crates/bench/src/bin/e4_rate_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

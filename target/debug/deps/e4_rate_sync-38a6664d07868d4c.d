@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_rate_sync-38a6664d07868d4c.d: crates/bench/src/bin/e4_rate_sync.rs
+
+/root/repo/target/debug/deps/e4_rate_sync-38a6664d07868d4c: crates/bench/src/bin/e4_rate_sync.rs
+
+crates/bench/src/bin/e4_rate_sync.rs:

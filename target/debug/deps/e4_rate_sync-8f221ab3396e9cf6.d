@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_rate_sync-8f221ab3396e9cf6.d: crates/bench/src/bin/e4_rate_sync.rs
+
+/root/repo/target/debug/deps/e4_rate_sync-8f221ab3396e9cf6: crates/bench/src/bin/e4_rate_sync.rs
+
+crates/bench/src/bin/e4_rate_sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_rate_sync-edb7ce8866c11c4f.d: crates/bench/src/bin/e4_rate_sync.rs
+
+/root/repo/target/debug/deps/e4_rate_sync-edb7ce8866c11c4f: crates/bench/src/bin/e4_rate_sync.rs
+
+crates/bench/src/bin/e4_rate_sync.rs:

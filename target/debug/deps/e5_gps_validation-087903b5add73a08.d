@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_gps_validation-087903b5add73a08.d: crates/bench/src/bin/e5_gps_validation.rs
+
+/root/repo/target/debug/deps/e5_gps_validation-087903b5add73a08: crates/bench/src/bin/e5_gps_validation.rs
+
+crates/bench/src/bin/e5_gps_validation.rs:

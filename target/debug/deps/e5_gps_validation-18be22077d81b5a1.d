@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_gps_validation-18be22077d81b5a1.d: crates/bench/src/bin/e5_gps_validation.rs
+
+/root/repo/target/debug/deps/e5_gps_validation-18be22077d81b5a1: crates/bench/src/bin/e5_gps_validation.rs
+
+crates/bench/src/bin/e5_gps_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_gps_validation-72c9b3b06928040b.d: crates/bench/src/bin/e5_gps_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_gps_validation-72c9b3b06928040b.rmeta: crates/bench/src/bin/e5_gps_validation.rs Cargo.toml
+
+crates/bench/src/bin/e5_gps_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

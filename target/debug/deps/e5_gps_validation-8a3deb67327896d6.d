@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_gps_validation-8a3deb67327896d6.d: crates/bench/src/bin/e5_gps_validation.rs
+
+/root/repo/target/debug/deps/e5_gps_validation-8a3deb67327896d6: crates/bench/src/bin/e5_gps_validation.rs
+
+crates/bench/src/bin/e5_gps_validation.rs:

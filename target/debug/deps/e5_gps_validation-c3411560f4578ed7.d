@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_gps_validation-c3411560f4578ed7.d: crates/bench/src/bin/e5_gps_validation.rs
+
+/root/repo/target/debug/deps/e5_gps_validation-c3411560f4578ed7: crates/bench/src/bin/e5_gps_validation.rs
+
+crates/bench/src/bin/e5_gps_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_class_table-50d3843402adbf13.d: crates/bench/src/bin/e6_class_table.rs
+
+/root/repo/target/debug/deps/e6_class_table-50d3843402adbf13: crates/bench/src/bin/e6_class_table.rs
+
+crates/bench/src/bin/e6_class_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_class_table-81016fe3e89a14a4.d: crates/bench/src/bin/e6_class_table.rs
+
+/root/repo/target/debug/deps/e6_class_table-81016fe3e89a14a4: crates/bench/src/bin/e6_class_table.rs
+
+crates/bench/src/bin/e6_class_table.rs:

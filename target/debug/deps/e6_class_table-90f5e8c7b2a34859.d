@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_class_table-90f5e8c7b2a34859.d: crates/bench/src/bin/e6_class_table.rs
+
+/root/repo/target/debug/deps/e6_class_table-90f5e8c7b2a34859: crates/bench/src/bin/e6_class_table.rs
+
+crates/bench/src/bin/e6_class_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_class_table-bb1521cdd00436dd.d: crates/bench/src/bin/e6_class_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_class_table-bb1521cdd00436dd.rmeta: crates/bench/src/bin/e6_class_table.rs Cargo.toml
+
+crates/bench/src/bin/e6_class_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_class_table-fe22f2d027dca194.d: crates/bench/src/bin/e6_class_table.rs
+
+/root/repo/target/debug/deps/e6_class_table-fe22f2d027dca194: crates/bench/src/bin/e6_class_table.rs
+
+crates/bench/src/bin/e6_class_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_adder_clock-001b987dd5b21a95.d: crates/bench/src/bin/e7_adder_clock.rs
+
+/root/repo/target/debug/deps/e7_adder_clock-001b987dd5b21a95: crates/bench/src/bin/e7_adder_clock.rs
+
+crates/bench/src/bin/e7_adder_clock.rs:

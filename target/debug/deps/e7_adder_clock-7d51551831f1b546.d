@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_adder_clock-7d51551831f1b546.d: crates/bench/src/bin/e7_adder_clock.rs
+
+/root/repo/target/debug/deps/e7_adder_clock-7d51551831f1b546: crates/bench/src/bin/e7_adder_clock.rs
+
+crates/bench/src/bin/e7_adder_clock.rs:

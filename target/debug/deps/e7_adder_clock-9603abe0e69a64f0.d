@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_adder_clock-9603abe0e69a64f0.d: crates/bench/src/bin/e7_adder_clock.rs
+
+/root/repo/target/debug/deps/e7_adder_clock-9603abe0e69a64f0: crates/bench/src/bin/e7_adder_clock.rs
+
+crates/bench/src/bin/e7_adder_clock.rs:

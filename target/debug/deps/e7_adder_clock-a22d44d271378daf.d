@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_adder_clock-a22d44d271378daf.d: crates/bench/src/bin/e7_adder_clock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_adder_clock-a22d44d271378daf.rmeta: crates/bench/src/bin/e7_adder_clock.rs Cargo.toml
+
+crates/bench/src/bin/e7_adder_clock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

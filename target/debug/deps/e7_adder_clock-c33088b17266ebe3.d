@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_adder_clock-c33088b17266ebe3.d: crates/bench/src/bin/e7_adder_clock.rs
+
+/root/repo/target/debug/deps/e7_adder_clock-c33088b17266ebe3: crates/bench/src/bin/e7_adder_clock.rs
+
+crates/bench/src/bin/e7_adder_clock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_lower_bound-048ebc80d60e313f.d: crates/bench/src/bin/e8_lower_bound.rs
+
+/root/repo/target/debug/deps/e8_lower_bound-048ebc80d60e313f: crates/bench/src/bin/e8_lower_bound.rs
+
+crates/bench/src/bin/e8_lower_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_lower_bound-85a1d85e5b881d51.d: crates/bench/src/bin/e8_lower_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_lower_bound-85a1d85e5b881d51.rmeta: crates/bench/src/bin/e8_lower_bound.rs Cargo.toml
+
+crates/bench/src/bin/e8_lower_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

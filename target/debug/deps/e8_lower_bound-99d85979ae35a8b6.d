@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_lower_bound-99d85979ae35a8b6.d: crates/bench/src/bin/e8_lower_bound.rs
+
+/root/repo/target/debug/deps/e8_lower_bound-99d85979ae35a8b6: crates/bench/src/bin/e8_lower_bound.rs
+
+crates/bench/src/bin/e8_lower_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_lower_bound-af23c6f70493ecac.d: crates/bench/src/bin/e8_lower_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_lower_bound-af23c6f70493ecac.rmeta: crates/bench/src/bin/e8_lower_bound.rs Cargo.toml
+
+crates/bench/src/bin/e8_lower_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

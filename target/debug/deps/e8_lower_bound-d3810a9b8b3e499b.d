@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_lower_bound-d3810a9b8b3e499b.d: crates/bench/src/bin/e8_lower_bound.rs
+
+/root/repo/target/debug/deps/e8_lower_bound-d3810a9b8b3e499b: crates/bench/src/bin/e8_lower_bound.rs
+
+crates/bench/src/bin/e8_lower_bound.rs:

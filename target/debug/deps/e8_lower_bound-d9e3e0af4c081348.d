@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_lower_bound-d9e3e0af4c081348.d: crates/bench/src/bin/e8_lower_bound.rs
+
+/root/repo/target/debug/deps/e8_lower_bound-d9e3e0af4c081348: crates/bench/src/bin/e8_lower_bound.rs
+
+crates/bench/src/bin/e8_lower_bound.rs:

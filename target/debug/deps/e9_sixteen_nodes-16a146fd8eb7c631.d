@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sixteen_nodes-16a146fd8eb7c631.d: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+/root/repo/target/debug/deps/e9_sixteen_nodes-16a146fd8eb7c631: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:

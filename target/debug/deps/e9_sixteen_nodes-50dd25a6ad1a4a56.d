@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sixteen_nodes-50dd25a6ad1a4a56.d: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+/root/repo/target/debug/deps/e9_sixteen_nodes-50dd25a6ad1a4a56: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sixteen_nodes-9338522f86b1a9bf.d: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+/root/repo/target/debug/deps/e9_sixteen_nodes-9338522f86b1a9bf: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:

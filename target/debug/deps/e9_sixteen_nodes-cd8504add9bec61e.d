@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sixteen_nodes-cd8504add9bec61e.d: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+/root/repo/target/debug/deps/e9_sixteen_nodes-cd8504add9bec61e: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_sixteen_nodes-f50dba0c1f545908.d: crates/bench/src/bin/e9_sixteen_nodes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_sixteen_nodes-f50dba0c1f545908.rmeta: crates/bench/src/bin/e9_sixteen_nodes.rs Cargo.toml
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executive_figure9-4737c62e159fad8a.d: tests/executive_figure9.rs
+
+/root/repo/target/debug/deps/executive_figure9-4737c62e159fad8a: tests/executive_figure9.rs
+
+tests/executive_figure9.rs:

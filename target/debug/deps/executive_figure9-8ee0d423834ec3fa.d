@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executive_figure9-8ee0d423834ec3fa.d: tests/executive_figure9.rs
+
+/root/repo/target/debug/deps/executive_figure9-8ee0d423834ec3fa: tests/executive_figure9.rs
+
+tests/executive_figure9.rs:

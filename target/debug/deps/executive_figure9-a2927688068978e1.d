@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executive_figure9-a2927688068978e1.d: tests/executive_figure9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutive_figure9-a2927688068978e1.rmeta: tests/executive_figure9.rs Cargo.toml
+
+tests/executive_figure9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

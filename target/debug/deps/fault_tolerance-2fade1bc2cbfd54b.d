@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-2fade1bc2cbfd54b.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-2fade1bc2cbfd54b: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

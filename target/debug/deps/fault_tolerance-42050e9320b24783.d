@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-42050e9320b24783.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-42050e9320b24783: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

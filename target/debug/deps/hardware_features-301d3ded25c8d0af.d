@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardware_features-301d3ded25c8d0af.d: tests/hardware_features.rs
+
+/root/repo/target/debug/deps/hardware_features-301d3ded25c8d0af: tests/hardware_features.rs
+
+tests/hardware_features.rs:

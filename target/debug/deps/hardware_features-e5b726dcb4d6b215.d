@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardware_features-e5b726dcb4d6b215.d: tests/hardware_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardware_features-e5b726dcb4d6b215.rmeta: tests/hardware_features.rs Cargo.toml
+
+tests/hardware_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

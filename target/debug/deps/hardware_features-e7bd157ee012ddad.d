@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardware_features-e7bd157ee012ddad.d: tests/hardware_features.rs
+
+/root/repo/target/debug/deps/hardware_features-e7bd157ee012ddad: tests/hardware_features.rs
+
+tests/hardware_features.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nti-1ea47fe5db75ce51.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnti-1ea47fe5db75ce51.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnti-1ea47fe5db75ce51.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nti-40846616442206a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnti-40846616442206a0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnti-40846616442206a0.rmeta: src/lib.rs
+
+src/lib.rs:

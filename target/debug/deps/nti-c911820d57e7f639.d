@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nti-c911820d57e7f639.d: src/lib.rs
+
+/root/repo/target/debug/deps/nti-c911820d57e7f639: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nti-ed869d29e6e5a979.d: src/lib.rs
+
+/root/repo/target/debug/deps/nti-ed869d29e6e5a979: src/lib.rs
+
+src/lib.rs:

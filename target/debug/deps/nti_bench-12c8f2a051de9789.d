@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nti_bench-12c8f2a051de9789.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/nti_bench-12c8f2a051de9789: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nti_bench-315e148f7d2c50d0.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/libnti_bench-315e148f7d2c50d0.rlib: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/libnti_bench-315e148f7d2c50d0.rmeta: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:

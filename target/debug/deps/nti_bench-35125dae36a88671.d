@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nti_bench-35125dae36a88671.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_bench-35125dae36a88671.rmeta: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nti_bench-b73b5a83165b3af0.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/nti_bench-b73b5a83165b3af0: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nti_bench-df7f80e640e371e4.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_bench-df7f80e640e371e4.rmeta: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

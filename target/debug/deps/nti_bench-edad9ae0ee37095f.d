@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nti_bench-edad9ae0ee37095f.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/libnti_bench-edad9ae0ee37095f.rlib: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/libnti_bench-edad9ae0ee37095f.rmeta: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/nti_core-419cf81b05a84497.d: crates/core/src/lib.rs crates/core/src/algo.rs crates/core/src/aposteriori.rs crates/core/src/cluster.rs crates/core/src/convergence.rs crates/core/src/interval.rs crates/core/src/node.rs crates/core/src/ntp_sync.rs crates/core/src/params.rs crates/core/src/payload.rs crates/core/src/rate.rs crates/core/src/rtt.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_core-419cf81b05a84497.rmeta: crates/core/src/lib.rs crates/core/src/algo.rs crates/core/src/aposteriori.rs crates/core/src/cluster.rs crates/core/src/convergence.rs crates/core/src/interval.rs crates/core/src/node.rs crates/core/src/ntp_sync.rs crates/core/src/params.rs crates/core/src/payload.rs crates/core/src/rate.rs crates/core/src/rtt.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algo.rs:
+crates/core/src/aposteriori.rs:
+crates/core/src/cluster.rs:
+crates/core/src/convergence.rs:
+crates/core/src/interval.rs:
+crates/core/src/node.rs:
+crates/core/src/ntp_sync.rs:
+crates/core/src/params.rs:
+crates/core/src/payload.rs:
+crates/core/src/rate.rs:
+crates/core/src/rtt.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

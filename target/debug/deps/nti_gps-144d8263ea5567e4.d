@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nti_gps-144d8263ea5567e4.d: crates/gps/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_gps-144d8263ea5567e4.rmeta: crates/gps/src/lib.rs Cargo.toml
+
+crates/gps/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nti_gps-6661ca8ba9e7bb2a.d: crates/gps/src/lib.rs
+
+/root/repo/target/debug/deps/nti_gps-6661ca8ba9e7bb2a: crates/gps/src/lib.rs
+
+crates/gps/src/lib.rs:

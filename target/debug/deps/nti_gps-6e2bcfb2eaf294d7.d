@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nti_gps-6e2bcfb2eaf294d7.d: crates/gps/src/lib.rs
+
+/root/repo/target/debug/deps/libnti_gps-6e2bcfb2eaf294d7.rlib: crates/gps/src/lib.rs
+
+/root/repo/target/debug/deps/libnti_gps-6e2bcfb2eaf294d7.rmeta: crates/gps/src/lib.rs
+
+crates/gps/src/lib.rs:

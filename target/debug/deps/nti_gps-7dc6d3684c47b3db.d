@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nti_gps-7dc6d3684c47b3db.d: crates/gps/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_gps-7dc6d3684c47b3db.rmeta: crates/gps/src/lib.rs Cargo.toml
+
+crates/gps/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nti_kernel-47435e7b93a5a409.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_kernel-47435e7b93a5a409.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

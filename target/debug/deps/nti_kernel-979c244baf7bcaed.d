@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nti_kernel-979c244baf7bcaed.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+/root/repo/target/debug/deps/nti_kernel-979c244baf7bcaed: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nti_kernel-f868dd19d4a37054.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+/root/repo/target/debug/deps/libnti_kernel-f868dd19d4a37054.rlib: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+/root/repo/target/debug/deps/libnti_kernel-f868dd19d4a37054.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:

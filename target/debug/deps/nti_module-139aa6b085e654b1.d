@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nti_module-139aa6b085e654b1.d: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/debug/deps/nti_module-139aa6b085e654b1: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+crates/nti/src/lib.rs:
+crates/nti/src/carrier.rs:
+crates/nti/src/driver.rs:
+crates/nti/src/sprom.rs:

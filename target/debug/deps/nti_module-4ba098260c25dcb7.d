@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nti_module-4ba098260c25dcb7.d: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/debug/deps/libnti_module-4ba098260c25dcb7.rlib: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/debug/deps/libnti_module-4ba098260c25dcb7.rmeta: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+crates/nti/src/lib.rs:
+crates/nti/src/carrier.rs:
+crates/nti/src/driver.rs:
+crates/nti/src/sprom.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nti_netsim-34c841e9dbc4686b.d: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+/root/repo/target/debug/deps/libnti_netsim-34c841e9dbc4686b.rlib: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+/root/repo/target/debug/deps/libnti_netsim-34c841e9dbc4686b.rmeta: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/comco.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/medium.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/wan.rs:

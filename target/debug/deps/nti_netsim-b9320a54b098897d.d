@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nti_netsim-b9320a54b098897d.d: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+/root/repo/target/debug/deps/nti_netsim-b9320a54b098897d: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/comco.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/medium.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/wan.rs:

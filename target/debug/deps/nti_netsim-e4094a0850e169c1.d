@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nti_netsim-e4094a0850e169c1.d: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_netsim-e4094a0850e169c1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/comco.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/medium.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nti_obs-01b4b97b79d19dc2.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libnti_obs-01b4b97b79d19dc2.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libnti_obs-01b4b97b79d19dc2.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/quantile.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nti_simcore-76ad4dd48755be87.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_simcore-76ad4dd48755be87.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/ntp.rs:
+crates/simcore/src/osc.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

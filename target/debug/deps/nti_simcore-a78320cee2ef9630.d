@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nti_simcore-a78320cee2ef9630.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libnti_simcore-a78320cee2ef9630.rlib: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libnti_simcore-a78320cee2ef9630.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/ntp.rs:
+crates/simcore/src/osc.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nti_utcsu-54620e87be76f5e2.d: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+/root/repo/target/debug/deps/libnti_utcsu-54620e87be76f5e2.rlib: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+/root/repo/target/debug/deps/libnti_utcsu-54620e87be76f5e2.rmeta: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+crates/utcsu/src/lib.rs:
+crates/utcsu/src/acu.rs:
+crates/utcsu/src/btu.rs:
+crates/utcsu/src/itu.rs:
+crates/utcsu/src/ltu.rs:
+crates/utcsu/src/regs.rs:
+crates/utcsu/src/snu.rs:
+crates/utcsu/src/stamp.rs:
+crates/utcsu/src/timer.rs:

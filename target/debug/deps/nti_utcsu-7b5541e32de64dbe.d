@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nti_utcsu-7b5541e32de64dbe.d: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnti_utcsu-7b5541e32de64dbe.rmeta: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs Cargo.toml
+
+crates/utcsu/src/lib.rs:
+crates/utcsu/src/acu.rs:
+crates/utcsu/src/btu.rs:
+crates/utcsu/src/itu.rs:
+crates/utcsu/src/ltu.rs:
+crates/utcsu/src/regs.rs:
+crates/utcsu/src/snu.rs:
+crates/utcsu/src/stamp.rs:
+crates/utcsu/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/observability-5d0dc01b4f4905d5.d: crates/core/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-5d0dc01b4f4905d5: crates/core/tests/observability.rs
+
+crates/core/tests/observability.rs:
+
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

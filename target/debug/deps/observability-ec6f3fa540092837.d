@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/observability-ec6f3fa540092837.d: crates/core/tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-ec6f3fa540092837.rmeta: crates/core/tests/observability.rs Cargo.toml
+
+crates/core/tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

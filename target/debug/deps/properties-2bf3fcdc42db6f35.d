@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2bf3fcdc42db6f35.d: crates/obs/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2bf3fcdc42db6f35: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c6dab635c16e8137.d: crates/obs/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c6dab635c16e8137.rmeta: crates/obs/tests/properties.rs Cargo.toml
+
+crates/obs/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

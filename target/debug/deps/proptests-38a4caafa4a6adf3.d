@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-38a4caafa4a6adf3.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-38a4caafa4a6adf3: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

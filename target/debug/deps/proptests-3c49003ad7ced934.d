@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3c49003ad7ced934.d: crates/utcsu/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3c49003ad7ced934.rmeta: crates/utcsu/tests/proptests.rs Cargo.toml
+
+crates/utcsu/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

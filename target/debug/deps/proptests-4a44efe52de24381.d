@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4a44efe52de24381.d: crates/gps/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4a44efe52de24381: crates/gps/tests/proptests.rs
+
+crates/gps/tests/proptests.rs:

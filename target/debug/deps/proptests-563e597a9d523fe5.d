@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-563e597a9d523fe5.d: crates/gps/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-563e597a9d523fe5.rmeta: crates/gps/tests/proptests.rs Cargo.toml
+
+crates/gps/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5664fe14149c229d.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5664fe14149c229d: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

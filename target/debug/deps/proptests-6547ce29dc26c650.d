@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6547ce29dc26c650.d: crates/utcsu/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6547ce29dc26c650: crates/utcsu/tests/proptests.rs
+
+crates/utcsu/tests/proptests.rs:

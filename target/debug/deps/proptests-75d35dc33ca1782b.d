@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-75d35dc33ca1782b.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-75d35dc33ca1782b: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-77a58b4d3a47a619.d: crates/netsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-77a58b4d3a47a619.rmeta: crates/netsim/tests/proptests.rs Cargo.toml
+
+crates/netsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9567bb4876d400e4.d: crates/simcore/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9567bb4876d400e4.rmeta: crates/simcore/tests/proptests.rs Cargo.toml
+
+crates/simcore/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

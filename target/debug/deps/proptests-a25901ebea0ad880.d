@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a25901ebea0ad880.d: crates/kernel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a25901ebea0ad880: crates/kernel/tests/proptests.rs
+
+crates/kernel/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b4895156546e11bf.d: crates/utcsu/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b4895156546e11bf: crates/utcsu/tests/proptests.rs
+
+crates/utcsu/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b919e5c45cadbfee.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b919e5c45cadbfee: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

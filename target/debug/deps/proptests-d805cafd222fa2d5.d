@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d805cafd222fa2d5.d: crates/kernel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d805cafd222fa2d5.rmeta: crates/kernel/tests/proptests.rs Cargo.toml
+
+crates/kernel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

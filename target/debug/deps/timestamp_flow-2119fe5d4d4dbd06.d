@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timestamp_flow-2119fe5d4d4dbd06.d: tests/timestamp_flow.rs
+
+/root/repo/target/debug/deps/timestamp_flow-2119fe5d4d4dbd06: tests/timestamp_flow.rs
+
+tests/timestamp_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timestamp_flow-52e19f24b55d3ec5.d: tests/timestamp_flow.rs
+
+/root/repo/target/debug/deps/timestamp_flow-52e19f24b55d3ec5: tests/timestamp_flow.rs
+
+tests/timestamp_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timestamp_flow-a5a7707c8eb35648.d: tests/timestamp_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimestamp_flow-a5a7707c8eb35648.rmeta: tests/timestamp_flow.rs Cargo.toml
+
+tests/timestamp_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

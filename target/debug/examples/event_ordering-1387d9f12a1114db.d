@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/event_ordering-1387d9f12a1114db.d: examples/event_ordering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevent_ordering-1387d9f12a1114db.rmeta: examples/event_ordering.rs Cargo.toml
+
+examples/event_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

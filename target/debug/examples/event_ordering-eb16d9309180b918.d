@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_ordering-eb16d9309180b918.d: examples/event_ordering.rs
+
+/root/repo/target/debug/examples/event_ordering-eb16d9309180b918: examples/event_ordering.rs
+
+examples/event_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_ordering-fd012479c052f962.d: examples/event_ordering.rs
+
+/root/repo/target/debug/examples/event_ordering-fd012479c052f962: examples/event_ordering.rs
+
+examples/event_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gps_validation-760ce2dc03a81ec5.d: examples/gps_validation.rs
+
+/root/repo/target/debug/examples/gps_validation-760ce2dc03a81ec5: examples/gps_validation.rs
+
+examples/gps_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gps_validation-9fb529100b22cbec.d: examples/gps_validation.rs
+
+/root/repo/target/debug/examples/gps_validation-9fb529100b22cbec: examples/gps_validation.rs
+
+examples/gps_validation.rs:

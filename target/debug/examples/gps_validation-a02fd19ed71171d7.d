@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gps_validation-a02fd19ed71171d7.d: examples/gps_validation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgps_validation-a02fd19ed71171d7.rmeta: examples/gps_validation.rs Cargo.toml
+
+examples/gps_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

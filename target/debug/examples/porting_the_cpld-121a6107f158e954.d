@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/porting_the_cpld-121a6107f158e954.d: examples/porting_the_cpld.rs
+
+/root/repo/target/debug/examples/porting_the_cpld-121a6107f158e954: examples/porting_the_cpld.rs
+
+examples/porting_the_cpld.rs:

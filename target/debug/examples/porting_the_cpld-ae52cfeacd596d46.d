@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/porting_the_cpld-ae52cfeacd596d46.d: examples/porting_the_cpld.rs Cargo.toml
+
+/root/repo/target/debug/examples/libporting_the_cpld-ae52cfeacd596d46.rmeta: examples/porting_the_cpld.rs Cargo.toml
+
+examples/porting_the_cpld.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/porting_the_cpld-c6632c7970580895.d: examples/porting_the_cpld.rs
+
+/root/repo/target/debug/examples/porting_the_cpld-c6632c7970580895: examples/porting_the_cpld.rs
+
+examples/porting_the_cpld.rs:

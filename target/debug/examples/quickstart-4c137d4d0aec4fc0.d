@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4c137d4d0aec4fc0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4c137d4d0aec4fc0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eece8bbc60dc890c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eece8bbc60dc890c: examples/quickstart.rs
+
+examples/quickstart.rs:

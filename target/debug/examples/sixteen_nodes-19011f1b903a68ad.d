@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sixteen_nodes-19011f1b903a68ad.d: examples/sixteen_nodes.rs
+
+/root/repo/target/debug/examples/sixteen_nodes-19011f1b903a68ad: examples/sixteen_nodes.rs
+
+examples/sixteen_nodes.rs:

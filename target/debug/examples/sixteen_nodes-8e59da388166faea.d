@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sixteen_nodes-8e59da388166faea.d: examples/sixteen_nodes.rs
+
+/root/repo/target/debug/examples/sixteen_nodes-8e59da388166faea: examples/sixteen_nodes.rs
+
+examples/sixteen_nodes.rs:

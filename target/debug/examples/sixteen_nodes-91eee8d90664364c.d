@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sixteen_nodes-91eee8d90664364c.d: examples/sixteen_nodes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsixteen_nodes-91eee8d90664364c.rmeta: examples/sixteen_nodes.rs Cargo.toml
+
+examples/sixteen_nodes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

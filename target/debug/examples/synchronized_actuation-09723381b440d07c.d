@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/synchronized_actuation-09723381b440d07c.d: examples/synchronized_actuation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsynchronized_actuation-09723381b440d07c.rmeta: examples/synchronized_actuation.rs Cargo.toml
+
+examples/synchronized_actuation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

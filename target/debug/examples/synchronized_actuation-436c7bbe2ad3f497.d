@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synchronized_actuation-436c7bbe2ad3f497.d: examples/synchronized_actuation.rs
+
+/root/repo/target/debug/examples/synchronized_actuation-436c7bbe2ad3f497: examples/synchronized_actuation.rs
+
+examples/synchronized_actuation.rs:

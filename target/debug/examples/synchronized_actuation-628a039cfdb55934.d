@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synchronized_actuation-628a039cfdb55934.d: examples/synchronized_actuation.rs
+
+/root/repo/target/debug/examples/synchronized_actuation-628a039cfdb55934: examples/synchronized_actuation.rs
+
+examples/synchronized_actuation.rs:

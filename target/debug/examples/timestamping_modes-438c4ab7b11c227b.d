@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timestamping_modes-438c4ab7b11c227b.d: examples/timestamping_modes.rs
+
+/root/repo/target/debug/examples/timestamping_modes-438c4ab7b11c227b: examples/timestamping_modes.rs
+
+examples/timestamping_modes.rs:

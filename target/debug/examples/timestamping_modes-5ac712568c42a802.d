@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timestamping_modes-5ac712568c42a802.d: examples/timestamping_modes.rs
+
+/root/repo/target/debug/examples/timestamping_modes-5ac712568c42a802: examples/timestamping_modes.rs
+
+examples/timestamping_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timestamping_modes-889822bb3aa644e0.d: examples/timestamping_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimestamping_modes-889822bb3aa644e0.rmeta: examples/timestamping_modes.rs Cargo.toml
+
+examples/timestamping_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

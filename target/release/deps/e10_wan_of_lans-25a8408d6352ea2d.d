@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_wan_of_lans-25a8408d6352ea2d.d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+/root/repo/target/release/deps/e10_wan_of_lans-25a8408d6352ea2d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+crates/bench/src/bin/e10_wan_of_lans.rs:

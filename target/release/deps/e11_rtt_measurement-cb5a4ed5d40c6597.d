@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_rtt_measurement-cb5a4ed5d40c6597.d: crates/bench/src/bin/e11_rtt_measurement.rs
+
+/root/repo/target/release/deps/e11_rtt_measurement-cb5a4ed5d40c6597: crates/bench/src/bin/e11_rtt_measurement.rs
+
+crates/bench/src/bin/e11_rtt_measurement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_ntp_wan-1225df3b6dca6268.d: crates/bench/src/bin/e12_ntp_wan.rs
+
+/root/repo/target/release/deps/e12_ntp_wan-1225df3b6dca6268: crates/bench/src/bin/e12_ntp_wan.rs
+
+crates/bench/src/bin/e12_ntp_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e13_aposteriori-8d125e581a54c5d0.d: crates/bench/src/bin/e13_aposteriori.rs
+
+/root/repo/target/release/deps/e13_aposteriori-8d125e581a54c5d0: crates/bench/src/bin/e13_aposteriori.rs
+
+crates/bench/src/bin/e13_aposteriori.rs:

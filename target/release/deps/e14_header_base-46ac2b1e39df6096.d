@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e14_header_base-46ac2b1e39df6096.d: crates/bench/src/bin/e14_header_base.rs
+
+/root/repo/target/release/deps/e14_header_base-46ac2b1e39df6096: crates/bench/src/bin/e14_header_base.rs
+
+crates/bench/src/bin/e14_header_base.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e15_convergence_functions-d771b42254ac0fbf.d: crates/bench/src/bin/e15_convergence_functions.rs
+
+/root/repo/target/release/deps/e15_convergence_functions-d771b42254ac0fbf: crates/bench/src/bin/e15_convergence_functions.rs
+
+crates/bench/src/bin/e15_convergence_functions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_epsilon-986c808f6991709d.d: crates/bench/src/bin/e1_epsilon.rs
+
+/root/repo/target/release/deps/e1_epsilon-986c808f6991709d: crates/bench/src/bin/e1_epsilon.rs
+
+crates/bench/src/bin/e1_epsilon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2_granularity-a9f7c584b399b87a.d: crates/bench/src/bin/e2_granularity.rs
+
+/root/repo/target/release/deps/e2_granularity-a9f7c584b399b87a: crates/bench/src/bin/e2_granularity.rs
+
+crates/bench/src/bin/e2_granularity.rs:

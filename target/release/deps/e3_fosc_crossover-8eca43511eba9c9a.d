@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_fosc_crossover-8eca43511eba9c9a.d: crates/bench/src/bin/e3_fosc_crossover.rs
+
+/root/repo/target/release/deps/e3_fosc_crossover-8eca43511eba9c9a: crates/bench/src/bin/e3_fosc_crossover.rs
+
+crates/bench/src/bin/e3_fosc_crossover.rs:

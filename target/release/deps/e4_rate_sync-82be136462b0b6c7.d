@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e4_rate_sync-82be136462b0b6c7.d: crates/bench/src/bin/e4_rate_sync.rs
+
+/root/repo/target/release/deps/e4_rate_sync-82be136462b0b6c7: crates/bench/src/bin/e4_rate_sync.rs
+
+crates/bench/src/bin/e4_rate_sync.rs:

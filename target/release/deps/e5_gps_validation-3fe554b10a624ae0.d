@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e5_gps_validation-3fe554b10a624ae0.d: crates/bench/src/bin/e5_gps_validation.rs
+
+/root/repo/target/release/deps/e5_gps_validation-3fe554b10a624ae0: crates/bench/src/bin/e5_gps_validation.rs
+
+crates/bench/src/bin/e5_gps_validation.rs:

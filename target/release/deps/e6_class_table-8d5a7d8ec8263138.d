@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_class_table-8d5a7d8ec8263138.d: crates/bench/src/bin/e6_class_table.rs
+
+/root/repo/target/release/deps/e6_class_table-8d5a7d8ec8263138: crates/bench/src/bin/e6_class_table.rs
+
+crates/bench/src/bin/e6_class_table.rs:

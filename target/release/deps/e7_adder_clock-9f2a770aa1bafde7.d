@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e7_adder_clock-9f2a770aa1bafde7.d: crates/bench/src/bin/e7_adder_clock.rs
+
+/root/repo/target/release/deps/e7_adder_clock-9f2a770aa1bafde7: crates/bench/src/bin/e7_adder_clock.rs
+
+crates/bench/src/bin/e7_adder_clock.rs:

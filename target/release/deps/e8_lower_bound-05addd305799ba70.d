@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e8_lower_bound-05addd305799ba70.d: crates/bench/src/bin/e8_lower_bound.rs
+
+/root/repo/target/release/deps/e8_lower_bound-05addd305799ba70: crates/bench/src/bin/e8_lower_bound.rs
+
+crates/bench/src/bin/e8_lower_bound.rs:

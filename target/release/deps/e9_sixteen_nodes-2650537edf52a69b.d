@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e9_sixteen_nodes-2650537edf52a69b.d: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+/root/repo/target/release/deps/e9_sixteen_nodes-2650537edf52a69b: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:

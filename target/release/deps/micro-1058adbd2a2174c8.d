@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-1058adbd2a2174c8.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-1058adbd2a2174c8: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

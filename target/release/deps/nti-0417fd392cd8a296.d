@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nti-0417fd392cd8a296.d: src/lib.rs
+
+/root/repo/target/release/deps/libnti-0417fd392cd8a296.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnti-0417fd392cd8a296.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nti-48f5cfefd0eda980.d: src/lib.rs
+
+/root/repo/target/release/deps/libnti-48f5cfefd0eda980.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnti-48f5cfefd0eda980.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nti_bench-b3e36633f16c14c7.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/release/deps/libnti_bench-b3e36633f16c14c7.rlib: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/release/deps/libnti_bench-b3e36633f16c14c7.rmeta: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:

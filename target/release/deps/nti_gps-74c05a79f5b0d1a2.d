@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nti_gps-74c05a79f5b0d1a2.d: crates/gps/src/lib.rs
+
+/root/repo/target/release/deps/libnti_gps-74c05a79f5b0d1a2.rlib: crates/gps/src/lib.rs
+
+/root/repo/target/release/deps/libnti_gps-74c05a79f5b0d1a2.rmeta: crates/gps/src/lib.rs
+
+crates/gps/src/lib.rs:

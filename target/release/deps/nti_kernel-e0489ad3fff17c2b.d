@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nti_kernel-e0489ad3fff17c2b.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+/root/repo/target/release/deps/libnti_kernel-e0489ad3fff17c2b.rlib: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+/root/repo/target/release/deps/libnti_kernel-e0489ad3fff17c2b.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nti_module-acc36fc30ff68312.d: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/release/deps/libnti_module-acc36fc30ff68312.rlib: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/release/deps/libnti_module-acc36fc30ff68312.rmeta: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+crates/nti/src/lib.rs:
+crates/nti/src/carrier.rs:
+crates/nti/src/driver.rs:
+crates/nti/src/sprom.rs:

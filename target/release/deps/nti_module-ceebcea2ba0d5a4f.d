@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nti_module-ceebcea2ba0d5a4f.d: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/release/deps/libnti_module-ceebcea2ba0d5a4f.rlib: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/release/deps/libnti_module-ceebcea2ba0d5a4f.rmeta: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+crates/nti/src/lib.rs:
+crates/nti/src/carrier.rs:
+crates/nti/src/driver.rs:
+crates/nti/src/sprom.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nti_netsim-36a2d4571efc13a2.d: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+/root/repo/target/release/deps/libnti_netsim-36a2d4571efc13a2.rlib: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+/root/repo/target/release/deps/libnti_netsim-36a2d4571efc13a2.rmeta: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/comco.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/medium.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/wan.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nti_obs-149e67b489579b76.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libnti_obs-149e67b489579b76.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libnti_obs-149e67b489579b76.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/quantile.rs:
+crates/obs/src/trace.rs:

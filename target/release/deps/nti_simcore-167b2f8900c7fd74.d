@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nti_simcore-167b2f8900c7fd74.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libnti_simcore-167b2f8900c7fd74.rlib: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libnti_simcore-167b2f8900c7fd74.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/ntp.rs:
+crates/simcore/src/osc.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

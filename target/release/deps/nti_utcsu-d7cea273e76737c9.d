@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/nti_utcsu-d7cea273e76737c9.d: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+/root/repo/target/release/deps/libnti_utcsu-d7cea273e76737c9.rlib: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+/root/repo/target/release/deps/libnti_utcsu-d7cea273e76737c9.rmeta: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+crates/utcsu/src/lib.rs:
+crates/utcsu/src/acu.rs:
+crates/utcsu/src/btu.rs:
+crates/utcsu/src/itu.rs:
+crates/utcsu/src/ltu.rs:
+crates/utcsu/src/regs.rs:
+crates/utcsu/src/snu.rs:
+crates/utcsu/src/stamp.rs:
+crates/utcsu/src/timer.rs:

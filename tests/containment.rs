@@ -58,12 +58,20 @@ fn containment_in_interrupt_rx_mode() {
 fn containment_with_faulty_gps() {
     let mut cfg = base(4, 33);
     cfg.gps = vec![
-        GpsNodeCfg { node: 0, cfg: GpsConfig::default(), faults: vec![] },
+        GpsNodeCfg {
+            node: 0,
+            cfg: GpsConfig::default(),
+            faults: vec![],
+        },
         GpsNodeCfg {
             node: 1,
             cfg: GpsConfig::default(),
             faults: vec![
-                GpsFault::Offset { from: 0, until: 1000, offset: SimDuration::from_millis(1) },
+                GpsFault::Offset {
+                    from: 0,
+                    until: 1000,
+                    offset: SimDuration::from_millis(1),
+                },
                 GpsFault::Dropout { from: 8, until: 12 },
             ],
         },
@@ -106,8 +114,16 @@ fn gps_anchoring_bounds_accuracy() {
     cfg.duration = SimDuration::from_secs(30);
     cfg.warmup = SimDuration::from_secs(15);
     cfg.gps = vec![
-        GpsNodeCfg { node: 0, cfg: GpsConfig::default(), faults: vec![] },
-        GpsNodeCfg { node: 1, cfg: GpsConfig::default(), faults: vec![] },
+        GpsNodeCfg {
+            node: 0,
+            cfg: GpsConfig::default(),
+            faults: vec![],
+        },
+        GpsNodeCfg {
+            node: 1,
+            cfg: GpsConfig::default(),
+            faults: vec![],
+        },
     ];
     let rep = Cluster::new(cfg).run();
     assert_eq!(rep.containment.0, 0);

@@ -28,7 +28,9 @@ struct ProtocolTask {
 impl TaskBody for ProtocolTask {
     fn step(&mut self, now: SimTime) -> Step {
         if let Some(posted) = self.pending.take() {
-            self.latencies.borrow_mut().push(now.saturating_since(posted));
+            self.latencies
+                .borrow_mut()
+                .push(now.saturating_since(posted));
             *self.processed.borrow_mut() += 1;
             return Step::Compute(SimDuration::from_micros(30));
         }
@@ -51,12 +53,15 @@ fn protocol_task_preempts_application_load() {
     ex.spawn(10, Box::new(AppTask));
     ex.spawn(10, Box::new(AppTask));
     // The protocol task runs at high priority (the pSOS add-on).
-    ex.spawn(200, Box::new(ProtocolTask {
-        ci,
-        pending: None,
-        latencies: latencies.clone(),
-        processed: processed.clone(),
-    }));
+    ex.spawn(
+        200,
+        Box::new(ProtocolTask {
+            ci,
+            pending: None,
+            latencies: latencies.clone(),
+            processed: processed.clone(),
+        }),
+    );
     // Drive 50 "CSP receptions": run a slice, post from the ISR.
     let mut t = SimTime::ZERO;
     for k in 1..=50u64 {
@@ -109,5 +114,8 @@ fn application_tasks_unaffected_observe_full_cpu_share() {
     let alone = run(false);
     let shared = run(true);
     let loss = alone.saturating_sub(shared).as_secs_f64() / alone.as_secs_f64();
-    assert!(loss < 0.01, "sync stole {loss:.4} of the CPU — must be < 1 %");
+    assert!(
+        loss < 0.01,
+        "sync stole {loss:.4} of the CPU — must be < 1 %"
+    );
 }

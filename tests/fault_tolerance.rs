@@ -51,10 +51,18 @@ fn crc_corrupted_csps_are_dropped_without_misattribution() {
     let mut cfg = base(4, 15);
     cfg.crc_error_rate = 0.2;
     let rep = Cluster::new(cfg).run();
-    assert!(rep.csps.2 > 5, "corrupted frames must be dropped: {:?}", rep.csps);
+    assert!(
+        rep.csps.2 > 5,
+        "corrupted frames must be dropped: {:?}",
+        rep.csps
+    );
     // Losing 20% of CSPs must not break synchronization or attribution of
     // the surviving stamps.
-    assert!(rep.worst_precision_s < 50e-6, "precision {}", rep.worst_precision_s);
+    assert!(
+        rep.worst_precision_s < 50e-6,
+        "precision {}",
+        rep.worst_precision_s
+    );
     assert_eq!(rep.containment.0, 0);
 }
 
@@ -69,7 +77,11 @@ fn wan_of_lans_three_segments() {
     cfg.duration = SimDuration::from_secs(30);
     cfg.warmup = SimDuration::from_secs(12);
     let rep = Cluster::new(cfg).run();
-    assert!(rep.csps.1 > 50, "CSPs must flow on all segments: {:?}", rep.csps);
+    assert!(
+        rep.csps.1 > 50,
+        "CSPs must flow on all segments: {:?}",
+        rep.csps
+    );
     assert!(
         rep.worst_precision_s < 30e-6,
         "three-segment precision {}",

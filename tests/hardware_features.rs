@@ -18,10 +18,16 @@ struct Rig {
 impl Rig {
     fn new(fosc: u64, rho_ppm: f64) -> Rig {
         let mut nti = Nti::new(
-            UtcsuConfig { fosc_hz: fosc, reliable_pin: false },
+            UtcsuConfig {
+                fosc_hz: fosc,
+                reliable_pin: false,
+            },
             nti::module::CpldConfig::default(),
         );
-        nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
+        nti.write32(
+            UTCSU_BASE + uregs::R_CTRL,
+            uregs::CTRL_SYNCRUN | uregs::CTRL_RUN,
+        );
         nti.write32(UTCSU_BASE + uregs::R_INT_MASK, u32::MAX);
         let osc = Oscillator::new(
             fosc,
@@ -53,11 +59,16 @@ fn rate_adjustment_compensates_constant_drift() {
     let nominal = Ltu::nominal_step_units(fosc);
     // Remove 8 ppm: step' = step * (1 - 8e-6).
     let trimmed = (nominal as f64 * (1.0 - 8e-6)).round() as u64;
-    rig.at(SimTime::ZERO).write32(UTCSU_BASE + uregs::R_STEP_LO, trimmed as u32);
-    rig.at(SimTime::ZERO).write32(UTCSU_BASE + uregs::R_STEP_HI, (trimmed >> 32) as u32);
+    rig.at(SimTime::ZERO)
+        .write32(UTCSU_BASE + uregs::R_STEP_LO, trimmed as u32);
+    rig.at(SimTime::ZERO)
+        .write32(UTCSU_BASE + uregs::R_STEP_HI, (trimmed >> 32) as u32);
     let c = rig.clock_secs(SimTime::from_secs(100));
     let err = (c - 100.0).abs();
-    assert!(err < 100.0 * 0.5e-6, "trimmed clock error {err} s over 100 s");
+    assert!(
+        err < 100.0 * 0.5e-6,
+        "trimmed clock error {err} s over 100 s"
+    );
 }
 
 #[test]
@@ -75,7 +86,8 @@ fn continuous_amortization_is_monotone_and_exact() {
     let mut rig = Rig::new(fosc, 0.0);
     // Advance 50 us over 1_000_000 ticks (0.1 s).
     let nominal = Ltu::nominal_step_units(fosc);
-    let delta_units51 = ((50_000_000_000u128 /* 50 us in fs */ << 51) / 1_000_000_000_000_000) as u64;
+    let delta_units51 =
+        ((50_000_000_000u128 /* 50 us in fs */ << 51) / 1_000_000_000_000_000) as u64;
     let astep = nominal + delta_units51 / 1_000_000;
     rig.at(SimTime::from_secs(1));
     let n = rig.nti.utcsu_mut();
@@ -103,8 +115,12 @@ fn continuous_amortization_is_monotone_and_exact() {
 #[test]
 fn leap_second_insertion_during_operation() {
     let mut rig = Rig::new(10_000_000, 0.0);
-    rig.at(SimTime::ZERO).write32(UTCSU_BASE + uregs::R_LEAP_SECS, 5);
-    rig.at(SimTime::ZERO).write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_RUN | uregs::CTRL_LEAP_INSERT);
+    rig.at(SimTime::ZERO)
+        .write32(UTCSU_BASE + uregs::R_LEAP_SECS, 5);
+    rig.at(SimTime::ZERO).write32(
+        UTCSU_BASE + uregs::R_CTRL,
+        uregs::CTRL_RUN | uregs::CTRL_LEAP_INSERT,
+    );
     let before = rig.clock_secs(SimTime::from_millis(4_900));
     assert!((before - 4.9).abs() < 1e-3);
     let after = rig.clock_secs(SimTime::from_millis(5_100));
@@ -119,8 +135,12 @@ fn leap_second_insertion_during_operation() {
 #[test]
 fn leap_second_deletion() {
     let mut rig = Rig::new(10_000_000, 0.0);
-    rig.at(SimTime::ZERO).write32(UTCSU_BASE + uregs::R_LEAP_SECS, 3);
-    rig.at(SimTime::ZERO).write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_RUN | uregs::CTRL_LEAP_DELETE);
+    rig.at(SimTime::ZERO)
+        .write32(UTCSU_BASE + uregs::R_LEAP_SECS, 3);
+    rig.at(SimTime::ZERO).write32(
+        UTCSU_BASE + uregs::R_CTRL,
+        uregs::CTRL_RUN | uregs::CTRL_LEAP_DELETE,
+    );
     let after = rig.clock_secs(SimTime::from_millis(3_100));
     assert!((after - 4.1).abs() < 1e-3, "after deletion: {after}");
 }
@@ -135,7 +155,10 @@ fn btu_self_test_detects_divergent_clock() {
         rig.nti.utcsu_mut().ltu.set_step_units(base + step_delta);
         for k in 1..=16u64 {
             rig.at(SimTime::from_millis(k * 10));
-            rig.nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_RUN | uregs::CTRL_BTU_ACCUM);
+            rig.nti.write32(
+                UTCSU_BASE + uregs::R_CTRL,
+                uregs::CTRL_RUN | uregs::CTRL_BTU_ACCUM,
+            );
         }
         rig.nti.read32(UTCSU_BASE + uregs::R_BTU_SIGNATURE)
     };
@@ -178,5 +201,8 @@ fn stamp_quantization_uncertainty_is_one_period() {
     let tick2 = rig.osc.ticks_at(t2) + 1;
     rig.nti.utcsu_mut().advance_to_tick(tick2);
     let s2 = rig.nti.utcsu_mut().trigger_gpu(0).unwrap();
-    assert!(s2.ts.0 > s1.ts.0, "stamps must resolve one oscillator period");
+    assert!(
+        s2.ts.0 > s1.ts.0,
+        "stamps must resolve one oscillator period"
+    );
 }

@@ -15,8 +15,16 @@ use nti::utcsu::UtcsuConfig;
 #[test]
 fn transmit_stamp_inserted_on_the_fly() {
     let mut nti = Nti::new(UtcsuConfig::default(), CpldConfig::default());
-    nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
-    let mut osc = Oscillator::new(10_000_000, DriftModel::perfect(), SimRng::new(1), SimTime::ZERO);
+    nti.write32(
+        UTCSU_BASE + uregs::R_CTRL,
+        uregs::CTRL_SYNCRUN | uregs::CTRL_RUN,
+    );
+    let mut osc = Oscillator::new(
+        10_000_000,
+        DriftModel::perfect(),
+        SimRng::new(1),
+        SimTime::ZERO,
+    );
     let mut comco = Comco::new(ComcoTiming::i82596(), 10_000_000, SimRng::new(2));
 
     let wire_start = SimTime::from_millis(100);
@@ -41,7 +49,10 @@ fn transmit_stamp_inserted_on_the_fly() {
     let latched = nti.utcsu().ssu[0].transmit.peek().expect("trigger fired");
     assert_eq!(ts, latched.ts.0);
     let stamp_secs = latched.ts.as_secs_f64();
-    assert!((stamp_secs - 0.1).abs() < 30e-6, "stamp {stamp_secs} vs wire start 0.1 s");
+    assert!(
+        (stamp_secs - 0.1).abs() < 30e-6,
+        "stamp {stamp_secs} vs wire start 0.1 s"
+    );
 }
 
 /// The receive path: header writes fire RECEIVE at 0x1C, the header base
@@ -50,8 +61,16 @@ fn transmit_stamp_inserted_on_the_fly() {
 #[test]
 fn receive_stamp_latched_and_attributed() {
     let mut nti = Nti::new(UtcsuConfig::default(), CpldConfig::default());
-    nti.write32(UTCSU_BASE + uregs::R_CTRL, uregs::CTRL_SYNCRUN | uregs::CTRL_RUN);
-    let mut osc = Oscillator::new(10_000_000, DriftModel::perfect(), SimRng::new(3), SimTime::ZERO);
+    nti.write32(
+        UTCSU_BASE + uregs::R_CTRL,
+        uregs::CTRL_SYNCRUN | uregs::CTRL_RUN,
+    );
+    let mut osc = Oscillator::new(
+        10_000_000,
+        DriftModel::perfect(),
+        SimRng::new(3),
+        SimTime::ZERO,
+    );
     let mut comco = Comco::new(ComcoTiming::i82596(), 10_000_000, SimRng::new(4));
 
     let frame_end = SimTime::from_millis(200);

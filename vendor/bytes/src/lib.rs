@@ -1,0 +1,297 @@
+//! A minimal, API-compatible stand-in for the parts of the `bytes` crate
+//! this workspace uses, vendored so the build works without registry
+//! access. Semantics match `bytes` 1.x for the implemented surface:
+//!
+//! * [`Bytes`] — cheaply clonable immutable byte buffer (`Arc<[u8]>`).
+//! * [`BytesMut`] — growable buffer that freezes into [`Bytes`].
+//! * [`Buf`] — big-endian cursor reads over `&[u8]`.
+//! * [`BufMut`] — big-endian appends (implemented by [`BytesMut`]).
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply clonable immutable contiguous byte storage.
+#[derive(Clone)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Wrap a static slice (copies here; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.0[..] == other.0[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.0[..] == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+/// Growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Convert into the immutable form.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.0), f)
+    }
+}
+
+/// Big-endian cursor reads. Implemented for `&[u8]`: each `get_*` consumes
+/// from the front of the slice, panicking when out of data (as `bytes` does).
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian u16.
+    fn get_u16(&mut self) -> u16;
+    /// Consume a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Consume a big-endian u64.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes(head.try_into().expect("2 bytes"))
+    }
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().expect("4 bytes"))
+    }
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_be_bytes(head.try_into().expect("8 bytes"))
+    }
+}
+
+/// Big-endian appends. Implemented for [`BytesMut`] and `Vec<u8>`.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src)
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v)
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes())
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes())
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes())
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.put_slice(src)
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.0.put_u8(v)
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.0.put_u16(v)
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.0.put_u32(v)
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.0.put_u64(v)
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.0.put_bytes(val, cnt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_freeze() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u16(0x1234);
+        b.put_u8(7);
+        b.put_bytes(0, 3);
+        b.put_slice(&[1, 2]);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 12);
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u16(), 0x1234);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.remaining(), 5);
+    }
+
+    #[test]
+    fn bytes_clone_is_shallow_eq_deep() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&a[..], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,529 @@
+//! A minimal, API-compatible stand-in for the parts of `proptest` this
+//! workspace uses, vendored so tests run without registry access.
+//!
+//! Implemented surface:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`strategy::Strategy`] with `prop_map`,
+//! * integer / float range strategies, `any::<T>()`, tuple strategies,
+//! * [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its inputs verbatim), and case generation is a fixed deterministic
+//! stream seeded from the test name — every run explores the same inputs,
+//! which suits this repository's determinism-first style. Case count
+//! defaults to 256 and can be overridden with `PROPTEST_CASES` or
+//! `ProptestConfig::with_cases`.
+
+/// Deterministic test-case source and configuration.
+pub mod test_runner {
+    /// SplitMix64: small, fast, and plenty for input generation.
+    #[derive(Clone, Debug)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// Seed from an arbitrary string (test name).
+        pub fn from_name(name: &str) -> Rng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Rng(h)
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next raw 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, bound)`; `bound` 0 returns 0.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            if bound == 0 {
+                return 0;
+            }
+            // Modulo bias is irrelevant for test-input generation.
+            self.next_u128() % bound
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases to run per test.
+        pub cases: u32,
+    }
+
+    /// The name the real crate exports.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+
+        /// Resolve the effective case count (`PROPTEST_CASES` overrides).
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; the case is not counted.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+}
+
+/// Strategies: how input values are generated.
+pub mod strategy {
+    use crate::test_runner::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy always yielding a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let off = rng.below(span);
+                    (self.start as i128).wrapping_add(off as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128).wrapping_sub(start as i128) as u128;
+                    if span == u128::MAX {
+                        return rng.next_u128() as $t;
+                    }
+                    let off = rng.below(span + 1);
+                    (start as i128).wrapping_add(off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // u128/i128 need widening-free arithmetic, so they get their own impls.
+    impl Strategy for std::ops::Range<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut Rng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+    impl Strategy for std::ops::RangeInclusive<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut Rng) -> u128 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            let span = end - start;
+            if span == u128::MAX {
+                return rng.next_u128();
+            }
+            start + rng.below(span + 1)
+        }
+    }
+    impl Strategy for std::ops::Range<i128> {
+        type Value = i128;
+        fn sample(&self, rng: &mut Rng) -> i128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end.wrapping_sub(self.start) as u128;
+            self.start.wrapping_add(rng.below(span) as i128)
+        }
+    }
+    impl Strategy for std::ops::RangeInclusive<i128> {
+        type Value = i128;
+        fn sample(&self, rng: &mut Rng) -> i128 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            let span = end.wrapping_sub(start) as u128;
+            if span == u128::MAX {
+                return rng.next_u128() as i128;
+            }
+            start.wrapping_add(rng.below(span + 1) as i128)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut Rng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut Rng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
+    /// Types with a canonical "generate any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The `any::<T>()` strategy for this type.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut Rng) -> f64 {
+            // Finite values only, spanning a wide dynamic range.
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.below(600) as i32) - 300;
+            mantissa * 10f64.powi(exp)
+        }
+    }
+
+    /// The strategy returned by [`any`](crate::arbitrary::any).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Construct the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Convenience alias matching the real crate's module layout.
+pub mod arbitrary {
+    pub use crate::strategy::{any, Any, Arbitrary};
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Anything usable as a vec-length specification.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut Rng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut Rng) -> usize {
+            *self
+        }
+    }
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut Rng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.below((self.end - self.start) as u128) as usize
+        }
+    }
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut Rng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u128) as usize
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        len: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `len`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, len: R) -> VecStrategy<S, R> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Everything a `proptest!` user normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property; a failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Filter out uninteresting inputs; rejected cases do not count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let cfg: $crate::test_runner::Config = $cfg;
+                let cases = cfg.effective_cases();
+                let mut rng = $crate::test_runner::Rng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut passed = 0u32;
+                let mut rejected = 0u64;
+                while passed < cases {
+                    let inputs = ( $($crate::strategy::Strategy::sample(&($strat), &mut rng),)+ );
+                    let rendered = format!("{:?}", inputs);
+                    let ($($arg,)+) = inputs;
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 1000 + 20 * cases as u64,
+                                "proptest {}: too many rejected cases ({} rejects for {} passes)",
+                                stringify!($name), rejected, passed
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed after {} passing case(s):\n  {}\n  inputs {} = {}",
+                                stringify!($name), passed, msg,
+                                stringify!(($($arg),+)), rendered
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in -5i128..=5, z in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_tuple(v in crate::collection::vec((any::<bool>(), 0u32..7), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for (_, n) in v {
+                prop_assert!(n < 7);
+            }
+        }
+
+        #[test]
+        fn map_and_assume(x in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assume!(x != 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::Rng::from_name("x");
+        let mut b = crate::test_runner::Rng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
