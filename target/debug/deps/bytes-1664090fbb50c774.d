@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-1664090fbb50c774.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-1664090fbb50c774.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-41862c894f9e13f8.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-41862c894f9e13f8.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compensation_theorem-afe9bed0baae8f14.d: crates/core/tests/compensation_theorem.rs
+
+/root/repo/target/debug/deps/libcompensation_theorem-afe9bed0baae8f14.rmeta: crates/core/tests/compensation_theorem.rs
+
+crates/core/tests/compensation_theorem.rs:

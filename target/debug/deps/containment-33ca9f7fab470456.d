@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-33ca9f7fab470456.d: tests/containment.rs
+
+/root/repo/target/debug/deps/libcontainment-33ca9f7fab470456.rmeta: tests/containment.rs
+
+tests/containment.rs:

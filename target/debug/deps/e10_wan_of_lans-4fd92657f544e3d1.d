@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_wan_of_lans-4fd92657f544e3d1.d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+/root/repo/target/debug/deps/libe10_wan_of_lans-4fd92657f544e3d1.rmeta: crates/bench/src/bin/e10_wan_of_lans.rs
+
+crates/bench/src/bin/e10_wan_of_lans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_wan_of_lans-ea27dd0496e293a4.d: crates/bench/src/bin/e10_wan_of_lans.rs
+
+/root/repo/target/debug/deps/libe10_wan_of_lans-ea27dd0496e293a4.rmeta: crates/bench/src/bin/e10_wan_of_lans.rs
+
+crates/bench/src/bin/e10_wan_of_lans.rs:

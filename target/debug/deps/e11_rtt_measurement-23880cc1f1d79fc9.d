@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_rtt_measurement-23880cc1f1d79fc9.d: crates/bench/src/bin/e11_rtt_measurement.rs
+
+/root/repo/target/debug/deps/libe11_rtt_measurement-23880cc1f1d79fc9.rmeta: crates/bench/src/bin/e11_rtt_measurement.rs
+
+crates/bench/src/bin/e11_rtt_measurement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_rtt_measurement-604dd5f413fffd73.d: crates/bench/src/bin/e11_rtt_measurement.rs
+
+/root/repo/target/debug/deps/libe11_rtt_measurement-604dd5f413fffd73.rmeta: crates/bench/src/bin/e11_rtt_measurement.rs
+
+crates/bench/src/bin/e11_rtt_measurement.rs:

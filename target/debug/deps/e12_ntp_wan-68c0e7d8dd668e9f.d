@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ntp_wan-68c0e7d8dd668e9f.d: crates/bench/src/bin/e12_ntp_wan.rs
+
+/root/repo/target/debug/deps/libe12_ntp_wan-68c0e7d8dd668e9f.rmeta: crates/bench/src/bin/e12_ntp_wan.rs
+
+crates/bench/src/bin/e12_ntp_wan.rs:

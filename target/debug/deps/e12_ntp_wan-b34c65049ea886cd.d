@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ntp_wan-b34c65049ea886cd.d: crates/bench/src/bin/e12_ntp_wan.rs
+
+/root/repo/target/debug/deps/libe12_ntp_wan-b34c65049ea886cd.rmeta: crates/bench/src/bin/e12_ntp_wan.rs
+
+crates/bench/src/bin/e12_ntp_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_aposteriori-0417b903c08876d6.d: crates/bench/src/bin/e13_aposteriori.rs
+
+/root/repo/target/debug/deps/libe13_aposteriori-0417b903c08876d6.rmeta: crates/bench/src/bin/e13_aposteriori.rs
+
+crates/bench/src/bin/e13_aposteriori.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_aposteriori-f78227c02a7755a5.d: crates/bench/src/bin/e13_aposteriori.rs
+
+/root/repo/target/debug/deps/libe13_aposteriori-f78227c02a7755a5.rmeta: crates/bench/src/bin/e13_aposteriori.rs
+
+crates/bench/src/bin/e13_aposteriori.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_header_base-50e2faa662ee0c2e.d: crates/bench/src/bin/e14_header_base.rs
+
+/root/repo/target/debug/deps/libe14_header_base-50e2faa662ee0c2e.rmeta: crates/bench/src/bin/e14_header_base.rs
+
+crates/bench/src/bin/e14_header_base.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_header_base-e0156ca75c9a752b.d: crates/bench/src/bin/e14_header_base.rs
+
+/root/repo/target/debug/deps/libe14_header_base-e0156ca75c9a752b.rmeta: crates/bench/src/bin/e14_header_base.rs
+
+crates/bench/src/bin/e14_header_base.rs:

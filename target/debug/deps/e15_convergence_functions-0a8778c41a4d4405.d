@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_convergence_functions-0a8778c41a4d4405.d: crates/bench/src/bin/e15_convergence_functions.rs
+
+/root/repo/target/debug/deps/libe15_convergence_functions-0a8778c41a4d4405.rmeta: crates/bench/src/bin/e15_convergence_functions.rs
+
+crates/bench/src/bin/e15_convergence_functions.rs:

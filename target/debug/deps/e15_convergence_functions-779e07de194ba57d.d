@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_convergence_functions-779e07de194ba57d.d: crates/bench/src/bin/e15_convergence_functions.rs
+
+/root/repo/target/debug/deps/libe15_convergence_functions-779e07de194ba57d.rmeta: crates/bench/src/bin/e15_convergence_functions.rs
+
+crates/bench/src/bin/e15_convergence_functions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_epsilon-33d45eaae9bc1376.d: crates/bench/src/bin/e1_epsilon.rs
+
+/root/repo/target/debug/deps/libe1_epsilon-33d45eaae9bc1376.rmeta: crates/bench/src/bin/e1_epsilon.rs
+
+crates/bench/src/bin/e1_epsilon.rs:

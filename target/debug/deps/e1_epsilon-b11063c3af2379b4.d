@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_epsilon-b11063c3af2379b4.d: crates/bench/src/bin/e1_epsilon.rs
+
+/root/repo/target/debug/deps/libe1_epsilon-b11063c3af2379b4.rmeta: crates/bench/src/bin/e1_epsilon.rs
+
+crates/bench/src/bin/e1_epsilon.rs:

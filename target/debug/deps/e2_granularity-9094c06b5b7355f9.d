@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_granularity-9094c06b5b7355f9.d: crates/bench/src/bin/e2_granularity.rs
+
+/root/repo/target/debug/deps/libe2_granularity-9094c06b5b7355f9.rmeta: crates/bench/src/bin/e2_granularity.rs
+
+crates/bench/src/bin/e2_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_granularity-a0a6a61a15f1f01b.d: crates/bench/src/bin/e2_granularity.rs
+
+/root/repo/target/debug/deps/libe2_granularity-a0a6a61a15f1f01b.rmeta: crates/bench/src/bin/e2_granularity.rs
+
+crates/bench/src/bin/e2_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_fosc_crossover-05cfc436d72ad78e.d: crates/bench/src/bin/e3_fosc_crossover.rs
+
+/root/repo/target/debug/deps/libe3_fosc_crossover-05cfc436d72ad78e.rmeta: crates/bench/src/bin/e3_fosc_crossover.rs
+
+crates/bench/src/bin/e3_fosc_crossover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_fosc_crossover-921404a067dd01a6.d: crates/bench/src/bin/e3_fosc_crossover.rs
+
+/root/repo/target/debug/deps/libe3_fosc_crossover-921404a067dd01a6.rmeta: crates/bench/src/bin/e3_fosc_crossover.rs
+
+crates/bench/src/bin/e3_fosc_crossover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_rate_sync-7c766ccffd49c34b.d: crates/bench/src/bin/e4_rate_sync.rs
+
+/root/repo/target/debug/deps/libe4_rate_sync-7c766ccffd49c34b.rmeta: crates/bench/src/bin/e4_rate_sync.rs
+
+crates/bench/src/bin/e4_rate_sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_gps_validation-9e844b0751b2903e.d: crates/bench/src/bin/e5_gps_validation.rs
+
+/root/repo/target/debug/deps/libe5_gps_validation-9e844b0751b2903e.rmeta: crates/bench/src/bin/e5_gps_validation.rs
+
+crates/bench/src/bin/e5_gps_validation.rs:

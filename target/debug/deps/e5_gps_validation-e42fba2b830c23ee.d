@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_gps_validation-e42fba2b830c23ee.d: crates/bench/src/bin/e5_gps_validation.rs
+
+/root/repo/target/debug/deps/libe5_gps_validation-e42fba2b830c23ee.rmeta: crates/bench/src/bin/e5_gps_validation.rs
+
+crates/bench/src/bin/e5_gps_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_class_table-7e2135dc0a6ef6ce.d: crates/bench/src/bin/e6_class_table.rs
+
+/root/repo/target/debug/deps/libe6_class_table-7e2135dc0a6ef6ce.rmeta: crates/bench/src/bin/e6_class_table.rs
+
+crates/bench/src/bin/e6_class_table.rs:

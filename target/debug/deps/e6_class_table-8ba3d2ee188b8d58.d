@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_class_table-8ba3d2ee188b8d58.d: crates/bench/src/bin/e6_class_table.rs
+
+/root/repo/target/debug/deps/libe6_class_table-8ba3d2ee188b8d58.rmeta: crates/bench/src/bin/e6_class_table.rs
+
+crates/bench/src/bin/e6_class_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_adder_clock-095e375b8cf3ba33.d: crates/bench/src/bin/e7_adder_clock.rs
+
+/root/repo/target/debug/deps/libe7_adder_clock-095e375b8cf3ba33.rmeta: crates/bench/src/bin/e7_adder_clock.rs
+
+crates/bench/src/bin/e7_adder_clock.rs:

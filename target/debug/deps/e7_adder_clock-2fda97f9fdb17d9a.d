@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_adder_clock-2fda97f9fdb17d9a.d: crates/bench/src/bin/e7_adder_clock.rs
+
+/root/repo/target/debug/deps/libe7_adder_clock-2fda97f9fdb17d9a.rmeta: crates/bench/src/bin/e7_adder_clock.rs
+
+crates/bench/src/bin/e7_adder_clock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_lower_bound-05c7ae6e53d4d711.d: crates/bench/src/bin/e8_lower_bound.rs
+
+/root/repo/target/debug/deps/libe8_lower_bound-05c7ae6e53d4d711.rmeta: crates/bench/src/bin/e8_lower_bound.rs
+
+crates/bench/src/bin/e8_lower_bound.rs:

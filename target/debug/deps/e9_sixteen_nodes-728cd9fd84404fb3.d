@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sixteen_nodes-728cd9fd84404fb3.d: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+/root/repo/target/debug/deps/libe9_sixteen_nodes-728cd9fd84404fb3.rmeta: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:

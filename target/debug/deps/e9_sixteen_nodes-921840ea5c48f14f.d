@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sixteen_nodes-921840ea5c48f14f.d: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+/root/repo/target/debug/deps/libe9_sixteen_nodes-921840ea5c48f14f.rmeta: crates/bench/src/bin/e9_sixteen_nodes.rs
+
+crates/bench/src/bin/e9_sixteen_nodes.rs:

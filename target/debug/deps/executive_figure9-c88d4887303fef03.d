@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executive_figure9-c88d4887303fef03.d: tests/executive_figure9.rs
+
+/root/repo/target/debug/deps/libexecutive_figure9-c88d4887303fef03.rmeta: tests/executive_figure9.rs
+
+tests/executive_figure9.rs:

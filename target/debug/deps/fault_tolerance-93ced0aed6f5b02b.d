@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-93ced0aed6f5b02b.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/libfault_tolerance-93ced0aed6f5b02b.rmeta: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

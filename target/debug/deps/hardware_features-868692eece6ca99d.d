@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardware_features-868692eece6ca99d.d: tests/hardware_features.rs
+
+/root/repo/target/debug/deps/libhardware_features-868692eece6ca99d.rmeta: tests/hardware_features.rs
+
+tests/hardware_features.rs:

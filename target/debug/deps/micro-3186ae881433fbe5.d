@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-3186ae881433fbe5.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-3186ae881433fbe5.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nti-4a8c681411bdb396.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnti-4a8c681411bdb396.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nti-c27de7df48f4460b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnti-c27de7df48f4460b.rmeta: src/lib.rs
+
+src/lib.rs:

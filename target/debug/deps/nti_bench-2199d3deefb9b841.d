@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nti_bench-2199d3deefb9b841.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/libnti_bench-2199d3deefb9b841.rmeta: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:

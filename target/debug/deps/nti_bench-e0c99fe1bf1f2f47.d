@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nti_bench-e0c99fe1bf1f2f47.d: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+/root/repo/target/debug/deps/libnti_bench-e0c99fe1bf1f2f47.rmeta: crates/bench/src/lib.rs crates/bench/src/obs_cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/obs_cli.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nti_core-3fe38811474e4837.d: crates/core/src/lib.rs crates/core/src/algo.rs crates/core/src/aposteriori.rs crates/core/src/cluster.rs crates/core/src/convergence.rs crates/core/src/interval.rs crates/core/src/node.rs crates/core/src/ntp_sync.rs crates/core/src/params.rs crates/core/src/payload.rs crates/core/src/rate.rs crates/core/src/rtt.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libnti_core-3fe38811474e4837.rmeta: crates/core/src/lib.rs crates/core/src/algo.rs crates/core/src/aposteriori.rs crates/core/src/cluster.rs crates/core/src/convergence.rs crates/core/src/interval.rs crates/core/src/node.rs crates/core/src/ntp_sync.rs crates/core/src/params.rs crates/core/src/payload.rs crates/core/src/rate.rs crates/core/src/rtt.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algo.rs:
+crates/core/src/aposteriori.rs:
+crates/core/src/cluster.rs:
+crates/core/src/convergence.rs:
+crates/core/src/interval.rs:
+crates/core/src/node.rs:
+crates/core/src/ntp_sync.rs:
+crates/core/src/params.rs:
+crates/core/src/payload.rs:
+crates/core/src/rate.rs:
+crates/core/src/rtt.rs:
+crates/core/src/validate.rs:

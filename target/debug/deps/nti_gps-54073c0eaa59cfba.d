@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nti_gps-54073c0eaa59cfba.d: crates/gps/src/lib.rs
+
+/root/repo/target/debug/deps/libnti_gps-54073c0eaa59cfba.rmeta: crates/gps/src/lib.rs
+
+crates/gps/src/lib.rs:

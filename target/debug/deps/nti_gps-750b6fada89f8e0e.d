@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nti_gps-750b6fada89f8e0e.d: crates/gps/src/lib.rs
+
+/root/repo/target/debug/deps/libnti_gps-750b6fada89f8e0e.rmeta: crates/gps/src/lib.rs
+
+crates/gps/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nti_kernel-711f60f9d4954184.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+/root/repo/target/debug/deps/libnti_kernel-711f60f9d4954184.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:

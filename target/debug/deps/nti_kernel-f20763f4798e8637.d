@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nti_kernel-f20763f4798e8637.d: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+/root/repo/target/debug/deps/libnti_kernel-f20763f4798e8637.rmeta: crates/kernel/src/lib.rs crates/kernel/src/exec.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/exec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nti_module-49e0e6f188c88637.d: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+/root/repo/target/debug/deps/libnti_module-49e0e6f188c88637.rmeta: crates/nti/src/lib.rs crates/nti/src/carrier.rs crates/nti/src/driver.rs crates/nti/src/sprom.rs
+
+crates/nti/src/lib.rs:
+crates/nti/src/carrier.rs:
+crates/nti/src/driver.rs:
+crates/nti/src/sprom.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nti_netsim-bb189948c63f928c.d: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+/root/repo/target/debug/deps/libnti_netsim-bb189948c63f928c.rmeta: crates/netsim/src/lib.rs crates/netsim/src/comco.rs crates/netsim/src/frame.rs crates/netsim/src/medium.rs crates/netsim/src/topology.rs crates/netsim/src/wan.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/comco.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/medium.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/wan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nti_obs-c5f6f8f5b3995f82.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libnti_obs-c5f6f8f5b3995f82.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/quantile.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/quantile.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nti_simcore-7a7e2b354b49775c.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libnti_simcore-7a7e2b354b49775c.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/ntp.rs crates/simcore/src/osc.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/ntp.rs:
+crates/simcore/src/osc.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nti_utcsu-142686f1befae344.d: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+/root/repo/target/debug/deps/libnti_utcsu-142686f1befae344.rmeta: crates/utcsu/src/lib.rs crates/utcsu/src/acu.rs crates/utcsu/src/btu.rs crates/utcsu/src/itu.rs crates/utcsu/src/ltu.rs crates/utcsu/src/regs.rs crates/utcsu/src/snu.rs crates/utcsu/src/stamp.rs crates/utcsu/src/timer.rs
+
+crates/utcsu/src/lib.rs:
+crates/utcsu/src/acu.rs:
+crates/utcsu/src/btu.rs:
+crates/utcsu/src/itu.rs:
+crates/utcsu/src/ltu.rs:
+crates/utcsu/src/regs.rs:
+crates/utcsu/src/snu.rs:
+crates/utcsu/src/stamp.rs:
+crates/utcsu/src/timer.rs:

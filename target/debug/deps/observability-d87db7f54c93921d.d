@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/observability-d87db7f54c93921d.d: crates/core/tests/observability.rs
+
+/root/repo/target/debug/deps/libobservability-d87db7f54c93921d.rmeta: crates/core/tests/observability.rs
+
+crates/core/tests/observability.rs:
+
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-039a0620344ddc3b.d: crates/obs/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-039a0620344ddc3b.rmeta: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

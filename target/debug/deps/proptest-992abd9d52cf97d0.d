@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-992abd9d52cf97d0.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-992abd9d52cf97d0.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5026861ef9722ef2.d: crates/utcsu/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-5026861ef9722ef2.rmeta: crates/utcsu/tests/proptests.rs
+
+crates/utcsu/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7e0165a638da0152.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-7e0165a638da0152.rmeta: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b635cea83aaaed10.d: crates/kernel/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-b635cea83aaaed10.rmeta: crates/kernel/tests/proptests.rs
+
+crates/kernel/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c9660fea0b91b484.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-c9660fea0b91b484.rmeta: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e0962ab5196858f3.d: crates/gps/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-e0962ab5196858f3.rmeta: crates/gps/tests/proptests.rs
+
+crates/gps/tests/proptests.rs:

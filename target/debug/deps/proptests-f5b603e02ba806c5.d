@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f5b603e02ba806c5.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-f5b603e02ba806c5.rmeta: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timestamp_flow-7058b9623df88e7f.d: tests/timestamp_flow.rs
+
+/root/repo/target/debug/deps/libtimestamp_flow-7058b9623df88e7f.rmeta: tests/timestamp_flow.rs
+
+tests/timestamp_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_ordering-26444d434458a128.d: examples/event_ordering.rs
+
+/root/repo/target/debug/examples/libevent_ordering-26444d434458a128.rmeta: examples/event_ordering.rs
+
+examples/event_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gps_validation-c76d46ac058513cf.d: examples/gps_validation.rs
+
+/root/repo/target/debug/examples/libgps_validation-c76d46ac058513cf.rmeta: examples/gps_validation.rs
+
+examples/gps_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/porting_the_cpld-1fbf191c7ab7fb23.d: examples/porting_the_cpld.rs
+
+/root/repo/target/debug/examples/libporting_the_cpld-1fbf191c7ab7fb23.rmeta: examples/porting_the_cpld.rs
+
+examples/porting_the_cpld.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6d3ddf1f5128002d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-6d3ddf1f5128002d.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sixteen_nodes-cbffe6ee2e47967d.d: examples/sixteen_nodes.rs
+
+/root/repo/target/debug/examples/libsixteen_nodes-cbffe6ee2e47967d.rmeta: examples/sixteen_nodes.rs
+
+examples/sixteen_nodes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synchronized_actuation-c7c834dc36213c50.d: examples/synchronized_actuation.rs
+
+/root/repo/target/debug/examples/libsynchronized_actuation-c7c834dc36213c50.rmeta: examples/synchronized_actuation.rs
+
+examples/synchronized_actuation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timestamping_modes-cbe0b133a2935593.d: examples/timestamping_modes.rs
+
+/root/repo/target/debug/examples/libtimestamping_modes-cbe0b133a2935593.rmeta: examples/timestamping_modes.rs
+
+examples/timestamping_modes.rs:
