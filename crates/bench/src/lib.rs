@@ -17,6 +17,7 @@
 //! | `e8_lower_bound` | §3.1: the \[LL84\] bound ε(1 − 1/n) |
 //! | `e9_sixteen_nodes` | §4: the 16-node prototype system |
 //! | `e10_wan_of_lans` | §1 fn.2: WANs-of-LANs with NTI gateways |
+//! | `e16_chaos` | §2 robustness: fault intensity × type matrix over the `nti-faults` taxonomy (`--smoke` = CI gate) |
 //!
 //! Set `NTI_EXP_FAST=1` to shrink the simulated durations (CI smoke runs).
 

@@ -56,7 +56,7 @@ impl ObsOpts {
                             if !known {
                                 eprintln!(
                                     "warning: unknown trace subsystem {part:?} \
-                                     (known: engine,net,kernel,utcsu,cluster,gps,app,all)"
+                                     (known: engine,net,kernel,utcsu,cluster,gps,app,faults,all)"
                                 );
                             }
                         }

@@ -80,6 +80,12 @@ pub struct SyncCore {
     /// Trust external intervals without validation (negative control for
     /// E5; Section 5 calls always-trusting a GPS receiver "questionable").
     pub blind_external: bool,
+    /// The node is (re)integrating after a cold start: its own interval is
+    /// operator-set and worthless, so the next convergence adopts the
+    /// ensemble a-posteriori (peers-only inputs, as in initial
+    /// synchronization) instead of merging its own state in. Cleared when a
+    /// convergence succeeds.
+    pub reintegrating: bool,
     /// CSPs discarded because convergence failed (diagnostics).
     pub cf_failures: u64,
     /// CSPs accepted over the run.
@@ -96,6 +102,7 @@ impl SyncCore {
             inbox: Vec::new(),
             ext: Vec::new(),
             blind_external: false,
+            reintegrating: false,
             cf_failures: 0,
             csps_accepted: 0,
         }
@@ -140,10 +147,18 @@ impl SyncCore {
         }
     }
 
-    /// Accept a preprocessed CSP into the current round's inbox.
-    pub fn accept(&mut self, p: Preprocessed) {
+    /// Accept a preprocessed CSP into the current round's inbox. A second
+    /// CSP from the same sender within one round — a duplicated frame — is
+    /// discarded: the first reception carries the correctly delay-
+    /// compensated stamp, the copy arrives late by a frame time. Returns
+    /// whether the CSP entered the inbox.
+    pub fn accept(&mut self, p: Preprocessed) -> bool {
+        if self.inbox.iter().any(|q| q.from == p.from) {
+            return false;
+        }
         self.inbox.push(p);
         self.csps_accepted += 1;
+        true
     }
 
     /// Accept a validated external (GPS) interval, already expressed in
@@ -197,10 +212,21 @@ impl SyncCore {
         self.round += 1;
         let inbox = std::mem::take(&mut self.inbox);
         let ext = std::mem::take(&mut self.ext);
+        // A reintegrating node with nothing heard keeps free-running wide
+        // (its deteriorating interval stays honest) and tries again next
+        // round; with peers heard, it adopts them a-posteriori by leaving
+        // its own operator-set interval out of the inputs.
+        if self.reintegrating && inbox.is_empty() && ext.is_empty() {
+            return None;
+        }
+        let reintegrating = self.reintegrating;
         let own = AccInterval::from_alpha(now, own_alpha.0, own_alpha.1);
         match self.algo {
             AlgoKind::IntervalOa | AlgoKind::IntervalMarzullo => {
-                let mut inputs = vec![own];
+                let mut inputs = Vec::with_capacity(1 + inbox.len() + ext.len());
+                if !reintegrating {
+                    inputs.push(own);
+                }
                 inputs.extend(inbox.iter().map(|p| self.drift_compensate(p, now)));
                 inputs.extend(ext.iter().map(|p| self.drift_compensate(p, now)));
                 let cf = match self.algo {
@@ -234,6 +260,7 @@ impl SyncCore {
                         new = ix.rebase(ix.value.wrapping_add_units(d));
                     }
                 }
+                self.reintegrating = false;
                 let delta = new.value.wrapping_diff_units(now);
                 // The loaded accuracies must cover the pre-amortization
                 // state: widen by |delta| (shrunk back during the slew via
@@ -253,12 +280,15 @@ impl SyncCore {
                     self.cf_failures += 1;
                     return None;
                 }
-                let mut offsets: Vec<i128> = vec![0]; // own clock
+                // A reintegrating node leaves its own (cold) clock out and
+                // adopts the peer median.
+                let mut offsets: Vec<i128> = if reintegrating { vec![] } else { vec![0] };
                 for p in &inbox {
                     // Ship the offset estimate forward: offsets are
                     // rate-stable over Δ, no compensation in the baseline.
                     offsets.push(p.offset_units);
                 }
+                self.reintegrating = false;
                 let delta = ftm(&offsets, self.params.f);
                 Some(Enforcement {
                     delta_units: delta,

@@ -30,6 +30,7 @@ use crate::params::{
 use crate::payload::{CspPayload, CSP_PAYLOAD_LEN};
 use crate::rate::RateSync;
 use crate::validate::{gps_observation, validate, ValidationStats};
+use nti_faults::{FaultInjector, FaultPlan};
 use nti_gps::{GpsConfig, GpsFault, GpsReceiver};
 use nti_kernel::{ComcoDriver, Interface, Kernel, KernelConfig};
 use nti_module::{CpldConfig, Nti, UTCSU_BASE};
@@ -129,6 +130,9 @@ pub struct GpsNodeCfg {
     /// Receiver characteristics.
     pub cfg: GpsConfig,
     /// Injected fault episodes.
+    ///
+    /// Deprecated shim: equivalent to `FaultKind::Gps` episodes in the
+    /// fault plan — prefer `FaultPlan::gps`.
     pub faults: Vec<GpsFault>,
 }
 
@@ -190,11 +194,22 @@ pub struct ClusterConfig {
     pub gps: Vec<GpsNodeCfg>,
     /// Background traffic, if any.
     pub bg_load: Option<BgLoad>,
+    /// The fault schedule: typed episodes applied across every layer
+    /// (netsim, oscillators, trigger path, GPS, node lifecycle) by a
+    /// seeded injector. An empty plan leaves the run bit-identical to a
+    /// fault-free one. See `nti-faults`.
+    pub fault_plan: FaultPlan,
     /// Byzantine nodes: broadcast wildly wrong intervals every round (the
     /// convergence function must mask up to `f` of them).
+    ///
+    /// Deprecated shim: folded into the fault plan at build time — prefer
+    /// `FaultPlan::byzantine`.
     pub byzantine: Vec<usize>,
     /// Probability that a CSP frame is corrupted on the wire (CRC dropped
     /// at the receiver *after* the RECEIVE trigger fired — footnote 4).
+    ///
+    /// Deprecated shim: folded into the fault plan at build time — prefer
+    /// `FaultPlan::crc_errors`.
     pub crc_error_rate: f64,
     /// Disable clock validation and trust every GPS interval blindly — the
     /// "questionable undertaking" of Section 5, as a negative control.
@@ -253,6 +268,7 @@ impl ClusterConfig {
             init_offset: SimDuration::from_micros(500),
             gps: Vec::new(),
             bg_load: None,
+            fault_plan: FaultPlan::new(),
             byzantine: Vec::new(),
             crc_error_rate: 0.0,
             gps_blind_trust: false,
@@ -306,8 +322,25 @@ pub struct Metrics {
     pub csps_sent: u64,
     /// CSP receptions processed.
     pub csps_delivered: u64,
-    /// CSP receptions dropped (CRC).
+    /// CSP receptions dropped, all causes (= crc + overrun + injected).
     pub csps_dropped: u64,
+    /// … of which CRC-discarded frames (trigger fired, frame bad).
+    pub csps_dropped_crc: u64,
+    /// … of which receive-latch overruns and memory-path losses (the stamp
+    /// could not be attributed to its frame).
+    pub csps_dropped_overrun: u64,
+    /// … of which fault-plan injections (packet loss, partitions, missed
+    /// triggers).
+    pub csps_dropped_injected: u64,
+    /// Node crashes executed by the fault plan.
+    pub crashes: u64,
+    /// Restarted nodes that completed reintegration (first successful
+    /// convergence after the cold restart).
+    pub rejoins: u64,
+    /// Post-rejoin α trajectories: for each restart, `max(α⁻, α⁺)` in
+    /// seconds read after each convergence from the acquisition round on
+    /// (capped at [`REJOIN_TRACK_ROUNDS`] entries).
+    pub rejoin_alpha: Vec<(usize, Vec<f64>)>,
     /// Background frames generated.
     pub bg_frames: u64,
     /// Effective rate spread (max−min, ppm) at the last snapshot.
@@ -341,6 +374,23 @@ struct ClusterObs {
     csps_sent: Arc<Counter>,
     csps_delivered: Arc<Counter>,
     csps_dropped: Arc<Counter>,
+    csps_dropped_crc: Arc<Counter>,
+    csps_dropped_overrun: Arc<Counter>,
+    csps_dropped_injected: Arc<Counter>,
+}
+
+/// How many post-rejoin convergence rounds of α are recorded per restart.
+pub const REJOIN_TRACK_ROUNDS: usize = 12;
+
+/// Cause attribution for a dropped CSP reception.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DropCause {
+    /// CRC-discarded frame (trigger fired, frame bad — footnote 4).
+    Crc,
+    /// Receive-latch overrun or memory-path loss.
+    Overrun,
+    /// Injected by the fault plan (loss, partition, missed trigger).
+    Injected,
 }
 
 /// The simulated world (the engine's state type).
@@ -356,8 +406,14 @@ pub struct World {
     /// Receive-trigger instants per (flight, receiver) for ε measurement.
     rx_triggers: HashMap<(u64, usize), SimTime>,
     next_flight: u64,
-    /// RNG stream for injected wire faults (CRC corruption).
-    fault_rng: SimRng,
+    /// The fault-plan applicator (owns all fault RNG streams).
+    injector: FaultInjector,
+    /// Crashed nodes (true = down). Down nodes run no handlers, receive no
+    /// frames and are excluded from metrics until they reintegrate.
+    down: Vec<bool>,
+    /// Restarted nodes whose post-rejoin α trajectory is still being
+    /// recorded: node → index into `metrics.rejoin_alpha`.
+    rejoin_track: HashMap<usize, usize>,
     /// Per-application-event collected APU stamps (event id -> stamps).
     app_pending: HashMap<u64, Vec<NtpTime>>,
     /// Measurements.
@@ -377,6 +433,11 @@ impl World {
     /// The configuration this run was built from.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// Is node `id` currently crashed?
+    pub fn is_down(&self, id: usize) -> bool {
+        self.down[id]
     }
 }
 
@@ -405,6 +466,14 @@ pub struct Report {
     pub containment: (u64, u64),
     /// CSPs sent / delivered / dropped.
     pub csps: (u64, u64, u64),
+    /// Dropped-CSP attribution: CRC / latch-overrun / fault-injected.
+    pub csp_drop_causes: (u64, u64, u64),
+    /// Node crashes / completed reintegrations.
+    pub churn: (u64, u64),
+    /// Worst number of post-rejoin convergence rounds any restarted node
+    /// needed to shrink α below 10× its steady-state value (−1 when no
+    /// restart completed or a trajectory never recovered).
+    pub rejoin_recovery_rounds: i64,
     /// GPS intervals accepted / rejected by validation.
     pub gps: (u64, u64),
     /// Effective rate spread at the end (ppm).
@@ -446,6 +515,25 @@ impl Report {
                     Json::num(self.csps.1 as f64),
                     Json::num(self.csps.2 as f64),
                 ]),
+            ),
+            (
+                "csp_drop_causes",
+                Json::Arr(vec![
+                    Json::num(self.csp_drop_causes.0 as f64),
+                    Json::num(self.csp_drop_causes.1 as f64),
+                    Json::num(self.csp_drop_causes.2 as f64),
+                ]),
+            ),
+            (
+                "churn",
+                Json::Arr(vec![
+                    Json::num(self.churn.0 as f64),
+                    Json::num(self.churn.1 as f64),
+                ]),
+            ),
+            (
+                "rejoin_recovery_rounds",
+                Json::num(self.rejoin_recovery_rounds as f64),
             ),
             (
                 "gps",
@@ -539,6 +627,21 @@ impl Cluster {
         let params = derive_params(&cfg);
         let root = SimRng::new(cfg.seed);
         let n = cfg.topology.node_count();
+        // Effective fault plan: the explicit plan plus the legacy knobs
+        // (byzantine / crc_error_rate) folded in as episodes.
+        let mut plan = cfg.fault_plan.clone();
+        if !cfg.byzantine.is_empty() {
+            plan.merge(&FaultPlan::byzantine(&cfg.byzantine));
+        }
+        if cfg.crc_error_rate > 0.0 {
+            plan.merge(&FaultPlan::crc_errors(cfg.crc_error_rate));
+        }
+        let mut injector = FaultInjector::new(&plan, &root);
+        injector.attach_observer(&cfg.obs);
+        for (node, at, _) in injector.crash_windows() {
+            assert!(node < n, "crash episode targets node {node} of {n}");
+            assert!(at > SimTime::ZERO, "crash at t=0 is not meaningful");
+        }
         let quant = if cfg.granularity <= SimDuration::from_nanos(60) {
             UTCSU_QUANT_UNITS
         } else {
@@ -549,9 +652,13 @@ impl Cluster {
         let mut cfg_rng = root.split("cfg");
         for id in 0..n {
             let node_rng = root.split_idx("node", id as u64);
-            let osc = cfg
+            let mut osc = cfg
                 .drift
                 .build(&mut cfg_rng, cfg.fosc_hz, node_rng.split("osc"));
+            let excursions = injector.drift_excursions(id);
+            if !excursions.is_empty() {
+                osc.set_excursions(&excursions);
+            }
             let mut nti = Nti::new(
                 UtcsuConfig {
                     fosc_hz: cfg.fosc_hz,
@@ -617,6 +724,19 @@ impl Cluster {
             nodes[g.node].nti.utcsu_mut().gpu[gpu_idx].enabled = true;
             nodes[g.node].gps.push(rx);
         }
+        // GPS faults from the fault plan ride on receivers declared in
+        // `cfg.gps` (an episode cannot conjure hardware).
+        for (id, node) in nodes.iter_mut().enumerate() {
+            for (receiver, fault) in injector.gps_faults(id) {
+                assert!(
+                    receiver < node.gps.len(),
+                    "Gps fault episode targets receiver {receiver} of node {id}, \
+                     which has {} receivers configured",
+                    node.gps.len()
+                );
+                node.gps[receiver].inject(fault);
+            }
+        }
 
         if let Some(sec) = cfg.actuation_start_sec {
             for node in &mut nodes {
@@ -644,7 +764,9 @@ impl Cluster {
             flights: HashMap::new(),
             rx_triggers: HashMap::new(),
             next_flight: 0,
-            fault_rng: root.split("faults"),
+            injector,
+            down: vec![false; n],
+            rejoin_track: HashMap::new(),
             app_pending: HashMap::new(),
             metrics: Metrics::default(),
             obs: None,
@@ -676,6 +798,9 @@ impl Cluster {
                 csps_sent: obs.counter(key("csps_sent")).expect("enabled"),
                 csps_delivered: obs.counter(key("csps_delivered")).expect("enabled"),
                 csps_dropped: obs.counter(key("csps_dropped")).expect("enabled"),
+                csps_dropped_crc: obs.counter(key("csps_dropped_crc")).expect("enabled"),
+                csps_dropped_overrun: obs.counter(key("csps_dropped_overrun")).expect("enabled"),
+                csps_dropped_injected: obs.counter(key("csps_dropped_injected")).expect("enabled"),
             });
         }
         let mut eng = Eng::new();
@@ -709,6 +834,29 @@ impl Cluster {
                 eng.schedule_at(SimTime::from_millis(1 + id as u64), move |w, e| {
                     bg_load(w, e, id)
                 });
+            }
+        }
+        // Fault-plan lifecycle and boundary events. Scheduled only when
+        // the plan is non-empty: extra events would perturb the engine's
+        // tie-break sequence numbers even with no-op handlers, and an
+        // empty plan must leave the run bit-identical to the seed.
+        if !world.injector.is_empty() {
+            let end = SimTime::ZERO + world.cfg.duration;
+            apply_lan_faults(&mut world, SimTime::ZERO);
+            for t in world.injector.boundaries() {
+                if t > SimTime::ZERO && t < end {
+                    eng.schedule_at(t, fault_boundary);
+                }
+            }
+            for (id, at, restart) in world.injector.crash_windows() {
+                if at < end {
+                    eng.schedule_at(at, move |w, e| crash_node(w, e, id));
+                }
+                if let Some(r) = restart {
+                    if r < end {
+                        eng.schedule_at(r, move |w, e| restart_node(w, e, id));
+                    }
+                }
             }
         }
         Cluster { eng, world }
@@ -764,12 +912,38 @@ fn finalize(w: &mut World) -> Report {
         eps_samples: m.eps_delay.count(),
         containment: (m.containment_violations, m.containment_checks),
         csps: (m.csps_sent, m.csps_delivered, m.csps_dropped),
+        csp_drop_causes: (
+            m.csps_dropped_crc,
+            m.csps_dropped_overrun,
+            m.csps_dropped_injected,
+        ),
+        churn: (m.crashes, m.rejoins),
+        rejoin_recovery_rounds: rejoin_recovery_rounds(&m.rejoin_alpha),
         gps: (m.gps_accepted, m.gps_rejected),
         rate_spread_ppm: m.rate_spread_ppm_last,
         cf_failures,
         app_events: (m.app_event_spread.max(), m.app_event_spread.count()),
         actuations: (m.actuation_spread.max(), m.actuation_spread.count()),
     }
+}
+
+/// Worst rounds-to-recover over all post-rejoin α trajectories: the first
+/// convergence (1-based) at which α fell below 10× the trajectory's
+/// steady-state (its minimum). −1 when no trajectory recovered or none was
+/// recorded.
+fn rejoin_recovery_rounds(trajectories: &[(usize, Vec<f64>)]) -> i64 {
+    let mut worst: i64 = -1;
+    for (_, traj) in trajectories {
+        let Some(steady) = traj.iter().copied().reduce(f64::min) else {
+            continue;
+        };
+        let hit = traj.iter().position(|&a| a <= steady * 10.0);
+        match hit {
+            Some(i) => worst = worst.max(i as i64 + 1),
+            None => return -1,
+        }
+    }
+    worst
 }
 
 /// Units of 2⁻⁵⁹ s for a duration (ceil).
@@ -821,6 +995,9 @@ fn schedule_utcsu_service(world: &mut World, eng: &mut Eng, id: usize) {
 /// internal event (duty timer, amortization end, leap).
 fn utcsu_service(world: &mut World, eng: &mut Eng, id: usize) {
     world.nodes[id].utcsu_event = None;
+    if world.down[id] {
+        return;
+    }
     let now = eng.now();
     world.nodes[id].advance(now);
     let pending = world.nodes[id].nti.utcsu().itu.pending();
@@ -870,11 +1047,14 @@ fn round_start(world: &mut World, eng: &mut Eng, id: usize) {
 /// Step 2-4: hand the CSP to the COMCO(s) and plan the transmissions.
 fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_real: SimTime) {
     let now = eng.now();
+    if world.down[id] {
+        return; // crashed between assembly and the COMCO hand-off
+    }
     world.nodes[id].advance(now);
     let (alpha_m, alpha_p) = world.nodes[id].read_alpha_regs(now);
     let ms = world.nodes[id].clock(now).macrostamp().0;
     let round = world.nodes[id].core.round + 1;
-    let byzantine = world.cfg.byzantine.contains(&id);
+    let byzantine = world.injector.is_byzantine(id, now);
     let payload = CspPayload {
         node: id as u32,
         round,
@@ -944,8 +1124,7 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
             .count();
         let fid = world.next_flight;
         world.next_flight += 1;
-        let corrupted =
-            world.cfg.crc_error_rate > 0.0 && world.fault_rng.chance(world.cfg.crc_error_rate);
+        let corrupted = world.injector.crc_corrupt(id, now);
         world.flights.insert(
             fid,
             Flight {
@@ -987,6 +1166,9 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
 /// insertion into the outgoing packet").
 fn exec_tx_read(world: &mut World, eng: &mut Eng, id: usize, fid: u64, slot: u32, off: u32) {
     let now = eng.now();
+    if world.down[id] {
+        return; // DMA engine lost power mid-transmission
+    }
     world.nodes[id].advance(now);
     let Some(flight) = world.flights.get_mut(&fid) else {
         return;
@@ -1035,10 +1217,17 @@ fn exec_tx_read(world: &mut World, eng: &mut Eng, id: usize, fid: u64, slot: u32
 
 /// Last bit left the wire: fan out receptions on the segment.
 fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
+    let now = eng.now();
     let Some(flight) = world.flights.get(&fid) else {
         return;
     };
     let (src, lan, wire_end) = (flight.src, flight.lan, flight.wire_end);
+    if world.mediums[lan].is_partitioned() {
+        // Severed segment: the frame propagated into the break and reaches
+        // no receiver.
+        world.flights.remove(&fid);
+        return;
+    }
     let prop = world.mediums[lan].propagation();
     let members: Vec<usize> = world
         .topology
@@ -1051,39 +1240,78 @@ fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
         world.flights.remove(&fid);
         return;
     }
+    let mut scheduled: usize = 0;
     for q in members {
-        let arrival = wire_end + prop;
-        let a_q = world
-            .topology
-            .attachment_index(q, lan)
-            .expect("member attachment");
-        let plan = world.nodes[q].comcos[a_q].plan_receive(arrival, world.cfg.cpld.header_len);
-        let slot = world.nodes[q].rx_slot % world.nodes[q].nti.rx_header_count();
-        world.nodes[q].rx_slot = world.nodes[q].rx_slot.wrapping_add(1);
-        for acc in &plan.header_writes {
-            let (at, off) = (acc.at, acc.offset);
-            eng.schedule_at(at, move |w, e| exec_rx_write(w, e, q, fid, a_q, slot, off));
+        if world.down[q] {
+            continue; // powered-off NIC: the frame falls on deaf ears
         }
-        // The COMCO also stores the frame data into the receiver's data
-        // buffer (a plain region: no triggers) before the interrupt.
-        let first_write = plan.header_writes.first().map(|a| a.at).unwrap_or(arrival);
-        eng.schedule_at(first_write, move |w, _| {
-            let Some(flight) = w.flights.get(&fid) else {
-                return;
-            };
-            let bytes = flight.payload_bytes.clone();
-            let buf = rx_data_buf(slot);
-            for (i, chunk) in bytes.chunks(4).enumerate() {
-                let mut word = [0u8; 4];
-                word[..chunk.len()].copy_from_slice(chunk);
-                w.nodes[q]
-                    .nti
-                    .write32(buf + i as u32 * 4, u32::from_le_bytes(word));
-            }
-        });
-        let int_at = plan.interrupt_at;
-        eng.schedule_at(int_at, move |w, e| rx_complete(w, e, q, fid, a_q, slot));
+        if world.injector.drop_reception(src, q, now) {
+            count_drop(world, now, q, DropCause::Injected);
+            continue;
+        }
+        let arrival = wire_end + prop + world.injector.extra_arrival_delay(src, q, now);
+        schedule_reception(world, eng, fid, q, lan, arrival);
+        scheduled += 1;
+        if world.injector.duplicate_reception(src, q, now) {
+            // A duplicated frame arrives one serialization slot later; the
+            // protocol sees the same (sender, round) twice and the inbox
+            // take() keeps only the first, but the trigger/latch machinery
+            // still exercises the overrun path.
+            let dup_at = arrival + world.mediums[lan].serialize(csp_frame_bits());
+            schedule_reception(world, eng, fid, q, lan, dup_at);
+            scheduled += 1;
+        }
     }
+    if scheduled == 0 {
+        world.flights.remove(&fid);
+    } else if let Some(flight) = world.flights.get_mut(&fid) {
+        flight.receivers_pending = scheduled;
+    }
+}
+
+/// Schedule the COMCO reception pipeline (header writes, data copy,
+/// interrupt) for one receiver of one flight, starting at `arrival`.
+fn schedule_reception(
+    world: &mut World,
+    eng: &mut Eng,
+    fid: u64,
+    q: usize,
+    lan: usize,
+    arrival: SimTime,
+) {
+    let a_q = world
+        .topology
+        .attachment_index(q, lan)
+        .expect("member attachment");
+    let plan = world.nodes[q].comcos[a_q].plan_receive(arrival, world.cfg.cpld.header_len);
+    let slot = world.nodes[q].rx_slot % world.nodes[q].nti.rx_header_count();
+    world.nodes[q].rx_slot = world.nodes[q].rx_slot.wrapping_add(1);
+    for acc in &plan.header_writes {
+        let (at, off) = (acc.at, acc.offset);
+        eng.schedule_at(at, move |w, e| exec_rx_write(w, e, q, fid, a_q, slot, off));
+    }
+    // The COMCO also stores the frame data into the receiver's data
+    // buffer (a plain region: no triggers) before the interrupt.
+    let first_write = plan.header_writes.first().map(|a| a.at).unwrap_or(arrival);
+    eng.schedule_at(first_write, move |w, _| {
+        if w.down[q] {
+            return;
+        }
+        let Some(flight) = w.flights.get(&fid) else {
+            return;
+        };
+        let bytes = flight.payload_bytes.clone();
+        let buf = rx_data_buf(slot);
+        for (i, chunk) in bytes.chunks(4).enumerate() {
+            let mut word = [0u8; 4];
+            word[..chunk.len()].copy_from_slice(chunk);
+            w.nodes[q]
+                .nti
+                .write32(buf + i as u32 * 4, u32::from_le_bytes(word));
+        }
+    });
+    let int_at = plan.interrupt_at;
+    eng.schedule_at(int_at, move |w, e| rx_complete(w, e, q, fid, a_q, slot));
 }
 
 /// One COMCO header write during reception (step 5). The write of the
@@ -1098,8 +1326,42 @@ fn exec_rx_write(
     off: u32,
 ) {
     let now = eng.now();
+    if world.down[q] {
+        return;
+    }
     world.nodes[q].advance(now);
     let cpld = world.nodes[q].nti.cpld();
+    if off == cpld.rcv_trigger_off {
+        // Trigger-path fault injection: a missed DMA trigger means the
+        // stamp is never latched (the frame later drops in rx_complete); a
+        // late trigger latches a stamp that post-dates the true arrival.
+        if world.injector.missed_trigger(q, now) {
+            world.nodes[q]
+                .driver
+                .deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
+            return;
+        }
+        if let Some(d) = world.injector.late_trigger(q, now) {
+            eng.schedule_at(now + d, move |w, e| {
+                if w.down[q] {
+                    return;
+                }
+                let t = e.now();
+                w.nodes[q].advance(t);
+                if a == 0 {
+                    let addr = w.nodes[q].nti.rx_header_addr(slot) + off;
+                    w.nodes[q].nti.write32(addr, 0);
+                } else {
+                    w.nodes[q].nti.utcsu_mut().trigger_ssu_receive(a);
+                }
+                w.rx_triggers.insert((fid, q), t);
+            });
+            world.nodes[q]
+                .driver
+                .deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
+            return;
+        }
+    }
     if a == 0 {
         let addr = world.nodes[q].nti.rx_header_addr(slot) + off;
         world.nodes[q].nti.write32(addr, 0);
@@ -1119,6 +1381,18 @@ fn exec_rx_write(
 /// timestamping mode; the CSP enters the algorithm.
 fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, slot: u32) {
     let now = eng.now();
+    if world.down[q] {
+        // Still decrement the flight bookkeeping so the sender-side state
+        // is reclaimed, then drop the frame on the floor.
+        if let Some(flight) = world.flights.get_mut(&fid) {
+            flight.receivers_pending -= 1;
+            if flight.receivers_pending == 0 {
+                world.flights.remove(&fid);
+            }
+        }
+        world.rx_triggers.remove(&(fid, q));
+        return;
+    }
     world.nodes[q].advance(now);
     // The protocol software reads the CSP payload out of the receiver's
     // own NTI memory (CPU view) — the bytes the COMCO deposited.
@@ -1159,10 +1433,10 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
             flight.payload = p;
         }
         None => {
-            // Payload missing from memory: treat as a drop.
+            // Payload missing from memory: an overlapped reception
+            // clobbered the data buffer before the ISR read it.
             world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
-            world.metrics.csps_dropped += 1;
-            obs_csp_dropped(world, now, q);
+            count_drop(world, now, q, DropCause::Overrun);
             return;
         }
     }
@@ -1170,8 +1444,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
         // Footnote 4: the trigger fired but the frame is discarded; the
         // ISR clears the latch so the stamp is not misattributed.
         world.nodes[q].nti.utcsu_mut().ssu[a].receive.clear();
-        world.metrics.csps_dropped += 1;
-        obs_csp_dropped(world, now, q);
+        count_drop(world, now, q, DropCause::Crc);
         return;
     }
     let mode = world.cfg.mode;
@@ -1183,7 +1456,18 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
             // value was sampled at the trigger regardless of ISR timing.
             let recv_local = match world.nodes[q].take_rx_stamp(a) {
                 Some(t) => t,
-                None => return, // latch lost to overrun: drop
+                None => {
+                    // No usable latch: either back-to-back triggers overran
+                    // the stamp latch, or an injected missed trigger never
+                    // latched one.
+                    let cause = if trigger_real.is_some() {
+                        DropCause::Overrun
+                    } else {
+                        DropCause::Injected
+                    };
+                    count_drop(world, now, q, cause);
+                    return;
+                }
             };
             if let (Some(tr), Some(tx)) = (trigger_real, flight.xmit_trigger_real) {
                 record_eps(world, eng.now(), tr, tx);
@@ -1274,10 +1558,22 @@ fn sw_xmit_stamp(flight: &Flight, recv_local: NtpTime) -> (NtpTime, Accuracy, Ac
     )
 }
 
-/// A CSP reception was discarded (CRC or memory-path failure).
-fn obs_csp_dropped(world: &World, now: SimTime, q: usize) {
+/// A CSP reception was discarded; attribute the loss so fault-matrix runs
+/// can tell CRC failures from latch overruns from injected network loss.
+fn count_drop(world: &mut World, now: SimTime, q: usize, cause: DropCause) {
+    world.metrics.csps_dropped += 1;
+    match cause {
+        DropCause::Crc => world.metrics.csps_dropped_crc += 1,
+        DropCause::Overrun => world.metrics.csps_dropped_overrun += 1,
+        DropCause::Injected => world.metrics.csps_dropped_injected += 1,
+    }
     if let Some(o) = &world.obs {
         o.csps_dropped.inc();
+        match cause {
+            DropCause::Crc => o.csps_dropped_crc.inc(),
+            DropCause::Overrun => o.csps_dropped_overrun.inc(),
+            DropCause::Injected => o.csps_dropped_injected.inc(),
+        }
         o.obs
             .instant(now.as_fs(), q as u32, Subsystem::Cluster, "csp_dropped");
     }
@@ -1311,12 +1607,14 @@ fn process_csp(
         recv_local,
     };
     let p = node.core.preprocess(&csp);
+    if !node.core.accept(p) {
+        return; // duplicated frame: the first reception's stamp stands
+    }
     // Rate estimation uses the slew-compensated local clock: subtracting
     // the cumulative state adjustment keeps enforcement slews out of the
     // rate estimates (they would otherwise register as rate error).
     let rate_local = recv_local.wrapping_add_units(-node.cum_adj_units);
     node.rate.observe(payload.node, csp.xmit_stamp, rate_local);
-    node.core.accept(p);
     world.metrics.csps_delivered += 1;
     if let Some(o) = &world.obs {
         o.csps_delivered.inc();
@@ -1371,9 +1669,16 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
     }
     let clock = world.nodes[id].read_clock_regs(now);
     let alpha = world.nodes[id].read_alpha_regs(now);
+    let was_reintegrating = world.nodes[id].core.reintegrating;
     let Some(enf) = world.nodes[id].core.converge(clock, alpha) else {
         return;
     };
+    if was_reintegrating && !world.nodes[id].core.reintegrating {
+        // First convergence built purely from peer CSPs: the restarted
+        // node has reacquired synchronized time and rejoins the ensemble.
+        world.metrics.rejoins += 1;
+        world.injector.note_rejoin(now, id);
+    }
     let amort_ticks = world.nodes[id].ticks_for(world.cfg.amortization);
     let node = &mut world.nodes[id];
     match world.cfg.algo {
@@ -1430,6 +1735,18 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
             node.nti.utcsu_mut().apply_load();
         }
     }
+    // α-recovery trajectory for recently restarted nodes: one sample per
+    // completed round, until the tracking window closes.
+    if !world.nodes[id].core.reintegrating {
+        if let Some(&idx) = world.rejoin_track.get(&id) {
+            let (am, ap) = world.nodes[id].read_alpha_regs(now);
+            let worst = am.max(ap).as_secs_f64();
+            world.metrics.rejoin_alpha[idx].1.push(worst);
+            if world.metrics.rejoin_alpha[idx].1.len() >= REJOIN_TRACK_ROUNDS {
+                world.rejoin_track.remove(&id);
+            }
+        }
+    }
     schedule_utcsu_service(world, eng, id);
 }
 
@@ -1460,6 +1777,20 @@ fn in_leap_blackout(world: &World, now: SimTime) -> bool {
 /// one round period later.
 fn actuation_fired(world: &mut World, eng: &mut Eng, id: usize) {
     let now = eng.now();
+    if world.down.iter().any(|&d| d) {
+        // A crashed node can never complete the barrier; discard partial
+        // samples rather than recording a bogus spread.
+        world.metrics.actuation_pending.clear();
+        if world.down[id] {
+            return;
+        }
+        let node = &mut world.nodes[id];
+        let next = node.nti.utcsu().timers[2]
+            .target()
+            .wrapping_add_units(units(world.cfg.round_period) as i128);
+        arm_timer(node, 2, next);
+        return;
+    }
     world.metrics.actuation_pending.push(now);
     if world.metrics.actuation_pending.len() == world.nodes.len() {
         let v = std::mem::take(&mut world.metrics.actuation_pending);
@@ -1488,15 +1819,22 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
     let mut rates: Vec<f64> = Vec::with_capacity(world.nodes.len());
     let in_window = now.as_fs() >= world.cfg.warmup.as_fs() && !in_leap_blackout(world, now);
     for id in 0..world.nodes.len() {
+        // Crashed nodes hold no clock; reintegrating nodes are excluded
+        // from ensemble metrics until they have reacquired synchronized
+        // time (their cold-start interval would otherwise dominate).
+        if world.down[id] || world.nodes[id].core.reintegrating {
+            continue;
+        }
         world.nodes[id].advance(now);
         let stamp = world.nodes[id].nti.utcsu_mut().trigger_hwsnap();
         let _ = world.nodes[id].nti.utcsu_mut().snu.take();
-        times.push(world.nodes[id].nti.utcsu().time());
+        let t = world.nodes[id].nti.utcsu().time();
+        times.push(t);
         rates.push(world.nodes[id].effective_rate_ppm(now));
         if in_window {
             let reference = ref_time(world, now);
             let (am, ap) = world.nodes[id].nti.utcsu().alpha();
-            let iv = AccInterval::from_alpha(times[id], am, ap);
+            let iv = AccInterval::from_alpha(t, am, ap);
             world.metrics.containment_checks += 1;
             if !iv.contains_time(reference) {
                 world.metrics.containment_violations += 1;
@@ -1542,6 +1880,13 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
 /// GPS per-second generator: emit the pulse for `sec`, schedule the stamp
 /// and TOD handling, then re-arm for the next second.
 fn gps_second(world: &mut World, eng: &mut Eng, id: usize, g: usize, sec: u64) {
+    if world.down[id] {
+        // The receiver keeps running, but the crashed node samples nothing;
+        // just re-arm the generator.
+        let next = SimTime::from_millis(sec * 1000 + 500);
+        eng.schedule_at(next, move |w, e| gps_second(w, e, id, g, sec + 1));
+        return;
+    }
     if let Some(pulse) = world.nodes[id].gps[g].pulse_for_second(sec) {
         // The GPU samples at the first tick after the edge plus the
         // synchronizer stages.
@@ -1549,6 +1894,9 @@ fn gps_second(world: &mut World, eng: &mut Eng, id: usize, g: usize, sec: u64) {
         let idx = world.nodes[id].osc.ticks_at(pulse.at) + (stages - 1);
         let sample_at = world.nodes[id].osc.time_of_tick(idx).max(pulse.at);
         eng.schedule_at(sample_at, move |w, e| {
+            if w.down[id] {
+                return;
+            }
             w.nodes[id].advance(e.now());
             w.nodes[id].nti.utcsu_mut().trigger_gpu(g);
         });
@@ -1563,6 +1911,9 @@ fn gps_second(world: &mut World, eng: &mut Eng, id: usize, g: usize, sec: u64) {
 /// CF on acceptance.
 fn gps_tod(world: &mut World, eng: &mut Eng, id: usize, g: usize, pulse: nti_gps::PpsEvent) {
     let now = eng.now();
+    if world.down[id] {
+        return;
+    }
     world.nodes[id].advance(now);
     let Some(stamp) = world.nodes[id].nti.utcsu_mut().gpu[g].pps.take() else {
         return;
@@ -1593,14 +1944,16 @@ fn bg_load(world: &mut World, eng: &mut Eng, id: usize) {
         return;
     };
     let now = eng.now();
-    let lan = world.topology.attachments(id)[0];
-    let bits = ((nti_netsim::frame::PREAMBLE_LEN
-        + nti_netsim::frame::HEADER_LEN
-        + load.frame_bytes.max(nti_netsim::frame::MIN_PAYLOAD)
-        + nti_netsim::frame::FCS_LEN)
-        * 8) as u64;
-    let _ = world.mediums[lan].grant(now, bits);
-    world.metrics.bg_frames += 1;
+    if !world.down[id] {
+        let lan = world.topology.attachments(id)[0];
+        let bits = ((nti_netsim::frame::PREAMBLE_LEN
+            + nti_netsim::frame::HEADER_LEN
+            + load.frame_bytes.max(nti_netsim::frame::MIN_PAYLOAD)
+            + nti_netsim::frame::FCS_LEN)
+            * 8) as u64;
+        let _ = world.mediums[lan].grant(now, bits);
+        world.metrics.bg_frames += 1;
+    }
     // Draw the next arrival from the node's kernel RNG stream (exponential).
     let mean = 1.0 / load.frames_per_sec.max(1e-9);
     let mut rng = SimRng::new(world.cfg.seed ^ (id as u64) ^ world.metrics.bg_frames);
@@ -1616,12 +1969,23 @@ fn bg_load(world: &mut World, eng: &mut Eng, id: usize) {
 fn app_event(world: &mut World, eng: &mut Eng, ev: u64) {
     let now = eng.now();
     let n = world.nodes.len();
+    if world.down.iter().any(|&d| d) {
+        // The all-nodes barrier cannot complete while any node is dark;
+        // skip this event and keep the cadence.
+        if let Some(period) = world.cfg.app_event_period {
+            eng.schedule_at(now + period, move |w, e| app_event(w, e, ev + 1));
+        }
+        return;
+    }
     world.app_pending.insert(ev, Vec::with_capacity(n));
     for id in 0..n {
         let stages = world.nodes[id].nti.utcsu().stamp_delay_ticks();
         let idx = world.nodes[id].osc.ticks_at(now) + (stages - 1);
         let sample_at = world.nodes[id].osc.time_of_tick(idx).max(now);
         eng.schedule_at(sample_at, move |w, e| {
+            if w.down[id] {
+                return;
+            }
             w.nodes[id].advance(e.now());
             if let Some(stamp) = w.nodes[id].nti.utcsu_mut().trigger_apu(0) {
                 if let Some(t) = w.nodes[id].nti.utcsu_mut().apu[0]
@@ -1651,6 +2015,136 @@ fn app_event(world: &mut World, eng: &mut Eng, ev: u64) {
     if let Some(period) = world.cfg.app_event_period {
         eng.schedule_at(now + period, move |w, e| app_event(w, e, ev + 1));
     }
+}
+
+/// A fault-plan episode boundary: re-evaluate every window-dependent
+/// injection that is applied as *state* rather than sampled per event.
+fn fault_boundary(world: &mut World, eng: &mut Eng) {
+    let now = eng.now();
+    world.injector.note_boundary(now);
+    apply_lan_faults(world, now);
+}
+
+/// Push the currently active LAN-targeted episodes into the mediums:
+/// partition flags and asymmetric extra propagation delay.
+fn apply_lan_faults(world: &mut World, now: SimTime) {
+    for l in 0..world.mediums.len() {
+        world.mediums[l].set_extra_propagation(world.injector.lan_extra_delay(l, now));
+        world.mediums[l].set_partitioned(world.injector.lan_partitioned(l, now));
+    }
+}
+
+/// A crash episode begins: the node loses power. Its UTCSU state is gone,
+/// pending service events are cancelled, and any frame it currently has on
+/// the wire is truncated (receivers see an FCS failure).
+fn crash_node(world: &mut World, eng: &mut Eng, id: usize) {
+    if world.down[id] {
+        return;
+    }
+    let now = eng.now();
+    world.nodes[id].advance(now);
+    world.down[id] = true;
+    world.metrics.crashes += 1;
+    world.injector.note_crash(now, id);
+    if let Some(ev) = world.nodes[id].utcsu_event.take() {
+        eng.cancel(ev);
+    }
+    for flight in world.flights.values_mut() {
+        if flight.src == id {
+            flight.corrupted = true;
+        }
+    }
+}
+
+/// A crash episode ends: the node powers back up with a cold UTCSU. It
+/// re-seeds its clock near the reference (boot-time estimate, e.g. from an
+/// RTC) with a wide accuracy cover and rejoins the algorithm as a
+/// *reintegrating* participant: it listens and converges on peer CSPs but
+/// contributes no own interval until its first convergence completes
+/// (a-posteriori initial synchronization, Section 6 of the paper).
+fn restart_node(world: &mut World, eng: &mut Eng, id: usize) {
+    if !world.down[id] {
+        return;
+    }
+    let now = eng.now();
+    let (fosc_hz, cpld, init_offset) = (world.cfg.fosc_hz, world.cfg.cpld, world.cfg.init_offset);
+    let mut nti = Nti::new(
+        UtcsuConfig {
+            fosc_hz,
+            reliable_pin: true,
+        },
+        cpld,
+    );
+    // Catch the fresh UTCSU's tick counter up with the physical oscillator
+    // (which never stopped) *before* starting the clock, so no clock time
+    // accumulates during the outage.
+    nti.utcsu_mut()
+        .advance_to_tick(world.nodes[id].osc.ticks_at(now));
+    let off = SimDuration::from_fs(
+        world
+            .injector
+            .lifecycle_rng()
+            .below((2 * init_offset.as_fs()).max(1) as u64) as u128,
+    );
+    let g_margin = SimDuration::from_nanos(120);
+    let boot = NtpTime::from_sim_time(ref_time(world, now) + off);
+    nti.utcsu_mut().stage_time_load(boot);
+    nti.utcsu_mut().stage_acc_load(
+        Accuracy::from_duration_ceil(init_offset * 2 + g_margin),
+        Accuracy::from_duration_ceil(g_margin),
+    );
+    nti.utcsu_mut().sync_run();
+    nti.write32(UTCSU_BASE + uregs::R_INT_MASK, u32::MAX);
+    let node = &mut world.nodes[id];
+    node.nti = nti;
+    node.driver = ComcoDriver::new();
+    node.scb = nti_module::ScbDriver::default();
+    node.core = SyncCore::new(world.params, world.cfg.algo);
+    node.core.blind_external = world.cfg.gps_blind_trust;
+    node.core.reintegrating = true;
+    node.rate = RateSync::new();
+    node.vstats = ValidationStats::default();
+    node.rx_slot = 0;
+    node.tx_slot = 0;
+    node.amort_dstep_saved = None;
+    node.cum_adj_units = 0;
+    node.scb.init(&mut node.nti);
+    node.program_dsteps(world.cfg.rho_budget_ppm);
+    for g in 0..node.gps.len() {
+        node.nti.utcsu_mut().gpu[g].enabled = true;
+    }
+    if world.cfg.app_event_period.is_some() {
+        node.nti.utcsu_mut().apu[0].enabled = true;
+    }
+    if let Some(sec) = world.cfg.leap_insert_at_sec {
+        if now < SimTime::from_secs(sec as u64) {
+            node.nti.write32(UTCSU_BASE + uregs::R_LEAP_SECS, sec);
+            node.nti.write32(
+                UTCSU_BASE + uregs::R_CTRL,
+                uregs::CTRL_RUN | uregs::CTRL_LEAP_INSERT,
+            );
+        }
+    }
+    // Resume the round schedule at the next boundary after the boot clock.
+    let p = units(world.cfg.round_period);
+    let k = (boot.raw() / p + 1) as u32;
+    world.nodes[id].core.round = k - 1;
+    arm_round_timers(world, id, k);
+    if let Some(sec) = world.cfg.actuation_start_sec {
+        let start = (sec as u128) << FRAC_BITS;
+        let target = if boot.raw() >= start {
+            start + ((boot.raw() - start) / p + 1) * p
+        } else {
+            start
+        };
+        arm_timer(&mut world.nodes[id], 2, NtpTime::from_raw(target));
+    }
+    world.down[id] = false;
+    world.metrics.rejoin_alpha.push((id, Vec::new()));
+    world
+        .rejoin_track
+        .insert(id, world.metrics.rejoin_alpha.len() - 1);
+    schedule_utcsu_service(world, eng, id);
 }
 
 #[cfg(test)]

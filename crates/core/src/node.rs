@@ -108,8 +108,18 @@ impl Node {
     }
 
     /// Reconstruct a stamp latched by SSU `a` (receive side), consuming it.
+    ///
+    /// Returns `None` on an overrun: the latch then holds the *newest*
+    /// trigger's stamp, but this consumer is serving an earlier frame's
+    /// interrupt — handing the stamp out would attribute it to the wrong
+    /// frame. The driver drops both frames instead (counted as overrun
+    /// losses by the cluster).
     pub fn take_rx_stamp(&mut self, a: usize) -> Option<NtpTime> {
+        let overrun = self.nti.utcsu().ssu[a].receive.overrun();
         let s = self.nti.utcsu_mut().ssu[a].receive.take()?;
+        if overrun {
+            return None;
+        }
         s.time().map(|t| self.quantize(t))
     }
 
@@ -248,6 +258,29 @@ mod tests {
         let err = s.diff_secs_f64(NtpTime::from_sim_time(SimTime::from_millis(10)));
         assert!(err.abs() < 5e-6);
         assert!(n.take_rx_stamp(0).is_none(), "consumed");
+    }
+
+    #[test]
+    fn rx_stamp_overrun_drops_both_frames() {
+        // Two triggers before the ISR consumes the latch: the newest stamp
+        // is retained by the hardware, but it belongs to the *second*
+        // frame while the pending interrupt serves the first — handing it
+        // out would misattribute it. take_rx_stamp must refuse.
+        let mut n = node();
+        n.advance(SimTime::from_millis(10));
+        n.nti.utcsu_mut().trigger_ssu_receive(0);
+        n.advance(SimTime::from_millis(11));
+        n.nti.utcsu_mut().trigger_ssu_receive(0);
+        assert!(n.nti.utcsu().ssu[0].receive.overrun());
+        assert!(
+            n.take_rx_stamp(0).is_none(),
+            "overrun must not yield a stamp"
+        );
+        // The refusal consumed the latch and cleared the overrun flag, so
+        // the *next* frame stamps cleanly.
+        n.advance(SimTime::from_millis(12));
+        n.nti.utcsu_mut().trigger_ssu_receive(0);
+        assert!(n.take_rx_stamp(0).is_some(), "latch usable after overrun");
     }
 
     #[test]

@@ -103,6 +103,10 @@ pub struct Medium {
     deferrals: u64,
     /// Total channel-occupied time (serialization), for utilization.
     busy_total: SimDuration,
+    /// Fault-injected extra one-way propagation delay (congestion episode).
+    extra_prop: SimDuration,
+    /// Fault-injected partition: while set, no frame crosses this segment.
+    partitioned: bool,
     obs: Option<MediumObs>,
 }
 
@@ -117,6 +121,8 @@ impl Medium {
             grants: 0,
             deferrals: 0,
             busy_total: SimDuration::ZERO,
+            extra_prop: SimDuration::ZERO,
+            partitioned: false,
             obs: None,
         }
     }
@@ -155,9 +161,28 @@ impl Medium {
         self.cfg
     }
 
-    /// One-way propagation delay of this segment.
+    /// One-way propagation delay of this segment, including any
+    /// fault-injected extra delay currently in force.
     pub fn propagation(&self) -> SimDuration {
-        self.cfg.prop_delay
+        self.cfg.prop_delay + self.extra_prop
+    }
+
+    /// Set the fault-injected extra propagation delay (zero to clear).
+    pub fn set_extra_propagation(&mut self, extra: SimDuration) {
+        self.extra_prop = extra;
+    }
+
+    /// Partition or heal this segment. While partitioned, callers must not
+    /// deliver frames across it ([`Medium::is_partitioned`]); grants still
+    /// proceed so transmitter-side timing is unchanged (the frames are lost,
+    /// not the channel access).
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.partitioned = partitioned;
+    }
+
+    /// Is this segment currently partitioned by a fault episode?
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
     }
 
     /// Serialization time for `bits` at the channel rate.
@@ -364,5 +389,28 @@ mod tests {
             assert!(g.wire_start >= last_end, "overlap at grant {i}");
             last_end = g.wire_end;
         }
+    }
+
+    #[test]
+    fn extra_propagation_adds_to_base_delay() {
+        let mut m = medium(AccessModel::CsmaCd);
+        let base = m.propagation();
+        m.set_extra_propagation(SimDuration::from_micros(50));
+        assert_eq!(m.propagation(), base + SimDuration::from_micros(50));
+        m.set_extra_propagation(SimDuration::ZERO);
+        assert_eq!(m.propagation(), base);
+    }
+
+    #[test]
+    fn partition_flag_toggles_without_touching_grants() {
+        let mut m = medium(AccessModel::CsmaCd);
+        assert!(!m.is_partitioned());
+        m.set_partitioned(true);
+        assert!(m.is_partitioned());
+        // Channel access is unaffected: the frames die on the wire instead.
+        let g = m.grant(SimTime::from_secs(1), 10_000);
+        assert!(g.wire_end > g.wire_start);
+        m.set_partitioned(false);
+        assert!(!m.is_partitioned());
     }
 }

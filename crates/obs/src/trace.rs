@@ -30,11 +30,14 @@ pub enum Subsystem {
     Gps = 5,
     /// Experiment harness / application level.
     App = 6,
+    /// Fault injection (`nti-faults`): episode windows, drops, crashes,
+    /// rejoins.
+    Faults = 7,
 }
 
 impl Subsystem {
     /// All subsystems, in bit order.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Engine,
         Subsystem::Net,
         Subsystem::Kernel,
@@ -42,6 +45,7 @@ impl Subsystem {
         Subsystem::Cluster,
         Subsystem::Gps,
         Subsystem::App,
+        Subsystem::Faults,
     ];
 
     /// The enable-mask bit for this subsystem.
@@ -60,6 +64,7 @@ impl Subsystem {
             Subsystem::Cluster => "cluster",
             Subsystem::Gps => "gps",
             Subsystem::App => "app",
+            Subsystem::Faults => "faults",
         }
     }
 

@@ -30,7 +30,7 @@ pub mod time;
 
 pub use engine::{Engine, EventId};
 pub use ntp::{Accuracy, Macrostamp, NtpTime, Timestamp};
-pub use osc::{DriftModel, Oscillator};
+pub use osc::{DriftExcursion, DriftModel, Oscillator};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

@@ -96,6 +96,19 @@ impl DriftModel {
     }
 }
 
+/// A time-windowed additive drift offset — models a temperature step or a
+/// frequency glitch injected by a fault plan. While `from <= t < until` the
+/// oscillator's instantaneous drift is the model's ρ(t) plus `extra_ppm`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftExcursion {
+    /// Start of the excursion window (inclusive).
+    pub from: SimTime,
+    /// End of the excursion window (exclusive).
+    pub until: SimTime,
+    /// Additional fractional frequency offset in ppm during the window.
+    pub extra_ppm: f64,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Segment {
     /// First tick index covered by this segment.
@@ -118,6 +131,10 @@ pub struct Oscillator {
     seg_ticks: u128,
     /// Random-walk state: current drift in ppm.
     walk_rho_ppm: f64,
+    /// Fault-injected drift overlays: (from_as, until_as, extra_ppm).
+    /// Applied additively on top of the model's ρ, after any RNG draw, so
+    /// installing an excursion never perturbs the draw sequence.
+    excursions: Vec<(u128, u128, f64)>,
 }
 
 impl Oscillator {
@@ -145,6 +162,7 @@ impl Oscillator {
             segments: Vec::new(),
             seg_ticks,
             walk_rho_ppm,
+            excursions: Vec::new(),
         };
         let rho = o.draw_rho(start.as_fs() * AS_PER_FS);
         o.segments.push(Segment {
@@ -169,6 +187,57 @@ impl Oscillator {
     /// Worst-case drift bound in ppm (the datasheet figure).
     pub fn rho_bound_ppm(&self) -> f64 {
         self.model.rho_bound_ppm()
+    }
+
+    /// Install fault-injected drift excursions. Must be called before the
+    /// oscillator has been asked about any tick beyond its first segment
+    /// (i.e. at construction/configuration time): the overlay changes tick
+    /// times, and rewriting history would corrupt the tick↔time mapping.
+    ///
+    /// For the `Constant` model (which normally uses a single infinite
+    /// segment) a finite ~10 ms segmentation is installed so excursion
+    /// windows take effect at segment granularity. An empty slice leaves the
+    /// oscillator bit-identical to an unconfigured one.
+    pub fn set_excursions(&mut self, excursions: &[DriftExcursion]) {
+        assert_eq!(
+            self.segments.len(),
+            1,
+            "set_excursions must be called before the oscillator is used"
+        );
+        self.excursions = excursions
+            .iter()
+            .map(|e| {
+                (
+                    e.from.as_fs() * AS_PER_FS,
+                    e.until.as_fs() * AS_PER_FS,
+                    e.extra_ppm,
+                )
+            })
+            .collect();
+        if self.excursions.is_empty() {
+            return;
+        }
+        if self.seg_ticks == u128::MAX {
+            self.seg_ticks = (self.nominal_hz as u128 / 100).max(1);
+        }
+        // Rebuild segment 0 with the overlay applied (its stored rho is the
+        // bare model ρ at this point, so adding the overlay is exact).
+        let first = self.segments[0];
+        let rho = first.rho_ppm + self.excursion_ppm(first.start_as);
+        self.segments[0] = Segment {
+            period_as: period_for(self.nominal_hz, rho),
+            rho_ppm: rho,
+            ..first
+        };
+    }
+
+    /// Sum of active excursion offsets at `t_as`, in ppm.
+    fn excursion_ppm(&self, t_as: u128) -> f64 {
+        self.excursions
+            .iter()
+            .filter(|&&(from, until, _)| from <= t_as && t_as < until)
+            .map(|&(_, _, ppm)| ppm)
+            .sum()
     }
 
     fn draw_rho(&mut self, t_as: u128) -> f64 {
@@ -207,7 +276,7 @@ impl Oscillator {
             }
             let start_tick = last.start_tick + self.seg_ticks;
             let start_as = last.start_as + self.seg_ticks * last.period_as;
-            let rho = self.draw_rho(start_as);
+            let rho = self.draw_rho(start_as) + self.excursion_ppm(start_as);
             self.segments.push(Segment {
                 start_tick,
                 start_as,
@@ -227,7 +296,7 @@ impl Oscillator {
             if t_as < end_as {
                 return;
             }
-            let rho = self.draw_rho(end_as);
+            let rho = self.draw_rho(end_as) + self.excursion_ppm(end_as);
             self.segments.push(Segment {
                 start_tick: last.start_tick + self.seg_ticks,
                 start_as: end_as,
@@ -425,6 +494,90 @@ mod tests {
         let (n0, t0) = o.next_tick_after(SimTime::from_nanos(50));
         assert_eq!(n0, 1);
         assert_eq!(t0, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn excursion_overlays_constant_model_within_window() {
+        let mut o = Oscillator::new(
+            10_000_000,
+            DriftModel::Constant { rho_ppm: 2.0 },
+            SimRng::new(1),
+            SimTime::ZERO,
+        );
+        o.set_excursions(&[DriftExcursion {
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+            extra_ppm: 50.0,
+        }]);
+        assert!((o.rho_ppm_at(SimTime::from_millis(500)) - 2.0).abs() < 1e-9);
+        assert!((o.rho_ppm_at(SimTime::from_millis(1500)) - 52.0).abs() < 1e-9);
+        assert!((o.rho_ppm_at(SimTime::from_millis(2500)) - 2.0).abs() < 1e-9);
+        // Over the excursion second the clock gains ~50 µs worth of ticks:
+        // the overlay must change actual tick pacing, not just rho_ppm_at.
+        let n3 = o.ticks_at(SimTime::from_secs(3));
+        let expect = 30_000_000.0 * (1.0 + 2.0e-6) + 10_000_000.0 * 50.0e-6;
+        assert!(
+            (n3 as f64 - expect).abs() < 50.0,
+            "n3={n3}, expect~{expect}"
+        );
+    }
+
+    #[test]
+    fn empty_excursions_leave_oscillator_identical() {
+        let mk = || {
+            Oscillator::new(
+                10_000_000,
+                DriftModel::RandomWalk {
+                    rho_max_ppm: 10.0,
+                    step_sigma_ppb: 100.0,
+                    step_interval: SimDuration::from_millis(10),
+                    initial_ppm: 0.0,
+                },
+                SimRng::new(42),
+                SimTime::ZERO,
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        b.set_excursions(&[]);
+        for k in 0..200u128 {
+            assert_eq!(a.time_of_tick(k * 12_345), b.time_of_tick(k * 12_345));
+        }
+    }
+
+    #[test]
+    fn excursions_do_not_perturb_walk_draw_sequence() {
+        // Outside the excursion window, tick times must match an oscillator
+        // without the overlay: the overlay is applied after the RNG draw.
+        let mk = || {
+            Oscillator::new(
+                10_000_000,
+                DriftModel::RandomWalk {
+                    rho_max_ppm: 10.0,
+                    step_sigma_ppb: 100.0,
+                    step_interval: SimDuration::from_millis(10),
+                    initial_ppm: 0.0,
+                },
+                SimRng::new(7),
+                SimTime::ZERO,
+            )
+        };
+        let mut plain = mk();
+        let mut faulty = mk();
+        faulty.set_excursions(&[DriftExcursion {
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(11),
+            extra_ppm: 5.0,
+        }]);
+        // All segments before the window carry identical rho.
+        for ms in (0..9_000u64).step_by(400) {
+            let t = SimTime::from_millis(ms);
+            assert_eq!(
+                plain.rho_ppm_at(t).to_bits(),
+                faulty.rho_ppm_at(t).to_bits(),
+                "ms={ms}"
+            );
+        }
     }
 
     #[test]

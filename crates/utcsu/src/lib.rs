@@ -619,6 +619,30 @@ mod tests {
     }
 
     #[test]
+    fn back_to_back_receive_triggers_report_overrun() {
+        // Two frames trigger the same SSU before the ISR services either:
+        // the latch must flag the overrun and hand out the *second* stamp,
+        // so software can discard both rather than attribute the second
+        // frame's timestamp to the first frame.
+        let mut u = chip(10_000_000);
+        u.itu.set_mask(u32::MAX);
+        u.advance_to_tick(1_000);
+        let first = u.trigger_ssu_receive(1);
+        u.advance_to_tick(2_000);
+        let second = u.trigger_ssu_receive(1);
+        assert!(u.ssu[1].receive.overrun(), "overrun must be visible");
+        let taken = u.ssu[1].receive.take().expect("latch holds a stamp");
+        assert_eq!(taken, second, "latch keeps the newest stamp");
+        assert_ne!(taken, first);
+        assert!(!u.ssu[1].receive.overrun(), "take clears the condition");
+        // A clean third trigger stamps normally again.
+        u.advance_to_tick(3_000);
+        u.trigger_ssu_receive(1);
+        assert!(u.ssu[1].receive.valid());
+        assert!(!u.ssu[1].receive.overrun());
+    }
+
+    #[test]
     fn hwsnap_samples_current_state() {
         let mut u = chip(10_000_000);
         u.acu.load(Accuracy(5), Accuracy(9));

@@ -21,5 +21,9 @@ echo "$out" | grep -q "== observability summary ==" \
 echo "$out" | grep -q "cluster/precision_ns" \
   || { echo "check.sh: missing cluster precision metric" >&2; exit 1; }
 
+echo "== fault-matrix smoke run (e16_chaos --smoke) =="
+NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e16_chaos -- --smoke \
+  || { echo "check.sh: chaos smoke failed (containment or reintegration)" >&2; exit 1; }
+
 echo
 echo "check.sh: all gates passed"

@@ -10,6 +10,7 @@
 //! * [`module`] — the NTI MA-Module (CPLD decode, memory map, triggers);
 //! * [`netsim`] — LAN + COMCO simulation;
 //! * [`gps`] — GPS receivers and fault injection;
+//! * [`faults`] — deterministic cross-layer fault plans and injectors;
 //! * [`kernel`] — the pSOS-like executive and COMCO driver;
 //! * [`core`] — interval-based clock synchronization and cluster assembly.
 //!
@@ -17,6 +18,7 @@
 //! paper-vs-measured record.
 
 pub use nti_core as core;
+pub use nti_faults as faults;
 pub use nti_gps as gps;
 pub use nti_kernel as kernel;
 pub use nti_module as module;

@@ -1,10 +1,12 @@
 //! Fault-tolerance scenarios across the full stack: Byzantine nodes,
-//! CRC-corrupted CSPs (footnote 4), and the WAN-of-LANs extension
-//! (footnote 2).
+//! CRC-corrupted CSPs (footnote 4), node crash + reintegration, injected
+//! network faults, and the WAN-of-LANs extension (footnote 2).
 
-use nti::core::cluster::{Cluster, ClusterConfig};
+use nti::core::cluster::{Cluster, ClusterConfig, Report};
+use nti::faults::{Direction, FaultEpisode, FaultKind, FaultPlan, FaultTarget};
 use nti::netsim::Topology;
 use nti::prelude::*;
+use nti::simcore::SimTime;
 
 fn base(n: usize, seed: u64) -> ClusterConfig {
     let mut cfg = ClusterConfig::default_lan(n, seed);
@@ -88,6 +90,123 @@ fn wan_of_lans_three_segments() {
         rep.worst_precision_s
     );
     assert_eq!(rep.containment.0, 0);
+}
+
+#[test]
+fn crashed_node_reintegrates_within_three_rounds() {
+    // The ISSUE's flagship scenario: six nodes, one crashes at 10 s and
+    // restarts cold at 14 s. The survivors must never violate containment,
+    // and the restarted node must reintegrate (α back below 10× its
+    // steady-state) within three convergence rounds of rejoining.
+    let mut cfg = base(6, 21);
+    cfg.f = 1;
+    cfg.duration = SimDuration::from_secs(26);
+    cfg.warmup = SimDuration::from_secs(6);
+    cfg.fault_plan = FaultPlan::crash(2, SimTime::from_secs(10), Some(SimTime::from_secs(14)));
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(rep.churn, (1, 1), "one crash, one rejoin: {rep:?}");
+    assert_eq!(rep.containment.0, 0, "survivor containment: {rep:?}");
+    assert!(
+        (1..=3).contains(&rep.rejoin_recovery_rounds),
+        "rejoin α recovery took {} rounds: {rep:?}",
+        rep.rejoin_recovery_rounds
+    );
+    assert!(
+        rep.worst_precision_s < 50e-6,
+        "ensemble precision with churn: {}",
+        rep.worst_precision_s
+    );
+}
+
+#[test]
+fn node_that_never_restarts_degrades_to_survivors() {
+    let mut cfg = base(5, 22);
+    cfg.f = 1;
+    cfg.fault_plan = FaultPlan::crash(4, SimTime::from_secs(9), None);
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(rep.churn, (1, 0), "{rep:?}");
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+    assert!(rep.worst_precision_s < 50e-6, "{}", rep.worst_precision_s);
+}
+
+#[test]
+fn injected_packet_loss_is_attributed_and_tolerated() {
+    let mut cfg = base(5, 23);
+    cfg.f = 1;
+    cfg.fault_plan = FaultPlan::new().with(FaultEpisode {
+        from: SimTime::from_secs(6),
+        until: SimTime::from_secs(16),
+        target: FaultTarget::All,
+        kind: FaultKind::PacketLoss { rate: 0.25 },
+    });
+    let rep = Cluster::new(cfg).run();
+    let (crc, _, injected) = rep.csp_drop_causes;
+    assert!(injected > 10, "injected losses recorded: {rep:?}");
+    assert_eq!(crc, 0, "no CRC errors configured: {rep:?}");
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+    assert!(rep.worst_precision_s < 50e-6, "{}", rep.worst_precision_s);
+}
+
+#[test]
+fn asymmetric_delay_hurts_but_containment_holds() {
+    let mut cfg = base(4, 24);
+    cfg.f = 1;
+    cfg.fault_plan = FaultPlan::new().with(FaultEpisode {
+        from: SimTime::from_secs(8),
+        until: SimTime::from_secs(14),
+        target: FaultTarget::Node(1),
+        kind: FaultKind::PacketDelay {
+            extra: SimDuration::from_micros(30),
+            jitter: SimDuration::from_micros(10),
+            direction: Direction::Rx,
+        },
+    });
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+}
+
+/// The fault-plan catalogue the determinism property samples from.
+fn plan_catalog(idx: usize) -> FaultPlan {
+    match idx {
+        0 => FaultPlan::new(),
+        1 => FaultPlan::crash(1, SimTime::from_secs(4), Some(SimTime::from_secs(6))),
+        _ => FaultPlan::new()
+            .with(FaultEpisode {
+                from: SimTime::from_secs(3),
+                until: SimTime::from_secs(7),
+                target: FaultTarget::All,
+                kind: FaultKind::PacketLoss { rate: 0.3 },
+            })
+            .with(FaultEpisode {
+                from: SimTime::from_secs(4),
+                until: SimTime::from_secs(8),
+                target: FaultTarget::Node(0),
+                kind: FaultKind::LateTrigger {
+                    rate: 0.5,
+                    delay: SimDuration::from_nanos(300),
+                },
+            }),
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(6))]
+    /// Determinism: identical seed + identical FaultPlan must reproduce the
+    /// whole Report bit-for-bit — the property the debug workflow (shrink a
+    /// failing chaos run, replay it) rests on.
+    #[test]
+    fn same_seed_and_plan_reproduce_bitwise(seed in 0u64..(1 << 16), idx in 0usize..3) {
+        let run = || -> Report {
+            let mut cfg = base(4, seed);
+            cfg.f = 1;
+            cfg.duration = SimDuration::from_secs(10);
+            cfg.warmup = SimDuration::from_secs(4);
+            cfg.fault_plan = plan_catalog(idx);
+            Cluster::new(cfg).run()
+        };
+        let (a, b) = (run(), run());
+        proptest::prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
 }
 
 #[test]
