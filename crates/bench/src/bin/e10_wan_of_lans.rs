@@ -6,11 +6,14 @@
 //! drives one UTCSU SSU per attached segment — the reason the chip carries
 //! six SSUs) and measures how precision degrades with hop count.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header, record, secs, with_duration};
 use nti_core::cluster::{Cluster, ClusterConfig};
 use nti_netsim::Topology;
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E10: WAN-of-LANs — precision vs segment count (NTI gateways)");
     println!();
     let h = format!(
@@ -35,6 +38,7 @@ fn main() {
         // WAN-of-LANs operation needs f+1 redundant gateways per adjacency
         // (the same argument as for GPS anchors in E5).
         cfg.f = 0;
+        cfg.obs = obs.clone();
         let rep = Cluster::new(cfg).run();
         record(
             "e10_wan_of_lans",
@@ -59,4 +63,5 @@ fn main() {
         per_hop[3] / per_hop[0]
     );
     println!("each gateway adds one delay-compensation + drift-compensation stage).");
+    opts.finish(&obs);
 }

@@ -10,12 +10,14 @@
 //! a-priori window derived from datasheet envelopes — and against the true
 //! delays the simulation actually produced.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header};
 use nti_core::cluster::csp_frame_bits;
 use nti_core::params::delay_bounds_hardware;
 use nti_core::rtt::{delay_floor, RttEstimator};
 use nti_module::{CpldConfig, Nti, UTCSU_BASE};
 use nti_netsim::{Comco, ComcoTiming, Medium, MediumConfig};
+use nti_obs::MetricKey;
 use nti_simcore::ntp::NtpTime;
 use nti_simcore::{DriftModel, Oscillator, SimDuration, SimRng, SimTime};
 use nti_utcsu::regs as uregs;
@@ -111,6 +113,8 @@ fn mk_node(seed: u64, rho_ppm: f64) -> (Nti, Oscillator, Comco) {
 }
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E11: round-trip delay measurement vs static a-priori bounds");
     println!("two NTI nodes, 10 Mb/s Ethernet, clocks offset by minutes, ±8 ppm\n");
     let bits = csp_frame_bits();
@@ -218,4 +222,20 @@ fn main() {
     println!("it is wider than oracle-tight envelopes — but several times tighter");
     println!("than what loose datasheet figures would force, while staying safe.");
     println!("That is the paper's 'preferably measured dynamically' in action.");
+    // Headline measurements under the app subsystem for --obs-summary.
+    if let Some(h) = obs.hist(MetricKey::global("app", "rtt_true_delay_ns")) {
+        for &d in &true_delays {
+            h.record((d * 1e9) as u64);
+        }
+    }
+    if let Some(g) = obs.gauge(MetricKey::global("app", "rtt_window_lo_ns")) {
+        g.set((mlo.as_secs_f64() * 1e9) as i64);
+    }
+    if let Some(g) = obs.gauge(MetricKey::global("app", "rtt_window_hi_ns")) {
+        g.set((mhi.as_secs_f64() * 1e9) as i64);
+    }
+    if let Some(g) = obs.gauge(MetricKey::global("app", "rtt_probes_rejected")) {
+        g.set(est.rejected() as i64);
+    }
+    opts.finish(&obs);
 }

@@ -11,9 +11,11 @@
 //! condition — landing in the ms / 10 ms / >10 ms decades, versus the
 //! NTI's µs decade on a LAN.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header, secs};
 use nti_core::ntp_sync::NtpClient;
 use nti_netsim::wan::{Direction, WanConfig, WanPath};
+use nti_obs::MetricKey;
 use nti_simcore::ntp::NtpTime;
 use nti_simcore::{SimDuration, SimRng, SimTime, Summary};
 
@@ -57,6 +59,8 @@ fn run(cfg: WanConfig, seed: u64, sim: SimDuration) -> (Summary, f64) {
 }
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E12: NTP over long-haul paths — the class-III baseline");
     println!("client: ±50 ppm crystal, 64 s polls, min-δ filter, damped discipline\n");
     let sim = secs(4 * 3600, 1800);
@@ -71,8 +75,16 @@ fn main() {
         ("congested", WanConfig::internet_congested()),
     ];
     let mut reasonable_max = 0.0;
-    for (name, cfg) in cases {
+    for (case, (name, cfg)) in cases.into_iter().enumerate() {
         let (mut dev, worst) = run(cfg, 0xE12, sim);
+        // Headline deviation per path condition, keyed by the case index
+        // as the metric "node" so --obs-summary lists one row per path.
+        if let Some(g) = obs.gauge(MetricKey::node(case as u32, "app", "ntp_dev_max_ns")) {
+            g.set((worst * 1e9) as i64);
+        }
+        if let Some(g) = obs.gauge(MetricKey::node(case as u32, "app", "ntp_dev_p99_ns")) {
+            g.set((dev.percentile(99.0) * 1e9) as i64);
+        }
         if name.starts_with("reasonable") {
             reasonable_max = worst;
         }
@@ -104,4 +116,5 @@ fn main() {
     );
     println!("versus the NTI on a LAN: sub-us (E1/E9) — four orders of magnitude,");
     println!("which is exactly why class-II systems warrant dedicated hardware.");
+    opts.finish(&obs);
 }

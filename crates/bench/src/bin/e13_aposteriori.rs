@@ -8,11 +8,15 @@
 //! terms — and (b) the failure rate of the optimistic assumption as
 //! broadcast faults increase.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header};
 use nti_core::aposteriori::{simulate_spray, SprayConfig};
 use nti_kernel::KernelConfig;
+use nti_obs::MetricKey;
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E13: a-posteriori agreement (CesiumSpray-style) on a broadcast LAN");
     println!();
     println!("part 1: precision by receiver stamping path (8 receivers, 200 rounds)");
@@ -29,8 +33,14 @@ fn main() {
         eng(rep_dedicated.precision.mean()),
         eng(rep_dedicated.worst_precision_s)
     );
+    if let Some(g) = obs.gauge(MetricKey::global("app", "spray_dedicated_worst_ns")) {
+        g.set((rep_dedicated.worst_precision_s * 1e9) as i64);
+    }
     spray.kernel = KernelConfig::psos_mvme162();
     let rep_shared = simulate_spray(&spray);
+    if let Some(g) = obs.gauge(MetricKey::global("app", "spray_shared_worst_ns")) {
+        g.set((rep_shared.worst_precision_s * 1e9) as i64);
+    }
     println!(
         "{:<34} {:>14} {:>14}",
         "interrupt-level, shared CPU",
@@ -57,11 +67,14 @@ fn main() {
         "broadcast fault rate", "rounds w/o agreement", "expected (p^2)"
     );
     header(&h);
-    for p in [0.01f64, 0.05, 0.2, 0.5] {
+    for (case, p) in [0.01f64, 0.05, 0.2, 0.5].into_iter().enumerate() {
         let mut cfg = SprayConfig::cesium_spray(8);
         cfg.broadcast_fault_prob = p;
         cfg.rounds = 1000;
         let rep = simulate_spray(&cfg);
+        if let Some(g) = obs.gauge(MetricKey::node(case as u32, "app", "spray_failed_rounds")) {
+            g.set(rep.failed_rounds as i64);
+        }
         println!(
             "{:<22} {:>15}/1000 {:>17.1}",
             format!("{:.0} %", p * 100.0),
@@ -73,4 +86,5 @@ fn main() {
     println!("reading: the scheme's precision is an order of magnitude short of the");
     println!("NTI (reception-path jitter remains), and whole rounds fail whenever all");
     println!("f+1 broadcasts are faulty — the 'quite optimistic' assumption of §5.");
+    opts.finish(&obs);
 }

@@ -18,9 +18,11 @@
 //! Misattributions put a wrong timestamp on a packet — a silent µs-to-ms
 //! error injected straight into the synchronization algorithm.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header};
 use nti_module::{CpldConfig, Nti, IO_RX_HDR_BASE, UTCSU_BASE};
 use nti_netsim::{Comco, ComcoTiming};
+use nti_obs::MetricKey;
 use nti_simcore::{DriftModel, Oscillator, SimDuration, SimRng, SimTime};
 use nti_utcsu::regs as uregs;
 use nti_utcsu::UtcsuConfig;
@@ -123,6 +125,8 @@ fn run(use_latch: bool, corrupt_first_every: u64) -> Outcome {
 }
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E14: Receive Header Base ablation — back-to-back CSPs, 1-in-5 CRC drops");
     println!();
     let h = format!(
@@ -130,11 +134,21 @@ fn main() {
         "attribution scheme", "pairs", "misattributions", "lost stamps", "worst error"
     );
     header(&h);
-    for (name, latch) in [
+    for (case, (name, latch)) in [
         ("header-base latch (NTI)", true),
         ("sequential order", false),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let o = run(latch, 5);
+        // Headline counts per scheme (metric "node" = scheme index).
+        if let Some(g) = obs.gauge(MetricKey::node(case as u32, "app", "misattributions")) {
+            g.set(o.misattributions as i64);
+        }
+        if let Some(g) = obs.gauge(MetricKey::node(case as u32, "app", "lost_stamps")) {
+            g.set(o.lost_stamps as i64);
+        }
         println!(
             "{:<26} {:>8} {:>16} {:>14} {:>14}",
             name,
@@ -157,4 +171,5 @@ fn main() {
     println!("lost older stamp so software can simply wait for the next round); the");
     println!("sequential scheme silently pins ~80 us errors on the wrong packets —");
     println!("footnote 4's justification, quantified.");
+    opts.finish(&obs);
 }

@@ -17,15 +17,18 @@
 //! dictated by interval geometry, so one tight-but-skewed input drags the
 //! ensemble) and larger claimed α under faults.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header, record, secs, with_duration};
 use nti_core::cluster::{Cluster, ClusterConfig};
 use nti_core::params::AlgoKind;
+use nti_obs::SimObserver;
 
-fn run(algo: AlgoKind, byzantine: bool) -> nti_core::cluster::Report {
+fn run(algo: AlgoKind, byzantine: bool, obs: &SimObserver) -> nti_core::cluster::Report {
     let mut cfg = with_duration(ClusterConfig::default_lan(6, 0xE15), secs(60, 12));
     cfg.algo = algo;
     cfg.rate_sync = true;
     cfg.f = 1;
+    cfg.obs = obs.clone();
     if byzantine {
         cfg.byzantine = vec![5];
     }
@@ -33,6 +36,8 @@ fn run(algo: AlgoKind, byzantine: bool) -> nti_core::cluster::Report {
 }
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     println!("E15: convergence-function ablation (6 nodes, f = 1)");
     println!();
     for byz in [false, true] {
@@ -55,7 +60,7 @@ fn main() {
             ("Marzullo intersection", AlgoKind::IntervalMarzullo),
             ("FTM (no intervals)", AlgoKind::Ftm),
         ] {
-            let rep = run(algo, byz);
+            let rep = run(algo, byz, &obs);
             record(
                 "e15_convergence",
                 &format!("{name}/byz{byz}"),
@@ -83,4 +88,5 @@ fn main() {
     println!("bounds; pure intersection trades precision for tightness; FTM has no");
     println!("bounds at all (alpha saturated) — the design space the paper's OA");
     println!("choice sits in.");
+    opts.finish(&obs);
 }

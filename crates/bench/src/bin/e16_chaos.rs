@@ -13,10 +13,12 @@
 //! crash scenario). Exits non-zero on any violation — the CI gate in
 //! `scripts/check.sh`.
 
+use nti_bench::obs_cli::ObsOpts;
 use nti_bench::{eng, header, parallel_sweep, record, secs, with_duration};
 use nti_core::cluster::{Cluster, ClusterConfig, Report};
 use nti_faults::{Direction, FaultEpisode, FaultKind, FaultPlan, FaultTarget};
 use nti_obs::Json;
+use nti_obs::SimObserver;
 use nti_simcore::{SimDuration, SimTime};
 
 /// Sweep intensities. `level` indexes the per-scenario parameter tables.
@@ -157,7 +159,7 @@ fn window(cfg: &ClusterConfig) -> (SimTime, SimTime) {
     (SimTime::from_fs(d / 3), SimTime::from_fs(2 * (d / 3)))
 }
 
-fn run_cell(name: &'static str, level: usize) -> (String, Report) {
+fn run_cell(name: &'static str, level: usize, obs: &SimObserver) -> (String, Report) {
     let mut cfg = base_cfg(160 + level as u64);
     let (from, until) = window(&cfg);
     let scenario = scenarios()
@@ -165,6 +167,7 @@ fn run_cell(name: &'static str, level: usize) -> (String, Report) {
         .find(|s| s.name == name)
         .expect("scenario");
     cfg.fault_plan = (scenario.build)(from, until, level);
+    cfg.obs = obs.clone();
     let label = format!("{}/{}", name, LEVELS[level]);
     (label, Cluster::new(cfg).run())
 }
@@ -192,7 +195,7 @@ fn cell_json(rep: &Report) -> Json {
     ])
 }
 
-fn smoke() -> i32 {
+fn smoke(obs: &SimObserver) -> i32 {
     println!("E16 chaos smoke: every episode type at mild intensity");
     let h = format!(
         "{:<28} {:>12} {:>12} {:>8}",
@@ -200,7 +203,7 @@ fn smoke() -> i32 {
     );
     header(&h);
     let names: Vec<&'static str> = scenarios().iter().map(|s| s.name).collect();
-    let results = parallel_sweep(names, |name| (name, run_cell(name, 0).1));
+    let results = parallel_sweep(names, |name| (name, run_cell(name, 0, obs).1));
     let mut failed = false;
     for (name, rep) in results {
         let ok_containment = rep.containment.0 == 0;
@@ -234,7 +237,7 @@ fn smoke() -> i32 {
     }
 }
 
-fn full_matrix() {
+fn full_matrix(obs: &SimObserver) {
     println!("E16: chaos matrix — fault type x intensity (6 nodes, f = 1)");
     println!();
     let h = format!(
@@ -246,7 +249,7 @@ fn full_matrix() {
         .iter()
         .flat_map(|s| (0..LEVELS.len()).map(move |l| (s.name, l)))
         .collect();
-    let results = parallel_sweep(cells, |(name, level)| run_cell(name, level));
+    let results = parallel_sweep(cells, |(name, level)| run_cell(name, level, obs));
     for (label, rep) in results {
         println!(
             "{:<28} {:>12} {:>12} {:>14} {:>8} {:>7}",
@@ -278,8 +281,13 @@ fn full_matrix() {
 }
 
 fn main() {
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
     if std::env::args().any(|a| a == "--smoke") {
-        std::process::exit(smoke());
+        let code = smoke(&obs);
+        opts.finish(&obs);
+        std::process::exit(code);
     }
-    full_matrix();
+    full_matrix(&obs);
+    opts.finish(&obs);
 }

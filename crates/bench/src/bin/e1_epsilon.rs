@@ -8,7 +8,7 @@
 //! the paper calls "definitely inappropriate".
 
 use nti_bench::obs_cli::ObsOpts;
-use nti_bench::{eng, header, record, secs, with_duration};
+use nti_bench::{eng, header, record, record_precision, secs, with_duration};
 use nti_core::cluster::{BgLoad, Cluster, ClusterConfig};
 use nti_core::params::TimestampMode;
 use nti_netsim::ComcoTiming;
@@ -100,6 +100,10 @@ fn main() {
         );
         if name.starts_with("NTI triggers") && !loaded {
             hw_idle = r.eps_spread_s;
+            // The headline operating point lands one line in the
+            // BENCH_precision.json trajectory (with per-hop p99s when
+            // observability was requested).
+            record_precision("e1_epsilon", "NTI triggers/idle", &r, &obs);
             // Figure: the ε distribution around its minimum (the variable
             // part of the stamp-pair delay).
             let min = metrics.eps_delay.min();

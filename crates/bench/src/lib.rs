@@ -21,8 +21,8 @@
 //!
 //! Set `NTI_EXP_FAST=1` to shrink the simulated durations (CI smoke runs).
 
-use nti_core::cluster::ClusterConfig;
-use nti_obs::Json;
+use nti_core::cluster::{ClusterConfig, Report, HOP_HIST_NAMES, SPAN_HOPS};
+use nti_obs::{Json, MetricKey, SimObserver};
 use nti_simcore::SimDuration;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -76,12 +76,75 @@ pub fn header(h: &str) {
     rule(h);
 }
 
+/// The shared machine-readable output directory,
+/// `$CARGO_TARGET_DIR/experiments` (defaulting to `target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("experiments")
+}
+
+/// Append one record to a `BENCH_*.json` trajectory file in
+/// [`experiments_dir`] (JSON Lines: each run accretes one line, so a file
+/// read top-to-bottom is the metric's history across runs).
+pub fn append_bench(file: &str, value: &Json) {
+    let dir = experiments_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // best-effort, like `record`
+    }
+    use std::io::Write;
+    let _guard = RECORD_LOCK.lock().expect("record lock poisoned");
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(file))
+    {
+        let _ = writeln!(f, "{value}");
+    }
+}
+
+/// The per-hop p99 latencies (nanoseconds) accumulated in an enabled
+/// observer's `span/hop_*_ns` histogram family, keyed by hop kind.
+/// `Json::Null` when the observer is disabled (nothing was recorded).
+pub fn hop_p99_json(obs: &SimObserver) -> Json {
+    if !obs.is_enabled() {
+        return Json::Null;
+    }
+    Json::obj(SPAN_HOPS.iter().zip(HOP_HIST_NAMES).filter_map(|(&k, nm)| {
+        let h = obs.hist(MetricKey::global("span", nm))?;
+        (h.count() > 0).then(|| (k, Json::num(h.quantile(0.99) as f64)))
+    }))
+}
+
+/// Append one line of the `BENCH_precision.json` trajectory: the achieved
+/// precision π and worst-case accuracy α of a run, the stamp-pair
+/// uncertainty ε, and the per-hop p99 latency decomposition (when the run
+/// was observed). `nti_analyze` appends to the same file, so the
+/// trajectory interleaves live runs with offline trace analyses.
+pub fn record_precision(experiment: &str, label: &str, rep: &Report, obs: &SimObserver) {
+    append_bench(
+        "BENCH_precision.json",
+        &Json::obj([
+            ("experiment", Json::str(experiment)),
+            ("label", Json::str(label)),
+            ("fast_mode", Json::Bool(fast_mode())),
+            ("precision_worst_s", Json::num(rep.worst_precision_s)),
+            ("precision_mean_s", Json::num(rep.mean_precision_s)),
+            ("alpha_worst_s", Json::num(rep.worst_accuracy_s)),
+            ("eps_spread_s", Json::num(rep.eps_spread_s)),
+            (
+                "monitor_violations",
+                Json::num(rep.monitor_violations as f64),
+            ),
+            ("hop_p99_ns", hop_p99_json(obs)),
+        ]),
+    );
+}
+
 /// Append a JSON result record under `target/experiments/<experiment>.jsonl`
 /// so runs are machine-readable alongside the printed tables. `label`
 /// distinguishes rows within one experiment (e.g. the sweep point).
 pub fn record(experiment: &str, label: &str, value: &Json) {
-    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
-        .join("experiments");
+    let dir = experiments_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return; // recording is best-effort; the printed table is canonical
     }

@@ -63,6 +63,8 @@ impl ObsOpts {
                     }
                     None => eprintln!("warning: --trace-subsystems needs a spec argument"),
                 },
+                // Experiment-owned mode flag (e16_chaos, nti_analyze).
+                "--smoke" => {}
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
         }

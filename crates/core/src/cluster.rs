@@ -35,7 +35,10 @@ use nti_gps::{GpsConfig, GpsFault, GpsReceiver};
 use nti_kernel::{ComcoDriver, Interface, Kernel, KernelConfig};
 use nti_module::{CpldConfig, Nti, UTCSU_BASE};
 use nti_netsim::{Comco, ComcoTiming, Frame, Medium, MediumConfig, Topology};
-use nti_obs::{Counter, Histogram, MetricKey, SimObserver, Subsystem, GLOBAL_NODE};
+use nti_obs::{
+    fs_to_ns, Counter, Histogram, MetricKey, MonitorConfig, Monitors, SimObserver, SpanId,
+    Subsystem, GLOBAL_NODE,
+};
 use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
 use nti_simcore::time::{SimDuration, SimTime};
 use nti_simcore::{Accuracy, Engine, Oscillator, SimRng, Summary};
@@ -236,6 +239,11 @@ pub struct ClusterConfig {
     pub snapshot_every: SimDuration,
     /// Metrics warm-up exclusion window.
     pub warmup: SimDuration,
+    /// Precision budget π for the online precision monitor: a snapshot
+    /// whose worst pairwise clock difference exceeds this raises a
+    /// `precision` violation. `None` disables the check (the simulation
+    /// derives no closed-form π; callers supply their own budget).
+    pub precision_budget: Option<SimDuration>,
     /// Observability sink: threaded into the engine, every medium, every
     /// node's kernel and UTCSU, and the cluster-level round metrics.
     /// Disabled by default (one branch per instrumentation site).
@@ -278,6 +286,7 @@ impl ClusterConfig {
             duration: SimDuration::from_secs(30),
             snapshot_every: SimDuration::from_millis(500),
             warmup: SimDuration::from_secs(5),
+            precision_budget: None,
             obs: SimObserver::disabled(),
         }
     }
@@ -301,6 +310,11 @@ struct Flight {
     corrupted: bool,
     byzantine: bool,
     receivers_pending: usize,
+    /// Head of this flight's causal span chain — the last hop emitted on
+    /// the sender side — and that hop's real end instant. Null/meaningless
+    /// when observability is off.
+    span: SpanId,
+    span_t: SimTime,
 }
 
 /// Run-wide measurement accumulators.
@@ -357,6 +371,43 @@ pub struct Metrics {
     pub gps_rejected: u64,
 }
 
+/// The causal-span hop kinds of a CSP's life, in pipeline order: CSP
+/// assembly, TRANSMIT trigger, wire serialization, RECEIVE trigger, UTCSU
+/// latch, packet interrupt, ISR + task dispatch, and algorithm acceptance.
+/// Also indexes the `span/hop_<kind>_ns` histogram family.
+pub const SPAN_HOPS: [&str; 8] = [
+    "csp_send",
+    "xmit_trigger",
+    "wire",
+    "rcv_trigger",
+    "latch",
+    "interrupt",
+    "isr_dispatch",
+    "accept",
+];
+
+/// Registry names of the per-hop latency-decomposition histograms
+/// (`span` subsystem, global scope), index-aligned with [`SPAN_HOPS`].
+pub const HOP_HIST_NAMES: [&str; 8] = [
+    "hop_csp_send_ns",
+    "hop_xmit_trigger_ns",
+    "hop_wire_ns",
+    "hop_rcv_trigger_ns",
+    "hop_latch_ns",
+    "hop_interrupt_ns",
+    "hop_isr_dispatch_ns",
+    "hop_accept_ns",
+];
+
+const HOP_CSP_SEND: usize = 0;
+const HOP_XMIT_TRIGGER: usize = 1;
+const HOP_WIRE: usize = 2;
+const HOP_RCV_TRIGGER: usize = 3;
+const HOP_LATCH: usize = 4;
+const HOP_INTERRUPT: usize = 5;
+const HOP_ISR_DISPATCH: usize = 6;
+const HOP_ACCEPT: usize = 7;
+
 /// Pre-resolved cluster-level observability handles (metrics under the
 /// `cluster` subsystem, global scope unless noted).
 struct ClusterObs {
@@ -377,6 +428,37 @@ struct ClusterObs {
     csps_dropped_crc: Arc<Counter>,
     csps_dropped_overrun: Arc<Counter>,
     csps_dropped_injected: Arc<Counter>,
+    /// Per-hop latency decomposition of the CSP causal chain, one
+    /// histogram per [`SPAN_HOPS`] entry.
+    hop_ns: [Arc<Histogram>; SPAN_HOPS.len()],
+}
+
+impl ClusterObs {
+    /// Emit one cluster-side hop of a CSP's causal chain: allocate a span
+    /// id, link it under `parent` (null parent ⇒ root), and record the hop
+    /// duration into the decomposition histogram. Returns the new span id
+    /// so the caller can thread the chain head forward.
+    fn hop(&self, idx: usize, end_fs: u128, dur_fs: u128, node: u32, parent: SpanId) -> SpanId {
+        let span = self.obs.new_span();
+        self.obs.span_link(
+            end_fs,
+            dur_fs,
+            node,
+            Subsystem::Cluster,
+            SPAN_HOPS[idx],
+            span,
+            parent,
+        );
+        self.hop_ns[idx].record(fs_to_ns(dur_fs));
+        span
+    }
+
+    /// Record the duration of a hop whose span another layer emitted (the
+    /// medium's wire hop, the UTCSU latch, the kernel's ISR + dispatch)
+    /// into the same decomposition family.
+    fn hop_dur(&self, idx: usize, dur_fs: u128) {
+        self.hop_ns[idx].record(fs_to_ns(dur_fs));
+    }
 }
 
 /// How many post-rejoin convergence rounds of α are recorded per restart.
@@ -405,6 +487,9 @@ pub struct World {
     flights: HashMap<u64, Flight>,
     /// Receive-trigger instants per (flight, receiver) for ε measurement.
     rx_triggers: HashMap<(u64, usize), SimTime>,
+    /// Receive-side span chain heads per (flight, receiver): the latch (or
+    /// trigger) span and its real end instant, consumed by `rx_complete`.
+    rx_spans: HashMap<(u64, usize), (SpanId, SimTime)>,
     next_flight: u64,
     /// The fault-plan applicator (owns all fault RNG streams).
     injector: FaultInjector,
@@ -419,6 +504,8 @@ pub struct World {
     /// Measurements.
     pub metrics: Metrics,
     obs: Option<ClusterObs>,
+    /// Online invariant monitors (`None` when observability is off).
+    monitors: Option<Monitors>,
     cfg: ClusterConfig,
     params: SyncParams,
 }
@@ -438,6 +525,12 @@ impl World {
     /// Is node `id` currently crashed?
     pub fn is_down(&self, id: usize) -> bool {
         self.down[id]
+    }
+
+    /// The online invariant monitor bank, when observability is enabled
+    /// (violation counts, first offenses).
+    pub fn monitors(&self) -> Option<&Monitors> {
+        self.monitors.as_ref()
     }
 }
 
@@ -486,6 +579,9 @@ pub struct Report {
     /// Worst cross-node spread of synchronized duty-timer actuations (s),
     /// and the number of actuations measured.
     pub actuations: (f64, usize),
+    /// Online invariant violations raised across all monitors (always 0
+    /// when observability is off — the monitors need an enabled observer).
+    pub monitor_violations: u64,
 }
 
 impl Report {
@@ -557,6 +653,10 @@ impl Report {
                     Json::num(self.actuations.0),
                     Json::num(self.actuations.1 as f64),
                 ]),
+            ),
+            (
+                "monitor_violations",
+                Json::num(self.monitor_violations as f64),
             ),
         ])
     }
@@ -763,6 +863,7 @@ impl Cluster {
             topology: cfg.topology.clone(),
             flights: HashMap::new(),
             rx_triggers: HashMap::new(),
+            rx_spans: HashMap::new(),
             next_flight: 0,
             injector,
             down: vec![false; n],
@@ -770,6 +871,7 @@ impl Cluster {
             app_pending: HashMap::new(),
             metrics: Metrics::default(),
             obs: None,
+            monitors: None,
             cfg,
             params,
         };
@@ -801,7 +903,30 @@ impl Cluster {
                 csps_dropped_crc: obs.counter(key("csps_dropped_crc")).expect("enabled"),
                 csps_dropped_overrun: obs.counter(key("csps_dropped_overrun")).expect("enabled"),
                 csps_dropped_injected: obs.counter(key("csps_dropped_injected")).expect("enabled"),
+                hop_ns: HOP_HIST_NAMES
+                    .map(|nm| obs.hist(MetricKey::global("span", nm)).expect("enabled")),
             });
+            world.monitors = Monitors::new(
+                &obs,
+                n,
+                MonitorConfig {
+                    // The static worst-case transmission-delay bound the
+                    // algorithm compensates with also budgets the measured
+                    // trigger-to-latch stamp-pair delay.
+                    delay_budget_fs: Some(params.delay_max.as_fs()),
+                    precision_bound_fs: world.cfg.precision_budget.map(|d| d.as_fs()),
+                    check_containment: true,
+                    // Amortized interval clocks slew continuously and never
+                    // read backwards; instantaneous-step modes and leap
+                    // insertion legitimately do.
+                    check_monotonic: world.cfg.amortization.as_fs() > 0
+                        && world.cfg.leap_insert_at_sec.is_none()
+                        && matches!(
+                            world.cfg.algo,
+                            AlgoKind::IntervalOa | AlgoKind::IntervalMarzullo
+                        ),
+                },
+            );
         }
         let mut eng = Eng::new();
         eng.attach_observer(&obs);
@@ -896,6 +1021,7 @@ fn finalize(w: &mut World) -> Report {
         w.metrics.gps_rejected += n.vstats.rejected;
     }
     let cf_failures = w.nodes.iter().map(|n| n.core.cf_failures).sum();
+    let monitor_violations = w.monitors.as_ref().map_or(0, |m| m.total());
     let m = &mut w.metrics;
     Report {
         worst_precision_s: m.precision.max(),
@@ -924,6 +1050,7 @@ fn finalize(w: &mut World) -> Report {
         cf_failures,
         app_events: (m.app_event_spread.max(), m.app_event_spread.count()),
         actuations: (m.actuation_spread.max(), m.actuation_spread.count()),
+        monitor_violations,
     }
 }
 
@@ -949,6 +1076,14 @@ fn rejoin_recovery_rounds(trajectories: &[(usize, Vec<f64>)]) -> i64 {
 /// Units of 2⁻⁵⁹ s for a duration (ceil).
 fn units(d: SimDuration) -> u128 {
     crate::interval::units_ceil(d)
+}
+
+/// A clock reading as femtoseconds since the NTP epoch (for the
+/// monotonicity monitor; split so the fraction multiply cannot overflow).
+fn ntp_to_fs(t: NtpTime) -> i128 {
+    let secs = (t.raw() >> FRAC_BITS) as i128;
+    let frac = (t.raw() & ((1u128 << FRAC_BITS) - 1)) as i128;
+    secs * 1_000_000_000_000_000 + ((frac * 1_000_000_000_000_000) >> FRAC_BITS)
 }
 
 /// Receive-side data buffer for a given header slot (the upper half of the
@@ -1111,6 +1246,18 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
     }
     let attachments: Vec<usize> = world.topology.attachments(id).to_vec();
     let bits = csp_frame_bits();
+    // Root of the CSP's causal span chain: the assembly hop, from the
+    // software stamp taken at round start to the COMCO hand-off.
+    let mut span = SpanId::NONE;
+    if let Some(o) = &world.obs {
+        span = o.hop(
+            HOP_CSP_SEND,
+            now.as_fs(),
+            now.saturating_since(sw_real).as_fs(),
+            id as u32,
+            SpanId::NONE,
+        );
+    }
     for (a, &lan) in attachments.iter().enumerate() {
         let ready = world.nodes[id].comcos[a].tx_ready(now);
         let grant = world.mediums[lan].grant(ready, bits);
@@ -1141,6 +1288,8 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
                 corrupted,
                 byzantine,
                 receivers_pending: receivers.max(1),
+                span,
+                span_t: now,
             },
         );
         world.metrics.csps_sent += 1;
@@ -1197,6 +1346,18 @@ fn exec_tx_read(world: &mut World, eng: &mut Eng, id: usize, fid: u64, slot: u32
     };
     if off == cpld.xmt_trigger_off {
         flight.xmit_trigger_real = Some(now);
+        if let Some(o) = &world.obs {
+            if flight.span.is_some() {
+                flight.span = o.hop(
+                    HOP_XMIT_TRIGGER,
+                    now.as_fs(),
+                    now.saturating_since(flight.span_t).as_fs(),
+                    id as u32,
+                    flight.span,
+                );
+                flight.span_t = now;
+            }
+        }
     } else if off == cpld.xmt_map_ts_off {
         // A Byzantine node cannot forge the hardware insertion itself, but
         // it can have programmed its UTCSU clock arbitrarily; model the
@@ -1222,6 +1383,7 @@ fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
         return;
     };
     let (src, lan, wire_end) = (flight.src, flight.lan, flight.wire_end);
+    let chain = (flight.span, flight.span_t);
     if world.mediums[lan].is_partitioned() {
         // Severed segment: the frame propagated into the break and reaches
         // no receiver.
@@ -1239,6 +1401,17 @@ fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
     if members.is_empty() {
         world.flights.remove(&fid);
         return;
+    }
+    // Wire hop: from the TRANSMIT trigger to the last bit leaving the
+    // wire (receiver-side propagation lands in each rcv_trigger hop). The
+    // medium emits the span under its own subsystem.
+    let mut wire_span = SpanId::NONE;
+    if chain.0.is_some() {
+        let dur = wire_end.saturating_since(chain.1);
+        if let Some(o) = &world.obs {
+            o.hop_dur(HOP_WIRE, dur.as_fs());
+        }
+        wire_span = world.mediums[lan].wire_span(wire_end.as_fs(), dur.as_fs(), chain.0);
     }
     let mut scheduled: usize = 0;
     for q in members {
@@ -1266,6 +1439,8 @@ fn wire_done(world: &mut World, eng: &mut Eng, fid: u64) {
         world.flights.remove(&fid);
     } else if let Some(flight) = world.flights.get_mut(&fid) {
         flight.receivers_pending = scheduled;
+        flight.span = wire_span;
+        flight.span_t = wire_end;
     }
 }
 
@@ -1332,27 +1507,66 @@ fn exec_rx_write(
     world.nodes[q].advance(now);
     let cpld = world.nodes[q].nti.cpld();
     if off == cpld.rcv_trigger_off {
+        // The inbound chain head (the wire span) of this frame, when the
+        // sender's side was traced.
+        let chain = world
+            .flights
+            .get(&fid)
+            .map(|f| (f.span, f.span_t))
+            .unwrap_or((SpanId::NONE, now));
         // Trigger-path fault injection: a missed DMA trigger means the
         // stamp is never latched (the frame later drops in rx_complete); a
         // late trigger latches a stamp that post-dates the true arrival.
         if world.injector.missed_trigger(q, now) {
+            world
+                .injector
+                .annotate_span(now, q, "fault_trigger_missed", chain.0, 0);
             world.nodes[q]
                 .driver
                 .deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
             return;
         }
         if let Some(d) = world.injector.late_trigger(q, now) {
+            let xt = world.flights.get(&fid).and_then(|f| f.xmit_trigger_real);
             eng.schedule_at(now + d, move |w, e| {
                 if w.down[q] {
                     return;
                 }
                 let t = e.now();
                 w.nodes[q].advance(t);
+                if let Some(o) = &w.obs {
+                    if chain.0.is_some() {
+                        let rcv = o.hop(
+                            HOP_RCV_TRIGGER,
+                            t.as_fs(),
+                            t.saturating_since(chain.1).as_fs(),
+                            q as u32,
+                            chain.0,
+                        );
+                        // The injected lateness rides the chain as a fault
+                        // annotation child of the trigger span.
+                        w.injector
+                            .annotate_span(t, q, "fault_trigger_late", rcv, d.as_fs());
+                        w.nodes[q]
+                            .nti
+                            .utcsu_mut()
+                            .stage_trigger_span(rcv, t.as_fs());
+                        w.rx_spans.insert((fid, q), (rcv, t));
+                    }
+                }
                 if a == 0 {
                     let addr = w.nodes[q].nti.rx_header_addr(slot) + off;
                     w.nodes[q].nti.write32(addr, 0);
                 } else {
                     w.nodes[q].nti.utcsu_mut().trigger_ssu_receive(a);
+                }
+                note_latch_span(w, t, fid, q);
+                // The trigger-latency invariant is checked here rather
+                // than at the reception interrupt: a trigger this late may
+                // miss the latch window entirely, in which case the frame
+                // drops before `record_eps` would ever observe the pair.
+                if let (Some(m), Some(xt)) = (w.monitors.as_mut(), xt) {
+                    m.trigger_latency(t.as_fs(), q as u32, t.saturating_since(xt).as_fs());
                 }
                 w.rx_triggers.insert((fid, q), t);
             });
@@ -1360,6 +1574,25 @@ fn exec_rx_write(
                 .driver
                 .deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
             return;
+        }
+        // Nominal trigger: the receive hop (propagation plus the header
+        // writes preceding the trigger) ends now; stage the span context
+        // so the UTCSU parents its latch span under the trigger span.
+        if let Some(o) = &world.obs {
+            if chain.0.is_some() {
+                let rcv = o.hop(
+                    HOP_RCV_TRIGGER,
+                    now.as_fs(),
+                    now.saturating_since(chain.1).as_fs(),
+                    q as u32,
+                    chain.0,
+                );
+                world.nodes[q]
+                    .nti
+                    .utcsu_mut()
+                    .stage_trigger_span(rcv, now.as_fs());
+                world.rx_spans.insert((fid, q), (rcv, now));
+            }
         }
     }
     if a == 0 {
@@ -1369,12 +1602,33 @@ fn exec_rx_write(
         world.nodes[q].nti.utcsu_mut().trigger_ssu_receive(a);
     }
     if off == cpld.rcv_trigger_off {
+        note_latch_span(world, now, fid, q);
         world.rx_triggers.insert((fid, q), now);
         // The ISR-level driver sees the frame as CI traffic (Figure 9).
         world.nodes[q]
             .driver
             .deliver(nti_kernel::ETHERTYPE_CI, fid as usize, Vec::new());
     }
+}
+
+/// A receive trigger just fired with a staged span context: upgrade the
+/// recorded chain head to the latch span the UTCSU emitted (which ends one
+/// synchronizer delay after the trigger), so the packet-interrupt hop
+/// parents on the latch. A null latch span (untraced chain) leaves the
+/// trigger span in place.
+fn note_latch_span(world: &mut World, now: SimTime, fid: u64, q: usize) {
+    let latch = world.nodes[q].nti.utcsu_mut().take_latch_span();
+    if latch.is_none() {
+        return;
+    }
+    let lat_fs = world.nodes[q].nti.utcsu().stamp_delay_ticks() * 1_000_000_000_000_000
+        / world.cfg.fosc_hz as u128;
+    if let Some(o) = &world.obs {
+        o.hop_dur(HOP_LATCH, lat_fs);
+    }
+    world
+        .rx_spans
+        .insert((fid, q), (latch, now + SimDuration::from_fs(lat_fs)));
 }
 
 /// Step 6→7: the packet interrupt; ISR + dispatch; stamps resolved per the
@@ -1391,6 +1645,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
             }
         }
         world.rx_triggers.remove(&(fid, q));
+        world.rx_spans.remove(&(fid, q));
         return;
     }
     world.nodes[q].advance(now);
@@ -1412,6 +1667,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
     // Pull the receive-trigger instant recorded by exec_rx_write, and let
     // the driver consume the CI queue entry (KI/NI traffic is untouched).
     let trigger_real = world.rx_triggers.remove(&(fid, q));
+    let rx_span = world.rx_spans.remove(&(fid, q));
     let _ = world.nodes[q].driver.pop(Interface::Ci);
     let Some(flight) = world.flights.get_mut(&fid) else {
         return;
@@ -1450,6 +1706,27 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
     let mode = world.cfg.mode;
     let isr = world.nodes[q].kernel.isr_entry() + world.nodes[q].kernel.isr_body();
     let dispatch = world.nodes[q].kernel.task_dispatch();
+    // Packet-interrupt hop (latch end → interrupt assertion), then the
+    // ISR + dispatch hop the kernel emits; `chain` is what the sync
+    // task's accept span parents on.
+    let mut chain = SpanId::NONE;
+    if let Some(o) = &world.obs {
+        if let Some((ls, lt)) = rx_span {
+            let ispan = o.hop(
+                HOP_INTERRUPT,
+                now.as_fs(),
+                now.saturating_since(lt).as_fs(),
+                q as u32,
+                ls,
+            );
+            let end = now + isr + dispatch;
+            let dur_fs = end.saturating_since(now).as_fs();
+            chain = world.nodes[q]
+                .kernel
+                .isr_dispatch_span(end.as_fs(), dur_fs, ispan);
+            o.hop_dur(HOP_ISR_DISPATCH, dur_fs);
+        }
+    }
     match mode {
         TimestampMode::Hardware => {
             // The ISR (after its entry latency) reads the latched stamp; the
@@ -1471,6 +1748,11 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
             };
             if let (Some(tr), Some(tx)) = (trigger_real, flight.xmit_trigger_real) {
                 record_eps(world, eng.now(), tr, tx);
+                // Trigger-to-latch budget: the measured stamp-pair delay
+                // must stay inside the static bound δ_max.
+                if let Some(m) = world.monitors.as_mut() {
+                    m.trigger_latency(now.as_fs(), q as u32, tr.saturating_since(tx).as_fs());
+                }
             }
             let at = now + isr + dispatch;
             eng.schedule_at(at, move |w, e| {
@@ -1481,6 +1763,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                     flight.payload,
                     flight_hw_stamp(&flight),
                     recv_local,
+                    chain,
                 )
             });
         }
@@ -1491,6 +1774,9 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
             let recv_local = world.nodes[q].read_clock_regs(now);
             if let Some(tx) = flight.xmit_trigger_real {
                 record_eps(world, eng.now(), now, tx);
+                if let Some(m) = world.monitors.as_mut() {
+                    m.trigger_latency(now.as_fs(), q as u32, now.saturating_since(tx).as_fs());
+                }
             }
             let at = now + isr + dispatch;
             eng.schedule_at(at, move |w, e| {
@@ -1501,6 +1787,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                     flight.payload,
                     flight_hw_stamp(&flight),
                     recv_local,
+                    chain,
                 )
             });
         }
@@ -1515,7 +1802,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                 let recv_local = w.nodes[q].read_clock_regs(t);
                 record_eps(w, t, t, flight.sw_stamp_real);
                 let xmit = sw_xmit_stamp(&flight, recv_local);
-                process_csp(w, e, q, flight.payload, xmit, recv_local);
+                process_csp(w, e, q, flight.payload, xmit, recv_local, chain);
             });
         }
     }
@@ -1593,11 +1880,12 @@ fn record_eps(world: &mut World, now: SimTime, recv_real: SimTime, xmit_real: Si
 /// feeds the rate estimator.
 fn process_csp(
     world: &mut World,
-    _eng: &mut Eng,
+    eng: &mut Eng,
     q: usize,
     payload: CspPayload,
     xmit: (NtpTime, Accuracy, Accuracy),
     recv_local: NtpTime,
+    span: SpanId,
 ) {
     let node = &mut world.nodes[q];
     let csp = ReceivedCsp {
@@ -1618,6 +1906,10 @@ fn process_csp(
     world.metrics.csps_delivered += 1;
     if let Some(o) = &world.obs {
         o.csps_delivered.inc();
+        if span.is_some() {
+            // Terminal hop: the CSP entered the algorithm's inbox.
+            o.hop(HOP_ACCEPT, eng.now().as_fs(), 0, q as u32, span);
+        }
     }
 }
 
@@ -1835,17 +2127,28 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
             let reference = ref_time(world, now);
             let (am, ap) = world.nodes[id].nti.utcsu().alpha();
             let iv = AccInterval::from_alpha(t, am, ap);
+            let contained = iv.contains_time(reference);
             world.metrics.containment_checks += 1;
-            if !iv.contains_time(reference) {
+            if !contained {
                 world.metrics.containment_violations += 1;
             }
-            let err = iv.value_error_secs(reference).abs();
+            let signed_err = iv.value_error_secs(reference);
+            let err = signed_err.abs();
             let a_max = am.as_secs_f64().max(ap.as_secs_f64());
             world.metrics.true_error.add(err);
             world.metrics.alpha.add(a_max);
             if let Some(o) = &world.obs {
                 o.true_error_ns.record((err * 1e9) as u64);
                 o.alpha_ns.record((a_max * 1e9) as u64);
+            }
+            if let Some(m) = world.monitors.as_mut() {
+                m.containment(
+                    now.as_fs(),
+                    id as u32,
+                    contained,
+                    (signed_err * 1e15) as i128,
+                );
+                m.clock_sample(now.as_fs(), id as u32, ntp_to_fs(t));
             }
             let _ = stamp;
         }
@@ -1858,6 +2161,9 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
             }
         }
         world.metrics.precision.add(worst);
+        if let Some(m) = world.monitors.as_mut() {
+            m.precision(now.as_fs(), (worst * 1e15) as u128);
+        }
         if let Some(o) = &world.obs {
             let ns = (worst * 1e9) as u64;
             o.precision_ns.record(ns);
@@ -2046,6 +2352,9 @@ fn crash_node(world: &mut World, eng: &mut Eng, id: usize) {
     world.down[id] = true;
     world.metrics.crashes += 1;
     world.injector.note_crash(now, id);
+    if let Some(m) = world.monitors.as_mut() {
+        m.reset_clock(id as u32);
+    }
     if let Some(ev) = world.nodes[id].utcsu_event.take() {
         eng.cancel(ev);
     }
@@ -2140,6 +2449,11 @@ fn restart_node(world: &mut World, eng: &mut Eng, id: usize) {
         arm_timer(&mut world.nodes[id], 2, NtpTime::from_raw(target));
     }
     world.down[id] = false;
+    if let Some(m) = world.monitors.as_mut() {
+        // The reseeded boot clock may legitimately read earlier than the
+        // pre-crash clock.
+        m.reset_clock(id as u32);
+    }
     world.metrics.rejoin_alpha.push((id, Vec::new()));
     world
         .rejoin_track

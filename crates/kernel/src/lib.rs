@@ -32,7 +32,7 @@ pub mod exec;
 
 pub use exec::{Executive, Msg, Step, TaskBody, TaskId, TraceEvent};
 
-use nti_obs::{fs_to_ns, Histogram, MetricKey, SimObserver};
+use nti_obs::{fs_to_ns, Histogram, MetricKey, SimObserver, SpanId, Subsystem};
 use nti_simcore::rng::SimRng;
 use nti_simcore::time::SimDuration;
 use std::collections::VecDeque;
@@ -177,6 +177,8 @@ impl KernelConfig {
 /// distributions, not just the configured envelopes.
 #[derive(Clone, Debug)]
 struct KernelObs {
+    obs: SimObserver,
+    node: u32,
     isr_entry_ns: Arc<Histogram>,
     isr_body_ns: Arc<Histogram>,
     dispatch_ns: Arc<Histogram>,
@@ -206,6 +208,8 @@ impl Kernel {
     pub fn attach_observer(&mut self, obs: &SimObserver, node: u32) {
         self.obs = if obs.is_enabled() {
             Some(KernelObs {
+                obs: obs.clone(),
+                node,
                 isr_entry_ns: obs
                     .hist(MetricKey::node(node, "kernel", "isr_entry_ns"))
                     .expect("enabled"),
@@ -254,6 +258,31 @@ impl Kernel {
             o.dispatch_ns.record(fs_to_ns(d.as_fs()));
         }
         d
+    }
+
+    /// Record the causal ISR + task-dispatch hop of a received CSP: a span
+    /// ending at `end_fs` (when the sync task runs) linked under `parent`
+    /// (the packet-interrupt span). Returns the new span id, or
+    /// [`SpanId::NONE`] when no observer is attached or `parent` is null,
+    /// so callers can thread the id unconditionally.
+    pub fn isr_dispatch_span(&self, end_fs: u128, dur_fs: u128, parent: SpanId) -> SpanId {
+        let Some(o) = &self.obs else {
+            return SpanId::NONE;
+        };
+        if parent.is_none() {
+            return SpanId::NONE;
+        }
+        let span = o.obs.new_span();
+        o.obs.span_link(
+            end_fs,
+            dur_fs,
+            o.node,
+            Subsystem::Kernel,
+            "isr_dispatch",
+            span,
+            parent,
+        );
+        span
     }
 
     /// Draw a CSP assembly duration (step 1).

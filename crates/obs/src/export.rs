@@ -29,6 +29,18 @@ fn event_obj(ev: &TraceEvent) -> Json {
         Payload::Instant => {}
         Payload::Span { dur_fs } => pairs.push(("dur_fs", Json::str(dur_fs.to_string()))),
         Payload::Value { value } => pairs.push(("value", Json::num(value as f64))),
+        Payload::SpanLink {
+            span,
+            parent,
+            dur_fs,
+        } => {
+            // Span/parent ids are u64s; like timestamps they are exported
+            // as decimal strings so the f64-backed parser round-trips them
+            // exactly.
+            pairs.push(("span", Json::str(span.to_string())));
+            pairs.push(("parent", Json::str(parent.to_string())));
+            pairs.push(("dur_fs", Json::str(dur_fs.to_string())));
+        }
     }
     Json::obj(pairs)
 }
@@ -81,6 +93,23 @@ pub fn write_chrome<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()
                 pairs.push(("ts", Json::num(fs_to_us(ev.sim_time_fs))));
                 pairs.push(("args", Json::obj([("value", Json::num(value as f64))])));
             }
+            Payload::SpanLink {
+                span,
+                parent,
+                dur_fs,
+            } => {
+                let start = ev.sim_time_fs.saturating_sub(dur_fs);
+                pairs.push(("ph", Json::str("X")));
+                pairs.push(("ts", Json::num(fs_to_us(start))));
+                pairs.push(("dur", Json::num(fs_to_us(dur_fs))));
+                pairs.push((
+                    "args",
+                    Json::obj([
+                        ("span", Json::str(span.to_string())),
+                        ("parent", Json::str(parent.to_string())),
+                    ]),
+                ));
+            }
         }
         if !first {
             write!(w, ",")?;
@@ -122,6 +151,17 @@ mod tests {
                 kind: "round",
                 payload: Payload::Value { value: 3 },
             },
+            TraceEvent {
+                sim_time_fs: 9_000_000_000,
+                node: 2,
+                subsystem: Subsystem::Cluster,
+                kind: "wire",
+                payload: Payload::SpanLink {
+                    span: 7,
+                    parent: 6,
+                    dur_fs: 4_000_000_000,
+                },
+            },
         ]
     }
 
@@ -131,12 +171,20 @@ mod tests {
         write_jsonl(&sample_events(), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
-        for line in lines {
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
             let j = Json::parse(line).expect("each line is a JSON object");
             assert!(j.get("kind").is_some());
             assert!(j.get("t_fs").and_then(Json::as_str).is_some());
         }
+        // Span-link line carries span/parent ids as decimal strings.
+        let link = Json::parse(lines[3]).unwrap();
+        assert_eq!(link.get("span").and_then(Json::as_str), Some("7"));
+        assert_eq!(link.get("parent").and_then(Json::as_str), Some("6"));
+        assert_eq!(
+            link.get("dur_fs").and_then(Json::as_str),
+            Some("4000000000")
+        );
     }
 
     #[test]
@@ -145,7 +193,7 @@ mod tests {
         write_chrome(&sample_events(), &mut buf).unwrap();
         let j = Json::parse(std::str::from_utf8(&buf).unwrap()).expect("valid JSON");
         let arr = j.as_arr().expect("array");
-        assert_eq!(arr.len(), 3);
+        assert_eq!(arr.len(), 4);
         // Span event: ts = start (3 µs), dur = 2 µs.
         let span = &arr[1];
         assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
@@ -159,6 +207,24 @@ mod tests {
                 .and_then(|a| a.get("value"))
                 .and_then(Json::as_f64),
             Some(3.0)
+        );
+        // Span-link event: complete event with span/parent ids in args so
+        // the causal tree survives the Chrome export.
+        let link = &arr[3];
+        assert_eq!(link.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(link.get("ts").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(link.get("dur").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            link.get("args")
+                .and_then(|a| a.get("span"))
+                .and_then(Json::as_str),
+            Some("7")
+        );
+        assert_eq!(
+            link.get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_str),
+            Some("6")
         );
     }
 }

@@ -18,6 +18,12 @@
 //!   delegate here.
 //! * [`observer`] — [`SimObserver`], the cheap clonable handle threaded
 //!   through the engine, network, kernel, UTCSU and cluster layers.
+//! * [`span`] — causal span tracing: parent-linked [`SpanId`]s threaded
+//!   through a CSP's life, plus [`SpanForest`] for offline
+//!   reconstruction.
+//! * [`monitor`] — online invariant [`Monitors`] (containment, precision,
+//!   monotonicity, trigger-latency budget) raising structured
+//!   [`Violation`]s.
 //! * [`json`] — a dependency-free JSON value used by the exporters and
 //!   the experiment harness.
 //!
@@ -30,12 +36,16 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod observer;
 pub mod quantile;
+pub mod span;
 pub mod trace;
 
 pub use hist::Histogram;
 pub use json::Json;
 pub use metrics::{Counter, Gauge, MetricId, MetricKey, Registry};
+pub use monitor::{MonitorConfig, Monitors, Violation};
 pub use observer::{fs_to_ns, ObsCore, SimObserver};
+pub use span::{records_from_events, SpanForest, SpanId, SpanRecord};
 pub use trace::{Payload, Subsystem, TraceEvent, Tracer, GLOBAL_NODE};

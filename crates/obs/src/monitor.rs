@@ -1,0 +1,405 @@
+//! Online invariant monitors.
+//!
+//! The paper's guarantees are properties of the *whole run* — every
+//! non-faulty clock's accuracy interval must contain reference time,
+//! pairwise clock readings must stay within the precision π, amortized
+//! clocks never step backwards, and the trigger-to-latch path stays
+//! inside the static delay bound used for compensation. PR 2's tracer
+//! only let us check these post-hoc from the final `Report`; this module
+//! evaluates them **as the run streams** and raises a structured
+//! [`Violation`] (with first-offense context) the moment one breaks.
+//!
+//! Monitors are driven by the simulation layer that owns the data (the
+//! cluster snapshot loop, the ε recorder) rather than by re-parsing trace
+//! events, so they work with a metrics-only observer too. Each monitor
+//! owns a pre-resolved counter `monitor/viol_<name>` and mirrors every
+//! violation into the trace as a `viol_<name>` value event, which is how
+//! `nti_analyze` finds them in an exported JSONL file.
+
+use crate::metrics::{Counter, MetricKey};
+use crate::observer::SimObserver;
+use crate::trace::{Subsystem, GLOBAL_NODE};
+use crate::Json;
+use std::sync::Arc;
+
+/// Which invariants to check, and with what budgets. Budgets are
+/// femtoseconds; `None` disables the corresponding monitor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonitorConfig {
+    /// Trigger-to-latch / transmission-delay budget: the measured
+    /// stamp-pair delay of a CSP must not exceed this (the static
+    /// worst-case bound δ_max the algorithm compensates with).
+    pub delay_budget_fs: Option<u128>,
+    /// Precision bound π: the worst pairwise clock difference at a
+    /// snapshot must stay below this. Opt-in — the simulation does not
+    /// derive a closed-form π, so callers supply their own budget.
+    pub precision_bound_fs: Option<u128>,
+    /// Check accuracy-interval containment (reference ∈ [T−α⁻, T+α⁺])
+    /// for every non-faulty node at each snapshot.
+    pub check_containment: bool,
+    /// Check that amortized clocks never read backwards between
+    /// snapshots. Only meaningful when state amortization is on —
+    /// instantaneous-step modes legitimately step backwards.
+    pub check_monotonic: bool,
+}
+
+/// One invariant violation, with the context of the offense.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Monitor name: `"containment"`, `"precision"`, `"monotonic"` or
+    /// `"trigger_latency"`.
+    pub monitor: &'static str,
+    /// Simulation time of the offense (femtoseconds).
+    pub sim_time_fs: u128,
+    /// Offending node, when the invariant is per-node.
+    pub node: Option<u32>,
+    /// The observed quantity, femtoseconds (signed: containment reports
+    /// the excursion of reference time outside the interval).
+    pub observed_fs: i128,
+    /// The bound it broke, femtoseconds.
+    pub bound_fs: i128,
+}
+
+impl Violation {
+    /// Machine-readable form (fs magnitudes as decimal strings).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("monitor", Json::str(self.monitor)),
+            ("t_fs", Json::str(self.sim_time_fs.to_string())),
+            (
+                "node",
+                match self.node {
+                    Some(n) => Json::num(n),
+                    None => Json::Null,
+                },
+            ),
+            ("observed_fs", Json::str(self.observed_fs.to_string())),
+            ("bound_fs", Json::str(self.bound_fs.to_string())),
+        ])
+    }
+}
+
+/// One monitor's live state: its counter plus the first offense seen.
+#[derive(Debug)]
+struct MonitorState {
+    count: Arc<Counter>,
+    first: Option<Violation>,
+}
+
+impl MonitorState {
+    fn hit(&mut self, v: Violation) {
+        self.count.inc();
+        if self.first.is_none() {
+            self.first = Some(v);
+        }
+    }
+}
+
+const CONTAINMENT: usize = 0;
+const PRECISION: usize = 1;
+const MONOTONIC: usize = 2;
+const TRIGGER_LATENCY: usize = 3;
+const NAMES: [&str; 4] = ["containment", "precision", "monotonic", "trigger_latency"];
+const EVENT_KINDS: [&str; 4] = [
+    "viol_containment",
+    "viol_precision",
+    "viol_monotonic",
+    "viol_trigger_latency",
+];
+
+/// The online monitor bank. Construct with [`Monitors::new`]; the
+/// simulation layers feed it observations and it counts violations into
+/// the registry (`monitor/viol_*`), mirrors them into the trace, and
+/// keeps the first offense of each kind for the report.
+#[derive(Debug)]
+pub struct Monitors {
+    obs: SimObserver,
+    cfg: MonitorConfig,
+    states: [MonitorState; 4],
+    /// Last sampled clock reading per node (femtoseconds), for the
+    /// monotonicity check. `None` until the first sample or after a
+    /// crash/restart reset.
+    last_clock: Vec<Option<i128>>,
+}
+
+impl Monitors {
+    /// Build the bank against an **enabled** observer (returns `None` for
+    /// a disabled one — the whole monitor path then costs a single
+    /// `Option` branch at each call site).
+    pub fn new(obs: &SimObserver, nodes: usize, cfg: MonitorConfig) -> Option<Monitors> {
+        if !obs.is_enabled() {
+            return None;
+        }
+        let state = |i: usize| MonitorState {
+            count: obs
+                .counter(MetricKey::global("monitor", EVENT_KINDS[i]))
+                .expect("enabled"),
+            first: None,
+        };
+        Some(Monitors {
+            obs: obs.clone(),
+            cfg,
+            states: [
+                state(CONTAINMENT),
+                state(PRECISION),
+                state(MONOTONIC),
+                state(TRIGGER_LATENCY),
+            ],
+            last_clock: vec![None; nodes],
+        })
+    }
+
+    fn raise(&mut self, which: usize, v: Violation) {
+        self.obs.value(
+            v.sim_time_fs,
+            v.node.unwrap_or(GLOBAL_NODE),
+            Subsystem::Cluster,
+            EVENT_KINDS[which],
+            (v.observed_fs - v.bound_fs).clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+        );
+        self.states[which].hit(v);
+    }
+
+    /// Feed one containment observation: was reference time inside the
+    /// node's accuracy interval, and by how much was it off if not?
+    /// (`excursion_fs` is ignored when `contained`.)
+    pub fn containment(&mut self, t_fs: u128, node: u32, contained: bool, excursion_fs: i128) {
+        if !self.cfg.check_containment || contained {
+            return;
+        }
+        self.raise(
+            CONTAINMENT,
+            Violation {
+                monitor: NAMES[CONTAINMENT],
+                sim_time_fs: t_fs,
+                node: Some(node),
+                observed_fs: excursion_fs,
+                bound_fs: 0,
+            },
+        );
+    }
+
+    /// Feed one precision observation: the worst pairwise clock
+    /// difference across up nodes at a snapshot.
+    pub fn precision(&mut self, t_fs: u128, worst_pair_fs: u128) {
+        let Some(bound) = self.cfg.precision_bound_fs else {
+            return;
+        };
+        if worst_pair_fs <= bound {
+            return;
+        }
+        self.raise(
+            PRECISION,
+            Violation {
+                monitor: NAMES[PRECISION],
+                sim_time_fs: t_fs,
+                node: None,
+                observed_fs: worst_pair_fs as i128,
+                bound_fs: bound as i128,
+            },
+        );
+    }
+
+    /// Feed one sampled clock reading (femtoseconds) for `node`; raises
+    /// when an amortized clock reads earlier than its previous sample.
+    pub fn clock_sample(&mut self, t_fs: u128, node: u32, clock_fs: i128) {
+        let slot = &mut self.last_clock[node as usize];
+        let prev = slot.replace(clock_fs);
+        if !self.cfg.check_monotonic {
+            return;
+        }
+        if let Some(prev) = prev {
+            if clock_fs < prev {
+                self.raise(
+                    MONOTONIC,
+                    Violation {
+                        monitor: NAMES[MONOTONIC],
+                        sim_time_fs: t_fs,
+                        node: Some(node),
+                        observed_fs: clock_fs - prev,
+                        bound_fs: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Forget `node`'s last clock sample (call on crash/restart: the
+    /// reseeded clock may legitimately read earlier).
+    pub fn reset_clock(&mut self, node: u32) {
+        if let Some(slot) = self.last_clock.get_mut(node as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Feed one measured CSP stamp-pair delay (trigger-to-latch path).
+    pub fn trigger_latency(&mut self, t_fs: u128, node: u32, delay_fs: u128) {
+        let Some(budget) = self.cfg.delay_budget_fs else {
+            return;
+        };
+        if delay_fs <= budget {
+            return;
+        }
+        self.raise(
+            TRIGGER_LATENCY,
+            Violation {
+                monitor: NAMES[TRIGGER_LATENCY],
+                sim_time_fs: t_fs,
+                node: Some(node),
+                observed_fs: delay_fs as i128,
+                bound_fs: budget as i128,
+            },
+        );
+    }
+
+    /// Total violations across all monitors.
+    pub fn total(&self) -> u64 {
+        self.states.iter().map(|s| s.count.get()).sum()
+    }
+
+    /// Per-monitor `(name, count, first offense)` rows.
+    pub fn by_monitor(&self) -> Vec<(&'static str, u64, Option<&Violation>)> {
+        NAMES
+            .iter()
+            .zip(&self.states)
+            .map(|(&n, s)| (n, s.count.get(), s.first.as_ref()))
+            .collect()
+    }
+
+    /// Machine-readable summary: totals and first offenses.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("total", Json::num(self.total() as f64)),
+            (
+                "monitors",
+                Json::obj(NAMES.iter().zip(&self.states).map(|(&n, s)| {
+                    (
+                        n,
+                        Json::obj([
+                            ("count", Json::num(s.count.get() as f64)),
+                            (
+                                "first",
+                                s.first.as_ref().map(|v| v.to_json()).unwrap_or(Json::Null),
+                            ),
+                        ]),
+                    )
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(cfg: MonitorConfig) -> (SimObserver, Monitors) {
+        let obs = SimObserver::with_trace(64, u32::MAX);
+        let m = Monitors::new(&obs, 4, cfg).expect("enabled observer");
+        (obs, m)
+    }
+
+    #[test]
+    fn disabled_observer_yields_no_bank() {
+        assert!(Monitors::new(&SimObserver::disabled(), 4, MonitorConfig::default()).is_none());
+    }
+
+    #[test]
+    fn containment_counts_first_offense() {
+        let (obs, mut m) = bank(MonitorConfig {
+            check_containment: true,
+            ..Default::default()
+        });
+        m.containment(10, 1, true, 0);
+        assert_eq!(m.total(), 0);
+        m.containment(20, 1, false, -500);
+        m.containment(30, 2, false, 900);
+        assert_eq!(m.total(), 2);
+        let rows = m.by_monitor();
+        let (name, count, first) = rows[0];
+        assert_eq!(name, "containment");
+        assert_eq!(count, 2);
+        let first = first.unwrap();
+        assert_eq!(first.sim_time_fs, 20);
+        assert_eq!(first.node, Some(1));
+        assert_eq!(first.observed_fs, -500);
+        // Mirrored into the trace and the registry.
+        assert_eq!(
+            obs.events()
+                .iter()
+                .filter(|e| e.kind == "viol_containment")
+                .count(),
+            2
+        );
+        let c = obs
+            .counter(MetricKey::global("monitor", "viol_containment"))
+            .unwrap();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn precision_needs_a_bound() {
+        let (_obs, mut m) = bank(MonitorConfig::default());
+        m.precision(10, u128::MAX);
+        assert_eq!(m.total(), 0);
+        let (_obs, mut m) = bank(MonitorConfig {
+            precision_bound_fs: Some(1_000),
+            ..Default::default()
+        });
+        m.precision(10, 1_000);
+        assert_eq!(m.total(), 0);
+        m.precision(20, 1_001);
+        assert_eq!(m.total(), 1);
+    }
+
+    #[test]
+    fn monotonic_resets_on_restart() {
+        let (_obs, mut m) = bank(MonitorConfig {
+            check_monotonic: true,
+            ..Default::default()
+        });
+        m.clock_sample(10, 0, 1_000);
+        m.clock_sample(20, 0, 2_000);
+        assert_eq!(m.total(), 0);
+        m.reset_clock(0);
+        m.clock_sample(30, 0, 500); // reseeded after restart: not a violation
+        assert_eq!(m.total(), 0);
+        m.clock_sample(40, 0, 400); // genuine backwards step
+        assert_eq!(m.total(), 1);
+    }
+
+    #[test]
+    fn trigger_latency_budget() {
+        let (obs, mut m) = bank(MonitorConfig {
+            delay_budget_fs: Some(5_000),
+            ..Default::default()
+        });
+        m.trigger_latency(10, 3, 5_000);
+        assert_eq!(m.total(), 0);
+        m.trigger_latency(20, 3, 9_000);
+        assert_eq!(m.total(), 1);
+        let j = m.to_json();
+        assert_eq!(j.get("total").and_then(Json::as_f64), Some(1.0));
+        let first = j
+            .get("monitors")
+            .and_then(|o| o.get("trigger_latency"))
+            .and_then(|o| o.get("first"))
+            .unwrap();
+        assert_eq!(
+            first.get("observed_fs").and_then(Json::as_str),
+            Some("9000")
+        );
+        assert_eq!(first.get("bound_fs").and_then(Json::as_str), Some("5000"));
+        // The trace event value is the overshoot in fs.
+        let evs = obs.events();
+        let e = evs
+            .iter()
+            .find(|e| e.kind == "viol_trigger_latency")
+            .unwrap();
+        assert_eq!(
+            e.payload,
+            crate::Payload::Value { value: 4_000 },
+            "value is observed - bound"
+        );
+    }
+}

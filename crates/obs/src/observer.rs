@@ -9,10 +9,12 @@
 
 use crate::export::{write_chrome, write_jsonl};
 use crate::metrics::{Counter, Gauge, MetricKey, Registry};
+use crate::span::SpanId;
 use crate::trace::{Payload, Subsystem, TraceEvent, Tracer};
 use crate::Histogram;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// Shared observability state: one metric registry plus one trace ring.
@@ -22,6 +24,8 @@ pub struct ObsCore {
     pub registry: Registry,
     /// The trace ring.
     pub tracer: Tracer,
+    /// Next causal-span id (ids start at 1; 0 means "no span").
+    next_span: AtomicU64,
 }
 
 /// Default trace-ring capacity when tracing is enabled (events).
@@ -52,6 +56,7 @@ impl SimObserver {
             inner: Some(Arc::new(ObsCore {
                 registry: Registry::new(),
                 tracer: Tracer::new(capacity, mask),
+                next_span: AtomicU64::new(1),
             })),
         }
     }
@@ -142,6 +147,49 @@ impl SimObserver {
         value: i64,
     ) {
         self.event(sim_time_fs, node, subsystem, kind, Payload::Value { value });
+    }
+
+    /// Allocate a fresh causal-span id (see `crate::span`). Returns
+    /// [`SpanId::NONE`] when disabled, so the whole span path is a single
+    /// branch plus (when enabled) one relaxed fetch-add — never an
+    /// allocation.
+    #[inline]
+    pub fn new_span(&self) -> SpanId {
+        match &self.inner {
+            None => SpanId::NONE,
+            Some(core) => SpanId(core.next_span.fetch_add(1, Relaxed)),
+        }
+    }
+
+    /// Record a parent-linked causal span ending at `end_fs`. No-op when
+    /// disabled or when `span` is [`SpanId::NONE`] (the id a disabled
+    /// observer hands out), so callers can thread ids unconditionally.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_link(
+        &self,
+        end_fs: u128,
+        dur_fs: u128,
+        node: u32,
+        subsystem: Subsystem,
+        kind: &'static str,
+        span: SpanId,
+        parent: SpanId,
+    ) {
+        if span.is_none() {
+            return;
+        }
+        self.event(
+            end_fs,
+            node,
+            subsystem,
+            kind,
+            Payload::SpanLink {
+                span: span.0,
+                parent: parent.0,
+                dur_fs,
+            },
+        );
     }
 
     /// Snapshot the retained trace events (empty when disabled).

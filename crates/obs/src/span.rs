@@ -1,0 +1,355 @@
+//! Causal span tracing.
+//!
+//! A **span** is one hop of a CSP's life — assembly, TRANSMIT trigger,
+//! wire time, RECEIVE trigger, UTCSU latch, interrupt, ISR + dispatch,
+//! `accept` — recorded as a [`Payload::SpanLink`] trace event carrying its
+//! own id and its parent's id. Threading the ids through the simulation
+//! turns the flat event stream into per-packet trees, so an analyzer can
+//! decompose exactly where the end-to-end uncertainty ε is spent.
+//!
+//! Ids are allocated by [`crate::SimObserver::new_span`]: a relaxed
+//! fetch-add when an observer is attached, the constant [`SpanId::NONE`]
+//! when not — the disabled path is a branch, never an allocation.
+//!
+//! [`SpanRecord`] and [`SpanForest`] are the offline halves: they rebuild
+//! spans from in-memory [`TraceEvent`]s or from exported JSONL (see
+//! [`crate::export::write_jsonl`]) and answer structural questions
+//! (roots, orphans, chains) for tests and the `nti_analyze` binary.
+
+use crate::json::Json;
+use crate::trace::{Payload, TraceEvent, GLOBAL_NODE};
+use std::collections::{BTreeMap, HashMap};
+
+/// A causal-span identifier. `0` is reserved for "no span" so the id can
+/// be threaded through `Copy` structs without an `Option`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span id handed out by a disabled observer.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Is this the null id?
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is this a real (allocated) id?
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl Default for SpanId {
+    fn default() -> Self {
+        SpanId::NONE
+    }
+}
+
+/// One reconstructed span, in owned form (so it can come from a parsed
+/// JSONL line as well as from an in-memory [`TraceEvent`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// This span's id (non-zero).
+    pub span: u64,
+    /// Parent span id (0 for a root).
+    pub parent: u64,
+    /// End of the span, femtoseconds of simulation time.
+    pub end_fs: u128,
+    /// Span duration in femtoseconds.
+    pub dur_fs: u128,
+    /// Node the span belongs to (`None` for global records).
+    pub node: Option<u32>,
+    /// Emitting subsystem name (`"cluster"`, `"net"`, …).
+    pub sub: String,
+    /// Span kind (`"csp_send"`, `"wire"`, `"latch"`, …).
+    pub kind: String,
+}
+
+impl SpanRecord {
+    /// The span's start time in femtoseconds.
+    pub fn start_fs(&self) -> u128 {
+        self.end_fs.saturating_sub(self.dur_fs)
+    }
+
+    /// Extract a span record from a trace event, if it is a span-link
+    /// event.
+    pub fn from_event(ev: &TraceEvent) -> Option<SpanRecord> {
+        let Payload::SpanLink {
+            span,
+            parent,
+            dur_fs,
+        } = ev.payload
+        else {
+            return None;
+        };
+        Some(SpanRecord {
+            span,
+            parent,
+            end_fs: ev.sim_time_fs,
+            dur_fs,
+            node: (ev.node != GLOBAL_NODE).then_some(ev.node),
+            sub: ev.subsystem.name().to_string(),
+            kind: ev.kind.to_string(),
+        })
+    }
+
+    /// Parse a span record from one exported JSONL object (the format of
+    /// [`crate::export::write_jsonl`]). Returns `None` for non-span lines
+    /// or malformed ids.
+    pub fn from_json(j: &Json) -> Option<SpanRecord> {
+        let span: u64 = j.get("span")?.as_str()?.parse().ok()?;
+        let parent: u64 = j.get("parent")?.as_str()?.parse().ok()?;
+        if span == 0 {
+            return None;
+        }
+        Some(SpanRecord {
+            span,
+            parent,
+            end_fs: j.get("t_fs")?.as_str()?.parse().ok()?,
+            dur_fs: j.get("dur_fs")?.as_str()?.parse().ok()?,
+            node: match j.get("node") {
+                Some(Json::Null) | None => None,
+                Some(n) => Some(n.as_f64()? as u32),
+            },
+            sub: j.get("sub")?.as_str()?.to_string(),
+            kind: j.get("kind")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Collect the span records out of an event stream.
+pub fn records_from_events(events: &[TraceEvent]) -> Vec<SpanRecord> {
+    events.iter().filter_map(SpanRecord::from_event).collect()
+}
+
+/// An indexed set of span records: parent/child structure plus the
+/// well-formedness questions tests and `nti_analyze` ask.
+#[derive(Debug, Default)]
+pub struct SpanForest {
+    by_id: HashMap<u64, SpanRecord>,
+    children: HashMap<u64, Vec<u64>>,
+    roots: Vec<u64>,
+    orphans: Vec<u64>,
+    duplicates: usize,
+}
+
+impl SpanForest {
+    /// Index a batch of records. A **root** has parent 0; an **orphan**
+    /// has a non-zero parent id that is absent from the batch (e.g. lost
+    /// to ring overwrite or a subsystem mask). Duplicate ids are counted
+    /// and the first occurrence kept.
+    pub fn build(records: Vec<SpanRecord>) -> SpanForest {
+        let mut f = SpanForest::default();
+        for r in records {
+            if f.by_id.contains_key(&r.span) {
+                f.duplicates += 1;
+                continue;
+            }
+            f.by_id.insert(r.span, r);
+        }
+        let mut roots = Vec::new();
+        let mut orphans = Vec::new();
+        for (&id, r) in &f.by_id {
+            if r.parent == 0 {
+                roots.push(id);
+            } else if f.by_id.contains_key(&r.parent) {
+                f.children.entry(r.parent).or_default().push(id);
+            } else {
+                orphans.push(id);
+            }
+        }
+        roots.sort_unstable();
+        orphans.sort_unstable();
+        for kids in f.children.values_mut() {
+            kids.sort_unstable();
+        }
+        f.roots = roots;
+        f.orphans = orphans;
+        f
+    }
+
+    /// Number of indexed spans.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when the forest holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Root span ids (parent 0), ascending.
+    pub fn roots(&self) -> &[u64] {
+        &self.roots
+    }
+
+    /// Orphaned span ids (parent recorded nowhere), ascending.
+    pub fn orphans(&self) -> &[u64] {
+        &self.orphans
+    }
+
+    /// How many records shared an already-seen id.
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    /// Look up a span by id.
+    pub fn get(&self, id: u64) -> Option<&SpanRecord> {
+        self.by_id.get(&id)
+    }
+
+    /// Children of `id`, ascending (empty if none).
+    pub fn children(&self, id: u64) -> &[u64] {
+        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Walk parent links from `id` up to its root. The returned path
+    /// starts at `id` and ends at the topmost reachable span (the root,
+    /// unless the chain is broken by an orphan). Cycles are cut rather
+    /// than looped.
+    pub fn chain_to_root(&self, id: u64) -> Vec<&SpanRecord> {
+        let mut path = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = id;
+        while let Some(r) = self.by_id.get(&cur) {
+            if !seen.insert(cur) {
+                break; // cycle guard
+            }
+            path.push(r);
+            if r.parent == 0 {
+                break;
+            }
+            cur = r.parent;
+        }
+        path
+    }
+
+    /// True when every parent link strictly decreases toward a root — i.e.
+    /// the forest is acyclic and fully connected (no orphans).
+    pub fn is_well_formed(&self) -> bool {
+        if !self.orphans.is_empty() {
+            return false;
+        }
+        for &id in self.by_id.keys() {
+            let chain = self.chain_to_root(id);
+            match chain.last() {
+                Some(top) if top.parent == 0 => {}
+                _ => return false, // cycle (or broken link)
+            }
+        }
+        true
+    }
+
+    /// All span ids of a given kind, ascending.
+    pub fn ids_of_kind(&self, kind: &str) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .by_id
+            .values()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.span)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Group span durations (femtoseconds) by kind, each group in record
+    /// order of ascending span id — the input to per-hop statistics.
+    pub fn durations_by_kind(&self) -> BTreeMap<String, Vec<u128>> {
+        let mut ids: Vec<u64> = self.by_id.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out: BTreeMap<String, Vec<u128>> = BTreeMap::new();
+        for id in ids {
+            let r = &self.by_id[&id];
+            out.entry(r.kind.clone()).or_default().push(r.dur_fs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Subsystem;
+
+    fn rec(span: u64, parent: u64, end: u128, dur: u128, kind: &str) -> SpanRecord {
+        SpanRecord {
+            span,
+            parent,
+            end_fs: end,
+            dur_fs: dur,
+            node: Some(0),
+            sub: "cluster".into(),
+            kind: kind.into(),
+        }
+    }
+
+    #[test]
+    fn forest_classifies_roots_orphans_children() {
+        let f = SpanForest::build(vec![
+            rec(1, 0, 100, 10, "csp_send"),
+            rec(2, 1, 200, 100, "wire"),
+            rec(3, 2, 250, 50, "accept"),
+            rec(9, 8, 300, 1, "lost_parent"),
+        ]);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.roots(), &[1]);
+        assert_eq!(f.orphans(), &[9]);
+        assert_eq!(f.children(1), &[2]);
+        assert!(!f.is_well_formed());
+        let chain = f.chain_to_root(3);
+        let kinds: Vec<&str> = chain.iter().map(|r| r.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["accept", "wire", "csp_send"]);
+    }
+
+    #[test]
+    fn forest_detects_cycles() {
+        let f = SpanForest::build(vec![rec(1, 2, 100, 10, "a"), rec(2, 1, 200, 10, "b")]);
+        assert!(f.orphans().is_empty());
+        assert!(!f.is_well_formed());
+    }
+
+    #[test]
+    fn well_formed_forest_accepted() {
+        let f = SpanForest::build(vec![
+            rec(1, 0, 100, 10, "csp_send"),
+            rec(2, 1, 200, 100, "wire"),
+            rec(3, 1, 220, 120, "wire"),
+        ]);
+        assert!(f.is_well_formed());
+        assert_eq!(f.ids_of_kind("wire"), vec![2, 3]);
+        assert_eq!(f.durations_by_kind()["wire"], vec![100, 120]);
+    }
+
+    #[test]
+    fn record_round_trips_event_and_json() {
+        let ev = TraceEvent {
+            sim_time_fs: 123_456_789_012_345_678_901,
+            node: 3,
+            subsystem: Subsystem::Utcsu,
+            kind: "latch",
+            payload: Payload::SpanLink {
+                span: u64::MAX,
+                parent: 41,
+                dur_fs: 77,
+            },
+        };
+        let r = SpanRecord::from_event(&ev).unwrap();
+        assert_eq!(r.span, u64::MAX);
+        assert_eq!(r.start_fs(), ev.sim_time_fs - 77);
+        let mut buf = Vec::new();
+        crate::export::write_jsonl(&[ev], &mut buf).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let j = Json::parse(line.trim()).unwrap();
+        let r2 = SpanRecord::from_json(&j).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn non_span_json_is_ignored() {
+        let j = Json::parse(r#"{"t_fs":"5","node":1,"sub":"net","kind":"x"}"#).unwrap();
+        assert!(SpanRecord::from_json(&j).is_none());
+    }
+}

@@ -102,6 +102,18 @@ pub enum Payload {
         /// The sampled value.
         value: i64,
     },
+    /// A completed span that participates in a causal chain (see
+    /// `crate::span`). Like [`Payload::Span`] the event timestamp is the
+    /// **end** of the span; additionally the span carries its own id and
+    /// the id of its parent so an analyzer can rebuild the tree.
+    SpanLink {
+        /// This span's id (never 0; 0 is reserved for "no span").
+        span: u64,
+        /// Parent span id, or 0 for a root span.
+        parent: u64,
+        /// Span duration in femtoseconds.
+        dur_fs: u128,
+    },
 }
 
 /// One structured trace event.

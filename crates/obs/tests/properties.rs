@@ -3,7 +3,7 @@
 //! observer (records nothing, allocates nothing).
 
 use nti_obs::quantile::rank_for;
-use nti_obs::{Histogram, MetricKey, Payload, SimObserver, Subsystem};
+use nti_obs::{Histogram, MetricKey, Payload, SimObserver, SpanId, Subsystem};
 use proptest::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -107,6 +107,66 @@ proptest! {
     }
 }
 
+fn arb_span_event() -> impl Strategy<Value = nti_obs::TraceEvent> {
+    let kinds: &[&'static str] = &[
+        "csp_send",
+        "xmit_trigger",
+        "wire",
+        "rcv_trigger",
+        "latch",
+        "interrupt",
+        "isr_dispatch",
+        "accept",
+    ];
+    (
+        (
+            any::<u128>(),
+            0u32..65, // 64 maps to GLOBAL_NODE below
+            0usize..Subsystem::ALL.len(),
+            0usize..kinds.len(),
+        ),
+        (any::<u64>(), any::<u64>(), any::<u128>()),
+    )
+        .prop_map(
+            move |((t, node, sub, kind), (span, parent, dur))| nti_obs::TraceEvent {
+                sim_time_fs: t,
+                node: if node == 64 {
+                    nti_obs::GLOBAL_NODE
+                } else {
+                    node
+                },
+                subsystem: Subsystem::ALL[sub],
+                kind: kinds[kind],
+                payload: Payload::SpanLink {
+                    span: span.max(1), // 0 is the reserved null id
+                    parent,
+                    dur_fs: dur,
+                },
+            },
+        )
+}
+
+proptest! {
+    /// Span export round-trips exactly through the JSONL writer and the
+    /// JSON parser: every id, timestamp and duration — u64/u128 values
+    /// beyond f64's exact range included — survives because they are
+    /// written as decimal strings.
+    #[test]
+    fn span_export_round_trips_through_json(evs in proptest::collection::vec(arb_span_event(), 1..40)) {
+        let mut buf = Vec::new();
+        nti_obs::export::write_jsonl(&evs, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), evs.len());
+        for (line, ev) in lines.iter().zip(&evs) {
+            let j = nti_obs::Json::parse(line).expect("exported line parses");
+            let parsed = nti_obs::SpanRecord::from_json(&j).expect("span line yields a record");
+            let direct = nti_obs::SpanRecord::from_event(ev).expect("span payload");
+            prop_assert_eq!(parsed, direct);
+        }
+    }
+}
+
 /// The fully-disabled observer records nothing — and the hot-path calls
 /// (`event`, counter/hist resolution misses) perform zero heap allocation.
 #[test]
@@ -126,6 +186,11 @@ fn disabled_observer_records_nothing_and_allocates_nothing() {
         );
         obs.instant(i as u128, 1, Subsystem::Kernel, "isr");
         assert!(!obs.tracing(Subsystem::Cluster));
+        // Span path: a disabled observer hands out the null id and
+        // span_link is a no-op — still zero allocation.
+        let s = obs.new_span();
+        assert!(s.is_none());
+        obs.span_link(i as u128, 7, 0, Subsystem::Cluster, "hop", s, SpanId::NONE);
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled path must not allocate");
@@ -142,6 +207,11 @@ fn masked_out_tracer_records_nothing_and_allocates_nothing() {
     let before = ALLOCS.load(Ordering::Relaxed);
     for i in 0..10_000u64 {
         obs.instant(i as u128, 0, Subsystem::Net, "frame");
+        // Span ids are a relaxed fetch-add; the masked-off link record is
+        // dropped before touching the ring. Neither allocates.
+        let s = obs.new_span();
+        assert!(s.is_some());
+        obs.span_link(i as u128, 7, 0, Subsystem::Net, "hop", s, SpanId::NONE);
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "masked-out trace path must not allocate");

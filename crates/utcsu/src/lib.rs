@@ -46,7 +46,7 @@ pub use snu::Snu;
 pub use stamp::{Apu, Gpu, Ssu, Stamp, StampLatch};
 pub use timer::{DutyTimer, NUM_TIMERS};
 
-use nti_obs::{Counter, Histogram, MetricKey, Payload, SimObserver, Subsystem};
+use nti_obs::{Counter, Histogram, MetricKey, Payload, SimObserver, SpanId, Subsystem};
 use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
 use nti_simcore::Accuracy;
 use std::sync::Arc;
@@ -129,6 +129,12 @@ pub struct Utcsu {
     amort_hi: u32,
     leap_secs: u32,
     obs: Option<UtcsuObs>,
+    /// Causal-span context staged by the driver for the next trigger:
+    /// `(parent span, engine-time fs of the trigger)`. Consumed by
+    /// [`Utcsu::obs_trigger`], which emits the `latch` span and parks its
+    /// id here for [`Utcsu::take_latch_span`].
+    span_ctx: Option<(SpanId, u128)>,
+    latch_span: SpanId,
 }
 
 impl Utcsu {
@@ -159,6 +165,8 @@ impl Utcsu {
             amort_hi: 0,
             leap_secs: 0,
             obs: None,
+            span_ctx: None,
+            latch_span: SpanId::NONE,
         }
     }
 
@@ -188,15 +196,56 @@ impl Utcsu {
     }
 
     /// Record one trigger sample: count it, record the synchronizer latency
-    /// and emit a trace instant when the `utcsu` subsystem is traced.
+    /// and emit a trace instant when the `utcsu` subsystem is traced. When
+    /// the driver staged a causal-span context ([`Utcsu::stage_trigger_span`])
+    /// the synchronizer latency additionally becomes a `latch` span linked
+    /// under the staged parent, timestamped in **engine** time (the staged
+    /// instant plus the synchronizer recovery) so it telescopes with the
+    /// surrounding hops.
     fn obs_trigger(&mut self, kind: &'static str) {
+        let ctx = self.span_ctx.take();
         if let Some(o) = &self.obs {
             o.triggers.inc();
             let latency_ns = self.stamp_delay_ticks() as u64 * 1_000_000_000 / self.cfg.fosc_hz;
             o.trigger_latency_ns.record(latency_ns);
             o.obs
                 .instant(self.nominal_fs(), o.node, Subsystem::Utcsu, kind);
+            if let Some((parent, real_fs)) = ctx {
+                let latency_fs =
+                    self.stamp_delay_ticks() * 1_000_000_000_000_000u128 / self.cfg.fosc_hz as u128;
+                let span = o.obs.new_span();
+                o.obs.span_link(
+                    real_fs + latency_fs,
+                    latency_fs,
+                    o.node,
+                    Subsystem::Utcsu,
+                    "latch",
+                    span,
+                    parent,
+                );
+                self.latch_span = span;
+            }
         }
+    }
+
+    /// Stage the causal-span context for the next external trigger:
+    /// `parent` is the span of the event that raises the trigger line
+    /// (e.g. the RECEIVE header write) and `real_fs` the engine time at
+    /// which it does. The next [`Utcsu::obs_trigger`] turns the
+    /// synchronizer latency into a parent-linked `latch` span; fetch its
+    /// id with [`Utcsu::take_latch_span`]. No-op state when no observer
+    /// is attached (callers guard on a non-null `parent`).
+    pub fn stage_trigger_span(&mut self, parent: SpanId, real_fs: u128) {
+        if parent.is_some() && self.obs.is_some() {
+            self.span_ctx = Some((parent, real_fs));
+        }
+    }
+
+    /// Take the span id of the most recent staged-and-latched trigger
+    /// (see [`Utcsu::stage_trigger_span`]), resetting it to
+    /// [`SpanId::NONE`].
+    pub fn take_latch_span(&mut self) -> SpanId {
+        std::mem::take(&mut self.latch_span)
     }
 
     /// The static configuration.
@@ -672,6 +721,43 @@ mod tests {
         assert_eq!(u.time(), NtpTime::ZERO);
         assert_eq!(u.alpha().1, Accuracy::ZERO);
         assert_eq!(u.next_event_tick(), None);
+    }
+
+    #[test]
+    fn staged_trigger_emits_parent_linked_latch_span() {
+        let mut u = Utcsu::new(UtcsuConfig {
+            fosc_hz: 10_000_000,
+            reliable_pin: true,
+        });
+        let obs = SimObserver::with_trace(64, u32::MAX);
+        u.attach_observer(&obs, 3);
+        let parent = obs.new_span();
+        u.stage_trigger_span(parent, 1_000_000);
+        u.trigger_ssu_receive(0);
+        let latch = u.take_latch_span();
+        assert!(latch.is_some());
+        assert!(u.take_latch_span().is_none(), "take resets the id");
+        let evs = obs.events();
+        let link = evs
+            .iter()
+            .find_map(|e| match e.payload {
+                Payload::SpanLink {
+                    span,
+                    parent: p,
+                    dur_fs,
+                } if e.kind == "latch" => Some((span, p, dur_fs, e.sim_time_fs)),
+                _ => None,
+            })
+            .expect("latch span recorded");
+        // 2 ticks at 10 MHz = 200 ns of synchronizer latency, ending
+        // 200 ns after the staged engine-time instant.
+        assert_eq!(
+            link,
+            (latch.0, parent.0, 200_000_000, 1_000_000 + 200_000_000)
+        );
+        // An unstaged trigger emits no span and leaves no id behind.
+        u.trigger_ssu_receive(0);
+        assert!(u.take_latch_span().is_none());
     }
 
     #[test]

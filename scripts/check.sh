@@ -25,5 +25,9 @@ echo "== fault-matrix smoke run (e16_chaos --smoke) =="
 NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e16_chaos -- --smoke \
   || { echo "check.sh: chaos smoke failed (containment or reintegration)" >&2; exit 1; }
 
+echo "== span/monitor smoke run (nti_analyze --smoke) =="
+cargo run --release -q -p nti-bench --bin nti_analyze -- --smoke \
+  || { echo "check.sh: nti_analyze smoke failed (span chain or monitors)" >&2; exit 1; }
+
 echo
 echo "check.sh: all gates passed"
