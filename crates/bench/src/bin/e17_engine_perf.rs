@@ -1,0 +1,267 @@
+//! **E17 — engine performance**: throughput of the timer-wheel event
+//! scheduler against the reference binary-heap backend it replaced (PR 5).
+//!
+//! Three workloads, each run on both [`QueueKind`] backends:
+//!
+//! * **schedule-heavy** — N one-shot events at pseudorandom delays across
+//!   every scale the wheel distinguishes (sub-granule, low levels, full
+//!   wheel range, overflow heap), then drain;
+//! * **cancel-heavy** — N one-shots, half of them cancelled while queued
+//!   (O(1) slab invalidation vs lazy stale-pop), then drain;
+//! * **cluster-replay** — a real observed cluster run (4 nodes in smoke /
+//!   fast mode, 16 nodes × 60 s in full mode), events/sec taken from the
+//!   engine's `events_fired` counter plus end-to-end wall-clock.
+//!
+//! Results accrete to `target/experiments/BENCH_engine.json` (JSON Lines,
+//! one record per run) so the throughput trajectory is tracked across
+//! commits alongside `BENCH_precision.json`.
+//!
+//! `--smoke`: small N, exits non-zero if (a) the two backends disagree on
+//! a deterministic spot-check program or (b) the wheel falls clearly below
+//! heap throughput on the schedule-heavy workload — the CI gate in
+//! `scripts/check.sh`. The ≥2× speedup claim is asserted against the
+//! full-mode (release) numbers recorded in `BENCH_engine.json`.
+
+use nti_bench::{append_bench, fast_mode, header};
+use nti_core::cluster::{Cluster, ClusterConfig};
+use nti_obs::{keys, Json, SimObserver};
+use nti_simcore::{Engine, QueueKind, SimDuration};
+use std::time::Instant;
+
+/// SplitMix64: deterministic delay stream, identical for both backends.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A delay in fs spanning the scales the wheel treats differently: within
+/// one granule, low levels, mid levels, and far in-wheel (minutes). The
+/// overflow heap (beyond ~20 h) is deliberately absent — it degenerates to
+/// the baseline heap by construction and is covered by the equivalence
+/// tests instead.
+fn delay_fs(r: u64) -> u128 {
+    let v = (r >> 2) as u128;
+    match r & 3 {
+        0 => v % (1 << 30),             // sub-granule
+        1 => v % (1 << 40),             // low wheel levels (~1 ms)
+        2 => v % (1 << 52),             // mid wheel range (~4.5 s)
+        _ => (1 << 56) + v % (1 << 56), // far in-wheel (72..144 s)
+    }
+}
+
+/// Schedule `n` one-shots at mixed delays, drain, return events/sec.
+fn schedule_heavy(kind: QueueKind, n: u64) -> f64 {
+    let mut eng: Engine<u64> = Engine::with_queue(kind);
+    let mut fired = 0u64;
+    let mut rng = 0x5EED_0001u64;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let at = eng.now() + SimDuration::from_fs(delay_fs(splitmix(&mut rng)));
+        eng.schedule_at(at, |s: &mut u64, _| *s += 1);
+    }
+    eng.run_to_completion(&mut fired);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(fired, n, "schedule-heavy lost events on {kind:?}");
+    n as f64 / dt
+}
+
+/// Schedule `n` one-shots, cancel every other one while queued, drain.
+/// Throughput counts schedules + cancels + fires.
+fn cancel_heavy(kind: QueueKind, n: u64) -> f64 {
+    let mut eng: Engine<u64> = Engine::with_queue(kind);
+    let mut fired = 0u64;
+    let mut rng = 0x5EED_0002u64;
+    let t0 = Instant::now();
+    let ids: Vec<_> = (0..n)
+        .map(|_| {
+            let at = eng.now() + SimDuration::from_fs(delay_fs(splitmix(&mut rng)));
+            eng.schedule_at(at, |s: &mut u64, _| *s += 1)
+        })
+        .collect();
+    for id in ids.iter().step_by(2) {
+        eng.cancel(*id);
+    }
+    eng.run_to_completion(&mut fired);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        fired,
+        n - n.div_ceil(2),
+        "cancel-heavy fired a cancelled event on {kind:?}"
+    );
+    (n + n.div_ceil(2) + fired) as f64 / dt
+}
+
+/// One observed cluster run: (events/sec, wall seconds).
+fn cluster_replay(kind: QueueKind, nodes: usize, sim: SimDuration) -> (f64, f64) {
+    let obs = SimObserver::enabled();
+    let mut cfg = ClusterConfig::default_lan(nodes, 17);
+    cfg.duration = sim;
+    cfg.warmup = SimDuration::from_fs(sim.as_fs() / 3);
+    cfg.engine_queue = kind;
+    cfg.obs = obs.clone();
+    let t0 = Instant::now();
+    let _rep = Cluster::new(cfg).run();
+    let wall = t0.elapsed().as_secs_f64();
+    let fired = obs
+        .counter(keys::engine_events_fired())
+        .map(|c| c.get())
+        .unwrap_or(0);
+    (fired as f64 / wall, wall)
+}
+
+/// Deterministic spot-check that both backends fire the same events in the
+/// same order at the same times (the heavyweight version lives in
+/// `crates/simcore/tests/engine_equiv.rs`).
+fn equivalence_spot_check() -> bool {
+    fn run(kind: QueueKind) -> Vec<(u64, u128)> {
+        let mut eng: Engine<Vec<(u64, u128)>> = Engine::with_queue(kind);
+        let mut log = Vec::new();
+        let mut rng = 0x5EED_0003u64;
+        let mut ids = Vec::new();
+        for i in 0..500u64 {
+            let r = splitmix(&mut rng);
+            match r % 4 {
+                0 | 1 => {
+                    let at = eng.now() + SimDuration::from_fs(delay_fs(r));
+                    ids.push(
+                        eng.schedule_at(at, move |l: &mut Vec<_>, e: &mut Engine<_>| {
+                            l.push((i, e.now().as_fs()));
+                        }),
+                    );
+                }
+                2 => {
+                    if let Some(&id) = ids.get((r as usize / 4) % ids.len().max(1)) {
+                        eng.cancel(id);
+                    }
+                }
+                _ => {
+                    let until = eng.now() + SimDuration::from_fs(delay_fs(r) / 2 + 1);
+                    eng.run_until(&mut log, until);
+                }
+            }
+        }
+        eng.run_to_completion(&mut log);
+        log
+    }
+    run(QueueKind::TimerWheel) == run(QueueKind::BinaryHeap)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let fast = fast_mode();
+    let (n, nodes, sim) = if smoke || fast {
+        (150_000u64, 4usize, SimDuration::from_secs(3))
+    } else {
+        (2_000_000u64, 16usize, SimDuration::from_secs(60))
+    };
+
+    header("E17 engine performance: timer wheel vs reference binary heap");
+    println!(
+        "workload sizes: {n} events, cluster replay {nodes} nodes x {} s",
+        sim.as_fs() / 1_000_000_000_000_000
+    );
+
+    let equiv = equivalence_spot_check();
+    println!(
+        "backend equivalence spot-check: {}",
+        if equiv { "ok" } else { "FAILED" }
+    );
+
+    let mut rates = std::collections::BTreeMap::new();
+    let h = format!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "workload", "wheel ev/s", "heap ev/s", "speedup"
+    );
+    header(&h);
+    for (name, f) in [
+        (
+            "schedule_heavy",
+            schedule_heavy as fn(QueueKind, u64) -> f64,
+        ),
+        ("cancel_heavy", cancel_heavy),
+    ] {
+        let wheel = f(QueueKind::TimerWheel, n);
+        let heap = f(QueueKind::BinaryHeap, n);
+        println!(
+            "{name:<16} {wheel:>14.0} {heap:>14.0} {:>7.2}x",
+            wheel / heap
+        );
+        rates.insert(name, (wheel, heap));
+    }
+    let (replay_wheel, wall_wheel) = cluster_replay(QueueKind::TimerWheel, nodes, sim);
+    let (replay_heap, wall_heap) = cluster_replay(QueueKind::BinaryHeap, nodes, sim);
+    println!(
+        "{:<16} {replay_wheel:>14.0} {replay_heap:>14.0} {:>7.2}x",
+        "cluster_replay",
+        replay_wheel / replay_heap
+    );
+    println!(
+        "cluster replay wall-clock: wheel {wall_wheel:.3} s, heap {wall_heap:.3} s ({nodes} nodes, {} s simulated)",
+        sim.as_fs() / 1_000_000_000_000_000
+    );
+
+    let (sh_wheel, sh_heap) = rates["schedule_heavy"];
+    let (ch_wheel, ch_heap) = rates["cancel_heavy"];
+    append_bench(
+        "BENCH_engine.json",
+        &Json::obj([
+            ("experiment", Json::str("e17_engine_perf")),
+            ("smoke", Json::Bool(smoke)),
+            ("fast_mode", Json::Bool(fast)),
+            ("events", Json::num(n as f64)),
+            (
+                "schedule_heavy",
+                Json::obj([
+                    ("wheel_eps", Json::num(sh_wheel)),
+                    ("heap_eps", Json::num(sh_heap)),
+                    ("speedup", Json::num(sh_wheel / sh_heap)),
+                ]),
+            ),
+            (
+                "cancel_heavy",
+                Json::obj([
+                    ("wheel_eps", Json::num(ch_wheel)),
+                    ("heap_eps", Json::num(ch_heap)),
+                    ("speedup", Json::num(ch_wheel / ch_heap)),
+                ]),
+            ),
+            (
+                "cluster_replay",
+                Json::obj([
+                    ("nodes", Json::num(nodes as f64)),
+                    (
+                        "sim_s",
+                        Json::num((sim.as_fs() / 1_000_000_000_000_000) as f64),
+                    ),
+                    ("wheel_eps", Json::num(replay_wheel)),
+                    ("heap_eps", Json::num(replay_heap)),
+                    ("wheel_wall_s", Json::num(wall_wheel)),
+                    ("heap_wall_s", Json::num(wall_heap)),
+                ]),
+            ),
+            ("equivalence_ok", Json::Bool(equiv)),
+        ]),
+    );
+
+    if smoke {
+        // CI gate: the backends must agree, and the wheel must not be
+        // clearly slower than the heap it replaced (0.9 margin absorbs
+        // debug-build and shared-runner noise; the 2x claim is checked on
+        // the recorded release-mode numbers).
+        let ok = equiv && sh_wheel >= 0.9 * sh_heap;
+        if !ok {
+            println!(
+                "e17 smoke: FAILED (equiv={equiv}, schedule-heavy wheel/heap = {:.2})",
+                sh_wheel / sh_heap
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "e17 smoke: backends agree; wheel schedule-heavy throughput {:.2}x heap",
+            sh_wheel / sh_heap
+        );
+    }
+}

@@ -166,27 +166,84 @@ pub fn record(experiment: &str, label: &str, value: &Json) {
     }
 }
 
-/// Run a parameter sweep in parallel (one thread per point — experiment
-/// sweeps are coarse-grained, a handful of independent cluster runs) and
-/// return the results in input order. Each cluster is constructed inside
-/// its own thread, so nothing non-`Send` crosses a thread boundary.
+/// The sweep worker cap: `NTI_SWEEP_THREADS` if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn sweep_threads() -> usize {
+    std::env::var("NTI_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run a parameter sweep in parallel on a bounded worker pool and return
+/// the results in input order.
+///
+/// At most [`sweep_threads`] workers run concurrently (the old
+/// implementation spawned one OS thread per point, which oversubscribed
+/// small CI machines on e16's fault-type × intensity grid). Workers pull
+/// the next unclaimed index from a shared counter, so results land in
+/// their input slots regardless of completion order. Each cluster is
+/// constructed inside its own worker, so nothing non-`Send` crosses a
+/// thread boundary.
 pub fn parallel_sweep<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_sweep_with_cap(items, f, sweep_threads())
+}
+
+/// [`parallel_sweep`] with an explicit worker cap (testable without
+/// touching the process environment).
+pub fn parallel_sweep_with_cap<T, R, F>(items: Vec<T>, f: F, cap: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = items.len();
+    let workers = cap.max(1).min(n);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|it| scope.spawn(move || f(it)))
+        let (f, slots, results, next) = (&f, &slots, &results, &next);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("sweep slot")
+                        .take()
+                        .expect("taken once");
+                    let r = f(item);
+                    *results[i].lock().expect("sweep result") = Some(r);
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread panicked"))
-            .collect()
-    })
+        for h in handles {
+            h.join().expect("sweep thread panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result")
+                .expect("worker filled slot")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -207,5 +264,46 @@ mod tests {
         let cfg = with_duration(ClusterConfig::default_lan(2, 1), SimDuration::from_secs(30));
         assert_eq!(cfg.duration, SimDuration::from_secs(30));
         assert_eq!(cfg.warmup, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let out = parallel_sweep_with_cap((0..64).collect::<Vec<i64>>(), |x| x * x, 4);
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    /// Regression (PR 5): a 64-item sweep must never hold more workers
+    /// than the cap concurrently (the old implementation spawned 64
+    /// threads at once).
+    #[test]
+    fn sweep_never_exceeds_worker_cap() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        const CAP: usize = 3;
+        let current = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = parallel_sweep_with_cap(
+            (0..64usize).collect::<Vec<_>>(),
+            |i| {
+                let c = current.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(c, Ordering::SeqCst);
+                // Hold the slot long enough that unbounded spawning would
+                // overlap far more than CAP workers.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                current.fetch_sub(1, Ordering::SeqCst);
+                i
+            },
+            CAP,
+        );
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        let p = peak.load(Ordering::SeqCst);
+        assert!(p <= CAP, "peak concurrency {p} exceeded cap {CAP}");
+        assert!(p >= 2, "pool should actually run workers in parallel");
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single() {
+        let empty: Vec<u32> = parallel_sweep_with_cap(Vec::<u32>::new(), |x| x, 8);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_sweep_with_cap(vec![41u32], |x| x + 1, 8), vec![42]);
     }
 }

@@ -41,7 +41,7 @@ use nti_obs::{
 };
 use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
 use nti_simcore::time::{SimDuration, SimTime};
-use nti_simcore::{Accuracy, Engine, Oscillator, SimRng, Summary};
+use nti_simcore::{Accuracy, Engine, Oscillator, QueueKind, SimRng, Summary};
 use nti_utcsu::regs as uregs;
 use nti_utcsu::{IntSource, UtcsuConfig};
 use std::collections::HashMap;
@@ -248,6 +248,11 @@ pub struct ClusterConfig {
     /// node's kernel and UTCSU, and the cluster-level round metrics.
     /// Disabled by default (one branch per instrumentation site).
     pub obs: SimObserver,
+    /// Event-queue backend for the simulation engine. `TimerWheel` is the
+    /// production default; `BinaryHeap` keeps the original algorithm
+    /// available for equivalence/regression runs (same seed ⇒ bit-identical
+    /// report on either backend).
+    pub engine_queue: QueueKind,
 }
 
 impl ClusterConfig {
@@ -288,6 +293,7 @@ impl ClusterConfig {
             warmup: SimDuration::from_secs(5),
             precision_budget: None,
             obs: SimObserver::disabled(),
+            engine_queue: QueueKind::TimerWheel,
         }
     }
 }
@@ -928,22 +934,30 @@ impl Cluster {
                 },
             );
         }
-        let mut eng = Eng::new();
+        let mut eng = Eng::with_queue(world.cfg.engine_queue);
         eng.attach_observer(&obs);
         // Arm the first round's timers and start services.
         for id in 0..n {
             arm_round_timers(&mut world, id, 1);
             schedule_utcsu_service(&mut world, &mut eng, id);
         }
-        // Snapshots.
+        // Snapshots: one periodic event, closure allocated once.
         let every = world.cfg.snapshot_every;
-        eng.schedule_at(SimTime::ZERO + every, snapshot);
-        // GPS generators: one per (node, receiver).
+        eng.schedule_every(SimTime::ZERO + every, every, snapshot);
+        // GPS generators: one per (node, receiver), re-armed every second
+        // half a second ahead of the pulse.
         for id in 0..n {
             for g in 0..world.nodes[id].gps.len() {
-                eng.schedule_at(SimTime::from_millis(500), move |w, e| {
-                    gps_second(w, e, id, g, 1)
-                });
+                let mut sec: u64 = 1;
+                eng.schedule_every(
+                    SimTime::from_millis(500),
+                    SimDuration::from_secs(1),
+                    move |w, e| {
+                        let s = sec;
+                        sec += 1;
+                        gps_second(w, e, id, g, s);
+                    },
+                );
             }
         }
         // Application events: one physical stimulus hits every node's APU 0.
@@ -951,7 +965,12 @@ impl Cluster {
             for id in 0..n {
                 world.nodes[id].nti.utcsu_mut().apu[0].enabled = true;
             }
-            eng.schedule_at(SimTime::ZERO + period, move |w, e| app_event(w, e, 0));
+            let mut ev: u64 = 0;
+            eng.schedule_every(SimTime::ZERO + period, period, move |w, e| {
+                let k = ev;
+                ev += 1;
+                app_event(w, e, k);
+            });
         }
         // Background load.
         if world.cfg.bg_load.is_some() {
@@ -2179,18 +2198,14 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
         let rmin = rates.iter().copied().fold(f64::INFINITY, f64::min);
         world.metrics.rate_spread_ppm_last = rmax - rmin;
     }
-    let every = world.cfg.snapshot_every;
-    eng.schedule_at(now + every, snapshot);
 }
 
-/// GPS per-second generator: emit the pulse for `sec`, schedule the stamp
-/// and TOD handling, then re-arm for the next second.
+/// GPS per-second generator: emit the pulse for `sec` and schedule the
+/// stamp and TOD handling. The per-second cadence itself is a periodic
+/// engine event (`schedule_every` in `Cluster::new`).
 fn gps_second(world: &mut World, eng: &mut Eng, id: usize, g: usize, sec: u64) {
     if world.down[id] {
-        // The receiver keeps running, but the crashed node samples nothing;
-        // just re-arm the generator.
-        let next = SimTime::from_millis(sec * 1000 + 500);
-        eng.schedule_at(next, move |w, e| gps_second(w, e, id, g, sec + 1));
+        // The receiver keeps running, but the crashed node samples nothing.
         return;
     }
     if let Some(pulse) = world.nodes[id].gps[g].pulse_for_second(sec) {
@@ -2208,9 +2223,6 @@ fn gps_second(world: &mut World, eng: &mut Eng, id: usize, g: usize, sec: u64) {
         });
         eng.schedule_at(pulse.tod_at, move |w, e| gps_tod(w, e, id, g, pulse));
     }
-    // Next second's generator, half a second early.
-    let next = SimTime::from_millis(sec * 1000 + 500);
-    eng.schedule_at(next, move |w, e| gps_second(w, e, id, g, sec + 1));
 }
 
 /// TOD message arrived: validate the external interval and feed it to the
@@ -2277,10 +2289,7 @@ fn app_event(world: &mut World, eng: &mut Eng, ev: u64) {
     let n = world.nodes.len();
     if world.down.iter().any(|&d| d) {
         // The all-nodes barrier cannot complete while any node is dark;
-        // skip this event and keep the cadence.
-        if let Some(period) = world.cfg.app_event_period {
-            eng.schedule_at(now + period, move |w, e| app_event(w, e, ev + 1));
-        }
+        // skip this event (the periodic engine event keeps the cadence).
         return;
     }
     world.app_pending.insert(ev, Vec::with_capacity(n));
@@ -2317,9 +2326,6 @@ fn app_event(world: &mut World, eng: &mut Eng, ev: u64) {
                 }
             }
         });
-    }
-    if let Some(period) = world.cfg.app_event_period {
-        eng.schedule_at(now + period, move |w, e| app_event(w, e, ev + 1));
     }
 }
 

@@ -35,6 +35,7 @@
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod keys;
 pub mod metrics;
 pub mod monitor;
 pub mod observer;

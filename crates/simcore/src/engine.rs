@@ -10,41 +10,268 @@
 //! (10¹⁰ events per simulated 1000 s), so hardware models are *lazily
 //! evaluated*: only timer expiries, packet events, and algorithm actions are
 //! scheduled; clock state is advanced on demand (see `nti-utcsu`).
+//!
+//! ## Internals
+//!
+//! Events live in a **slab**: a `Vec` of generation-tagged slots with a free
+//! list, so the priority queue moves only packed `(generation, index)` u64
+//! references. [`Engine::cancel`] is O(1) — it bumps the slot generation,
+//! which makes every queued reference to the old occupant stale; stale
+//! references are dropped lazily when encountered. `pending()` therefore
+//! counts *live* events only, and nothing accumulates for cancelled ids.
+//!
+//! Two queue backends share the slab (selected by [`QueueKind`]):
+//!
+//! * **Timer wheel** (default) — a hierarchical wheel of 6 levels × 64
+//!   slots over 2³⁰ fs (≈ 1.07 µs) granules, giving ~20 h of in-wheel range
+//!   with O(1) insert and amortized O(1) dispatch; a far-future overflow
+//!   heap catches everything beyond the wheel (including `SimTime::MAX`
+//!   sentinels). Events of the granule currently being dispatched sit in a
+//!   small `due` heap ordered by `(time, seq)`, which restores exact FIFO
+//!   tie order below granule resolution and absorbs same-granule events
+//!   scheduled *during* dispatch.
+//! * **Binary heap** — the pre-wheel algorithm (one global
+//!   `BinaryHeap` ordered by `(time, seq)`), kept as the reference model
+//!   for the equivalence proptests and as the baseline the `e17_engine_perf`
+//!   experiment measures the wheel against.
+//!
+//! Both backends observe the same contract: identical fire order, identical
+//! `(time, seq)` tie-breaking, identical observability counters.
 
 use crate::time::{SimDuration, SimTime};
-use nti_obs::{Counter, Histogram, MetricKey, Payload, SimObserver, Subsystem, GLOBAL_NODE};
+use nti_obs::{keys, Counter, Histogram, Payload, SimObserver, Subsystem, GLOBAL_NODE};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Handle to a scheduled event, usable for cancellation.
+///
+/// The id is a slab index plus the slot's generation at allocation time;
+/// once the event fires or is cancelled the generation advances, so a stale
+/// id can never reach a different event that later reuses the slot.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    idx: u32,
+    gen: u32,
+}
 
-/// The closure type fired when an event comes due.
+/// Which priority-queue backend an [`Engine`] runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel + overflow heap (the production default).
+    #[default]
+    TimerWheel,
+    /// Single binary heap ordered by `(time, seq)` — the original engine
+    /// algorithm, kept as an equivalence reference and benchmark baseline.
+    BinaryHeap,
+}
+
+/// The closure type fired when a one-shot event comes due.
 pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+/// The closure type fired on every occurrence of a periodic event.
+pub type PeriodicFn<S> = Box<dyn FnMut(&mut S, &mut Engine<S>)>;
 
-struct Entry<S> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<S>,
+/// Slab slot payload. Timing lives in the queue entries, not here — the
+/// slab holds only what firing needs, keeping slots small (the slab is the
+/// engine's biggest allocation and is accessed in random order).
+enum Body<S> {
+    /// Free slot (member of the free list).
+    Vacant,
+    /// A pending one-shot event.
+    Once(EventFn<S>),
+    /// A pending periodic event; re-armed at `fired + period` after each
+    /// occurrence.
+    Every {
+        period: SimDuration,
+        f: PeriodicFn<S>,
+    },
+    /// A periodic event whose handler is currently executing (its closure is
+    /// temporarily out of the slab). Cancelling in this state frees the slot
+    /// and suppresses the re-arm.
+    InFlight,
 }
 
-impl<S> PartialEq for Entry<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+struct SlabSlot<S> {
+    gen: u32,
+    body: Body<S>,
+}
+
+#[inline]
+fn pack(idx: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+#[inline]
+fn unpack(packed: u64) -> (u32, u32) {
+    (packed as u32, (packed >> 32) as u32)
+}
+
+/// Bits of femtoseconds collapsed into one wheel granule (2³⁰ fs ≈ 1.07 µs).
+/// The granule only sets the wheel's bucketing — events inside one granule
+/// are re-ordered exactly by `(time, seq)` in the `due` buffer, so
+/// coarsening it trades nothing in precision. Coarser granules push
+/// typical simulation delays (µs–s) into *lower* wheel levels, cutting the
+/// cascade work per event.
+const GRANULE_BITS: u32 = 30;
+/// log₂ of the slot count per wheel level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Wheel levels; total in-wheel range is `2^(GRANULE_BITS + LEVEL_BITS *
+/// LEVELS)` fs ≈ 20.4 h. Anything farther goes to the overflow heap.
+const LEVELS: usize = 6;
+/// Granule bits covered by the whole wheel.
+const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
+
+/// Queue entries are ordered by `(time, seq)`; the packed slab reference
+/// rides along (it never decides an ordering: `(time, seq)` is unique).
+type QEntry = (SimTime, u64, u64);
+
+struct Level {
+    /// Bitmap of non-empty slots.
+    occ: u64,
+    /// Full `(time, seq, packed)` entries, not bare slab refs: cascading a
+    /// slot downward must not touch the slab (one random slab read per
+    /// entry per level turns into the dominant cache-miss cost at large
+    /// event counts). Stale (cancelled) entries ride the cascade and are
+    /// dropped lazily at dispatch, exactly like the heap backend.
+    slots: [Vec<QEntry>; SLOTS],
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            occ: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
     }
 }
-impl<S> Eq for Entry<S> {}
-impl<S> PartialOrd for Entry<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// Hierarchical timer wheel over granules of 2^`GRANULE_BITS` fs.
+///
+/// `base` is the granule index the wheel is anchored at; every queued event
+/// has granule ≥ `base`. Level `L` slot `s` collects events whose granule
+/// agrees with `base` above bit `LEVEL_BITS*(L+1)` and has digit `s` at
+/// level `L`; by construction occupied slots at level 0 have digit ≥
+/// `base`'s digit and at level > 0 strictly greater, so the earliest
+/// occupied slot (scanning levels bottom-up) starts at the minimum pending
+/// granule.
+struct Wheel {
+    levels: Vec<Level>,
+    /// Bit `L` set iff level `L` has any occupied slot — lets `next_slot`
+    /// jump straight to the first occupied level instead of scanning all
+    /// six (every occupied slot is in scan range by the wheel invariant,
+    /// so the lowest occupied level always holds the minimum).
+    occ_levels: u32,
+    /// Granule index of the wheel origin.
+    base: u128,
+    /// Events beyond the wheel range, ordered by `(time, seq)`. Always in a
+    /// strictly later `2^WHEEL_BITS`-granule block than every wheel event,
+    /// so they only migrate in when the wheel is empty.
+    overflow: BinaryHeap<Reverse<QEntry>>,
+    /// Events of the granule currently being dispatched, ordered by
+    /// `(time, seq)` to restore exact FIFO tie order below granule size.
+    due: BinaryHeap<Reverse<QEntry>>,
+    /// `Some(g)` while granule `g`'s events are staged in (or draining
+    /// from) `due`; new arrivals for `g` go straight to `due`.
+    due_granule: Option<u128>,
+}
+
+impl Wheel {
+    fn new() -> Wheel {
+        Wheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            occ_levels: 0,
+            base: 0,
+            overflow: BinaryHeap::new(),
+            due: BinaryHeap::new(),
+            due_granule: None,
+        }
+    }
+
+    fn insert(&mut self, at: SimTime, seq: u64, packed: u64) {
+        let g = at.0 >> GRANULE_BITS;
+        if self.due_granule == Some(g) {
+            self.due.push(Reverse((at, seq, packed)));
+            return;
+        }
+        debug_assert!(g >= self.base, "event granule precedes wheel base");
+        if (g ^ self.base) >> WHEEL_BITS != 0 {
+            self.overflow.push(Reverse((at, seq, packed)));
+            return;
+        }
+        let diff = (g ^ self.base) as u64;
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+        };
+        let slot = ((g >> (LEVEL_BITS * level as u32)) & (SLOTS as u128 - 1)) as usize;
+        let lv = &mut self.levels[level];
+        lv.slots[slot].push((at, seq, packed));
+        lv.occ |= 1u64 << slot;
+        self.occ_levels |= 1 << level;
+    }
+
+    /// `(start granule, level, slot)` of the earliest occupied wheel slot.
+    ///
+    /// Levels are inherently ordered: every level-`L` candidate precedes
+    /// every level-`L+1` candidate (a level-`L+1` slot starts past the end
+    /// of `base`'s whole level-`L` window), so the first level with an
+    /// occupied slot in scan range holds the minimum.
+    fn next_slot(&self) -> Option<(u128, usize, usize)> {
+        let mut lvls = self.occ_levels;
+        while lvls != 0 {
+            let level = lvls.trailing_zeros() as usize;
+            lvls &= lvls - 1;
+            let lv = &self.levels[level];
+            let shift = LEVEL_BITS * level as u32;
+            let cb = ((self.base >> shift) & (SLOTS as u128 - 1)) as u32;
+            // Level 0 scans its own digit too (events in base's granule);
+            // higher levels hold strictly-greater digits only.
+            let mask = if level == 0 {
+                u64::MAX << cb
+            } else {
+                (u64::MAX << cb) << 1
+            };
+            let m = lv.occ & mask;
+            if m != 0 {
+                let s = m.trailing_zeros();
+                let start =
+                    (((self.base >> (shift + LEVEL_BITS)) << LEVEL_BITS) | s as u128) << shift;
+                return Some((start, level, s as usize));
+            }
+        }
+        None
+    }
+
+    fn is_empty(&self) -> bool {
+        self.occ_levels == 0
     }
 }
-impl<S> Ord for Entry<S> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+
+enum Queue {
+    Wheel(Wheel),
+    Heap(BinaryHeap<Reverse<QEntry>>),
+}
+
+/// Outcome of inspecting the head of the `due` buffer.
+enum DueStep {
+    /// Popped a live event at `time ≤ until`; fire it.
+    Fire(SimTime, u64),
+    /// Head is live but beyond `until`; stop (leave it staged).
+    Beyond,
+    /// `due` is empty (granule fully dispatched).
+    Drained,
+}
+
+/// Outcome of trying to advance the wheel to its next occupied slot.
+enum Advance {
+    /// Moved onto a slot (staged or cascaded); keep running.
+    Advanced,
+    /// The next occupied slot starts beyond `until`; stop.
+    Beyond,
+    /// The wheel holds no events at all; consult the overflow heap.
+    Empty,
 }
 
 /// Pre-resolved observability handles for the engine hot path: resolved
@@ -56,7 +283,7 @@ struct EngineObs {
     scheduled: Arc<Counter>,
     fired: Arc<Counter>,
     cancelled: Arc<Counter>,
-    /// Queue depth sampled after each fired event.
+    /// Queue depth (live events) sampled after each fired event.
     queue_depth: Arc<Histogram>,
     /// Wall-clock busy time per fired handler (nanoseconds).
     busy_ns: Arc<Histogram>,
@@ -66,9 +293,12 @@ struct EngineObs {
 pub struct Engine<S> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Entry<S>>>,
-    cancelled: HashSet<u64>,
+    slots: Vec<SlabSlot<S>>,
+    free: Vec<u32>,
+    /// Live (scheduled, not yet fired or cancelled) events.
+    live: usize,
     fired: u64,
+    queue: Queue,
     obs: Option<EngineObs>,
 }
 
@@ -79,15 +309,33 @@ impl<S> Default for Engine<S> {
 }
 
 impl<S> Engine<S> {
-    /// A fresh engine at t = 0 with an empty queue.
+    /// A fresh engine at t = 0 with an empty queue (timer-wheel backend).
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::TimerWheel)
+    }
+
+    /// A fresh engine on an explicit queue backend.
+    pub fn with_queue(kind: QueueKind) -> Self {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             fired: 0,
+            queue: match kind {
+                QueueKind::TimerWheel => Queue::Wheel(Wheel::new()),
+                QueueKind::BinaryHeap => Queue::Heap(BinaryHeap::new()),
+            },
             obs: None,
+        }
+    }
+
+    /// The queue backend this engine runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        match self.queue {
+            Queue::Wheel(_) => QueueKind::TimerWheel,
+            Queue::Heap(_) => QueueKind::BinaryHeap,
         }
     }
 
@@ -99,20 +347,14 @@ impl<S> Engine<S> {
             Some(EngineObs {
                 obs: obs.clone(),
                 scheduled: obs
-                    .counter(MetricKey::global("engine", "events_scheduled"))
+                    .counter(keys::engine_events_scheduled())
                     .expect("enabled"),
-                fired: obs
-                    .counter(MetricKey::global("engine", "events_fired"))
-                    .expect("enabled"),
+                fired: obs.counter(keys::engine_events_fired()).expect("enabled"),
                 cancelled: obs
-                    .counter(MetricKey::global("engine", "events_cancelled"))
+                    .counter(keys::engine_events_cancelled())
                     .expect("enabled"),
-                queue_depth: obs
-                    .hist(MetricKey::global("engine", "queue_depth"))
-                    .expect("enabled"),
-                busy_ns: obs
-                    .hist(MetricKey::global("engine", "handler_busy_ns"))
-                    .expect("enabled"),
+                queue_depth: obs.hist(keys::engine_queue_depth()).expect("enabled"),
+                busy_ns: obs.hist(keys::engine_handler_busy_ns()).expect("enabled"),
             })
         } else {
             None
@@ -129,9 +371,53 @@ impl<S> Engine<S> {
         self.fired
     }
 
-    /// Number of events currently pending (including cancelled tombstones).
+    /// Number of live pending events (cancelled events are excluded — they
+    /// are freed immediately, not tombstoned).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.live
+    }
+
+    fn alloc(&mut self, body: Body<S>) -> (u32, u32) {
+        if let Some(idx) = self.free.pop() {
+            let s = &mut self.slots[idx as usize];
+            debug_assert!(matches!(s.body, Body::Vacant));
+            s.body = body;
+            (idx, s.gen)
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(SlabSlot { gen: 0, body });
+            (idx, 0)
+        }
+    }
+
+    /// Whether a packed queue reference still points at its original event.
+    fn is_live(slots: &[SlabSlot<S>], packed: u64) -> bool {
+        let (idx, gen) = unpack(packed);
+        slots.get(idx as usize).is_some_and(|s| {
+            s.gen == gen && matches!(s.body, Body::Once { .. } | Body::Every { .. })
+        })
+    }
+
+    fn queue_insert(&mut self, at: SimTime, seq: u64, packed: u64) {
+        match &mut self.queue {
+            Queue::Heap(h) => h.push(Reverse((at, seq, packed))),
+            Queue::Wheel(w) => w.insert(at, seq, packed),
+        }
+    }
+
+    fn note_scheduled(&self, at: SimTime) {
+        if let Some(o) = &self.obs {
+            o.scheduled.inc();
+            if o.obs.tracing(Subsystem::Engine) {
+                o.obs.event(
+                    at.as_fs(),
+                    GLOBAL_NODE,
+                    Subsystem::Engine,
+                    "scheduled",
+                    Payload::Instant,
+                );
+            }
+        }
     }
 
     /// Schedule `f` to fire at the absolute instant `at`. Scheduling in the
@@ -149,24 +435,11 @@ impl<S> Engine<S> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry {
-            at,
-            seq,
-            f: Box::new(f),
-        }));
-        if let Some(o) = &self.obs {
-            o.scheduled.inc();
-            if o.obs.tracing(Subsystem::Engine) {
-                o.obs.event(
-                    at.as_fs(),
-                    GLOBAL_NODE,
-                    Subsystem::Engine,
-                    "scheduled",
-                    Payload::Instant,
-                );
-            }
-        }
-        EventId(seq)
+        let (idx, gen) = self.alloc(Body::Once(Box::new(f)));
+        self.live += 1;
+        self.queue_insert(at, seq, pack(idx, gen));
+        self.note_scheduled(at);
+        EventId { idx, gen }
     }
 
     /// Schedule `f` to fire after the given delay.
@@ -178,55 +451,291 @@ impl<S> Engine<S> {
         self.schedule_at(self.now + delay, f)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// Schedule `f` to fire at `first` and then every `period` after, with
+    /// the closure allocated **once** (no per-occurrence boxing). Each
+    /// occurrence consumes a fresh sequence number when it is re-armed —
+    /// immediately after the handler returns — so the interleaving is
+    /// identical to a handler that re-schedules itself as its last action.
+    /// Cancel the returned id (inside the handler or outside) to stop.
+    pub fn schedule_every(
+        &mut self,
+        first: SimTime,
+        period: SimDuration,
+        f: impl FnMut(&mut S, &mut Engine<S>) + 'static,
+    ) -> EventId {
+        assert!(
+            first >= self.now,
+            "scheduling into the past: {first:?} < {:?}",
+            self.now
+        );
+        assert!(
+            period > SimDuration::ZERO,
+            "periodic event needs period > 0"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let (idx, gen) = self.alloc(Body::Every {
+            period,
+            f: Box::new(f),
+        });
+        self.live += 1;
+        self.queue_insert(first, seq, pack(idx, gen));
+        self.note_scheduled(first);
+        EventId { idx, gen }
+    }
+
+    /// Cancel a previously scheduled event. O(1): frees the slab slot and
+    /// advances its generation, turning every queued reference stale.
+    /// Cancelling an event that has already fired (or was already
+    /// cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        let Some(s) = self.slots.get_mut(id.idx as usize) else {
+            return;
+        };
+        if s.gen != id.gen || matches!(s.body, Body::Vacant) {
+            return;
+        }
+        s.body = Body::Vacant; // drops the closure (unless in flight)
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.idx);
+        self.live -= 1;
         if let Some(o) = &self.obs {
             o.cancelled.inc();
+        }
+    }
+
+    /// Fire the event a (validated) packed reference points to, advancing
+    /// the clock to `at`.
+    fn fire(&mut self, state: &mut S, at: SimTime, packed: u64) {
+        let (idx, gen) = unpack(packed);
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.fired += 1;
+        let body = std::mem::replace(&mut self.slots[idx as usize].body, Body::Vacant);
+        // The only per-event cost with no observer attached is this
+        // one branch (`--obs-summary`-off must stay within 2 % of the
+        // uninstrumented engine).
+        let t0 = self.obs.as_ref().map(|_| std::time::Instant::now());
+        match body {
+            Body::Once(f) => {
+                // Free before running so the handler sees this event as
+                // fired: cancelling its own id is a no-op and the slot is
+                // immediately reusable.
+                let s = &mut self.slots[idx as usize];
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(idx);
+                self.live -= 1;
+                f(state, self);
+            }
+            Body::Every { period, mut f } => {
+                self.slots[idx as usize].body = Body::InFlight;
+                f(state, self);
+                // Re-arm unless the handler (or anyone it called) cancelled
+                // this id. The new occurrence takes the next sequence
+                // number, exactly as a self-rescheduling handler would.
+                let s = &mut self.slots[idx as usize];
+                if s.gen == gen && matches!(s.body, Body::InFlight) {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    let next_at = at + period;
+                    s.body = Body::Every { period, f };
+                    self.queue_insert(next_at, seq, packed);
+                    self.note_scheduled(next_at);
+                }
+            }
+            Body::Vacant | Body::InFlight => unreachable!("fired a dead slab slot"),
+        }
+        if let (Some(t0), Some(o)) = (t0, self.obs.as_ref()) {
+            let busy = t0.elapsed();
+            o.fired.inc();
+            o.busy_ns
+                .record(busy.as_nanos().min(u64::MAX as u128) as u64);
+            o.queue_depth.record(self.live as u64);
+            if o.obs.tracing(Subsystem::Engine) {
+                o.obs.event(
+                    self.now.as_fs(),
+                    GLOBAL_NODE,
+                    Subsystem::Engine,
+                    "fired",
+                    Payload::Value {
+                        value: self.live as i64,
+                    },
+                );
+            }
         }
     }
 
     /// Fire events in order until the queue is exhausted or the next event
     /// lies beyond `until`; then advance the clock to `until`.
     pub fn run_until(&mut self, state: &mut S, until: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > until {
-                break;
-            }
-            let Reverse(entry) = self.queue.pop().expect("peeked entry vanished");
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            debug_assert!(entry.at >= self.now);
-            self.now = entry.at;
-            self.fired += 1;
-            // The only per-event cost with no observer attached is this
-            // one branch (`--obs-summary`-off must stay within 2 % of the
-            // uninstrumented engine).
-            let t0 = self.obs.as_ref().map(|_| std::time::Instant::now());
-            (entry.f)(state, self);
-            if let (Some(t0), Some(o)) = (t0, self.obs.as_ref()) {
-                let busy = t0.elapsed();
-                o.fired.inc();
-                o.busy_ns
-                    .record(busy.as_nanos().min(u64::MAX as u128) as u64);
-                o.queue_depth.record(self.queue.len() as u64);
-                if o.obs.tracing(Subsystem::Engine) {
-                    o.obs.event(
-                        self.now.as_fs(),
-                        GLOBAL_NODE,
-                        Subsystem::Engine,
-                        "fired",
-                        Payload::Value {
-                            value: self.queue.len() as i64,
-                        },
-                    );
-                }
-            }
+        match self.queue {
+            Queue::Wheel(_) => self.run_until_wheel(state, until),
+            Queue::Heap(_) => self.run_until_heap(state, until),
         }
         if until > self.now {
             self.now = until;
+        }
+    }
+
+    fn run_until_heap(&mut self, state: &mut S, until: SimTime) {
+        loop {
+            let next = {
+                let Queue::Heap(h) = &mut self.queue else {
+                    unreachable!()
+                };
+                loop {
+                    match h.peek() {
+                        None => break None,
+                        Some(&Reverse((at, _seq, packed))) => {
+                            if !Self::is_live(&self.slots, packed) {
+                                h.pop(); // stale (cancelled): drop lazily
+                                continue;
+                            }
+                            if at > until {
+                                break None;
+                            }
+                            h.pop();
+                            break Some((at, packed));
+                        }
+                    }
+                }
+            };
+            match next {
+                Some((at, packed)) => self.fire(state, at, packed),
+                None => break,
+            }
+        }
+    }
+
+    fn run_until_wheel(&mut self, state: &mut S, until: SimTime) {
+        loop {
+            // 1. Drain the granule staged in `due` (exact (time, seq) order).
+            loop {
+                match self.pop_due(until) {
+                    DueStep::Fire(at, packed) => self.fire(state, at, packed),
+                    DueStep::Beyond => return,
+                    DueStep::Drained => break,
+                }
+            }
+            // 2. Advance to the earliest occupied wheel slot: level 0 stages
+            //    into `due`, higher levels cascade down.
+            match self.advance_wheel(until) {
+                Advance::Advanced => continue,
+                Advance::Beyond => return,
+                Advance::Empty => {}
+            }
+            // 3. Wheel empty: rebase onto the earliest overflow block.
+            if !self.refill_from_overflow(until) {
+                return;
+            }
+        }
+    }
+
+    fn pop_due(&mut self, until: SimTime) -> DueStep {
+        let Queue::Wheel(w) = &mut self.queue else {
+            unreachable!()
+        };
+        loop {
+            let Some(&Reverse((at, _seq, packed))) = w.due.peek() else {
+                w.due_granule = None;
+                return DueStep::Drained;
+            };
+            if !Self::is_live(&self.slots, packed) {
+                w.due.pop();
+                continue;
+            }
+            if at > until {
+                return DueStep::Beyond;
+            }
+            w.due.pop();
+            return DueStep::Fire(at, packed);
+        }
+    }
+
+    /// Move the wheel to its earliest occupied slot if that slot starts at
+    /// or before `until`.
+    fn advance_wheel(&mut self, until: SimTime) -> Advance {
+        let Queue::Wheel(w) = &mut self.queue else {
+            unreachable!()
+        };
+        let Some((start, level, slot)) = w.next_slot() else {
+            return Advance::Empty;
+        };
+        if SimTime(start << GRANULE_BITS) > until {
+            return Advance::Beyond;
+        }
+        w.base = start;
+        let lv = &mut w.levels[level];
+        lv.occ &= !(1u64 << slot);
+        if lv.occ == 0 {
+            w.occ_levels &= !(1 << level);
+        }
+        let mut entries = std::mem::take(&mut lv.slots[slot]);
+        if level == 0 {
+            // One granule per level-0 slot: stage it for exact-order
+            // dispatch. Stale entries are filtered by `pop_due`, so no
+            // slab access happens here.
+            w.due_granule = Some(start);
+            for e in entries.drain(..) {
+                w.due.push(Reverse(e));
+            }
+        } else if entries.len() == 1 && entries[0].0 <= until {
+            // Sparse fast path: a lone entry due within this run can jump
+            // straight to dispatch instead of cascading level by level.
+            // Safe because the scan found no occupied lower level (they are
+            // empty by the scan-range invariant), every other wheel event
+            // lies in a later slot (granule beyond this slot's window), and
+            // `at <= until` keeps `base <= granule(now)` when the run
+            // returns. A stale lone entry just drops out in `pop_due`.
+            let e = entries.pop().expect("len checked");
+            let g = e.0 .0 >> GRANULE_BITS;
+            w.base = g;
+            w.due_granule = Some(g);
+            w.due.push(Reverse(e));
+        } else {
+            // Cascade: redistribute into strictly lower levels of the
+            // rebased wheel. Pure entry moves — no slab lookups.
+            for (at, seq, packed) in entries.drain(..) {
+                w.insert(at, seq, packed);
+            }
+        }
+        // Hand the (now empty) Vec back to its slot to keep its capacity.
+        w.levels[level].slots[slot] = entries;
+        Advance::Advanced
+    }
+
+    /// When the wheel is empty, rebase it onto the block of the earliest
+    /// live overflow event (≤ `until`) and migrate that block in.
+    fn refill_from_overflow(&mut self, until: SimTime) -> bool {
+        let Queue::Wheel(w) = &mut self.queue else {
+            unreachable!()
+        };
+        debug_assert!(w.is_empty());
+        loop {
+            let Some(&Reverse((at, _seq, packed))) = w.overflow.peek() else {
+                return false;
+            };
+            if !Self::is_live(&self.slots, packed) {
+                w.overflow.pop();
+                continue;
+            }
+            if at > until {
+                return false;
+            }
+            let base = at.0 >> GRANULE_BITS;
+            w.base = base;
+            while let Some(&Reverse((at2, seq2, p2))) = w.overflow.peek() {
+                if !Self::is_live(&self.slots, p2) {
+                    w.overflow.pop();
+                    continue;
+                }
+                if (at2.0 >> GRANULE_BITS ^ base) >> WHEEL_BITS != 0 {
+                    break;
+                }
+                w.overflow.pop();
+                w.insert(at2, seq2, p2);
+            }
+            return true;
         }
     }
 
@@ -240,13 +749,71 @@ impl<S> Engine<S> {
 
     /// The instant of the next live (non-cancelled) pending event, if any.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if self.cancelled.contains(&head.seq) {
-                let Reverse(e) = self.queue.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&e.seq);
-                continue;
+        match &mut self.queue {
+            Queue::Heap(h) => {
+                while let Some(&Reverse((at, _seq, packed))) = h.peek() {
+                    if Self::is_live(&self.slots, packed) {
+                        return Some(at);
+                    }
+                    h.pop();
+                }
+                None
             }
-            return Some(head.at);
+            Queue::Wheel(_) => self.next_event_time_wheel(),
+        }
+    }
+
+    fn next_event_time_wheel(&mut self) -> Option<SimTime> {
+        {
+            let Queue::Wheel(w) = &mut self.queue else {
+                unreachable!()
+            };
+            while let Some(&Reverse((at, _seq, packed))) = w.due.peek() {
+                if Self::is_live(&self.slots, packed) {
+                    return Some(at);
+                }
+                w.due.pop();
+            }
+        }
+        // The earliest occupied slot holds the wheel's minimum (see
+        // next_slot); scan it for its minimum live key, pruning slots that
+        // turn out to be all-stale.
+        loop {
+            let Queue::Wheel(w) = &mut self.queue else {
+                unreachable!()
+            };
+            let Some((_start, level, slot)) = w.next_slot() else {
+                break;
+            };
+            let lv = &mut w.levels[level];
+            let mut best: Option<(SimTime, u64)> = None;
+            lv.slots[slot].retain(|&(at, seq, packed)| {
+                if !Self::is_live(&self.slots, packed) {
+                    return false;
+                }
+                if best.is_none_or(|b| (at, seq) < b) {
+                    best = Some((at, seq));
+                }
+                true
+            });
+            match best {
+                Some((at, _)) => return Some(at),
+                None => {
+                    lv.occ &= !(1u64 << slot);
+                    if lv.occ == 0 {
+                        w.occ_levels &= !(1 << level);
+                    }
+                }
+            }
+        }
+        let Queue::Wheel(w) = &mut self.queue else {
+            unreachable!()
+        };
+        while let Some(&Reverse((at, _seq, packed))) = w.overflow.peek() {
+            if Self::is_live(&self.slots, packed) {
+                return Some(at);
+            }
+            w.overflow.pop();
         }
         None
     }
@@ -335,5 +902,130 @@ mod tests {
         eng.schedule_at(SimTime::from_secs(2), |_, _| {});
         eng.cancel(id);
         assert_eq!(eng.next_event_time(), Some(SimTime::from_secs(2)));
+    }
+
+    /// Regression (PR 5): `pending()` must exclude cancelled events — the
+    /// old tombstone scheme counted them until they drained.
+    #[test]
+    fn pending_excludes_cancelled() {
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut eng: Engine<()> = Engine::with_queue(kind);
+            let ids: Vec<_> = (0..100)
+                .map(|i| eng.schedule_at(SimTime::from_nanos(i + 1), |_, _| {}))
+                .collect();
+            assert_eq!(eng.pending(), 100);
+            for id in &ids[..60] {
+                eng.cancel(*id);
+            }
+            assert_eq!(eng.pending(), 40, "{kind:?}");
+            eng.run_until(&mut (), SimTime::from_secs(1));
+            assert_eq!(eng.pending(), 0, "{kind:?}");
+            assert_eq!(eng.events_fired(), 40, "{kind:?}");
+        }
+    }
+
+    /// Regression (PR 5): ids that drain via `run_until` leave no
+    /// bookkeeping behind — a later cancel of a fired id is a no-op and
+    /// does not disturb a new event that reuses the slab slot.
+    #[test]
+    fn cancel_after_fire_is_noop_even_with_slot_reuse() {
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut eng: Engine<Vec<u32>> = Engine::with_queue(kind);
+            let mut log = Vec::new();
+            let stale = eng.schedule_at(SimTime::from_nanos(1), |s: &mut Vec<u32>, _| s.push(1));
+            eng.run_until(&mut log, SimTime::from_nanos(2));
+            // The slot of `stale` is free now; this event reuses it.
+            eng.schedule_at(SimTime::from_nanos(3), |s: &mut Vec<u32>, _| s.push(2));
+            eng.cancel(stale);
+            eng.run_until(&mut log, SimTime::from_nanos(4));
+            assert_eq!(log, vec![1, 2], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let mut eng: Engine<()> = Engine::new();
+        let id = eng.schedule_at(SimTime::from_nanos(5), |_, _| {});
+        eng.cancel(id);
+        assert_eq!(eng.pending(), 0);
+        eng.cancel(id); // must not underflow the live count
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn periodic_event_fires_until_cancelled() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        let id = eng.schedule_every(
+            SimTime::from_millis(10),
+            SimDuration::from_millis(10),
+            |s: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| s.push(e.now().as_fs() as u64),
+        );
+        eng.run_until(&mut log, SimTime::from_millis(35));
+        assert_eq!(log.len(), 3);
+        assert_eq!(eng.pending(), 1);
+        eng.cancel(id);
+        assert_eq!(eng.pending(), 0);
+        eng.run_until(&mut log, SimTime::from_millis(100));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn periodic_event_can_cancel_itself_in_handler() {
+        struct St {
+            hits: u32,
+            id: Option<EventId>,
+        }
+        let mut eng: Engine<St> = Engine::new();
+        let mut st = St { hits: 0, id: None };
+        let id = eng.schedule_every(
+            SimTime::from_millis(1),
+            SimDuration::from_millis(1),
+            |s: &mut St, e: &mut Engine<St>| {
+                s.hits += 1;
+                if s.hits == 3 {
+                    e.cancel(s.id.unwrap());
+                }
+            },
+        );
+        st.id = Some(id);
+        eng.run_until(&mut st, SimTime::from_secs(1));
+        assert_eq!(st.hits, 3);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    /// The wheel must fire far-future events (overflow heap) and sentinel
+    /// events at `SimTime::MAX` exactly like the heap backend.
+    #[test]
+    fn far_future_and_max_sentinel_events_fire() {
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut eng: Engine<Vec<u32>> = Engine::with_queue(kind);
+            let mut log = Vec::new();
+            eng.schedule_at(SimTime::MAX, |s: &mut Vec<u32>, _| s.push(99));
+            eng.schedule_at(SimTime::from_secs(1000), |s: &mut Vec<u32>, _| s.push(2));
+            eng.schedule_at(SimTime::from_nanos(1), |s: &mut Vec<u32>, _| s.push(1));
+            eng.run_until(&mut log, SimTime::from_secs(2000));
+            assert_eq!(log, vec![1, 2], "{kind:?}");
+            eng.run_to_completion(&mut log);
+            assert_eq!(log, vec![1, 2, 99], "{kind:?}");
+        }
+    }
+
+    /// Ties spanning the due-buffer path: events scheduled for the instant
+    /// currently being dispatched keep FIFO order.
+    #[test]
+    fn same_instant_events_scheduled_during_dispatch_keep_fifo() {
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut eng: Engine<Vec<u32>> = Engine::with_queue(kind);
+            let mut log = Vec::new();
+            let t = SimTime::from_micros(7);
+            eng.schedule_at(t, move |s: &mut Vec<u32>, e: &mut Engine<Vec<u32>>| {
+                s.push(0);
+                e.schedule_at(t, |s: &mut Vec<u32>, _| s.push(2));
+            });
+            eng.schedule_at(t, |s: &mut Vec<u32>, _| s.push(1));
+            eng.run_until(&mut log, SimTime::from_micros(8));
+            assert_eq!(log, vec![0, 1, 2], "{kind:?}");
+        }
     }
 }

@@ -1,0 +1,164 @@
+//! Backend-equivalence properties for the event engine.
+//!
+//! The timer-wheel scheduler (PR 5) must be observationally identical to
+//! the straightforward binary-heap scheduler it replaced: same events, in
+//! the same order, at the same times, with the same FIFO tie-breaking and
+//! the same bookkeeping counters. These properties drive both backends
+//! with identical random programs of schedules (one-shot, same-instant
+//! bursts, periodics at every delay scale the wheel distinguishes —
+//! sub-granule, in-wheel, and overflow), cancellations and time advances,
+//! and require the full observable trajectories to match bit-for-bit.
+
+use nti_simcore::{Engine, QueueKind, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Firing log: (label, fire time in fs). The label encodes which schedule
+/// op produced the event (and the occurrence number for periodics), so a
+/// log comparison catches reordering *between* distinct events as well as
+/// lost or duplicated occurrences.
+type Log = Vec<(u64, u128)>;
+
+/// One observable step: (now fs, pending, events_fired) after each op.
+type Trajectory = Vec<(u128, u64, u64)>;
+
+/// Map raw randomness onto a delay that exercises every scale the wheel
+/// treats differently: within one 2^30 fs granule, within the low wheel
+/// levels, across the full ~20 h wheel range, and out into the overflow
+/// heap beyond it.
+fn delay_from(a: u64) -> u128 {
+    let v = (a >> 2) as u128;
+    match a & 3 {
+        0 => v % (1 << 30),             // sub-granule (due-buffer ties)
+        1 => v % (1 << 44),             // low wheel levels (~18 ms)
+        2 => v % (1 << 62),             // anywhere in the wheel (~77 min)
+        _ => (1 << 66) + v % (1 << 62), // overflow heap (> wheel range)
+    }
+}
+
+/// Interpret one random program on the given backend, returning everything
+/// observable: the firing log and the per-op (now, pending, fired)
+/// trajectory.
+fn run_program(kind: QueueKind, ops: &[(u8, u64, u64)]) -> (Log, Trajectory) {
+    let mut eng: Engine<Log> = Engine::with_queue(kind);
+    let mut log: Log = Vec::new();
+    let mut ids = Vec::new();
+    let mut traj: Trajectory = Vec::new();
+    for (i, &(op, a, b)) in ops.iter().enumerate() {
+        let label = i as u64;
+        match op % 5 {
+            0 => {
+                // One-shot at an arbitrary scale.
+                let at = eng.now() + SimDuration::from_fs(delay_from(a));
+                ids.push(eng.schedule_at(at, move |log: &mut Log, e| {
+                    log.push((label, e.now().as_fs()));
+                }));
+            }
+            1 => {
+                // Same-instant burst: three events at one timestamp must
+                // fire in schedule (FIFO) order on both backends.
+                let at = eng.now() + SimDuration::from_fs(delay_from(a));
+                for k in 0..3u64 {
+                    let l = label * 10 + k;
+                    ids.push(eng.schedule_at(at, move |log: &mut Log, e| {
+                        log.push((l, e.now().as_fs()));
+                    }));
+                }
+            }
+            2 => {
+                // Periodic: first occurrence at an arbitrary scale. The
+                // handler cancels its own id after 50 occurrences so a huge
+                // time advance (overflow-scale delays are hours of sim
+                // time) fires a bounded number of events — and the
+                // self-cancel path itself is coverage.
+                let first = eng.now() + SimDuration::from_fs(delay_from(a));
+                let period = SimDuration::from_millis(250 + b % 750);
+                let mut n = 0u64;
+                let own_id = std::rc::Rc::new(std::cell::Cell::new(None));
+                let own = own_id.clone();
+                let id = eng.schedule_every(first, period, move |log: &mut Log, e| {
+                    log.push((label * 1_000_000 + n, e.now().as_fs()));
+                    n += 1;
+                    if n >= 50 {
+                        if let Some(id) = own.get() {
+                            e.cancel(id);
+                        }
+                    }
+                });
+                own_id.set(Some(id));
+                ids.push(id);
+            }
+            3 => {
+                // Cancel a previously issued id (possibly one that already
+                // fired or was already cancelled — must be a no-op then).
+                if !ids.is_empty() {
+                    let id = ids[(a as usize) % ids.len()];
+                    eng.cancel(id);
+                }
+            }
+            _ => {
+                // Advance time; occasionally far enough to drain the wheel
+                // and refill it from the overflow heap.
+                let dt = delay_from(a) / 2 + 1;
+                let until = eng.now() + SimDuration::from_fs(dt);
+                eng.run_until(&mut log, until);
+            }
+        }
+        traj.push((eng.now().as_fs(), eng.pending() as u64, eng.events_fired()));
+    }
+    // Final bounded drain so late one-shots get a chance to fire.
+    let until = eng.now() + SimDuration::from_millis(200);
+    eng.run_until(&mut log, until);
+    traj.push((eng.now().as_fs(), eng.pending() as u64, eng.events_fired()));
+    (log, traj)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The timer wheel and the reference heap produce identical firing
+    /// logs (same events, same order, same times — FIFO ties included)
+    /// and identical (now, pending, fired) trajectories for any program
+    /// of schedules, cancels and advances.
+    #[test]
+    fn wheel_matches_reference_heap(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..40)
+    ) {
+        let (log_w, traj_w) = run_program(QueueKind::TimerWheel, &ops);
+        let (log_h, traj_h) = run_program(QueueKind::BinaryHeap, &ops);
+        prop_assert_eq!(&log_w, &log_h, "firing logs diverge");
+        prop_assert_eq!(&traj_w, &traj_h, "observable trajectories diverge");
+    }
+
+    /// Same-instant FIFO: any number of events scheduled for one instant
+    /// (some before, some during dispatch at that instant) fire in exact
+    /// schedule order on both backends.
+    #[test]
+    fn same_instant_fifo_order(n_pre in 1usize..12, n_mid in 0usize..8, off in 0u64..(1 << 30)) {
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut eng: Engine<Log> = Engine::with_queue(kind);
+            let mut log: Log = Vec::new();
+            let at = SimTime::from_fs(1 + off as u128);
+            for i in 0..n_pre {
+                let mid = i == 0;
+                eng.schedule_at(at, move |log: &mut Log, e| {
+                    log.push((i as u64, e.now().as_fs()));
+                    if mid {
+                        // Schedule more work for the *same instant* from
+                        // inside the dispatch of that instant.
+                        for j in 0..n_mid {
+                            let l = 1000 + j as u64;
+                            e.schedule_at(at, move |log: &mut Log, e| {
+                                log.push((l, e.now().as_fs()));
+                            });
+                        }
+                    }
+                });
+            }
+            eng.run_until(&mut log, SimTime::from_secs(1));
+            let want: Vec<u64> = (0..n_pre as u64).chain((0..n_mid as u64).map(|j| 1000 + j)).collect();
+            let got: Vec<u64> = log.iter().map(|&(l, _)| l).collect();
+            prop_assert_eq!(got, want, "FIFO order broken on {:?}", kind);
+            prop_assert!(log.iter().all(|&(_, t)| t == at.as_fs()));
+        }
+    }
+}

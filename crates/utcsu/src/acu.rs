@@ -20,6 +20,39 @@
 
 use nti_simcore::Accuracy;
 
+/// Pack an accuracy pair into the 32-bit register layout (α⁻ in the low
+/// half, α⁺ in the high half).
+///
+/// Both halves are masked explicitly: if the accuracy type ever grows past
+/// 16 bits or goes signed, a plain `as u32` cast would sign-extend or smear
+/// one half into the other; the masks make the register layout independent
+/// of the Rust-side representation. Every packing site in the crate (ALPHA
+/// reads, stamp ACC registers, the ALOAD staging path) goes through here.
+pub fn pack_alpha(minus: Accuracy, plus: Accuracy) -> u32 {
+    ((minus.0 as u32) & 0xFFFF) | (((plus.0 as u32) & 0xFFFF) << 16)
+}
+
+/// Inverse of [`pack_alpha`].
+pub fn unpack_alpha(packed: u32) -> (Accuracy, Accuracy) {
+    (
+        Accuracy((packed & 0xFFFF) as u16),
+        Accuracy((packed >> 16) as u16),
+    )
+}
+
+/// Checked packing from raw register units (2⁻²⁴ s each): `None` when
+/// either α exceeds the 16-bit register range instead of silently
+/// truncating it to a *tighter* (unsafe) claimed bound.
+pub fn try_pack_alpha_units(minus_units: u32, plus_units: u32) -> Option<u32> {
+    if minus_units > 0xFFFF || plus_units > 0xFFFF {
+        return None;
+    }
+    Some(pack_alpha(
+        Accuracy(minus_units as u16),
+        Accuracy(plus_units as u16),
+    ))
+}
+
 /// Extra fractional bits carried internally below the 16-bit register.
 pub const ACC_FRAC_BITS: u32 = 35;
 /// Saturation value of the internal accumulator (0xFFFF in register units).
@@ -95,7 +128,10 @@ impl Acu {
 
     /// The packed 32-bit ALPHA register: α⁻ in the low half, α⁺ in the high.
     pub fn alpha_packed(&self) -> u32 {
-        (self.minus.register() as u32) | ((self.plus.register() as u32) << 16)
+        pack_alpha(
+            Accuracy(self.minus.register()),
+            Accuracy(self.plus.register()),
+        )
     }
 
     /// Load both cells atomically (performed together with the LTU time
@@ -107,8 +143,9 @@ impl Acu {
 
     /// Load from the packed 32-bit staging register.
     pub fn load_packed(&mut self, packed: u32) {
-        self.minus.load((packed & 0xFFFF) as u16);
-        self.plus.load((packed >> 16) as u16);
+        let (minus, plus) = unpack_alpha(packed);
+        self.minus.load(minus.0);
+        self.plus.load(plus.0);
     }
 
     /// Program the per-tick deterioration of the α⁻ cell, in 2⁻⁵⁹ s units.

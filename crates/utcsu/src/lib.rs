@@ -296,7 +296,22 @@ impl Utcsu {
 
     /// Stage accuracies for the next atomic load.
     pub fn stage_acc_load(&mut self, minus: Accuracy, plus: Accuracy) {
-        self.aload_packed = (minus.0 as u32) | ((plus.0 as u32) << 16);
+        self.aload_packed = acu::pack_alpha(minus, plus);
+    }
+
+    /// Stage accuracies from raw register units (2⁻²⁴ s each), rejecting
+    /// out-of-range values: an α wider than the 16-bit register cannot be
+    /// represented, and truncating it would *understate* the interval (a
+    /// containment violation), so the write is refused and the previously
+    /// staged value stands. Returns whether the stage was accepted.
+    pub fn stage_acc_load_units(&mut self, minus_units: u32, plus_units: u32) -> bool {
+        match acu::try_pack_alpha_units(minus_units, plus_units) {
+            Some(packed) => {
+                self.aload_packed = packed;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Apply the staged time + accuracy load atomically ("can be

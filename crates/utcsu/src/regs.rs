@@ -527,6 +527,51 @@ mod tests {
         assert_eq!(u.alpha(), (Accuracy(0x10), Accuracy(0x20)));
     }
 
+    /// Regression (PR 5): the α packing must round-trip exactly at the
+    /// 16-bit register boundaries and keep the halves independent.
+    #[test]
+    fn aload_roundtrips_at_16bit_boundaries() {
+        use crate::acu::{pack_alpha, unpack_alpha};
+        for (m, p) in [
+            (0u16, 0u16),
+            (0, 0xFFFF),
+            (0xFFFF, 0),
+            (0xFFFF, 0xFFFF),
+            (0x10, 0x20),
+        ] {
+            let (minus, plus) = (Accuracy(m), Accuracy(p));
+            let packed = pack_alpha(minus, plus);
+            assert_eq!(unpack_alpha(packed), (minus, plus));
+            let mut u = chip();
+            u.write32(R_ALOAD, packed);
+            assert_eq!(u.read32(R_ALOAD), packed, "staged register readback");
+            u.write32(R_CTRL, CTRL_RUN | CTRL_APPLY_ALOAD);
+            assert_eq!(u.alpha(), (minus, plus), "m={m:#x} p={p:#x}");
+            assert_eq!(u.read32(R_ALPHA), packed, "packed ALPHA readback");
+        }
+    }
+
+    /// Regression (PR 5): out-of-range α units are refused instead of
+    /// silently truncated to a tighter (unsafe) bound.
+    #[test]
+    fn aload_units_overflow_is_rejected() {
+        let mut u = chip();
+        assert!(u.stage_acc_load_units(0xFFFF, 0xFFFF));
+        assert_eq!(u.read32(R_ALOAD), 0xFFFF_FFFF);
+        // One past the register range in either half: rejected, staged
+        // value unchanged.
+        assert!(!u.stage_acc_load_units(0x1_0000, 0));
+        assert!(!u.stage_acc_load_units(0, 0x1_0000));
+        assert!(!u.stage_acc_load_units(u32::MAX, u32::MAX));
+        assert_eq!(
+            u.read32(R_ALOAD),
+            0xFFFF_FFFF,
+            "rejected stage must not apply"
+        );
+        assert!(u.stage_acc_load_units(0, 0));
+        assert_eq!(u.read32(R_ALOAD), 0);
+    }
+
     #[test]
     fn ctrl_status_bits() {
         let mut u = chip();

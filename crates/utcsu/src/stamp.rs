@@ -46,7 +46,7 @@ impl Stamp {
 
     /// The packed 32-bit accuracy register (α⁻ low, α⁺ high).
     pub fn acc_packed(&self) -> u32 {
-        (self.alpha_minus.0 as u32) | ((self.alpha_plus.0 as u32) << 16)
+        crate::acu::pack_alpha(self.alpha_minus, self.alpha_plus)
     }
 
     /// Reconstruct the full sampled clock value (checksum-verified).
