@@ -66,6 +66,27 @@ pub struct Enforcement {
     pub inputs: usize,
 }
 
+/// What to do with a congestion-marked CSP (the medium sets the mark when
+/// a frame's channel-access delay exceeded the segment's ECN threshold —
+/// see `nti-netsim`). Marked samples crossed a congested queue, so their
+/// delay-compensation midpoint is suspect; discounting or discarding them
+/// is what keeps precision from collapsing under load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CongestionPolicy {
+    /// Use marked CSPs at face value (the paper's static-LAN behaviour).
+    Ignore,
+    /// Down-weight: widen the marked interval by the given factor before
+    /// acceptance. A wider interval pulls the accuracy-weighted
+    /// convergence functions less, so the sample still contributes
+    /// containment evidence without dragging precision.
+    Discount {
+        /// Multiplier on both interval half-widths (≥ 1; 1 = no-op).
+        widen_factor: u32,
+    },
+    /// Drop marked CSPs entirely.
+    Discard,
+}
+
 /// Per-node synchronization state.
 #[derive(Clone, Debug)]
 pub struct SyncCore {
@@ -83,13 +104,27 @@ pub struct SyncCore {
     /// The node is (re)integrating after a cold start: its own interval is
     /// operator-set and worthless, so the next convergence adopts the
     /// ensemble a-posteriori (peers-only inputs, as in initial
-    /// synchronization) instead of merging its own state in. Cleared when a
-    /// convergence succeeds.
+    /// synchronization) instead of merging its own state in. Cleared when
+    /// a convergence succeeds with at least `reintegration_quorum`
+    /// inputs (or a validated external reference).
     pub reintegrating: bool,
+    /// Inputs a reintegrating node must hear before a convergence counts
+    /// as recovery — a node restarting inside a partition must not adopt
+    /// a minority island's view. Defaults to `f + 1`; the cluster raises
+    /// it to a majority of the ensemble.
+    pub reintegration_quorum: usize,
+    /// Policy for congestion-marked CSPs.
+    pub congestion: CongestionPolicy,
     /// CSPs discarded because convergence failed (diagnostics).
     pub cf_failures: u64,
     /// CSPs accepted over the run.
     pub csps_accepted: u64,
+    /// Congestion-marked CSPs seen.
+    pub csps_marked: u64,
+    /// Marked CSPs accepted with a widened (down-weighted) interval.
+    pub csps_discounted: u64,
+    /// Marked CSPs dropped by [`CongestionPolicy::Discard`].
+    pub csps_discarded: u64,
 }
 
 impl SyncCore {
@@ -103,8 +138,13 @@ impl SyncCore {
             ext: Vec::new(),
             blind_external: false,
             reintegrating: false,
+            reintegration_quorum: params.f + 1,
+            congestion: CongestionPolicy::Ignore,
             cf_failures: 0,
             csps_accepted: 0,
+            csps_marked: 0,
+            csps_discounted: 0,
+            csps_discarded: 0,
         }
     }
 
@@ -161,6 +201,37 @@ impl SyncCore {
         true
     }
 
+    /// [`SyncCore::accept`] with the frame's congestion mark applied first:
+    /// a marked CSP is counted, then down-weighted or discarded per the
+    /// node's [`CongestionPolicy`]. Returns whether the CSP entered the
+    /// inbox.
+    pub fn accept_csp(&mut self, mut p: Preprocessed, marked: bool) -> bool {
+        let mut discounted = false;
+        if marked {
+            self.csps_marked += 1;
+            match self.congestion {
+                CongestionPolicy::Ignore => {}
+                CongestionPolicy::Discount { widen_factor } => {
+                    let k = u128::from(widen_factor.max(1)) - 1;
+                    p.interval = p.interval.widen(
+                        p.interval.minus.saturating_mul(k),
+                        p.interval.plus.saturating_mul(k),
+                    );
+                    discounted = true;
+                }
+                CongestionPolicy::Discard => {
+                    self.csps_discarded += 1;
+                    return false;
+                }
+            }
+        }
+        let ok = self.accept(p);
+        if ok && discounted {
+            self.csps_discounted += 1;
+        }
+        ok
+    }
+
     /// Accept a validated external (GPS) interval, already expressed in
     /// local-frame coordinates at its stamp event.
     pub fn accept_external(&mut self, p: Preprocessed) {
@@ -170,6 +241,11 @@ impl SyncCore {
     /// Number of CSPs waiting in the current round's inbox.
     pub fn inbox_len(&self) -> usize {
         self.inbox.len()
+    }
+
+    /// Number of validated external intervals waiting for this round.
+    pub fn ext_len(&self) -> usize {
+        self.ext.len()
     }
 
     /// Spread (max − min) of the inbox's preprocessed offsets in 2⁻⁵⁹ s
@@ -197,6 +273,19 @@ impl SyncCore {
         num.ceil() as u128
     }
 
+    /// Close a round **without** converging — the holdover freeze. The
+    /// inbox and external intervals are drained and discarded and the
+    /// round counter advances (so round timing stays aligned with the
+    /// broadcast schedule), but no enforcement is computed: the clock
+    /// free-runs on its last trimmed rate while the ACU's deterioration
+    /// keeps widening the accuracy interval at the drift bound, which is
+    /// exactly what preserves containment without fresh samples.
+    pub fn skip_round(&mut self) {
+        self.round += 1;
+        self.inbox.clear();
+        self.ext.clear();
+    }
+
     /// Step 3 — apply the convergence function at CF time. `now` and
     /// `own_alpha` are the node's clock and ACU state read atomically at
     /// this instant. Returns the enforcement decision, or `None` when
@@ -212,11 +301,18 @@ impl SyncCore {
         self.round += 1;
         let inbox = std::mem::take(&mut self.inbox);
         let ext = std::mem::take(&mut self.ext);
-        // A reintegrating node with nothing heard keeps free-running wide
+        // A reintegrating node below its quorum keeps free-running wide
         // (its deteriorating interval stays honest) and tries again next
-        // round; with peers heard, it adopts them a-posteriori by leaving
-        // its own operator-set interval out of the inputs.
-        if self.reintegrating && inbox.is_empty() && ext.is_empty() {
+        // round: adopting a lone neighbour — or a minority island inside a
+        // partition — a-posteriori would count the node as recovered on
+        // evidence that cannot mask even one fault. A validated external
+        // (UTC) reference satisfies the quorum by itself. With the quorum
+        // heard, it adopts the ensemble by leaving its own operator-set
+        // interval out of the inputs.
+        if self.reintegrating
+            && inbox.len() + ext.len() < self.reintegration_quorum
+            && ext.is_empty()
+        {
             return None;
         }
         let reintegrating = self.reintegrating;
@@ -470,6 +566,124 @@ mod tests {
         // Offsets: 0 (self), -35, -25, -45 us; f=0 midpoint = (-45+0)/2 = -22.5.
         assert!((-30.0..-15.0).contains(&delta_us), "delta={delta_us}");
         let _ = TimestampMode::Hardware; // param smoke-use
+    }
+
+    #[test]
+    fn reintegration_below_quorum_stays_reintegrating() {
+        // A node restarting inside a partition hears one neighbour; with a
+        // reintegration quorum of 2 it must not count as recovered —
+        // Marzullo with f=1 over 2 peer inputs would happily produce an
+        // interval, which is exactly the trap.
+        let mut p = params();
+        p.f = 1;
+        let mut core = SyncCore::new(p, AlgoKind::IntervalMarzullo);
+        core.reintegrating = true;
+        core.reintegration_quorum = 3;
+        let now = NtpTime::from_secs(100);
+        core.accept(core.preprocess(&csp(1, 100, 0, now)));
+        core.accept(core.preprocess(&csp(2, 100, 0, now)));
+        assert!(core
+            .converge(now, (Accuracy(1000), Accuracy(1000)))
+            .is_none());
+        assert!(core.reintegrating, "sub-quorum must not clear the flag");
+        assert_eq!(core.cf_failures, 0, "withheld, not failed");
+        // With the quorum heard, the same node adopts the ensemble.
+        for id in 1..=3 {
+            core.accept(core.preprocess(&csp(id, 101, 0, now)));
+        }
+        assert!(core
+            .converge(now, (Accuracy(1000), Accuracy(1000)))
+            .is_some());
+        assert!(!core.reintegrating);
+    }
+
+    #[test]
+    fn reintegration_external_reference_suffices() {
+        // A validated UTC reference anchors reintegration by itself.
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        core.reintegrating = true;
+        core.reintegration_quorum = 3;
+        let now = NtpTime::from_secs(100);
+        core.accept_external(Preprocessed {
+            from: 99,
+            interval: AccInterval::from_halfwidth(now, SimDuration::from_micros(5)),
+            recv_local: now,
+            offset_units: 0,
+        });
+        assert!(core
+            .converge(now, (Accuracy(2000), Accuracy(2000)))
+            .is_some());
+        assert!(!core.reintegrating);
+    }
+
+    #[test]
+    fn duplicate_csp_suppression_survives_restart_semantics() {
+        // First-stamp-stands within a round; a fresh round (or a cold
+        // restart) legitimately re-accepts the same sender. The copy of a
+        // pre-crash CSP must not be double-counted after reintegration:
+        // the crash wiped the inbox, so exactly one acceptance per
+        // (sender, round, incarnation) ever feeds a convergence.
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        let now = NtpTime::from_secs(100);
+        let p = core.preprocess(&csp(1, 100, 0, now));
+        assert!(core.accept(p));
+        assert!(!core.accept(p), "duplicate within the round rejected");
+        assert_eq!(core.csps_accepted, 1);
+        // Crash: the node restarts with a fresh core, reintegrating.
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        core.reintegrating = true;
+        assert!(core.accept(p), "new incarnation, first stamp stands again");
+        assert!(!core.accept(p), "but its duplicate still does not");
+        assert_eq!(core.csps_accepted, 1);
+    }
+
+    #[test]
+    fn congestion_discard_drops_marked_csps() {
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        core.congestion = CongestionPolicy::Discard;
+        let now = NtpTime::from_secs(100);
+        let p = core.preprocess(&csp(1, 100, 0, now));
+        assert!(!core.accept_csp(p, true));
+        assert_eq!((core.csps_marked, core.csps_discarded), (1, 1));
+        assert_eq!(core.inbox_len(), 0);
+        // Unmarked CSPs pass untouched.
+        assert!(core.accept_csp(p, false));
+        assert_eq!(core.csps_marked, 1);
+    }
+
+    #[test]
+    fn congestion_discount_widens_marked_intervals() {
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        core.congestion = CongestionPolicy::Discount { widen_factor: 4 };
+        let now = NtpTime::from_secs(100);
+        let p = core.preprocess(&csp(1, 100, 0, now));
+        assert!(core.accept_csp(p, true));
+        assert_eq!((core.csps_marked, core.csps_discounted), (1, 1));
+        let spread_free = core.inbox_offset_spread_units();
+        assert_eq!(spread_free, Some(0), "value untouched, only widened");
+        // Ignore policy leaves the interval alone.
+        let mut plain = SyncCore::new(params(), AlgoKind::IntervalOa);
+        assert_eq!(plain.congestion, CongestionPolicy::Ignore);
+        assert!(plain.accept_csp(p, true));
+        assert_eq!(plain.csps_discounted, 0);
+    }
+
+    #[test]
+    fn skip_round_drains_without_converging() {
+        let mut core = SyncCore::new(params(), AlgoKind::IntervalOa);
+        let now = NtpTime::from_secs(100);
+        core.accept(core.preprocess(&csp(1, 100, 0, now)));
+        core.accept_external(Preprocessed {
+            from: 99,
+            interval: AccInterval::from_halfwidth(now, SimDuration::from_micros(5)),
+            recv_local: now,
+            offset_units: 0,
+        });
+        core.skip_round();
+        assert_eq!(core.round, 1, "round advances in step with the schedule");
+        assert_eq!(core.inbox_len(), 0);
+        assert_eq!(core.ext_len(), 0);
+        assert_eq!(core.cf_failures, 0);
     }
 
     #[test]

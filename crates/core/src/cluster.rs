@@ -20,7 +20,8 @@
 //! Everything else (GPS validation, rate synchronization, background load,
 //! HWSNAP-based precision snapshots) hangs off the same engine.
 
-use crate::algo::{ReceivedCsp, SyncCore};
+use crate::algo::{CongestionPolicy, ReceivedCsp, SyncCore};
+use crate::health::{HealthConfig, HealthState, HealthTracker, RoundAction, HEALTH_STATES};
 use crate::interval::AccInterval;
 use crate::node::{quant_units_for, Node, UTCSU_QUANT_UNITS};
 use crate::params::{
@@ -30,13 +31,13 @@ use crate::params::{
 use crate::payload::{CspPayload, CSP_PAYLOAD_LEN};
 use crate::rate::RateSync;
 use crate::validate::{gps_observation, validate, ValidationStats};
-use nti_faults::{FaultInjector, FaultPlan};
+use nti_faults::{ChurnEvent, ChurnKind, ChurnPlan, FaultInjector, FaultPlan};
 use nti_gps::{GpsConfig, GpsFault, GpsReceiver};
 use nti_kernel::{ComcoDriver, Interface, Kernel, KernelConfig};
 use nti_module::{CpldConfig, Nti, UTCSU_BASE};
 use nti_netsim::{Comco, ComcoTiming, Frame, Medium, MediumConfig, Topology};
 use nti_obs::{
-    fs_to_ns, Counter, Histogram, MetricKey, MonitorConfig, Monitors, SimObserver, SpanId,
+    fs_to_ns, Counter, Gauge, Histogram, MetricKey, MonitorConfig, Monitors, SimObserver, SpanId,
     Subsystem, GLOBAL_NODE,
 };
 use nti_simcore::ntp::{NtpTime, FRAC_BITS, NTP_FRAC_BITS};
@@ -202,6 +203,16 @@ pub struct ClusterConfig {
     /// seeded injector. An empty plan leaves the run bit-identical to a
     /// fault-free one. See `nti-faults`.
     pub fault_plan: FaultPlan,
+    /// Dynamic membership: plan-driven joins, leaves and LAN moves applied
+    /// by a seeded churn stream. A node whose *first* event is a join
+    /// starts the run dark. An empty plan leaves the run bit-identical to
+    /// a churn-free one. See `nti-faults`.
+    pub churn_plan: ChurnPlan,
+    /// How congestion-marked CSPs (ECN-style, see
+    /// `MediumConfig::ecn_threshold`) are treated by the algorithm:
+    /// accepted as-is, accepted with a widened (down-weighted) interval,
+    /// or discarded.
+    pub congestion: CongestionPolicy,
     /// Byzantine nodes: broadcast wildly wrong intervals every round (the
     /// convergence function must mask up to `f` of them).
     ///
@@ -282,6 +293,8 @@ impl ClusterConfig {
             gps: Vec::new(),
             bg_load: None,
             fault_plan: FaultPlan::new(),
+            churn_plan: ChurnPlan::new(),
+            congestion: CongestionPolicy::Ignore,
             byzantine: Vec::new(),
             crc_error_rate: 0.0,
             gps_blind_trust: false,
@@ -315,6 +328,9 @@ struct Flight {
     xmit_trigger_real: Option<SimTime>,
     corrupted: bool,
     byzantine: bool,
+    /// ECN-style congestion mark from the medium-access grant: the frame
+    /// saw queue occupancy above the marking threshold.
+    marked: bool,
     receivers_pending: usize,
     /// Head of this flight's causal span chain — the last hop emitted on
     /// the sender side — and that hop's real end instant. Null/meaningless
@@ -357,10 +373,16 @@ pub struct Metrics {
     /// Restarted nodes that completed reintegration (first successful
     /// convergence after the cold restart).
     pub rejoins: u64,
-    /// Post-rejoin α trajectories: for each restart, `max(α⁻, α⁺)` in
-    /// seconds read after each convergence from the acquisition round on
-    /// (capped at [`REJOIN_TRACK_ROUNDS`] entries).
-    pub rejoin_alpha: Vec<(usize, Vec<f64>)>,
+    /// Post-rejoin α trajectories, one entry per restart (**every**
+    /// restart of a node opens its own trajectory; a node crashing again
+    /// mid-recovery closes the open one as interrupted).
+    pub rejoin_alpha: Vec<RejoinTrajectory>,
+    /// Churn-plan joins executed.
+    pub joins: u64,
+    /// Churn-plan leaves executed.
+    pub leaves: u64,
+    /// Churn-plan LAN moves executed.
+    pub moves: u64,
     /// Background frames generated.
     pub bg_frames: u64,
     /// Effective rate spread (max−min, ppm) at the last snapshot.
@@ -375,6 +397,19 @@ pub struct Metrics {
     pub gps_accepted: u64,
     /// Rejected external intervals.
     pub gps_rejected: u64,
+}
+
+/// One restarted node's post-rejoin α recovery trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct RejoinTrajectory {
+    /// Which node restarted.
+    pub node: usize,
+    /// `max(α⁻, α⁺)` in seconds after each post-rejoin convergence, from
+    /// the acquisition round on (capped at [`REJOIN_TRACK_ROUNDS`]).
+    pub alpha: Vec<f64>,
+    /// The node crashed (or left) again before the tracking window closed:
+    /// this restart never recovered.
+    pub interrupted: bool,
 }
 
 /// The causal-span hop kinds of a CSP's life, in pipeline order: CSP
@@ -403,6 +438,16 @@ pub const HOP_HIST_NAMES: [&str; 8] = [
     "hop_interrupt_ns",
     "hop_isr_dispatch_ns",
     "hop_accept_ns",
+];
+
+/// Registry names of the `membership` transition counters
+/// (`enter_<state>`), index-aligned with [`HEALTH_STATES`].
+pub const ENTER_STATE_NAMES: [&str; 5] = [
+    "enter_synchronized",
+    "enter_degraded",
+    "enter_holdover",
+    "enter_down",
+    "enter_reintegrating",
 ];
 
 const HOP_CSP_SEND: usize = 0;
@@ -437,6 +482,12 @@ struct ClusterObs {
     /// Per-hop latency decomposition of the CSP causal chain, one
     /// histogram per [`SPAN_HOPS`] entry.
     hop_ns: [Arc<Histogram>; SPAN_HOPS.len()],
+    /// `membership/enter_<state>` — transitions into each health state,
+    /// index-aligned with [`HEALTH_STATES`].
+    enter_state: [Arc<Counter>; HEALTH_STATES.len()],
+    /// `membership/<state>` — how many nodes currently sit in each health
+    /// state, refreshed at every snapshot.
+    state_gauge: [Arc<Gauge>; HEALTH_STATES.len()],
 }
 
 impl ClusterObs {
@@ -569,10 +620,26 @@ pub struct Report {
     pub csp_drop_causes: (u64, u64, u64),
     /// Node crashes / completed reintegrations.
     pub churn: (u64, u64),
+    /// Churn-plan joins / leaves / LAN moves executed.
+    pub membership: (u64, u64, u64),
     /// Worst number of post-rejoin convergence rounds any restarted node
     /// needed to shrink α below 10× its steady-state value (−1 when no
-    /// restart completed or a trajectory never recovered).
+    /// restart completed or a trajectory never recovered). Interrupted
+    /// trajectories (crashed again mid-recovery) are excluded here; see
+    /// `rejoin_recoveries`.
     pub rejoin_recovery_rounds: i64,
+    /// Per-restart recovery rounds, one entry per restart in lifecycle
+    /// order (−1: interrupted by another crash/leave, or never recovered).
+    pub rejoin_recoveries: Vec<i64>,
+    /// Final health state per node (`HealthState::name` strings).
+    pub final_states: Vec<&'static str>,
+    /// Health-state transitions summed over nodes.
+    pub health_transitions: u64,
+    /// Rounds spent frozen in holdover, summed over nodes.
+    pub holdover_rounds: u64,
+    /// Congestion-marked CSPs seen / accepted discounted / discarded,
+    /// summed over nodes.
+    pub congestion: (u64, u64, u64),
     /// GPS intervals accepted / rejected by validation.
     pub gps: (u64, u64),
     /// Effective rate spread at the end (ppm).
@@ -634,8 +701,42 @@ impl Report {
                 ]),
             ),
             (
+                "membership",
+                Json::Arr(vec![
+                    Json::num(self.membership.0 as f64),
+                    Json::num(self.membership.1 as f64),
+                    Json::num(self.membership.2 as f64),
+                ]),
+            ),
+            (
                 "rejoin_recovery_rounds",
                 Json::num(self.rejoin_recovery_rounds as f64),
+            ),
+            (
+                "rejoin_recoveries",
+                Json::Arr(
+                    self.rejoin_recoveries
+                        .iter()
+                        .map(|&r| Json::num(r as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "final_states",
+                Json::Arr(self.final_states.iter().map(|&s| Json::str(s)).collect()),
+            ),
+            (
+                "health_transitions",
+                Json::num(self.health_transitions as f64),
+            ),
+            ("holdover_rounds", Json::num(self.holdover_rounds as f64)),
+            (
+                "congestion",
+                Json::Arr(vec![
+                    Json::num(self.congestion.0 as f64),
+                    Json::num(self.congestion.1 as f64),
+                    Json::num(self.congestion.2 as f64),
+                ]),
             ),
             (
                 "gps",
@@ -805,6 +906,7 @@ impl Cluster {
                 driver: ComcoDriver::new(),
                 scb: nti_module::ScbDriver::default(),
                 core: SyncCore::new(params, cfg.algo),
+                health: HealthTracker::new(HealthConfig::for_f(cfg.f)),
                 rate: RateSync::new(),
                 gps: Vec::new(),
                 vstats: ValidationStats::default(),
@@ -816,6 +918,8 @@ impl Cluster {
                 quant_units: quant,
             };
             node.core.blind_external = cfg.gps_blind_trust;
+            node.core.reintegration_quorum = reintegration_quorum_for(&cfg.topology, id, cfg.f);
+            node.core.congestion = cfg.congestion;
             node.scb.init(&mut node.nti);
             node.program_dsteps(cfg.rho_budget_ppm);
             nodes.push(node);
@@ -911,6 +1015,14 @@ impl Cluster {
                 csps_dropped_injected: obs.counter(key("csps_dropped_injected")).expect("enabled"),
                 hop_ns: HOP_HIST_NAMES
                     .map(|nm| obs.hist(MetricKey::global("span", nm)).expect("enabled")),
+                enter_state: ENTER_STATE_NAMES.map(|nm| {
+                    obs.counter(MetricKey::global("membership", nm))
+                        .expect("enabled")
+                }),
+                state_gauge: HEALTH_STATES.map(|s| {
+                    obs.gauge(MetricKey::global("membership", s.name()))
+                        .expect("enabled")
+                }),
             });
             world.monitors = Monitors::new(
                 &obs,
@@ -936,8 +1048,28 @@ impl Cluster {
         }
         let mut eng = Eng::with_queue(world.cfg.engine_queue);
         eng.attach_observer(&obs);
+        // Dark-start churn nodes: a node whose *first* churn event is a
+        // join spends the run's opening `Down` — no clock, no timers, no
+        // CSPs — until that join fires. (`initially_down` draws nothing,
+        // so an empty plan perturbs no state here.)
+        for (id, dark) in world
+            .cfg
+            .churn_plan
+            .initially_down(n)
+            .into_iter()
+            .enumerate()
+        {
+            if dark {
+                let edge = world.nodes[id].health.set_down();
+                note_health_edge(&mut world, SimTime::ZERO, id, edge);
+                world.down[id] = true;
+            }
+        }
         // Arm the first round's timers and start services.
         for id in 0..n {
+            if world.down[id] {
+                continue;
+            }
             arm_round_timers(&mut world, id, 1);
             schedule_utcsu_service(&mut world, &mut eng, id);
         }
@@ -1003,6 +1135,29 @@ impl Cluster {
                 }
             }
         }
+        // Dynamic membership: schedule the churn plan. Gated on plan
+        // non-emptiness for the same bit-identity reason as the fault
+        // lifecycle above.
+        if !world.cfg.churn_plan.is_empty() {
+            let end = SimTime::ZERO + world.cfg.duration;
+            for ev in world.cfg.churn_plan.events().to_vec() {
+                assert!(ev.node < n, "churn event targets node {} of {n}", ev.node);
+                if let ChurnKind::Move { to_lan } = ev.kind {
+                    assert!(
+                        to_lan < world.topology.lan_count(),
+                        "churn move targets LAN {to_lan} of {}",
+                        world.topology.lan_count()
+                    );
+                    assert!(
+                        world.topology.attachments(ev.node).len() == 1,
+                        "only ordinary (non-gateway) nodes can move"
+                    );
+                }
+                if ev.at < end {
+                    eng.schedule_at(ev.at, move |w, e| churn_event(w, e, ev));
+                }
+            }
+        }
         Cluster { eng, world }
     }
 
@@ -1041,6 +1196,16 @@ fn finalize(w: &mut World) -> Report {
     }
     let cf_failures = w.nodes.iter().map(|n| n.core.cf_failures).sum();
     let monitor_violations = w.monitors.as_ref().map_or(0, |m| m.total());
+    let final_states: Vec<&'static str> = w.nodes.iter().map(|n| n.health.state().name()).collect();
+    let health_transitions = w.nodes.iter().map(|n| n.health.transitions()).sum();
+    let holdover_rounds = w.nodes.iter().map(|n| n.health.holdover_rounds()).sum();
+    let congestion = w.nodes.iter().fold((0, 0, 0), |acc, n| {
+        (
+            acc.0 + n.core.csps_marked,
+            acc.1 + n.core.csps_discounted,
+            acc.2 + n.core.csps_discarded,
+        )
+    });
     let m = &mut w.metrics;
     Report {
         worst_precision_s: m.precision.max(),
@@ -1063,7 +1228,13 @@ fn finalize(w: &mut World) -> Report {
             m.csps_dropped_injected,
         ),
         churn: (m.crashes, m.rejoins),
+        membership: (m.joins, m.leaves, m.moves),
         rejoin_recovery_rounds: rejoin_recovery_rounds(&m.rejoin_alpha),
+        rejoin_recoveries: rejoin_recoveries(&m.rejoin_alpha),
+        final_states,
+        health_transitions,
+        holdover_rounds,
+        congestion,
         gps: (m.gps_accepted, m.gps_rejected),
         rate_spread_ppm: m.rate_spread_ppm_last,
         cf_failures,
@@ -1073,23 +1244,48 @@ fn finalize(w: &mut World) -> Report {
     }
 }
 
-/// Worst rounds-to-recover over all post-rejoin α trajectories: the first
-/// convergence (1-based) at which α fell below 10× the trajectory's
-/// steady-state (its minimum). −1 when no trajectory recovered or none was
-/// recorded.
-fn rejoin_recovery_rounds(trajectories: &[(usize, Vec<f64>)]) -> i64 {
+/// Rounds-to-recover of one completed trajectory: the first convergence
+/// (1-based) at which α fell below 10× the trajectory's steady-state (its
+/// minimum). `None` for an empty trajectory.
+fn recovery_rounds(traj: &[f64]) -> Option<i64> {
+    let steady = traj.iter().copied().reduce(f64::min)?;
+    traj.iter()
+        .position(|&a| a <= steady * 10.0)
+        .map(|i| i as i64 + 1)
+}
+
+/// Worst rounds-to-recover over all *completed* post-rejoin trajectories
+/// (interrupted restarts are excluded — they never had a chance). −1 when
+/// no trajectory recovered or none was recorded.
+fn rejoin_recovery_rounds(trajectories: &[RejoinTrajectory]) -> i64 {
     let mut worst: i64 = -1;
-    for (_, traj) in trajectories {
-        let Some(steady) = traj.iter().copied().reduce(f64::min) else {
+    for t in trajectories {
+        if t.interrupted {
             continue;
-        };
-        let hit = traj.iter().position(|&a| a <= steady * 10.0);
-        match hit {
-            Some(i) => worst = worst.max(i as i64 + 1),
+        }
+        match recovery_rounds(&t.alpha) {
+            Some(r) => worst = worst.max(r),
+            None if t.alpha.is_empty() => continue,
             None => return -1,
         }
     }
     worst
+}
+
+/// Per-restart recovery rounds in lifecycle order — **every** restart gets
+/// an entry, −1 marking trajectories that were interrupted by another
+/// crash/leave or never recovered.
+fn rejoin_recoveries(trajectories: &[RejoinTrajectory]) -> Vec<i64> {
+    trajectories
+        .iter()
+        .map(|t| {
+            if t.interrupted {
+                -1
+            } else {
+                recovery_rounds(&t.alpha).unwrap_or(-1)
+            }
+        })
+        .collect()
 }
 
 /// Units of 2⁻⁵⁹ s for a duration (ceil).
@@ -1306,6 +1502,7 @@ fn csp_send(world: &mut World, eng: &mut Eng, id: usize, sw_stamp: NtpTime, sw_r
                 xmit_trigger_real: None,
                 corrupted,
                 byzantine,
+                marked: grant.marked,
                 receivers_pending: receivers.max(1),
                 span,
                 span_t: now,
@@ -1782,6 +1979,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                     flight.payload,
                     flight_hw_stamp(&flight),
                     recv_local,
+                    flight.marked,
                     chain,
                 )
             });
@@ -1806,6 +2004,7 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                     flight.payload,
                     flight_hw_stamp(&flight),
                     recv_local,
+                    flight.marked,
                     chain,
                 )
             });
@@ -1821,7 +2020,16 @@ fn rx_complete(world: &mut World, eng: &mut Eng, q: usize, fid: u64, a: usize, s
                 let recv_local = w.nodes[q].read_clock_regs(t);
                 record_eps(w, t, t, flight.sw_stamp_real);
                 let xmit = sw_xmit_stamp(&flight, recv_local);
-                process_csp(w, e, q, flight.payload, xmit, recv_local, chain);
+                process_csp(
+                    w,
+                    e,
+                    q,
+                    flight.payload,
+                    xmit,
+                    recv_local,
+                    flight.marked,
+                    chain,
+                );
             });
         }
     }
@@ -1896,7 +2104,9 @@ fn record_eps(world: &mut World, now: SimTime, recv_real: SimTime, xmit_real: Si
 }
 
 /// Step 2: preprocessing (delay compensation) and inbox insertion; also
-/// feeds the rate estimator.
+/// feeds the rate estimator. `marked` carries the frame's ECN-style
+/// congestion mark into the node's [`CongestionPolicy`].
+#[allow(clippy::too_many_arguments)]
 fn process_csp(
     world: &mut World,
     eng: &mut Eng,
@@ -1904,6 +2114,7 @@ fn process_csp(
     payload: CspPayload,
     xmit: (NtpTime, Accuracy, Accuracy),
     recv_local: NtpTime,
+    marked: bool,
     span: SpanId,
 ) {
     let node = &mut world.nodes[q];
@@ -1914,8 +2125,8 @@ fn process_csp(
         recv_local,
     };
     let p = node.core.preprocess(&csp);
-    if !node.core.accept(p) {
-        return; // duplicated frame: the first reception's stamp stands
+    if !node.core.accept_csp(p, marked) {
+        return; // duplicated frame (first stamp stands) or discarded mark
     }
     // Rate estimation uses the slew-compensated local clock: subtracting
     // the cumulative state adjustment keeps enforcement slews out of the
@@ -1940,6 +2151,27 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
     let k = world.nodes[id].core.round + 2;
     let t1 = round_target(world, id, k).wrapping_add_units(units(world.cfg.cf_delta) as i128);
     arm_timer(&mut world.nodes[id], 1, t1);
+
+    // Membership watchdog: decide from this round's evidence whether to
+    // converge or to freeze. A holdover freeze skips *everything*
+    // downstream — convergence, enforcement and the rate trim — so the
+    // clock free-runs on its last trimmed rate while the ACU keeps
+    // deteriorating α at the drift bound (containment is preserved
+    // without fresh samples; see `crate::health`).
+    let heard = world.nodes[id].core.inbox_len();
+    let ext_n = world.nodes[id].core.ext_len();
+    if world.nodes[id].health.round_action(heard, ext_n) == RoundAction::Freeze {
+        world.nodes[id].core.skip_round();
+        if let Some(o) = &world.obs {
+            o.obs.instant(
+                now.as_fs(),
+                id as u32,
+                Subsystem::Cluster,
+                "holdover_freeze",
+            );
+        }
+        return;
+    }
 
     // Rate synchronization first (the state algorithm assumes the trimmed
     // rate for the coming round). Corrections start after a warm-up (the
@@ -1981,14 +2213,23 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
     let clock = world.nodes[id].read_clock_regs(now);
     let alpha = world.nodes[id].read_alpha_regs(now);
     let was_reintegrating = world.nodes[id].core.reintegrating;
-    let Some(enf) = world.nodes[id].core.converge(clock, alpha) else {
+    let converged = world.nodes[id].core.converge(clock, alpha);
+    // Digest the round's outcome into the watchdog (quorum evidence was
+    // recorded by `round_action` above); `Down`/`Reintegrating` never
+    // escalate from here.
+    let edge = world.nodes[id].health.note_round(converged.is_some());
+    note_health_edge(world, now, id, edge);
+    let Some(enf) = converged else {
         return;
     };
     if was_reintegrating && !world.nodes[id].core.reintegrating {
-        // First convergence built purely from peer CSPs: the restarted
-        // node has reacquired synchronized time and rejoins the ensemble.
+        // First convergence built from a quorum of peer CSPs: the
+        // restarted node has reacquired synchronized time and rejoins the
+        // ensemble.
         world.metrics.rejoins += 1;
         world.injector.note_rejoin(now, id);
+        let edge = world.nodes[id].health.note_rejoined();
+        note_health_edge(world, now, id, edge);
     }
     let amort_ticks = world.nodes[id].ticks_for(world.cfg.amortization);
     let node = &mut world.nodes[id];
@@ -2052,13 +2293,68 @@ fn cf_time(world: &mut World, eng: &mut Eng, id: usize) {
         if let Some(&idx) = world.rejoin_track.get(&id) {
             let (am, ap) = world.nodes[id].read_alpha_regs(now);
             let worst = am.max(ap).as_secs_f64();
-            world.metrics.rejoin_alpha[idx].1.push(worst);
-            if world.metrics.rejoin_alpha[idx].1.len() >= REJOIN_TRACK_ROUNDS {
+            world.metrics.rejoin_alpha[idx].alpha.push(worst);
+            if world.metrics.rejoin_alpha[idx].alpha.len() >= REJOIN_TRACK_ROUNDS {
                 world.rejoin_track.remove(&id);
             }
         }
     }
     schedule_utcsu_service(world, eng, id);
+}
+
+/// Record a health-state transition: the `membership/enter_<state>`
+/// counter plus a trace instant. A `None` edge (no transition) is a no-op,
+/// so callers can feed `HealthTracker` results through unconditionally.
+fn note_health_edge(
+    world: &mut World,
+    now: SimTime,
+    id: usize,
+    edge: Option<(HealthState, HealthState)>,
+) {
+    let Some((_, next)) = edge else { return };
+    if let Some(o) = &world.obs {
+        o.enter_state[next.index()].inc();
+        o.obs.instant(
+            now.as_fs(),
+            id as u32,
+            Subsystem::Cluster,
+            "health_transition",
+        );
+    }
+}
+
+/// A churn-plan event fired: execute the join / leave / LAN move. Joins
+/// ride the restart machinery but draw their boot offset from the
+/// dedicated `faults.churn` RNG stream, so churn composes with fault plans
+/// without perturbing the lifecycle stream.
+fn churn_event(world: &mut World, eng: &mut Eng, ev: ChurnEvent) {
+    match ev.kind {
+        ChurnKind::Join => {
+            if !world.down[ev.node] {
+                return; // already up
+            }
+            world.metrics.joins += 1;
+            let init = world.cfg.init_offset;
+            let off = SimDuration::from_fs(
+                world
+                    .injector
+                    .churn_rng()
+                    .below((2 * init.as_fs()).max(1) as u64) as u128,
+            );
+            restart_node_with(world, eng, ev.node, off);
+        }
+        ChurnKind::Leave => {
+            if world.down[ev.node] {
+                return; // already down
+            }
+            world.metrics.leaves += 1;
+            crash_node(world, eng, ev.node);
+        }
+        ChurnKind::Move { to_lan } => {
+            world.metrics.moves += 1;
+            world.topology.move_node(ev.node, to_lan);
+        }
+    }
 }
 
 /// The metric reference instant: simulation time adjusted for a
@@ -2140,8 +2436,14 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
         let stamp = world.nodes[id].nti.utcsu_mut().trigger_hwsnap();
         let _ = world.nodes[id].nti.utcsu_mut().snu.take();
         let t = world.nodes[id].nti.utcsu().time();
-        times.push(t);
-        rates.push(world.nodes[id].effective_rate_ppm(now));
+        // A holdover node free-runs outside the precision ensemble (its
+        // clock is honest but no longer trimmed); its containment claim is
+        // still checked — routed to the dedicated monitor below.
+        let holdover = world.nodes[id].health.state() == HealthState::Holdover;
+        if !holdover {
+            times.push(t);
+            rates.push(world.nodes[id].effective_rate_ppm(now));
+        }
         if in_window {
             let reference = ref_time(world, now);
             let (am, ap) = world.nodes[id].nti.utcsu().alpha();
@@ -2161,12 +2463,21 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
                 o.alpha_ns.record((a_max * 1e9) as u64);
             }
             if let Some(m) = world.monitors.as_mut() {
-                m.containment(
-                    now.as_fs(),
-                    id as u32,
-                    contained,
-                    (signed_err * 1e15) as i128,
-                );
+                if holdover {
+                    m.holdover_containment(
+                        now.as_fs(),
+                        id as u32,
+                        contained,
+                        (signed_err * 1e15) as i128,
+                    );
+                } else {
+                    m.containment(
+                        now.as_fs(),
+                        id as u32,
+                        contained,
+                        (signed_err * 1e15) as i128,
+                    );
+                }
                 m.clock_sample(now.as_fs(), id as u32, ntp_to_fs(t));
             }
             let _ = stamp;
@@ -2197,6 +2508,16 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
         let rmax = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let rmin = rates.iter().copied().fold(f64::INFINITY, f64::min);
         world.metrics.rate_spread_ppm_last = rmax - rmin;
+    }
+    // Membership gauges: how many nodes currently sit in each state.
+    if let Some(o) = &world.obs {
+        let mut counts = [0i64; HEALTH_STATES.len()];
+        for node in &world.nodes {
+            counts[node.health.state().index()] += 1;
+        }
+        for (g, &c) in o.state_gauge.iter().zip(counts.iter()) {
+            g.set(c);
+        }
     }
 }
 
@@ -2358,6 +2679,13 @@ fn crash_node(world: &mut World, eng: &mut Eng, id: usize) {
     world.down[id] = true;
     world.metrics.crashes += 1;
     world.injector.note_crash(now, id);
+    let edge = world.nodes[id].health.set_down();
+    note_health_edge(world, now, id, edge);
+    if let Some(idx) = world.rejoin_track.remove(&id) {
+        // Crashed (or left) again before the post-rejoin tracking window
+        // closed: that restart never recovered.
+        world.metrics.rejoin_alpha[idx].interrupted = true;
+    }
     if let Some(m) = world.monitors.as_mut() {
         m.reset_clock(id as u32);
     }
@@ -2371,6 +2699,24 @@ fn crash_node(world: &mut World, eng: &mut Eng, id: usize) {
     }
 }
 
+/// A reintegrating node only rejoins once it can hear a real quorum:
+/// `f + 1` masks faults, and a majority of the node's *neighborhood* (the
+/// distinct peers sharing a segment with it — all a node can ever hear
+/// directly) prevents a minority island inside a partition from counting
+/// as "recovered". On a single LAN the neighborhood is the whole ensemble
+/// and this reduces to `n / 2`.
+fn reintegration_quorum_for(topo: &Topology, id: usize, f: usize) -> usize {
+    let mut peers: Vec<usize> = topo
+        .attachments(id)
+        .iter()
+        .flat_map(|&l| topo.members(l).iter().copied())
+        .filter(|&p| p != id)
+        .collect();
+    peers.sort_unstable();
+    peers.dedup();
+    (f + 1).max(peers.len().div_ceil(2))
+}
+
 /// A crash episode ends: the node powers back up with a cold UTCSU. It
 /// re-seeds its clock near the reference (boot-time estimate, e.g. from an
 /// RTC) with a wide accuracy cover and rejoins the algorithm as a
@@ -2378,6 +2724,23 @@ fn crash_node(world: &mut World, eng: &mut Eng, id: usize) {
 /// contributes no own interval until its first convergence completes
 /// (a-posteriori initial synchronization, Section 6 of the paper).
 fn restart_node(world: &mut World, eng: &mut Eng, id: usize) {
+    if !world.down[id] {
+        return;
+    }
+    let init_offset = world.cfg.init_offset;
+    let off = SimDuration::from_fs(
+        world
+            .injector
+            .lifecycle_rng()
+            .below((2 * init_offset.as_fs()).max(1) as u64) as u128,
+    );
+    restart_node_with(world, eng, id, off);
+}
+
+/// [`restart_node`] with the boot-clock offset supplied by the caller —
+/// the fault lifecycle and churn joins draw it from *different* RNG
+/// streams so the two compose deterministically.
+fn restart_node_with(world: &mut World, eng: &mut Eng, id: usize, off: SimDuration) {
     if !world.down[id] {
         return;
     }
@@ -2395,12 +2758,6 @@ fn restart_node(world: &mut World, eng: &mut Eng, id: usize) {
     // accumulates during the outage.
     nti.utcsu_mut()
         .advance_to_tick(world.nodes[id].osc.ticks_at(now));
-    let off = SimDuration::from_fs(
-        world
-            .injector
-            .lifecycle_rng()
-            .below((2 * init_offset.as_fs()).max(1) as u64) as u128,
-    );
     let g_margin = SimDuration::from_nanos(120);
     let boot = NtpTime::from_sim_time(ref_time(world, now) + off);
     nti.utcsu_mut().stage_time_load(boot);
@@ -2416,6 +2773,8 @@ fn restart_node(world: &mut World, eng: &mut Eng, id: usize) {
     node.scb = nti_module::ScbDriver::default();
     node.core = SyncCore::new(world.params, world.cfg.algo);
     node.core.blind_external = world.cfg.gps_blind_trust;
+    node.core.reintegration_quorum = reintegration_quorum_for(&world.topology, id, world.cfg.f);
+    node.core.congestion = world.cfg.congestion;
     node.core.reintegrating = true;
     node.rate = RateSync::new();
     node.vstats = ValidationStats::default();
@@ -2455,12 +2814,20 @@ fn restart_node(world: &mut World, eng: &mut Eng, id: usize) {
         arm_timer(&mut world.nodes[id], 2, NtpTime::from_raw(target));
     }
     world.down[id] = false;
+    let edge = world.nodes[id].health.set_reintegrating();
+    note_health_edge(world, now, id, edge);
     if let Some(m) = world.monitors.as_mut() {
         // The reseeded boot clock may legitimately read earlier than the
         // pre-crash clock.
         m.reset_clock(id as u32);
     }
-    world.metrics.rejoin_alpha.push((id, Vec::new()));
+    // Every restart opens its own trajectory (an interrupted predecessor
+    // was already closed by `crash_node`).
+    world.metrics.rejoin_alpha.push(RejoinTrajectory {
+        node: id,
+        alpha: Vec::new(),
+        interrupted: false,
+    });
     world
         .rejoin_track
         .insert(id, world.metrics.rejoin_alpha.len() - 1);

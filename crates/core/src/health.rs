@@ -1,0 +1,428 @@
+//! Per-node health/membership state machine.
+//!
+//! The paper's algorithm quietly assumes every node hears a full round of
+//! CSPs; real ensembles churn. This module tracks each node's membership
+//! health from **online evidence only** — how many peers (and validated
+//! external references) fed the round about to converge — and drives the
+//! five-state machine
+//!
+//! ```text
+//!   Synchronized ──miss·d──▶ Degraded ──miss·h──▶ Holdover
+//!        ▲                      │                    │ probe ok
+//!        └──────────────────────┴────────────────────┘
+//!   (crash)──▶ Down ──(restart)──▶ Reintegrating ──quorum──▶ Synchronized
+//! ```
+//!
+//! * a **CSP-round watchdog** counts consecutive rounds whose evidence
+//!   stays below the quorum (`f + 1` peers, or any validated external
+//!   reference). After `degraded_after` misses the node is `Degraded`
+//!   (still converging on whatever it hears), after `holdover_after` it
+//!   enters `Holdover`;
+//! * **reference-loss detection** falls out of the same evidence rule:
+//!   a GPS node whose receiver dies and whose peer set is below quorum
+//!   stops seeing evidence and escalates;
+//! * in **holdover** the node freezes its rate-adjusted clock — no state
+//!   corrections, no further rate trims — while the UTCSU's ACU keeps
+//!   deteriorating the accuracy interval at the bounded-drift rate ρ, so
+//!   `t ∈ [C−α⁻, C+α⁺]` is preserved without fresh samples (the
+//!   containment-under-holdover argument: the clock departs from real
+//!   time at most at ρ, which is exactly the interval's widening rate).
+//!   Re-entry is a retry/timeout/backoff loop: the watchdog probes a
+//!   convergence, and on failure doubles its wait (capped) before the
+//!   next probe; full quorum evidence always triggers an immediate
+//!   attempt;
+//! * `Down`/`Reintegrating` are driven by the crash/restart/churn
+//!   lifecycle; a reintegrating node leaves the machine only when its
+//!   reintegration quorum is met (see `SyncCore::converge`).
+//!
+//! The tracker is pure bookkeeping — it never draws randomness and never
+//! schedules events — so it cannot perturb the simulation's determinism.
+
+/// The five membership/health states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Quorum evidence seen recently; the node converges normally.
+    Synchronized,
+    /// The watchdog has seen a short run of sub-quorum rounds; the node
+    /// still converges on whatever it hears. A label, not a behaviour
+    /// change — it makes incipient isolation observable.
+    Degraded,
+    /// Sustained reference loss: the clock free-runs on its last trimmed
+    /// rate while the interval widens at the drift bound. Probes for
+    /// re-entry with exponential backoff.
+    Holdover,
+    /// Crashed or not yet joined: no clock, no CSPs.
+    Down,
+    /// Restarted with a cold clock; adopting the ensemble a-posteriori.
+    Reintegrating,
+}
+
+impl HealthState {
+    /// Stable lower-case name (used for gauges and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Synchronized => "synchronized",
+            HealthState::Degraded => "degraded",
+            HealthState::Holdover => "holdover",
+            HealthState::Down => "down",
+            HealthState::Reintegrating => "reintegrating",
+        }
+    }
+
+    /// Index into per-state count arrays (0..5, declaration order).
+    pub fn index(self) -> usize {
+        match self {
+            HealthState::Synchronized => 0,
+            HealthState::Degraded => 1,
+            HealthState::Holdover => 2,
+            HealthState::Down => 3,
+            HealthState::Reintegrating => 4,
+        }
+    }
+}
+
+/// All states, in `HealthState::index` order.
+pub const HEALTH_STATES: [HealthState; 5] = [
+    HealthState::Synchronized,
+    HealthState::Degraded,
+    HealthState::Holdover,
+    HealthState::Down,
+    HealthState::Reintegrating,
+];
+
+/// What the node should do with the round that is about to close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundAction {
+    /// Run the convergence function (and the rate trim) as usual.
+    Converge,
+    /// Holdover freeze: drain the inbox without converging and leave the
+    /// rate-adjusted clock untouched.
+    Freeze,
+}
+
+/// Watchdog thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Peers needed for a healthy round (`f + 1`); any validated external
+    /// reference also satisfies the watchdog.
+    pub quorum: usize,
+    /// Consecutive sub-quorum rounds before `Synchronized → Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive sub-quorum rounds before `→ Holdover`.
+    pub holdover_after: u32,
+    /// Cap on the holdover probe backoff, in rounds.
+    pub backoff_cap: u32,
+}
+
+impl HealthConfig {
+    /// Defaults for a cluster tolerating `f` faults: quorum `f + 1`,
+    /// degrade after 2 misses, hold over after 4, probes backed off up to
+    /// 8 rounds.
+    pub fn for_f(f: usize) -> HealthConfig {
+        HealthConfig {
+            quorum: f + 1,
+            degraded_after: 2,
+            holdover_after: 4,
+            backoff_cap: 8,
+        }
+    }
+}
+
+/// The per-node tracker. Feed it `round_action` before each convergence
+/// decision and `note_round` after; drive lifecycle edges with
+/// `set_down` / `set_reintegrating` / `note_rejoined`.
+#[derive(Clone, Debug)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    state: HealthState,
+    /// Consecutive sub-quorum rounds seen by the watchdog.
+    missed_rounds: u32,
+    /// Current holdover probe wait (rounds), doubling per failed probe.
+    backoff: u32,
+    /// Rounds left until the next holdover probe.
+    retry_in: u32,
+    /// Whether the last `round_action` decided to probe/converge (so
+    /// `note_round` knows a failure must back off).
+    probing: bool,
+    /// Whether the last round's evidence met the quorum.
+    last_quorum: bool,
+    /// Total state transitions taken.
+    transitions: u64,
+    /// Rounds spent frozen in holdover.
+    holdover_rounds: u64,
+    /// Transitions *into* each state, by `HealthState::index`.
+    entries: [u64; 5],
+}
+
+impl HealthTracker {
+    /// A fresh tracker, optimistically `Synchronized` (initial
+    /// synchronization is covered by the warmup; a dark-starting churn
+    /// node should be forced `Down` right after construction).
+    pub fn new(cfg: HealthConfig) -> HealthTracker {
+        HealthTracker {
+            cfg,
+            state: HealthState::Synchronized,
+            missed_rounds: 0,
+            backoff: 1,
+            retry_in: 0,
+            probing: false,
+            last_quorum: true,
+            transitions: 0,
+            holdover_rounds: 0,
+            entries: [0; 5],
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Total transitions taken.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Rounds spent frozen in holdover.
+    pub fn holdover_rounds(&self) -> u64 {
+        self.holdover_rounds
+    }
+
+    /// Transitions into each state, indexed by `HealthState::index`.
+    pub fn entries(&self) -> [u64; 5] {
+        self.entries
+    }
+
+    fn goto(&mut self, next: HealthState) -> Option<(HealthState, HealthState)> {
+        if self.state == next {
+            return None;
+        }
+        let prev = self.state;
+        self.state = next;
+        self.transitions += 1;
+        self.entries[next.index()] += 1;
+        Some((prev, next))
+    }
+
+    /// Lifecycle edge: the node crashed or left. Returns the transition.
+    pub fn set_down(&mut self) -> Option<(HealthState, HealthState)> {
+        self.missed_rounds = 0;
+        self.backoff = 1;
+        self.retry_in = 0;
+        self.goto(HealthState::Down)
+    }
+
+    /// Lifecycle edge: the node restarted/joined with a cold clock.
+    pub fn set_reintegrating(&mut self) -> Option<(HealthState, HealthState)> {
+        self.missed_rounds = 0;
+        self.backoff = 1;
+        self.retry_in = 0;
+        self.goto(HealthState::Reintegrating)
+    }
+
+    /// Lifecycle edge: reintegration completed (quorum reached and a
+    /// convergence adopted the ensemble).
+    pub fn note_rejoined(&mut self) -> Option<(HealthState, HealthState)> {
+        self.missed_rounds = 0;
+        self.goto(HealthState::Synchronized)
+    }
+
+    /// Decide what to do with the round about to close, given its
+    /// evidence: `heard` accepted peer CSPs and `ext` validated external
+    /// intervals are waiting in the inbox.
+    pub fn round_action(&mut self, heard: usize, ext: usize) -> RoundAction {
+        self.last_quorum = heard >= self.cfg.quorum || ext > 0;
+        match self.state {
+            HealthState::Down => RoundAction::Freeze, // defensive: no CF when down
+            HealthState::Reintegrating | HealthState::Synchronized | HealthState::Degraded => {
+                self.probing = true;
+                RoundAction::Converge
+            }
+            HealthState::Holdover => {
+                if self.last_quorum || self.retry_in == 0 {
+                    self.probing = true;
+                    RoundAction::Converge
+                } else {
+                    self.retry_in -= 1;
+                    self.probing = false;
+                    self.holdover_rounds += 1;
+                    RoundAction::Freeze
+                }
+            }
+        }
+    }
+
+    /// Digest the round's outcome (`converged` = the convergence function
+    /// produced an enforcement). Returns the transition taken, if any.
+    ///
+    /// Only *evidence loss* escalates: a round with quorum evidence whose
+    /// convergence still failed (inputs too disjoint, e.g. Byzantine
+    /// excess) is not a watchdog miss — the node keeps its deteriorating
+    /// interval and the fault-tolerance analysis owns that case.
+    pub fn note_round(&mut self, converged: bool) -> Option<(HealthState, HealthState)> {
+        match self.state {
+            HealthState::Down | HealthState::Reintegrating => None,
+            _ => {
+                if self.last_quorum && converged {
+                    self.missed_rounds = 0;
+                    self.backoff = 1;
+                    self.retry_in = 0;
+                    return self.goto(HealthState::Synchronized);
+                }
+                if !self.last_quorum {
+                    self.missed_rounds = self.missed_rounds.saturating_add(1);
+                }
+                if self.state == HealthState::Holdover {
+                    if self.probing {
+                        // Probe timed out: double the wait before retrying.
+                        self.backoff = (self.backoff * 2).min(self.cfg.backoff_cap);
+                        self.retry_in = self.backoff;
+                    }
+                    return None;
+                }
+                if self.missed_rounds >= self.cfg.holdover_after {
+                    self.backoff = 1;
+                    self.retry_in = 0; // first probe fires immediately
+                    self.goto(HealthState::Holdover)
+                } else if self.missed_rounds >= self.cfg.degraded_after {
+                    self.goto(HealthState::Degraded)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HealthTracker {
+        HealthTracker::new(HealthConfig::for_f(1))
+    }
+
+    /// One quorum-less round: decide, then digest a failed convergence.
+    fn miss(t: &mut HealthTracker) -> RoundAction {
+        let a = t.round_action(0, 0);
+        t.note_round(false);
+        a
+    }
+
+    #[test]
+    fn nominal_rounds_stay_synchronized() {
+        let mut t = tracker();
+        for _ in 0..100 {
+            assert_eq!(t.round_action(5, 0), RoundAction::Converge);
+            assert_eq!(t.note_round(true), None);
+        }
+        assert_eq!(t.state(), HealthState::Synchronized);
+        assert_eq!(t.transitions(), 0);
+    }
+
+    #[test]
+    fn watchdog_escalates_and_recovers() {
+        let mut t = tracker();
+        miss(&mut t);
+        assert_eq!(t.state(), HealthState::Synchronized);
+        miss(&mut t);
+        assert_eq!(t.state(), HealthState::Degraded, "2 misses degrade");
+        miss(&mut t);
+        assert_eq!(t.state(), HealthState::Degraded);
+        miss(&mut t);
+        assert_eq!(t.state(), HealthState::Holdover, "4 misses hold over");
+        // Evidence returns: immediate converge and full recovery.
+        assert_eq!(t.round_action(2, 0), RoundAction::Converge);
+        assert_eq!(
+            t.note_round(true),
+            Some((HealthState::Holdover, HealthState::Synchronized))
+        );
+        assert_eq!(t.entries()[HealthState::Holdover.index()], 1);
+    }
+
+    #[test]
+    fn single_peer_below_quorum_still_escalates() {
+        // f = 1 needs 2 peers; one chatty neighbour is not a reference.
+        let mut t = tracker();
+        for _ in 0..4 {
+            t.round_action(1, 0);
+            t.note_round(true); // converged, but sub-quorum
+        }
+        assert_eq!(t.state(), HealthState::Holdover);
+    }
+
+    #[test]
+    fn external_reference_satisfies_watchdog() {
+        let mut t = tracker();
+        for _ in 0..10 {
+            assert_eq!(t.round_action(0, 1), RoundAction::Converge);
+            t.note_round(true);
+        }
+        assert_eq!(t.state(), HealthState::Synchronized, "GPS holds it in");
+    }
+
+    #[test]
+    fn holdover_probes_back_off_exponentially() {
+        let mut t = tracker();
+        for _ in 0..4 {
+            miss(&mut t);
+        }
+        assert_eq!(t.state(), HealthState::Holdover);
+        // First probe is immediate (retry_in = 0), then waits 2, 4, 8, 8…
+        let mut pattern = Vec::new();
+        for _ in 0..26 {
+            pattern.push(miss(&mut t) == RoundAction::Converge);
+        }
+        let probes: Vec<usize> = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| p.then_some(i))
+            .collect();
+        assert_eq!(probes, vec![0, 3, 8, 17], "waits double: 2, 4, 8 rounds");
+        assert!(t.holdover_rounds() > 0);
+        // Quorum evidence cuts through any pending backoff.
+        assert_eq!(t.round_action(2, 0), RoundAction::Converge);
+    }
+
+    #[test]
+    fn quorum_cf_failure_is_not_a_watchdog_miss() {
+        // Byzantine-excess rounds: evidence present, convergence disjoint.
+        let mut t = tracker();
+        for _ in 0..20 {
+            t.round_action(4, 0);
+            t.note_round(false);
+        }
+        assert_eq!(t.state(), HealthState::Synchronized);
+    }
+
+    #[test]
+    fn lifecycle_edges() {
+        let mut t = tracker();
+        assert_eq!(
+            t.set_down(),
+            Some((HealthState::Synchronized, HealthState::Down))
+        );
+        assert_eq!(t.round_action(5, 0), RoundAction::Freeze, "down is down");
+        assert_eq!(
+            t.set_reintegrating(),
+            Some((HealthState::Down, HealthState::Reintegrating))
+        );
+        // Reintegrating always attempts; the quorum gate lives in SyncCore.
+        assert_eq!(t.round_action(0, 0), RoundAction::Converge);
+        assert_eq!(t.note_round(false), None, "no escalation while rejoining");
+        assert_eq!(
+            t.note_rejoined(),
+            Some((HealthState::Reintegrating, HealthState::Synchronized))
+        );
+        assert_eq!(t.transitions(), 3);
+    }
+
+    #[test]
+    fn state_names_and_indices_are_stable() {
+        for (i, s) in HEALTH_STATES.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(HealthState::Holdover.name(), "holdover");
+        assert_eq!(HealthState::Reintegrating.name(), "reintegrating");
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`aposteriori`] — the CesiumSpray-style a-posteriori agreement
 //!   baseline (\[VRC97\], §5);
 //! * [`validate`] — clock validation of external (GPS) time sources;
+//! * [`health`] — the per-node membership / holdover state machine
+//!   (`Synchronized → Degraded → Holdover → Down → Reintegrating`);
 //! * [`params`] — timestamping modes and statically derived delay bounds;
 //! * [`payload`] — the CSP wire payload;
 //! * [`node`] — one node (CPU + kernel + NTI + oscillator + COMCO + GPS);
@@ -44,6 +46,7 @@ pub mod algo;
 pub mod aposteriori;
 pub mod cluster;
 pub mod convergence;
+pub mod health;
 pub mod interval;
 pub mod node;
 pub mod ntp_sync;
@@ -53,10 +56,11 @@ pub mod rate;
 pub mod rtt;
 pub mod validate;
 
-pub use algo::{Enforcement, Preprocessed, ReceivedCsp, SyncCore};
+pub use algo::{CongestionPolicy, Enforcement, Preprocessed, ReceivedCsp, SyncCore};
 pub use aposteriori::{simulate_spray, SprayConfig, SprayReport};
 pub use cluster::{BgLoad, Cluster, ClusterConfig, DriftSpec, GpsNodeCfg, Metrics, Report, World};
 pub use convergence::{ftm, marzullo, oa};
+pub use health::{HealthConfig, HealthState, HealthTracker, RoundAction, HEALTH_STATES};
 pub use interval::AccInterval;
 pub use node::Node;
 pub use ntp_sync::NtpClient;

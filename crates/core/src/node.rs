@@ -12,6 +12,7 @@
 //! triggers always observe current hardware state.
 
 use crate::algo::SyncCore;
+use crate::health::HealthTracker;
 use crate::rate::RateSync;
 use crate::validate::ValidationStats;
 use nti_gps::GpsReceiver;
@@ -41,6 +42,8 @@ pub struct Node {
     pub scb: ScbDriver,
     /// Synchronization algorithm state.
     pub core: SyncCore,
+    /// Membership / holdover state machine (the CSP-round watchdog).
+    pub health: HealthTracker,
     /// Rate synchronization state.
     pub rate: RateSync,
     /// GPS receivers wired to GPU units 0..3.
@@ -205,6 +208,7 @@ mod tests {
             driver: ComcoDriver::new(),
             scb: ScbDriver::default(),
             core: SyncCore::new(params(), AlgoKind::IntervalOa),
+            health: HealthTracker::new(crate::health::HealthConfig::for_f(0)),
             rate: RateSync::new(),
             gps: Vec::new(),
             vstats: ValidationStats::default(),

@@ -264,6 +264,120 @@ impl FaultPlan {
     }
 }
 
+/// What a membership-churn event does to its node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The node powers up and starts reintegrating. A node whose *first*
+    /// churn event is a `Join` is dark from simulation start until then
+    /// (it must still be present in the topology — joining reserves the
+    /// seat, it does not create the hardware).
+    Join,
+    /// The node leaves the ensemble (graceful departure; operationally a
+    /// crash without the surprise — peers see silence either way).
+    Leave,
+    /// The node detaches from its current segment and reattaches to
+    /// `to_lan` (ordinary nodes only; bridges are the topology).
+    Move {
+        /// Destination LAN id.
+        to_lan: usize,
+    },
+}
+
+/// One scheduled membership change.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnEvent {
+    /// When it happens.
+    pub at: SimTime,
+    /// The node it happens to.
+    pub node: usize,
+    /// What happens.
+    pub kind: ChurnKind,
+}
+
+/// A deterministic schedule of membership churn: plan-driven joins, leaves
+/// and moves, the dynamic-membership analogue of [`FaultPlan`]. Follows the
+/// same determinism contract: churn handling is active **only when the plan
+/// is non-empty**, and any randomness (cold-boot clock offsets of joining
+/// nodes) comes from a dedicated named stream, so an empty plan leaves the
+/// run bit-identical to a churn-free one and the same seed + same plan
+/// reproduces the same `Report` bit-for-bit.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// An empty plan (static membership).
+    pub fn new() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in plan order (ties at equal times resolve in
+    /// plan order too).
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: ChurnEvent) {
+        self.events.push(event);
+    }
+
+    /// Builder-style [`ChurnPlan::push`].
+    pub fn with(mut self, event: ChurnEvent) -> Self {
+        self.push(event);
+        self
+    }
+
+    /// Builder: `node` joins (powers up dark-started or rejoins) at `at`.
+    pub fn join(self, node: usize, at: SimTime) -> Self {
+        self.with(ChurnEvent {
+            at,
+            node,
+            kind: ChurnKind::Join,
+        })
+    }
+
+    /// Builder: `node` leaves the ensemble at `at`.
+    pub fn leave(self, node: usize, at: SimTime) -> Self {
+        self.with(ChurnEvent {
+            at,
+            node,
+            kind: ChurnKind::Leave,
+        })
+    }
+
+    /// Builder: `node` moves to segment `to_lan` at `at`.
+    pub fn move_to(self, node: usize, at: SimTime, to_lan: usize) -> Self {
+        self.with(ChurnEvent {
+            at,
+            node,
+            kind: ChurnKind::Move { to_lan },
+        })
+    }
+
+    /// Which of `n` nodes start the run powered down: those whose first
+    /// scheduled event is a `Join`.
+    pub fn initially_down(&self, n: usize) -> Vec<bool> {
+        let mut down = vec![false; n];
+        let mut seen = vec![false; n];
+        let mut by_time: Vec<&ChurnEvent> = self.events.iter().collect();
+        by_time.sort_by_key(|e| e.at);
+        for e in by_time {
+            if e.node < n && !seen[e.node] {
+                seen[e.node] = true;
+                down[e.node] = e.kind == ChurnKind::Join;
+            }
+        }
+        down
+    }
+}
+
 /// Pre-resolved `faults`-subsystem instrumentation.
 struct FaultObs {
     obs: SimObserver,
@@ -293,6 +407,10 @@ pub struct FaultInjector {
     crc_rng: SimRng,
     /// Stream for lifecycle draws (cold-restart clock offset).
     lifecycle_rng: SimRng,
+    /// Stream for churn draws (cold-boot offset of plan-driven joins) —
+    /// separate from `lifecycle_rng` so a churn plan composes with a fault
+    /// plan without perturbing its draw sequence.
+    churn_rng: SimRng,
     obs: Option<FaultObs>,
 }
 
@@ -322,6 +440,7 @@ impl FaultInjector {
             trigger_rng: rng.split("faults.trigger"),
             crc_rng: rng.split("faults.crc"),
             lifecycle_rng: rng.split("faults.lifecycle"),
+            churn_rng: rng.split("faults.churn"),
             obs: None,
         }
     }
@@ -603,6 +722,11 @@ impl FaultInjector {
         &mut self.lifecycle_rng
     }
 
+    /// The churn RNG stream (cold-boot offset draws of plan-driven joins).
+    pub fn churn_rng(&mut self) -> &mut SimRng {
+        &mut self.churn_rng
+    }
+
     /// Record a node crash.
     pub fn note_crash(&mut self, now: SimTime, n: usize) {
         self.count_instant(now, n, "fault_crash", |o| &o.crashes);
@@ -719,6 +843,39 @@ mod tests {
         assert_eq!(crash.crash_windows(), vec![(2, t(5), Some(t(9)))]);
         let dead = FaultInjector::new(&FaultPlan::crash(2, t(5), None), &SimRng::new(1));
         assert_eq!(dead.crash_windows(), vec![(2, t(5), None)]);
+    }
+
+    #[test]
+    fn churn_plan_builders_and_initially_down() {
+        let plan = ChurnPlan::new()
+            .leave(1, t(10))
+            .join(1, t(14))
+            .join(3, t(6))
+            .move_to(0, t(8), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events().len(), 4);
+        assert_eq!(plan.events()[3].kind, ChurnKind::Move { to_lan: 2 });
+        // Node 3's first event (by time) is a Join: it starts dark. Node 1
+        // leaves before it rejoins, so it starts up.
+        assert_eq!(
+            plan.initially_down(5),
+            vec![false, false, false, true, false]
+        );
+        assert!(ChurnPlan::new().is_empty());
+        assert_eq!(ChurnPlan::new().initially_down(3), vec![false; 3]);
+    }
+
+    #[test]
+    fn churn_stream_is_independent_of_lifecycle() {
+        // Drawing from the churn stream must not disturb the lifecycle
+        // stream's sequence (a churn plan composes with a fault plan).
+        let mut a = FaultInjector::new(&FaultPlan::new(), &SimRng::new(77));
+        let mut b = FaultInjector::new(&FaultPlan::new(), &SimRng::new(77));
+        let _ = b.churn_rng().below(1_000);
+        assert_eq!(
+            a.lifecycle_rng().below(1_000_000),
+            b.lifecycle_rng().below(1_000_000)
+        );
     }
 
     #[test]

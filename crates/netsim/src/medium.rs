@@ -44,6 +44,11 @@ pub struct MediumConfig {
     pub slot_time: SimDuration,
     /// Access behaviour.
     pub access: AccessModel,
+    /// ECN-style congestion marking: a grant whose access delay (the
+    /// queue-occupancy proxy of this serialized-arbiter model) exceeds the
+    /// threshold is marked, and receivers may down-weight or discard the
+    /// carried CSP. `None` disables marking entirely.
+    pub ecn_threshold: Option<SimDuration>,
 }
 
 impl MediumConfig {
@@ -55,6 +60,7 @@ impl MediumConfig {
             ifg: SimDuration::from_micros(10),        // 96 bit times briefly above 9.6us
             slot_time: SimDuration::from_micros(51),  // 512 bit times
             access: AccessModel::CsmaCd,
+            ecn_threshold: None,
         }
     }
 
@@ -77,6 +83,10 @@ pub struct Grant {
     pub wire_end: SimTime,
     /// How long the transmitter had to defer past its ready time.
     pub access_delay: SimDuration,
+    /// Congestion-marked: the access delay exceeded the segment's ECN
+    /// threshold (always `false` when marking is disabled). The mark rides
+    /// the frame to its receivers.
+    pub marked: bool,
 }
 
 /// Pre-resolved observability handles for one segment (see
@@ -89,6 +99,7 @@ struct MediumObs {
     grants: Arc<Counter>,
     deferrals: Arc<Counter>,
     backoffs: Arc<Counter>,
+    ecn_marks: Arc<Counter>,
     access_delay_ns: Arc<Histogram>,
     util_permille: Arc<Gauge>,
 }
@@ -103,6 +114,8 @@ pub struct Medium {
     rng: SimRng,
     grants: u64,
     deferrals: u64,
+    /// Grants that exceeded the ECN threshold (0 when marking is off).
+    marks: u64,
     /// Total channel-occupied time (serialization), for utilization.
     busy_total: SimDuration,
     /// Fault-injected extra one-way propagation delay (congestion episode).
@@ -122,6 +135,7 @@ impl Medium {
             rng,
             grants: 0,
             deferrals: 0,
+            marks: 0,
             busy_total: SimDuration::ZERO,
             extra_prop: SimDuration::ZERO,
             partitioned: false,
@@ -145,6 +159,9 @@ impl Medium {
                     .expect("enabled"),
                 backoffs: obs
                     .counter(MetricKey::node(lan, "net", "backoff_rounds"))
+                    .expect("enabled"),
+                ecn_marks: obs
+                    .counter(MetricKey::node(lan, "net", "ecn_marks"))
                     .expect("enabled"),
                 access_delay_ns: obs
                     .hist(MetricKey::node(lan, "net", "access_delay_ns"))
@@ -248,6 +265,10 @@ impl Medium {
         self.busy_total += serialize;
         self.grants += 1;
         let access_delay = start.saturating_since(ready);
+        let marked = self.cfg.ecn_threshold.is_some_and(|th| access_delay > th);
+        if marked {
+            self.marks += 1;
+        }
         if let Some(o) = &self.obs {
             o.grants.inc();
             if contended {
@@ -255,6 +276,9 @@ impl Medium {
             }
             if backoff_slots.is_some() {
                 o.backoffs.inc();
+            }
+            if marked {
+                o.ecn_marks.inc();
             }
             o.access_delay_ns.record(fs_to_ns(access_delay.as_fs()));
             if end.as_fs() > 0 {
@@ -300,6 +324,7 @@ impl Medium {
             wire_start: start,
             wire_end: end,
             access_delay,
+            marked,
         }
     }
 
@@ -315,6 +340,11 @@ impl Medium {
     /// Counters for instrumentation: `(grants, deferrals)`.
     pub fn stats(&self) -> (u64, u64) {
         (self.grants, self.deferrals)
+    }
+
+    /// Number of congestion-marked grants so far.
+    pub fn ecn_marks(&self) -> u64 {
+        self.marks
     }
 }
 
@@ -410,6 +440,34 @@ mod tests {
             assert!(g.wire_start >= last_end, "overlap at grant {i}");
             last_end = g.wire_end;
         }
+    }
+
+    #[test]
+    fn ecn_marks_only_above_threshold() {
+        // Threshold just above the IFG: an uncontended grant (access delay
+        // == IFG) stays clean, a queued-behind-a-frame grant is marked.
+        let mut cfg = MediumConfig {
+            access: AccessModel::Ideal,
+            ..MediumConfig::ethernet_10m()
+        };
+        cfg.ecn_threshold = Some(cfg.ifg + SimDuration::from_micros(1));
+        let mut m = Medium::new(cfg, SimRng::new(7));
+        let g1 = m.grant(SimTime::from_secs(1), 10_000); // idle channel
+        assert!(!g1.marked);
+        let g2 = m.grant(SimTime::from_secs(1), 10_000); // waits ~1 ms
+        assert!(g2.marked, "queued grant must carry the congestion mark");
+        assert_eq!(m.ecn_marks(), 1);
+    }
+
+    #[test]
+    fn ecn_disabled_never_marks() {
+        let mut m = medium(AccessModel::CsmaCd);
+        assert_eq!(m.config().ecn_threshold, None);
+        for i in 0..50 {
+            let g = m.grant(SimTime::from_millis(i), 10_000);
+            assert!(!g.marked);
+        }
+        assert_eq!(m.ecn_marks(), 0);
     }
 
     #[test]

@@ -97,6 +97,76 @@ impl Topology {
         }
     }
 
+    /// A multi-hop mesh: a fanout-`fanout` tree of LAN segments of the
+    /// given `depth` (depth 1 = a single segment), `per_lan` ordinary nodes
+    /// per segment, and one bridge gateway per parent–child segment pair.
+    /// This is the "ad hoc network of clocks" shape: leaf segments reach
+    /// the rest of the mesh only through their chain of bridge nodes, so
+    /// time crosses up to `2·(depth−1)` bridge hops. Node ids: ordinary
+    /// nodes first (LAN-major, level order), then gateways (one per
+    /// non-root LAN, in LAN order).
+    pub fn mesh_tree(depth: usize, fanout: usize, per_lan: usize) -> Topology {
+        assert!(depth >= 1 && fanout >= 1);
+        // Level-order LAN ids: LAN 0 is the root; LAN l's children are
+        // found by construction order.
+        let mut parent: Vec<Option<LanId>> = vec![None];
+        let mut level_start = 0;
+        for _ in 1..depth {
+            let level_end = parent.len();
+            for p in level_start..level_end {
+                for _ in 0..fanout {
+                    parent.push(Some(p));
+                }
+            }
+            level_start = level_end;
+        }
+        let lans = parent.len();
+        let n_ordinary = lans * per_lan;
+        let n_gateways = lans - 1; // one bridge per non-root LAN
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); lans];
+        let mut attachments: Vec<Vec<LanId>> = vec![Vec::new(); n_ordinary + n_gateways];
+        for (lan, lan_members) in members.iter_mut().enumerate() {
+            for k in 0..per_lan {
+                let id = lan * per_lan + k;
+                lan_members.push(id);
+                attachments[id].push(lan);
+            }
+        }
+        for (lan, up) in parent.iter().enumerate().skip(1) {
+            let id = n_ordinary + lan - 1;
+            let up = up.expect("non-root LAN has a parent");
+            for l in [up, lan] {
+                members[l].push(id);
+                attachments[id].push(l);
+            }
+        }
+        Topology {
+            members,
+            attachments,
+        }
+    }
+
+    /// Move an ordinary (single-attachment) node to another segment — the
+    /// churn `Move` primitive. Gateways cannot move (their SSU wiring is
+    /// the bridge), and the destination must exist. Membership order on the
+    /// destination segment is append-order, which keeps the mutation
+    /// deterministic for a given event sequence.
+    pub fn move_node(&mut self, node: NodeId, to_lan: LanId) {
+        assert!(to_lan < self.members.len(), "move target LAN out of range");
+        assert_eq!(
+            self.attachments[node].len(),
+            1,
+            "only ordinary (non-gateway) nodes can move"
+        );
+        let from = self.attachments[node][0];
+        if from == to_lan {
+            return;
+        }
+        self.members[from].retain(|&m| m != node);
+        self.members[to_lan].push(node);
+        self.attachments[node][0] = to_lan;
+    }
+
     /// Number of LAN segments.
     pub fn lan_count(&self) -> usize {
         self.members.len()
@@ -205,6 +275,52 @@ mod tests {
         // Redundancy 1 degenerates to the plain chain.
         let t1 = Topology::chain_of_lans_redundant(3, 2, 1);
         assert_eq!(t1.node_count(), Topology::chain_of_lans(3, 2).node_count());
+    }
+
+    #[test]
+    fn mesh_tree_shape_and_bridges() {
+        // Depth 3, fanout 2: 1 + 2 + 4 = 7 LANs, 6 bridges.
+        let t = Topology::mesh_tree(3, 2, 2);
+        assert_eq!(t.lan_count(), 7);
+        assert_eq!(t.node_count(), 7 * 2 + 6);
+        let gws: Vec<usize> = (0..t.node_count()).filter(|&n| t.is_gateway(n)).collect();
+        assert_eq!(gws.len(), 6);
+        for g in &gws {
+            assert_eq!(t.attachments(*g).len(), 2);
+        }
+        // LAN 3 is a child of LAN 1 (level order): its bridge attaches to both.
+        assert_eq!(t.attachments(14 + 2), &[1, 3]);
+        // Leaf-to-leaf crosses the root: node 6 (LAN 3) to node 12 (LAN 6)
+        // goes via bridges 16 → 14 → 15 → 19.
+        assert_eq!(t.hop_distance(6, 12), Some(5));
+        // Depth 1 degenerates to a single LAN.
+        let t1 = Topology::mesh_tree(1, 2, 4);
+        assert_eq!(t1.lan_count(), 1);
+        assert_eq!(t1.node_count(), 4);
+    }
+
+    #[test]
+    fn move_node_rewires_membership() {
+        let mut t = Topology::mesh_tree(2, 2, 2);
+        // Node 0 starts on the root LAN.
+        assert_eq!(t.attachments(0), &[0]);
+        t.move_node(0, 2);
+        assert_eq!(t.attachments(0), &[2]);
+        assert!(!t.members(0).contains(&0));
+        assert!(t.members(2).contains(&0));
+        assert_eq!(t.attachment_index(0, 2), Some(0), "SSU index is stable");
+        // Moving to the current LAN is a no-op (membership order intact).
+        let before = t.members(2).to_vec();
+        t.move_node(0, 2);
+        assert_eq!(t.members(2), &before[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-gateway")]
+    fn gateways_cannot_move() {
+        let mut t = Topology::mesh_tree(2, 2, 2);
+        let gw = (0..t.node_count()).find(|&n| t.is_gateway(n)).unwrap();
+        t.move_node(gw, 0);
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub struct MonitorConfig {
 /// One invariant violation, with the context of the offense.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
-    /// Monitor name: `"containment"`, `"precision"`, `"monotonic"` or
-    /// `"trigger_latency"`.
+    /// Monitor name: `"containment"`, `"precision"`, `"monotonic"`,
+    /// `"trigger_latency"` or `"holdover_containment"`.
     pub monitor: &'static str,
     /// Simulation time of the offense (femtoseconds).
     pub sim_time_fs: u128,
@@ -99,12 +99,20 @@ const CONTAINMENT: usize = 0;
 const PRECISION: usize = 1;
 const MONOTONIC: usize = 2;
 const TRIGGER_LATENCY: usize = 3;
-const NAMES: [&str; 4] = ["containment", "precision", "monotonic", "trigger_latency"];
-const EVENT_KINDS: [&str; 4] = [
+const HOLDOVER_CONTAINMENT: usize = 4;
+const NAMES: [&str; 5] = [
+    "containment",
+    "precision",
+    "monotonic",
+    "trigger_latency",
+    "holdover_containment",
+];
+const EVENT_KINDS: [&str; 5] = [
     "viol_containment",
     "viol_precision",
     "viol_monotonic",
     "viol_trigger_latency",
+    "viol_holdover_containment",
 ];
 
 /// The online monitor bank. Construct with [`Monitors::new`]; the
@@ -115,7 +123,7 @@ const EVENT_KINDS: [&str; 4] = [
 pub struct Monitors {
     obs: SimObserver,
     cfg: MonitorConfig,
-    states: [MonitorState; 4],
+    states: [MonitorState; 5],
     /// Last sampled clock reading per node (femtoseconds), for the
     /// monotonicity check. `None` until the first sample or after a
     /// crash/restart reset.
@@ -144,6 +152,7 @@ impl Monitors {
                 state(PRECISION),
                 state(MONOTONIC),
                 state(TRIGGER_LATENCY),
+                state(HOLDOVER_CONTAINMENT),
             ],
             last_clock: vec![None; nodes],
         })
@@ -171,6 +180,34 @@ impl Monitors {
             CONTAINMENT,
             Violation {
                 monitor: NAMES[CONTAINMENT],
+                sim_time_fs: t_fs,
+                node: Some(node),
+                observed_fs: excursion_fs,
+                bound_fs: 0,
+            },
+        );
+    }
+
+    /// Feed one containment observation for a node in **holdover**: its
+    /// clock free-runs on the last trimmed rate while the ACU keeps
+    /// deteriorating the interval at the bounded-drift rate, so reference
+    /// time must *still* lie inside the interval. Tracked as a separate
+    /// monitor so holdover quality is attributable independently of the
+    /// synchronized-path containment guarantee.
+    pub fn holdover_containment(
+        &mut self,
+        t_fs: u128,
+        node: u32,
+        contained: bool,
+        excursion_fs: i128,
+    ) {
+        if !self.cfg.check_containment || contained {
+            return;
+        }
+        self.raise(
+            HOLDOVER_CONTAINMENT,
+            Violation {
+                monitor: NAMES[HOLDOVER_CONTAINMENT],
                 sim_time_fs: t_fs,
                 node: Some(node),
                 observed_fs: excursion_fs,
@@ -335,6 +372,29 @@ mod tests {
             .counter(MetricKey::global("monitor", "viol_containment"))
             .unwrap();
         assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn holdover_containment_is_tracked_separately() {
+        let (obs, mut m) = bank(MonitorConfig {
+            check_containment: true,
+            ..Default::default()
+        });
+        m.holdover_containment(10, 3, true, 0);
+        assert_eq!(m.total(), 0);
+        m.holdover_containment(20, 3, false, 700);
+        assert_eq!(m.total(), 1);
+        // The synchronized-path containment monitor stays clean.
+        let rows = m.by_monitor();
+        assert_eq!(rows[0], ("containment", 0, None));
+        let (name, count, first) = rows[4];
+        assert_eq!(name, "holdover_containment");
+        assert_eq!(count, 1);
+        assert_eq!(first.unwrap().node, Some(3));
+        let c = obs
+            .counter(MetricKey::global("monitor", "viol_holdover_containment"))
+            .unwrap();
+        assert_eq!(c.get(), 1);
     }
 
     #[test]

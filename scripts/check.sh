@@ -25,6 +25,10 @@ echo "== fault-matrix smoke run (e16_chaos --smoke) =="
 NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e16_chaos -- --smoke \
   || { echo "check.sh: chaos smoke failed (containment or reintegration)" >&2; exit 1; }
 
+echo "== churn-matrix smoke run (e18_churn --smoke) =="
+NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e18_churn -- --smoke \
+  || { echo "check.sh: churn smoke failed (final states, containment, recovery, or bit-identity)" >&2; exit 1; }
+
 echo "== engine scheduler smoke run (e17_engine_perf --smoke) =="
 NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e17_engine_perf -- --smoke \
   || { echo "check.sh: engine smoke failed (backend divergence or throughput regression)" >&2; exit 1; }

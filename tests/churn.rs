@@ -1,0 +1,250 @@
+//! Churn-tolerance scenarios across the full stack: plan-driven
+//! leave/join/move membership, the holdover state machine under
+//! partitions, reintegration quorum, per-restart recovery accounting, and
+//! congestion-aware CSP discounting.
+
+use nti::core::cluster::{Cluster, ClusterConfig, Report};
+use nti::core::params::AlgoKind;
+use nti::core::CongestionPolicy;
+use nti::faults::{ChurnPlan, FaultEpisode, FaultKind, FaultPlan, FaultTarget};
+use nti::netsim::Topology;
+use nti::prelude::*;
+use nti::simcore::SimTime;
+
+fn base(n: usize, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default_lan(n, seed);
+    cfg.duration = SimDuration::from_secs(20);
+    cfg.warmup = SimDuration::from_secs(8);
+    cfg
+}
+
+fn partition(node: usize, from: u64, until: u64) -> FaultEpisode {
+    FaultEpisode {
+        from: SimTime::from_secs(from),
+        until: SimTime::from_secs(until),
+        target: FaultTarget::Node(node),
+        kind: FaultKind::Partition,
+    }
+}
+
+#[test]
+fn every_restart_is_measured() {
+    // Two crash/restart cycles on the same node. The second crash lands
+    // inside the first trajectory's tracking window, so restart #1 must be
+    // recorded as interrupted (−1) — not silently dropped, and not
+    // overwritten by restart #2 (the pre-fix behaviour kept only the
+    // first).
+    let mut cfg = base(6, 41);
+    cfg.f = 1;
+    cfg.duration = SimDuration::from_secs(26);
+    cfg.warmup = SimDuration::from_secs(6);
+    cfg.fault_plan = FaultPlan::crash(2, SimTime::from_secs(8), Some(SimTime::from_secs(11))).with(
+        FaultEpisode {
+            from: SimTime::from_secs(14),
+            until: SimTime::from_secs(17),
+            target: FaultTarget::Node(2),
+            kind: FaultKind::Crash,
+        },
+    );
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(rep.churn, (2, 2), "two crashes, two rejoins: {rep:?}");
+    assert_eq!(
+        rep.rejoin_recoveries.len(),
+        2,
+        "every restart opens its own trajectory: {rep:?}"
+    );
+    assert_eq!(
+        rep.rejoin_recoveries[0], -1,
+        "restart #1 was interrupted by crash #2: {rep:?}"
+    );
+    assert!(
+        (1..=3).contains(&rep.rejoin_recoveries[1]),
+        "restart #2 recovery: {rep:?}"
+    );
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+}
+
+#[test]
+fn restart_inside_partition_stays_reintegrating() {
+    // Six nodes; {2,3,4} are partitioned away for the rest of the run and
+    // node 5 restarts inside the partition. It can only ever hear {0,1} —
+    // two of its five peers, below the ⌈5/2⌉ = 3 reintegration quorum — so
+    // it must hold its cold interval and stay `reintegrating` instead of
+    // declaring itself recovered off a minority island.
+    let mut cfg = base(6, 42);
+    cfg.f = 1;
+    // OA needs ≥ 3 intervals with f = 1; Marzullo's function is the
+    // convergence function that stays live for the 2-node majority island.
+    cfg.algo = AlgoKind::IntervalMarzullo;
+    cfg.fault_plan = FaultPlan::crash(5, SimTime::from_secs(9), Some(SimTime::from_secs(11)))
+        .with(partition(2, 9, 20))
+        .with(partition(3, 9, 20))
+        .with(partition(4, 9, 20));
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(rep.churn, (1, 0), "restarted but never rejoined: {rep:?}");
+    assert_eq!(
+        rep.final_states[5], "reintegrating",
+        "below-quorum restart must not complete: {rep:?}"
+    );
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+}
+
+#[test]
+fn reintegration_completes_when_partition_lifts() {
+    // Same shape, but the partition lifts at 17 s: the isolated trio rides
+    // through holdover on honestly widening intervals (containment never
+    // breaks) — long enough that the first re-entry probe times out and
+    // frozen backoff rounds accrue — and the restarted node completes
+    // reintegration once a real quorum is audible again. Everyone ends the
+    // run synchronized.
+    let mut cfg = base(6, 43);
+    cfg.f = 1;
+    cfg.algo = AlgoKind::IntervalMarzullo;
+    cfg.fault_plan = FaultPlan::crash(5, SimTime::from_secs(9), Some(SimTime::from_secs(11)))
+        .with(partition(2, 9, 17))
+        .with(partition(3, 9, 17))
+        .with(partition(4, 9, 17));
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(
+        rep.churn,
+        (1, 1),
+        "partition lift completes rejoin: {rep:?}"
+    );
+    assert!(
+        rep.holdover_rounds > 0,
+        "the isolated trio must pass through holdover: {rep:?}"
+    );
+    assert!(
+        rep.final_states.iter().all(|&s| s == "synchronized"),
+        "all nodes recover after the lift: {rep:?}"
+    );
+    assert_eq!(
+        rep.containment.0, 0,
+        "holdover intervals must stay honest: {rep:?}"
+    );
+}
+
+#[test]
+fn duplicate_csps_survive_a_restart() {
+    // Every frame duplicated on the wire while a node crashes and rejoins:
+    // first-stamp-stands suppression must hold across the restart (the
+    // fresh core re-accepts the new incarnation's CSPs but still rejects
+    // same-round copies), and the ensemble keeps its promise.
+    let mut cfg = base(5, 44);
+    cfg.f = 1;
+    cfg.fault_plan = FaultPlan::crash(2, SimTime::from_secs(10), Some(SimTime::from_secs(13)))
+        .with(FaultEpisode {
+            from: SimTime::from_secs(6),
+            until: SimTime::from_secs(18),
+            target: FaultTarget::All,
+            kind: FaultKind::PacketDuplicate { rate: 1.0 },
+        });
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(rep.churn, (1, 1), "{rep:?}");
+    assert!(rep.csps.1 > 50, "CSPs must keep flowing: {rep:?}");
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+    assert!(
+        rep.worst_precision_s < 50e-6,
+        "duplicates must not drag precision: {}",
+        rep.worst_precision_s
+    );
+}
+
+#[test]
+fn churn_plan_drives_membership_on_a_mesh() {
+    // Depth-2 mesh: node 5 (a leaf-segment node) leaves and rejoins, node
+    // 2 roams to the root segment. Counters attribute each primitive and
+    // every node ends the run synchronized.
+    let mut cfg = base(0, 45);
+    cfg.topology = Topology::mesh_tree(2, 2, 2);
+    cfg.f = 0;
+    cfg.rate_sync = true;
+    cfg.duration = SimDuration::from_secs(30);
+    cfg.warmup = SimDuration::from_secs(12);
+    cfg.churn_plan = ChurnPlan::new()
+        .leave(5, SimTime::from_secs(14))
+        .join(5, SimTime::from_secs(18))
+        .move_to(2, SimTime::from_secs(16), 0);
+    let rep = Cluster::new(cfg).run();
+    assert_eq!(rep.membership, (1, 1, 1), "join/leave/move: {rep:?}");
+    assert_eq!(rep.churn, (1, 1), "leave/join is a full cycle: {rep:?}");
+    assert!(
+        rep.final_states.iter().all(|&s| s == "synchronized"),
+        "{rep:?}"
+    );
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+}
+
+#[test]
+fn congestion_discounting_counts_marks_and_holds_containment() {
+    let mut cfg = base(4, 46);
+    cfg.f = 1;
+    cfg.medium.ecn_threshold = Some(SimDuration::from_micros(200));
+    cfg.bg_load = Some(nti::core::cluster::BgLoad {
+        frames_per_sec: 40.0,
+        frame_bytes: 700,
+    });
+    cfg.congestion = CongestionPolicy::Discount { widen_factor: 4 };
+    let rep = Cluster::new(cfg).run();
+    let (marked, discounted, discarded) = rep.congestion;
+    assert!(marked > 0, "background load must queue CSPs: {rep:?}");
+    assert_eq!(discounted, marked, "Discount covers every mark: {rep:?}");
+    assert_eq!(discarded, 0, "{rep:?}");
+    assert_eq!(rep.containment.0, 0, "{rep:?}");
+}
+
+#[test]
+fn empty_churn_plan_matches_no_churn() {
+    // The membership machinery must be invisible until a plan says
+    // otherwise: an explicitly-empty plan, and a plan whose only event
+    // lies beyond the simulation horizon, are both bit-identical to the
+    // untouched configuration.
+    let run = |plan: Option<ChurnPlan>| -> String {
+        let mut cfg = base(4, 47);
+        if let Some(p) = plan {
+            cfg.churn_plan = p;
+        }
+        format!("{:?}", Cluster::new(cfg).run())
+    };
+    let untouched = run(None);
+    let empty = run(Some(ChurnPlan::new()));
+    let beyond = run(Some(ChurnPlan::new().leave(1, SimTime::from_secs(10_000))));
+    assert_eq!(untouched, empty, "empty plan must be a no-op");
+    assert_eq!(untouched, beyond, "beyond-horizon events must be a no-op");
+}
+
+/// The churn-plan catalogue the determinism property samples from.
+fn churn_catalog(idx: usize) -> ChurnPlan {
+    match idx {
+        0 => ChurnPlan::new(),
+        1 => ChurnPlan::new()
+            .leave(2, SimTime::from_secs(4))
+            .join(2, SimTime::from_secs(6)),
+        _ => ChurnPlan::new()
+            .join(1, SimTime::from_secs(5)) // dark start
+            .leave(3, SimTime::from_secs(4))
+            .join(3, SimTime::from_secs(7)),
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(6))]
+    /// Determinism: identical seed + identical churn/congestion plan must
+    /// reproduce the whole Report bit-for-bit (the named `faults.churn`
+    /// RNG stream never leaks into or borrows from other streams).
+    #[test]
+    fn same_seed_and_churn_plan_reproduce_bitwise(seed in 0u64..(1 << 16), idx in 0usize..3) {
+        let run = || -> Report {
+            let mut cfg = base(5, seed);
+            cfg.f = 1;
+            cfg.duration = SimDuration::from_secs(10);
+            cfg.warmup = SimDuration::from_secs(4);
+            cfg.churn_plan = churn_catalog(idx);
+            cfg.medium.ecn_threshold = Some(SimDuration::from_micros(200));
+            cfg.congestion = CongestionPolicy::Discount { widen_factor: 4 };
+            Cluster::new(cfg).run()
+        };
+        let (a, b) = (run(), run());
+        proptest::prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
