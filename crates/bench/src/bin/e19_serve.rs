@@ -1,0 +1,287 @@
+//! E19 — serving real NTP traffic from the simulated ensemble.
+//!
+//! A live cluster runs in its own thread, publishing a status frame into
+//! the seqlock [`StatusCell`] on every HWSNAP sweep; `nti-serve` shards
+//! answer real NTPv4 datagrams over loopback from those frames while the
+//! built-in closed-loop load generator hammers them and validates every
+//! response — origin echo, well-formedness, and the wire containment
+//! invariant `reference ∈ [transmit − rootdisp, transmit + rootdisp]`.
+//!
+//! Printed: sustained queries/sec, the RTT distribution
+//! (p50/p99/p999/max), server-side counters, and the simulation's own
+//! report for the same span. One line is appended to `BENCH_serve.json`
+//! so qps and tail latency accrete a trajectory across runs.
+//!
+//! `--smoke` (CI gate, with `NTI_EXP_FAST=1`): a ~1k-query loopback run
+//! that must show zero malformed responses, zero containment violations,
+//! zero loss, and a sane p99 — exit code 1 otherwise.
+
+use nti_bench::obs_cli::ObsOpts;
+use nti_bench::{append_bench, eng, fast_mode, header, record, secs, with_duration};
+use nti_core::cluster::{Cluster, ClusterConfig};
+use nti_core::status::StatusCell;
+use nti_obs::Json;
+use nti_serve::clock::ClockHandle;
+use nti_serve::loadgen::{self, LoadGenConfig, LoadReport};
+use nti_serve::server::{Server, ServerConfig, StatsSnapshot};
+use nti_simcore::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the bench shapes the run in each mode.
+struct Shape {
+    nodes: usize,
+    sim_duration: SimDuration,
+    shards: usize,
+    workers: usize,
+    queries_per_worker: u64,
+}
+
+fn shape(smoke: bool) -> Shape {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    if smoke {
+        Shape {
+            nodes: 4,
+            sim_duration: secs(60, 12),
+            shards: 2,
+            workers: 2,
+            queries_per_worker: 500,
+        }
+    } else {
+        Shape {
+            nodes: 8,
+            sim_duration: secs(600, 60),
+            shards: cores.clamp(2, 8),
+            workers: (cores * 2).clamp(4, 16),
+            queries_per_worker: if fast_mode() { 10_000 } else { 100_000 },
+        }
+    }
+}
+
+/// Drive the simulation concurrently with serving: advance in
+/// snapshot-sized chunks (each publishes one frame) with a short wall
+/// pause between chunks, until the load run signals completion or the
+/// configured sim duration runs out. The serving threads only ever read
+/// the cell, and the publisher is wait-free, so neither side can stall
+/// the other — this thread's pacing is purely to keep frames flowing for
+/// the whole wall-clock span of the load run.
+fn sim_thread(
+    cfg: ClusterConfig,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<nti_core::cluster::Report> {
+    std::thread::spawn(move || {
+        let chunk = cfg.snapshot_every;
+        let end = SimTime::ZERO + cfg.duration;
+        let mut cluster = Cluster::new(cfg);
+        let mut t = SimTime::ZERO;
+        while !stop.load(Relaxed) && t < end {
+            t += chunk;
+            cluster.advance_until(t);
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let (report, _) = cluster.finish();
+        report
+    })
+}
+
+fn quantiles(rep: &LoadReport) -> (u64, u64, u64, u64) {
+    let h = &rep.rtt_ns;
+    (
+        h.quantile(0.50),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.max(),
+    )
+}
+
+fn bench_json(
+    shape: &Shape,
+    reuseport: bool,
+    load: &LoadReport,
+    stats: &StatsSnapshot,
+    report: &nti_core::cluster::Report,
+) -> Json {
+    let (p50, p99, p999, max) = quantiles(load);
+    Json::obj([
+        ("experiment", Json::str("e19_serve")),
+        ("fast_mode", Json::Bool(fast_mode())),
+        ("nodes", Json::num(shape.nodes as f64)),
+        ("shards", Json::num(shape.shards as f64)),
+        ("reuseport", Json::Bool(reuseport)),
+        ("workers", Json::num(shape.workers as f64)),
+        ("sent", Json::num(load.sent as f64)),
+        ("received", Json::num(load.received as f64)),
+        ("qps", Json::num(load.qps())),
+        ("rtt_p50_ns", Json::num(p50 as f64)),
+        ("rtt_p99_ns", Json::num(p99 as f64)),
+        ("rtt_p999_ns", Json::num(p999 as f64)),
+        ("rtt_max_ns", Json::num(max as f64)),
+        ("timeouts", Json::num(load.timeouts as f64)),
+        ("malformed", Json::num(load.malformed as f64)),
+        ("kod", Json::num(load.kod as f64)),
+        (
+            "containment_checks",
+            Json::num(load.containment_checks as f64),
+        ),
+        (
+            "containment_violations",
+            Json::num(load.containment_violations as f64),
+        ),
+        ("server_queries", Json::num(stats.queries as f64)),
+        ("server_send_errors", Json::num(stats.send_errors as f64)),
+        ("sim_precision_worst_s", Json::num(report.worst_precision_s)),
+        (
+            "sim_containment_violations",
+            Json::num(report.containment.0 as f64),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let opts = ObsOpts::from_env();
+    let obs = opts.observer();
+    let sh = shape(smoke);
+
+    println!(
+        "E19: NTP front-end over the simulated ensemble \
+         ({} nodes, {} shards, {} closed-loop workers)",
+        sh.nodes, sh.shards, sh.workers
+    );
+    println!();
+
+    // Simulation side: a healthy LAN ensemble publishing into the cell.
+    let cell = Arc::new(StatusCell::new(sh.nodes));
+    let mut cfg = with_duration(ClusterConfig::default_lan(sh.nodes, 0xE19), sh.sim_duration);
+    cfg.status_cell = Some(Arc::clone(&cell));
+    let stop = Arc::new(AtomicBool::new(false));
+    let sim = sim_thread(cfg, Arc::clone(&stop));
+
+    // Serving side: bind the shards on node 0's clock.
+    let server = match Server::bind(
+        &ServerConfig {
+            shards: sh.shards,
+            ..ServerConfig::default()
+        },
+        ClockHandle::new(Arc::clone(&cell), 0),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            // Sandboxes without loopback sockets cannot run this
+            // experiment at all; the smoke gate treats that as skip, not
+            // failure, mirroring the crate's socket-gated tests.
+            eprintln!("e19: cannot bind loopback sockets ({e}); skipping");
+            stop.store(true, Relaxed);
+            let _ = sim.join();
+            return;
+        }
+    };
+    let reuseport = server.reuseport();
+    let targets: Vec<_> = server.local_addrs().to_vec();
+    println!(
+        "bound {} shard socket(s), reuseport group: {}",
+        targets.len(),
+        if reuseport { "yes" } else { "no (fallback)" }
+    );
+    let running = server.start();
+
+    // Don't open fire until the first frame exists (otherwise the first
+    // few queries draw KoD INIT by design, which the gate would flag).
+    while cell.read().publishes == 0 {
+        std::thread::yield_now();
+    }
+
+    let load = loadgen::run(
+        &LoadGenConfig {
+            workers: sh.workers,
+            queries_per_worker: sh.queries_per_worker,
+            timeout: Duration::from_secs(1),
+        },
+        &targets,
+    )
+    .expect("load generator");
+
+    stop.store(true, Relaxed);
+    let stats = running.stop(&obs);
+    let report = sim.join().expect("sim thread");
+
+    let (p50, p99, p999, max) = quantiles(&load);
+    let h = "metric                          value";
+    header(h);
+    println!("queries sent                    {}", load.sent);
+    println!("responses validated             {}", load.received);
+    println!("sustained qps                   {:.0}", load.qps());
+    println!("rtt p50                         {}", eng(p50 as f64 / 1e9));
+    println!("rtt p99                         {}", eng(p99 as f64 / 1e9));
+    println!("rtt p999                        {}", eng(p999 as f64 / 1e9));
+    println!("rtt max                         {}", eng(max as f64 / 1e9));
+    println!("timeouts                        {}", load.timeouts);
+    println!("malformed responses             {}", load.malformed);
+    println!("origin mismatches               {}", load.origin_mismatches);
+    println!("kiss-o'-death                   {}", load.kod);
+    println!(
+        "containment (viol/checks)       {}/{}",
+        load.containment_violations, load.containment_checks
+    );
+    println!(
+        "sim precision (worst)           {}",
+        eng(report.worst_precision_s)
+    );
+    println!(
+        "sim containment (viol/checks)   {}/{}",
+        report.containment.0, report.containment.1
+    );
+
+    let line = bench_json(&sh, reuseport, &load, &stats, &report);
+    append_bench("BENCH_serve.json", &line);
+    record("e19_serve", if smoke { "smoke" } else { "full" }, &line);
+    opts.finish(&obs);
+
+    if smoke {
+        let expected = sh.workers as u64 * sh.queries_per_worker;
+        let mut failures = Vec::new();
+        if load.malformed > 0 {
+            failures.push(format!("{} malformed responses", load.malformed));
+        }
+        if load.origin_mismatches > 0 {
+            failures.push(format!("{} origin mismatches", load.origin_mismatches));
+        }
+        if load.containment_violations > 0 {
+            failures.push(format!(
+                "{} containment violations",
+                load.containment_violations
+            ));
+        }
+        if load.received != expected {
+            failures.push(format!(
+                "lost queries: {} received of {expected}",
+                load.received
+            ));
+        }
+        if load.kod > 0 {
+            failures.push(format!("{} KoD from a healthy ensemble", load.kod));
+        }
+        // Generous CI bound: loopback p99 is tens of µs on any machine;
+        // 10 ms means something is queueing pathologically.
+        if p99 > 10_000_000 {
+            failures.push(format!("p99 {} ns exceeds 10 ms", p99));
+        }
+        if report.containment.0 > 0 {
+            failures.push(format!(
+                "simulation reported {} containment violations",
+                report.containment.0
+            ));
+        }
+        if failures.is_empty() {
+            println!("\nsmoke: PASS ({expected} queries served cleanly)");
+        } else {
+            for f in &failures {
+                eprintln!("smoke FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 //! Shared harness utilities for the NTI reproduction experiments.
 //!
-//! Each experiment from DESIGN.md §5 is a binary in `src/bin/` printing the
+//! Each experiment from DESIGN.md §6 is a binary in `src/bin/` printing the
 //! table/series the corresponding paper claim describes:
 //!
 //! | binary | reproduces |

@@ -9,8 +9,8 @@
 //!   extension produces Chrome `trace_event` format (open in
 //!   `chrome://tracing` or Perfetto), anything else JSONL;
 //! * `--trace-subsystems <spec>` — comma-separated subsystem filter
-//!   (`engine,net,kernel,utcsu,cluster,gps,app` or `all`; default `all`
-//!   when `--trace-out` is given).
+//!   (`engine,net,kernel,utcsu,cluster,gps,app,faults,serve` or `all`;
+//!   default `all` when `--trace-out` is given).
 
 use nti_obs::{SimObserver, Subsystem};
 use std::path::PathBuf;
@@ -55,8 +55,8 @@ impl ObsOpts {
                                     .any(|s| part.eq_ignore_ascii_case(s.name()));
                             if !known {
                                 eprintln!(
-                                    "warning: unknown trace subsystem {part:?} \
-                                     (known: engine,net,kernel,utcsu,cluster,gps,app,faults,all)"
+                                    "warning: unknown trace subsystem {part:?} (known: \
+                                     engine,net,kernel,utcsu,cluster,gps,app,faults,serve,all)"
                                 );
                             }
                         }

@@ -30,6 +30,7 @@ use crate::params::{
 };
 use crate::payload::{CspPayload, CSP_PAYLOAD_LEN};
 use crate::rate::RateSync;
+use crate::status::{ClusterStatus, NodeStatus, StatusCell};
 use crate::validate::{gps_observation, validate, ValidationStats};
 use nti_faults::{ChurnEvent, ChurnKind, ChurnPlan, FaultInjector, FaultPlan};
 use nti_gps::{GpsConfig, GpsFault, GpsReceiver};
@@ -259,6 +260,13 @@ pub struct ClusterConfig {
     /// node's kernel and UTCSU, and the cluster-level round metrics.
     /// Disabled by default (one branch per instrumentation site).
     pub obs: SimObserver,
+    /// Mid-run status publication: when set, every HWSNAP sweep publishes
+    /// a [`ClusterStatus`] frame (per-node clock, α, health state) into
+    /// the seqlock cell. Reader threads — the `nti-serve` NTP front-end —
+    /// see the latest frame without ever blocking the simulation thread
+    /// (the publish is wait-free). `None` leaves runs bit-identical to
+    /// pre-status builds.
+    pub status_cell: Option<Arc<StatusCell>>,
     /// Event-queue backend for the simulation engine. `TimerWheel` is the
     /// production default; `BinaryHeap` keeps the original algorithm
     /// available for equivalence/regression runs (same seed ⇒ bit-identical
@@ -306,6 +314,7 @@ impl ClusterConfig {
             warmup: SimDuration::from_secs(5),
             precision_budget: None,
             obs: SimObserver::disabled(),
+            status_cell: None,
             engine_queue: QueueKind::TimerWheel,
         }
     }
@@ -560,6 +569,8 @@ pub struct World {
     app_pending: HashMap<u64, Vec<NtpTime>>,
     /// Measurements.
     pub metrics: Metrics,
+    /// Frames published into `cfg.status_cell` so far.
+    status_publishes: u64,
     obs: Option<ClusterObs>,
     /// Online invariant monitors (`None` when observability is off).
     monitors: Option<Monitors>,
@@ -588,6 +599,43 @@ impl World {
     /// (violation counts, first offenses).
     pub fn monitors(&self) -> Option<&Monitors> {
         self.monitors.as_ref()
+    }
+
+    /// A consistent mid-run snapshot of the ensemble at `now`: per-node
+    /// clock, accuracy interval and health state, plus the frame header.
+    /// This is what `Report.final_states` and the membership gauges cannot
+    /// give you — the state *while the run is still going* — and it is the
+    /// frame [`snapshot`] publishes into `ClusterConfig::status_cell`.
+    pub fn status(&mut self, now: SimTime) -> ClusterStatus {
+        let ref_fs = ref_time(self, now).as_fs();
+        let nodes = (0..self.nodes.len())
+            .map(|id| {
+                if self.down[id] {
+                    return NodeStatus {
+                        clock: NtpTime::ZERO,
+                        alpha_minus: SimDuration::ZERO,
+                        alpha_plus: SimDuration::ZERO,
+                        state: self.nodes[id].health.state(),
+                        down: true,
+                    };
+                }
+                self.nodes[id].advance(now);
+                let (am, ap) = self.nodes[id].nti.utcsu().alpha();
+                NodeStatus {
+                    clock: self.nodes[id].nti.utcsu().time(),
+                    alpha_minus: am.to_duration(),
+                    alpha_plus: ap.to_duration(),
+                    state: self.nodes[id].health.state(),
+                    down: false,
+                }
+            })
+            .collect();
+        ClusterStatus {
+            publishes: self.status_publishes,
+            sim_time_fs: now.as_fs(),
+            ref_time_fs: ref_fs,
+            nodes,
+        }
     }
 }
 
@@ -831,6 +879,13 @@ impl Cluster {
             cfg.cf_delta < cfg.round_period,
             "Δ must fit inside the round"
         );
+        if let Some(cell) = &cfg.status_cell {
+            assert_eq!(
+                cell.node_count(),
+                cfg.topology.node_count(),
+                "status cell must be sized for the cluster"
+            );
+        }
         let params = derive_params(&cfg);
         let root = SimRng::new(cfg.seed);
         let n = cfg.topology.node_count();
@@ -980,6 +1035,7 @@ impl Cluster {
             rejoin_track: HashMap::new(),
             app_pending: HashMap::new(),
             metrics: Metrics::default(),
+            status_publishes: 0,
             obs: None,
             monitors: None,
             cfg,
@@ -1178,9 +1234,47 @@ impl Cluster {
         finalize(&mut self.world)
     }
 
+    /// Advance the simulation to `until` (capped at the configured
+    /// duration) and return the new simulation time. Incremental driving:
+    /// call repeatedly to interleave the simulation with outside work —
+    /// the serving layer's simulation thread advances in wall-clock-sized
+    /// chunks and checks a stop flag between calls.
+    pub fn advance_until(&mut self, until: SimTime) -> SimTime {
+        let end = SimTime::ZERO + self.world.cfg.duration;
+        self.eng.run_until(&mut self.world, until.min(end));
+        self.eng.now()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// A consistent mid-run ensemble snapshot at the current simulation
+    /// time (see [`World::status`]).
+    pub fn status(&mut self) -> ClusterStatus {
+        let now = self.eng.now();
+        self.world.status(now)
+    }
+
+    /// Finish an incrementally-driven run: run any remaining span to the
+    /// configured duration and produce the report plus raw accumulators.
+    pub fn finish(mut self) -> (Report, Metrics) {
+        let until = SimTime::ZERO + self.world.cfg.duration;
+        self.eng.run_until(&mut self.world, until);
+        let report = finalize(&mut self.world);
+        (report, self.world.metrics)
+    }
+
     /// Access the world (post-construction inspection in tests).
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// Mutable access to the world (mid-run inspection when driving the
+    /// simulation incrementally with [`Cluster::advance_until`]).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
     }
 }
 
@@ -2518,6 +2612,15 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
         for (g, &c) in o.state_gauge.iter().zip(counts.iter()) {
             g.set(c);
         }
+    }
+    // Mid-run status publication for external readers (the serving layer).
+    // Wait-free for this (the simulation) thread; gated on the cell so
+    // cell-less runs stay bit-identical.
+    if world.cfg.status_cell.is_some() {
+        world.status_publishes += 1;
+        let frame = world.status(now);
+        let cell = world.cfg.status_cell.as_ref().expect("checked above");
+        cell.publish(&frame);
     }
 }
 

@@ -20,6 +20,8 @@
 //! * [`validate`] — clock validation of external (GPS) time sources;
 //! * [`health`] — the per-node membership / holdover state machine
 //!   (`Synchronized → Degraded → Holdover → Down → Reintegrating`);
+//! * [`status`] — mid-run ensemble snapshots through a seqlock cell
+//!   (wait-free for the simulation thread; the serving layer's read path);
 //! * [`params`] — timestamping modes and statically derived delay bounds;
 //! * [`payload`] — the CSP wire payload;
 //! * [`node`] — one node (CPU + kernel + NTI + oscillator + COMCO + GPS);
@@ -54,6 +56,7 @@ pub mod params;
 pub mod payload;
 pub mod rate;
 pub mod rtt;
+pub mod status;
 pub mod validate;
 
 pub use algo::{CongestionPolicy, Enforcement, Preprocessed, ReceivedCsp, SyncCore};
@@ -68,4 +71,5 @@ pub use params::{AlgoKind, SyncParams, TimestampMode};
 pub use payload::CspPayload;
 pub use rate::RateSync;
 pub use rtt::RttEstimator;
+pub use status::{ClusterStatus, NodeClock, NodeStatus, StatusCell};
 pub use validate::{gps_observation, validate, ValidationStats};

@@ -1,0 +1,351 @@
+//! Mid-run cluster status publication: a seqlock-style snapshot cell.
+//!
+//! `Report.final_states` and the membership gauges are only meaningful
+//! after a run completes; nothing could observe the ensemble *while the
+//! engine runs* without borrowing the `World` — impossible from another
+//! thread. This module closes that gap with a [`StatusCell`]: a fixed-size
+//! block of atomic words guarded by a sequence counter. The simulation
+//! thread [`publish`](StatusCell::publish)es a [`ClusterStatus`] frame at
+//! every HWSNAP sweep; any number of reader threads
+//! [`read`](StatusCell::read) the latest frame without ever blocking the
+//! writer.
+//!
+//! The protocol is the classic seqlock, built entirely on `AtomicU64`
+//! words so torn reads are detected, never undefined:
+//!
+//! * **writer** (wait-free — no loops, no locks, no reader can delay it):
+//!   bump `seq` to odd, release-fence, store the payload words, then store
+//!   `seq + 1` (even) with release ordering;
+//! * **reader**: load `seq` (acquire); if odd, the writer is mid-frame —
+//!   retry. Load the payload words, acquire-fence, re-load `seq`; if it
+//!   moved, the frame was overwritten mid-read — retry.
+//!
+//! A reader therefore costs the writer nothing, which is what the serving
+//! layer (`nti-serve`) needs: the NTP front-end answers queries from the
+//! last published frame at full socket rate while the simulation thread
+//! proceeds at its own pace.
+
+use crate::health::{HealthState, HEALTH_STATES};
+use nti_simcore::ntp::NtpTime;
+use nti_simcore::time::SimDuration;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// One node's slice of a published status frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// The node's adder-based clock at publish time (zero while down).
+    pub clock: NtpTime,
+    /// Accuracy interval lower deviation α⁻ at publish time.
+    pub alpha_minus: SimDuration,
+    /// Accuracy interval upper deviation α⁺ at publish time.
+    pub alpha_plus: SimDuration,
+    /// Membership/health state.
+    pub state: HealthState,
+    /// Whether the node is crashed / not yet joined (no clock).
+    pub down: bool,
+}
+
+/// A consistent cluster-wide snapshot, published mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterStatus {
+    /// How many frames have been published into the cell so far (0 =
+    /// nothing published yet; the frame is all-zero placeholder data).
+    pub publishes: u64,
+    /// Simulation time of the frame (femtoseconds).
+    pub sim_time_fs: u128,
+    /// The metric reference instant for the frame (femtoseconds) — equal
+    /// to `sim_time_fs` except after a coordinated leap insertion, where
+    /// UTC reads one second less.
+    pub ref_time_fs: u128,
+    /// Per-node status, indexed by node id.
+    pub nodes: Vec<NodeStatus>,
+}
+
+impl ClusterStatus {
+    /// How many nodes currently sit in each health state, indexed by
+    /// [`HealthState::index`] — the mid-run equivalent of the
+    /// `membership/<state>` gauges.
+    pub fn state_counts(&self) -> [usize; HEALTH_STATES.len()] {
+        let mut counts = [0usize; HEALTH_STATES.len()];
+        for n in &self.nodes {
+            counts[n.state.index()] += 1;
+        }
+        counts
+    }
+
+    /// Per-node state names — the mid-run equivalent of
+    /// `Report.final_states`.
+    pub fn states(&self) -> Vec<&'static str> {
+        self.nodes.iter().map(|n| n.state.name()).collect()
+    }
+}
+
+/// One node's clock as read through [`StatusCell::read_node`]: the node
+/// slice plus the frame header it was consistent with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeClock {
+    /// Frame number (0 = nothing published yet).
+    pub publishes: u64,
+    /// Simulation time of the frame (femtoseconds).
+    pub sim_time_fs: u128,
+    /// Reference instant of the frame (femtoseconds).
+    pub ref_time_fs: u128,
+    /// The node slice.
+    pub node: NodeStatus,
+}
+
+/// Words per node slice: clock (2), α⁻ (1), α⁺ (1), state/down (1).
+const NODE_WORDS: usize = 5;
+/// Header words: publishes (1), sim_time (2), ref_time (2).
+const HEADER_WORDS: usize = 5;
+
+/// The seqlock cell. Construct with [`StatusCell::new`], hand an
+/// `Arc<StatusCell>` to `ClusterConfig::status_cell` (the writer side) and
+/// clone the same `Arc` into reader threads.
+pub struct StatusCell {
+    seq: AtomicU64,
+    words: Box<[AtomicU64]>,
+    n: usize,
+}
+
+impl std::fmt::Debug for StatusCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatusCell")
+            .field("nodes", &self.n)
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Saturate a `SimDuration` into one word (u64 femtoseconds covers ±5 h of
+/// accuracy deviation — far beyond `Accuracy::MAX`).
+fn dur_word(d: SimDuration) -> u64 {
+    u64::try_from(d.as_fs()).unwrap_or(u64::MAX)
+}
+
+impl StatusCell {
+    /// A cell for an `n`-node cluster. All words start zero; readers see
+    /// `publishes == 0` until the first frame lands.
+    pub fn new(n: usize) -> StatusCell {
+        let len = HEADER_WORDS + n * NODE_WORDS;
+        StatusCell {
+            seq: AtomicU64::new(0),
+            words: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            n,
+        }
+    }
+
+    /// Node capacity of the cell.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Publish a frame. **Wait-free**: a straight-line sequence of atomic
+    /// stores — readers can never delay or block the writer, which is the
+    /// property the simulation thread relies on.
+    pub fn publish(&self, status: &ClusterStatus) {
+        assert_eq!(
+            status.nodes.len(),
+            self.n,
+            "status frame node count must match the cell"
+        );
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        let w = &self.words;
+        w[0].store(status.publishes, Ordering::Relaxed);
+        w[1].store(status.sim_time_fs as u64, Ordering::Relaxed);
+        w[2].store((status.sim_time_fs >> 64) as u64, Ordering::Relaxed);
+        w[3].store(status.ref_time_fs as u64, Ordering::Relaxed);
+        w[4].store((status.ref_time_fs >> 64) as u64, Ordering::Relaxed);
+        for (i, node) in status.nodes.iter().enumerate() {
+            let base = HEADER_WORDS + i * NODE_WORDS;
+            let raw = node.clock.raw();
+            w[base].store(raw as u64, Ordering::Relaxed);
+            w[base + 1].store((raw >> 64) as u64, Ordering::Relaxed);
+            w[base + 2].store(dur_word(node.alpha_minus), Ordering::Relaxed);
+            w[base + 3].store(dur_word(node.alpha_plus), Ordering::Relaxed);
+            let tag = node.state.index() as u64 | if node.down { 1 << 8 } else { 0 };
+            w[base + 4].store(tag, Ordering::Relaxed);
+        }
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Run `f` over the words under seqlock read validation, retrying
+    /// until a consistent frame is observed.
+    fn read_consistent<T>(&self, f: impl Fn(&[AtomicU64]) -> T) -> T {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let out = f(&self.words);
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return out;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn decode_node(w: &[AtomicU64], i: usize) -> NodeStatus {
+        let base = HEADER_WORDS + i * NODE_WORDS;
+        let lo = w[base].load(Ordering::Relaxed) as u128;
+        let hi = w[base + 1].load(Ordering::Relaxed) as u128;
+        let tag = w[base + 4].load(Ordering::Relaxed);
+        NodeStatus {
+            clock: NtpTime::from_raw(lo | (hi << 64)),
+            alpha_minus: SimDuration::from_fs(w[base + 2].load(Ordering::Relaxed) as u128),
+            alpha_plus: SimDuration::from_fs(w[base + 3].load(Ordering::Relaxed) as u128),
+            state: HEALTH_STATES[(tag & 0xFF) as usize % HEALTH_STATES.len()],
+            down: tag & (1 << 8) != 0,
+        }
+    }
+
+    fn decode_header(w: &[AtomicU64]) -> (u64, u128, u128) {
+        let publishes = w[0].load(Ordering::Relaxed);
+        let sim =
+            w[1].load(Ordering::Relaxed) as u128 | ((w[2].load(Ordering::Relaxed) as u128) << 64);
+        let rf =
+            w[3].load(Ordering::Relaxed) as u128 | ((w[4].load(Ordering::Relaxed) as u128) << 64);
+        (publishes, sim, rf)
+    }
+
+    /// Read the latest full frame (allocates the node vector).
+    pub fn read(&self) -> ClusterStatus {
+        self.read_consistent(|w| {
+            let (publishes, sim_time_fs, ref_time_fs) = Self::decode_header(w);
+            ClusterStatus {
+                publishes,
+                sim_time_fs,
+                ref_time_fs,
+                nodes: (0..self.n).map(|i| Self::decode_node(w, i)).collect(),
+            }
+        })
+    }
+
+    /// Read one node's slice plus the frame header — the serving layer's
+    /// fast path (a handful of atomic loads, no allocation). `None` if the
+    /// node id is out of range.
+    pub fn read_node(&self, id: usize) -> Option<NodeClock> {
+        if id >= self.n {
+            return None;
+        }
+        Some(self.read_consistent(|w| {
+            let (publishes, sim_time_fs, ref_time_fs) = Self::decode_header(w);
+            NodeClock {
+                publishes,
+                sim_time_fs,
+                ref_time_fs,
+                node: Self::decode_node(w, id),
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn frame(k: u64, n: usize) -> ClusterStatus {
+        // Every field is a deterministic function of k, so a reader can
+        // verify it observed one frame, not a blend of two.
+        ClusterStatus {
+            publishes: k,
+            sim_time_fs: (k as u128) << 64 | k as u128,
+            ref_time_fs: (k as u128) * 3,
+            nodes: (0..n)
+                .map(|i| NodeStatus {
+                    clock: NtpTime::from_raw(((k as u128) << 32) + i as u128),
+                    alpha_minus: SimDuration::from_fs(k as u128 + i as u128),
+                    alpha_plus: SimDuration::from_fs(2 * k as u128 + i as u128),
+                    state: HEALTH_STATES[(k as usize + i) % HEALTH_STATES.len()],
+                    down: (k as usize + i).is_multiple_of(3),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_a_frame() {
+        let cell = StatusCell::new(4);
+        assert_eq!(cell.read().publishes, 0, "unpublished cell reads zero");
+        let f = frame(7, 4);
+        cell.publish(&f);
+        assert_eq!(cell.read(), f);
+        let nc = cell.read_node(2).expect("in range");
+        assert_eq!(nc.publishes, 7);
+        assert_eq!(nc.sim_time_fs, f.sim_time_fs);
+        assert_eq!(nc.node, f.nodes[2]);
+        assert!(cell.read_node(4).is_none());
+    }
+
+    #[test]
+    fn state_counts_and_names() {
+        let f = frame(1, 5);
+        let counts = f.state_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert_eq!(f.states().len(), 5);
+        for (s, n) in f.nodes.iter().zip(f.states()) {
+            assert_eq!(s.state.name(), n);
+        }
+    }
+
+    /// Seqlock torture: one writer publishing self-consistent frames as
+    /// fast as it can, several readers checking every observed frame for
+    /// internal consistency. A torn read would blend two frames and break
+    /// the k-derivation invariant.
+    #[test]
+    fn concurrent_readers_never_observe_torn_frames() {
+        let n = 3;
+        let cell = Arc::new(StatusCell::new(n));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut k = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    cell.publish(&frame(k, n));
+                    k += 1;
+                }
+                k
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let f = cell.read();
+                        if f.publishes == 0 {
+                            continue; // nothing published yet
+                        }
+                        assert_eq!(f, frame(f.publishes, n), "torn frame");
+                        assert!(f.publishes >= last, "frames went backwards");
+                        last = f.publishes;
+                        let nc = cell.read_node(1).expect("in range");
+                        assert_eq!(nc.node, frame(nc.publishes, n).nodes[1]);
+                        seen += 1;
+                    }
+                    seen
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let frames = writer.join().expect("writer");
+        let mut total = 0;
+        for r in readers {
+            total += r.join().expect("reader");
+        }
+        assert!(frames > 100, "writer made progress ({frames} frames)");
+        assert!(total > 100, "readers made progress ({total} reads)");
+    }
+}

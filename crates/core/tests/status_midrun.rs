@@ -1,0 +1,95 @@
+//! Mid-run [`ClusterStatus`] snapshots: `Report.final_states` and the
+//! membership gauges only describe the run's end, so a node that left and
+//! rejoined is invisible post-run. These tests drive a cluster
+//! incrementally and assert the *mid-run* view shows the outage while the
+//! final report does not — plus that the same frames arrive through the
+//! seqlock `StatusCell` the serving layer reads.
+
+use nti_core::cluster::{Cluster, ClusterConfig};
+use nti_core::health::HealthState;
+use nti_core::status::StatusCell;
+use nti_faults::ChurnPlan;
+use nti_simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn churn_cfg(seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default_lan(6, seed);
+    cfg.duration = SimDuration::from_secs(24);
+    cfg.warmup = SimDuration::from_secs(6);
+    // Node 5 is dark from 8 s to 16 s: the mid-run window sees it down,
+    // the final report sees it reintegrated.
+    cfg.churn_plan = ChurnPlan::new()
+        .leave(5, SimTime::from_secs(8))
+        .join(5, SimTime::from_secs(16));
+    cfg
+}
+
+#[test]
+fn midrun_status_sees_the_outage_the_final_report_hides() {
+    let mut cluster = Cluster::new(churn_cfg(0x57A7));
+    cluster.advance_until(SimTime::from_secs(12));
+    let mid = cluster.status();
+    assert_eq!(mid.nodes.len(), 6);
+    assert!(mid.nodes[5].down, "node 5 is down mid-run");
+    assert_eq!(mid.nodes[5].state, HealthState::Down);
+    assert_eq!(mid.state_counts()[HealthState::Down.index()], 1);
+    assert_eq!(mid.states()[5], "down");
+    // The live nodes carry real clocks and finite accuracy intervals.
+    for id in 0..5 {
+        assert!(!mid.nodes[id].down);
+        assert_eq!(mid.nodes[id].state, HealthState::Synchronized);
+        assert!(mid.nodes[id].clock.raw() > 0);
+        assert!(mid.nodes[id].alpha_plus > SimDuration::ZERO);
+    }
+    assert_eq!(mid.sim_time_fs, SimTime::from_secs(12).as_fs());
+
+    let (report, _) = cluster.finish();
+    assert_eq!(
+        report.final_states,
+        vec!["synchronized"; 6],
+        "post-run view hides the outage the mid-run snapshot saw"
+    );
+    assert_eq!(report.membership, (1, 1, 0), "one leave, one join");
+}
+
+#[test]
+fn status_cell_publishes_the_same_frames() {
+    let mut cfg = churn_cfg(0x57A8);
+    let cell = Arc::new(StatusCell::new(6));
+    cfg.status_cell = Some(Arc::clone(&cell));
+    let mut cluster = Cluster::new(cfg);
+
+    cluster.advance_until(SimTime::from_secs(12));
+    let published = cell.read();
+    assert!(published.publishes > 0, "snapshot sweeps publish frames");
+    // The cell's frame is from the last HWSNAP sweep (≤ snapshot_every
+    // behind "now"), and must agree with a directly-taken status at its
+    // own timestamp: same states, same down mask.
+    assert!(published.sim_time_fs <= SimTime::from_secs(12).as_fs());
+    assert!(published.nodes[5].down, "outage visible through the cell");
+    let direct = cluster.status();
+    assert_eq!(direct.states(), published.states());
+    let downs: Vec<bool> = direct.nodes.iter().map(|n| n.down).collect();
+    let cell_downs: Vec<bool> = published.nodes.iter().map(|n| n.down).collect();
+    assert_eq!(downs, cell_downs);
+    // Fast path agrees with the full frame.
+    let nc = cell.read_node(5).expect("in range");
+    assert_eq!(nc.publishes, published.publishes);
+    assert_eq!(nc.node, published.nodes[5]);
+
+    // After the rejoin, the cell converges back to all-synchronized.
+    let (report, _) = cluster.finish();
+    let last = cell.read();
+    assert!(last.publishes > published.publishes);
+    assert_eq!(last.states(), vec!["synchronized"; 6]);
+    assert_eq!(report.containment.0, 0, "containment held throughout");
+}
+
+#[test]
+fn attaching_a_status_cell_does_not_change_the_report() {
+    let plain = format!("{:?}", Cluster::new(churn_cfg(0x57A9)).run());
+    let mut cfg = churn_cfg(0x57A9);
+    cfg.status_cell = Some(Arc::new(StatusCell::new(6)));
+    let observed = format!("{:?}", Cluster::new(cfg).run());
+    assert_eq!(plain, observed, "publication must not perturb the run");
+}

@@ -33,11 +33,14 @@ pub enum Subsystem {
     /// Fault injection (`nti-faults`): episode windows, drops, crashes,
     /// rejoins.
     Faults = 7,
+    /// The NTP serving layer (`nti-serve`): query handling, KoD refusals,
+    /// load-generator activity.
+    Serve = 8,
 }
 
 impl Subsystem {
     /// All subsystems, in bit order.
-    pub const ALL: [Subsystem; 8] = [
+    pub const ALL: [Subsystem; 9] = [
         Subsystem::Engine,
         Subsystem::Net,
         Subsystem::Kernel,
@@ -46,6 +49,7 @@ impl Subsystem {
         Subsystem::Gps,
         Subsystem::App,
         Subsystem::Faults,
+        Subsystem::Serve,
     ];
 
     /// The enable-mask bit for this subsystem.
@@ -65,6 +69,7 @@ impl Subsystem {
             Subsystem::Gps => "gps",
             Subsystem::App => "app",
             Subsystem::Faults => "faults",
+            Subsystem::Serve => "serve",
         }
     }
 

@@ -1,0 +1,325 @@
+//! The bridge between the simulated ensemble and the wire: a
+//! [`ClockHandle`] wraps the seqlock [`StatusCell`] that `nti-core`
+//! publishes into every HWSNAP sweep and turns a client request into a
+//! server response.
+//!
+//! ## What a response claims
+//!
+//! The served time is the chosen node's adder-based clock **as of the
+//! latest published frame** — the serving thread never touches the
+//! simulation, it only reads the cell. Receive and transmit timestamps
+//! both carry that clock value; the reference timestamp carries the
+//! simulation's true reference time from the same frame, which is what
+//! lets an external checker validate containment end-to-end: for any
+//! honest response, `reference ∈ [transmit − rootdisp, transmit +
+//! rootdisp]` must hold, mirroring the paper's `t ∈ [C − α⁻, C + α⁺]`
+//! accuracy-interval guarantee.
+//!
+//! ## Health → NTP degradation
+//!
+//! | node health     | LI | stratum | refid  | root dispersion        |
+//! |-----------------|----|---------|--------|------------------------|
+//! | Synchronized    | 0  | 1       | `NTI ` | ⌈max(α⁻, α⁺)⌉          |
+//! | Degraded        | 0  | 2       | `NTI ` | ⌈max(α⁻, α⁺)⌉          |
+//! | Holdover        | 0  | 3       | `NTI ` | 2 · ⌈max(α⁻, α⁺)⌉      |
+//! | Reintegrating   | 3  | 16      | `NTI ` | ⌈max(α⁻, α⁺)⌉          |
+//! | Down            | 3  | 0 (KoD) | `RATE` | — (no time claimed)    |
+//! | nothing published | 3 | 0 (KoD) | `INIT` | — (no time claimed)  |
+//!
+//! Holdover widens the claimed dispersion because the node free-runs on
+//! its last rate trim: the α the UTCSU still reports deteriorates at the
+//! modelled drift bound, and doubling it keeps the wire claim safely
+//! conservative even a full snapshot period after publication.
+
+use crate::packet::{
+    to_ntp64, to_short_format, NtpPacket, KISS_INIT, KISS_RATE, LI_ALARM, LI_NONE, MODE_SERVER,
+    STRATUM_KOD, STRATUM_UNSYNC,
+};
+use nti_core::health::HealthState;
+use nti_core::status::{NodeClock, StatusCell};
+use nti_simcore::time::{SimDuration, FS_PER_SEC};
+use std::sync::Arc;
+
+/// Reference id a synchronized NTI node answers with (stratum-1 source
+/// tag, like `GPS` or `PPS` in classic ntpd).
+pub const REFID_NTI: [u8; 4] = *b"NTI ";
+
+/// Claimed log2 precision: the UTCSU resolution is 2⁻²⁴ s ≈ 60 ns.
+pub const PRECISION_UTCSU: i8 = -24;
+
+/// How a given health state degrades the wire response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseProfile {
+    /// Leap indicator to claim.
+    pub li: u8,
+    /// Stratum to claim ([`STRATUM_KOD`] means kiss-o'-death).
+    pub stratum: u8,
+    /// Reference id (source tag, or the kiss code for KoD).
+    pub ref_id: [u8; 4],
+    /// Multiplier on the α-derived root dispersion.
+    pub disp_mult: u32,
+}
+
+/// The profile for a node in `state` (see the module-level table).
+pub const fn response_profile(state: HealthState) -> ResponseProfile {
+    match state {
+        HealthState::Synchronized => ResponseProfile {
+            li: LI_NONE,
+            stratum: 1,
+            ref_id: REFID_NTI,
+            disp_mult: 1,
+        },
+        HealthState::Degraded => ResponseProfile {
+            li: LI_NONE,
+            stratum: 2,
+            ref_id: REFID_NTI,
+            disp_mult: 1,
+        },
+        HealthState::Holdover => ResponseProfile {
+            li: LI_NONE,
+            stratum: 3,
+            ref_id: REFID_NTI,
+            disp_mult: 2,
+        },
+        HealthState::Reintegrating => ResponseProfile {
+            li: LI_ALARM,
+            stratum: STRATUM_UNSYNC,
+            ref_id: REFID_NTI,
+            disp_mult: 1,
+        },
+        HealthState::Down => ResponseProfile {
+            li: LI_ALARM,
+            stratum: STRATUM_KOD,
+            ref_id: KISS_RATE,
+            disp_mult: 0,
+        },
+    }
+}
+
+/// Encode a femtosecond sim/reference timestamp as NTP 32.32 (node
+/// NtpTime clocks and the sim reference share the epoch, so the two are
+/// directly comparable on the wire).
+pub fn fs_to_ntp64(fs: u128) -> u64 {
+    let secs = (fs / FS_PER_SEC) as u64 & 0xFFFF_FFFF;
+    let frac32 = ((fs % FS_PER_SEC) << 32) / FS_PER_SEC;
+    (secs << 32) | frac32 as u64
+}
+
+/// A read-only handle onto one simulated node's clock, backed by the
+/// lock-free status cell. Cheap to clone; every server shard owns one.
+#[derive(Clone, Debug)]
+pub struct ClockHandle {
+    cell: Arc<StatusCell>,
+    node: usize,
+}
+
+impl ClockHandle {
+    /// Serve node `node` from `cell`. Panics if the node is out of range
+    /// for the cell's layout (a configuration error, not a runtime one).
+    pub fn new(cell: Arc<StatusCell>, node: usize) -> ClockHandle {
+        assert!(
+            node < cell.node_count(),
+            "node {node} out of range for a {}-node status cell",
+            cell.node_count()
+        );
+        ClockHandle { cell, node }
+    }
+
+    /// Which node this handle serves.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Latest published view of the served node.
+    pub fn sample(&self) -> NodeClock {
+        self.cell
+            .read_node(self.node)
+            .expect("node index validated at construction")
+    }
+
+    /// Build the server response for a decoded client request.
+    ///
+    /// This is the entire per-query hot path above the socket: one
+    /// seqlock read plus straight-line arithmetic — no locks, no
+    /// allocation, no syscalls.
+    pub fn respond(&self, req: &NtpPacket) -> NtpPacket {
+        let nc = self.sample();
+        // Version negotiation per RFC 5905: answer in the client's
+        // version when it is one we speak, otherwise in ours.
+        let version = if (1..=4).contains(&req.version) {
+            req.version
+        } else {
+            4
+        };
+        let mut resp = NtpPacket {
+            version,
+            mode: MODE_SERVER,
+            poll: req.poll,
+            precision: PRECISION_UTCSU,
+            origin_ts: req.transmit_ts,
+            ..NtpPacket::default()
+        };
+
+        if nc.publishes == 0 {
+            // The simulation has not published a single frame yet: refuse
+            // with INIT rather than invent a time.
+            resp.li = LI_ALARM;
+            resp.stratum = STRATUM_KOD;
+            resp.ref_id = KISS_INIT;
+            return resp;
+        }
+
+        let profile = response_profile(if nc.node.down {
+            HealthState::Down
+        } else {
+            nc.node.state
+        });
+        resp.li = profile.li;
+        resp.stratum = profile.stratum;
+        resp.ref_id = profile.ref_id;
+        if profile.stratum == STRATUM_KOD {
+            // Kiss-o'-death: no time claim at all.
+            return resp;
+        }
+
+        let alpha = nc.node.alpha_minus.max(nc.node.alpha_plus);
+        let widened = SimDuration::from_fs(alpha.as_fs().saturating_mul(profile.disp_mult as u128));
+        resp.root_dispersion = to_short_format(widened);
+        let clock = to_ntp64(nc.node.clock);
+        resp.recv_ts = clock;
+        resp.transmit_ts = clock;
+        resp.ref_ts = fs_to_ntp64(nc.ref_time_fs);
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nti_core::status::{ClusterStatus, NodeStatus};
+    use nti_simcore::ntp::NtpTime;
+    use nti_simcore::time::SimTime;
+
+    fn frame(publishes: u64, nodes: Vec<NodeStatus>) -> ClusterStatus {
+        ClusterStatus {
+            publishes,
+            sim_time_fs: SimTime::from_secs(30).as_fs(),
+            ref_time_fs: SimTime::from_secs(30).as_fs(),
+            nodes,
+        }
+    }
+
+    fn sync_node() -> NodeStatus {
+        NodeStatus {
+            clock: NtpTime::from_raw(30u128 << nti_simcore::ntp::FRAC_BITS),
+            alpha_minus: SimDuration::from_micros(3),
+            alpha_plus: SimDuration::from_micros(5),
+            state: HealthState::Synchronized,
+            down: false,
+        }
+    }
+
+    fn client_req() -> NtpPacket {
+        NtpPacket {
+            version: 4,
+            mode: crate::packet::MODE_CLIENT,
+            poll: 6,
+            transmit_ts: 0xABCD_EF01_2345_6789,
+            ..NtpPacket::default()
+        }
+    }
+
+    #[test]
+    fn synchronized_serves_stratum_one() {
+        let cell = Arc::new(StatusCell::new(1));
+        cell.publish(&frame(1, vec![sync_node()]));
+        let h = ClockHandle::new(Arc::clone(&cell), 0);
+        let resp = h.respond(&client_req());
+        assert_eq!(resp.mode, MODE_SERVER);
+        assert_eq!(resp.stratum, 1);
+        assert_eq!(resp.li, LI_NONE);
+        assert_eq!(resp.ref_id, REFID_NTI);
+        assert_eq!(resp.origin_ts, client_req().transmit_ts);
+        assert_eq!(resp.recv_ts, resp.transmit_ts);
+        // Dispersion covers max(α⁻, α⁺) = 5 µs, rounded up.
+        let disp = crate::packet::from_short_format(resp.root_dispersion);
+        assert!(disp >= SimDuration::from_micros(5));
+        // Containment channel: reference within [xmt − disp, xmt + disp].
+        let xmt = resp.transmit_ts;
+        let reference = fs_to_ntp64(SimTime::from_secs(30).as_fs());
+        let dispu = (resp.root_dispersion as u64) << 16;
+        assert!(reference.wrapping_sub(xmt.wrapping_sub(dispu)) <= 2 * dispu);
+    }
+
+    #[test]
+    fn every_health_state_maps_per_table() {
+        for (state, want_li, want_stratum) in [
+            (HealthState::Synchronized, LI_NONE, 1),
+            (HealthState::Degraded, LI_NONE, 2),
+            (HealthState::Holdover, LI_NONE, 3),
+            (HealthState::Reintegrating, LI_ALARM, STRATUM_UNSYNC),
+        ] {
+            let cell = Arc::new(StatusCell::new(1));
+            let mut node = sync_node();
+            node.state = state;
+            cell.publish(&frame(1, vec![node]));
+            let resp = ClockHandle::new(cell, 0).respond(&client_req());
+            assert_eq!(
+                (resp.li, resp.stratum),
+                (want_li, want_stratum),
+                "{state:?}"
+            );
+            assert!(!resp.is_kod());
+        }
+    }
+
+    #[test]
+    fn holdover_doubles_dispersion() {
+        // α large enough that the doubling survives 16.16 quantization
+        // (at 5 µs both α and 2α ceil to a single 15 µs unit).
+        let wide = |state| {
+            let cell = Arc::new(StatusCell::new(1));
+            let mut node = sync_node();
+            node.alpha_plus = SimDuration::from_millis(1);
+            node.state = state;
+            cell.publish(&frame(1, vec![node]));
+            ClockHandle::new(cell, 0)
+                .respond(&client_req())
+                .root_dispersion
+        };
+        let base = wide(HealthState::Synchronized);
+        let hold = wide(HealthState::Holdover);
+        assert_eq!(hold, base * 2);
+        assert!(crate::packet::from_short_format(hold) >= SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn down_gets_rate_kod_and_unpublished_gets_init() {
+        let cell = Arc::new(StatusCell::new(1));
+        let h = ClockHandle::new(Arc::clone(&cell), 0);
+        let resp = h.respond(&client_req());
+        assert!(resp.is_kod());
+        assert_eq!(resp.ref_id, KISS_INIT);
+        assert_eq!(resp.transmit_ts, 0, "no time claimed before first frame");
+
+        let mut node = sync_node();
+        node.down = true;
+        node.state = HealthState::Down;
+        cell.publish(&frame(7, vec![node]));
+        let resp = h.respond(&client_req());
+        assert!(resp.is_kod());
+        assert_eq!(resp.ref_id, KISS_RATE);
+        assert_eq!(resp.li, LI_ALARM);
+        assert_eq!(resp.transmit_ts, 0);
+    }
+
+    #[test]
+    fn fs_conversion_matches_ntp_time_encoding() {
+        // 30 s + 1/4 s in fs vs the same instant as NtpTime.
+        let fs = 30 * FS_PER_SEC + FS_PER_SEC / 4;
+        let t = NtpTime::from_raw(
+            (30u128 << nti_simcore::ntp::FRAC_BITS) | (1u128 << (nti_simcore::ntp::FRAC_BITS - 2)),
+        );
+        assert_eq!(fs_to_ntp64(fs), to_ntp64(t));
+    }
+}

@@ -1,0 +1,269 @@
+//! A built-in closed-loop load generator: N worker threads, each with
+//! its own client socket, each sending one query and waiting for its
+//! answer before sending the next. Closed-loop clients measure the
+//! response time the server actually delivers at a self-limiting offered
+//! load — the natural harness for the `e19_serve` benchmark.
+//!
+//! Every response is fully validated, not just counted:
+//!
+//! * it must decode (48-byte header) and be server mode;
+//! * its origin timestamp must echo the request's transmit nonce
+//!   (late answers to timed-out queries are detected, not miscounted);
+//! * any response claiming time (stratum 1–3) must satisfy the
+//!   containment invariant `reference ∈ [transmit − rootdisp,
+//!   transmit + rootdisp]` — the wire-level image of the paper's
+//!   `t ∈ [C − α⁻, C + α⁺]`. Stratum-16 and KoD responses claim no
+//!   time, so they carry no containment obligation.
+
+use crate::packet::{NtpPacket, MODE_CLIENT, MODE_SERVER, PACKET_LEN};
+use nti_obs::Histogram;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of the offered load.
+#[derive(Clone, Debug)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop workers.
+    pub workers: usize,
+    /// Queries each worker issues before finishing.
+    pub queries_per_worker: u64,
+    /// Per-query response timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> LoadGenConfig {
+        LoadGenConfig {
+            workers: 2,
+            queries_per_worker: 1000,
+            timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// What came back, in aggregate.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Queries sent.
+    pub sent: u64,
+    /// Validated responses received (including KoD).
+    pub received: u64,
+    /// Queries that timed out without any answer.
+    pub timeouts: u64,
+    /// Responses that failed decode or were not server mode.
+    pub malformed: u64,
+    /// Responses whose origin timestamp did not echo our nonce.
+    pub origin_mismatches: u64,
+    /// Kiss-o'-death responses.
+    pub kod: u64,
+    /// Containment checks performed (stratum 1–3 responses).
+    pub containment_checks: u64,
+    /// Checks where the reference fell outside the claimed interval.
+    pub containment_violations: u64,
+    /// Round-trip times in nanoseconds.
+    pub rtt_ns: Arc<Histogram>,
+    /// Wall-clock span of the run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Validated responses per wall-clock second.
+    pub fn qps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.received as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Does `resp` keep its containment promise? Only meaningful for
+/// stratum 1–3. All arithmetic is wrapping 32.32 so an era boundary
+/// between reference and transmit cannot produce a false violation.
+pub fn containment_holds(resp: &NtpPacket) -> bool {
+    // 16.16 root dispersion widened to the 32.32 timestamp scale.
+    let disp = (resp.root_dispersion as u64) << 16;
+    let lo = resp.transmit_ts.wrapping_sub(disp);
+    resp.ref_ts.wrapping_sub(lo) <= disp.wrapping_mul(2)
+}
+
+/// SplitMix64: cheap, deterministic per-(worker, seq) transmit nonces.
+fn nonce(worker: u64, seq: u64) -> u64 {
+    let mut z = (worker << 32 ^ seq).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Default)]
+struct Tally {
+    sent: AtomicU64,
+    received: AtomicU64,
+    timeouts: AtomicU64,
+    malformed: AtomicU64,
+    origin_mismatches: AtomicU64,
+    kod: AtomicU64,
+    containment_checks: AtomicU64,
+    containment_violations: AtomicU64,
+}
+
+/// Run the closed loop against `targets` (workers round-robin across
+/// them) and aggregate every worker's observations.
+pub fn run(cfg: &LoadGenConfig, targets: &[SocketAddr]) -> io::Result<LoadReport> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(!targets.is_empty(), "need at least one target address");
+    let tally = Arc::new(Tally::default());
+    let rtt = Arc::new(Histogram::new());
+    let started = Instant::now();
+    let mut threads = Vec::with_capacity(cfg.workers);
+    for w in 0..cfg.workers {
+        let target = targets[w % targets.len()];
+        let tally = Arc::clone(&tally);
+        let rtt = Arc::clone(&rtt);
+        let cfg = cfg.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("nti-loadgen-{w}"))
+                .spawn(move || worker(w as u64, target, &cfg, &tally, &rtt))
+                .expect("spawn loadgen worker"),
+        );
+    }
+    let mut first_err = None;
+    for t in threads {
+        if let Ok(Err(e)) = t.join() {
+            first_err.get_or_insert(e);
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(LoadReport {
+        sent: tally.sent.load(Relaxed),
+        received: tally.received.load(Relaxed),
+        timeouts: tally.timeouts.load(Relaxed),
+        malformed: tally.malformed.load(Relaxed),
+        origin_mismatches: tally.origin_mismatches.load(Relaxed),
+        kod: tally.kod.load(Relaxed),
+        containment_checks: tally.containment_checks.load(Relaxed),
+        containment_violations: tally.containment_violations.load(Relaxed),
+        rtt_ns: rtt,
+        elapsed: started.elapsed(),
+    })
+}
+
+fn worker(
+    id: u64,
+    target: SocketAddr,
+    cfg: &LoadGenConfig,
+    tally: &Tally,
+    rtt: &Histogram,
+) -> io::Result<()> {
+    let sock = UdpSocket::bind((
+        match target {
+            SocketAddr::V4(_) => "127.0.0.1",
+            SocketAddr::V6(_) => "::1",
+        },
+        0,
+    ))?;
+    sock.connect(target)?;
+    sock.set_read_timeout(Some(cfg.timeout))?;
+    let mut buf = [0u8; 2 * PACKET_LEN];
+    for seq in 0..cfg.queries_per_worker {
+        let tx = nonce(id, seq);
+        let req = NtpPacket {
+            version: 4,
+            mode: MODE_CLIENT,
+            poll: 0,
+            transmit_ts: tx,
+            ..NtpPacket::default()
+        };
+        let sent_at = Instant::now();
+        sock.send(&req.encode())?;
+        tally.sent.fetch_add(1, Relaxed);
+        // Keep receiving until our answer, a timeout, or garbage: a late
+        // answer to an earlier (timed-out) nonce is skipped, not counted
+        // as this query's response.
+        loop {
+            let n = match sock.recv(&mut buf) {
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    tally.timeouts.fetch_add(1, Relaxed);
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // ICMP port-unreachable surfaces as ECONNREFUSED on a
+                // connected UDP socket; treat like a timeout.
+                Err(_) => {
+                    tally.timeouts.fetch_add(1, Relaxed);
+                    break;
+                }
+            };
+            let resp = match NtpPacket::decode(&buf[..n]) {
+                Ok(p) if p.mode == MODE_SERVER => p,
+                _ => {
+                    tally.malformed.fetch_add(1, Relaxed);
+                    break;
+                }
+            };
+            if resp.origin_ts != tx {
+                tally.origin_mismatches.fetch_add(1, Relaxed);
+                continue; // stale answer; keep waiting for ours
+            }
+            rtt.record(sent_at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            tally.received.fetch_add(1, Relaxed);
+            if resp.is_kod() {
+                tally.kod.fetch_add(1, Relaxed);
+            } else if (1..=3).contains(&resp.stratum) {
+                tally.containment_checks.fetch_add(1, Relaxed);
+                if !containment_holds(&resp) {
+                    tally.containment_violations.fetch_add(1, Relaxed);
+                }
+            }
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::to_short_format;
+    use nti_simcore::time::SimDuration;
+
+    #[test]
+    fn containment_math_is_wrapping_safe() {
+        let disp = to_short_format(SimDuration::from_micros(10));
+        let mk = |xmt: u64, reference: u64| NtpPacket {
+            stratum: 1,
+            root_dispersion: disp,
+            transmit_ts: xmt,
+            ref_ts: reference,
+            ..NtpPacket::default()
+        };
+        let d = (disp as u64) << 16;
+        // Dead centre, both edges, just outside either edge.
+        assert!(containment_holds(&mk(1 << 40, 1 << 40)));
+        assert!(containment_holds(&mk(1 << 40, (1u64 << 40) - d)));
+        assert!(containment_holds(&mk(1 << 40, (1u64 << 40) + d)));
+        assert!(!containment_holds(&mk(1 << 40, (1u64 << 40) - d - 1)));
+        assert!(!containment_holds(&mk(1 << 40, (1u64 << 40) + d + 1)));
+        // Straddling the era boundary: transmit just past zero, reference
+        // just before the wrap — still contained.
+        assert!(containment_holds(&mk(d / 2, u64::MAX - d / 4)));
+    }
+
+    #[test]
+    fn nonces_do_not_collide_across_neighbouring_workers() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..8u64 {
+            for s in 0..1000u64 {
+                assert!(seen.insert(nonce(w, s)), "collision at {w}/{s}");
+            }
+        }
+    }
+}

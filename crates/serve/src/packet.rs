@@ -1,0 +1,273 @@
+//! The NTPv4 wire format (RFC 5905 §7.3): the 48-byte client/server-mode
+//! header, encoded and decoded without ever panicking on hostile input.
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |LI | VN  |Mode |    Stratum     |     Poll      |  Precision   |
+//! +---------------+----------------+---------------+--------------+
+//! |                          Root Delay                           |
+//! |                       Root Dispersion                         |
+//! |                         Reference ID                          |
+//! |                     Reference Timestamp (64)                  |
+//! |                      Origin Timestamp (64)                    |
+//! |                      Receive Timestamp (64)                   |
+//! |                      Transmit Timestamp (64)                  |
+//! +---------------------------------------------------------------+
+//! ```
+//!
+//! Timestamps are the NTP 32.32 fixed-point "era format"; the simulated
+//! UTCSU clock carries 32-bit seconds and a 59-bit fraction, so the
+//! conversions below are exact truncations (never lossy reconstructions)
+//! and wrap cleanly at the era boundary (`secs == u32::MAX → 0`).
+
+use nti_simcore::ntp::{NtpTime, FRAC_BITS};
+use nti_simcore::time::{SimDuration, FS_PER_SEC};
+
+/// Wire size of the bare NTP header.
+pub const PACKET_LEN: usize = 48;
+
+/// Mode 3: a client request.
+pub const MODE_CLIENT: u8 = 3;
+/// Mode 4: a server response.
+pub const MODE_SERVER: u8 = 4;
+
+/// LI 0: no leap warning.
+pub const LI_NONE: u8 = 0;
+/// LI 3: clock unsynchronized — the "alarm" condition.
+pub const LI_ALARM: u8 = 3;
+
+/// Stratum 0 in a *response* marks a kiss-o'-death packet; the reference
+/// id then carries the kiss code.
+pub const STRATUM_KOD: u8 = 0;
+/// Stratum 16: "unsynchronized" (MAXSTRAT); clients must not use the time.
+pub const STRATUM_UNSYNC: u8 = 16;
+
+/// KoD code: reduce your query rate (RFC 5905 §7.4).
+pub const KISS_RATE: [u8; 4] = *b"RATE";
+/// KoD code: the server has not finished initializing (no frame published
+/// by the simulation yet).
+pub const KISS_INIT: [u8; 4] = *b"INIT";
+
+/// Why a datagram failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer than [`PACKET_LEN`] bytes on the wire.
+    Truncated {
+        /// How many bytes actually arrived.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated { len } => {
+                write!(f, "truncated NTP datagram: {len} < {PACKET_LEN} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A parsed NTP header. Field semantics follow RFC 5905; `root_delay` and
+/// `root_dispersion` are in the NTP short format (16.16 seconds),
+/// timestamps in the 64-bit era format (32.32 seconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct NtpPacket {
+    /// Leap indicator (2 bits).
+    pub li: u8,
+    /// Version number (3 bits); this repo speaks 4 and answers 3.
+    pub version: u8,
+    /// Association mode (3 bits); 3 = client, 4 = server.
+    pub mode: u8,
+    /// Stratum: 0 = KoD (responses), 1 = primary reference, 16 = unsync.
+    pub stratum: u8,
+    /// Log2 poll interval (signed).
+    pub poll: i8,
+    /// Log2 clock precision (signed); the UTCSU's 60 ns ⇒ −24.
+    pub precision: i8,
+    /// Total round-trip delay to the reference, 16.16 s.
+    pub root_delay: u32,
+    /// Total dispersion to the reference, 16.16 s.
+    pub root_dispersion: u32,
+    /// Reference id (stratum 1: source tag; KoD: kiss code).
+    pub ref_id: [u8; 4],
+    /// When the clock was last set (32.32).
+    pub ref_ts: u64,
+    /// Client transmit time echoed back (32.32).
+    pub origin_ts: u64,
+    /// When the request hit the server (32.32).
+    pub recv_ts: u64,
+    /// When the response left the server (32.32).
+    pub transmit_ts: u64,
+}
+
+impl NtpPacket {
+    /// Serialize into the 48-byte wire header.
+    pub fn encode(&self) -> [u8; PACKET_LEN] {
+        let mut b = [0u8; PACKET_LEN];
+        b[0] = ((self.li & 0x3) << 6) | ((self.version & 0x7) << 3) | (self.mode & 0x7);
+        b[1] = self.stratum;
+        b[2] = self.poll as u8;
+        b[3] = self.precision as u8;
+        b[4..8].copy_from_slice(&self.root_delay.to_be_bytes());
+        b[8..12].copy_from_slice(&self.root_dispersion.to_be_bytes());
+        b[12..16].copy_from_slice(&self.ref_id);
+        b[16..24].copy_from_slice(&self.ref_ts.to_be_bytes());
+        b[24..32].copy_from_slice(&self.origin_ts.to_be_bytes());
+        b[32..40].copy_from_slice(&self.recv_ts.to_be_bytes());
+        b[40..48].copy_from_slice(&self.transmit_ts.to_be_bytes());
+        b
+    }
+
+    /// Parse a datagram. Bytes beyond the bare header (extension fields,
+    /// MACs) are ignored; anything shorter than the header is rejected.
+    /// Never panics, whatever the input.
+    pub fn decode(buf: &[u8]) -> Result<NtpPacket, PacketError> {
+        if buf.len() < PACKET_LEN {
+            return Err(PacketError::Truncated { len: buf.len() });
+        }
+        let be32 = |i: usize| u32::from_be_bytes(buf[i..i + 4].try_into().expect("4 bytes"));
+        let be64 = |i: usize| u64::from_be_bytes(buf[i..i + 8].try_into().expect("8 bytes"));
+        Ok(NtpPacket {
+            li: buf[0] >> 6,
+            version: (buf[0] >> 3) & 0x7,
+            mode: buf[0] & 0x7,
+            stratum: buf[1],
+            poll: buf[2] as i8,
+            precision: buf[3] as i8,
+            root_delay: be32(4),
+            root_dispersion: be32(8),
+            ref_id: buf[12..16].try_into().expect("4 bytes"),
+            ref_ts: be64(16),
+            origin_ts: be64(24),
+            recv_ts: be64(32),
+            transmit_ts: be64(40),
+        })
+    }
+
+    /// Is this response a kiss-o'-death packet?
+    pub fn is_kod(&self) -> bool {
+        self.mode == MODE_SERVER && self.stratum == STRATUM_KOD
+    }
+}
+
+/// Truncate a simulated UTCSU clock value to the NTP 64-bit era format:
+/// the 32-bit seconds ride verbatim, the 59-bit fraction keeps its top 32
+/// bits. Era wrap is inherent (seconds are already mod 2³²).
+pub fn to_ntp64(t: NtpTime) -> u64 {
+    let secs = t.secs() as u64;
+    let frac59 = (t.raw() & ((1u128 << FRAC_BITS) - 1)) as u64;
+    (secs << 32) | (frac59 >> (FRAC_BITS - 32))
+}
+
+/// Widen an NTP 64-bit timestamp back into the internal 91-bit format
+/// (the low 27 fraction bits come back zero — the wire held only 32).
+pub fn from_ntp64(x: u64) -> NtpTime {
+    let secs = (x >> 32) as u128;
+    let frac32 = (x & 0xFFFF_FFFF) as u128;
+    NtpTime::from_raw((secs << FRAC_BITS) | (frac32 << (FRAC_BITS as u128 - 32) as u32))
+}
+
+/// A duration as the NTP short format (16.16 s), rounded **up** so a
+/// dispersion derived from an accuracy interval stays a safe over-bound;
+/// saturates at ≈ 65536 s.
+pub fn to_short_format(d: SimDuration) -> u32 {
+    let units = (d.as_fs() << 16).div_ceil(FS_PER_SEC);
+    u32::try_from(units).unwrap_or(u32::MAX)
+}
+
+/// An NTP short-format value as a duration (exact: 2⁻¹⁶ s is an integer
+/// number of femtoseconds).
+pub fn from_short_format(v: u32) -> SimDuration {
+    SimDuration::from_fs((v as u128 * FS_PER_SEC) >> 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = NtpPacket {
+            li: LI_NONE,
+            version: 4,
+            mode: MODE_SERVER,
+            stratum: 1,
+            poll: 6,
+            precision: -24,
+            root_delay: 0,
+            root_dispersion: 0x0001_8000, // 1.5 s
+            ref_id: *b"NTI ",
+            ref_ts: 0x0000_0005_8000_0000,
+            origin_ts: 0xDEAD_BEEF_0123_4567,
+            recv_ts: 0x0000_0005_8000_1111,
+            transmit_ts: 0x0000_0005_8000_2222,
+        };
+        assert_eq!(NtpPacket::decode(&p.encode()), Ok(p));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        for len in 0..PACKET_LEN {
+            assert_eq!(
+                NtpPacket::decode(&vec![0u8; len]),
+                Err(PacketError::Truncated { len })
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let p = NtpPacket {
+            mode: MODE_CLIENT,
+            version: 4,
+            ..NtpPacket::default()
+        };
+        let mut wire = p.encode().to_vec();
+        wire.extend_from_slice(&[0xAA; 20]); // extension gunk
+        assert_eq!(NtpPacket::decode(&wire), Ok(p));
+    }
+
+    #[test]
+    fn ntp64_conversion_is_exact_on_wire_values() {
+        // Any 64-bit wire timestamp survives widen → truncate.
+        for x in [0u64, 1, 0xFFFF_FFFF_FFFF_FFFF, 0x8000_0000_0000_0001] {
+            assert_eq!(to_ntp64(from_ntp64(x)), x);
+        }
+    }
+
+    #[test]
+    fn era_boundary_seconds_wrap() {
+        // One unit below the era boundary, then across it.
+        let last = NtpTime::from_raw(((u32::MAX as u128) << FRAC_BITS) | 123);
+        assert_eq!(to_ntp64(last) >> 32, u32::MAX as u64);
+        let wrapped = last.wrapping_add_units(1u128 as i128 + (1i128 << FRAC_BITS));
+        assert_eq!(to_ntp64(wrapped) >> 32, 0, "era wraps to zero");
+    }
+
+    #[test]
+    fn short_format_rounds_up_and_saturates() {
+        assert_eq!(to_short_format(SimDuration::ZERO), 0);
+        // 1 fs is not representable: must round *up* to one unit.
+        assert_eq!(to_short_format(SimDuration::from_fs(1)), 1);
+        assert_eq!(to_short_format(SimDuration::from_secs(1)), 1 << 16);
+        assert_eq!(to_short_format(SimDuration::from_secs(100_000)), u32::MAX);
+        // Exact representatives survive the round trip.
+        let half = SimDuration::from_millis(500);
+        assert_eq!(from_short_format(to_short_format(half)), half);
+    }
+
+    #[test]
+    fn containment_survives_short_format_rounding() {
+        // disp ≥ α in every case because the conversion rounds up.
+        for fs in [1u128, 999, 1_000_001, 5 * FS_PER_SEC / 3] {
+            let alpha = SimDuration::from_fs(fs);
+            let disp = from_short_format(to_short_format(alpha));
+            assert!(disp >= alpha);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end loopback test: a real sharded UDP server fed by a
+//! hand-published [`StatusCell`], interrogated by a real client socket,
+//! asserting the full health → wire degradation table from the outside —
+//! stratum, leap indicator, kiss codes, dispersion widening, and the
+//! containment invariant on every response that claims time.
+
+use nti_core::health::HealthState;
+use nti_core::status::{ClusterStatus, NodeStatus, StatusCell};
+use nti_serve::clock::{fs_to_ntp64, ClockHandle, REFID_NTI};
+use nti_serve::loadgen::containment_holds;
+use nti_serve::packet::{
+    to_ntp64, NtpPacket, KISS_INIT, KISS_RATE, LI_ALARM, LI_NONE, MODE_CLIENT, MODE_SERVER,
+    STRATUM_UNSYNC,
+};
+use nti_serve::server::{Server, ServerConfig};
+use nti_simcore::ntp::{NtpTime, FRAC_BITS};
+use nti_simcore::time::{SimDuration, SimTime};
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sandboxes without loopback sockets skip the whole file.
+fn loopback_available() -> bool {
+    UdpSocket::bind("127.0.0.1:0").is_ok()
+}
+
+/// A frame where the node clock sits `skew_fs` fs ahead of the reference
+/// and claims ±`alpha`.
+fn frame(publishes: u64, state: HealthState, skew_fs: u128, alpha: SimDuration) -> ClusterStatus {
+    let ref_fs = SimTime::from_secs(42).as_fs();
+    let clock_fs = ref_fs + skew_fs;
+    let clock = NtpTime::from_raw(
+        ((clock_fs / 1_000_000_000_000_000) << FRAC_BITS)
+            | (((clock_fs % 1_000_000_000_000_000) << FRAC_BITS) / 1_000_000_000_000_000),
+    );
+    ClusterStatus {
+        publishes,
+        sim_time_fs: ref_fs,
+        ref_time_fs: ref_fs,
+        nodes: vec![NodeStatus {
+            clock,
+            alpha_minus: alpha,
+            alpha_plus: alpha,
+            state,
+            down: state == HealthState::Down,
+        }],
+    }
+}
+
+fn query(client: &UdpSocket, nonce: u64) -> NtpPacket {
+    let req = NtpPacket {
+        version: 4,
+        mode: MODE_CLIENT,
+        transmit_ts: nonce,
+        ..NtpPacket::default()
+    };
+    client.send(&req.encode()).expect("send query");
+    let mut buf = [0u8; 96];
+    let n = client.recv(&mut buf).expect("response within timeout");
+    let resp = NtpPacket::decode(&buf[..n]).expect("well-formed response");
+    assert_eq!(resp.mode, MODE_SERVER);
+    assert_eq!(resp.origin_ts, nonce, "origin echoes our transmit");
+    resp
+}
+
+#[test]
+fn health_table_is_visible_on_the_wire() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback sockets unavailable in this sandbox");
+        return;
+    }
+    let cell = Arc::new(StatusCell::new(1));
+    let server = Server::bind(
+        &ServerConfig::default(),
+        ClockHandle::new(Arc::clone(&cell), 0),
+    )
+    .expect("bind server");
+    let addr = server.local_addrs()[0];
+    let running = server.start();
+
+    let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+    client.connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    // Before the simulation publishes anything: KoD INIT, no time claim.
+    let resp = query(&client, 0xA1);
+    assert!(resp.is_kod());
+    assert_eq!(resp.ref_id, KISS_INIT);
+    assert_eq!(resp.li, LI_ALARM);
+    assert_eq!(resp.transmit_ts, 0);
+
+    // Synchronized: stratum 1, NTI refid, containment holds on the wire.
+    let alpha = SimDuration::from_micros(8);
+    let f = frame(1, HealthState::Synchronized, 3_000_000_000, alpha); // 3 µs skew
+    cell.publish(&f);
+    let resp = query(&client, 0xA2);
+    assert_eq!((resp.li, resp.stratum), (LI_NONE, 1));
+    assert_eq!(resp.ref_id, REFID_NTI);
+    assert_eq!(resp.transmit_ts, to_ntp64(f.nodes[0].clock));
+    assert_eq!(resp.recv_ts, resp.transmit_ts);
+    assert_eq!(resp.ref_ts, fs_to_ntp64(f.ref_time_fs));
+    assert!(
+        containment_holds(&resp),
+        "reference inside claimed interval"
+    );
+    let sync_disp = resp.root_dispersion;
+    assert!(sync_disp > 0);
+
+    // Degraded: stratum slips to 2, still serving contained time.
+    cell.publish(&frame(2, HealthState::Degraded, 3_000_000_000, alpha));
+    let resp = query(&client, 0xA3);
+    assert_eq!((resp.li, resp.stratum), (LI_NONE, 2));
+    assert_eq!(resp.ref_id, REFID_NTI);
+    assert!(containment_holds(&resp));
+
+    // Holdover: stratum 3 and the claimed dispersion widens.
+    cell.publish(&frame(3, HealthState::Holdover, 3_000_000_000, alpha));
+    let resp = query(&client, 0xA4);
+    assert_eq!((resp.li, resp.stratum), (LI_NONE, 3));
+    assert!(
+        resp.root_dispersion > sync_disp,
+        "holdover widens dispersion"
+    );
+    assert!(containment_holds(&resp));
+
+    // Reintegrating: alarm + stratum 16 — answers, but claims no sync.
+    cell.publish(&frame(4, HealthState::Reintegrating, 3_000_000_000, alpha));
+    let resp = query(&client, 0xA5);
+    assert_eq!((resp.li, resp.stratum), (LI_ALARM, STRATUM_UNSYNC));
+    assert!(!resp.is_kod());
+
+    // Down: kiss-o'-death RATE, no time claim at all.
+    cell.publish(&frame(5, HealthState::Down, 0, alpha));
+    let resp = query(&client, 0xA6);
+    assert!(resp.is_kod());
+    assert_eq!(resp.ref_id, KISS_RATE);
+    assert_eq!(resp.transmit_ts, 0);
+
+    let snap = running.stop(&nti_obs::SimObserver::disabled());
+    assert_eq!(snap.queries, 6);
+    assert_eq!(snap.responses, 6);
+    assert_eq!(snap.kod, 2);
+    assert_eq!(snap.malformed, 0);
+}
+
+#[test]
+fn a_node_clock_outside_its_claim_is_caught_by_the_client() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback sockets unavailable in this sandbox");
+        return;
+    }
+    // A dishonest frame: 50 µs of skew against a ±8 µs claim. The server
+    // serves it verbatim; the *client-side* validator must flag it. This
+    // proves the containment check in the load generator has teeth.
+    let cell = Arc::new(StatusCell::new(1));
+    cell.publish(&frame(
+        1,
+        HealthState::Synchronized,
+        50_000_000_000,
+        SimDuration::from_micros(8),
+    ));
+    let server =
+        Server::bind(&ServerConfig::default(), ClockHandle::new(cell, 0)).expect("bind server");
+    let addr = server.local_addrs()[0];
+    let running = server.start();
+
+    let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+    client.connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let resp = query(&client, 0xB1);
+    assert_eq!(resp.stratum, 1);
+    assert!(
+        !containment_holds(&resp),
+        "a 50 µs lie against an 8 µs claim must be detected"
+    );
+    running.stop(&nti_obs::SimObserver::disabled());
+}

@@ -1,0 +1,115 @@
+//! Property tests for the NTPv4 wire codec: encode/decode is a bijection
+//! on the 48-byte header, hostile input never panics, and the fixed-point
+//! conversions keep their over-bound and era-wrap contracts.
+
+use nti_serve::packet::{
+    from_ntp64, from_short_format, to_ntp64, to_short_format, NtpPacket, PacketError, PACKET_LEN,
+};
+use nti_simcore::ntp::{NtpTime, FRAC_BITS};
+use nti_simcore::time::{SimDuration, FS_PER_SEC};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = NtpPacket> {
+    (
+        (0u8..4, 0u8..8, 0u8..8, any::<u8>()),
+        (any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (li, version, mode, stratum),
+                (poll, precision, root_delay, root_dispersion),
+                (ref_id, ref_ts, origin_ts),
+                (recv_ts, transmit_ts),
+            )| NtpPacket {
+                li,
+                version,
+                mode,
+                stratum,
+                poll: poll as i8,
+                precision: precision as i8,
+                root_delay,
+                root_dispersion,
+                ref_id: ref_id.to_be_bytes(),
+                ref_ts,
+                origin_ts,
+                recv_ts,
+                transmit_ts,
+            },
+        )
+}
+
+proptest! {
+    /// Any representable header survives encode → decode bit-exactly.
+    #[test]
+    fn header_round_trips(p in arb_packet()) {
+        prop_assert_eq!(NtpPacket::decode(&p.encode()), Ok(p));
+    }
+
+    /// Any 48 bytes decode, and re-encoding reproduces them exactly
+    /// (the codec is a bijection on the header: no byte is ignored,
+    /// none is read twice).
+    #[test]
+    fn wire_round_trips(bytes in proptest::collection::vec(any::<u8>(), PACKET_LEN..PACKET_LEN + 1)) {
+        let p = NtpPacket::decode(&bytes).expect("48 bytes always decode");
+        prop_assert_eq!(&p.encode()[..], &bytes[..]);
+    }
+
+    /// Short datagrams are rejected with a typed error; no length panics.
+    #[test]
+    fn truncated_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..PACKET_LEN)) {
+        prop_assert_eq!(
+            NtpPacket::decode(&bytes),
+            Err(PacketError::Truncated { len: bytes.len() })
+        );
+    }
+
+    /// Trailing bytes (extension fields, MACs) never change the header.
+    #[test]
+    fn trailer_is_ignored(p in arb_packet(), trailer in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let mut wire = p.encode().to_vec();
+        wire.extend_from_slice(&trailer);
+        prop_assert_eq!(NtpPacket::decode(&wire), Ok(p));
+    }
+
+    /// 64-bit wire timestamps survive widening to the internal 91-bit
+    /// clock format and truncating back — including era-boundary values.
+    #[test]
+    fn ntp64_is_exact_on_wire_values(x in any::<u64>()) {
+        prop_assert_eq!(to_ntp64(from_ntp64(x)), x);
+    }
+
+    /// The internal → wire truncation drops only sub-2⁻³² fraction: the
+    /// wire value never exceeds the true time and is within one unit.
+    #[test]
+    fn ntp64_truncates_downward(raw in 0u128..(1u128 << (32 + FRAC_BITS))) {
+        let t = NtpTime::from_raw(raw);
+        let wire = to_ntp64(t);
+        let back = from_ntp64(wire);
+        prop_assert!(back.raw() <= t.raw());
+        prop_assert!(t.raw() - back.raw() < 1 << (FRAC_BITS - 32));
+    }
+
+    /// Crossing the era boundary wraps seconds to zero instead of
+    /// corrupting the fraction.
+    #[test]
+    fn era_boundary_wraps_cleanly(frac in 0u128..(1u128 << FRAC_BITS), step in 1i128..1000) {
+        let last = NtpTime::from_raw(((u32::MAX as u128) << FRAC_BITS) | frac);
+        let wrapped = last.wrapping_add_units(step << FRAC_BITS);
+        prop_assert_eq!(to_ntp64(last) >> 32, u32::MAX as u64);
+        prop_assert_eq!(to_ntp64(wrapped) >> 32, (step - 1) as u64);
+    }
+
+    /// Short-format encoding of a dispersion is always an over-bound
+    /// (rounds up), within one quantum, and round-trip monotone — the
+    /// property that keeps wire-level containment sound.
+    #[test]
+    fn short_format_is_a_safe_over_bound(fs in 0u128..(60 * FS_PER_SEC)) {
+        let d = SimDuration::from_fs(fs);
+        let wire = to_short_format(d);
+        let back = from_short_format(wire);
+        prop_assert!(back >= d, "never under-claims");
+        prop_assert!(back.as_fs() - d.as_fs() < FS_PER_SEC >> 16, "within one 2^-16 s unit");
+    }
+}

@@ -33,6 +33,10 @@ echo "== engine scheduler smoke run (e17_engine_perf --smoke) =="
 NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e17_engine_perf -- --smoke \
   || { echo "check.sh: engine smoke failed (backend divergence or throughput regression)" >&2; exit 1; }
 
+echo "== serving-layer smoke run (e19_serve --smoke) =="
+NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e19_serve -- --smoke \
+  || { echo "check.sh: serve smoke failed (malformed, loss, latency, or containment)" >&2; exit 1; }
+
 echo "== span/monitor smoke run (nti_analyze --smoke) =="
 cargo run --release -q -p nti-bench --bin nti_analyze -- --smoke \
   || { echo "check.sh: nti_analyze smoke failed (span chain or monitors)" >&2; exit 1; }

@@ -12,7 +12,8 @@
 //! * [`gps`] — GPS receivers and fault injection;
 //! * [`faults`] — deterministic cross-layer fault plans and injectors;
 //! * [`kernel`] — the pSOS-like executive and COMCO driver;
-//! * [`core`] — interval-based clock synchronization and cluster assembly.
+//! * [`core`] — interval-based clock synchronization and cluster assembly;
+//! * [`serve`] — NTPv4 UDP front-end answering from the simulated ensemble.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
@@ -23,6 +24,7 @@ pub use nti_gps as gps;
 pub use nti_kernel as kernel;
 pub use nti_module as module;
 pub use nti_netsim as netsim;
+pub use nti_serve as serve;
 pub use nti_simcore as simcore;
 pub use nti_utcsu as utcsu;
 
