@@ -199,6 +199,7 @@ fn main() {
             workers: sh.workers,
             queries_per_worker: sh.queries_per_worker,
             timeout: Duration::from_secs(1),
+            pace: None,
         },
         &targets,
     )

@@ -497,6 +497,9 @@ struct ClusterObs {
     /// `membership/<state>` — how many nodes currently sit in each health
     /// state, refreshed at every snapshot.
     state_gauge: [Arc<Gauge>; HEALTH_STATES.len()],
+    /// `cluster/status_publishes` — frames published into the status
+    /// cell; serving-side staleness alarms correlate against this.
+    status_publishes: Arc<Counter>,
 }
 
 impl ClusterObs {
@@ -1079,6 +1082,7 @@ impl Cluster {
                     obs.gauge(MetricKey::global("membership", s.name()))
                         .expect("enabled")
                 }),
+                status_publishes: obs.counter(key("status_publishes")).expect("enabled"),
             });
             world.monitors = Monitors::new(
                 &obs,
@@ -2621,6 +2625,9 @@ fn snapshot(world: &mut World, eng: &mut Eng) {
         let frame = world.status(now);
         let cell = world.cfg.status_cell.as_ref().expect("checked above");
         cell.publish(&frame);
+        if let Some(o) = &world.obs {
+            o.status_publishes.add(1);
+        }
     }
 }
 

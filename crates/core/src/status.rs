@@ -62,6 +62,16 @@ pub struct ClusterStatus {
 }
 
 impl ClusterStatus {
+    /// Simulation-time age of this frame at `now_fs` (femtoseconds).
+    /// Saturates at zero if `now_fs` predates the frame (a reader racing
+    /// ahead of the clock it compares against), so age is total and never
+    /// wraps. A frame with `publishes == 0` is placeholder data — its age
+    /// against any positive `now_fs` is simply `now_fs`, which correctly
+    /// reads as "stale since forever".
+    pub fn age_fs(&self, now_fs: u128) -> u128 {
+        now_fs.saturating_sub(self.sim_time_fs)
+    }
+
     /// How many nodes currently sit in each health state, indexed by
     /// [`HealthState::index`] — the mid-run equivalent of the
     /// `membership/<state>` gauges.
@@ -92,6 +102,14 @@ pub struct NodeClock {
     pub ref_time_fs: u128,
     /// The node slice.
     pub node: NodeStatus,
+}
+
+impl NodeClock {
+    /// Simulation-time age of the frame this slice came from (see
+    /// [`ClusterStatus::age_fs`]).
+    pub fn age_fs(&self, now_fs: u128) -> u128 {
+        now_fs.saturating_sub(self.sim_time_fs)
+    }
 }
 
 /// Words per node slice: clock (2), α⁻ (1), α⁺ (1), state/down (1).
@@ -138,6 +156,19 @@ impl StatusCell {
     /// Node capacity of the cell.
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// How many frames have been **completed** into the cell — a two-load
+    /// probe (no payload read, no retry loop) that lets a reader ask "is
+    /// there anything new?" without paying for a frame decode. Distinct
+    /// from the `publishes` field inside a frame only in cost: a seqlock
+    /// retry re-reads the same generation, so a reader polling this value
+    /// can tell "no new frame" (generation unchanged) from "I raced a
+    /// writer" (generation advanced while I was reading).
+    pub fn generation(&self) -> u64 {
+        // seq counts half-steps: odd while a publish is in flight, even
+        // once it completes — so completed frames = seq / 2.
+        self.seq.load(Ordering::Acquire) >> 1
     }
 
     /// Publish a frame. **Wait-free**: a straight-line sequence of atomic
@@ -292,6 +323,99 @@ mod tests {
         for (s, n) in f.nodes.iter().zip(f.states()) {
             assert_eq!(s.state.name(), n);
         }
+    }
+
+    #[test]
+    fn generation_counts_completed_publishes() {
+        let cell = StatusCell::new(2);
+        assert_eq!(cell.generation(), 0);
+        for k in 1..=5 {
+            cell.publish(&frame(k, 2));
+            assert_eq!(cell.generation(), k);
+            assert_eq!(cell.read().publishes, k);
+        }
+    }
+
+    #[test]
+    fn age_saturates_and_tracks_sim_time() {
+        let cell = StatusCell::new(1);
+        let mut f = frame(3, 1);
+        f.sim_time_fs = 1_000;
+        cell.publish(&f);
+        let got = cell.read();
+        assert_eq!(got.age_fs(4_000), 3_000);
+        assert_eq!(got.age_fs(500), 0, "age never wraps");
+        let nc = cell.read_node(0).expect("in range");
+        assert_eq!(nc.age_fs(4_000), 3_000);
+        // The unpublished placeholder frame is "stale since forever".
+        let empty = StatusCell::new(1);
+        assert_eq!(empty.read().age_fs(7), 7);
+    }
+
+    /// Age computation across seqlock retries: a writer publishes frames
+    /// whose sim-time stamp advances monotonically while readers compute
+    /// ages against a "now" at least as late as any published stamp. Any
+    /// torn read that blended the stamp of one frame with the generation
+    /// of another would produce an age/generation pair violating the
+    /// k-derivation (stamp = k<<64 | k), and a generation probe taken
+    /// around the read bounds which frames the reader could have seen.
+    #[test]
+    fn age_is_consistent_across_seqlock_retries() {
+        let n = 2;
+        let cell = Arc::new(StatusCell::new(n));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut k = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // sim_time_fs advances with the generation (frame(k)
+                    // stamps k<<64 | k), so newer frames are never older.
+                    cell.publish(&frame(k, n));
+                    k += 1;
+                }
+                k - 1
+            })
+        };
+        let reader = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let g_before = cell.generation();
+                    let f = cell.read();
+                    let g_after = cell.generation();
+                    if f.publishes == 0 {
+                        continue;
+                    }
+                    // The observed frame is one of the generations the
+                    // probe pair brackets — a retry can only move forward.
+                    assert!(
+                        f.publishes >= g_before && f.publishes <= g_after,
+                        "frame {} outside probe window [{}, {}]",
+                        f.publishes,
+                        g_before,
+                        g_after
+                    );
+                    // Stamp matches the frame's own generation (no blend),
+                    // so age against any later stamp is exact.
+                    let expect_stamp = (f.publishes as u128) << 64 | f.publishes as u128;
+                    assert_eq!(f.sim_time_fs, expect_stamp, "blended stamp");
+                    let now = frame(g_after + 1, n).sim_time_fs;
+                    assert_eq!(f.age_fs(now), now - expect_stamp);
+                    checked += 1;
+                }
+                checked
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        stop.store(true, Ordering::Relaxed);
+        let frames = writer.join().expect("writer");
+        let checked = reader.join().expect("reader");
+        assert!(frames > 100, "writer made progress ({frames})");
+        assert!(checked > 100, "reader made progress ({checked})");
     }
 
     /// Seqlock torture: one writer publishing self-consistent frames as

@@ -30,6 +30,13 @@ use nti_obs::{MetricKey, SimObserver, SpanId, Subsystem};
 use nti_simcore::{DriftExcursion, SimDuration, SimRng, SimTime};
 use std::sync::Arc;
 
+pub mod serve_path;
+
+pub use serve_path::{
+    fuzz_corpus, FloodShape, FloodSource, IngressFate, ServeFaultEpisode, ServeFaultInjector,
+    ServeFaultKind, ServeFaultPlan,
+};
+
 /// "Never": an episode `until` of this value means the fault lasts for the
 /// whole run (for [`FaultKind::Crash`]: the node never restarts).
 pub const FOREVER: SimTime = SimTime::MAX;

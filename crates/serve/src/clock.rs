@@ -30,15 +30,40 @@
 //! its last rate trim: the α the UTCSU still reports deteriorates at the
 //! modelled drift bound, and doubling it keeps the wire claim safely
 //! conservative even a full snapshot period after publication.
+//!
+//! ## Stale-ensemble degradation
+//!
+//! The table above degrades on what the frame *says*; a wedged or
+//! crashed simulation thread says nothing — it just stops publishing,
+//! and the last frame would otherwise be served as stratum-1 truth
+//! forever. With a [`StalenessPolicy`] attached
+//! ([`ClockHandle::with_staleness`]), the handle tracks the wall-clock
+//! age of the newest frame *generation* and escalates exactly the way
+//! `core::health` handles holdover — the serving layer's own holdover,
+//! one level up:
+//!
+//! | frame age                  | effect on the response                   |
+//! |----------------------------|------------------------------------------|
+//! | ≤ `fresh`                  | none — bit-identical to the table above  |
+//! | > `fresh`, each further `escalate_every` | stratum +1 (within 1..=3 → cap 15), dispersion += ρ·age |
+//! | > `kod_after`              | KoD `XSTL` — no time claimed             |
+//!
+//! The dispersion widening is the paper's containment argument on the
+//! wire: the served clock can have drifted at most ρ (the bounded drift
+//! rate) per unit of age since the frame was published, so a claim
+//! widened by ρ·age still contains reference time — the interval
+//! degrades honestly instead of the server freezing its last claim.
 
 use crate::packet::{
-    to_ntp64, to_short_format, NtpPacket, KISS_INIT, KISS_RATE, LI_ALARM, LI_NONE, MODE_SERVER,
-    STRATUM_KOD, STRATUM_UNSYNC,
+    to_ntp64, to_short_format, NtpPacket, KISS_INIT, KISS_RATE, KISS_STALE, LI_ALARM, LI_NONE,
+    MODE_SERVER, STRATUM_KOD, STRATUM_UNSYNC,
 };
 use nti_core::health::HealthState;
 use nti_core::status::{NodeClock, StatusCell};
 use nti_simcore::time::{SimDuration, FS_PER_SEC};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Reference id a synchronized NTI node answers with (stratum-1 source
 /// tag, like `GPS` or `PPS` in classic ntpd).
@@ -96,6 +121,35 @@ pub const fn response_profile(state: HealthState) -> ResponseProfile {
     }
 }
 
+/// Version negotiation per RFC 5905: answer in the client's version when
+/// it is one we speak, otherwise in ours.
+fn wire_version(requested: u8) -> u8 {
+    if (1..=4).contains(&requested) {
+        requested
+    } else {
+        4
+    }
+}
+
+/// The kiss-o'-death `RATE` refusal for an over-budget client: origin
+/// echoed so the client can match it, no time claimed. This is the
+/// admission-control reply — independent of node health (contrast the
+/// `Down` row of the degradation table, which also answers `RATE` but
+/// because the *node* is gone, not because the *client* is abusive).
+pub fn rate_limit_kod(req: &NtpPacket) -> NtpPacket {
+    NtpPacket {
+        li: LI_ALARM,
+        version: wire_version(req.version),
+        mode: MODE_SERVER,
+        stratum: STRATUM_KOD,
+        poll: req.poll,
+        precision: PRECISION_UTCSU,
+        ref_id: KISS_RATE,
+        origin_ts: req.transmit_ts,
+        ..NtpPacket::default()
+    }
+}
+
 /// Encode a femtosecond sim/reference timestamp as NTP 32.32 (node
 /// NtpTime clocks and the sim reference share the epoch, so the two are
 /// directly comparable on the wire).
@@ -105,12 +159,75 @@ pub fn fs_to_ntp64(fs: u128) -> u64 {
     (secs << 32) | frac32 as u64
 }
 
+/// How served responses degrade as the newest frame ages (wall clock).
+/// See the module-level table. All durations compare against the age of
+/// the latest *generation change*, not of any individual read — a seqlock
+/// retry re-reads the same generation and does not reset the clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StalenessPolicy {
+    /// Age up to which responses are untouched (the publish cadence plus
+    /// scheduling slack).
+    pub fresh: Duration,
+    /// Each further `escalate_every` of age adds one stratum.
+    pub escalate_every: Duration,
+    /// Beyond this age the server answers KoD [`KISS_STALE`] only.
+    pub kod_after: Duration,
+    /// Bounded drift rate ρ in parts per million: served root dispersion
+    /// widens by ρ · age once past `fresh`, mirroring how `core::health`
+    /// holdover lets α deteriorate at the modelled drift bound.
+    pub rho_ppm: u32,
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> StalenessPolicy {
+        StalenessPolicy {
+            fresh: Duration::from_millis(250),
+            escalate_every: Duration::from_millis(250),
+            kod_after: Duration::from_millis(1500),
+            // Generous against the simulated oscillators (tens of ppm).
+            rho_ppm: 100,
+        }
+    }
+}
+
+/// Shared wall-clock tracker for the newest observed generation. One per
+/// handle lineage (clones share it), so every shard's observations
+/// advance the same freshness clock.
+#[derive(Debug)]
+struct StaleTracker {
+    policy: StalenessPolicy,
+    /// Epoch for `now_ns` when the caller does not supply one.
+    start: Instant,
+    /// Newest generation any reader has observed.
+    last_gen: AtomicU64,
+    /// `now_ns` at which `last_gen` was first observed.
+    changed_at_ns: AtomicU64,
+}
+
+impl StaleTracker {
+    /// Record that `gen` was observed at `now_ns`; return the age (ns) of
+    /// the newest generation. Races between shards are benign: both order
+    /// their stores after observing the same frame, so the worst case is
+    /// an age short by one inter-query gap — always on the *fresh* side,
+    /// never inventing staleness.
+    fn observe(&self, gen: u64, now_ns: u64) -> u64 {
+        let seen = self.last_gen.load(Ordering::Relaxed);
+        if gen != seen {
+            self.last_gen.store(gen, Ordering::Relaxed);
+            self.changed_at_ns.store(now_ns, Ordering::Relaxed);
+            return 0;
+        }
+        now_ns.saturating_sub(self.changed_at_ns.load(Ordering::Relaxed))
+    }
+}
+
 /// A read-only handle onto one simulated node's clock, backed by the
 /// lock-free status cell. Cheap to clone; every server shard owns one.
 #[derive(Clone, Debug)]
 pub struct ClockHandle {
     cell: Arc<StatusCell>,
     node: usize,
+    stale: Option<Arc<StaleTracker>>,
 }
 
 impl ClockHandle {
@@ -122,7 +239,24 @@ impl ClockHandle {
             "node {node} out of range for a {}-node status cell",
             cell.node_count()
         );
-        ClockHandle { cell, node }
+        ClockHandle {
+            cell,
+            node,
+            stale: None,
+        }
+    }
+
+    /// Enable stale-ensemble degradation under `policy` (see the
+    /// module-level table). Clones of the returned handle share one
+    /// freshness tracker, so all shards escalate together.
+    pub fn with_staleness(mut self, policy: StalenessPolicy) -> ClockHandle {
+        self.stale = Some(Arc::new(StaleTracker {
+            policy,
+            start: Instant::now(),
+            last_gen: AtomicU64::new(u64::MAX),
+            changed_at_ns: AtomicU64::new(0),
+        }));
+        self
     }
 
     /// Which node this handle serves.
@@ -143,16 +277,21 @@ impl ClockHandle {
     /// seqlock read plus straight-line arithmetic — no locks, no
     /// allocation, no syscalls.
     pub fn respond(&self, req: &NtpPacket) -> NtpPacket {
-        let nc = self.sample();
-        // Version negotiation per RFC 5905: answer in the client's
-        // version when it is one we speak, otherwise in ours.
-        let version = if (1..=4).contains(&req.version) {
-            req.version
-        } else {
-            4
+        let now_ns = match &self.stale {
+            Some(t) => t.start.elapsed().as_nanos() as u64,
+            None => 0,
         };
+        self.respond_at(req, now_ns)
+    }
+
+    /// [`respond`](ClockHandle::respond) with an explicit "now" on the
+    /// freshness clock (nanoseconds since an arbitrary epoch). This is
+    /// the testable seam: without a staleness policy `now_ns` is unused
+    /// and the behavior is exactly the legacy table.
+    pub fn respond_at(&self, req: &NtpPacket, now_ns: u64) -> NtpPacket {
+        let nc = self.sample();
         let mut resp = NtpPacket {
-            version,
+            version: wire_version(req.version),
             mode: MODE_SERVER,
             poll: req.poll,
             precision: PRECISION_UTCSU,
@@ -169,6 +308,23 @@ impl ClockHandle {
             return resp;
         }
 
+        // Wall-clock age of the newest frame generation (0 without a
+        // staleness policy — the tracker is the only consumer).
+        let age_ns = match &self.stale {
+            Some(t) => t.observe(nc.publishes, now_ns),
+            None => 0,
+        };
+        if let Some(t) = &self.stale {
+            if age_ns > t.policy.kod_after.as_nanos() as u64 {
+                // Past the staleness budget: refuse rather than keep
+                // claiming a time the ensemble stopped vouching for.
+                resp.li = LI_ALARM;
+                resp.stratum = STRATUM_KOD;
+                resp.ref_id = KISS_STALE;
+                return resp;
+            }
+        }
+
         let profile = response_profile(if nc.node.down {
             HealthState::Down
         } else {
@@ -183,8 +339,26 @@ impl ClockHandle {
         }
 
         let alpha = nc.node.alpha_minus.max(nc.node.alpha_plus);
-        let widened = SimDuration::from_fs(alpha.as_fs().saturating_mul(profile.disp_mult as u128));
-        resp.root_dispersion = to_short_format(widened);
+        let mut disp_fs = alpha.as_fs().saturating_mul(profile.disp_mult as u128);
+        if let Some(t) = &self.stale {
+            let fresh_ns = t.policy.fresh.as_nanos() as u64;
+            if age_ns > fresh_ns {
+                // Stratum: +1 per escalate_every of excess age, applied
+                // only to the healthy strata (1..=3) and capped below
+                // MAXSTRAT — Reintegrating already claims 16.
+                if (1..=3).contains(&resp.stratum) {
+                    let every = t.policy.escalate_every.as_nanos().max(1) as u64;
+                    let steps = 1 + (age_ns - fresh_ns - 1) / every;
+                    let cap = (STRATUM_UNSYNC - 1) as u64;
+                    resp.stratum = (resp.stratum as u64 + steps).min(cap) as u8;
+                }
+                // Dispersion: the clock can have drifted ρ·age since the
+                // frame was published; 1 ns = 10⁶ fs and ppm = 10⁻⁶, so
+                // the two factors cancel: ρ·age in fs = age_ns × rho_ppm.
+                disp_fs = disp_fs.saturating_add(age_ns as u128 * t.policy.rho_ppm as u128);
+            }
+        }
+        resp.root_dispersion = to_short_format(SimDuration::from_fs(disp_fs));
         let clock = to_ntp64(nc.node.clock);
         resp.recv_ts = clock;
         resp.transmit_ts = clock;
@@ -311,6 +485,85 @@ mod tests {
         assert_eq!(resp.ref_id, KISS_RATE);
         assert_eq!(resp.li, LI_ALARM);
         assert_eq!(resp.transmit_ts, 0);
+    }
+
+    fn ms(n: u64) -> u64 {
+        n * 1_000_000
+    }
+
+    fn stale_policy() -> StalenessPolicy {
+        StalenessPolicy {
+            fresh: std::time::Duration::from_millis(100),
+            escalate_every: std::time::Duration::from_millis(100),
+            kod_after: std::time::Duration::from_millis(1000),
+            rho_ppm: 100,
+        }
+    }
+
+    #[test]
+    fn fresh_frames_are_served_bit_identically_with_staleness_enabled() {
+        let cell = Arc::new(StatusCell::new(1));
+        cell.publish(&frame(1, vec![sync_node()]));
+        let plain = ClockHandle::new(Arc::clone(&cell), 0);
+        let staled = ClockHandle::new(cell, 0).with_staleness(stale_policy());
+        let baseline = plain.respond(&client_req());
+        // First observation pins the generation at t=0; anything within
+        // `fresh` is untouched.
+        for t in [0, ms(50), ms(100)] {
+            assert_eq!(staled.respond_at(&client_req(), t), baseline);
+        }
+    }
+
+    #[test]
+    fn stalled_frames_escalate_stratum_and_widen_dispersion() {
+        let cell = Arc::new(StatusCell::new(1));
+        cell.publish(&frame(1, vec![sync_node()]));
+        let h = ClockHandle::new(cell, 0).with_staleness(stale_policy());
+        assert_eq!(h.respond_at(&client_req(), 0).stratum, 1);
+        let base_disp = h.respond_at(&client_req(), 0).root_dispersion;
+        // fresh = 100 ms, escalate_every = 100 ms: one step per window.
+        assert_eq!(h.respond_at(&client_req(), ms(150)).stratum, 2);
+        assert_eq!(h.respond_at(&client_req(), ms(250)).stratum, 3);
+        assert_eq!(h.respond_at(&client_req(), ms(350)).stratum, 4);
+        // Cap below MAXSTRAT even for extreme (sub-KoD-budget) ages.
+        let late = h.respond_at(&client_req(), ms(999));
+        assert!(late.stratum < STRATUM_UNSYNC);
+        assert!(late.stratum > 4);
+        // Dispersion widens by ρ·age: 100 ppm × 350 ms = 35 µs extra.
+        let disp = h.respond_at(&client_req(), ms(350)).root_dispersion;
+        assert!(disp > base_disp);
+        let widened = crate::packet::from_short_format(disp);
+        assert!(widened >= SimDuration::from_micros(35));
+    }
+
+    #[test]
+    fn staleness_budget_exhaustion_flips_to_kod_stale() {
+        let cell = Arc::new(StatusCell::new(1));
+        cell.publish(&frame(1, vec![sync_node()]));
+        let h = ClockHandle::new(Arc::clone(&cell), 0).with_staleness(stale_policy());
+        assert_eq!(h.respond_at(&client_req(), 0).stratum, 1);
+        let resp = h.respond_at(&client_req(), ms(1001));
+        assert!(resp.is_kod());
+        assert_eq!(resp.ref_id, crate::packet::KISS_STALE);
+        assert_eq!(resp.transmit_ts, 0, "no time claimed when stale");
+        // A new frame generation resets the freshness clock entirely.
+        cell.publish(&frame(2, vec![sync_node()]));
+        let resp = h.respond_at(&client_req(), ms(1002));
+        assert_eq!(resp.stratum, 1, "fresh generation recovers stratum 1");
+    }
+
+    #[test]
+    fn seqlock_rereads_of_one_generation_do_not_reset_freshness() {
+        let cell = Arc::new(StatusCell::new(1));
+        cell.publish(&frame(1, vec![sync_node()]));
+        let h = ClockHandle::new(cell, 0).with_staleness(stale_policy());
+        // Many queries against the same generation: age keeps growing no
+        // matter how often the frame is re-read.
+        h.respond_at(&client_req(), 0);
+        for t in 1..=9 {
+            h.respond_at(&client_req(), ms(t * 100));
+        }
+        assert!(h.respond_at(&client_req(), ms(1001)).is_kod());
     }
 
     #[test]

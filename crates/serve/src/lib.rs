@@ -16,6 +16,10 @@
 //!   sweep, plus the health→stratum degradation table (Holdover widens
 //!   root dispersion, Down answers kiss-o'-death `RATE`, an unpublished
 //!   cell answers `INIT`).
+//! * [`admission`] — per-client token-bucket policing over a bounded,
+//!   keyed-hash (SipHash-1-3, seeded) LRU client table: the
+//!   Admit → KoD `RATE` → silent-drop ladder that keeps hostile traffic
+//!   from crowding out legitimate clients.
 //! * [`server`] — per-core sharded non-blocking sockets (`SO_REUSEPORT`
 //!   group on Linux, distinct-port fallback elsewhere) draining batches
 //!   of datagrams; the per-query path is allocation-free.
@@ -27,12 +31,16 @@
 //! publisher is wait-free (straight-line atomic stores), and serving
 //! threads only ever read the cell.
 
+pub mod admission;
 pub mod clock;
 pub mod loadgen;
 pub mod packet;
 pub mod server;
 
+pub use admission::{AdmissionConfig, AdmissionStats, ClientTable, Verdict};
 pub use clock::{response_profile, ClockHandle, ResponseProfile};
 pub use loadgen::{containment_holds, LoadGenConfig, LoadReport};
 pub use packet::{NtpPacket, PacketError, PACKET_LEN};
-pub use server::{RunningServer, Server, ServerConfig, ServerStats, StatsSnapshot};
+pub use server::{
+    classify, Ingress, RunningServer, Server, ServerConfig, ServerStats, StatsSnapshot,
+};

@@ -9,7 +9,7 @@
 //! * it must decode (48-byte header) and be server mode;
 //! * its origin timestamp must echo the request's transmit nonce
 //!   (late answers to timed-out queries are detected, not miscounted);
-//! * any response claiming time (stratum 1–3) must satisfy the
+//! * any response claiming time (stratum 1–15) must satisfy the
 //!   containment invariant `reference ∈ [transmit − rootdisp,
 //!   transmit + rootdisp]` — the wire-level image of the paper's
 //!   `t ∈ [C − α⁻, C + α⁺]`. Stratum-16 and KoD responses claim no
@@ -32,6 +32,11 @@ pub struct LoadGenConfig {
     pub queries_per_worker: u64,
     /// Per-query response timeout.
     pub timeout: Duration,
+    /// Think time after each completed query. `None` hammers as fast as
+    /// the closed loop allows; `Some` models a well-behaved client that
+    /// stays under an admission budget (`1 / pace` queries per second
+    /// per worker at most).
+    pub pace: Option<Duration>,
 }
 
 impl Default for LoadGenConfig {
@@ -40,6 +45,7 @@ impl Default for LoadGenConfig {
             workers: 2,
             queries_per_worker: 1000,
             timeout: Duration::from_millis(250),
+            pace: None,
         }
     }
 }
@@ -59,7 +65,7 @@ pub struct LoadReport {
     pub origin_mismatches: u64,
     /// Kiss-o'-death responses.
     pub kod: u64,
-    /// Containment checks performed (stratum 1–3 responses).
+    /// Containment checks performed (time-claiming stratum 1–15 responses).
     pub containment_checks: u64,
     /// Checks where the reference fell outside the claimed interval.
     pub containment_violations: u64,
@@ -82,7 +88,7 @@ impl LoadReport {
 }
 
 /// Does `resp` keep its containment promise? Only meaningful for
-/// stratum 1–3. All arithmetic is wrapping 32.32 so an era boundary
+/// time-claiming strata. All arithmetic is wrapping 32.32 so an era boundary
 /// between reference and transmit cannot produce a false violation.
 pub fn containment_holds(resp: &NtpPacket) -> bool {
     // 16.16 root dispersion widened to the 32.32 timestamp scale.
@@ -217,13 +223,18 @@ fn worker(
             tally.received.fetch_add(1, Relaxed);
             if resp.is_kod() {
                 tally.kod.fetch_add(1, Relaxed);
-            } else if (1..=3).contains(&resp.stratum) {
+            } else if (1..=15).contains(&resp.stratum) {
+                // Any stratum that claims a time — including strata the
+                // staleness policy escalated past 3 — owes containment.
                 tally.containment_checks.fetch_add(1, Relaxed);
                 if !containment_holds(&resp) {
                     tally.containment_violations.fetch_add(1, Relaxed);
                 }
             }
             break;
+        }
+        if let Some(p) = cfg.pace {
+            std::thread::sleep(p);
         }
     }
     Ok(())

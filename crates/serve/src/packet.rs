@@ -49,6 +49,11 @@ pub const KISS_RATE: [u8; 4] = *b"RATE";
 /// KoD code: the server has not finished initializing (no frame published
 /// by the simulation yet).
 pub const KISS_INIT: [u8; 4] = *b"INIT";
+/// KoD code: the ensemble behind the server has gone stale beyond the
+/// staleness budget — the server refuses to claim a time rather than
+/// serve a frozen frame. `X`-prefixed per RFC 5905 §7.4: experimental /
+/// unregistered codes must start with `X`.
+pub const KISS_STALE: [u8; 4] = *b"XSTL";
 
 /// Why a datagram failed to decode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -17,15 +17,32 @@
 //! is nothing to await. A non-blocking drain loop per shard keeps the
 //! whole data path allocation-free and syscall-bounded, and `yield_now`
 //! on an empty drain keeps idle shards polite.
+//!
+//! ## Ingress hardening
+//!
+//! Every drained datagram passes through [`classify`] (a pure total
+//! function — decode only, testable without sockets) and, when
+//! [`ServerConfig::admission`] is set, through a per-shard
+//! [`ClientTable`]: the Admit → KoD `RATE` → silent-drop ladder that
+//! keeps one abusive source from crowding out everyone else. Every
+//! non-`WouldBlock` poll outcome — packet, transient error, anything —
+//! counts toward the drain batch, so neither a datagram flood nor an
+//! ICMP-driven error storm can keep a shard from rechecking its stop
+//! flag. A [`ServeFaultPlan`] can be attached to mangle ingress
+//! deterministically (drop/duplicate/truncate/corrupt) for chaos tests.
 
-use crate::clock::ClockHandle;
+use crate::admission::{AdmissionConfig, ClientTable, Verdict};
+use crate::clock::{rate_limit_kod, ClockHandle};
 use crate::packet::{NtpPacket, MODE_CLIENT};
+use nti_faults::{IngressFate, ServeFaultInjector, ServeFaultPlan};
 use nti_obs::{MetricKey, SimObserver};
+use nti_simcore::rng::SimRng;
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// How a server should bind and drain its sockets.
 #[derive(Clone, Debug)]
@@ -38,6 +55,13 @@ pub struct ServerConfig {
     /// Max datagrams drained per shard per poll iteration before the
     /// stop flag is rechecked.
     pub batch: usize,
+    /// Per-client admission control; `None` serves everyone unpoliced.
+    pub admission: Option<AdmissionConfig>,
+    /// Deterministic ingress mangling for chaos tests; an empty plan
+    /// leaves the data path untouched (and draws no randomness).
+    pub faults: ServeFaultPlan,
+    /// Seed for the fault injector's per-shard RNG streams.
+    pub fault_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +70,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".parse().expect("valid literal"),
             shards: 1,
             batch: 32,
+            admission: None,
+            faults: ServeFaultPlan::new(),
+            fault_seed: 0,
         }
     }
 }
@@ -65,6 +92,20 @@ pub struct ServerStats {
     pub ignored: AtomicU64,
     /// `send_to` failures.
     pub send_errors: AtomicU64,
+    /// Queries answered with admission-control KoD `RATE`.
+    pub rate_kod: AtomicU64,
+    /// Queries silently dropped by admission control (sustained abuse).
+    pub dropped: AtomicU64,
+    /// Admission-table clients evicted to make room.
+    pub evictions: AtomicU64,
+    /// Datagrams swallowed by the ingress fault injector.
+    pub ingress_dropped: AtomicU64,
+    /// Datagrams delivered twice by the ingress fault injector.
+    pub ingress_duplicated: AtomicU64,
+    /// Datagrams truncated by the ingress fault injector.
+    pub ingress_truncated: AtomicU64,
+    /// Datagrams bit-corrupted by the ingress fault injector.
+    pub ingress_corrupted: AtomicU64,
 }
 
 /// A plain-integer copy of [`ServerStats`] at one instant.
@@ -82,6 +123,20 @@ pub struct StatsSnapshot {
     pub ignored: u64,
     /// `send_to` failures.
     pub send_errors: u64,
+    /// Queries answered with admission-control KoD `RATE`.
+    pub rate_kod: u64,
+    /// Queries silently dropped by admission control (sustained abuse).
+    pub dropped: u64,
+    /// Admission-table clients evicted to make room.
+    pub evictions: u64,
+    /// Datagrams swallowed by the ingress fault injector.
+    pub ingress_dropped: u64,
+    /// Datagrams delivered twice by the ingress fault injector.
+    pub ingress_duplicated: u64,
+    /// Datagrams truncated by the ingress fault injector.
+    pub ingress_truncated: u64,
+    /// Datagrams bit-corrupted by the ingress fault injector.
+    pub ingress_corrupted: u64,
 }
 
 impl ServerStats {
@@ -94,6 +149,13 @@ impl ServerStats {
             malformed: self.malformed.load(Relaxed),
             ignored: self.ignored.load(Relaxed),
             send_errors: self.send_errors.load(Relaxed),
+            rate_kod: self.rate_kod.load(Relaxed),
+            dropped: self.dropped.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            ingress_dropped: self.ingress_dropped.load(Relaxed),
+            ingress_duplicated: self.ingress_duplicated.load(Relaxed),
+            ingress_truncated: self.ingress_truncated.load(Relaxed),
+            ingress_corrupted: self.ingress_corrupted.load(Relaxed),
         }
     }
 }
@@ -107,6 +169,9 @@ pub struct Server {
     handle: ClockHandle,
     stats: Arc<ServerStats>,
     batch: usize,
+    admission: Option<AdmissionConfig>,
+    faults: ServeFaultPlan,
+    fault_seed: u64,
 }
 
 impl Server {
@@ -127,6 +192,9 @@ impl Server {
             handle,
             stats: Arc::new(ServerStats::default()),
             batch: cfg.batch,
+            admission: cfg.admission,
+            faults: cfg.faults.clone(),
+            fault_seed: cfg.fault_seed,
         })
     }
 
@@ -149,16 +217,25 @@ impl Server {
     /// Spawn one drain thread per shard and start answering.
     pub fn start(self) -> RunningServer {
         let stop = Arc::new(AtomicBool::new(false));
+        let fault_rng = SimRng::new(self.fault_seed);
         let mut threads = Vec::with_capacity(self.sockets.len());
         for (i, sock) in self.sockets.into_iter().enumerate() {
             let handle = self.handle.clone();
             let stats = Arc::clone(&self.stats);
             let stop = Arc::clone(&stop);
             let batch = self.batch;
+            // Per-shard policing state: each shard owns its table (the
+            // kernel pins a flow to one shard in a reuseport group) and
+            // its own named RNG stream, so shards never contend.
+            let admission = self.admission.as_ref().map(ClientTable::new);
+            let injector = (!self.faults.is_empty())
+                .then(|| ServeFaultInjector::for_shard(&self.faults, &fault_rng, i));
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("nti-serve-{i}"))
-                    .spawn(move || shard_loop(&sock, &handle, &stats, &stop, batch))
+                    .spawn(move || {
+                        shard_loop(&sock, &handle, &stats, &stop, batch, admission, injector)
+                    })
                     .expect("spawn serve shard"),
             );
         }
@@ -207,6 +284,13 @@ impl RunningServer {
             ("malformed", snap.malformed),
             ("ignored", snap.ignored),
             ("send_errors", snap.send_errors),
+            ("rate_kod", snap.rate_kod),
+            ("dropped", snap.dropped),
+            ("evictions", snap.evictions),
+            ("ingress_dropped", snap.ingress_dropped),
+            ("ingress_duplicated", snap.ingress_duplicated),
+            ("ingress_truncated", snap.ingress_truncated),
+            ("ingress_corrupted", snap.ingress_corrupted),
         ];
         for (name, v) in mirror {
             if let Some(c) = obs.counter(MetricKey::global("serve", name)) {
@@ -217,49 +301,164 @@ impl RunningServer {
     }
 }
 
-/// One shard's life: drain up to `batch` datagrams, answer each, check
-/// the stop flag, yield when idle. The only state is the stack buffer.
+/// What one drained datagram turned out to be.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Ingress {
+    /// A well-formed client-mode query — the only thing we ever answer.
+    Query(NtpPacket),
+    /// Well-formed, but not a client-mode query (server/broadcast/
+    /// symmetric modes, hostile reflections): dropped without answer.
+    Foreign,
+    /// Failed to decode (runt / truncated): dropped without answer.
+    Malformed,
+}
+
+/// Classify one datagram. Pure and total over arbitrary bytes — decode
+/// only, no side effects — so the entire hostile-input policy ("never
+/// answer anything but a well-formed client-mode query") is provable
+/// without a socket in sight; the fuzz harness drives exactly this.
+pub fn classify(datagram: &[u8]) -> Ingress {
+    match NtpPacket::decode(datagram) {
+        Ok(req) if req.mode == MODE_CLIENT => Ingress::Query(req),
+        Ok(_) => Ingress::Foreign,
+        Err(_) => Ingress::Malformed,
+    }
+}
+
+/// Answer one classified-and-admitted datagram.
+fn handle_datagram(
+    sock: &UdpSocket,
+    handle: &ClockHandle,
+    stats: &ServerStats,
+    admission: Option<&mut ClientTable>,
+    datagram: &[u8],
+    peer: SocketAddr,
+    now: Duration,
+) {
+    let req = match classify(datagram) {
+        Ingress::Query(req) => req,
+        Ingress::Foreign => {
+            stats.ignored.fetch_add(1, Relaxed);
+            return;
+        }
+        Ingress::Malformed => {
+            stats.malformed.fetch_add(1, Relaxed);
+            return;
+        }
+    };
+    if let Some(table) = admission {
+        match table.check(peer, now.as_nanos() as u64) {
+            Verdict::Admit => {}
+            Verdict::RateKod => {
+                stats.rate_kod.fetch_add(1, Relaxed);
+                stats.kod.fetch_add(1, Relaxed);
+                let resp = rate_limit_kod(&req);
+                match sock.send_to(&resp.encode(), peer) {
+                    Ok(_) => {
+                        stats.responses.fetch_add(1, Relaxed);
+                    }
+                    Err(_) => {
+                        stats.send_errors.fetch_add(1, Relaxed);
+                    }
+                }
+                return;
+            }
+            Verdict::Drop => {
+                stats.dropped.fetch_add(1, Relaxed);
+                return;
+            }
+        }
+    }
+    stats.queries.fetch_add(1, Relaxed);
+    let resp = handle.respond(&req);
+    if resp.is_kod() {
+        stats.kod.fetch_add(1, Relaxed);
+    }
+    match sock.send_to(&resp.encode(), peer) {
+        Ok(_) => {
+            stats.responses.fetch_add(1, Relaxed);
+        }
+        Err(_) => {
+            stats.send_errors.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+/// One shard's life: drain up to `batch` poll outcomes, answer each
+/// admitted query, check the stop flag, yield when idle. The only state
+/// beyond the stack buffer is the shard's own policing tables.
 fn shard_loop(
     sock: &UdpSocket,
     handle: &ClockHandle,
     stats: &ServerStats,
     stop: &AtomicBool,
     batch: usize,
+    mut admission: Option<ClientTable>,
+    mut injector: Option<ServeFaultInjector>,
 ) {
     let mut buf = [0u8; 2048];
+    let epoch = Instant::now();
+    let mut evictions_seen = 0u64;
     while !stop.load(Relaxed) {
         let mut drained = 0usize;
         while drained < batch {
             let (n, peer) = match sock.recv_from(&mut buf) {
                 Ok(ok) => ok,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                // Transient ICMP-driven errors (ECONNREFUSED from a gone
-                // client) must not kill the shard.
-                Err(_) => continue,
+                // Transient errors (EINTR, ICMP-driven ECONNREFUSED from
+                // a gone client) must not kill the shard — but they MUST
+                // count toward the batch: an error storm has to recheck
+                // the stop flag exactly as often as a packet flood does,
+                // or one hot socket wedges its shard forever.
+                Err(_) => {
+                    drained += 1;
+                    continue;
+                }
             };
             drained += 1;
-            match NtpPacket::decode(&buf[..n]) {
-                Ok(req) if req.mode == MODE_CLIENT => {
-                    stats.queries.fetch_add(1, Relaxed);
-                    let resp = handle.respond(&req);
-                    if resp.is_kod() {
-                        stats.kod.fetch_add(1, Relaxed);
+            let now = epoch.elapsed();
+            let mut n = n;
+            let mut deliveries = 1usize;
+            if let Some(inj) = injector.as_mut() {
+                match inj.ingress_fate(now, n) {
+                    IngressFate::Deliver => {}
+                    IngressFate::Drop => {
+                        stats.ingress_dropped.fetch_add(1, Relaxed);
+                        continue;
                     }
-                    match sock.send_to(&resp.encode(), peer) {
-                        Ok(_) => {
-                            stats.responses.fetch_add(1, Relaxed);
-                        }
-                        Err(_) => {
-                            stats.send_errors.fetch_add(1, Relaxed);
+                    IngressFate::Duplicate => {
+                        stats.ingress_duplicated.fetch_add(1, Relaxed);
+                        deliveries = 2;
+                    }
+                    IngressFate::Truncate { len } => {
+                        stats.ingress_truncated.fetch_add(1, Relaxed);
+                        n = len.min(n);
+                    }
+                    IngressFate::Corrupt { at, mask } => {
+                        stats.ingress_corrupted.fetch_add(1, Relaxed);
+                        if n > 0 {
+                            buf[at % n] ^= mask;
                         }
                     }
                 }
-                Ok(_) => {
-                    stats.ignored.fetch_add(1, Relaxed);
-                }
-                Err(_) => {
-                    stats.malformed.fetch_add(1, Relaxed);
+            }
+            for _ in 0..deliveries {
+                handle_datagram(
+                    sock,
+                    handle,
+                    stats,
+                    admission.as_mut(),
+                    &buf[..n],
+                    peer,
+                    now,
+                );
+            }
+            // Evictions live inside the table; surface the delta.
+            if let Some(t) = &admission {
+                let e = t.stats().evictions;
+                if e != evictions_seen {
+                    stats.evictions.fetch_add(e - evictions_seen, Relaxed);
+                    evictions_seen = e;
                 }
             }
         }
