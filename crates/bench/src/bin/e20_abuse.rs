@@ -24,23 +24,33 @@
 //!    the drift bound ρ, and finally refuse with KoD `XSTL` — never a
 //!    frozen stratum-1 answer.
 //!
-//! One line is appended to `BENCH_serve.json`; `--smoke` turns the four
-//! phase outcomes into hard CI gates (exit 1).
+//! One line is appended to `BENCH_serve.json`, now including per-phase
+//! wall times and rates (fuzz/baseline/flood/stall); `--smoke` turns the
+//! four phase outcomes into hard CI gates (exit 1).
+//!
+//! Telemetry: `--metrics-addr <ip:port>` binds the live exposition
+//! endpoint for the run; under `--smoke` the endpoint is bound on an
+//! ephemeral loopback port regardless and scraped **mid-flood** — the
+//! scrape must show live admit/RATE/drop verdict rates, populated
+//! rolling stage quantiles, and the status-age gauge, or the smoke gate
+//! fails.
 
 use nti_bench::obs_cli::ObsOpts;
-use nti_bench::{append_bench, fast_mode, header, record, secs, with_duration};
+use nti_bench::{
+    append_bench, fast_mode, header, prom_present, prom_sum, record, secs, with_duration,
+};
 use nti_core::cluster::{Cluster, ClusterConfig};
 use nti_core::status::StatusCell;
 use nti_faults::{fuzz_corpus, FloodSource, ServeFaultPlan};
-use nti_obs::Json;
+use nti_obs::{http_get, Json, LiveConfig};
 use nti_serve::clock::{ClockHandle, StalenessPolicy};
 use nti_serve::loadgen::{self, LoadGenConfig, LoadReport};
 use nti_serve::packet::{NtpPacket, KISS_STALE, MODE_CLIENT, MODE_SERVER};
 use nti_serve::server::{classify, Ingress, Server, ServerConfig, StatsSnapshot};
-use nti_serve::AdmissionConfig;
+use nti_serve::{AdmissionConfig, TelemetryConfig};
 use nti_simcore::rng::SimRng;
 use nti_simcore::SimTime;
-use std::net::UdpSocket;
+use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -166,9 +176,52 @@ fn fuzz_phase(addr: std::net::SocketAddr) -> std::io::Result<(u64, u64, bool)> {
     Ok((valid, answered, probe_ok))
 }
 
+/// What the mid-flood scraper saw, best observation over all polls.
+#[derive(Debug, Default, Clone)]
+struct FloodScrape {
+    /// Successful `/metrics` fetches.
+    scrapes: u64,
+    /// Max per-window admitted-query rate (`serve/queries` mirror).
+    admit_rate: f64,
+    /// Max per-window KoD `RATE` + silent-drop rate.
+    limited_rate: f64,
+    /// Max rolling stage-total quantile value seen (> 0 once the stage
+    /// histograms have samples inside the rolling window set).
+    stage_rolling: f64,
+    /// The status-age gauge appeared in the exposition.
+    status_age_seen: bool,
+}
+
+/// Poll the endpoint until stopped, keeping the best observation; runs
+/// concurrently with the flood so every scrape is genuinely mid-attack.
+fn flood_scraper(addr: SocketAddr, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<FloodScrape> {
+    std::thread::spawn(move || {
+        let mut best = FloodScrape::default();
+        while !stop.load(Relaxed) {
+            if let Ok(text) = http_get(addr, "/metrics", Duration::from_secs(1)) {
+                best.scrapes += 1;
+                best.admit_rate = best
+                    .admit_rate
+                    .max(prom_sum(&text, "nti_serve_queries_rate"));
+                best.limited_rate = best.limited_rate.max(
+                    prom_sum(&text, "nti_serve_rate_kod_rate")
+                        + prom_sum(&text, "nti_serve_dropped_rate"),
+                );
+                best.stage_rolling = best
+                    .stage_rolling
+                    .max(prom_sum(&text, "nti_serve_stage_total_ns_rolling"));
+                best.status_age_seen |= prom_present(&text, "nti_serve_status_age_ms");
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        best
+    })
+}
+
 /// Phase 4: query a staleness-enabled server while frames have stopped;
-/// return (saw escalation, saw KoD `XSTL`) within the deadline.
-fn stall_phase(cell: &Arc<StatusCell>) -> std::io::Result<(bool, bool)> {
+/// return (saw escalation, saw KoD `XSTL`, probes sent) within the
+/// deadline.
+fn stall_phase(cell: &Arc<StatusCell>) -> std::io::Result<(bool, bool, u64)> {
     let policy = StalenessPolicy {
         fresh: Duration::from_millis(150),
         escalate_every: Duration::from_millis(150),
@@ -211,8 +264,17 @@ fn stall_phase(cell: &Arc<StatusCell>) -> std::io::Result<(bool, bool)> {
         nonce += 1;
         std::thread::sleep(Duration::from_millis(50));
     }
-    running.stop(&nti_obs::SimObserver::disabled());
-    Ok((escalated, kod_stale))
+    running.stop();
+    Ok((escalated, kod_stale, nonce - 1))
+}
+
+/// Wall-clock spans of the four phases, so `BENCH_serve.json` carries
+/// per-phase rates, not just totals.
+struct PhaseTimes {
+    fuzz_s: f64,
+    baseline_s: f64,
+    flood_s: f64,
+    stall_s: f64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -223,9 +285,31 @@ fn bench_json(
     stats: &StatsSnapshot,
     fuzz: (u64, u64, bool),
     flood_sent: u64,
-    stall: (bool, bool),
+    stall: (bool, bool, u64),
     protection: f64,
+    times: &PhaseTimes,
+    scrape: Option<&FloodScrape>,
 ) -> Json {
+    let flood_rate = if times.flood_s > 0.0 {
+        flood_sent as f64 / times.flood_s
+    } else {
+        0.0
+    };
+    let stall_qps = if times.stall_s > 0.0 {
+        stall.2 as f64 / times.stall_s
+    } else {
+        0.0
+    };
+    let scrape_json = match scrape {
+        Some(s) => Json::obj([
+            ("scrapes", Json::num(s.scrapes as f64)),
+            ("admit_rate", Json::num(s.admit_rate)),
+            ("limited_rate", Json::num(s.limited_rate)),
+            ("stage_rolling", Json::num(s.stage_rolling)),
+            ("status_age_seen", Json::Bool(s.status_age_seen)),
+        ]),
+        None => Json::Null,
+    };
     Json::obj([
         ("experiment", Json::str("e20_abuse")),
         ("fast_mode", Json::Bool(fast_mode())),
@@ -261,14 +345,42 @@ fn bench_json(
         ("server_ignored", Json::num(stats.ignored as f64)),
         ("stall_escalated", Json::Bool(stall.0)),
         ("stall_kod", Json::Bool(stall.1)),
+        ("phase_fuzz_s", Json::num(times.fuzz_s)),
+        ("phase_baseline_s", Json::num(times.baseline_s)),
+        ("phase_flood_s", Json::num(times.flood_s)),
+        ("phase_stall_s", Json::num(times.stall_s)),
+        ("flood_rate_dps", Json::num(flood_rate)),
+        ("stall_probes", Json::num(stall.2 as f64)),
+        ("stall_qps", Json::num(stall_qps)),
+        ("flood_scrape", scrape_json),
     ])
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let metrics_addr: Option<SocketAddr> = args
+        .windows(2)
+        .find(|w| w[0] == "--metrics-addr")
+        .map(|w| w[1].parse().expect("--metrics-addr wants ip:port"));
     let opts = ObsOpts::from_env();
     let obs = opts.observer();
     let sh = shape(smoke);
+
+    // The endpoint is always bound under --smoke (the gate scrapes it
+    // mid-flood); otherwise only when asked for. Short live windows so
+    // rates show up within CI-sized phases.
+    let endpoint_addr =
+        metrics_addr.or_else(|| smoke.then(|| "127.0.0.1:0".parse().expect("loopback addr")));
+    let telemetry = TelemetryConfig {
+        obs: obs.clone(),
+        metrics_addr: endpoint_addr,
+        live: LiveConfig {
+            window: Duration::from_millis(100),
+            ..LiveConfig::default()
+        },
+        ..TelemetryConfig::default()
+    };
 
     println!(
         "E20: goodput protection under abuse \
@@ -309,6 +421,7 @@ fn main() {
             }),
             faults: plan.clone(),
             fault_seed: 0xE20,
+            telemetry,
             ..ServerConfig::default()
         },
         ClockHandle::new(Arc::clone(&cell), 0),
@@ -327,8 +440,14 @@ fn main() {
         std::thread::yield_now();
     }
 
+    if let Some(addr) = running.metrics_addr() {
+        println!("telemetry endpoint on {addr}");
+    }
+
     // Phase 1: fuzz replay.
+    let t_phase = Instant::now();
     let fuzz = fuzz_phase(targets[0]).expect("fuzz phase");
+    let fuzz_s = t_phase.elapsed().as_secs_f64();
     println!(
         "fuzz: {} datagrams, {} valid queries, {} answered, probe {}",
         256,
@@ -338,7 +457,9 @@ fn main() {
     );
 
     // Phase 2: baseline goodput, no attack.
+    let t_phase = Instant::now();
     let base = legit_run(&sh, &targets);
+    let baseline_s = t_phase.elapsed().as_secs_f64();
     println!(
         "baseline: {}/{} answered ({:.1}% goodput, {:.0} qps)",
         base.received,
@@ -351,6 +472,11 @@ fn main() {
     // come from the plan's named RNG streams — rerunning the bench
     // replays the identical attack.
     let (_, _, sources) = plan.flood_episode().expect("plan has a flood");
+    let t_phase = Instant::now();
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scrape_thread = running
+        .metrics_addr()
+        .map(|addr| flood_scraper(addr, Arc::clone(&scrape_stop)));
     let flood_stop = Arc::new(AtomicBool::new(false));
     let flood_sent = Arc::new(AtomicU64::new(0));
     let rng = SimRng::new(0xE20);
@@ -381,6 +507,9 @@ fn main() {
     for f in flooders {
         let _ = f.join();
     }
+    let flood_s = t_phase.elapsed().as_secs_f64();
+    scrape_stop.store(true, Relaxed);
+    let scrape = scrape_thread.map(|t| t.join().expect("flood scraper"));
     let flood_total = flood_sent.load(Relaxed);
     let protection = if goodput(&base) > 0.0 {
         goodput(&attack) / goodput(&base)
@@ -398,17 +527,37 @@ fn main() {
         100.0 * protection
     );
 
-    let stats = running.stop(&obs);
+    if let Some(s) = &scrape {
+        println!(
+            "mid-flood scrape: {} fetches, admit rate {:.0}/s, RATE+drop rate {:.0}/s, \
+             stage rolling {}, status age {}",
+            s.scrapes,
+            s.admit_rate,
+            s.limited_rate,
+            if s.stage_rolling > 0.0 {
+                "populated"
+            } else {
+                "EMPTY"
+            },
+            if s.status_age_seen { "seen" } else { "MISSING" }
+        );
+    }
+
+    let stats = running.stop();
 
     // Phase 4: wedge the sim, then watch a staleness-enabled server
     // degrade honestly.
     sim_stop.store(true, Relaxed);
     sim.join().expect("sim thread");
+    let t_phase = Instant::now();
     let stall = stall_phase(&cell).expect("stall phase");
+    let stall_s = t_phase.elapsed().as_secs_f64();
     println!(
-        "stall: escalation {}, KoD XSTL {}",
+        "stall: escalation {}, KoD XSTL {} ({} probes over {:.1}s)",
         if stall.0 { "seen" } else { "MISSING" },
-        if stall.1 { "seen" } else { "MISSING" }
+        if stall.1 { "seen" } else { "MISSING" },
+        stall.2,
+        stall_s
     );
 
     let h = "metric                          value";
@@ -432,6 +581,12 @@ fn main() {
         base.containment_checks + attack.containment_checks
     );
 
+    let times = PhaseTimes {
+        fuzz_s,
+        baseline_s,
+        flood_s,
+        stall_s,
+    };
     let line = bench_json(
         &sh,
         &base,
@@ -441,6 +596,8 @@ fn main() {
         flood_total,
         stall,
         protection,
+        &times,
+        scrape.as_ref(),
     );
     append_bench("BENCH_serve.json", &line);
     record("e20_abuse", if smoke { "smoke" } else { "full" }, &line);
@@ -488,6 +645,30 @@ fn main() {
         }
         if !stall.1 {
             failures.push("stalled sim never flipped to KoD XSTL".into());
+        }
+        // Telemetry gates: the mid-flood scrapes must have seen the live
+        // plane actually working.
+        match &scrape {
+            None => failures.push("telemetry endpoint did not bind under --smoke".into()),
+            Some(s) => {
+                if s.scrapes == 0 {
+                    failures.push("telemetry endpoint never answered a mid-flood scrape".into());
+                } else {
+                    if s.admit_rate <= 0.0 {
+                        failures.push("live admit (queries) rate never went positive".into());
+                    }
+                    if s.limited_rate <= 0.0 {
+                        failures
+                            .push("live RATE/drop rates never showed admission engaging".into());
+                    }
+                    if s.stage_rolling <= 0.0 {
+                        failures.push("rolling stage quantiles never populated".into());
+                    }
+                    if !s.status_age_seen {
+                        failures.push("status-age gauge missing from exposition".into());
+                    }
+                }
+            }
         }
         if failures.is_empty() {
             println!(

@@ -166,6 +166,34 @@ pub fn record(experiment: &str, label: &str, value: &Json) {
     }
 }
 
+/// Iterate the `(metric-with-labels, value)` samples of one metric
+/// family in a Prometheus text exposition body, matching on the base
+/// name (labels, if any, are ignored).
+fn prom_samples<'a>(text: &'a str, name: &'a str) -> impl Iterator<Item = f64> + 'a {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(move |l| {
+            let (metric, val) = l.rsplit_once(' ')?;
+            let base = metric.split('{').next().unwrap_or(metric);
+            if base == name {
+                val.parse::<f64>().ok()
+            } else {
+                None
+            }
+        })
+}
+
+/// Sum every sample of Prometheus metric `name` (any label set) in an
+/// exposition body — e.g. per-shard counters folded into one total.
+pub fn prom_sum(text: &str, name: &str) -> f64 {
+    prom_samples(text, name).sum()
+}
+
+/// Whether at least one sample of metric `name` appears in the body.
+pub fn prom_present(text: &str, name: &str) -> bool {
+    prom_samples(text, name).next().is_some()
+}
+
 /// The sweep worker cap: `NTI_SWEEP_THREADS` if set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`].
 pub fn sweep_threads() -> usize {
@@ -249,6 +277,20 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prom_helpers_match_base_names_only() {
+        let body = "# HELP nti_serve_queries total\n\
+                    # TYPE nti_serve_queries counter\n\
+                    nti_serve_queries 10\n\
+                    nti_serve_queries_rate{node=\"0\"} 2.5\n\
+                    nti_serve_queries_rate{node=\"1\"} 1.5\n";
+        assert_eq!(prom_sum(body, "nti_serve_queries"), 10.0);
+        assert_eq!(prom_sum(body, "nti_serve_queries_rate"), 4.0);
+        assert_eq!(prom_sum(body, "nti_serve_querie"), 0.0);
+        assert!(prom_present(body, "nti_serve_queries_rate"));
+        assert!(!prom_present(body, "nti_serve_missing"));
+    }
 
     #[test]
     fn eng_formats_ranges() {

@@ -63,8 +63,14 @@ impl ObsOpts {
                     }
                     None => eprintln!("warning: --trace-subsystems needs a spec argument"),
                 },
-                // Experiment-owned mode flag (e16_chaos, nti_analyze).
-                "--smoke" => {}
+                // Experiment-owned mode flags (e16_chaos, nti_analyze,
+                // e19/e20 telemetry).
+                "--smoke" | "--no-telemetry" | "--telemetry-gate" => {}
+                "--metrics-addr" => {
+                    if args.next().is_none() {
+                        eprintln!("warning: --metrics-addr needs an ip:port argument");
+                    }
+                }
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
         }

@@ -26,9 +26,22 @@
 //! proceeds at its own pace.
 
 use crate::health::{HealthState, HEALTH_STATES};
+use nti_obs::{Json, MetricKey, SimObserver};
 use nti_simcore::ntp::NtpTime;
 use nti_simcore::time::SimDuration;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// The `status/nodes_<state>` gauge name for a health state. A `const`
+/// match so the [`MetricKey`] names stay `&'static str`.
+fn state_gauge_name(s: HealthState) -> &'static str {
+    match s {
+        HealthState::Synchronized => "nodes_synchronized",
+        HealthState::Degraded => "nodes_degraded",
+        HealthState::Holdover => "nodes_holdover",
+        HealthState::Down => "nodes_down",
+        HealthState::Reintegrating => "nodes_reintegrating",
+    }
+}
 
 /// One node's slice of a published status frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +100,61 @@ impl ClusterStatus {
     /// `Report.final_states`.
     pub fn states(&self) -> Vec<&'static str> {
         self.nodes.iter().map(|n| n.state.name()).collect()
+    }
+
+    /// Machine-readable frame dump. Femtosecond stamps are emitted as
+    /// strings (they exceed JSON's 2⁵³ exact-integer range); deviations
+    /// are downscaled to nanoseconds as numbers.
+    pub fn to_json(&self) -> Json {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                Json::obj([
+                    ("clock_raw", Json::str(n.clock.raw().to_string())),
+                    (
+                        "alpha_minus_ns",
+                        Json::num((n.alpha_minus.as_fs() / 1_000_000) as f64),
+                    ),
+                    (
+                        "alpha_plus_ns",
+                        Json::num((n.alpha_plus.as_fs() / 1_000_000) as f64),
+                    ),
+                    ("state", Json::str(n.state.name())),
+                    ("down", Json::Bool(n.down)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("publishes", Json::num(self.publishes as f64)),
+            ("sim_time_fs", Json::str(self.sim_time_fs.to_string())),
+            ("ref_time_fs", Json::str(self.ref_time_fs.to_string())),
+            ("nodes", Json::Arr(nodes)),
+        ])
+    }
+
+    /// Export the frame's membership/health view as gauges on `obs`:
+    /// `status/nodes_<state>` occupancy per health state (zeroed states
+    /// included, so a scrape sees transitions to zero), plus
+    /// `status/publishes` and `status/nodes_total`. No-op when `obs` is
+    /// disabled. Called by the serve-side telemetry ticker so sim-side
+    /// health reaches the metrics endpoint.
+    pub fn export_gauges(&self, obs: &SimObserver) {
+        if obs.core().is_none() {
+            return;
+        }
+        let counts = self.state_counts();
+        for s in HEALTH_STATES {
+            if let Some(g) = obs.gauge(MetricKey::global("status", state_gauge_name(s))) {
+                g.set(counts[s.index()] as i64);
+            }
+        }
+        if let Some(g) = obs.gauge(MetricKey::global("status", "publishes")) {
+            g.set(self.publishes.min(i64::MAX as u64) as i64);
+        }
+        if let Some(g) = obs.gauge(MetricKey::global("status", "nodes_total")) {
+            g.set(self.nodes.len() as i64);
+        }
     }
 }
 
@@ -323,6 +391,47 @@ mod tests {
         for (s, n) in f.nodes.iter().zip(f.states()) {
             assert_eq!(s.state.name(), n);
         }
+    }
+
+    #[test]
+    fn json_and_gauge_export_cover_the_frame() {
+        let f = frame(4, 3);
+        let j = f.to_json();
+        assert_eq!(j.get("publishes").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            j.get("sim_time_fs").and_then(Json::as_str),
+            Some(f.sim_time_fs.to_string().as_str())
+        );
+        assert_eq!(
+            j.get("nodes").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        // Round-trips through the strict parser.
+        let reparsed = Json::parse(&j.to_string()).expect("valid JSON");
+        assert_eq!(reparsed, j);
+
+        let obs = SimObserver::enabled();
+        f.export_gauges(&obs);
+        let counts = f.state_counts();
+        let reg = &obs.core().expect("enabled").registry;
+        let mut total = 0i64;
+        for s in HEALTH_STATES {
+            let g = obs
+                .gauge(MetricKey::global("status", state_gauge_name(s)))
+                .expect("gauge");
+            assert_eq!(g.get(), counts[s.index()] as i64);
+            total += g.get();
+        }
+        assert_eq!(total, 3);
+        assert_eq!(
+            obs.gauge(MetricKey::global("status", "publishes"))
+                .expect("gauge")
+                .get(),
+            4
+        );
+        assert!(reg.len() >= HEALTH_STATES.len() + 2);
+        // Disabled observer: a silent no-op.
+        f.export_gauges(&SimObserver::disabled());
     }
 
     #[test]

@@ -199,6 +199,19 @@ impl Histogram {
             })
     }
 
+    /// Sparse snapshot: `(bucket_upper_edge, count)` pairs for every
+    /// non-empty bucket, in increasing edge order. Each bucket count is a
+    /// single relaxed load of a monotonically increasing atomic, so two
+    /// snapshots of a concurrently-written histogram subtract bucket-wise
+    /// to non-negative deltas — the property the windowed aggregator
+    /// (`crate::live`) builds on. (The `count()`/`sum()` aggregates may be
+    /// transiently out of step with the buckets mid-`record`; a consumer
+    /// that needs internal consistency derives the count from the bucket
+    /// sum instead.)
+    pub fn sparse(&self) -> Vec<(u64, u64)> {
+        self.nonzero_buckets().collect()
+    }
+
     /// The standard quantile line used by summary tables:
     /// `(p50, p90, p99, p999, max)`.
     pub fn quantile_line(&self) -> (u64, u64, u64, u64, u64) {

@@ -26,16 +26,23 @@
 //!   [`Violation`]s.
 //! * [`json`] — a dependency-free JSON value used by the exporters and
 //!   the experiment harness.
+//! * [`live`] — windowed aggregation over the registry: a bounded ring
+//!   of fixed-duration windows yielding per-second rates and rolling
+//!   p50/p99/p999 without disturbing metric writers.
+//! * [`expo`] — dependency-free exposition: a Prometheus text renderer
+//!   and a tiny single-threaded HTTP listener ([`MetricsServer`]).
 //!
 //! This crate sits at the bottom of the workspace dependency graph and
 //! depends on nothing outside `std`.
 
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod export;
 pub mod hist;
 pub mod json;
 pub mod keys;
+pub mod live;
 pub mod metrics;
 pub mod monitor;
 pub mod observer;
@@ -43,9 +50,11 @@ pub mod quantile;
 pub mod span;
 pub mod trace;
 
+pub use expo::{http_get, render_prometheus, MetricsServer};
 pub use hist::Histogram;
 pub use json::Json;
-pub use metrics::{Counter, Gauge, MetricId, MetricKey, Registry};
+pub use live::{LiveConfig, LiveWindows};
+pub use metrics::{Counter, Gauge, MetricHandle, MetricId, MetricKey, Registry};
 pub use monitor::{MonitorConfig, Monitors, Violation};
 pub use observer::{fs_to_ns, ObsCore, SimObserver};
 pub use span::{records_from_events, SpanForest, SpanId, SpanRecord};

@@ -1,0 +1,593 @@
+//! Windowed aggregation over [`Registry`] metrics: per-second rates,
+//! deltas, and rolling quantiles, computed live while writers keep
+//! writing.
+//!
+//! The registry's lifetime atomics answer "how many, ever"; an operator
+//! watching a running server needs "how many, *lately*". [`LiveWindows`]
+//! closes the gap: a sampler calls [`tick`](LiveWindows::tick) once per
+//! fixed-duration wall-clock window, and each tick snapshots every
+//! registered counter and histogram, subtracts the previous snapshot, and
+//! pushes the delta into a bounded ring of [`Window`]s. Reads over the
+//! ring yield per-window rates and rolling p50/p99/p999 over the last K
+//! windows.
+//!
+//! ## Writer isolation
+//!
+//! Metric writers are never touched: counters and histogram buckets are
+//! monotone `AtomicU64`s updated with relaxed ordering, and the sampler
+//! only *loads* them. The ring itself is coordinated by a mutex, but that
+//! mutex is only ever contended between the sampler and scrape readers —
+//! the hot path records straight into the registry's atomics exactly as
+//! it did before a `LiveWindows` existed, so attaching one costs writers
+//! nothing.
+//!
+//! ## Torn-state safety
+//!
+//! A histogram's `count()`/`sum()` aggregates can be transiently out of
+//! step with its buckets while a writer is mid-`record`. Window deltas
+//! therefore never consult the aggregates: each delta is computed
+//! bucket-wise from [`Histogram::sparse`] snapshots (per-bucket counts
+//! are individually monotone, so per-bucket deltas are non-negative) and
+//! the window's count is *derived* as the sum of its bucket deltas.
+//! Counter deltas are single monotone loads, so rates are non-negative
+//! and bounded by what writers actually wrote.
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, MetricHandle, MetricKey, Registry};
+use crate::quantile::rank_for;
+use crate::Histogram;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Shape of the window ring.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveConfig {
+    /// Nominal duration of one window (the sampler's tick cadence; actual
+    /// window spans are measured from the supplied tick times).
+    pub window: Duration,
+    /// Windows retained in the ring.
+    pub windows: usize,
+    /// Windows merged for rolling rates and quantiles (≤ `windows`).
+    pub rolling: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> LiveConfig {
+        LiveConfig {
+            window: Duration::from_secs(1),
+            windows: 60,
+            rolling: 5,
+        }
+    }
+}
+
+/// A sparse histogram delta: per-bucket counts recorded during one
+/// window, keyed by bucket upper edge.
+#[derive(Clone, Debug, Default)]
+pub struct SparseDelta {
+    /// `(bucket_upper_edge, count)` in increasing edge order.
+    pub buckets: Vec<(u64, u64)>,
+    /// Sum of the bucket counts (derived, never read from the histogram's
+    /// own total — see the module docs on torn-state safety).
+    pub count: u64,
+}
+
+/// One completed aggregation window.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// 1-based sequence number (monotone across the ring's lifetime).
+    pub seq: u64,
+    /// Window start on the sampler's clock (nanoseconds).
+    pub start_ns: u64,
+    /// Window end on the sampler's clock (nanoseconds).
+    pub end_ns: u64,
+    /// Counter deltas, aligned with the tracked-counter adoption order.
+    /// Shorter than the current tracked set when counters were registered
+    /// after this window closed.
+    pub counter_deltas: Vec<u64>,
+    /// Gauge values at window close, aligned with tracked gauges.
+    pub gauge_values: Vec<i64>,
+    /// Histogram deltas, aligned with tracked histograms.
+    pub hist_deltas: Vec<SparseDelta>,
+}
+
+impl Window {
+    /// Window span in seconds (never zero: a degenerate span is clamped
+    /// so rates stay finite).
+    pub fn span_s(&self) -> f64 {
+        ((self.end_ns - self.start_ns) as f64 / 1e9).max(1e-9)
+    }
+}
+
+struct TrackedCounter {
+    key: MetricKey,
+    handle: Arc<Counter>,
+    last: u64,
+}
+
+struct TrackedGauge {
+    key: MetricKey,
+    handle: Arc<Gauge>,
+}
+
+struct TrackedHist {
+    key: MetricKey,
+    handle: Arc<Histogram>,
+    last: Vec<(u64, u64)>,
+}
+
+struct LiveState {
+    counters: Vec<TrackedCounter>,
+    gauges: Vec<TrackedGauge>,
+    hists: Vec<TrackedHist>,
+    /// Registry entries consumed so far (the registry is append-only).
+    registry_seen: usize,
+    ring: VecDeque<Window>,
+    last_tick_ns: Option<u64>,
+    ticks: u64,
+}
+
+/// Per-second rate summary for one counter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateStats {
+    /// Delta over the most recent window.
+    pub last_delta: u64,
+    /// Per-second rate over the most recent window.
+    pub last_rate: f64,
+    /// Per-second rate over the rolling window set.
+    pub rolling_rate: f64,
+}
+
+/// Rolling quantiles for one histogram over the rolling window set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RollingQuantiles {
+    /// Values recorded in the rolling windows.
+    pub count: u64,
+    /// Rolling p50 (bucket upper edge).
+    pub p50: u64,
+    /// Rolling p99.
+    pub p99: u64,
+    /// Rolling p999.
+    pub p999: u64,
+    /// Highest non-empty bucket edge in the rolling windows.
+    pub max: u64,
+}
+
+/// The windowed aggregator. Share as `Arc<LiveWindows>`: one sampler
+/// thread ticks it, any number of scrape threads read it.
+pub struct LiveWindows {
+    cfg: LiveConfig,
+    state: Mutex<LiveState>,
+}
+
+impl std::fmt::Debug for LiveWindows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveWindows")
+            .field("window", &self.cfg.window)
+            .field("windows", &self.cfg.windows)
+            .finish()
+    }
+}
+
+/// Subtract two sparse snapshots of the same histogram (`cur` newer).
+/// Both are sorted by bucket edge and per-bucket counts are monotone, so
+/// a two-pointer walk yields the exact per-bucket deltas.
+fn sparse_sub(cur: &[(u64, u64)], old: &[(u64, u64)]) -> SparseDelta {
+    let mut out = Vec::new();
+    let mut count = 0u64;
+    let mut j = 0usize;
+    for &(edge, c) in cur {
+        while j < old.len() && old[j].0 < edge {
+            j += 1;
+        }
+        let prev = if j < old.len() && old[j].0 == edge {
+            old[j].1
+        } else {
+            0
+        };
+        let d = c.saturating_sub(prev);
+        if d > 0 {
+            out.push((edge, d));
+            count += d;
+        }
+    }
+    SparseDelta {
+        buckets: out,
+        count,
+    }
+}
+
+impl LiveWindows {
+    /// An empty aggregator. Metrics are adopted from the registry lazily
+    /// at each tick (with the current value as baseline, so lifetime
+    /// totals accumulated before adoption never show up as a first-window
+    /// spike).
+    pub fn new(cfg: LiveConfig) -> LiveWindows {
+        assert!(cfg.windows > 0, "need at least one window");
+        assert!(cfg.rolling > 0, "need at least one rolling window");
+        LiveWindows {
+            cfg,
+            state: Mutex::new(LiveState {
+                counters: Vec::new(),
+                gauges: Vec::new(),
+                hists: Vec::new(),
+                registry_seen: 0,
+                ring: VecDeque::new(),
+                last_tick_ns: None,
+                ticks: 0,
+            }),
+        }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> LiveConfig {
+        self.cfg
+    }
+
+    /// Completed windows currently in the ring.
+    pub fn window_count(&self) -> usize {
+        self.state.lock().expect("live state").ring.len()
+    }
+
+    /// Close a window: adopt any newly registered metrics, snapshot every
+    /// tracked metric, and push the deltas since the previous tick into
+    /// the ring. `now_ns` is the sampler's monotonic clock. The first
+    /// tick only establishes baselines (no window is produced).
+    pub fn tick(&self, registry: &Registry, now_ns: u64) {
+        let mut st = self.state.lock().expect("live state");
+        for (key, handle) in registry.entries_from(st.registry_seen) {
+            st.registry_seen += 1;
+            match handle {
+                MetricHandle::Counter(c) => {
+                    let last = c.get();
+                    st.counters.push(TrackedCounter {
+                        key,
+                        handle: c,
+                        last,
+                    });
+                }
+                MetricHandle::Gauge(g) => st.gauges.push(TrackedGauge { key, handle: g }),
+                MetricHandle::Hist(h) => {
+                    let last = h.sparse();
+                    st.hists.push(TrackedHist {
+                        key,
+                        handle: h,
+                        last,
+                    });
+                }
+            }
+        }
+        let Some(start_ns) = st.last_tick_ns else {
+            st.last_tick_ns = Some(now_ns);
+            return;
+        };
+        st.last_tick_ns = Some(now_ns);
+        st.ticks += 1;
+        let seq = st.ticks;
+        let counter_deltas = st
+            .counters
+            .iter_mut()
+            .map(|t| {
+                let cur = t.handle.get();
+                let d = cur.saturating_sub(t.last);
+                t.last = cur;
+                d
+            })
+            .collect();
+        let gauge_values = st.gauges.iter().map(|t| t.handle.get()).collect();
+        let hist_deltas = st
+            .hists
+            .iter_mut()
+            .map(|t| {
+                let cur = t.handle.sparse();
+                let d = sparse_sub(&cur, &t.last);
+                t.last = cur;
+                d
+            })
+            .collect();
+        st.ring.push_back(Window {
+            seq,
+            start_ns,
+            end_ns: now_ns.max(start_ns + 1),
+            counter_deltas,
+            gauge_values,
+            hist_deltas,
+        });
+        while st.ring.len() > self.cfg.windows {
+            st.ring.pop_front();
+        }
+    }
+
+    fn rolling_span_s(windows: &[&Window]) -> f64 {
+        windows.iter().map(|w| w.span_s()).sum::<f64>().max(1e-9)
+    }
+
+    /// Per-counter rate summaries, in adoption order. Empty until the
+    /// second tick closes the first window.
+    pub fn counter_rates(&self) -> Vec<(MetricKey, RateStats)> {
+        let st = self.state.lock().expect("live state");
+        let Some(newest) = st.ring.back() else {
+            return Vec::new();
+        };
+        let rolling: Vec<&Window> = st.ring.iter().rev().take(self.cfg.rolling).collect();
+        let roll_span = Self::rolling_span_s(&rolling);
+        st.counters
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let last_delta = newest.counter_deltas.get(i).copied().unwrap_or(0);
+                let roll_delta: u64 = rolling
+                    .iter()
+                    .map(|w| w.counter_deltas.get(i).copied().unwrap_or(0))
+                    .sum();
+                (
+                    t.key,
+                    RateStats {
+                        last_delta,
+                        last_rate: last_delta as f64 / newest.span_s(),
+                        rolling_rate: roll_delta as f64 / roll_span,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Gauge values as of the most recent window close, in adoption
+    /// order. Empty until the first window completes.
+    pub fn gauge_values(&self) -> Vec<(MetricKey, i64)> {
+        let st = self.state.lock().expect("live state");
+        let Some(newest) = st.ring.back() else {
+            return Vec::new();
+        };
+        st.gauges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| newest.gauge_values.get(i).map(|&v| (t.key, v)))
+            .collect()
+    }
+
+    /// The rate summary for one counter key, if tracked and windowed.
+    pub fn rate(&self, key: MetricKey) -> Option<RateStats> {
+        self.counter_rates()
+            .into_iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, r)| r)
+    }
+
+    /// Rolling quantiles per histogram, in adoption order. Histograms
+    /// with no recordings in the rolling windows are skipped.
+    pub fn hist_rollups(&self) -> Vec<(MetricKey, RollingQuantiles)> {
+        let st = self.state.lock().expect("live state");
+        let rolling: Vec<&Window> = st.ring.iter().rev().take(self.cfg.rolling).collect();
+        if rolling.is_empty() {
+            return Vec::new();
+        }
+        st.hists
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+                for w in &rolling {
+                    if let Some(d) = w.hist_deltas.get(i) {
+                        for &(edge, c) in &d.buckets {
+                            *merged.entry(edge).or_insert(0) += c;
+                        }
+                    }
+                }
+                let total: u64 = merged.values().sum();
+                if total == 0 {
+                    return None;
+                }
+                let q = |q: f64| -> u64 {
+                    let Some(rank) = rank_for(q, total as usize) else {
+                        return 0;
+                    };
+                    let mut cum = 0u64;
+                    for (&edge, &c) in &merged {
+                        cum += c;
+                        if cum > rank as u64 {
+                            return edge;
+                        }
+                    }
+                    merged.keys().next_back().copied().unwrap_or(0)
+                };
+                Some((
+                    t.key,
+                    RollingQuantiles {
+                        count: total,
+                        p50: q(0.50),
+                        p99: q(0.99),
+                        p999: q(0.999),
+                        max: merged.keys().next_back().copied().unwrap_or(0),
+                    },
+                ))
+            })
+            .collect()
+    }
+
+    /// The rolling quantiles for one histogram key, if any values landed
+    /// in the rolling windows.
+    pub fn rolling_quantiles(&self, key: MetricKey) -> Option<RollingQuantiles> {
+        self.hist_rollups()
+            .into_iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, r)| r)
+    }
+
+    /// Machine-readable snapshot: window shape, per-counter rates, and
+    /// per-histogram rolling quantiles.
+    pub fn to_json(&self) -> Json {
+        let rates = self
+            .counter_rates()
+            .into_iter()
+            .map(|(k, r)| {
+                Json::obj([
+                    ("metric", key_json(k)),
+                    ("last_delta", Json::num(r.last_delta as f64)),
+                    ("last_rate", Json::num(r.last_rate)),
+                    ("rolling_rate", Json::num(r.rolling_rate)),
+                ])
+            })
+            .collect();
+        let hists = self
+            .hist_rollups()
+            .into_iter()
+            .map(|(k, r)| {
+                Json::obj([
+                    ("metric", key_json(k)),
+                    ("count", Json::num(r.count as f64)),
+                    ("p50", Json::num(r.p50 as f64)),
+                    ("p99", Json::num(r.p99 as f64)),
+                    ("p999", Json::num(r.p999 as f64)),
+                    ("max", Json::num(r.max as f64)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauge_values()
+            .into_iter()
+            .map(|(k, v)| Json::obj([("metric", key_json(k)), ("value", Json::num(v as f64))]))
+            .collect();
+        Json::obj([
+            ("window_ms", Json::num(self.cfg.window.as_millis() as f64)),
+            ("windows", Json::num(self.window_count() as f64)),
+            ("rolling", Json::num(self.cfg.rolling as f64)),
+            ("rates", Json::Arr(rates)),
+            ("gauges", Json::Arr(gauges)),
+            ("hist_rolling", Json::Arr(hists)),
+        ])
+    }
+}
+
+fn key_json(k: MetricKey) -> Json {
+    match k.node {
+        Some(n) => Json::str(format!("n{n}/{}/{}", k.subsystem, k.name)),
+        None => Json::str(format!("{}/{}", k.subsystem, k.name)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> u64 {
+        n * 1_000_000
+    }
+
+    #[test]
+    fn first_tick_is_baseline_only() {
+        let r = Registry::new();
+        r.counter(MetricKey::global("s", "c")).add(100);
+        let live = LiveWindows::new(LiveConfig::default());
+        live.tick(&r, 0);
+        assert_eq!(live.window_count(), 0);
+        assert!(live.counter_rates().is_empty());
+        // Pre-adoption lifetime total never shows as a delta.
+        live.tick(&r, ms(1000));
+        let rates = live.counter_rates();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].1.last_delta, 0);
+    }
+
+    #[test]
+    fn counter_deltas_and_rates_per_window() {
+        let r = Registry::new();
+        let c = r.counter(MetricKey::global("s", "c"));
+        let live = LiveWindows::new(LiveConfig {
+            window: Duration::from_secs(1),
+            windows: 4,
+            rolling: 2,
+        });
+        live.tick(&r, 0);
+        c.add(10);
+        live.tick(&r, ms(1000));
+        c.add(30);
+        live.tick(&r, ms(2000));
+        let (key, rs) = live.counter_rates().pop().expect("tracked");
+        assert_eq!(key, MetricKey::global("s", "c"));
+        assert_eq!(rs.last_delta, 30);
+        assert!((rs.last_rate - 30.0).abs() < 1e-6);
+        // Rolling over both windows: 40 over 2 s.
+        assert!((rs.rolling_rate - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let r = Registry::new();
+        let live = LiveWindows::new(LiveConfig {
+            window: Duration::from_secs(1),
+            windows: 3,
+            rolling: 2,
+        });
+        for t in 0..10u64 {
+            live.tick(&r, ms(t * 1000));
+        }
+        assert_eq!(live.window_count(), 3);
+    }
+
+    #[test]
+    fn rolling_quantiles_track_recent_values_only() {
+        let r = Registry::new();
+        let h = r.hist(MetricKey::global("s", "lat_ns"));
+        let live = LiveWindows::new(LiveConfig {
+            window: Duration::from_secs(1),
+            windows: 8,
+            rolling: 1,
+        });
+        live.tick(&r, 0);
+        for _ in 0..100 {
+            h.record(10);
+        }
+        live.tick(&r, ms(1000));
+        let rq = live
+            .rolling_quantiles(MetricKey::global("s", "lat_ns"))
+            .expect("window 1");
+        assert_eq!(rq.count, 100);
+        assert!(rq.p50 <= 16, "p50 {} near 10", rq.p50);
+        // New window, much slower values: rolling=1 forgets the old ones.
+        for _ in 0..100 {
+            h.record(100_000);
+        }
+        live.tick(&r, ms(2000));
+        let rq = live
+            .rolling_quantiles(MetricKey::global("s", "lat_ns"))
+            .expect("window 2");
+        assert_eq!(rq.count, 100);
+        assert!(rq.p50 >= 90_000, "p50 {} near 100k", rq.p50);
+    }
+
+    #[test]
+    fn late_registered_metrics_are_adopted() {
+        let r = Registry::new();
+        let live = LiveWindows::new(LiveConfig::default());
+        live.tick(&r, 0);
+        let c = r.counter(MetricKey::global("late", "c"));
+        c.add(5);
+        live.tick(&r, ms(1000));
+        // Adopted at tick 2 with baseline 5 — no window yet counts it.
+        assert_eq!(
+            live.rate(MetricKey::global("late", "c"))
+                .unwrap()
+                .last_delta,
+            0
+        );
+        c.add(7);
+        live.tick(&r, ms(2000));
+        assert_eq!(
+            live.rate(MetricKey::global("late", "c"))
+                .unwrap()
+                .last_delta,
+            7
+        );
+    }
+
+    #[test]
+    fn sparse_sub_is_bucketwise() {
+        let old = [(8u64, 3u64), (32, 1)];
+        let cur = [(8u64, 5u64), (16, 2), (32, 1)];
+        let d = sparse_sub(&cur, &old);
+        assert_eq!(d.buckets, vec![(8, 2), (16, 2)]);
+        assert_eq!(d.count, 4);
+    }
+}

@@ -110,6 +110,29 @@ enum Metric {
     Hist(Arc<Histogram>),
 }
 
+/// A kind-tagged handle to one registered metric, as enumerated by
+/// [`Registry::entries`]. Holding one keeps the metric alive; reading
+/// through it is the same lock-free path the owner uses.
+#[derive(Debug, Clone)]
+pub enum MetricHandle {
+    /// A monotone counter.
+    Counter(Arc<Counter>),
+    /// A last-value gauge.
+    Gauge(Arc<Gauge>),
+    /// A log-linear histogram.
+    Hist(Arc<Histogram>),
+}
+
+impl From<&Metric> for MetricHandle {
+    fn from(m: &Metric) -> MetricHandle {
+        match m {
+            Metric::Counter(c) => MetricHandle::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => MetricHandle::Gauge(Arc::clone(g)),
+            Metric::Hist(h) => MetricHandle::Hist(Arc::clone(h)),
+        }
+    }
+}
+
 /// The metric registry: interns [`MetricKey`]s and owns the metric
 /// storage. Cheap to share (`Arc` it, or keep it inside an
 /// [`crate::observer::SimObserver`]).
@@ -214,6 +237,27 @@ impl Registry {
             Metric::Counter(c) => Some(c.clone()),
             _ => None,
         }
+    }
+
+    /// Enumerate every registered metric in registration order. The
+    /// registry is append-only — an entry's position never changes — so an
+    /// incremental consumer (the windowed aggregator) can resume from the
+    /// index where its last enumeration stopped: see
+    /// [`Registry::entries_from`].
+    pub fn entries(&self) -> Vec<(MetricKey, MetricHandle)> {
+        self.entries_from(0)
+    }
+
+    /// [`Registry::entries`] starting at index `start` — the entries
+    /// registered since a previous enumeration of length `start`.
+    pub fn entries_from(&self, start: usize) -> Vec<(MetricKey, MetricHandle)> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        inner
+            .entries
+            .iter()
+            .skip(start)
+            .map(|(k, m)| (*k, MetricHandle::from(m)))
+            .collect()
     }
 
     /// Merge every per-node histogram named `(subsystem, name)` — plus the

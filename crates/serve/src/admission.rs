@@ -126,6 +126,10 @@ pub struct ClientTable {
     k0: u64,
     k1: u64,
     stats: AdmissionStats,
+    /// Slots currently holding a tracked client — maintained on slot
+    /// claim so [`occupancy`](ClientTable::occupancy) is O(1), never a
+    /// table scan on the telemetry path.
+    occupied: usize,
 }
 
 impl std::fmt::Debug for ClientTable {
@@ -151,6 +155,7 @@ impl ClientTable {
             k0: splitmix(cfg.seed),
             k1: splitmix(cfg.seed ^ 0x5851_F42D_4C95_7F2D),
             stats: AdmissionStats::default(),
+            occupied: 0,
         }
     }
 
@@ -162,6 +167,13 @@ impl ClientTable {
     /// How many clients the table can track at once.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// How many clients the table is tracking right now. Monotone up to
+    /// [`capacity`](ClientTable::capacity) (slots are recycled, never
+    /// vacated), so occupancy/capacity is the table-pressure gauge.
+    pub fn occupancy(&self) -> usize {
+        self.occupied
     }
 
     /// Run the ladder for one well-formed query from `peer` at `now_ns`
@@ -201,6 +213,8 @@ impl ClientTable {
             None => {
                 if ways[victim].used {
                     self.stats.evictions += 1;
+                } else {
+                    self.occupied += 1;
                 }
                 let s = &mut ways[victim];
                 // A fresh client starts with a full burst allowance.
@@ -432,6 +446,29 @@ mod tests {
             "evictions ({}) must absorb the overflow",
             s.evictions
         );
+    }
+
+    #[test]
+    fn occupancy_counts_tracked_clients_and_caps_at_capacity() {
+        let mut t = ClientTable::new(&tight());
+        assert_eq!(t.occupancy(), 0);
+        for p in 0..10 {
+            t.check(peer(3000 + p), 0);
+        }
+        assert_eq!(t.occupancy(), 10, "each new client claims one slot");
+        // Repeat visits claim nothing.
+        for p in 0..10 {
+            t.check(peer(3000 + p), 1);
+        }
+        assert_eq!(t.occupancy(), 10);
+        // A spoofed flood saturates at capacity, never beyond.
+        for a in 0..16u8 {
+            for b in 0..=255u8 {
+                t.check(peer_ip(a, b), 2);
+            }
+        }
+        assert!(t.occupancy() <= t.capacity());
+        assert!(t.occupancy() > t.capacity() / 2, "flood fills the table");
     }
 
     #[test]

@@ -264,6 +264,19 @@ impl ClockHandle {
         self.node
     }
 
+    /// Completed frame generation of the underlying cell — the cheap
+    /// "is there anything new?" probe (two atomic loads, no decode).
+    pub fn generation(&self) -> u64 {
+        self.cell.generation()
+    }
+
+    /// Latest full published frame (all nodes, not just the served one).
+    /// This is the telemetry path — per-query serving uses the cheaper
+    /// [`sample`](ClockHandle::sample).
+    pub fn status(&self) -> nti_core::status::ClusterStatus {
+        self.cell.read()
+    }
+
     /// Latest published view of the served node.
     pub fn sample(&self) -> NodeClock {
         self.cell

@@ -26,6 +26,10 @@
 //! * [`loadgen`] — a closed-loop load generator that validates every
 //!   response, including the wire-level containment invariant
 //!   `reference ∈ [transmit − rootdisp, transmit + rootdisp]`.
+//! * [`telemetry`] — the live telemetry plane: sampled pipeline-stage
+//!   timing into per-shard histograms, a windowed rates/quantiles view,
+//!   a slow-request flight recorder, and a dependency-free Prometheus +
+//!   JSON exposition endpoint.
 //!
 //! The simulation side never blocks on any of this: the cluster's
 //! publisher is wait-free (straight-line atomic stores), and serving
@@ -36,6 +40,7 @@ pub mod clock;
 pub mod loadgen;
 pub mod packet;
 pub mod server;
+pub mod telemetry;
 
 pub use admission::{AdmissionConfig, AdmissionStats, ClientTable, Verdict};
 pub use clock::{response_profile, ClockHandle, ResponseProfile};
@@ -44,3 +49,4 @@ pub use packet::{NtpPacket, PacketError, PACKET_LEN};
 pub use server::{
     classify, Ingress, RunningServer, Server, ServerConfig, ServerStats, StatsSnapshot,
 };
+pub use telemetry::{SlowRing, SlowTrace, TelemetryConfig, STAGES};

@@ -33,9 +33,10 @@
 
 use crate::admission::{AdmissionConfig, ClientTable, Verdict};
 use crate::clock::{rate_limit_kod, ClockHandle};
-use crate::packet::{NtpPacket, MODE_CLIENT};
+use crate::packet::{NtpPacket, KISS_STALE, MODE_CLIENT};
+use crate::telemetry::{self, ShardTelemetry, TelemetryConfig};
 use nti_faults::{IngressFate, ServeFaultInjector, ServeFaultPlan};
-use nti_obs::{MetricKey, SimObserver};
+use nti_obs::{Counter, Json, MetricKey, SimObserver};
 use nti_simcore::rng::SimRng;
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, UdpSocket};
@@ -62,6 +63,8 @@ pub struct ServerConfig {
     pub faults: ServeFaultPlan,
     /// Seed for the fault injector's per-shard RNG streams.
     pub fault_seed: u64,
+    /// The telemetry plane (see [`crate::telemetry`]); off by default.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +76,7 @@ impl Default for ServerConfig {
             admission: None,
             faults: ServeFaultPlan::new(),
             fault_seed: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -86,6 +90,10 @@ pub struct ServerStats {
     pub responses: AtomicU64,
     /// Responses that were kiss-o'-death refusals.
     pub kod: AtomicU64,
+    /// KoD refusals specifically for ensemble staleness (`XSTL`) — the
+    /// "my simulation stopped publishing" alarm, split out from `kod` so
+    /// a scrape can tell degradation from admission back-pressure.
+    pub stale_kod: AtomicU64,
     /// Datagrams that failed to decode (truncated).
     pub malformed: AtomicU64,
     /// Well-formed packets in a non-client mode, dropped without answer.
@@ -117,6 +125,8 @@ pub struct StatsSnapshot {
     pub responses: u64,
     /// Responses that were kiss-o'-death refusals.
     pub kod: u64,
+    /// KoD refusals for ensemble staleness (`XSTL`).
+    pub stale_kod: u64,
     /// Datagrams that failed to decode (truncated).
     pub malformed: u64,
     /// Well-formed packets in a non-client mode, dropped without answer.
@@ -140,12 +150,38 @@ pub struct StatsSnapshot {
 }
 
 impl ServerStats {
+    /// Every counter as `(name, field)`, in declaration order. The single
+    /// source of truth for mirroring and export — a new field added here
+    /// is live on the metrics endpoint with no further wiring. All reads
+    /// anywhere go through these fields with relaxed ordering: the
+    /// counters are independent monotone event counts, so relaxed is the
+    /// whole story (exactness across counters only at shard join).
+    pub fn fields(&self) -> [(&'static str, &AtomicU64); 14] {
+        [
+            ("queries", &self.queries),
+            ("responses", &self.responses),
+            ("kod", &self.kod),
+            ("stale_kod", &self.stale_kod),
+            ("malformed", &self.malformed),
+            ("ignored", &self.ignored),
+            ("send_errors", &self.send_errors),
+            ("rate_kod", &self.rate_kod),
+            ("dropped", &self.dropped),
+            ("evictions", &self.evictions),
+            ("ingress_dropped", &self.ingress_dropped),
+            ("ingress_duplicated", &self.ingress_duplicated),
+            ("ingress_truncated", &self.ingress_truncated),
+            ("ingress_corrupted", &self.ingress_corrupted),
+        ]
+    }
+
     /// Copy the counters (relaxed; exact once the shards have stopped).
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             queries: self.queries.load(Relaxed),
             responses: self.responses.load(Relaxed),
             kod: self.kod.load(Relaxed),
+            stale_kod: self.stale_kod.load(Relaxed),
             malformed: self.malformed.load(Relaxed),
             ignored: self.ignored.load(Relaxed),
             send_errors: self.send_errors.load(Relaxed),
@@ -156,6 +192,54 @@ impl ServerStats {
             ingress_duplicated: self.ingress_duplicated.load(Relaxed),
             ingress_truncated: self.ingress_truncated.load(Relaxed),
             ingress_corrupted: self.ingress_corrupted.load(Relaxed),
+        }
+    }
+
+    /// The counters as a JSON object (the `/json` endpoint's `stats`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(
+            self.fields()
+                .map(|(name, v)| (name, Json::num(v.load(Relaxed) as f64))),
+        )
+    }
+}
+
+/// Live mirroring of [`ServerStats`] into obs counters (subsystem
+/// `serve`). Every shard calls [`mirror`](ObsMirror::mirror) at its
+/// drain-batch boundaries; per-field `fetch_max` on the last-mirrored
+/// watermark makes concurrent mirrors exact — each delta is counted once
+/// no matter how shards interleave, and the obs counter converges to the
+/// stats field.
+#[derive(Debug)]
+struct ObsMirror {
+    /// `(obs counter, last-mirrored watermark)`, aligned with
+    /// [`ServerStats::fields`].
+    pairs: Vec<(Arc<Counter>, AtomicU64)>,
+}
+
+impl ObsMirror {
+    fn new(obs: &SimObserver, stats: &ServerStats) -> Option<Arc<ObsMirror>> {
+        obs.core()?;
+        let pairs = stats
+            .fields()
+            .iter()
+            .map(|(name, _)| {
+                let c = obs
+                    .counter(MetricKey::global("serve", name))
+                    .expect("observer checked enabled above");
+                (c, AtomicU64::new(0))
+            })
+            .collect();
+        Some(Arc::new(ObsMirror { pairs }))
+    }
+
+    fn mirror(&self, stats: &ServerStats) {
+        for ((counter, last), (_name, field)) in self.pairs.iter().zip(stats.fields()) {
+            let cur = field.load(Relaxed);
+            let prev = last.fetch_max(cur, Relaxed);
+            if cur > prev {
+                counter.add(cur - prev);
+            }
         }
     }
 }
@@ -172,6 +256,7 @@ pub struct Server {
     admission: Option<AdmissionConfig>,
     faults: ServeFaultPlan,
     fault_seed: u64,
+    telemetry: TelemetryConfig,
 }
 
 impl Server {
@@ -195,6 +280,7 @@ impl Server {
             admission: cfg.admission,
             faults: cfg.faults.clone(),
             fault_seed: cfg.fault_seed,
+            telemetry: cfg.telemetry.clone(),
         })
     }
 
@@ -218,24 +304,33 @@ impl Server {
     pub fn start(self) -> RunningServer {
         let stop = Arc::new(AtomicBool::new(false));
         let fault_rng = SimRng::new(self.fault_seed);
+        // Telemetry plane (ticker + endpoint), if configured. A failed
+        // endpoint bind is reported inside and does not stop serving.
+        let runtime = telemetry::Runtime::start(&self.telemetry, &self.handle, &self.stats);
+        let mirror = runtime
+            .as_ref()
+            .and_then(|rt| ObsMirror::new(rt.obs(), &self.stats));
         let mut threads = Vec::with_capacity(self.sockets.len());
         for (i, sock) in self.sockets.into_iter().enumerate() {
-            let handle = self.handle.clone();
-            let stats = Arc::clone(&self.stats);
-            let stop = Arc::clone(&stop);
-            let batch = self.batch;
             // Per-shard policing state: each shard owns its table (the
             // kernel pins a flow to one shard in a reuseport group) and
             // its own named RNG stream, so shards never contend.
-            let admission = self.admission.as_ref().map(ClientTable::new);
-            let injector = (!self.faults.is_empty())
-                .then(|| ServeFaultInjector::for_shard(&self.faults, &fault_rng, i));
+            let worker = ShardWorker {
+                sock,
+                handle: self.handle.clone(),
+                stats: Arc::clone(&self.stats),
+                stop: Arc::clone(&stop),
+                batch: self.batch,
+                admission: self.admission.as_ref().map(ClientTable::new),
+                injector: (!self.faults.is_empty())
+                    .then(|| ServeFaultInjector::for_shard(&self.faults, &fault_rng, i)),
+                tele: runtime.as_ref().map(|rt| rt.shard(i)),
+                mirror: mirror.clone(),
+            };
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("nti-serve-{i}"))
-                    .spawn(move || {
-                        shard_loop(&sock, &handle, &stats, &stop, batch, admission, injector)
-                    })
+                    .spawn(move || worker.run())
                     .expect("spawn serve shard"),
             );
         }
@@ -244,6 +339,8 @@ impl Server {
             threads,
             stats: self.stats,
             addrs: self.addrs,
+            runtime,
+            mirror,
         }
     }
 }
@@ -256,6 +353,8 @@ pub struct RunningServer {
     threads: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
     addrs: Vec<SocketAddr>,
+    runtime: Option<telemetry::Runtime>,
+    mirror: Option<Arc<ObsMirror>>,
 }
 
 impl RunningServer {
@@ -269,35 +368,34 @@ impl RunningServer {
         self.stats.snapshot()
     }
 
-    /// Stop the shards, join them, mirror the final counters into `obs`
-    /// (subsystem `serve`), and return the totals.
-    pub fn stop(self, obs: &SimObserver) -> StatsSnapshot {
+    /// Where the metrics endpoint is listening — `None` when telemetry
+    /// is off, no [`TelemetryConfig::metrics_addr`] was set, or the bind
+    /// failed (reported to stderr at start).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.runtime
+            .as_ref()
+            .and_then(telemetry::Runtime::metrics_addr)
+    }
+
+    /// Stop the shards, join them, finish the final obs mirror, shut the
+    /// telemetry plane down, and return the totals. (Counters stream into
+    /// obs at every drain-batch boundary while serving — the observer was
+    /// configured up-front in [`TelemetryConfig::obs`], which is why this
+    /// no longer takes one.)
+    pub fn stop(self) -> StatsSnapshot {
         self.stop.store(true, Relaxed);
         for t in self.threads {
             let _ = t.join();
         }
-        let snap = self.stats.snapshot();
-        let mirror = [
-            ("queries", snap.queries),
-            ("responses", snap.responses),
-            ("kod", snap.kod),
-            ("malformed", snap.malformed),
-            ("ignored", snap.ignored),
-            ("send_errors", snap.send_errors),
-            ("rate_kod", snap.rate_kod),
-            ("dropped", snap.dropped),
-            ("evictions", snap.evictions),
-            ("ingress_dropped", snap.ingress_dropped),
-            ("ingress_duplicated", snap.ingress_duplicated),
-            ("ingress_truncated", snap.ingress_truncated),
-            ("ingress_corrupted", snap.ingress_corrupted),
-        ];
-        for (name, v) in mirror {
-            if let Some(c) = obs.counter(MetricKey::global("serve", name)) {
-                c.add(v);
-            }
+        if let Some(m) = &self.mirror {
+            // Shards mirrored on their way out; one more pass is free and
+            // makes the obs totals exact even if a shard died early.
+            m.mirror(&self.stats);
         }
-        snap
+        if let Some(rt) = self.runtime {
+            rt.stop();
+        }
+        self.stats.snapshot()
     }
 }
 
@@ -325,145 +423,254 @@ pub fn classify(datagram: &[u8]) -> Ingress {
     }
 }
 
-/// Answer one classified-and-admitted datagram.
-fn handle_datagram(
-    sock: &UdpSocket,
-    handle: &ClockHandle,
-    stats: &ServerStats,
-    admission: Option<&mut ClientTable>,
-    datagram: &[u8],
-    peer: SocketAddr,
-    now: Duration,
-) {
-    let req = match classify(datagram) {
-        Ingress::Query(req) => req,
-        Ingress::Foreign => {
-            stats.ignored.fetch_add(1, Relaxed);
-            return;
-        }
-        Ingress::Malformed => {
-            stats.malformed.fetch_add(1, Relaxed);
-            return;
-        }
-    };
-    if let Some(table) = admission {
-        match table.check(peer, now.as_nanos() as u64) {
-            Verdict::Admit => {}
-            Verdict::RateKod => {
-                stats.rate_kod.fetch_add(1, Relaxed);
-                stats.kod.fetch_add(1, Relaxed);
-                let resp = rate_limit_kod(&req);
-                match sock.send_to(&resp.encode(), peer) {
-                    Ok(_) => {
-                        stats.responses.fetch_add(1, Relaxed);
-                    }
-                    Err(_) => {
-                        stats.send_errors.fetch_add(1, Relaxed);
-                    }
-                }
-                return;
-            }
-            Verdict::Drop => {
-                stats.dropped.fetch_add(1, Relaxed);
-                return;
-            }
+/// A lap timer for sampled stage timing: each `lap` returns nanoseconds
+/// since the previous lap (clamped to ≥ 1, so a recorded stage is never
+/// confused with a skipped one).
+struct StageTimer {
+    last: Instant,
+}
+
+impl StageTimer {
+    fn start() -> StageTimer {
+        StageTimer {
+            last: Instant::now(),
         }
     }
-    stats.queries.fetch_add(1, Relaxed);
-    let resp = handle.respond(&req);
-    if resp.is_kod() {
-        stats.kod.fetch_add(1, Relaxed);
-    }
-    match sock.send_to(&resp.encode(), peer) {
-        Ok(_) => {
-            stats.responses.fetch_add(1, Relaxed);
-        }
-        Err(_) => {
-            stats.send_errors.fetch_add(1, Relaxed);
-        }
+
+    #[inline]
+    fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let d = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        d.max(1)
     }
 }
 
-/// One shard's life: drain up to `batch` poll outcomes, answer each
-/// admitted query, check the stop flag, yield when idle. The only state
-/// beyond the stack buffer is the shard's own policing tables.
-fn shard_loop(
-    sock: &UdpSocket,
-    handle: &ClockHandle,
-    stats: &ServerStats,
-    stop: &AtomicBool,
+/// Everything one shard thread owns: socket, clock handle, shared
+/// counters, its private policing table, and (optionally) its telemetry
+/// handles and the live obs mirror.
+struct ShardWorker {
+    sock: UdpSocket,
+    handle: ClockHandle,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
     batch: usize,
-    mut admission: Option<ClientTable>,
-    mut injector: Option<ServeFaultInjector>,
-) {
-    let mut buf = [0u8; 2048];
-    let epoch = Instant::now();
-    let mut evictions_seen = 0u64;
-    while !stop.load(Relaxed) {
-        let mut drained = 0usize;
-        while drained < batch {
-            let (n, peer) = match sock.recv_from(&mut buf) {
-                Ok(ok) => ok,
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                // Transient errors (EINTR, ICMP-driven ECONNREFUSED from
-                // a gone client) must not kill the shard — but they MUST
-                // count toward the batch: an error storm has to recheck
-                // the stop flag exactly as often as a packet flood does,
-                // or one hot socket wedges its shard forever.
-                Err(_) => {
-                    drained += 1;
-                    continue;
-                }
-            };
-            drained += 1;
-            let now = epoch.elapsed();
-            let mut n = n;
-            let mut deliveries = 1usize;
-            if let Some(inj) = injector.as_mut() {
-                match inj.ingress_fate(now, n) {
-                    IngressFate::Deliver => {}
-                    IngressFate::Drop => {
-                        stats.ingress_dropped.fetch_add(1, Relaxed);
+    admission: Option<ClientTable>,
+    injector: Option<ServeFaultInjector>,
+    tele: Option<ShardTelemetry>,
+    mirror: Option<Arc<ObsMirror>>,
+}
+
+impl ShardWorker {
+    /// One shard's life: drain up to `batch` poll outcomes, answer each
+    /// admitted query, mirror the batch's counter deltas into obs, check
+    /// the stop flag, yield when idle.
+    fn run(mut self) {
+        let mut buf = [0u8; 2048];
+        let epoch = Instant::now();
+        let mut evictions_seen = 0u64;
+        while !self.stop.load(Relaxed) {
+            let mut drained = 0usize;
+            while drained < self.batch {
+                // The sampling decision is made before the recv syscall
+                // so the recv stage itself can be timed.
+                let sampled = match self.tele.as_mut() {
+                    Some(t) => t.should_sample(),
+                    None => false,
+                };
+                let t_recv = sampled.then(Instant::now);
+                let (n, peer) = match self.sock.recv_from(&mut buf) {
+                    Ok(ok) => ok,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    // Transient errors (EINTR, ICMP-driven ECONNREFUSED
+                    // from a gone client) must not kill the shard — but
+                    // they MUST count toward the batch: an error storm has
+                    // to recheck the stop flag exactly as often as a
+                    // packet flood does, or one hot socket wedges its
+                    // shard forever.
+                    Err(_) => {
+                        drained += 1;
                         continue;
                     }
-                    IngressFate::Duplicate => {
-                        stats.ingress_duplicated.fetch_add(1, Relaxed);
-                        deliveries = 2;
-                    }
-                    IngressFate::Truncate { len } => {
-                        stats.ingress_truncated.fetch_add(1, Relaxed);
-                        n = len.min(n);
-                    }
-                    IngressFate::Corrupt { at, mask } => {
-                        stats.ingress_corrupted.fetch_add(1, Relaxed);
-                        if n > 0 {
-                            buf[at % n] ^= mask;
+                };
+                let recv_ns = t_recv.map(|t0| (t0.elapsed().as_nanos() as u64).max(1));
+                drained += 1;
+                let now = epoch.elapsed();
+                let mut n = n;
+                let mut deliveries = 1usize;
+                if let Some(inj) = self.injector.as_mut() {
+                    match inj.ingress_fate(now, n) {
+                        IngressFate::Deliver => {}
+                        IngressFate::Drop => {
+                            self.stats.ingress_dropped.fetch_add(1, Relaxed);
+                            continue;
+                        }
+                        IngressFate::Duplicate => {
+                            self.stats.ingress_duplicated.fetch_add(1, Relaxed);
+                            deliveries = 2;
+                        }
+                        IngressFate::Truncate { len } => {
+                            self.stats.ingress_truncated.fetch_add(1, Relaxed);
+                            n = len.min(n);
+                        }
+                        IngressFate::Corrupt { at, mask } => {
+                            self.stats.ingress_corrupted.fetch_add(1, Relaxed);
+                            if n > 0 {
+                                buf[at % n] ^= mask;
+                            }
                         }
                     }
                 }
+                for _ in 0..deliveries {
+                    self.handle_datagram(&buf[..n], peer, now, recv_ns);
+                }
+                // Evictions live inside the table; surface the delta.
+                if let Some(t) = &self.admission {
+                    let e = t.stats().evictions;
+                    if e != evictions_seen {
+                        self.stats.evictions.fetch_add(e - evictions_seen, Relaxed);
+                        evictions_seen = e;
+                    }
+                }
             }
-            for _ in 0..deliveries {
-                handle_datagram(
-                    sock,
-                    handle,
-                    stats,
-                    admission.as_mut(),
-                    &buf[..n],
-                    peer,
-                    now,
-                );
+            // Batch boundary: publish occupancy and stream the counter
+            // deltas into obs so a mid-run scrape sees live totals.
+            if drained > 0 {
+                if let (Some(t), Some(a)) = (&self.tele, &self.admission) {
+                    t.set_occupancy(a.occupancy());
+                }
+                if let Some(m) = &self.mirror {
+                    m.mirror(&self.stats);
+                }
             }
-            // Evictions live inside the table; surface the delta.
-            if let Some(t) = &admission {
-                let e = t.stats().evictions;
-                if e != evictions_seen {
-                    stats.evictions.fetch_add(e - evictions_seen, Relaxed);
-                    evictions_seen = e;
+            if drained == 0 {
+                std::thread::yield_now();
+            }
+        }
+        if let Some(m) = &self.mirror {
+            m.mirror(&self.stats);
+        }
+    }
+
+    /// Answer one drained datagram. `recv_ns` is `Some` exactly when this
+    /// datagram was chosen for stage timing (and carries the timed recv
+    /// syscall); the non-sampled path takes no timestamps at all.
+    fn handle_datagram(
+        &mut self,
+        datagram: &[u8],
+        peer: SocketAddr,
+        now: Duration,
+        recv_ns: Option<u64>,
+    ) {
+        let mut stage_ns = [0u64; 6];
+        let mut timer = match recv_ns {
+            Some(r) => {
+                stage_ns[0] = r;
+                Some(StageTimer::start())
+            }
+            None => None,
+        };
+        let req = match classify(datagram) {
+            Ingress::Query(req) => {
+                if let Some(t) = &mut timer {
+                    stage_ns[1] = t.lap();
+                }
+                req
+            }
+            Ingress::Foreign => {
+                self.stats.ignored.fetch_add(1, Relaxed);
+                if let Some(t) = &mut timer {
+                    stage_ns[1] = t.lap();
+                }
+                self.finish_sample(timer, "foreign", peer, stage_ns);
+                return;
+            }
+            Ingress::Malformed => {
+                self.stats.malformed.fetch_add(1, Relaxed);
+                if let Some(t) = &mut timer {
+                    stage_ns[1] = t.lap();
+                }
+                self.finish_sample(timer, "malformed", peer, stage_ns);
+                return;
+            }
+        };
+        if let Some(table) = self.admission.as_mut() {
+            let verdict = table.check(peer, now.as_nanos() as u64);
+            if let Some(t) = &mut timer {
+                stage_ns[2] = t.lap();
+            }
+            match verdict {
+                Verdict::Admit => {}
+                Verdict::RateKod => {
+                    self.stats.rate_kod.fetch_add(1, Relaxed);
+                    self.stats.kod.fetch_add(1, Relaxed);
+                    let bytes = rate_limit_kod(&req).encode();
+                    if let Some(t) = &mut timer {
+                        stage_ns[4] = t.lap();
+                    }
+                    self.send(&bytes, peer);
+                    if let Some(t) = &mut timer {
+                        stage_ns[5] = t.lap();
+                    }
+                    self.finish_sample(timer, "rate", peer, stage_ns);
+                    return;
+                }
+                Verdict::Drop => {
+                    self.stats.dropped.fetch_add(1, Relaxed);
+                    self.finish_sample(timer, "drop", peer, stage_ns);
+                    return;
                 }
             }
         }
-        if drained == 0 {
-            std::thread::yield_now();
+        self.stats.queries.fetch_add(1, Relaxed);
+        if let Some(t) = &self.tele {
+            t.count_query();
+        }
+        let resp = self.handle.respond(&req);
+        if let Some(t) = &mut timer {
+            stage_ns[3] = t.lap();
+        }
+        if resp.is_kod() {
+            self.stats.kod.fetch_add(1, Relaxed);
+            if resp.ref_id == KISS_STALE {
+                self.stats.stale_kod.fetch_add(1, Relaxed);
+            }
+        }
+        let bytes = resp.encode();
+        if let Some(t) = &mut timer {
+            stage_ns[4] = t.lap();
+        }
+        self.send(&bytes, peer);
+        if let Some(t) = &mut timer {
+            stage_ns[5] = t.lap();
+        }
+        self.finish_sample(timer, "admit", peer, stage_ns);
+    }
+
+    fn send(&self, bytes: &[u8], peer: SocketAddr) {
+        match self.sock.send_to(bytes, peer) {
+            Ok(_) => {
+                self.stats.responses.fetch_add(1, Relaxed);
+            }
+            Err(_) => {
+                self.stats.send_errors.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Close out a sampled datagram: record its stage breakdown (and, if
+    /// slow, a flight-recorder trace). A no-op for unsampled datagrams.
+    fn finish_sample(
+        &self,
+        timer: Option<StageTimer>,
+        verdict: &'static str,
+        peer: SocketAddr,
+        stage_ns: [u64; 6],
+    ) {
+        if timer.is_some() {
+            if let Some(t) = &self.tele {
+                t.record(verdict, peer, stage_ns);
+            }
         }
     }
 }
@@ -636,7 +843,7 @@ mod tests {
             ports.dedup();
             assert_eq!(ports.len(), 4, "fallback ports must be distinct");
         }
-        let stopped = server.start().stop(&SimObserver::disabled());
+        let stopped = server.start().stop();
         assert_eq!(stopped, StatsSnapshot::default());
     }
 
@@ -661,7 +868,7 @@ mod tests {
         client.send_to(&broadcast.encode(), addr).expect("send b");
         let mut buf = [0u8; 64];
         assert!(client.recv_from(&mut buf).is_err(), "no response due");
-        let snap = running.stop(&SimObserver::disabled());
+        let snap = running.stop();
         assert_eq!(snap.malformed, 1);
         assert_eq!(snap.ignored, 1);
         assert_eq!(snap.responses, 0);

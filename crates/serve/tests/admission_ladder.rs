@@ -130,7 +130,7 @@ fn rate_limit_ladder_walks_ok_kod_silence_recovery() {
     let resp = try_query(&other, 0x500).expect("other client unaffected");
     assert_eq!(resp.stratum, 1);
 
-    let snap = running.stop(&nti_obs::SimObserver::disabled());
+    let snap = running.stop();
     assert_eq!(snap.rate_kod, 2);
     assert_eq!(snap.dropped, 3);
     assert!(snap.queries >= 5, "admitted: 3 burst + recovery + other");
@@ -196,7 +196,7 @@ fn asymmetric_flood_does_not_starve_the_sibling_shard() {
     // the batch bound guarantees the flooded shard rechecks its stop
     // flag every 8 datagrams no matter how deep the backlog.
     let shutdown_started = Instant::now();
-    let snap = running.stop(&nti_obs::SimObserver::disabled());
+    let snap = running.stop();
     let shutdown_took = shutdown_started.elapsed();
     stop_flood.store(true, Relaxed);
     flooder.join().expect("flooder");
@@ -289,5 +289,5 @@ fn stalled_sim_escalates_then_kods_then_recovers() {
     let resp = try_query(&client, nonce).expect("recovered");
     assert_eq!(resp.stratum, 1, "fresh frame, full service");
 
-    running.stop(&nti_obs::SimObserver::disabled());
+    running.stop();
 }

@@ -168,7 +168,7 @@ fn live_server_survives_the_corpus_and_answers_only_queries() {
     let resp = NtpPacket::decode(&buf[..n]).expect("well-formed");
     assert_eq!(resp.origin_ts, 0xC0FFEE);
 
-    let snap = running.stop(&nti_obs::SimObserver::disabled());
+    let snap = running.stop();
     // Counter audit: every query the server accepted was answered (the
     // +1 is the probe), everything else it received was counted as
     // malformed or foreign — nothing vanished inside the server.

@@ -138,7 +138,7 @@ fn health_table_is_visible_on_the_wire() {
     assert_eq!(resp.ref_id, KISS_RATE);
     assert_eq!(resp.transmit_ts, 0);
 
-    let snap = running.stop(&nti_obs::SimObserver::disabled());
+    let snap = running.stop();
     assert_eq!(snap.queries, 6);
     assert_eq!(snap.responses, 6);
     assert_eq!(snap.kod, 2);
@@ -177,5 +177,5 @@ fn a_node_clock_outside_its_claim_is_caught_by_the_client() {
         !containment_holds(&resp),
         "a 50 µs lie against an 8 µs claim must be detected"
     );
-    running.stop(&nti_obs::SimObserver::disabled());
+    running.stop();
 }

@@ -37,6 +37,10 @@ echo "== serving-layer smoke run (e19_serve --smoke) =="
 NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e19_serve -- --smoke \
   || { echo "check.sh: serve smoke failed (malformed, loss, latency, or containment)" >&2; exit 1; }
 
+echo "== telemetry-plane gate (e19_serve --telemetry-gate) =="
+NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e19_serve -- --telemetry-gate \
+  || { echo "check.sh: telemetry gate failed (scrape content or >5% qps overhead)" >&2; exit 1; }
+
 echo "== abuse-hardening smoke run (e20_abuse --smoke) =="
 NTI_EXP_FAST=1 cargo run --release -q -p nti-bench --bin e20_abuse -- --smoke \
   || { echo "check.sh: abuse smoke failed (fuzz replay, goodput protection, legit KoD, containment, or stall degradation)" >&2; exit 1; }
