@@ -267,10 +267,12 @@ pub struct ClusterConfig {
     /// (the publish is wait-free). `None` leaves runs bit-identical to
     /// pre-status builds.
     pub status_cell: Option<Arc<StatusCell>>,
-    /// Event-queue backend for the simulation engine. `TimerWheel` is the
-    /// production default; `BinaryHeap` keeps the original algorithm
-    /// available for equivalence/regression runs (same seed ⇒ bit-identical
-    /// report on either backend).
+    /// Event-queue backend for the simulation engine. `Adaptive` is the
+    /// production default — it runs the heap strategy while the queue is
+    /// sparse (the shape of a cluster replay) and migrates onto the timer
+    /// wheel when density warrants; `TimerWheel` and `BinaryHeap` pin a
+    /// fixed strategy for equivalence/regression runs (same seed ⇒
+    /// bit-identical report on every backend).
     pub engine_queue: QueueKind,
 }
 
@@ -315,7 +317,7 @@ impl ClusterConfig {
             precision_budget: None,
             obs: SimObserver::disabled(),
             status_cell: None,
-            engine_queue: QueueKind::TimerWheel,
+            engine_queue: QueueKind::Adaptive,
         }
     }
 }

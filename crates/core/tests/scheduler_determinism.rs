@@ -1,10 +1,11 @@
-//! The scheduler swap (PR 5) must not change cluster behaviour at all: a
-//! fixed-seed run is bit-identical whether the engine uses the timer-wheel
-//! queue or the reference binary heap. This is the cluster-level
-//! counterpart of the simcore backend-equivalence proptests — it exercises
-//! the real workload (periodic snapshots and GPS seconds via
-//! `schedule_every`, self-rescheduling background load, UTCSU service
-//! cancellation, crash/reintegration churn) rather than random programs.
+//! The scheduler swap (PR 5) and the adaptive backend (PR 10) must not
+//! change cluster behaviour at all: a fixed-seed run is bit-identical
+//! whether the engine uses the adaptive queue, the timer wheel, or the
+//! reference binary heap. This is the cluster-level counterpart of the
+//! simcore backend-equivalence proptests — it exercises the real workload
+//! (periodic snapshots and GPS seconds via `schedule_every`,
+//! self-rescheduling background load, UTCSU service cancellation,
+//! crash/reintegration churn) rather than random programs.
 
 use nti_core::cluster::{Cluster, ClusterConfig, Report};
 use nti_obs::{SimObserver, Subsystem};
@@ -23,27 +24,31 @@ fn run(kind: QueueKind) -> (Report, SimObserver) {
 
 #[test]
 fn fixed_seed_report_is_bit_identical_across_queue_backends() {
-    let (rep_wheel, obs_wheel) = run(QueueKind::TimerWheel);
     let (rep_heap, obs_heap) = run(QueueKind::BinaryHeap);
 
     // The run did real work (otherwise equality is vacuous).
-    assert!(rep_wheel.csps.0 > 10, "no traffic: {:?}", rep_wheel.csps);
-    assert!(rep_wheel.eps_samples > 0, "no stamp pairs");
+    assert!(rep_heap.csps.0 > 10, "no traffic: {:?}", rep_heap.csps);
+    assert!(rep_heap.eps_samples > 0, "no stamp pairs");
+    let ev_heap = obs_heap.events();
+    assert!(!ev_heap.is_empty(), "traced run produced no events");
 
-    // `Report` holds only plain scalars/tuples, so Debug equality is
-    // bit-for-bit equality of every field, floats included.
-    assert_eq!(
-        format!("{rep_wheel:?}"),
-        format!("{rep_heap:?}"),
-        "Report diverges between timer-wheel and binary-heap scheduling"
-    );
+    for kind in [QueueKind::Adaptive, QueueKind::TimerWheel] {
+        let (rep_k, obs_k) = run(kind);
 
-    // And the full cluster trace — every event, time and payload — must
-    // match, not just the end-of-run aggregates.
-    let (ev_wheel, ev_heap) = (obs_wheel.events(), obs_heap.events());
-    assert!(!ev_wheel.is_empty(), "traced run produced no events");
-    assert_eq!(
-        ev_wheel, ev_heap,
-        "cluster trace diverges between queue backends"
-    );
+        // `Report` holds only plain scalars/tuples, so Debug equality is
+        // bit-for-bit equality of every field, floats included.
+        assert_eq!(
+            format!("{rep_k:?}"),
+            format!("{rep_heap:?}"),
+            "Report diverges between {kind:?} and binary-heap scheduling"
+        );
+
+        // And the full cluster trace — every event, time and payload —
+        // must match, not just the end-of-run aggregates.
+        assert_eq!(
+            obs_k.events(),
+            ev_heap,
+            "cluster trace diverges between {kind:?} and binary-heap"
+        );
+    }
 }

@@ -20,22 +20,32 @@
 //! references are dropped lazily when encountered. `pending()` therefore
 //! counts *live* events only, and nothing accumulates for cancelled ids.
 //!
-//! Two queue backends share the slab (selected by [`QueueKind`]):
+//! Three queue backends share the slab (selected by [`QueueKind`]):
 //!
-//! * **Timer wheel** (default) — a hierarchical wheel of 6 levels × 64
+//! * **Adaptive** (default) — watches its own live-event density online and
+//!   switches between the heap strategy (which wins on sparse,
+//!   production-shaped workloads like the cluster replay, where the whole
+//!   queue fits in a couple of cache lines) and the wheel strategy (which
+//!   wins from a few thousand queued events upward). Switching is
+//!   hysteretic — distinct up/down watermarks on an EWMA of the live count
+//!   — so it never thrashes, and migration filters cancelled entries, so a
+//!   mass-cancel is purged rather than carried.
+//! * **Timer wheel** — a hierarchical wheel of 6 levels × 64
 //!   slots over 2³⁰ fs (≈ 1.07 µs) granules, giving ~20 h of in-wheel range
 //!   with O(1) insert and amortized O(1) dispatch; a far-future overflow
 //!   heap catches everything beyond the wheel (including `SimTime::MAX`
 //!   sentinels). Events of the granule currently being dispatched sit in a
 //!   small `due` heap ordered by `(time, seq)`, which restores exact FIFO
 //!   tie order below granule resolution and absorbs same-granule events
-//!   scheduled *during* dispatch.
+//!   scheduled *during* dispatch. A higher-level slot whose entries all
+//!   share one granule stages straight into `due` (batched cascade)
+//!   instead of cascading level by level.
 //! * **Binary heap** — the pre-wheel algorithm (one global
 //!   `BinaryHeap` ordered by `(time, seq)`), kept as the reference model
 //!   for the equivalence proptests and as the baseline the `e17_engine_perf`
-//!   experiment measures the wheel against.
+//!   experiment measures the other backends against.
 //!
-//! Both backends observe the same contract: identical fire order, identical
+//! All backends observe the same contract: identical fire order, identical
 //! `(time, seq)` tie-breaking, identical observability counters.
 
 use crate::time::{SimDuration, SimTime};
@@ -58,8 +68,13 @@ pub struct EventId {
 /// Which priority-queue backend an [`Engine`] runs on.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum QueueKind {
-    /// Hierarchical timer wheel + overflow heap (the production default).
+    /// Self-tuning backend (the production default): runs the heap
+    /// strategy while the queue is sparse and migrates to the timer wheel
+    /// when the live-event count crosses a watermark (and back, with
+    /// hysteresis). Observationally identical to both fixed backends.
     #[default]
+    Adaptive,
+    /// Hierarchical timer wheel + overflow heap.
     TimerWheel,
     /// Single binary heap ordered by `(time, seq)` — the original engine
     /// algorithm, kept as an equivalence reference and benchmark baseline.
@@ -191,6 +206,8 @@ impl Wheel {
     fn insert(&mut self, at: SimTime, seq: u64, packed: u64) {
         let g = at.0 >> GRANULE_BITS;
         if self.due_granule == Some(g) {
+            // Invariant: while a granule is staged, the base sits on it.
+            debug_assert_eq!(self.base, g, "due_granule diverged from base");
             self.due.push(Reverse((at, seq, packed)));
             return;
         }
@@ -247,11 +264,65 @@ impl Wheel {
     fn is_empty(&self) -> bool {
         self.occ_levels == 0
     }
+
+    /// Opportunistically pull the base up to `now`'s granule when the wheel
+    /// proper is idle, so near-future schedules after a long quiet gap land
+    /// in the wheel directly instead of detouring through the overflow heap
+    /// (the base otherwise stays anchored wherever the last event fired —
+    /// an idle `advance` never moves it). Only legal when every block
+    /// between the old and new base is empty: the wheel levels and the
+    /// `due` stage must be drained, and every overflow entry must sit in a
+    /// strictly later `2^WHEEL_BITS`-granule block than the new base, or it
+    /// could come due while in-range wheel events fire around it.
+    fn maybe_rebase(&mut self, now: SimTime) {
+        if self.occ_levels != 0 || self.due_granule.is_some() || !self.due.is_empty() {
+            return;
+        }
+        let nb = now.0 >> GRANULE_BITS;
+        if nb <= self.base {
+            return;
+        }
+        if let Some(&Reverse((t, _, _))) = self.overflow.peek() {
+            if (t.0 >> GRANULE_BITS) >> WHEEL_BITS <= nb >> WHEEL_BITS {
+                return;
+            }
+        }
+        self.base = nb;
+    }
 }
 
 enum Queue {
     Wheel(Wheel),
     Heap(BinaryHeap<Reverse<QEntry>>),
+}
+
+/// Live-count watermark above which the adaptive backend migrates from the
+/// heap strategy to the timer wheel (checked on insert, so a schedule burst
+/// pays heap cost for at most this many entries before the wheel takes
+/// over).
+const ADAPT_HIGH: usize = 2048;
+/// EWMA watermark at or below which the adaptive backend migrates back to
+/// the heap. The gap to [`ADAPT_HIGH`] is the hysteresis band: around
+/// either watermark, oscillating occupancy moves the EWMA slowly (α = 1/8)
+/// and migration only triggers on a sustained trend, never per event.
+const ADAPT_LOW: u64 = 512;
+/// Events fired between adaptive strategy decisions inside one `run_until`.
+/// Small enough that a drain from millions of events down to a sparse
+/// steady state is noticed promptly; large enough that the decision (a few
+/// integer ops) is invisible in the dispatch cost.
+const ADAPT_CHUNK: u64 = 1024;
+
+/// Online density tracker for [`QueueKind::Adaptive`].
+struct AdaptState {
+    /// Fixed-point (×8) EWMA of the live-event count, updated once per
+    /// dispatch chunk: `e ← e − e/8 + live`, which converges to `8·live`.
+    /// Reset to `8·live` on every migration so a fresh strategy never
+    /// flip-flops on stale history.
+    ewma_x8: u64,
+    /// Up-switch watermark ([`ADAPT_HIGH`] unless overridden for tests).
+    high: usize,
+    /// Down-switch watermark ([`ADAPT_LOW`] unless overridden for tests).
+    low: u64,
 }
 
 /// Outcome of inspecting the head of the `due` buffer.
@@ -299,6 +370,10 @@ pub struct Engine<S> {
     live: usize,
     fired: u64,
     queue: Queue,
+    /// `Some` iff this engine was created as [`QueueKind::Adaptive`]; the
+    /// current `queue` variant is then the active strategy, not a fixed
+    /// choice.
+    adapt: Option<AdaptState>,
     obs: Option<EngineObs>,
 }
 
@@ -309,12 +384,13 @@ impl<S> Default for Engine<S> {
 }
 
 impl<S> Engine<S> {
-    /// A fresh engine at t = 0 with an empty queue (timer-wheel backend).
+    /// A fresh engine at t = 0 with an empty queue (adaptive backend).
     pub fn new() -> Self {
-        Self::with_queue(QueueKind::TimerWheel)
+        Self::with_queue(QueueKind::default())
     }
 
-    /// A fresh engine on an explicit queue backend.
+    /// A fresh engine on an explicit queue backend. The adaptive backend
+    /// starts on the heap strategy — an empty queue is maximally sparse.
     pub fn with_queue(kind: QueueKind) -> Self {
         Engine {
             now: SimTime::ZERO,
@@ -325,14 +401,51 @@ impl<S> Engine<S> {
             fired: 0,
             queue: match kind {
                 QueueKind::TimerWheel => Queue::Wheel(Wheel::new()),
-                QueueKind::BinaryHeap => Queue::Heap(BinaryHeap::new()),
+                QueueKind::BinaryHeap | QueueKind::Adaptive => Queue::Heap(BinaryHeap::new()),
+            },
+            adapt: match kind {
+                QueueKind::Adaptive => Some(AdaptState {
+                    ewma_x8: 0,
+                    high: ADAPT_HIGH,
+                    low: ADAPT_LOW,
+                }),
+                _ => None,
             },
             obs: None,
         }
     }
 
+    /// An adaptive engine with explicit migration watermarks. Test-only
+    /// knob: tiny watermarks make small equivalence programs cross
+    /// strategies constantly, which the production values (sized for real
+    /// workloads) would never do within a proptest's budget.
+    #[doc(hidden)]
+    pub fn with_adaptive_watermarks(high: usize, low: u64) -> Self {
+        assert!(high as u64 > low, "hysteresis band must be non-empty");
+        let mut eng = Self::with_queue(QueueKind::Adaptive);
+        if let Some(ad) = &mut eng.adapt {
+            ad.high = high;
+            ad.low = low;
+        }
+        eng
+    }
+
     /// The queue backend this engine runs on.
     pub fn queue_kind(&self) -> QueueKind {
+        if self.adapt.is_some() {
+            return QueueKind::Adaptive;
+        }
+        match self.queue {
+            Queue::Wheel(_) => QueueKind::TimerWheel,
+            Queue::Heap(_) => QueueKind::BinaryHeap,
+        }
+    }
+
+    /// The strategy currently executing underneath: for a fixed backend,
+    /// the backend itself; for [`QueueKind::Adaptive`], whichever of
+    /// `TimerWheel` / `BinaryHeap` the density tracker has picked right
+    /// now (diagnostics and tests; never needed for correctness).
+    pub fn active_strategy(&self) -> QueueKind {
         match self.queue {
             Queue::Wheel(_) => QueueKind::TimerWheel,
             Queue::Heap(_) => QueueKind::BinaryHeap,
@@ -399,9 +512,98 @@ impl<S> Engine<S> {
     }
 
     fn queue_insert(&mut self, at: SimTime, seq: u64, packed: u64) {
-        match &mut self.queue {
-            Queue::Heap(h) => h.push(Reverse((at, seq, packed))),
-            Queue::Wheel(w) => w.insert(at, seq, packed),
+        let grow = match &mut self.queue {
+            Queue::Heap(h) => {
+                h.push(Reverse((at, seq, packed)));
+                true
+            }
+            Queue::Wheel(w) => {
+                w.maybe_rebase(self.now);
+                w.insert(at, seq, packed);
+                false
+            }
+        };
+        // Adaptive up-switch happens here, on insert, not only at
+        // dispatch: a pure schedule burst must not pay heap cost for its
+        // whole length before the first `run_until`.
+        if grow && self.adapt.as_ref().is_some_and(|ad| self.live >= ad.high) {
+            self.migrate_to_wheel();
+        }
+    }
+
+    /// Adaptive migration heap → wheel. Live entries are re-inserted into
+    /// a wheel based at the current granule; stale (cancelled) entries are
+    /// filtered out instead of carried.
+    fn migrate_to_wheel(&mut self) {
+        let Queue::Heap(h) = &mut self.queue else {
+            return;
+        };
+        let entries = std::mem::take(h).into_vec();
+        let mut w = Wheel::new();
+        w.base = self.now.0 >> GRANULE_BITS;
+        for Reverse((at, seq, packed)) in entries {
+            if Self::is_live(&self.slots, packed) {
+                w.insert(at, seq, packed);
+            }
+        }
+        self.queue = Queue::Wheel(w);
+        if let Some(ad) = &mut self.adapt {
+            ad.ewma_x8 = 8 * self.live as u64;
+        }
+    }
+
+    /// Adaptive migration wheel → heap: collect every live entry (due
+    /// stage, all wheel levels, overflow) and heapify in one O(n) pass.
+    /// Stale entries are dropped, so a burst-schedule → mass-cancel queue
+    /// is purged here rather than ridden down.
+    fn migrate_to_heap(&mut self) {
+        let slots = &self.slots;
+        let Queue::Wheel(w) = &mut self.queue else {
+            return;
+        };
+        let mut entries: Vec<Reverse<QEntry>> = Vec::new();
+        let live = |packed: u64| Self::is_live(slots, packed);
+        entries.extend(w.due.drain().filter(|&Reverse((_, _, p))| live(p)));
+        for lv in &mut w.levels {
+            let mut occ = lv.occ;
+            while occ != 0 {
+                let s = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                entries.extend(
+                    lv.slots[s]
+                        .drain(..)
+                        .filter(|&(_, _, p)| live(p))
+                        .map(Reverse),
+                );
+            }
+        }
+        entries.extend(
+            std::mem::take(&mut w.overflow)
+                .into_vec()
+                .into_iter()
+                .filter(|&Reverse((_, _, p))| live(p)),
+        );
+        self.queue = Queue::Heap(BinaryHeap::from(entries));
+        if let Some(ad) = &mut self.adapt {
+            ad.ewma_x8 = 8 * self.live as u64;
+        }
+    }
+
+    /// One adaptive strategy decision (called between dispatch chunks):
+    /// fold the current live count into the EWMA and migrate if it has
+    /// crossed a watermark in the direction the hysteresis band allows.
+    fn adapt_rebalance(&mut self) {
+        let (ewma_x8, high, low) = {
+            let Some(ad) = &mut self.adapt else {
+                return;
+            };
+            ad.ewma_x8 = ad.ewma_x8 - ad.ewma_x8 / 8 + self.live as u64;
+            (ad.ewma_x8, ad.high, ad.low)
+        };
+        match self.queue {
+            Queue::Heap(_) if ewma_x8 >= 8 * high as u64 => self.migrate_to_wheel(),
+            Queue::Wheel(_) if ewma_x8 <= 8 * low => self.migrate_to_heap(),
+            _ => {}
         }
     }
 
@@ -568,20 +770,48 @@ impl<S> Engine<S> {
     /// Fire events in order until the queue is exhausted or the next event
     /// lies beyond `until`; then advance the clock to `until`.
     pub fn run_until(&mut self, state: &mut S, until: SimTime) {
-        match self.queue {
-            Queue::Wheel(_) => self.run_until_wheel(state, until),
-            Queue::Heap(_) => self.run_until_heap(state, until),
+        if self.adapt.is_some() {
+            // Adaptive: dispatch in bounded chunks with a strategy
+            // decision between chunks, so a long drain can migrate
+            // mid-run as the queue density changes.
+            loop {
+                self.adapt_rebalance();
+                let done = match self.queue {
+                    Queue::Wheel(_) => self.run_chunk_wheel(state, until, ADAPT_CHUNK),
+                    Queue::Heap(_) => self.run_chunk_heap(state, until, ADAPT_CHUNK),
+                };
+                if done {
+                    break;
+                }
+            }
+        } else {
+            match self.queue {
+                Queue::Wheel(_) => {
+                    self.run_chunk_wheel(state, until, u64::MAX);
+                }
+                Queue::Heap(_) => {
+                    self.run_chunk_heap(state, until, u64::MAX);
+                }
+            }
         }
         if until > self.now {
             self.now = until;
         }
     }
 
-    fn run_until_heap(&mut self, state: &mut S, until: SimTime) {
+    /// Heap-strategy dispatch, bounded to `budget` fired events. Returns
+    /// `true` when no live event at or before `until` remains (the run is
+    /// done), `false` when the budget ran out — or when a handler's
+    /// scheduling migrated the adaptive queue onto the wheel strategy
+    /// mid-chunk, in which case the caller re-dispatches.
+    fn run_chunk_heap(&mut self, state: &mut S, until: SimTime, mut budget: u64) -> bool {
         loop {
+            if budget == 0 {
+                return false;
+            }
             let next = {
                 let Queue::Heap(h) = &mut self.queue else {
-                    unreachable!()
+                    return false; // migrated mid-chunk by a handler
                 };
                 loop {
                     match h.peek() {
@@ -601,32 +831,46 @@ impl<S> Engine<S> {
                 }
             };
             match next {
-                Some((at, packed)) => self.fire(state, at, packed),
-                None => break,
+                Some((at, packed)) => {
+                    self.fire(state, at, packed);
+                    budget -= 1;
+                }
+                None => return true,
             }
         }
     }
 
-    fn run_until_wheel(&mut self, state: &mut S, until: SimTime) {
+    /// Wheel-strategy dispatch, bounded to `budget` fired events. Returns
+    /// `true` when no live event at or before `until` remains; `false`
+    /// when the budget ran out (the partially drained granule stays staged
+    /// in `due` and the next chunk resumes it exactly).
+    fn run_chunk_wheel(&mut self, state: &mut S, until: SimTime, mut budget: u64) -> bool {
         loop {
             // 1. Drain the granule staged in `due` (exact (time, seq) order).
             loop {
+                if budget == 0 {
+                    return false;
+                }
                 match self.pop_due(until) {
-                    DueStep::Fire(at, packed) => self.fire(state, at, packed),
-                    DueStep::Beyond => return,
+                    DueStep::Fire(at, packed) => {
+                        self.fire(state, at, packed);
+                        budget -= 1;
+                    }
+                    DueStep::Beyond => return true,
                     DueStep::Drained => break,
                 }
             }
-            // 2. Advance to the earliest occupied wheel slot: level 0 stages
-            //    into `due`, higher levels cascade down.
+            // 2. Advance to the earliest occupied wheel slot: level 0 (and
+            //    any single-granule higher slot) stages into `due`, the
+            //    rest cascade down.
             match self.advance_wheel(until) {
                 Advance::Advanced => continue,
-                Advance::Beyond => return,
+                Advance::Beyond => return true,
                 Advance::Empty => {}
             }
             // 3. Wheel empty: rebase onto the earliest overflow block.
             if !self.refill_from_overflow(until) {
-                return;
+                return true;
             }
         }
     }
@@ -658,6 +902,10 @@ impl<S> Engine<S> {
         let Queue::Wheel(w) = &mut self.queue else {
             unreachable!()
         };
+        // The previous granule must be fully unstaged before the wheel
+        // moves (pop_due clears `due_granule` on drain); a violation here
+        // would let `base` run ahead of a granule still owed dispatch.
+        debug_assert!(w.due_granule.is_none(), "advance with a staged granule");
         let Some((start, level, slot)) = w.next_slot() else {
             return Advance::Empty;
         };
@@ -679,24 +927,31 @@ impl<S> Engine<S> {
             for e in entries.drain(..) {
                 w.due.push(Reverse(e));
             }
-        } else if entries.len() == 1 && entries[0].0 <= until {
-            // Sparse fast path: a lone entry due within this run can jump
-            // straight to dispatch instead of cascading level by level.
-            // Safe because the scan found no occupied lower level (they are
-            // empty by the scan-range invariant), every other wheel event
-            // lies in a later slot (granule beyond this slot's window), and
-            // `at <= until` keeps `base <= granule(now)` when the run
-            // returns. A stale lone entry just drops out in `pop_due`.
-            let e = entries.pop().expect("len checked");
-            let g = e.0 .0 >> GRANULE_BITS;
-            w.base = g;
-            w.due_granule = Some(g);
-            w.due.push(Reverse(e));
         } else {
-            // Cascade: redistribute into strictly lower levels of the
-            // rebased wheel. Pure entry moves — no slab lookups.
-            for (at, seq, packed) in entries.drain(..) {
-                w.insert(at, seq, packed);
+            // Batched cascade: when every entry of this higher-level slot
+            // lands in one granule — a lone entry, a same-instant burst, or
+            // one batch of traffic — the whole slot jumps straight to
+            // dispatch instead of cascading level by level. Safe because
+            // the scan found no occupied lower level (empty by the
+            // scan-range invariant), every other wheel event lies in a
+            // later slot (granule beyond this slot's window), and the
+            // granule starting at or before `until` keeps
+            // `base <= granule(now)` when the run returns. Stale entries
+            // just drop out in `pop_due`.
+            let g = entries[0].0 .0 >> GRANULE_BITS;
+            let one_granule = entries.iter().all(|e| e.0 .0 >> GRANULE_BITS == g);
+            if one_granule && SimTime(g << GRANULE_BITS) <= until {
+                w.base = g;
+                w.due_granule = Some(g);
+                for e in entries.drain(..) {
+                    w.due.push(Reverse(e));
+                }
+            } else {
+                // Cascade: redistribute into strictly lower levels of the
+                // rebased wheel. Pure entry moves — no slab lookups.
+                for (at, seq, packed) in entries.drain(..) {
+                    w.insert(at, seq, packed);
+                }
             }
         }
         // Hand the (now empty) Vec back to its slot to keep its capacity.
@@ -908,7 +1163,11 @@ mod tests {
     /// old tombstone scheme counted them until they drained.
     #[test]
     fn pending_excludes_cancelled() {
-        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+        for kind in [
+            QueueKind::Adaptive,
+            QueueKind::TimerWheel,
+            QueueKind::BinaryHeap,
+        ] {
             let mut eng: Engine<()> = Engine::with_queue(kind);
             let ids: Vec<_> = (0..100)
                 .map(|i| eng.schedule_at(SimTime::from_nanos(i + 1), |_, _| {}))
@@ -929,7 +1188,11 @@ mod tests {
     /// does not disturb a new event that reuses the slab slot.
     #[test]
     fn cancel_after_fire_is_noop_even_with_slot_reuse() {
-        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+        for kind in [
+            QueueKind::Adaptive,
+            QueueKind::TimerWheel,
+            QueueKind::BinaryHeap,
+        ] {
             let mut eng: Engine<Vec<u32>> = Engine::with_queue(kind);
             let mut log = Vec::new();
             let stale = eng.schedule_at(SimTime::from_nanos(1), |s: &mut Vec<u32>, _| s.push(1));
@@ -998,7 +1261,11 @@ mod tests {
     /// events at `SimTime::MAX` exactly like the heap backend.
     #[test]
     fn far_future_and_max_sentinel_events_fire() {
-        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+        for kind in [
+            QueueKind::Adaptive,
+            QueueKind::TimerWheel,
+            QueueKind::BinaryHeap,
+        ] {
             let mut eng: Engine<Vec<u32>> = Engine::with_queue(kind);
             let mut log = Vec::new();
             eng.schedule_at(SimTime::MAX, |s: &mut Vec<u32>, _| s.push(99));
@@ -1015,7 +1282,11 @@ mod tests {
     /// currently being dispatched keep FIFO order.
     #[test]
     fn same_instant_events_scheduled_during_dispatch_keep_fifo() {
-        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+        for kind in [
+            QueueKind::Adaptive,
+            QueueKind::TimerWheel,
+            QueueKind::BinaryHeap,
+        ] {
             let mut eng: Engine<Vec<u32>> = Engine::with_queue(kind);
             let mut log = Vec::new();
             let t = SimTime::from_micros(7);

@@ -1,13 +1,17 @@
 //! Backend-equivalence properties for the event engine.
 //!
-//! The timer-wheel scheduler (PR 5) must be observationally identical to
-//! the straightforward binary-heap scheduler it replaced: same events, in
-//! the same order, at the same times, with the same FIFO tie-breaking and
-//! the same bookkeeping counters. These properties drive both backends
-//! with identical random programs of schedules (one-shot, same-instant
-//! bursts, periodics at every delay scale the wheel distinguishes —
-//! sub-granule, in-wheel, and overflow), cancellations and time advances,
-//! and require the full observable trajectories to match bit-for-bit.
+//! The timer-wheel scheduler (PR 5) and the self-tuning adaptive backend
+//! (PR 10) must be observationally identical to the straightforward
+//! binary-heap scheduler: same events, in the same order, at the same
+//! times, with the same FIFO tie-breaking and the same bookkeeping
+//! counters. These properties drive all three backends with identical
+//! random programs of schedules (one-shot, same-instant bursts,
+//! same-granule bursts, periodics at every delay scale the wheel
+//! distinguishes — sub-granule, in-wheel, and overflow), cancellations
+//! (including mass-cancels of everything outstanding), and time advances
+//! (including overflow-range jumps that leave the wheel idle for hours),
+//! and require the full observable trajectories to match the heap oracle
+//! bit-for-bit.
 
 use nti_simcore::{Engine, QueueKind, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -35,17 +39,30 @@ fn delay_from(a: u64) -> u128 {
     }
 }
 
+/// Backend under test. `AdaptiveTight` shrinks the migration watermarks to
+/// toy values so programs of a few dozen ops cross the heap↔wheel boundary
+/// over and over — with production watermarks (2048 live events) a proptest
+/// budget would never trigger a single migration.
+#[derive(Clone, Copy, Debug)]
+enum Variant {
+    Fixed(QueueKind),
+    AdaptiveTight,
+}
+
 /// Interpret one random program on the given backend, returning everything
 /// observable: the firing log and the per-op (now, pending, fired)
 /// trajectory.
-fn run_program(kind: QueueKind, ops: &[(u8, u64, u64)]) -> (Log, Trajectory) {
-    let mut eng: Engine<Log> = Engine::with_queue(kind);
+fn run_program(variant: Variant, ops: &[(u8, u64, u64)]) -> (Log, Trajectory) {
+    let mut eng: Engine<Log> = match variant {
+        Variant::Fixed(kind) => Engine::with_queue(kind),
+        Variant::AdaptiveTight => Engine::with_adaptive_watermarks(8, 2),
+    };
     let mut log: Log = Vec::new();
     let mut ids = Vec::new();
     let mut traj: Trajectory = Vec::new();
     for (i, &(op, a, b)) in ops.iter().enumerate() {
         let label = i as u64;
-        match op % 5 {
+        match op % 8 {
             0 => {
                 // One-shot at an arbitrary scale.
                 let at = eng.now() + SimDuration::from_fs(delay_from(a));
@@ -95,12 +112,48 @@ fn run_program(kind: QueueKind, ops: &[(u8, u64, u64)]) -> (Log, Trajectory) {
                     eng.cancel(id);
                 }
             }
-            _ => {
+            4 => {
                 // Advance time; occasionally far enough to drain the wheel
                 // and refill it from the overflow heap.
                 let dt = delay_from(a) / 2 + 1;
                 let until = eng.now() + SimDuration::from_fs(dt);
                 eng.run_until(&mut log, until);
+            }
+            5 => {
+                // Same-granule burst: several events at *different* times
+                // inside one 2^30 fs granule, far enough out to land in a
+                // higher wheel level — the shape the batched cascade stages
+                // in one move. Offsets stay within the granule of the
+                // first event by construction.
+                let at0 = eng.now() + SimDuration::from_fs(delay_from(a));
+                let g_end = ((at0.as_fs() >> 30) + 1) << 30;
+                let room = g_end - at0.as_fs();
+                for k in 0..4u64 {
+                    let l = label * 10 + k;
+                    let off = (b.wrapping_mul(k + 1) as u128) % room;
+                    let at = SimTime::from_fs(at0.as_fs() + off);
+                    ids.push(eng.schedule_at(at, move |log: &mut Log, e| {
+                        log.push((l, e.now().as_fs()));
+                    }));
+                }
+            }
+            6 => {
+                // Mass-cancel: everything issued so far. Composed with
+                // bursts (1, 5) and long advances (4, 7) by the generator,
+                // this produces the burst-schedule → cancel-all → sparse
+                // trickle shape that stresses stale-entry accounting.
+                for &id in &ids {
+                    eng.cancel(id);
+                }
+            }
+            _ => {
+                // Overflow-range one-shot: guaranteed beyond the ~20 h
+                // wheel span, so the overflow heap and its refill path see
+                // traffic even in programs whose other delays stay small.
+                let at = eng.now() + SimDuration::from_fs((1 << 67) + (a as u128));
+                ids.push(eng.schedule_at(at, move |log: &mut Log, e| {
+                    log.push((label, e.now().as_fs()));
+                }));
             }
         }
         traj.push((eng.now().as_fs(), eng.pending() as u64, eng.events_fired()));
@@ -115,18 +168,24 @@ fn run_program(kind: QueueKind, ops: &[(u8, u64, u64)]) -> (Log, Trajectory) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The timer wheel and the reference heap produce identical firing
+    /// The timer wheel and the adaptive backend produce identical firing
     /// logs (same events, same order, same times — FIFO ties included)
-    /// and identical (now, pending, fired) trajectories for any program
-    /// of schedules, cancels and advances.
+    /// and identical (now, pending, fired) trajectories to the reference
+    /// heap for any program of schedules, cancels and advances.
     #[test]
-    fn wheel_matches_reference_heap(
+    fn wheel_and_adaptive_match_reference_heap(
         ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..40)
     ) {
-        let (log_w, traj_w) = run_program(QueueKind::TimerWheel, &ops);
-        let (log_h, traj_h) = run_program(QueueKind::BinaryHeap, &ops);
-        prop_assert_eq!(&log_w, &log_h, "firing logs diverge");
-        prop_assert_eq!(&traj_w, &traj_h, "observable trajectories diverge");
+        let (log_h, traj_h) = run_program(Variant::Fixed(QueueKind::BinaryHeap), &ops);
+        for variant in [
+            Variant::Fixed(QueueKind::TimerWheel),
+            Variant::Fixed(QueueKind::Adaptive),
+            Variant::AdaptiveTight,
+        ] {
+            let (log_k, traj_k) = run_program(variant, &ops);
+            prop_assert_eq!(&log_k, &log_h, "firing logs diverge on {:?}", variant);
+            prop_assert_eq!(&traj_k, &traj_h, "observable trajectories diverge on {:?}", variant);
+        }
     }
 
     /// Same-instant FIFO: any number of events scheduled for one instant
@@ -134,7 +193,7 @@ proptest! {
     /// schedule order on both backends.
     #[test]
     fn same_instant_fifo_order(n_pre in 1usize..12, n_mid in 0usize..8, off in 0u64..(1 << 30)) {
-        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+        for kind in [QueueKind::Adaptive, QueueKind::TimerWheel, QueueKind::BinaryHeap] {
             let mut eng: Engine<Log> = Engine::with_queue(kind);
             let mut log: Log = Vec::new();
             let at = SimTime::from_fs(1 + off as u128);
